@@ -1,0 +1,197 @@
+//! Autocovariance, autocorrelation, and partial autocorrelation.
+
+use crate::error::ArimaError;
+
+/// Sample autocovariance at lags `0..=max_lag` (biased estimator, divide
+/// by `n` — the standard choice that keeps the autocovariance sequence
+/// positive semi-definite, which Levinson–Durbin requires).
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SeriesTooShort`] if `series.len() <= max_lag` and
+/// [`ArimaError::NonFiniteValue`] on NaN/inf observations.
+pub fn autocovariance(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
+    if series.len() <= max_lag {
+        return Err(ArimaError::SeriesTooShort {
+            required: max_lag + 1,
+            available: series.len(),
+        });
+    }
+    for (i, &v) in series.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(ArimaError::NonFiniteValue { index: i });
+        }
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let mut sum = 0.0;
+        for t in lag..series.len() {
+            sum += (series[t] - mean) * (series[t - lag] - mean);
+        }
+        out.push(sum / n);
+    }
+    Ok(out)
+}
+
+/// Sample autocorrelation at lags `0..=max_lag` (`acf[0] == 1`).
+///
+/// # Errors
+///
+/// As [`autocovariance`]; additionally returns
+/// [`ArimaError::SingularSystem`] for a constant series (zero variance).
+pub fn acf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
+    let gamma = autocovariance(series, max_lag)?;
+    let g0 = gamma[0];
+    if g0 <= 0.0 {
+        return Err(ArimaError::SingularSystem);
+    }
+    Ok(gamma.iter().map(|g| g / g0).collect())
+}
+
+/// Levinson–Durbin recursion: solves the Yule–Walker equations for AR
+/// coefficients of order `order` from an autocovariance sequence.
+///
+/// Returns `(phi, innovation_variance)`.
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SingularSystem`] if the recursion encounters a
+/// non-positive prediction-error variance, and
+/// [`ArimaError::SeriesTooShort`] if `gamma.len() <= order`.
+pub fn levinson_durbin(gamma: &[f64], order: usize) -> Result<(Vec<f64>, f64), ArimaError> {
+    if gamma.len() <= order {
+        return Err(ArimaError::SeriesTooShort {
+            required: order + 1,
+            available: gamma.len(),
+        });
+    }
+    if gamma[0] <= 0.0 {
+        return Err(ArimaError::SingularSystem);
+    }
+    let mut phi = vec![0.0; order];
+    let mut prev = vec![0.0; order];
+    let mut err = gamma[0];
+    for k in 0..order {
+        let mut acc = gamma[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * gamma[k - j];
+        }
+        let reflection = acc / err;
+        phi[k] = reflection;
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        err *= 1.0 - reflection * reflection;
+        if err <= 0.0 {
+            return Err(ArimaError::SingularSystem);
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Ok((phi, err))
+}
+
+/// Partial autocorrelation function at lags `1..=max_lag`, computed by
+/// running Levinson–Durbin at each order and taking the last coefficient.
+///
+/// # Errors
+///
+/// As [`levinson_durbin`] / [`autocovariance`].
+pub fn pacf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
+    let gamma = autocovariance(series, max_lag)?;
+    let mut out = Vec::with_capacity(max_lag);
+    for k in 1..=max_lag {
+        let (phi, _) = levinson_durbin(&gamma, k)?;
+        out.push(*phi.last().expect("order >= 1"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn simulate_ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![0.0; n];
+        for t in 1..n {
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            x[t] = phi * x[t - 1] + noise;
+        }
+        x
+    }
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let series = simulate_ar1(0.6, 500, 1);
+        let r = acf(&series, 5).unwrap();
+        assert_eq!(r[0], 1.0);
+        assert!(
+            r[1] > 0.3 && r[1] < 0.9,
+            "AR(1) φ=0.6 ⇒ ρ(1) ≈ 0.6, got {}",
+            r[1]
+        );
+    }
+
+    #[test]
+    fn acf_of_constant_series_fails() {
+        assert_eq!(acf(&[3.0; 50], 2), Err(ArimaError::SingularSystem));
+    }
+
+    #[test]
+    fn autocovariance_validates_input() {
+        assert!(matches!(
+            autocovariance(&[1.0, 2.0], 5),
+            Err(ArimaError::SeriesTooShort { .. })
+        ));
+        assert!(matches!(
+            autocovariance(&[1.0, f64::NAN, 2.0], 1),
+            Err(ArimaError::NonFiniteValue { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn levinson_durbin_recovers_ar1() {
+        // For AR(1) with coefficient φ, γ(k) = σ² φ^k / (1 − φ²).
+        let phi: f64 = 0.7;
+        let g0 = 1.0 / (1.0 - phi * phi);
+        let gamma: Vec<f64> = (0..4).map(|k| g0 * phi.powi(k)).collect();
+        let (coeffs, err) = levinson_durbin(&gamma, 1).unwrap();
+        assert!((coeffs[0] - phi).abs() < 1e-12);
+        assert!(
+            (err - 1.0).abs() < 1e-12,
+            "innovation variance should be σ² = 1, got {err}"
+        );
+    }
+
+    #[test]
+    fn levinson_durbin_ar2_from_theoretical_acov() {
+        // AR(2): x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + e. Yule-Walker gives the
+        // theoretical autocovariances; solve ρ1 = φ1/(1−φ2), etc.
+        let (p1, p2) = (0.5, 0.3);
+        let rho1 = p1 / (1.0 - p2);
+        let rho2 = p1 * rho1 + p2;
+        let rho3 = p1 * rho2 + p2 * rho1;
+        let gamma = vec![1.0, rho1, rho2, rho3];
+        let (coeffs, _) = levinson_durbin(&gamma, 2).unwrap();
+        assert!((coeffs[0] - p1).abs() < 1e-10, "phi1: {}", coeffs[0]);
+        assert!((coeffs[1] - p2).abs() < 1e-10, "phi2: {}", coeffs[1]);
+    }
+
+    #[test]
+    fn pacf_cuts_off_for_ar1() {
+        let series = simulate_ar1(0.6, 4000, 9);
+        let p = pacf(&series, 4).unwrap();
+        assert!(p[0] > 0.4, "lag-1 PACF should be near φ, got {}", p[0]);
+        for (lag, &v) in p.iter().enumerate().skip(1) {
+            assert!(
+                v.abs() < 0.15,
+                "PACF at lag {} should be near 0, got {v}",
+                lag + 1
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Residual diagnostics: the Ljung–Box portmanteau test.
+//!
+//! A detector built on ARIMA confidence intervals is only as honest as the
+//! model's residuals are white. The Ljung–Box statistic
+//!
+//! ```text
+//! Q = n(n+2) Σ_{k=1..h} ρ̂_k² / (n − k)
+//! ```
+//!
+//! is asymptotically χ²(h − m) under the null of uncorrelated residuals
+//! (with `m` fitted parameters); a small p-value means the model order is
+//! inadequate and the detector's interval widths are suspect. The χ² CDF
+//! is implemented via the regularised lower incomplete gamma function
+//! (series expansion for small arguments, continued fraction otherwise).
+
+use crate::acf::acf;
+use crate::error::ArimaError;
+
+/// Natural log of the gamma function (Lanczos approximation, |error|
+/// < 2e-10 for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula for the left half-plane.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut denom = a;
+        for _ in 0..500 {
+            denom += 1.0;
+            term *= x / denom;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x) = 1 − P(a, x) (Lentz's method).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// CDF of the χ² distribution with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi_squared_cdf(x: f64, k: usize) -> f64 {
+    assert!(k > 0, "degrees of freedom must be positive");
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Result of a Ljung–Box test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used (`lags − fitted_parameters`, at least 1).
+    pub degrees_of_freedom: usize,
+    /// Upper-tail p-value under the white-noise null.
+    pub p_value: f64,
+}
+
+impl LjungBox {
+    /// Whether the white-noise null is rejected at significance `alpha`.
+    pub fn rejects_whiteness(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the Ljung–Box test on `residuals` with autocorrelations up to
+/// `lags`, adjusting the degrees of freedom for `fitted_parameters`
+/// (the model's `p + q`).
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SeriesTooShort`] if `residuals.len() <= lags`
+/// and [`ArimaError::SingularSystem`] for zero-variance residuals.
+pub fn ljung_box(
+    residuals: &[f64],
+    lags: usize,
+    fitted_parameters: usize,
+) -> Result<LjungBox, ArimaError> {
+    let n = residuals.len();
+    if n <= lags || lags == 0 {
+        return Err(ArimaError::SeriesTooShort {
+            required: lags + 1,
+            available: n,
+        });
+    }
+    let rho = acf(residuals, lags)?;
+    let nf = n as f64;
+    let mut q = 0.0;
+    for (k, &r) in rho.iter().enumerate().take(lags + 1).skip(1) {
+        q += r * r / (nf - k as f64);
+    }
+    q *= nf * (nf + 2.0);
+    let dof = lags.saturating_sub(fitted_parameters).max(1);
+    let p_value = 1.0 - chi_squared_cdf(q, dof);
+    Ok(LjungBox {
+        statistic: q,
+        degrees_of_freedom: dof,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_squared_reference_values() {
+        // χ²(1): P(X <= 3.841) ≈ 0.95; χ²(10): P(X <= 18.307) ≈ 0.95.
+        assert!((chi_squared_cdf(3.841, 1) - 0.95).abs() < 1e-3);
+        assert!((chi_squared_cdf(18.307, 10) - 0.95).abs() < 1e-3);
+        assert_eq!(chi_squared_cdf(0.0, 3), 0.0);
+        assert!(chi_squared_cdf(1e3, 3) > 0.999999);
+    }
+
+    #[test]
+    fn gamma_p_is_monotone_and_bounded() {
+        let mut last = 0.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.5;
+            let p = gamma_p(2.5, x);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_passes() {
+        let residuals = white_noise(2000, 3);
+        let result = ljung_box(&residuals, 20, 0).unwrap();
+        assert!(
+            !result.rejects_whiteness(0.01),
+            "white noise should not be rejected: p = {}",
+            result.p_value
+        );
+    }
+
+    #[test]
+    fn autocorrelated_residuals_fail() {
+        // AR(1) "residuals" are decidedly not white.
+        let noise = white_noise(2000, 5);
+        let mut x = vec![0.0; noise.len()];
+        for t in 1..x.len() {
+            x[t] = 0.7 * x[t - 1] + noise[t];
+        }
+        let result = ljung_box(&x, 20, 0).unwrap();
+        assert!(
+            result.rejects_whiteness(0.001),
+            "AR(1) series must fail whiteness: p = {}",
+            result.p_value
+        );
+    }
+
+    #[test]
+    fn well_specified_model_leaves_white_residuals() {
+        // Fit AR(1) to AR(1) data: the fitted residuals pass Ljung-Box.
+        use crate::fit::fit_ar;
+        let noise = white_noise(3000, 7);
+        let mut x = vec![0.0; noise.len()];
+        for t in 1..x.len() {
+            x[t] = 0.6 * x[t - 1] + noise[t];
+        }
+        let params = fit_ar(&x, 1).unwrap();
+        let result = ljung_box(&params.residuals, 20, 1).unwrap();
+        assert!(
+            !result.rejects_whiteness(0.01),
+            "a well-specified model's residuals should pass: p = {}",
+            result.p_value
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ljung_box(&[1.0, 2.0], 5, 0).is_err());
+        assert!(ljung_box(&[1.0; 100], 0, 0).is_err());
+        assert!(
+            ljung_box(&[1.0; 100], 5, 0).is_err(),
+            "constant residuals are degenerate"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Differencing and integration — the "I" of ARIMA.
+
+/// Seasonal differencing at lag `s`: replaces the series by
+/// `x_t − x_{t−s}`, shortening it by `s`. With `s == 1` this is ordinary
+/// first differencing.
+///
+/// Returns an empty vector if the series has `s` or fewer observations or
+/// if `s == 0`.
+pub fn seasonal_difference(series: &[f64], s: usize) -> Vec<f64> {
+    if s == 0 || series.len() <= s {
+        return Vec::new();
+    }
+    (s..series.len())
+        .map(|t| series[t] - series[t - s])
+        .collect()
+}
+
+/// Inverts one level of seasonal differencing: given the last `s` values
+/// `tail` of the undifferenced series and the seasonal differences that
+/// follow, reconstructs the continuation.
+///
+/// # Panics
+///
+/// Panics if `tail` is empty.
+pub fn seasonal_undifference_step(diffs: &[f64], tail: &[f64]) -> Vec<f64> {
+    assert!(!tail.is_empty(), "need the last s undifferenced values");
+    let mut history: Vec<f64> = tail.to_vec();
+    let mut out = Vec::with_capacity(diffs.len());
+    for (i, &d) in diffs.iter().enumerate() {
+        let value = history[i] + d;
+        history.push(value);
+        out.push(value);
+    }
+    out
+}
+
+/// Applies `d`-th order differencing: each pass replaces the series by its
+/// first differences, shortening it by one.
+///
+/// Returns an empty vector if the series has fewer than `d + 1`
+/// observations.
+pub fn difference(series: &[f64], d: usize) -> Vec<f64> {
+    let mut current = series.to_vec();
+    for _ in 0..d {
+        if current.len() < 2 {
+            return Vec::new();
+        }
+        current = current.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    current
+}
+
+/// Inverts one level of differencing given the last observed value at the
+/// less-differenced level: a running cumulative sum seeded with `last`.
+///
+/// If `diffs = difference(x, 1)[k..]` and `last = x[k]`, this reconstructs
+/// `x[k+1..]`.
+pub fn undifference_step(diffs: &[f64], last: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(diffs.len());
+    let mut acc = last;
+    for &d in diffs {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+/// Forecast integration: converts a forecast made at differencing level `d`
+/// back to the original level, given the tail of the original series.
+///
+/// For one-step forecasting this is `forecast_d + Σ` of the relevant lags;
+/// concretely, iteratively add back the last value at each level.
+///
+/// # Panics
+///
+/// Panics if `history` has fewer than `d` observations.
+pub fn integrate_forecast(forecast_at_level_d: f64, history: &[f64], d: usize) -> f64 {
+    assert!(
+        history.len() >= d,
+        "need at least d={d} history values to integrate"
+    );
+    // Build the last value of each differencing level from 0..d, then add
+    // them: x̂(1 at level 0) = ŷ + last(level d−1) + ... + last(level 0).
+    let mut value = forecast_at_level_d;
+    let mut level = history.to_vec();
+    let mut lasts = Vec::with_capacity(d);
+    for _ in 0..d {
+        lasts.push(*level.last().expect("checked length"));
+        level = difference(&level, 1);
+    }
+    for last in lasts.into_iter().rev() {
+        value += last;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasonal_difference_at_lag() {
+        let x = [1.0, 2.0, 3.0, 2.0, 3.0, 4.0];
+        // lag 3: x[t] - x[t-3] = [1, 1, 1].
+        assert_eq!(seasonal_difference(&x, 3), vec![1.0, 1.0, 1.0]);
+        // lag 1 coincides with first differencing.
+        assert_eq!(seasonal_difference(&x, 1), difference(&x, 1));
+        assert_eq!(seasonal_difference(&x, 6), Vec::<f64>::new());
+        assert_eq!(seasonal_difference(&x, 0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn seasonal_roundtrip() {
+        let x = [1.0, 2.0, 3.0, 2.5, 3.5, 4.5, 4.0, 5.0, 6.0];
+        let s = 3;
+        let d = seasonal_difference(&x, s);
+        let restored = seasonal_undifference_step(&d, &x[..s]);
+        for (a, b) in restored.iter().zip(&x[s..]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_difference() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 1), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn second_difference() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_difference_is_identity() {
+        assert_eq!(difference(&[5.0, 7.0], 0), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn short_series_empties() {
+        assert_eq!(difference(&[1.0], 1), Vec::<f64>::new());
+        assert_eq!(difference(&[1.0, 2.0], 2), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn undifference_inverts_difference() {
+        let x = [2.0, 5.0, 4.0, 9.0, 9.5];
+        let d = difference(&x, 1);
+        let restored = undifference_step(&d, x[0]);
+        for (a, b) in restored.iter().zip(&x[1..]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integrate_forecast_level_1() {
+        // Series 1, 3, 6: diffs are 2, 3. A forecast of 4 at level 1 means
+        // the next original value is 6 + 4 = 10.
+        let forecast = integrate_forecast(4.0, &[1.0, 3.0, 6.0], 1);
+        assert!((forecast - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_forecast_level_2() {
+        // x = 1, 3, 6, 10 (d1 = 2, 3, 4; d2 = 1, 1). Forecast 1 at level 2
+        // → next d1 = 4 + 1 = 5 → next x = 10 + 5 = 15.
+        let forecast = integrate_forecast(1.0, &[1.0, 3.0, 6.0, 10.0], 2);
+        assert!((forecast - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_forecast_level_0_is_identity() {
+        assert_eq!(integrate_forecast(7.0, &[1.0], 0), 7.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for ARIMA fitting and forecasting.
+
+use std::fmt;
+
+/// Errors produced while specifying, fitting, or using an ARIMA model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArimaError {
+    /// The requested order is unusable (e.g. `p == 0 && q == 0 && d == 0`
+    /// would model white noise only, or an order is absurdly large).
+    InvalidOrder {
+        /// AR order requested.
+        p: usize,
+        /// Differencing order requested.
+        d: usize,
+        /// MA order requested.
+        q: usize,
+    },
+    /// The series is too short to estimate the requested model.
+    SeriesTooShort {
+        /// Observations needed.
+        required: usize,
+        /// Observations provided.
+        available: usize,
+    },
+    /// The series contains a NaN or infinite value.
+    NonFiniteValue {
+        /// Index of the offending observation.
+        index: usize,
+    },
+    /// The normal equations were singular (e.g. a constant series with no
+    /// variance cannot identify AR coefficients).
+    SingularSystem,
+}
+
+impl fmt::Display for ArimaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArimaError::InvalidOrder { p, d, q } => {
+                write!(f, "invalid arima order ({p}, {d}, {q})")
+            }
+            ArimaError::SeriesTooShort {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "series too short: need {required} observations, have {available}"
+                )
+            }
+            ArimaError::NonFiniteValue { index } => {
+                write!(f, "non-finite value in series at index {index}")
+            }
+            ArimaError::SingularSystem => {
+                write!(f, "normal equations are singular; series may be constant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArimaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ArimaError::InvalidOrder { p: 0, d: 0, q: 0 }
+            .to_string()
+            .contains("(0, 0, 0)"));
+        assert!(ArimaError::SeriesTooShort {
+            required: 10,
+            available: 2
+        }
+        .to_string()
+        .contains("need 10"));
+        assert!(ArimaError::NonFiniteValue { index: 3 }
+            .to_string()
+            .contains("index 3"));
+        assert!(!ArimaError::SingularSystem.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArimaError>();
+    }
+}

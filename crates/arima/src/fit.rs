@@ -1,0 +1,358 @@
+//! Parameter estimation: OLS autoregression and Hannan–Rissanen.
+
+use crate::acf::{autocovariance, levinson_durbin};
+use crate::error::ArimaError;
+use crate::linalg::least_squares;
+
+/// Estimated ARMA parameters on a (possibly differenced) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedParams {
+    /// Intercept `c` of `w_t = c + Σ φ_i w_{t-i} + Σ θ_j e_{t-j} + e_t`.
+    pub intercept: f64,
+    /// AR coefficients `φ_1..φ_p`.
+    pub phi: Vec<f64>,
+    /// MA coefficients `θ_1..θ_q`.
+    pub theta: Vec<f64>,
+    /// Innovation variance `σ²` (from the final regression residuals).
+    pub sigma2: f64,
+    /// In-sample one-step residuals aligned to the tail of the series.
+    pub residuals: Vec<f64>,
+}
+
+fn check_finite(series: &[f64]) -> Result<(), ArimaError> {
+    for (i, &v) in series.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(ArimaError::NonFiniteValue { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// A series with (numerically) zero variance cannot identify AR/MA
+/// coefficients; surface this as a singular system rather than letting the
+/// ridge-regularised solver return an arbitrary split.
+fn check_nondegenerate(series: &[f64]) -> Result<(), ArimaError> {
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let scale = series.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+    if var <= scale * scale * 1e-20 {
+        return Err(ArimaError::SingularSystem);
+    }
+    Ok(())
+}
+
+/// One-step conditional residual variance of an ARMA recursion with the
+/// given coefficients on `series` (zero-initialised innovations, first
+/// `max(p, q)` observations used as warmup). Used to recompute `σ²` after
+/// coefficient guards have modified the fitted parameters — the variance
+/// must describe the recursion actually used for forecasting.
+pub fn conditional_sigma2(series: &[f64], intercept: f64, phi: &[f64], theta: &[f64]) -> f64 {
+    let start = phi.len().max(theta.len());
+    if series.len() <= start {
+        return 0.0;
+    }
+    let mut errs = vec![0.0; series.len()];
+    let mut sum_sq = 0.0;
+    for t in start..series.len() {
+        let mut pred = intercept;
+        for (lag, coeff) in phi.iter().enumerate() {
+            pred += coeff * series[t - 1 - lag];
+        }
+        for (lag, coeff) in theta.iter().enumerate() {
+            pred += coeff * errs[t - 1 - lag];
+        }
+        let resid = series[t] - pred;
+        errs[t] = resid;
+        sum_sq += resid * resid;
+    }
+    sum_sq / (series.len() - start) as f64
+}
+
+/// Fits a pure AR(p) model by OLS on lagged values (conditional least
+/// squares). With `p == 0` this reduces to estimating a mean and variance.
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SeriesTooShort`] if fewer than `p + 2`
+/// observations remain after lagging, [`ArimaError::NonFiniteValue`] on
+/// NaN/inf, and [`ArimaError::SingularSystem`] for degenerate designs.
+pub fn fit_ar(series: &[f64], p: usize) -> Result<FittedParams, ArimaError> {
+    check_finite(series)?;
+    let n = series.len();
+    if n < p + 2 {
+        return Err(ArimaError::SeriesTooShort {
+            required: p + 2,
+            available: n,
+        });
+    }
+    if p > 0 {
+        check_nondegenerate(series)?;
+    }
+    if p == 0 {
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let residuals: Vec<f64> = series.iter().map(|v| v - mean).collect();
+        let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / n as f64;
+        return Ok(FittedParams {
+            intercept: mean,
+            phi: vec![],
+            theta: vec![],
+            sigma2,
+            residuals,
+        });
+    }
+    // Design: row t has [1, w_{t-1}, ..., w_{t-p}] predicting w_t.
+    let rows = n - p;
+    let cols = p + 1;
+    let mut design = Vec::with_capacity(rows * cols);
+    let mut target = Vec::with_capacity(rows);
+    for t in p..n {
+        design.push(1.0);
+        for lag in 1..=p {
+            design.push(series[t - lag]);
+        }
+        target.push(series[t]);
+    }
+    let beta = least_squares(&design, &target, cols)?;
+    let intercept = beta[0];
+    let phi = beta[1..].to_vec();
+    let mut residuals = Vec::with_capacity(rows);
+    for t in p..n {
+        let mut pred = intercept;
+        for (lag, coeff) in phi.iter().enumerate() {
+            pred += coeff * series[t - 1 - lag];
+        }
+        residuals.push(series[t] - pred);
+    }
+    let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
+    Ok(FittedParams {
+        intercept,
+        phi,
+        theta: vec![],
+        sigma2,
+        residuals,
+    })
+}
+
+/// Fits an ARMA(p, q) model via the Hannan–Rissanen procedure:
+///
+/// 1. fit a long AR(m) (Yule–Walker via Levinson–Durbin) to estimate the
+///    innovation sequence;
+/// 2. regress `w_t` on `p` lags of `w` and `q` lags of the estimated
+///    innovations by OLS.
+///
+/// With `q == 0` this delegates to [`fit_ar`].
+///
+/// # Errors
+///
+/// As [`fit_ar`], with the length requirement growing with the long-AR
+/// order `m = max(p + q, ⌈log(n)⌉·2)` capped at `n / 4`.
+pub fn hannan_rissanen(series: &[f64], p: usize, q: usize) -> Result<FittedParams, ArimaError> {
+    if q == 0 {
+        return fit_ar(series, p);
+    }
+    check_finite(series)?;
+    check_nondegenerate(series)?;
+    let n = series.len();
+    let min_len = (p + q + 2).max(20);
+    if n < min_len {
+        return Err(ArimaError::SeriesTooShort {
+            required: min_len,
+            available: n,
+        });
+    }
+
+    // Stage 1: long autoregression on the mean-adjusted series.
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = series.iter().map(|v| v - mean).collect();
+    let long_order = ((n as f64).ln().ceil() as usize * 2)
+        .max(p + q)
+        .min(n / 4)
+        .max(1);
+    let gamma = autocovariance(&centered, long_order)?;
+    let (long_phi, _) = levinson_durbin(&gamma, long_order)?;
+    // Innovations from the long AR (zero-padded warmup).
+    let mut innovations = vec![0.0; n];
+    for t in long_order..n {
+        let mut pred = 0.0;
+        for (lag, coeff) in long_phi.iter().enumerate() {
+            pred += coeff * centered[t - 1 - lag];
+        }
+        innovations[t] = centered[t] - pred;
+    }
+
+    // Stage 2: OLS of w_t on [1, w lags, e lags].
+    let start = long_order.max(p).max(q);
+    let rows = n - start;
+    let cols = 1 + p + q;
+    if rows < cols + 1 {
+        return Err(ArimaError::SeriesTooShort {
+            required: start + cols + 1,
+            available: n,
+        });
+    }
+    let mut design = Vec::with_capacity(rows * cols);
+    let mut target = Vec::with_capacity(rows);
+    for t in start..n {
+        design.push(1.0);
+        for lag in 1..=p {
+            design.push(series[t - lag]);
+        }
+        for lag in 1..=q {
+            design.push(innovations[t - lag]);
+        }
+        target.push(series[t]);
+    }
+    let beta = least_squares(&design, &target, cols)?;
+    let intercept = beta[0];
+    let phi = beta[1..1 + p].to_vec();
+    let theta = beta[1 + p..].to_vec();
+
+    // Final residuals with the fitted ARMA recursion (conditional on
+    // estimated innovations for warmup).
+    let mut residuals = Vec::with_capacity(rows);
+    let mut errs = innovations.clone();
+    for t in start..n {
+        let mut pred = intercept;
+        for (lag, coeff) in phi.iter().enumerate() {
+            pred += coeff * series[t - 1 - lag];
+        }
+        for (lag, coeff) in theta.iter().enumerate() {
+            pred += coeff * errs[t - 1 - lag];
+        }
+        let resid = series[t] - pred;
+        errs[t] = resid;
+        residuals.push(resid);
+    }
+    let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
+    Ok(FittedParams {
+        intercept,
+        phi,
+        theta,
+        sigma2,
+        residuals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_ish(rng: &mut StdRng) -> f64 {
+        // Sum of uniforms (Irwin-Hall) ≈ normal; adequate for recovery tests.
+        (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0
+    }
+
+    fn simulate_arma(phi: &[f64], theta: &[f64], c: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let warmup = 200;
+        let total = n + warmup;
+        let mut x = vec![0.0; total];
+        let mut e = vec![0.0; total];
+        for t in phi.len().max(theta.len())..total {
+            let noise = gaussian_ish(&mut rng);
+            let mut v = c + noise;
+            for (lag, p) in phi.iter().enumerate() {
+                v += p * x[t - 1 - lag];
+            }
+            for (lag, q) in theta.iter().enumerate() {
+                v += q * e[t - 1 - lag];
+            }
+            x[t] = v;
+            e[t] = noise;
+        }
+        x[warmup..].to_vec()
+    }
+
+    #[test]
+    fn ar0_estimates_mean_and_variance() {
+        let series = vec![1.0, 2.0, 3.0, 4.0];
+        let fit = fit_ar(&series, 0).unwrap();
+        assert!((fit.intercept - 2.5).abs() < 1e-12);
+        assert!((fit.sigma2 - 1.25).abs() < 1e-12);
+        assert!(fit.phi.is_empty() && fit.theta.is_empty());
+    }
+
+    #[test]
+    fn ar1_recovery() {
+        let series = simulate_arma(&[0.7], &[], 1.0, 3000, 11);
+        let fit = fit_ar(&series, 1).unwrap();
+        assert!((fit.phi[0] - 0.7).abs() < 0.05, "phi = {}", fit.phi[0]);
+        // Intercept of AR(1) with c=1: estimated directly.
+        assert!((fit.intercept - 1.0).abs() < 0.2, "c = {}", fit.intercept);
+        assert!((fit.sigma2 - 1.0).abs() < 0.15, "sigma2 = {}", fit.sigma2);
+    }
+
+    #[test]
+    fn ar2_recovery() {
+        let series = simulate_arma(&[0.5, 0.3], &[], 0.0, 5000, 13);
+        let fit = fit_ar(&series, 2).unwrap();
+        assert!((fit.phi[0] - 0.5).abs() < 0.06, "phi1 = {}", fit.phi[0]);
+        assert!((fit.phi[1] - 0.3).abs() < 0.06, "phi2 = {}", fit.phi[1]);
+    }
+
+    #[test]
+    fn ma1_recovery_via_hannan_rissanen() {
+        let series = simulate_arma(&[], &[0.6], 0.0, 8000, 17);
+        let fit = hannan_rissanen(&series, 0, 1).unwrap();
+        assert!(
+            (fit.theta[0] - 0.6).abs() < 0.08,
+            "theta = {}",
+            fit.theta[0]
+        );
+    }
+
+    #[test]
+    fn arma11_recovery() {
+        let series = simulate_arma(&[0.5], &[0.4], 0.0, 8000, 23);
+        let fit = hannan_rissanen(&series, 1, 1).unwrap();
+        assert!((fit.phi[0] - 0.5).abs() < 0.1, "phi = {}", fit.phi[0]);
+        assert!(
+            (fit.theta[0] - 0.4).abs() < 0.12,
+            "theta = {}",
+            fit.theta[0]
+        );
+    }
+
+    #[test]
+    fn residual_variance_is_positive_and_sane() {
+        let series = simulate_arma(&[0.5], &[0.4], 2.0, 2000, 29);
+        let fit = hannan_rissanen(&series, 1, 1).unwrap();
+        assert!(
+            fit.sigma2 > 0.5 && fit.sigma2 < 2.0,
+            "sigma2 = {}",
+            fit.sigma2
+        );
+        assert!(!fit.residuals.is_empty());
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        assert!(matches!(
+            fit_ar(&[1.0, 2.0], 3),
+            Err(ArimaError::SeriesTooShort { .. })
+        ));
+        let short: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        assert!(matches!(
+            hannan_rissanen(&short, 1, 1),
+            Err(ArimaError::SeriesTooShort { .. })
+        ));
+        // A constant series is degenerate regardless of length.
+        assert_eq!(
+            hannan_rissanen(&[1.0; 100], 1, 1),
+            Err(ArimaError::SingularSystem)
+        );
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut series = vec![1.0; 100];
+        series[50] = f64::NAN;
+        assert!(matches!(
+            fit_ar(&series, 1),
+            Err(ArimaError::NonFiniteValue { index: 50 })
+        ));
+    }
+}

@@ -1,0 +1,163 @@
+//! Small dense linear algebra: just enough to solve least-squares normal
+//! equations for ARIMA fitting. Kept private-ish (public for reuse by the
+//! fitting code and tests) and deliberately simple — systems here are at
+//! most a few dozen unknowns.
+
+use crate::error::ArimaError;
+
+/// Solves `A x = b` for square `A` (row-major, `n × n`) by Gaussian
+/// elimination with partial pivoting. `A` and `b` are consumed as working
+/// storage.
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SingularSystem`] if a pivot is (numerically) zero.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    for col in 0..n {
+        // Partial pivot: find the largest |entry| in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(ArimaError::SingularSystem);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: finds `beta` minimising `‖y − X·beta‖²` where
+/// `X` is `rows × cols` in row-major order, by solving the normal equations
+/// `XᵀX beta = Xᵀy` with a small ridge term for numerical robustness.
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SingularSystem`] if `XᵀX` is singular even after
+/// ridge regularisation (e.g. a zero design matrix).
+pub fn least_squares(x: &[f64], y: &[f64], cols: usize) -> Result<Vec<f64>, ArimaError> {
+    let rows = y.len();
+    assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
+    if rows < cols {
+        return Err(ArimaError::SeriesTooShort {
+            required: cols,
+            available: rows,
+        });
+    }
+    // Normal equations.
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+    }
+    // Tiny ridge proportional to the diagonal scale: stabilises the nearly
+    // collinear designs that arise from strongly periodic load data.
+    let scale = (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max);
+    let ridge = scale.max(1.0) * 1e-10;
+    for i in 0..cols {
+        xtx[i * cols + i] += ridge;
+    }
+    solve(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve(a, b).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![7.0, 9.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve(a, b), Err(ArimaError::SingularSystem));
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2 + 3x with exact data.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let design: Vec<f64> = xs.iter().flat_map(|&x| [1.0, x]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let beta = least_squares(&design, &y, 2).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_errors() {
+        let design = vec![1.0, 2.0];
+        let y = vec![1.0];
+        assert!(least_squares(&design, &y, 2).is_err());
+    }
+}

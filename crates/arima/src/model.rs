@@ -1,0 +1,653 @@
+//! The fitted ARIMA model and the online forecaster.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::truncnorm::norm_quantile;
+
+use crate::diff::difference;
+use crate::error::ArimaError;
+use crate::fit::{hannan_rissanen, FittedParams};
+
+/// An ARIMA order specification `(p, d, q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArimaSpec {
+    p: usize,
+    d: usize,
+    q: usize,
+}
+
+impl ArimaSpec {
+    /// Maximum accepted value for any single order component; guards
+    /// against accidental `p = 10_000`-style requests.
+    pub const MAX_ORDER: usize = 64;
+
+    /// Creates a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArimaError::InvalidOrder`] when `p == 0 && q == 0 && d == 0`
+    /// (pure white noise — use [`ArimaSpec::new(0, 0, 0)`]-free mean models
+    /// instead) or when any component exceeds [`Self::MAX_ORDER`].
+    pub fn new(p: usize, d: usize, q: usize) -> Result<Self, ArimaError> {
+        if (p == 0 && d == 0 && q == 0)
+            || p > Self::MAX_ORDER
+            || d > Self::MAX_ORDER
+            || q > Self::MAX_ORDER
+        {
+            return Err(ArimaError::InvalidOrder { p, d, q });
+        }
+        Ok(Self { p, d, q })
+    }
+
+    /// AR order.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Differencing order.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// MA order.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Total number of estimated coefficients (intercept + p + q), used by
+    /// AIC.
+    pub fn parameter_count(&self) -> usize {
+        1 + self.p + self.q
+    }
+}
+
+impl std::fmt::Display for ArimaSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ARIMA({}, {}, {})", self.p, self.d, self.q)
+    }
+}
+
+/// A fitted ARIMA model: order, coefficients, and innovation variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArimaModel {
+    spec: ArimaSpec,
+    intercept: f64,
+    phi: Vec<f64>,
+    theta: Vec<f64>,
+    sigma2: f64,
+}
+
+impl ArimaModel {
+    /// Fits the model to `series` by differencing `d` times and running
+    /// Hannan–Rissanen (or conditional OLS for pure AR) on the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors: series too short after differencing,
+    /// non-finite values, or a singular design (e.g. constant series).
+    pub fn fit(series: &[f64], spec: ArimaSpec) -> Result<Self, ArimaError> {
+        let w = difference(series, spec.d);
+        let params: FittedParams = hannan_rissanen(&w, spec.p, spec.q)?;
+        // Invertibility guard: the online forecaster recursion
+        // `e_t = w_t − pred_t` feeds past innovations through θ, so a
+        // non-invertible MA (Σ|θ| ≥ 1, which Hannan–Rissanen can produce on
+        // misspecified data) would diverge when fed out-of-regime readings
+        // — precisely what attack injections do. Shrink θ into the
+        // invertible region; the forecast bias this introduces is absorbed
+        // by the innovation variance.
+        let mut theta = params.theta;
+        let theta_norm: f64 = theta.iter().map(|t| t.abs()).sum();
+        if theta_norm >= 0.95 {
+            let shrink = 0.95 / theta_norm;
+            for t in &mut theta {
+                *t *= shrink;
+            }
+        }
+        // Stationarity guard, for the same reason: Σ|φ| < 1 is a sufficient
+        // stationarity condition, and an explosive AR estimate (possible on
+        // short or strongly periodic histories) would let a boundary-riding
+        // input sequence drive the poisoned forecast to infinity within a
+        // week. The bias this adds to strongly persistent fits is absorbed
+        // by the intercept re-centering below.
+        let mut phi = params.phi;
+        let mut intercept = params.intercept;
+        let phi_norm: f64 = phi.iter().map(|p| p.abs()).sum();
+        if phi_norm >= 0.98 {
+            let shrink = 0.98 / phi_norm;
+            // Keep the unconditional mean μ = c / (1 − Σφ) unchanged while
+            // shrinking: recompute the intercept for the new coefficients.
+            let old_sum: f64 = phi.iter().sum();
+            let mu = if (1.0 - old_sum).abs() > 1e-9 {
+                intercept / (1.0 - old_sum)
+            } else {
+                intercept
+            };
+            for p in &mut phi {
+                *p *= shrink;
+            }
+            let new_sum: f64 = phi.iter().sum();
+            intercept = mu * (1.0 - new_sum);
+        }
+        // Recompute the innovation variance with the *guarded* recursion:
+        // the raw Hannan-Rissanen residual variance can be infinite when
+        // the unguarded θ was non-invertible, and the confidence intervals
+        // must describe the recursion the forecaster actually runs.
+        let sigma2 = crate::fit::conditional_sigma2(&w, intercept, &phi, &theta);
+        if !sigma2.is_finite() {
+            return Err(ArimaError::SingularSystem);
+        }
+        Ok(Self {
+            spec,
+            intercept,
+            phi,
+            theta,
+            sigma2: sigma2.max(1e-12),
+        })
+    }
+
+    /// The model's order specification.
+    pub fn spec(&self) -> ArimaSpec {
+        self.spec
+    }
+
+    /// Intercept of the differenced-series regression.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// AR coefficients.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// MA coefficients.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Innovation variance.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// ψ-weights of the model's MA(∞) representation up to `horizon`
+    /// terms, including the differencing operator: with
+    /// `φ*(B) = φ(B)(1 − B)^d`, the weights satisfy `ψ_0 = 1` and
+    /// `ψ_j = θ_j + Σ_i φ*_i ψ_{j−i}`. The `h`-step forecast variance is
+    /// `σ² Σ_{j<h} ψ_j²`.
+    pub fn psi_weights(&self, horizon: usize) -> Vec<f64> {
+        // Combined AR polynomial: φ(B)·(1 − B)^d, as coefficients of
+        // B^1..B^(p+d) on the right-hand side of the recursion.
+        // Start from (1 − B)^d.
+        let mut poly = vec![1.0]; // coefficients of the *operator*, B^0 first
+        for _ in 0..self.spec.d {
+            let mut next = vec![0.0; poly.len() + 1];
+            for (i, &c) in poly.iter().enumerate() {
+                next[i] += c;
+                next[i + 1] -= c;
+            }
+            poly = next;
+        }
+        // Multiply by φ(B) = 1 − φ_1 B − ... − φ_p B^p.
+        let mut phi_poly = vec![1.0];
+        phi_poly.extend(self.phi.iter().map(|p| -p));
+        let mut combined = vec![0.0; poly.len() + phi_poly.len() - 1];
+        for (i, &a) in poly.iter().enumerate() {
+            for (j, &b) in phi_poly.iter().enumerate() {
+                combined[i + j] += a * b;
+            }
+        }
+        // Recursion coefficients a_i = −combined[i] (combined[0] == 1).
+        let a: Vec<f64> = combined.iter().skip(1).map(|c| -c).collect();
+        let mut psi = vec![0.0; horizon.max(1)];
+        psi[0] = 1.0;
+        for j in 1..psi.len() {
+            let mut value = if j <= self.theta.len() {
+                self.theta[j - 1]
+            } else {
+                0.0
+            };
+            for (i, &ai) in a.iter().enumerate() {
+                if j > i {
+                    value += ai * psi[j - 1 - i];
+                }
+            }
+            psi[j] = value;
+        }
+        psi
+    }
+
+    /// Creates an online [`Forecaster`] seeded with `history` (original,
+    /// undifferenced scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArimaError::SeriesTooShort`] if `history` has fewer than
+    /// `p + d + q + 1` observations.
+    pub fn forecaster(&self, history: &[f64]) -> Result<Forecaster, ArimaError> {
+        let needed = self.spec.p + self.spec.d + self.spec.q + 1;
+        if history.len() < needed {
+            return Err(ArimaError::SeriesTooShort {
+                required: needed,
+                available: history.len(),
+            });
+        }
+        let mut fc = Forecaster {
+            model: self.clone(),
+            history: Vec::new(),
+            w_history: Vec::new(),
+            residuals: vec![0.0; self.spec.q.max(1)],
+        };
+        // Seed by observing the history one value at a time so residual
+        // state is consistent with online operation.
+        for &v in history {
+            fc.observe(v);
+        }
+        Ok(fc)
+    }
+}
+
+/// A one-step-ahead forecast with a symmetric Gaussian confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Forecast {
+    /// Point forecast (conditional mean).
+    pub mean: f64,
+    /// Lower bound of the confidence interval.
+    pub lower: f64,
+    /// Upper bound of the confidence interval.
+    pub upper: f64,
+    /// Forecast standard deviation.
+    pub sigma: f64,
+}
+
+impl Forecast {
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+/// Online one-step forecaster.
+///
+/// Holds the recent original-scale history, the differenced history, and
+/// the recent innovations; each [`observe`](Forecaster::observe) appends a
+/// reading (computing its innovation against the pre-observation
+/// forecast), and [`forecast`](Forecaster::forecast) predicts the next
+/// reading. Observing **reported** readings — including injected attack
+/// vectors — is exactly the model poisoning the paper describes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Forecaster {
+    model: ArimaModel,
+    /// Original-scale history (bounded to what integration needs).
+    history: Vec<f64>,
+    /// Differenced-scale history (bounded to what the AR part needs).
+    w_history: Vec<f64>,
+    /// Recent innovations, newest last (length ≥ q).
+    residuals: Vec<f64>,
+}
+
+impl Forecaster {
+    /// Point forecast of the next *differenced* value from current state.
+    fn predict_w(&self) -> f64 {
+        let m = &self.model;
+        let mut pred = m.intercept;
+        for (lag, coeff) in m.phi.iter().enumerate() {
+            if let Some(&w) = self
+                .w_history
+                .get(self.w_history.len().wrapping_sub(1 + lag))
+            {
+                pred += coeff * w;
+            }
+        }
+        for (lag, coeff) in m.theta.iter().enumerate() {
+            if let Some(&e) = self
+                .residuals
+                .get(self.residuals.len().wrapping_sub(1 + lag))
+            {
+                pred += coeff * e;
+            }
+        }
+        pred
+    }
+
+    /// Whether enough history has accumulated to produce differenced values.
+    fn warm(&self) -> bool {
+        self.history.len() > self.model.spec.d
+    }
+
+    /// One-step-ahead forecast of the next original-scale reading with a
+    /// two-sided confidence interval at `confidence` (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn forecast(&self, confidence: f64) -> Forecast {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        let z = norm_quantile(0.5 + confidence / 2.0);
+        let sigma = self.model.sigma2.sqrt();
+        let w_hat = self.predict_w();
+        // Integrate back to the original scale.
+        let mean = if self.model.spec.d == 0 {
+            w_hat
+        } else {
+            crate::diff::integrate_forecast(w_hat, &self.history, self.model.spec.d)
+        };
+        Forecast {
+            mean,
+            lower: mean - z * sigma,
+            upper: mean + z * sigma,
+            sigma,
+        }
+    }
+
+    /// Records an observed (reported) reading, updating the innovation
+    /// state. Returns the innovation (observed − predicted) on the
+    /// differenced scale, or `None` during the differencing warmup.
+    pub fn observe(&mut self, value: f64) -> Option<f64> {
+        let d = self.model.spec.d;
+        let innovation = if self.warm() {
+            // New differenced value from the original-scale tail.
+            let mut tail = self.history[self.history.len() - d..].to_vec();
+            tail.push(value);
+            let w_new = *difference(&tail, d)
+                .last()
+                .expect("warm implies enough history");
+            let resid = w_new - self.predict_w();
+            self.w_history.push(w_new);
+            self.residuals.push(resid);
+            Some(resid)
+        } else {
+            None
+        };
+        self.history.push(value);
+        // Bound buffer growth: keep only what the model can look back at.
+        let keep_w = self.model.spec.p.max(1) + 1;
+        if self.w_history.len() > 4 * keep_w {
+            self.w_history.drain(0..self.w_history.len() - keep_w);
+        }
+        let keep_e = self.model.spec.q.max(1) + 1;
+        if self.residuals.len() > 4 * keep_e {
+            self.residuals.drain(0..self.residuals.len() - keep_e);
+        }
+        let keep_h = d + 2;
+        if self.history.len() > 4 * keep_h.max(8) {
+            self.history.drain(0..self.history.len() - keep_h.max(8));
+        }
+        innovation
+    }
+
+    /// The model driving this forecaster.
+    pub fn model(&self) -> &ArimaModel {
+        &self.model
+    }
+
+    /// Forecasts `horizon` steps ahead from the current state, with
+    /// per-step confidence intervals whose variance grows with the
+    /// ψ-weights (`σ_h² = σ² Σ_{j<h} ψ_j²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)` or `horizon == 0`.
+    pub fn forecast_horizon(&self, horizon: usize, confidence: f64) -> Vec<Forecast> {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        let z = norm_quantile(0.5 + confidence / 2.0);
+        let psi = self.model.psi_weights(horizon);
+        let sigma = self.model.sigma2.sqrt();
+        let mut walker = self.clone();
+        let mut out = Vec::with_capacity(horizon);
+        let mut var_acc = 0.0;
+        for &psi_h in psi.iter().take(horizon) {
+            var_acc += psi_h * psi_h;
+            let step_sigma = sigma * var_acc.sqrt();
+            let point = walker.forecast(confidence).mean;
+            out.push(Forecast {
+                mean: point,
+                lower: point - z * step_sigma,
+                upper: point + z * step_sigma,
+                sigma: step_sigma,
+            });
+            // Conditional expectation path: future innovations are zero,
+            // which observing the point forecast realises exactly.
+            walker.observe(point);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn simulate_ar1(phi: f64, c: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![c / (1.0 - phi); n];
+        for t in 1..n {
+            let noise: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            x[t] = c + phi * x[t - 1] + noise;
+        }
+        x
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ArimaSpec::new(0, 0, 0).is_err());
+        assert!(ArimaSpec::new(65, 0, 0).is_err());
+        let s = ArimaSpec::new(2, 1, 1).unwrap();
+        assert_eq!((s.p(), s.d(), s.q()), (2, 1, 1));
+        assert_eq!(s.parameter_count(), 4);
+        assert_eq!(s.to_string(), "ARIMA(2, 1, 1)");
+    }
+
+    #[test]
+    fn fit_and_forecast_ar1() {
+        let series = simulate_ar1(0.6, 2.0, 3000, 5);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        assert!((model.phi()[0] - 0.6).abs() < 0.05);
+        let mut fc = model.forecaster(&series[..100]).unwrap();
+        // Interval should be centered on the conditional mean.
+        let f = fc.forecast(0.95);
+        assert!((f.mean - (f.lower + f.upper) / 2.0).abs() < 1e-9);
+        assert!(f.sigma > 0.0);
+        // Observe a value and keep forecasting — no panic, state advances.
+        fc.observe(series[100]);
+        let f2 = fc.forecast(0.95);
+        assert!(f2.mean.is_finite());
+    }
+
+    #[test]
+    fn coverage_of_confidence_interval() {
+        // ~95% of actual next readings should fall inside the 95% CI.
+        let series = simulate_ar1(0.5, 1.0, 4000, 8);
+        let (train, test) = series.split_at(2000);
+        let model = ArimaModel::fit(train, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let mut fc = model.forecaster(train).unwrap();
+        let mut hits = 0;
+        for &v in test {
+            if fc.forecast(0.95).contains(v) {
+                hits += 1;
+            }
+            fc.observe(v);
+        }
+        let coverage = hits as f64 / test.len() as f64;
+        assert!(
+            (0.90..=0.99).contains(&coverage),
+            "95% CI empirical coverage was {coverage}"
+        );
+    }
+
+    #[test]
+    fn differenced_model_tracks_trend() {
+        // Random walk with drift: ARIMA(0,1,0) equivalent — fit (1,1,0).
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut series = vec![100.0];
+        for _ in 0..2000 {
+            let step = 0.5 + rng.gen_range(-1.0..1.0);
+            series.push(series.last().unwrap() + step);
+        }
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 1, 0).unwrap()).unwrap();
+        let fc = model.forecaster(&series).unwrap();
+        let f = fc.forecast(0.95);
+        let last = *series.last().unwrap();
+        // Forecast should continue from the last level, roughly +drift.
+        assert!(
+            (f.mean - last).abs() < 3.0,
+            "forecast {} should be near last level {last}",
+            f.mean
+        );
+    }
+
+    #[test]
+    fn poisoning_shifts_the_interval() {
+        // After observing a run of inflated readings, the forecast interval
+        // must follow them — this is the poisoning behaviour the
+        // Integrated ARIMA attack exploits.
+        let series = simulate_ar1(0.6, 2.0, 1000, 33);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let mut fc = model.forecaster(&series).unwrap();
+        let clean_mean = fc.forecast(0.95).mean;
+        for _ in 0..50 {
+            fc.observe(clean_mean + 10.0);
+        }
+        let poisoned_mean = fc.forecast(0.95).mean;
+        assert!(
+            poisoned_mean > clean_mean + 5.0,
+            "poisoned forecast {poisoned_mean} should chase the attack (clean {clean_mean})"
+        );
+    }
+
+    #[test]
+    fn forecaster_requires_history() {
+        let series = simulate_ar1(0.6, 2.0, 500, 3);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(2, 1, 1).unwrap()).unwrap();
+        assert!(matches!(
+            model.forecaster(&series[..3]),
+            Err(ArimaError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn forecast_rejects_bad_confidence() {
+        let series = simulate_ar1(0.6, 2.0, 500, 3);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let fc = model.forecaster(&series).unwrap();
+        fc.forecast(1.0);
+    }
+
+    #[test]
+    fn constant_series_fails_to_fit() {
+        let series = vec![5.0; 200];
+        assert!(ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod horizon_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn simulate_ar1(phi: f64, c: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![c / (1.0 - phi); n];
+        for t in 1..n {
+            let noise: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            x[t] = c + phi * x[t - 1] + noise;
+        }
+        x
+    }
+
+    #[test]
+    fn psi_weights_of_ar1_are_powers_of_phi() {
+        let series = simulate_ar1(0.6, 1.0, 3000, 2);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let phi = model.phi()[0];
+        let psi = model.psi_weights(5);
+        for (j, &p) in psi.iter().enumerate() {
+            assert!(
+                (p - phi.powi(j as i32)).abs() < 1e-9,
+                "psi_{j} = {p}, expected {}",
+                phi.powi(j as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn psi_weights_of_random_walk_are_all_one() {
+        // ARIMA(0,1,0)-style: fit (1,1,0) on a random walk; φ ≈ 0 so the
+        // differencing operator dominates and ψ_j ≈ 1 for all j.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut series = vec![50.0];
+        for _ in 0..3000 {
+            let step: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            series.push(series.last().unwrap() + step);
+        }
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 1, 0).unwrap()).unwrap();
+        let psi = model.psi_weights(4);
+        for (j, &p) in psi.iter().enumerate() {
+            assert!(
+                (p - 1.0).abs() < 0.15,
+                "psi_{j} = {p}, expected ~1 for a random walk"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_one_matches_single_step() {
+        let series = simulate_ar1(0.5, 2.0, 1000, 5);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let fc = model.forecaster(&series).unwrap();
+        let single = fc.forecast(0.95);
+        let path = fc.forecast_horizon(1, 0.95);
+        assert!((single.mean - path[0].mean).abs() < 1e-12);
+        assert!((single.sigma - path[0].sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_width_grows_with_horizon() {
+        let series = simulate_ar1(0.7, 1.0, 2000, 7);
+        let model = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let fc = model.forecaster(&series).unwrap();
+        let path = fc.forecast_horizon(8, 0.95);
+        for pair in path.windows(2) {
+            assert!(
+                pair[1].sigma >= pair[0].sigma - 1e-12,
+                "forecast sigma must be non-decreasing in horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_step_coverage_is_calibrated() {
+        // Empirical check: ~95% of 3-step-ahead actuals inside the 95% CI.
+        let series = simulate_ar1(0.5, 1.0, 6000, 11);
+        let (train, test) = series.split_at(3000);
+        let model = ArimaModel::fit(train, ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let mut fc = model.forecaster(train).unwrap();
+        let horizon = 3;
+        let mut hits = 0;
+        let mut total = 0;
+        for t in 0..test.len() - horizon {
+            let path = fc.forecast_horizon(horizon, 0.95);
+            if path[horizon - 1].contains(test[t + horizon - 1]) {
+                hits += 1;
+            }
+            total += 1;
+            fc.observe(test[t]);
+        }
+        let coverage = hits as f64 / total as f64;
+        assert!(
+            (0.90..=0.99).contains(&coverage),
+            "3-step 95% CI empirical coverage was {coverage}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Order selection by Akaike's information criterion.
+
+use crate::diff::difference;
+use crate::error::ArimaError;
+use crate::fit::hannan_rissanen;
+use crate::model::{ArimaModel, ArimaSpec};
+
+/// Gaussian AIC from an innovation variance: `n·ln(σ²) + 2k`.
+pub fn aic(n: usize, sigma2: f64, k: usize) -> f64 {
+    n as f64 * sigma2.max(1e-300).ln() + 2.0 * k as f64
+}
+
+/// Fits every `(p, q)` combination with `p <= max_p`, `q <= max_q` at the
+/// fixed differencing order `d`, and returns the AIC-best fitted model.
+///
+/// Combinations that fail to fit (too short, singular) are skipped; the
+/// search fails only if *no* combination fits.
+///
+/// # Errors
+///
+/// Returns the last fitting error if every candidate order failed, or
+/// [`ArimaError::InvalidOrder`] if the grid is empty.
+pub fn select_order(
+    series: &[f64],
+    d: usize,
+    max_p: usize,
+    max_q: usize,
+) -> Result<ArimaModel, ArimaError> {
+    let mut best: Option<(f64, ArimaModel)> = None;
+    let mut last_err = ArimaError::InvalidOrder {
+        p: max_p,
+        d,
+        q: max_q,
+    };
+    let w = difference(series, d);
+    for p in 0..=max_p {
+        for q in 0..=max_q {
+            if p == 0 && q == 0 && d == 0 {
+                continue;
+            }
+            let spec = match ArimaSpec::new(p, d, q) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match hannan_rissanen(&w, p, q) {
+                Ok(params) => {
+                    let n = w.len().saturating_sub(p.max(q));
+                    let score = aic(n, params.sigma2, spec.parameter_count());
+                    let model = ArimaModel::fit(series, spec).expect("already fit once");
+                    if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                        best = Some((score, model));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+    }
+    best.map(|(_, m)| m).ok_or(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn aic_penalises_parameters() {
+        assert!(aic(100, 1.0, 2) < aic(100, 1.0, 5));
+        assert!(aic(100, 0.5, 2) < aic(100, 1.0, 2));
+    }
+
+    #[test]
+    fn selects_ar_for_ar_data() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut x = vec![0.0; 3000];
+        for t in 2..x.len() {
+            let noise: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            x[t] = 0.6 * x[t - 1] + 0.2 * x[t - 2] + noise;
+        }
+        let model = select_order(&x, 0, 3, 1).unwrap();
+        // AR structure should dominate: at least one AR lag selected.
+        assert!(model.spec().p() >= 1, "selected {}", model.spec());
+    }
+
+    #[test]
+    fn empty_grid_fails() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        // d = 0 with max_p = max_q = 0 leaves no valid candidate.
+        assert!(select_order(&x, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn constant_series_fails() {
+        assert!(select_order(&[1.0; 300], 0, 2, 1).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the ARIMA substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fdeta_arima::diagnostics::{chi_squared_cdf, gamma_p, ljung_box};
+use fdeta_arima::diff::{
+    difference, integrate_forecast, seasonal_difference, seasonal_undifference_step,
+    undifference_step,
+};
+use fdeta_arima::{ArimaModel, ArimaSpec};
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (0u64..5000, 200usize..400, 0.0f64..0.9).prop_map(|(seed, n, persistence)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![1.0; n];
+        for t in 1..n {
+            let noise: f64 = rng.gen_range(-0.5..0.5);
+            x[t] = 1.0 + persistence * (x[t - 1] - 1.0) + noise;
+        }
+        x
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differencing then integrating reproduces the original series.
+    #[test]
+    fn difference_undifference_roundtrip(series in series_strategy()) {
+        let d = difference(&series, 1);
+        let restored = undifference_step(&d, series[0]);
+        for (a, b) in restored.iter().zip(&series[1..]) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Seasonal differencing round trip at arbitrary lags.
+    #[test]
+    fn seasonal_roundtrip(series in series_strategy(), lag in 1usize..50) {
+        let d = seasonal_difference(&series, lag);
+        if d.is_empty() {
+            return Ok(());
+        }
+        let restored = seasonal_undifference_step(&d, &series[..lag]);
+        for (a, b) in restored.iter().zip(&series[lag..]) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// `integrate_forecast` of the next true difference reproduces the next
+    /// value, for any differencing order that the series supports.
+    #[test]
+    fn integrate_forecast_consistency(series in series_strategy(), d in 0usize..3) {
+        let n = series.len();
+        let history = &series[..n - 1];
+        let diffs = difference(&series, d);
+        if diffs.is_empty() {
+            return Ok(());
+        }
+        let next_diff = *diffs.last().expect("nonempty");
+        let integrated = integrate_forecast(next_diff, history, d);
+        prop_assert!((integrated - series[n - 1]).abs() < 1e-9);
+    }
+
+    /// Fitted models produce symmetric intervals around the mean, and the
+    /// interval contains the mean at every confidence level.
+    #[test]
+    fn forecast_interval_shape(series in series_strategy(), conf in 0.5f64..0.99) {
+        let Ok(model) = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).expect("order"))
+        else {
+            return Ok(()); // degenerate draw
+        };
+        let fc = model.forecaster(&series).expect("seeded");
+        let f = fc.forecast(conf);
+        prop_assert!(f.lower <= f.mean && f.mean <= f.upper);
+        let spread_low = f.mean - f.lower;
+        let spread_high = f.upper - f.mean;
+        prop_assert!((spread_low - spread_high).abs() < 1e-9, "symmetric interval");
+        prop_assert!(f.sigma >= 0.0);
+    }
+
+    /// Wider confidence ⇒ wider interval (monotonicity).
+    #[test]
+    fn interval_width_monotone_in_confidence(series in series_strategy()) {
+        let Ok(model) = ArimaModel::fit(&series, ArimaSpec::new(1, 0, 0).expect("order"))
+        else {
+            return Ok(());
+        };
+        let fc = model.forecaster(&series).expect("seeded");
+        let mut last_width = 0.0;
+        for conf in [0.5, 0.8, 0.9, 0.95, 0.99] {
+            let f = fc.forecast(conf);
+            let width = f.upper - f.lower;
+            prop_assert!(width >= last_width - 1e-12);
+            last_width = width;
+        }
+    }
+
+    /// ψ-weights of a guarded model are absolutely summable over a long
+    /// horizon (stationarity guard at work), for pure AR fits.
+    #[test]
+    fn psi_weights_bounded(series in series_strategy()) {
+        let Ok(model) = ArimaModel::fit(&series, ArimaSpec::new(2, 0, 0).expect("order"))
+        else {
+            return Ok(());
+        };
+        let psi = model.psi_weights(200);
+        let total: f64 = psi.iter().map(|p| p.abs()).sum();
+        prop_assert!(total.is_finite());
+        prop_assert!(total < 1e6, "psi weights must not explode: {total}");
+        // The tail decays for a stationary model.
+        prop_assert!(psi[199].abs() <= psi.iter().map(|p| p.abs()).fold(0.0, f64::max) + 1e-12);
+    }
+
+    /// Statistical kernels stay within their ranges on arbitrary input.
+    #[test]
+    fn gamma_and_chi_squared_ranges(a in 0.1f64..20.0, x in 0.0f64..100.0, k in 1usize..50) {
+        let p = gamma_p(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let c = chi_squared_cdf(x, k);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    /// Ljung–Box p-values are probabilities for any residual vector with
+    /// variance.
+    #[test]
+    fn ljung_box_p_in_unit_interval(series in series_strategy(), lags in 1usize..30) {
+        if series.len() <= lags {
+            return Ok(());
+        }
+        let Ok(result) = ljung_box(&series, lags, 0) else {
+            return Ok(()); // degenerate variance
+        };
+        prop_assert!((0.0..=1.0).contains(&result.p_value));
+        prop_assert!(result.statistic >= 0.0);
+        prop_assert!(result.degrees_of_freedom >= 1);
+    }
+}

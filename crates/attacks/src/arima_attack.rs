@@ -1,0 +1,156 @@
+//! The *ARIMA attack*: ride the confidence-interval boundary.
+//!
+//! Badrinath Krishna et al. (CRITIS 2015) observed that an attacker who can
+//! replicate the utility's ARIMA model can report values exactly at the
+//! confidence threshold: never outside the interval, hence invisible to
+//! the ARIMA detector, while maximally displaced from the truth. Because
+//! the utility's model updates on *reported* readings, each boundary
+//! report drags the next interval further in the attack's favour — the
+//! poisoning feedback loop that makes this attack compound.
+
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+use crate::vector::{AttackVector, Direction, InjectionContext};
+
+/// Injects the ARIMA attack for one week.
+///
+/// * [`Direction::OverReport`] — each reported reading is the upper CI
+///   bound (neighbour inflation, Attack Class 1B).
+/// * [`Direction::UnderReport`] — each reported reading is the lower CI
+///   bound clamped at zero ("or zero, whichever is greater",
+///   Section VIII-B.2; Attack Classes 2A/2B).
+///
+/// # Panics
+///
+/// Panics if the context's training history is too short for the model to
+/// seed a forecaster (callers fit the model on that same history, so this
+/// indicates a construction bug, not a data condition).
+pub fn arima_attack(ctx: &InjectionContext<'_>, direction: Direction) -> AttackVector {
+    let mut forecaster = ctx
+        .model
+        .forecaster(ctx.train.flat())
+        .expect("training history seeds the forecaster");
+    let mut reported = Vec::with_capacity(SLOTS_PER_WEEK);
+    for _ in 0..SLOTS_PER_WEEK {
+        let forecast = forecaster.forecast(ctx.confidence);
+        let value = match direction {
+            Direction::OverReport => forecast.upper.max(0.0),
+            Direction::UnderReport => forecast.lower.max(0.0),
+        };
+        reported.push(value);
+        // The utility's model sees the reported value — poison it.
+        forecaster.observe(value);
+    }
+    AttackVector {
+        actual: ctx.actual_week.clone(),
+        reported: WeekVector::new(reported).expect("bounds are finite and clamped non-negative"),
+        start_slot: ctx.start_slot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_arima::{ArimaModel, ArimaSpec};
+    use fdeta_gridsim::pricing::PricingScheme;
+    use fdeta_tsdata::week::WeekMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_matrix(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+        for _ in 0..weeks * SLOTS_PER_WEEK {
+            let idx = values.len() % SLOTS_PER_WEEK;
+            let daily = 1.0 + 0.5 * ((idx % 48) as f64 / 48.0 * std::f64::consts::TAU).sin();
+            values.push((daily + rng.gen_range(-0.2..0.2)).max(0.0));
+        }
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    fn context<'a>(
+        train: &'a WeekMatrix,
+        actual: &'a WeekVector,
+        model: &'a ArimaModel,
+    ) -> InjectionContext<'a> {
+        InjectionContext {
+            train,
+            actual_week: actual,
+            model,
+            confidence: 0.95,
+            start_slot: 0,
+        }
+    }
+
+    #[test]
+    fn under_report_attack_profits_and_stays_in_ci() {
+        let train = training_matrix(8, 3);
+        let actual = train.week_vector(7);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let ctx = context(&train, &actual, &model);
+        let attack = arima_attack(&ctx, Direction::UnderReport);
+        assert!(attack.under_reports_somewhere());
+        assert!(attack.advantage(&PricingScheme::flat_default()).is_gain());
+        // Verify the whole vector sits inside the (poisoned) CI the utility
+        // would compute — the attack's defining property.
+        let mut fc = model.forecaster(train.flat()).unwrap();
+        for &r in attack.reported.as_slice() {
+            let f = fc.forecast(0.95);
+            assert!(
+                r >= f.lower - 1e-9 || r == 0.0,
+                "reported {r} fell below CI [{}, {}]",
+                f.lower,
+                f.upper
+            );
+            assert!(
+                r <= f.upper + 1e-9,
+                "reported {r} exceeded CI upper {}",
+                f.upper
+            );
+            fc.observe(r);
+        }
+    }
+
+    #[test]
+    fn over_report_attack_inflates_the_neighbor() {
+        let train = training_matrix(8, 5);
+        let actual = train.week_vector(7);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let ctx = context(&train, &actual, &model);
+        let attack = arima_attack(&ctx, Direction::OverReport);
+        assert!(attack.over_reports_somewhere());
+        // The neighbour is over-billed.
+        assert!(attack.energy_overbilled_kwh() > 0.0);
+    }
+
+    #[test]
+    fn reported_readings_never_negative() {
+        let train = training_matrix(6, 9);
+        let actual = train.week_vector(5);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(1, 0, 0).unwrap()).unwrap();
+        let ctx = context(&train, &actual, &model);
+        for direction in [Direction::UnderReport, Direction::OverReport] {
+            let attack = arima_attack(&ctx, direction);
+            assert!(attack.reported.as_slice().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn poisoning_compounds_the_displacement() {
+        // Because each boundary report drags the model with it, the
+        // under-report attack's weekly mean ends up well below the organic
+        // consumption level — the displacement does not mean-revert.
+        let train = training_matrix(8, 11);
+        let actual = train.week_vector(7);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let ctx = context(&train, &actual, &model);
+        let attack = arima_attack(&ctx, Direction::UnderReport);
+        let train_mean = train.flat().iter().sum::<f64>() / train.flat().len() as f64;
+        let attack_mean = attack.reported.as_slice().iter().sum::<f64>() / SLOTS_PER_WEEK as f64;
+        assert!(
+            attack_mean < train_mean * 0.8,
+            "attack mean {attack_mean} should sit well below organic mean {train_mean}"
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Attack Class 4B: ADR price spoofing (Section VI-B).
+//!
+//! Mallory compromises a neighbour's Automated Demand Response interface
+//! and inflates the price signal it sees (`λ'_n(t) > λ(t)`). The
+//! neighbour's ADR controller — a monotonically decreasing demand/price
+//! relation (the Consumer Own Elasticity model) — sheds load; Mallory
+//! consumes the shed amount while the neighbour's meter keeps *reporting*
+//! the pre-shed demand. The balance check at their shared node passes
+//! (total actual equals total reported), the neighbour's bill is *lower*
+//! than the bill he expected under the inflated prices (eq. 11, so he
+//! suspects nothing), yet he paid for energy Mallory consumed (eq. 10).
+//!
+//! The paper defines this class formally but leaves its evaluation to
+//! future work for lack of ADR data; this module implements the definition
+//! so the extension experiment (`class4b` binary) can exercise it against
+//! the price-conditioned KLD detector.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_gridsim::adr::ElasticityModel;
+use fdeta_gridsim::billing::{deceptive_bill_delta, neighbor_loss};
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_tsdata::units::{Money, PricePerKwh};
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+use crate::vector::AttackVector;
+
+/// The complete state of a class-4B injection for one week.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Class4bOutcome {
+    /// The victimised neighbour: `actual` is the post-shed demand, and
+    /// `reported` the pre-shed demand his meter claims.
+    pub neighbor: AttackVector,
+    /// Mallory: `actual` includes the absorbed shed load, `reported` is
+    /// her unremarkable base demand.
+    pub mallory: AttackVector,
+    /// The inflated per-slot prices the neighbour's ADR system saw.
+    pub spoofed_prices: Vec<PricePerKwh>,
+}
+
+impl Class4bOutcome {
+    /// The neighbour's real monetary loss `L_n` (eq. 10) under the true
+    /// prices.
+    pub fn neighbor_loss(&self, scheme: &PricingScheme) -> Money {
+        neighbor_loss(
+            self.neighbor.actual.as_slice(),
+            self.neighbor.reported.as_slice(),
+            scheme,
+            self.neighbor.start_slot,
+        )
+    }
+
+    /// The neighbour's *perceived* benefit `ΔB` (eq. 11): expected bill
+    /// under spoofed prices minus the utility's actual bill. Positive `ΔB`
+    /// is what keeps the victim quiet.
+    pub fn perceived_benefit(&self, scheme: &PricingScheme) -> Money {
+        deceptive_bill_delta(
+            self.neighbor.reported.as_slice(),
+            &self.spoofed_prices,
+            scheme,
+            self.neighbor.start_slot,
+        )
+    }
+
+    /// Energy Mallory absorbed from the neighbour, in kWh.
+    pub fn energy_absorbed_kwh(&self) -> f64 {
+        self.mallory.energy_delta_kwh()
+    }
+
+    /// Whether the shared-node balance check passes: total actual demand
+    /// equals total reported demand at every slot.
+    pub fn balances(&self, tolerance_kw: f64) -> bool {
+        let na = self.neighbor.actual.as_slice();
+        let nr = self.neighbor.reported.as_slice();
+        let ma = self.mallory.actual.as_slice();
+        let mr = self.mallory.reported.as_slice();
+        (0..SLOTS_PER_WEEK).all(|t| ((na[t] + ma[t]) - (nr[t] + mr[t])).abs() <= tolerance_kw)
+    }
+}
+
+/// Injects a class-4B attack.
+///
+/// * `neighbor_base` — the demand the neighbour would have had at the true
+///   prices (his meter keeps reporting this);
+/// * `mallory_base` — Mallory's unremarkable reported demand;
+/// * `elasticity` — the neighbour's ADR response model;
+/// * `scheme` — the true pricing (the class requires RTP, but the
+///   mechanics work under any variable scheme; the taxonomy predicate
+///   gates feasibility);
+/// * `spoof_factor` — multiplier (> 1) applied to the true price in the
+///   neighbour's spoofed signal.
+///
+/// # Panics
+///
+/// Panics if `spoof_factor <= 1` (the attack requires inflated prices) or
+/// if the base weeks have mismatched lengths (both are 336 by type).
+pub fn class4b_attack(
+    neighbor_base: &WeekVector,
+    mallory_base: &WeekVector,
+    elasticity: &ElasticityModel,
+    scheme: &PricingScheme,
+    spoof_factor: f64,
+    start_slot: usize,
+) -> Class4bOutcome {
+    assert!(
+        spoof_factor > 1.0,
+        "class 4B requires inflating the neighbour's price signal"
+    );
+    class4b_attack_with(
+        neighbor_base,
+        mallory_base,
+        elasticity,
+        scheme,
+        start_slot,
+        |_, p| PricePerKwh::new_unchecked(p.value() * spoof_factor),
+    )
+}
+
+/// Injects a class-4B attack with an arbitrary spoofing strategy: `spoof`
+/// maps `(slot, true_price)` to the price the neighbour's ADR sees. A
+/// rational Mallory spoofs harder when prices are high (stealing is worth
+/// more), which makes her absorbed load *price-correlated* — exactly the
+/// signature the price-conditioned KLD detector (Section VIII-F.3) keys
+/// on.
+///
+/// # Panics
+///
+/// Panics if `spoof` ever returns a price at or below the true price (the
+/// attack requires inflation at every slot).
+pub fn class4b_attack_with(
+    neighbor_base: &WeekVector,
+    mallory_base: &WeekVector,
+    elasticity: &ElasticityModel,
+    scheme: &PricingScheme,
+    start_slot: usize,
+    spoof: impl Fn(usize, PricePerKwh) -> PricePerKwh,
+) -> Class4bOutcome {
+    let mut neighbor_actual = Vec::with_capacity(SLOTS_PER_WEEK);
+    let mut mallory_actual = Vec::with_capacity(SLOTS_PER_WEEK);
+    let mut spoofed_prices = Vec::with_capacity(SLOTS_PER_WEEK);
+    for t in 0..SLOTS_PER_WEEK {
+        let base = neighbor_base.as_slice()[t];
+        let true_price = scheme.price_at(start_slot + t);
+        let spoofed = spoof(t, true_price);
+        assert!(
+            spoofed > true_price,
+            "class 4B requires inflating the neighbour's price signal at every slot"
+        );
+        let shed = elasticity.load_shed(base, true_price, spoofed);
+        neighbor_actual.push((base - shed).max(0.0));
+        mallory_actual.push(mallory_base.as_slice()[t] + shed);
+        spoofed_prices.push(spoofed);
+    }
+    Class4bOutcome {
+        neighbor: AttackVector {
+            actual: WeekVector::new(neighbor_actual).expect("shed demand is valid"),
+            reported: neighbor_base.clone(),
+            start_slot,
+        },
+        mallory: AttackVector {
+            actual: WeekVector::new(mallory_actual).expect("absorbed demand is valid"),
+            reported: mallory_base.clone(),
+            start_slot,
+        },
+        spoofed_prices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtp_scheme() -> PricingScheme {
+        // A small market: price updates every 4 slots, oscillating.
+        let prices: Vec<PricePerKwh> = (0..SLOTS_PER_WEEK / 4)
+            .map(|i| PricePerKwh::new_unchecked(0.15 + 0.1 * ((i % 5) as f64 / 4.0)))
+            .collect();
+        PricingScheme::RealTime {
+            prices,
+            update_period_slots: 4,
+        }
+    }
+
+    fn outcome() -> Class4bOutcome {
+        let neighbor = WeekVector::new(vec![2.0; SLOTS_PER_WEEK]).unwrap();
+        let mallory = WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap();
+        class4b_attack(
+            &neighbor,
+            &mallory,
+            &ElasticityModel::typical_residential(),
+            &rtp_scheme(),
+            2.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn targeted_spoof_sheds_more_at_high_prices() {
+        let neighbor = WeekVector::new(vec![2.0; SLOTS_PER_WEEK]).unwrap();
+        let mallory = WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap();
+        let scheme = rtp_scheme();
+        let out = class4b_attack_with(
+            &neighbor,
+            &mallory,
+            &ElasticityModel::typical_residential(),
+            &scheme,
+            0,
+            |_, p| PricePerKwh::new_unchecked(p.value() * (1.2 + 4.0 * p.value())),
+        );
+        // Shed load (Mallory's absorbed extra) must correlate positively
+        // with the true price: compare the mean shed in the most- and
+        // least-expensive slot halves.
+        let mut slots: Vec<usize> = (0..SLOTS_PER_WEEK).collect();
+        slots.sort_by(|&a, &b| scheme.price_at(a).partial_cmp(&scheme.price_at(b)).unwrap());
+        let shed = |t: usize| out.mallory.actual.as_slice()[t] - 1.0;
+        let cheap: f64 = slots[..SLOTS_PER_WEEK / 2]
+            .iter()
+            .map(|&t| shed(t))
+            .sum::<f64>();
+        let dear: f64 = slots[SLOTS_PER_WEEK / 2..]
+            .iter()
+            .map(|&t| shed(t))
+            .sum::<f64>();
+        assert!(
+            dear > cheap,
+            "targeted spoofing must steal more when prices are high"
+        );
+        assert!(out.balances(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "every slot")]
+    fn spoof_must_inflate_every_slot() {
+        let week = WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap();
+        class4b_attack_with(
+            &week,
+            &week,
+            &ElasticityModel::typical_residential(),
+            &rtp_scheme(),
+            0,
+            |t, p| {
+                if t == 5 {
+                    p // not inflated
+                } else {
+                    PricePerKwh::new_unchecked(p.value() * 2.0)
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn paper_sign_conditions_hold() {
+        // Section VI-B: D_n < D'_n, D_A > D'_A, λ < λ'_n.
+        let out = outcome();
+        let scheme = rtp_scheme();
+        assert!(out.neighbor.over_reports_somewhere());
+        assert!(out
+            .neighbor
+            .actual
+            .as_slice()
+            .iter()
+            .zip(out.neighbor.reported.as_slice())
+            .all(|(a, r)| a < r));
+        assert!(out.mallory.under_reports_somewhere());
+        for t in 0..SLOTS_PER_WEEK {
+            assert!(out.spoofed_prices[t] > scheme.price_at(t));
+        }
+    }
+
+    #[test]
+    fn balance_check_is_circumvented() {
+        assert!(outcome().balances(1e-9));
+    }
+
+    #[test]
+    fn neighbor_loses_but_believes_he_benefited() {
+        let out = outcome();
+        let scheme = rtp_scheme();
+        assert!(out.neighbor_loss(&scheme).is_gain(), "L_n > 0 (eq. 10)");
+        assert!(out.perceived_benefit(&scheme).is_gain(), "ΔB > 0 (eq. 11)");
+    }
+
+    #[test]
+    fn mallory_absorbs_exactly_the_shed_energy() {
+        let out = outcome();
+        let absorbed = out.energy_absorbed_kwh();
+        let shed = -out.neighbor.energy_delta_kwh();
+        assert!(absorbed > 0.0);
+        assert!(
+            (absorbed + out.neighbor.energy_delta_kwh()).abs() < 1e-9,
+            "shed {shed} == absorbed {absorbed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inflating")]
+    fn deflating_spoof_rejected() {
+        let week = WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap();
+        class4b_attack(
+            &week,
+            &week,
+            &ElasticityModel::typical_residential(),
+            &rtp_scheme(),
+            0.9,
+            0,
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Combined attacks.
+//!
+//! The paper hypothesises that "electricity theft attacks in practice may
+//! be a combination of one or more of these seven attack classes"
+//! (Section VI) and concretely suggests combining Attack Class 3B with 1B
+//! and/or 2B (Section VIII-F.3): steal energy *and* re-time the remaining
+//! reported consumption so it is billed at off-peak prices. This module
+//! composes the concrete injections.
+//!
+//! Composition order matters and is fixed here the way a rational Mallory
+//! would do it: first choose the magnitude distortion (the under- or
+//! over-report vector), then permute the resulting reported readings for
+//! tariff optimality. The permutation preserves the reported multiset, so
+//! it never disturbs the mean/variance checks the first stage was crafted
+//! to pass.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::{DAYS_PER_WEEK, SLOTS_PER_DAY};
+
+use crate::integrated_arima::integrated_arima_attack;
+use crate::vector::{AttackVector, Direction, InjectionContext};
+
+/// Re-times `reported` within each day for tariff optimality (the Optimal
+/// Swap applied to an arbitrary reported vector rather than the true
+/// readings).
+fn retime_reported(reported: &WeekVector, plan: &TouPlan, start_slot: usize) -> WeekVector {
+    let mut values = reported.as_slice().to_vec();
+    for day in 0..DAYS_PER_WEEK {
+        let day_start = day * SLOTS_PER_DAY;
+        let mut peak: Vec<usize> = Vec::new();
+        let mut off: Vec<usize> = Vec::new();
+        for s in 0..SLOTS_PER_DAY {
+            let global = day_start + s;
+            if plan.is_peak(start_slot + global) {
+                peak.push(global);
+            } else {
+                off.push(global);
+            }
+        }
+        peak.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite readings"));
+        off.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite readings"));
+        for (&p, &o) in peak.iter().zip(&off) {
+            if values[p] > values[o] {
+                values.swap(p, o);
+            } else {
+                break;
+            }
+        }
+    }
+    WeekVector::new(values).expect("permutation of valid readings")
+}
+
+/// The 2B + 3B combination: under-report with the Integrated ARIMA attack,
+/// then re-time the reported readings into the cheap tariff window.
+///
+/// Returns the combined vector. Against a TOU scheme its advantage is at
+/// least that of the under-report stage alone (the re-timing only moves
+/// reported energy to cheaper slots).
+pub fn under_report_and_shift(
+    ctx: &InjectionContext<'_>,
+    plan: &TouPlan,
+    rng: &mut StdRng,
+) -> AttackVector {
+    let stage1 = integrated_arima_attack(ctx, Direction::UnderReport, rng);
+    let reported = retime_reported(&stage1.reported, plan, ctx.start_slot);
+    AttackVector {
+        actual: stage1.actual,
+        reported,
+        start_slot: ctx.start_slot,
+    }
+}
+
+/// The 1B + 3B combination against a *neighbour*: over-report their meter
+/// with the Integrated ARIMA attack, then re-time the inflated readings so
+/// the over-billed energy lands at the expensive slots' prices... for the
+/// *neighbour*. Mallory's profit equals the neighbour's loss, so she
+/// re-times the neighbour's report to the **most expensive** arrangement —
+/// the mirror image of [`under_report_and_shift`].
+pub fn over_report_and_shift(
+    ctx: &InjectionContext<'_>,
+    plan: &TouPlan,
+    rng: &mut StdRng,
+) -> AttackVector {
+    let stage1 = integrated_arima_attack(ctx, Direction::OverReport, rng);
+    // Most-expensive arrangement: largest readings into the peak window =
+    // the optimal swap of the *reversed* objective; reuse retime on the
+    // negated ordering by swapping the window roles.
+    let mut values = stage1.reported.as_slice().to_vec();
+    for day in 0..DAYS_PER_WEEK {
+        let day_start = day * SLOTS_PER_DAY;
+        let mut peak: Vec<usize> = Vec::new();
+        let mut off: Vec<usize> = Vec::new();
+        for s in 0..SLOTS_PER_DAY {
+            let global = day_start + s;
+            if plan.is_peak(ctx.start_slot + global) {
+                peak.push(global);
+            } else {
+                off.push(global);
+            }
+        }
+        // Largest off-peak readings trade places with smallest peak ones.
+        off.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite readings"));
+        peak.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite readings"));
+        for (&o, &p) in off.iter().zip(&peak) {
+            if values[o] > values[p] {
+                values.swap(o, p);
+            } else {
+                break;
+            }
+        }
+    }
+    AttackVector {
+        actual: stage1.actual,
+        reported: WeekVector::new(values).expect("permutation of valid readings"),
+        start_slot: ctx.start_slot,
+    }
+}
+
+/// Draws `vectors` combined 2B+3B vectors and returns the most profitable
+/// under `scheme`.
+///
+/// # Panics
+///
+/// Panics if `vectors == 0`.
+pub fn combined_worst_case(
+    ctx: &InjectionContext<'_>,
+    plan: &TouPlan,
+    vectors: usize,
+    seed: u64,
+    scheme: &PricingScheme,
+) -> AttackVector {
+    assert!(vectors > 0, "at least one attack vector required");
+    let mut best: Option<AttackVector> = None;
+    for i in 0..vectors {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let candidate = under_report_and_shift(ctx, plan, &mut rng);
+        let better = match &best {
+            None => true,
+            Some(current) => candidate.advantage(scheme) > current.advantage(scheme),
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("vectors > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_arima::{ArimaModel, ArimaSpec};
+    use fdeta_tsdata::week::WeekMatrix;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+    use rand::Rng;
+
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+        for w in 0..weeks {
+            let level = 1.1 + 0.4 * ((w % 4) as f64 / 4.0);
+            for i in 0..SLOTS_PER_WEEK {
+                let slot = i % SLOTS_PER_DAY;
+                let bump: f64 = if (36..46).contains(&slot) { 1.5 } else { 0.0 };
+                values.push((level + bump + rng.gen_range(-0.2..0.2)).max(0.0));
+            }
+        }
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    fn setup(seed: u64) -> (WeekMatrix, WeekVector, ArimaModel) {
+        let train = training(10, seed);
+        let actual = train.week_vector(9);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        (train, actual, model)
+    }
+
+    #[test]
+    fn combination_beats_either_stage_alone() {
+        let (train, actual, model) = setup(1);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let plan = TouPlan::ireland_nightsaver();
+        let scheme = PricingScheme::tou_ireland();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let combined = under_report_and_shift(&ctx, &plan, &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let under_only = integrated_arima_attack(&ctx, Direction::UnderReport, &mut rng);
+        let swap_only = crate::optimal_swap::optimal_swap(&actual, &plan, 0);
+
+        let c = combined.advantage(&scheme).dollars();
+        let u = under_only.advantage(&scheme).dollars();
+        let s = swap_only.advantage(&scheme).dollars();
+        assert!(
+            c >= u - 1e-9,
+            "combination must not lose to under-report alone: {c} vs {u}"
+        );
+        assert!(
+            c >= s - 1e-9,
+            "combination must not lose to swap alone: {c} vs {s}"
+        );
+        assert!(c > u, "the re-timing should add profit under TOU");
+    }
+
+    #[test]
+    fn retiming_preserves_the_reported_multiset() {
+        let (train, actual, model) = setup(2);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let plan = TouPlan::ireland_nightsaver();
+        let mut rng = StdRng::seed_from_u64(7);
+        let stage1 = integrated_arima_attack(&ctx, Direction::UnderReport, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let combined = under_report_and_shift(&ctx, &plan, &mut rng);
+        let mut a: Vec<f64> = stage1.reported.as_slice().to_vec();
+        let mut b: Vec<f64> = combined.reported.as_slice().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b, "re-timing must only permute the stage-1 report");
+    }
+
+    #[test]
+    fn over_report_shift_increases_neighbor_loss() {
+        let (train, actual, model) = setup(3);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let plan = TouPlan::ireland_nightsaver();
+        let scheme = PricingScheme::tou_ireland();
+        let mut rng = StdRng::seed_from_u64(9);
+        let plain = integrated_arima_attack(&ctx, Direction::OverReport, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let shifted = over_report_and_shift(&ctx, &plan, &mut rng);
+        // Neighbour loss = -advantage; the expensive re-timing must cost
+        // the neighbour at least as much.
+        let plain_loss = -plain.advantage(&scheme).dollars();
+        let shifted_loss = -shifted.advantage(&scheme).dollars();
+        assert!(
+            shifted_loss >= plain_loss - 1e-9,
+            "expensive re-timing must not reduce the neighbour's bill: {shifted_loss} vs {plain_loss}"
+        );
+    }
+
+    #[test]
+    fn worst_case_is_the_profit_maximum() {
+        let (train, actual, model) = setup(4);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let plan = TouPlan::ireland_nightsaver();
+        let scheme = PricingScheme::tou_ireland();
+        let worst = combined_worst_case(&ctx, &plan, 6, 42, &scheme);
+        for i in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(42 ^ i.wrapping_mul(0x9E37_79B9));
+            let candidate = under_report_and_shift(&ctx, &plan, &mut rng);
+            assert!(candidate.advantage(&scheme) <= worst.advantage(&scheme));
+        }
+    }
+}

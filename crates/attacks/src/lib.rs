@@ -1,0 +1,47 @@
+//! Electricity-theft attack taxonomy and injections.
+//!
+//! This crate implements the offensive half of F-DETA:
+//!
+//! * [`taxonomy`] — the seven attack classes of Table I (1A, 2A, 3A, 1B,
+//!   2B, 3B, 4B) with their feasibility predicates: which pricing schemes
+//!   admit them, whether they circumvent balance checks, and whether they
+//!   need ADR. The predicates are *checked by simulation* in the test
+//!   suite and the `table1` reproduction binary, not merely transcribed.
+//! * [`vector`] — the [`AttackVector`] type pairing actual and reported
+//!   demand for an attack week, with the paper's Propositions 1 and 2 as
+//!   executable predicates.
+//! * [`arima_attack()`] — the *ARIMA attack* of Badrinath Krishna et al.
+//!   (CRITIS 2015): pin every reported reading to the utility model's
+//!   confidence-interval boundary.
+//! * [`integrated_arima`] — the *Integrated ARIMA attack*: truncated-normal
+//!   injections that stay inside the (poisoned) ARIMA confidence interval
+//!   while steering the weekly mean towards a historically plausible
+//!   target, defeating the Integrated ARIMA detector's mean/variance
+//!   checks. The paper's evaluation draws 50 vectors per consumer and
+//!   scores the worst case.
+//! * [`optimal_swap()`] — the *Optimal Swap attack* realising Attack Classes
+//!   3A/3B: reorder a week's readings so the highest consumption lands in
+//!   the off-peak tariff window; the reading multiset (hence every
+//!   distribution-based statistic) is unchanged.
+//! * [`class4b`] — the ADR price-spoofing attack (Attack Class 4B): inflate
+//!   a neighbour's price signal, consume the load their ADR system sheds.
+
+pub mod arima_attack;
+pub mod class4b;
+pub mod combined;
+pub mod feasibility;
+pub mod integrated_arima;
+pub mod naive;
+pub mod optimal_swap;
+pub mod taxonomy;
+pub mod vector;
+
+pub use arima_attack::arima_attack;
+pub use class4b::{class4b_attack, class4b_attack_with, Class4bOutcome};
+pub use combined::{combined_worst_case, over_report_and_shift, under_report_and_shift};
+pub use feasibility::{simulate_table1, FeasibilityOutcome};
+pub use integrated_arima::{integrated_arima_attack, integrated_arima_worst_case};
+pub use naive::{scaling_report, zero_report};
+pub use optimal_swap::optimal_swap;
+pub use taxonomy::AttackClass;
+pub use vector::{AttackVector, Direction, InjectionContext};

@@ -1,0 +1,87 @@
+//! Naive injections — the strawmen the clever attacks are measured
+//! against.
+//!
+//! Section VIII-B: "Mallory can under-report her consumption readings in
+//! Attack Classes 2A/2B by setting all reported readings to zero. Thus,
+//! Mallory maximizes the amount of electricity that she can steal.
+//! However, it is easy to detect such an attack" — which is why the paper
+//! injects *random* vectors instead. These naive forms exist here so the
+//! contrast is executable: tests and examples show every detector
+//! flattening them while the crafted attacks slip through.
+
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+use crate::vector::AttackVector;
+
+/// The all-zero report: maximum theft, maximum obviousness.
+pub fn zero_report(actual: &WeekVector, start_slot: usize) -> AttackVector {
+    AttackVector {
+        actual: actual.clone(),
+        reported: WeekVector::new(vec![0.0; SLOTS_PER_WEEK]).expect("zeros are valid demands"),
+        start_slot,
+    }
+}
+
+/// A constant-fraction under-report (`reported = factor × actual`), the
+/// classic tampered-meter signature (a shunted current coil scales every
+/// reading by the same factor).
+///
+/// # Panics
+///
+/// Panics unless `0 <= factor < 1` (a factor of one or more would not be
+/// an under-report).
+pub fn scaling_report(actual: &WeekVector, factor: f64, start_slot: usize) -> AttackVector {
+    assert!(
+        (0.0..1.0).contains(&factor),
+        "scaling factor must be in [0, 1)"
+    );
+    AttackVector {
+        actual: actual.clone(),
+        reported: WeekVector::new(actual.as_slice().iter().map(|v| v * factor).collect())
+            .expect("scaled demands stay valid"),
+        start_slot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_gridsim::pricing::PricingScheme;
+
+    fn week() -> WeekVector {
+        WeekVector::new(
+            (0..SLOTS_PER_WEEK)
+                .map(|i| 1.0 + (i % 48) as f64 / 48.0)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_report_steals_everything() {
+        let actual = week();
+        let attack = zero_report(&actual, 0);
+        let total_kwh = actual.as_slice().iter().sum::<f64>() * 0.5;
+        assert!((attack.energy_delta_kwh() - total_kwh).abs() < 1e-9);
+        assert!(attack.advantage(&PricingScheme::flat_default()).is_gain());
+        assert!(attack.under_reports_somewhere());
+    }
+
+    #[test]
+    fn scaling_report_is_proportional() {
+        let actual = week();
+        let attack = scaling_report(&actual, 0.5, 0);
+        for (a, r) in actual.as_slice().iter().zip(attack.reported.as_slice()) {
+            assert!((r - a * 0.5).abs() < 1e-12);
+        }
+        let half = zero_report(&actual, 0).energy_delta_kwh() / 2.0;
+        assert!((attack.energy_delta_kwh() - half).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn scaling_factor_validated() {
+        scaling_report(&week(), 1.0, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The *Optimal Swap attack* (Attack Classes 3A/3B, Section VIII-B.3).
+//!
+//! Under time-of-use pricing, Mallory reports her highest consumption as
+//! having happened during the cheap off-peak window: within each day, the
+//! largest peak-window readings are swapped with the smallest off-peak
+//! readings wherever the swap is profitable. No energy is stolen — the
+//! weekly reading multiset (hence its mean, variance, and histogram) is
+//! unchanged; *only the temporal ordering changes*. That is why a KLD
+//! detector over unconditioned histograms is blind to it and must be
+//! conditioned on price (Section VIII-F.3).
+//!
+//! The paper's injection assumes perfect prediction of the day's readings
+//! (the worst case for the defender); this implementation takes the true
+//! week as input, which is exactly that assumption.
+
+use fdeta_gridsim::pricing::TouPlan;
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::{DAYS_PER_WEEK, SLOTS_PER_DAY};
+
+use crate::vector::AttackVector;
+
+/// Injects the Optimal Swap attack on one week of true readings under the
+/// given TOU plan.
+pub fn optimal_swap(actual: &WeekVector, plan: &TouPlan, start_slot: usize) -> AttackVector {
+    let mut reported = actual.as_slice().to_vec();
+    for day in 0..DAYS_PER_WEEK {
+        let day_start = day * SLOTS_PER_DAY;
+        // Partition the day's slot indices by tariff window.
+        let mut peak: Vec<usize> = Vec::new();
+        let mut off: Vec<usize> = Vec::new();
+        for s in 0..SLOTS_PER_DAY {
+            let global = day_start + s;
+            if plan.is_peak(start_slot + global) {
+                peak.push(global);
+            } else {
+                off.push(global);
+            }
+        }
+        // Highest peak readings first; lowest off-peak readings first.
+        peak.sort_by(|&a, &b| {
+            reported[b]
+                .partial_cmp(&reported[a])
+                .expect("finite readings")
+        });
+        off.sort_by(|&a, &b| {
+            reported[a]
+                .partial_cmp(&reported[b])
+                .expect("finite readings")
+        });
+        for (&p, &o) in peak.iter().zip(&off) {
+            // Swap only while profitable: the peak reading must exceed the
+            // off-peak reading it trades places with.
+            if reported[p] > reported[o] {
+                reported.swap(p, o);
+            } else {
+                break;
+            }
+        }
+    }
+    AttackVector {
+        actual: actual.clone(),
+        reported: WeekVector::new(reported).expect("a permutation of valid readings"),
+        start_slot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_gridsim::billing::attacker_advantage;
+    use fdeta_gridsim::pricing::PricingScheme;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn peaky_week(seed: u64) -> WeekVector {
+        // Consumption concentrated in the evening (peak window).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| {
+                let slot = i % SLOTS_PER_DAY;
+                let base = if (36..46).contains(&slot) { 3.0 } else { 0.4 };
+                base + rng.gen_range(0.0..0.2)
+            })
+            .collect();
+        WeekVector::new(values).unwrap()
+    }
+
+    #[test]
+    fn multiset_is_preserved_exactly() {
+        let week = peaky_week(1);
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        assert!(attack.preserves_multiset(0.0));
+    }
+
+    #[test]
+    fn no_net_energy_stolen() {
+        let week = peaky_week(2);
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        assert!(attack.energy_delta_kwh().abs() < 1e-9);
+    }
+
+    #[test]
+    fn profits_under_tou_not_under_flat() {
+        let week = peaky_week(3);
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        let tou_profit = attack.advantage(&PricingScheme::tou_ireland());
+        assert!(
+            tou_profit.is_gain(),
+            "swap must profit under TOU: {tou_profit}"
+        );
+        let flat_profit = attack.advantage(&PricingScheme::flat_default());
+        assert!(
+            flat_profit.dollars().abs() < 1e-9,
+            "flat pricing defeats 3A/3B: {flat_profit}"
+        );
+    }
+
+    #[test]
+    fn swap_is_optimal_among_permutations() {
+        // For each day the reported bill equals: cheapest possible
+        // assignment = largest readings priced off-peak. Verify against a
+        // brute-force greedy lower bound on one day.
+        let week = peaky_week(4);
+        let plan = TouPlan::ireland_nightsaver();
+        let attack = optimal_swap(&week, &plan, 0);
+        let scheme = PricingScheme::tou_ireland();
+        // Reconstruct the theoretical optimum for day 0: sort the day's 48
+        // readings, bill the largest 18 (off-peak window size) off-peak.
+        let day: Vec<f64> = week.as_slice()[..SLOTS_PER_DAY].to_vec();
+        let mut sorted = day.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let off_slots = 18;
+        let optimal_cost: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(rank, kw)| {
+                let price = if rank < off_slots { 0.18 } else { 0.21 };
+                kw * 0.5 * price
+            })
+            .sum();
+        let reported_day_cost: f64 = attack.reported.as_slice()[..SLOTS_PER_DAY]
+            .iter()
+            .enumerate()
+            .map(|(s, kw)| kw * 0.5 * scheme.price_at(s).value())
+            .sum();
+        assert!(
+            (reported_day_cost - optimal_cost).abs() < 1e-9,
+            "reported {reported_day_cost} vs optimal {optimal_cost}"
+        );
+    }
+
+    #[test]
+    fn already_cheap_ordering_is_left_alone() {
+        // All consumption already in the off-peak window: nothing to gain.
+        let values: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| if (i % SLOTS_PER_DAY) < 18 { 2.0 } else { 0.1 })
+            .collect();
+        let week = WeekVector::new(values).unwrap();
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        let profit = attacker_advantage(
+            attack.actual.as_slice(),
+            attack.reported.as_slice(),
+            &PricingScheme::tou_ireland(),
+            0,
+        );
+        assert!(profit.dollars().abs() < 1e-12);
+        assert_eq!(attack.actual, attack.reported);
+    }
+}

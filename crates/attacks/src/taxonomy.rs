@@ -1,0 +1,167 @@
+//! The attack classification of Table I.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_gridsim::pricing::PricingScheme;
+
+/// The seven attack classes of the paper.
+///
+/// The digit encodes the *mechanism*; the letter encodes the relation to
+/// the balance check: `A` classes fail it (detectable by a trusted metered
+/// node), `B` classes circumvent it (by over-reporting a neighbour, per
+/// Proposition 2, or by spoofing prices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// Consume more than typical while reporting typical readings
+    /// (classic line tapping). Undetectable by data-driven methods; caught
+    /// by the balance check.
+    C1A,
+    /// Report less than actual consumption without changing behaviour
+    /// (the Mashima–Cárdenas scenario).
+    C2A,
+    /// Report a false *temporal ordering* of consumption to exploit
+    /// variable prices (load-shift on paper only). Steals no energy.
+    C3A,
+    /// Class 1A plus neighbour over-reporting to balance the books —
+    /// the most severe class: theft bounded only by conductor capacity.
+    C1B,
+    /// Class 2A plus neighbour over-reporting.
+    C2B,
+    /// Class 3A plus neighbour over-reporting.
+    C3B,
+    /// Spoof a neighbour's ADR price signal upward; consume the load their
+    /// ADR sheds. Requires real-time pricing with ADR.
+    C4B,
+}
+
+impl AttackClass {
+    /// All seven classes, in Table I column order.
+    pub const ALL: [AttackClass; 7] = [
+        AttackClass::C1A,
+        AttackClass::C2A,
+        AttackClass::C3A,
+        AttackClass::C1B,
+        AttackClass::C2B,
+        AttackClass::C3B,
+        AttackClass::C4B,
+    ];
+
+    /// Table I row 1: whether the attack remains possible when balance
+    /// checks are enforced at trusted meters.
+    pub fn circumvents_balance_check(self) -> bool {
+        matches!(
+            self,
+            AttackClass::C1B | AttackClass::C2B | AttackClass::C3B | AttackClass::C4B
+        )
+    }
+
+    /// Table I row 2: feasibility under flat-rate pricing.
+    pub fn possible_with_flat_rate(self) -> bool {
+        matches!(
+            self,
+            AttackClass::C1A | AttackClass::C2A | AttackClass::C1B | AttackClass::C2B
+        )
+    }
+
+    /// Table I row 3: feasibility under time-of-use pricing.
+    pub fn possible_with_tou(self) -> bool {
+        self != AttackClass::C4B
+    }
+
+    /// Table I row 4: feasibility under real-time pricing (all classes).
+    pub fn possible_with_rtp(self) -> bool {
+        true
+    }
+
+    /// Table I row 5: whether Automated Demand Response must be deployed.
+    pub fn requires_adr(self) -> bool {
+        self == AttackClass::C4B
+    }
+
+    /// Feasibility under a concrete pricing scheme (dispatching the Table I
+    /// rows; RTP additionally gates 4B on ADR at the call site).
+    pub fn possible_under(self, scheme: &PricingScheme) -> bool {
+        match scheme {
+            PricingScheme::Flat { .. } => self.possible_with_flat_rate(),
+            PricingScheme::TimeOfUse { .. } => self.possible_with_tou(),
+            PricingScheme::RealTime { .. } => self.possible_with_rtp(),
+        }
+    }
+
+    /// Whether the attacker's own readings are *under*-reported (2A/2B),
+    /// a neighbour's are *over*-reported (1B, and the B-side of 2B/3B), or
+    /// readings are merely reordered (3A/3B). Used by the detectors'
+    /// attacker-vs-victim labelling (framework step 3).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            AttackClass::C1A => "1A",
+            AttackClass::C2A => "2A",
+            AttackClass::C3A => "3A",
+            AttackClass::C1B => "1B",
+            AttackClass::C2B => "2B",
+            AttackClass::C3B => "3B",
+            AttackClass::C4B => "4B",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Attack Class {}", self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I transcribed for cross-checking the predicate methods.
+    /// Columns: (class, balance, flat, tou, rtp, adr).
+    const TABLE_I: [(AttackClass, bool, bool, bool, bool, bool); 7] = [
+        (AttackClass::C1A, false, true, true, true, false),
+        (AttackClass::C2A, false, true, true, true, false),
+        (AttackClass::C3A, false, false, true, true, false),
+        (AttackClass::C1B, true, true, true, true, false),
+        (AttackClass::C2B, true, true, true, true, false),
+        (AttackClass::C3B, true, false, true, true, false),
+        (AttackClass::C4B, true, false, false, true, true),
+    ];
+
+    #[test]
+    fn predicates_match_table_i() {
+        for (class, balance, flat, tou, rtp, adr) in TABLE_I {
+            assert_eq!(
+                class.circumvents_balance_check(),
+                balance,
+                "{class}: balance row"
+            );
+            assert_eq!(class.possible_with_flat_rate(), flat, "{class}: flat row");
+            assert_eq!(class.possible_with_tou(), tou, "{class}: tou row");
+            assert_eq!(class.possible_with_rtp(), rtp, "{class}: rtp row");
+            assert_eq!(class.requires_adr(), adr, "{class}: adr row");
+        }
+    }
+
+    #[test]
+    fn possible_under_dispatches_schemes() {
+        let flat = PricingScheme::flat_default();
+        let tou = PricingScheme::tou_ireland();
+        assert!(AttackClass::C1A.possible_under(&flat));
+        assert!(!AttackClass::C3A.possible_under(&flat));
+        assert!(AttackClass::C3A.possible_under(&tou));
+        assert!(!AttackClass::C4B.possible_under(&tou));
+    }
+
+    #[test]
+    fn all_lists_each_class_once() {
+        let mut names: Vec<&str> = AttackClass::ALL.iter().map(|c| c.paper_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(AttackClass::C1B.to_string(), "Attack Class 1B");
+    }
+}

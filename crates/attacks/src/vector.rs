@@ -1,0 +1,197 @@
+//! Attack vectors and the paper's propositions as executable predicates.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_arima::ArimaModel;
+use fdeta_gridsim::billing::{attacker_advantage, energy_stolen_kwh};
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_tsdata::units::Money;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+
+/// Which way a false-data injection bends the readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Inflate the subject's readings — the neighbour's side of Attack
+    /// Class 1B (and the B-step of 2B/3B).
+    OverReport,
+    /// Deflate the subject's readings — the attacker's own meter in
+    /// Attack Classes 2A/2B.
+    UnderReport,
+}
+
+/// Everything an injection needs to know about its subject: the training
+/// history the attacker passively observed, the true consumption of the
+/// attack week, and a replica of the utility's ARIMA model.
+///
+/// The paper argues the attacker can build all of this: "If we assume that
+/// Mallory can compromise a smart meter, it is also reasonable to assume
+/// that she can passively monitor it and build the same models of the data
+/// that we have built" (Section VIII-B.1).
+#[derive(Debug, Clone)]
+pub struct InjectionContext<'a> {
+    /// Training matrix `X` of the subject consumer.
+    pub train: &'a WeekMatrix,
+    /// The subject's actual consumption during the attack week.
+    pub actual_week: &'a WeekVector,
+    /// Replica of the utility's fitted model.
+    pub model: &'a ArimaModel,
+    /// Confidence level of the detector's interval (the paper's detectors
+    /// use 95%).
+    pub confidence: f64,
+    /// Global slot index at which the attack week starts (for pricing).
+    pub start_slot: usize,
+}
+
+/// A realised attack on one consumer for one week: actual demand side by
+/// side with the false reported demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackVector {
+    /// True consumption `D(t)` during the attack week.
+    pub actual: WeekVector,
+    /// Reported consumption `D'(t)` — what reaches the utility.
+    pub reported: WeekVector,
+    /// Global slot index of the first reading (aligns pricing).
+    pub start_slot: usize,
+}
+
+impl AttackVector {
+    /// The monetary advantage `α` (eq. 2) the *subject's meter* produces
+    /// under `scheme`. For an under-reporting attacker this is her profit;
+    /// for an over-reported neighbour it is negative (the neighbour pays).
+    pub fn advantage(&self, scheme: &PricingScheme) -> Money {
+        attacker_advantage(
+            self.actual.as_slice(),
+            self.reported.as_slice(),
+            scheme,
+            self.start_slot,
+        )
+    }
+
+    /// Signed energy delta `Δt Σ (D − D')` in kWh. Positive means the
+    /// subject consumed more than was billed.
+    pub fn energy_delta_kwh(&self) -> f64 {
+        energy_stolen_kwh(self.actual.as_slice(), self.reported.as_slice())
+    }
+
+    /// Energy over-billed to the subject in kWh (`Δt Σ (D' − D)` floored
+    /// at zero per the aggregate) — the neighbour-side loss of Class 1B.
+    pub fn energy_overbilled_kwh(&self) -> f64 {
+        (-self.energy_delta_kwh()).max(0.0)
+    }
+
+    /// Proposition 1 predicate: does there exist a `t` with
+    /// `D'(t) < D(t)`? A necessary condition for theft (eq. 1).
+    pub fn under_reports_somewhere(&self) -> bool {
+        self.actual
+            .as_slice()
+            .iter()
+            .zip(self.reported.as_slice())
+            .any(|(a, r)| r < a)
+    }
+
+    /// Proposition 2 predicate (subject = neighbour): does there exist a
+    /// `t` with `D'(t) > D(t)`? Necessary for balance-check circumvention.
+    pub fn over_reports_somewhere(&self) -> bool {
+        self.actual
+            .as_slice()
+            .iter()
+            .zip(self.reported.as_slice())
+            .any(|(a, r)| r > a)
+    }
+
+    /// Whether the reading multiset is preserved (the Optimal Swap
+    /// signature: only temporal ordering changes).
+    pub fn preserves_multiset(&self, tolerance: f64) -> bool {
+        let mut a = self.actual.as_slice().to_vec();
+        let mut r = self.reported.as_slice().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
+        r.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
+        a.iter().zip(&r).all(|(x, y)| (x - y).abs() <= tolerance)
+    }
+
+    /// An honest "attack" — reported equals actual. Baseline for tests
+    /// and false-positive evaluation.
+    pub fn honest(actual: WeekVector, start_slot: usize) -> Self {
+        Self {
+            reported: actual.clone(),
+            actual,
+            start_slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+
+    fn week(value: f64) -> WeekVector {
+        WeekVector::new(vec![value; SLOTS_PER_WEEK]).unwrap()
+    }
+
+    #[test]
+    fn proposition_1_shape() {
+        let honest = AttackVector::honest(week(1.0), 0);
+        assert!(!honest.under_reports_somewhere());
+        assert_eq!(
+            honest.advantage(&PricingScheme::flat_default()).dollars(),
+            0.0
+        );
+
+        let theft = AttackVector {
+            actual: week(2.0),
+            reported: week(1.0),
+            start_slot: 0,
+        };
+        assert!(theft.under_reports_somewhere());
+        assert!(theft.advantage(&PricingScheme::flat_default()).is_gain());
+        // Contrapositive: a vector that never under-reports cannot profit.
+        let overpay = AttackVector {
+            actual: week(1.0),
+            reported: week(2.0),
+            start_slot: 0,
+        };
+        assert!(!overpay.under_reports_somewhere());
+        assert!(!overpay.advantage(&PricingScheme::flat_default()).is_gain());
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let theft = AttackVector {
+            actual: week(2.0),
+            reported: week(1.0),
+            start_slot: 0,
+        };
+        // 336 slots × 1 kW × 0.5 h = 168 kWh.
+        assert!((theft.energy_delta_kwh() - 168.0).abs() < 1e-9);
+        assert_eq!(theft.energy_overbilled_kwh(), 0.0);
+        let victim = AttackVector {
+            actual: week(1.0),
+            reported: week(2.0),
+            start_slot: 0,
+        };
+        assert!((victim.energy_overbilled_kwh() - 168.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiset_preservation_detects_reordering_vs_change() {
+        let mut swapped_values = vec![1.0; SLOTS_PER_WEEK];
+        swapped_values[0] = 5.0;
+        let actual = WeekVector::new(swapped_values.clone()).unwrap();
+        let mut reported_values = vec![1.0; SLOTS_PER_WEEK];
+        reported_values[100] = 5.0;
+        let reported = WeekVector::new(reported_values).unwrap();
+        let swap = AttackVector {
+            actual,
+            reported,
+            start_slot: 0,
+        };
+        assert!(swap.preserves_multiset(1e-12));
+        let change = AttackVector {
+            actual: week(1.0),
+            reported: week(1.5),
+            start_slot: 0,
+        };
+        assert!(!change.preserves_multiset(1e-12));
+    }
+}

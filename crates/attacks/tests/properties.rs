@@ -1,0 +1,161 @@
+//! Property-based tests for the attack injections: structural invariants
+//! that must hold for every consumer history and every random draw.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{
+    arima_attack, integrated_arima_attack, optimal_swap, Direction, InjectionContext,
+};
+use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::{SLOTS_PER_DAY, SLOTS_PER_WEEK};
+
+/// A synthetic training history parameterised by level, daily amplitude,
+/// and a noise seed — enough variety to stress the injections.
+fn history(weeks: usize, level: f64, amplitude: f64, seed: u64) -> WeekMatrix {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+    for w in 0..weeks {
+        let week_level = level * (1.0 + 0.1 * ((w % 5) as f64 - 2.0) / 2.0);
+        for i in 0..SLOTS_PER_WEEK {
+            let phase = (i % SLOTS_PER_DAY) as f64 / SLOTS_PER_DAY as f64;
+            let daily = week_level + amplitude * (phase * std::f64::consts::TAU).sin();
+            values.push((daily + rng.gen_range(-0.1..0.1) * level).max(0.0));
+        }
+    }
+    WeekMatrix::from_flat(values).expect("constructed aligned")
+}
+
+fn params() -> impl Strategy<Value = (f64, f64, u64)> {
+    (0.5f64..4.0, 0.1f64..1.0, 0u64..500).prop_filter("amplitude below level", |(l, a, _)| a < l)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimal swap always preserves the reading multiset, steals no
+    /// net energy, and never loses money under TOU.
+    #[test]
+    fn optimal_swap_invariants((level, amplitude, seed) in params()) {
+        let train = history(2, level, amplitude, seed);
+        let week = train.week_vector(1);
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        prop_assert!(attack.preserves_multiset(1e-12));
+        prop_assert!(attack.energy_delta_kwh().abs() < 1e-9);
+        let profit = attack.advantage(&PricingScheme::tou_ireland()).dollars();
+        prop_assert!(profit >= -1e-9, "swap must never cost the attacker: {profit}");
+    }
+
+    /// Both directions of the ARIMA attack produce valid, in-interval
+    /// reports, and the direction determines the sign of the energy delta.
+    #[test]
+    fn arima_attack_direction_signs((level, amplitude, seed) in params()) {
+        let train = history(6, level, amplitude, seed);
+        let Ok(model) = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).expect("order"))
+        else {
+            return Ok(()); // degenerate history
+        };
+        let actual = train.week_vector(5);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let over = arima_attack(&ctx, Direction::OverReport);
+        let under = arima_attack(&ctx, Direction::UnderReport);
+        prop_assert!(over.reported.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+        prop_assert!(under.reported.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+        // At the first slot both attacks face the same interval, so the
+        // directions must order; later slots poison the two models
+        // differently and the trajectories may legitimately cross.
+        prop_assert!(
+            over.reported.as_slice()[0] >= under.reported.as_slice()[0],
+            "slot-0 ordering violated"
+        );
+        // Each attack stays inside its *own* poisoned interval throughout.
+        for (direction, attack) in
+            [(Direction::OverReport, &over), (Direction::UnderReport, &under)]
+        {
+            let mut fc = model.forecaster(train.flat()).expect("seeded");
+            for &r in attack.reported.as_slice() {
+                let f = fc.forecast(0.95);
+                prop_assert!(
+                    r >= f.lower.max(0.0) - 1e-6 && r <= f.upper.max(0.0) + 1e-6,
+                    "{direction:?}: {r} escaped [{}, {}]",
+                    f.lower,
+                    f.upper
+                );
+                fc.observe(r);
+            }
+        }
+    }
+
+    /// The Integrated ARIMA attack stays within the poisoned confidence
+    /// interval at every slot, for any draw.
+    #[test]
+    fn integrated_attack_stays_in_interval(
+        (level, amplitude, seed) in params(),
+        draw in 0u64..100,
+    ) {
+        let train = history(6, level, amplitude, seed);
+        let Ok(model) = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).expect("order"))
+        else {
+            return Ok(());
+        };
+        let actual = train.week_vector(5);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(draw);
+        let attack = integrated_arima_attack(&ctx, Direction::OverReport, &mut rng);
+        let mut forecaster = model.forecaster(train.flat()).expect("seeded");
+        for &r in attack.reported.as_slice() {
+            let f = forecaster.forecast(0.95);
+            prop_assert!(r >= f.lower.max(0.0) - 1e-6);
+            prop_assert!(r <= f.upper.max(f.lower.max(0.0) + 1e-9) + 1e-6);
+            forecaster.observe(r);
+        }
+    }
+
+    /// Proposition 1 holds constructively for every generated theft: the
+    /// under-report attack always under-reports somewhere and profits.
+    #[test]
+    fn generated_thefts_satisfy_proposition_1((level, amplitude, seed) in params()) {
+        let train = history(6, level, amplitude, seed);
+        let Ok(model) = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).expect("order"))
+        else {
+            return Ok(());
+        };
+        let actual = train.week_vector(5);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let attack = arima_attack(&ctx, Direction::UnderReport);
+        let scheme = PricingScheme::flat_default();
+        if attack.advantage(&scheme).is_gain() {
+            prop_assert!(attack.under_reports_somewhere());
+        }
+    }
+
+    /// Swapping an all-constant week is the identity (nothing to gain).
+    #[test]
+    fn swap_of_constant_week_is_identity(value in 0.01f64..10.0) {
+        let week = WeekVector::new(vec![value; SLOTS_PER_WEEK]).expect("constant week");
+        let attack = optimal_swap(&week, &TouPlan::ireland_nightsaver(), 0);
+        prop_assert_eq!(attack.actual, attack.reported);
+    }
+}

@@ -1,0 +1,40 @@
+//! P2: ARIMA substrate cost — fitting on a 60-week history, seeding a
+//! forecaster, and one-step forecasting (the inner loop of both the
+//! interval detectors and the attack injections).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+
+fn bench_arima(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(1, 61, 7));
+    let split = data.split(0, 60).expect("61 weeks generated");
+    let history = split.train.flat();
+    let spec = ArimaSpec::new(2, 0, 1).expect("static order");
+
+    c.bench_function("arima_fit_201_60_weeks", |b| {
+        b.iter(|| ArimaModel::fit(black_box(history), spec).expect("synthetic history fits"))
+    });
+
+    let model = ArimaModel::fit(history, spec).expect("synthetic history fits");
+    c.bench_function("forecaster_seed_60_weeks", |b| {
+        b.iter(|| model.forecaster(black_box(history)).expect("seeded"))
+    });
+
+    let seeded = model.forecaster(history).expect("seeded");
+    c.bench_function("forecast_observe_step", |b| {
+        b.iter_batched(
+            || seeded.clone(),
+            |mut fc| {
+                let f = fc.forecast(0.95);
+                fc.observe(black_box(f.mean));
+                f
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_arima);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! P3: balance-check sweep cost over a fully instrumented feeder, plus the
+//! Case-2 portable-meter search — the Section V machinery a utility would
+//! run at every polling interval.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fdeta_gridsim::balance::{BalanceChecker, Snapshot};
+use fdeta_gridsim::investigate::PortableMeterSearch;
+use fdeta_gridsim::meter::MeterDeployment;
+use fdeta_gridsim::topology::GridTopology;
+
+fn build(levels: usize) -> (GridTopology, MeterDeployment, Snapshot) {
+    let grid = GridTopology::balanced(levels, 3, 8);
+    let deployment = MeterDeployment::full(&grid);
+    let mut snapshot = Snapshot::new();
+    let thief = grid.consumers().next().expect("consumers exist");
+    for c in grid.consumers() {
+        let reported = if c == thief { 0.2 } else { 1.0 };
+        snapshot
+            .set_consumer(&grid, c, 1.0, reported)
+            .expect("consumer leaf");
+    }
+    for l in grid.losses() {
+        snapshot.set_loss(&grid, l, 0.05).expect("loss leaf");
+    }
+    (grid, deployment, snapshot)
+}
+
+fn bench_balance(c: &mut Criterion) {
+    for levels in [3usize, 4] {
+        let (grid, deployment, snapshot) = build(levels);
+        let consumers = grid.consumers().count();
+        let checker = BalanceChecker::default();
+        c.bench_function(&format!("w_events_{consumers}_consumers"), |b| {
+            b.iter(|| {
+                checker
+                    .w_events(black_box(&grid), &deployment, &snapshot)
+                    .expect("snapshot complete")
+            })
+        });
+        c.bench_function(&format!("portable_search_{consumers}_consumers"), |b| {
+            b.iter(|| {
+                PortableMeterSearch::run(black_box(&grid), &snapshot, &checker)
+                    .expect("snapshot complete")
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_balance);
+criterion_main!(benches);

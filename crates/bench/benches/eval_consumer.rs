@@ -1,0 +1,28 @@
+//! P5: cost of the full per-consumer evaluation — fit the utility model,
+//! train every detector, draw the attack vectors, and score. This is the
+//! unit of work the Section VIII protocol repeats 500 times; its cost
+//! bounds how often a utility could re-run the full audit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::eval::{evaluate, EvalConfig};
+
+fn bench_eval(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(1, 62, 17));
+    let config = EvalConfig {
+        train_weeks: 60,
+        attack_vectors: 10,
+        threads: 1,
+        ..EvalConfig::default()
+    };
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(10);
+    group.bench_function("full_protocol_one_consumer_10_vectors", |b| {
+        b.iter(|| evaluate(black_box(&data), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

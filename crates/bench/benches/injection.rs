@@ -1,0 +1,49 @@
+//! P4: attack-injection cost — one ARIMA attack week, one truncated-normal
+//! Integrated-ARIMA vector, and one Optimal Swap; these dominate the
+//! evaluation harness's runtime (50 vectors × 500 consumers in the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{
+    arima_attack, integrated_arima_attack, optimal_swap, Direction, InjectionContext,
+};
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_gridsim::pricing::TouPlan;
+
+fn bench_injection(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(1, 61, 3));
+    let split = data.split(0, 60).expect("61 weeks generated");
+    let actual = split.test.week_vector(0);
+    let model = ArimaModel::fit(split.train.flat(), ArimaSpec::new(2, 0, 1).expect("static"))
+        .expect("synthetic history fits");
+    let ctx = InjectionContext {
+        train: &split.train,
+        actual_week: &actual,
+        model: &model,
+        confidence: 0.95,
+        start_slot: 0,
+    };
+
+    c.bench_function("arima_attack_week", |b| {
+        b.iter(|| arima_attack(black_box(&ctx), Direction::UnderReport))
+    });
+
+    c.bench_function("integrated_arima_vector", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(9),
+            |mut rng| integrated_arima_attack(black_box(&ctx), Direction::OverReport, &mut rng),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let plan = TouPlan::ireland_nightsaver();
+    c.bench_function("optimal_swap_week", |b| {
+        b.iter(|| optimal_swap(black_box(&actual), &plan, 0))
+    });
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! P1: KLD detector throughput — training and per-week scoring cost.
+//!
+//! A utility scores every consumer every week; per-week scoring must be
+//! microseconds for a 500k-meter fleet to be a single-node workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::{Detector, KldDetector, SignificanceLevel};
+use fdeta_gridsim::pricing::TouPlan;
+
+fn bench_kld(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(1, 61, 42));
+    let split = data.split(0, 60).expect("61 weeks generated");
+    let week = split.test.week_vector(0);
+
+    c.bench_function("kld_train_60_weeks", |b| {
+        b.iter(|| {
+            KldDetector::train(black_box(&split.train), 10, SignificanceLevel::Five)
+                .expect("valid matrix")
+        })
+    });
+
+    let detector =
+        KldDetector::train(&split.train, 10, SignificanceLevel::Five).expect("valid matrix");
+    c.bench_function("kld_score_week", |b| {
+        b.iter(|| detector.assess(black_box(&week)))
+    });
+
+    let conditioned = fdeta_detect::ConditionedKldDetector::train_tou(
+        &split.train,
+        &TouPlan::ireland_nightsaver(),
+        10,
+        SignificanceLevel::Five,
+    )
+    .expect("valid matrix");
+    c.bench_function("kld_conditioned_score_week", |b| {
+        b.iter(|| conditioned.assess(black_box(&week)))
+    });
+}
+
+criterion_group!(benches, bench_kld);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Ablation A2: significance-level sweep for the KLD detector.
+//!
+//! Table II shows a crossover: the 5% level beats 10% on Attack Class 1B
+//! (false positives dominate), while 10% beats 5% on 2A/2B and 3A/3B
+//! (aggressiveness pays). This sweep maps the whole α range so the
+//! crossover is visible, reporting detection, false-positive rate, and the
+//! composite Metric 1 per level.
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{integrated_arima_worst_case, Direction, InjectionContext};
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_detect::{Detector, KldDetector};
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        args.consumers = 150;
+    }
+    let data = args.corpus();
+    let scheme = PricingScheme::tou_ireland();
+
+    // Per consumer: train matrix, clean week, worst-case 1B and 2A/2B
+    // attack weeks (shared across the α sweep).
+    let mut prepared = Vec::new();
+    for index in 0..data.len() {
+        let split = data.split(index, args.train_weeks).expect("enough weeks");
+        let record = data.consumer(index);
+        let actual = split.test.week_vector(0);
+        let clean = split.test.week_vector(1);
+        let Ok(model) = ArimaModel::fit(
+            split.train.flat(),
+            ArimaSpec::new(2, 0, 1).expect("static order"),
+        ) else {
+            continue;
+        };
+        let ctx = InjectionContext {
+            train: &split.train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: args.train_weeks * SLOTS_PER_WEEK,
+        };
+        let seed = args.seed ^ (record.id as u64).wrapping_mul(0x9E37_79B9);
+        let over =
+            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme);
+        let under = integrated_arima_worst_case(
+            &ctx,
+            Direction::UnderReport,
+            args.vectors,
+            seed ^ 1,
+            &scheme,
+        );
+        prepared.push((split.train, clean, over.reported, under.reported));
+    }
+
+    println!(
+        "ABLATION A2: significance-level sweep ({} consumers, {} vectors)",
+        prepared.len(),
+        args.vectors
+    );
+    println!();
+    let widths = [8, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["alpha", "FP rate", "det 1B", "det 2A2B", "m1 1B", "m1 2A2B"],
+            &widths
+        )
+    );
+
+    for alpha_pct in [1.0, 2.0, 5.0, 10.0, 15.0, 20.0] {
+        let percentile = 1.0 - alpha_pct / 100.0;
+        let mut fp = 0usize;
+        let mut det_over = 0usize;
+        let mut det_under = 0usize;
+        let mut m1_over = 0usize;
+        let mut m1_under = 0usize;
+        for (train, clean, over, under) in &prepared {
+            let detector = KldDetector::train_at_percentile(train, args.bins, percentile)
+                .expect("valid training matrix");
+            let clean_flag = detector.is_anomalous(clean);
+            let over_flag = detector.is_anomalous(over);
+            let under_flag = detector.is_anomalous(under);
+            fp += usize::from(clean_flag);
+            det_over += usize::from(over_flag);
+            det_under += usize::from(under_flag);
+            m1_over += usize::from(over_flag && !clean_flag);
+            m1_under += usize::from(under_flag && !clean_flag);
+        }
+        let n = prepared.len() as f64;
+        println!(
+            "{}",
+            row(
+                &[
+                    &format!("{alpha_pct}%"),
+                    &pct(fp as f64 / n),
+                    &pct(det_over as f64 / n),
+                    &pct(det_under as f64 / n),
+                    &pct(m1_over as f64 / n),
+                    &pct(m1_under as f64 / n),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("expected shape: detection rises with alpha while FP rises too; the");
+    println!("composite peaks somewhere in between — lower for 1B (already well");
+    println!("detected at strict levels) than for the subtler 2A/2B attack.");
+    let _ = WeekVector::new(vec![0.0; SLOTS_PER_WEEK]); // keep import used in all cfgs
+}

@@ -1,0 +1,77 @@
+//! Ablation A1: impact of the KLD histogram bin count.
+//!
+//! Section VIII-D: "we used 10 bins. Fewer bins produce more false
+//! negatives and fewer false positives. The impact of the number of bins
+//! on the results is a study to be included in extensions of this paper."
+//! This binary runs that extension: for each bin count it reports the
+//! detection rate on the Integrated ARIMA attack (1B and 2A/2B), the
+//! clean-week false-positive rate, and the composite Metric 1.
+
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_detect::eval::{evaluate, DetectorKind, Scenario};
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        // Ablations sweep many configurations; default to a mid-size corpus.
+        args.consumers = 150;
+    }
+    let data = args.corpus();
+
+    println!(
+        "ABLATION A1: KLD bin count (B), {} consumers",
+        args.consumers
+    );
+    println!();
+    let widths = [6, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["B", "FP rate", "det 1B", "det 2A2B", "m1 1B", "m1 2A2B"],
+            &widths
+        )
+    );
+
+    for bins in [4, 6, 8, 10, 14, 20] {
+        let mut config = args.eval_config();
+        config.bins = bins;
+        let eval = evaluate(&data, &config);
+        let n = eval.evaluated_consumers() as f64;
+        let d = DetectorKind::Kld5;
+        let d_idx = DetectorKind::ALL
+            .iter()
+            .position(|&x| x == d)
+            .expect("member");
+        let fp = eval
+            .consumers
+            .iter()
+            .filter(|c| !c.skipped && c.false_positive[d_idx])
+            .count() as f64
+            / n;
+        let det = |s: Scenario| {
+            let s_idx = Scenario::ALL.iter().position(|&x| x == s).expect("member");
+            eval.consumers
+                .iter()
+                .filter(|c| !c.skipped && c.detected[d_idx][s_idx])
+                .count() as f64
+                / n
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    &bins.to_string(),
+                    &pct(fp),
+                    &pct(det(Scenario::IntegratedOver)),
+                    &pct(det(Scenario::IntegratedUnder)),
+                    &pct(eval.metric1(d, Scenario::IntegratedOver)),
+                    &pct(eval.metric1(d, Scenario::IntegratedUnder)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("expected shape: fewer bins -> fewer false positives but more false");
+    println!("negatives (lower detection); the paper's B = 10 balances the two.");
+}

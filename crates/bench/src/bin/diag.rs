@@ -1,0 +1,69 @@
+//! Diagnostic: decomposes each detector's Metric-1 failures into false
+//! negatives (attack not flagged) and false positives (clean week
+//! flagged), which Table II's composite number hides. Useful when
+//! calibrating the synthetic corpus.
+
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_detect::eval::{DetectorKind, Scenario};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let eval = args.evaluation();
+    let n = eval.evaluated_consumers() as f64;
+
+    println!(
+        "diagnostic: detection vs false-positive rates ({} consumers)",
+        n as usize
+    );
+    println!();
+    let widths = [34, 16, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["Detector", "FP rate", "det 1B", "det 2A2B", "det swap", "m1 1B", "m1 2A2B"],
+            &widths
+        )
+    );
+    for d in DetectorKind::ALL {
+        let fp = eval
+            .consumers
+            .iter()
+            .filter(|c| !c.skipped && c.false_positive[d_index(d)])
+            .count() as f64
+            / n;
+        let det = |s: Scenario| {
+            let hits = eval
+                .consumers
+                .iter()
+                .filter(|c| !c.skipped && c.detected[d_index(d)][s_index(s)])
+                .count() as f64;
+            pct(hits / n)
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    d.label(),
+                    &pct(fp),
+                    &det(Scenario::IntegratedOver),
+                    &det(Scenario::IntegratedUnder),
+                    &det(Scenario::Swap),
+                    &pct(eval.metric1(d, Scenario::IntegratedOver)),
+                    &pct(eval.metric1(d, Scenario::IntegratedUnder)),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn d_index(d: DetectorKind) -> usize {
+    DetectorKind::ALL
+        .iter()
+        .position(|&x| x == d)
+        .expect("member")
+}
+
+fn s_index(s: Scenario) -> usize {
+    Scenario::ALL.iter().position(|&x| x == s).expect("member")
+}

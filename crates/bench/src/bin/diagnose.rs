@@ -1,0 +1,102 @@
+//! Experiment X9: model adequacy of the utility's ARIMA order.
+//!
+//! The paper's detectors inherit their confidence intervals from an ARIMA
+//! model whose order the CRITIS-2015 work fixed per consumer offline. This
+//! binary quantifies how adequate a fixed non-seasonal order actually is
+//! on load data: the fraction of consumers whose one-step residuals pass
+//! the Ljung–Box whiteness test, for the plain ARIMA(2,0,1) versus the
+//! daily-seasonal variant. Inadequate (non-white) residuals mean inflated
+//! interval widths — the quantitative reason the interval detectors are so
+//! easy to ride.
+
+use fdeta_arima::seasonal::SeasonalArima;
+use fdeta_arima::{ljung_box, ArimaModel, ArimaSpec};
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_tsdata::SLOTS_PER_DAY;
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        args.consumers = 100;
+    }
+    let data = args.corpus();
+    let spec = ArimaSpec::new(2, 0, 1).expect("static order");
+    let lags = 48; // one day of autocorrelation structure
+
+    let mut plain_white = 0usize;
+    let mut seasonal_white = 0usize;
+    let mut plain_sigma = 0.0;
+    let mut seasonal_sigma = 0.0;
+    let mut evaluated = 0usize;
+    for index in 0..data.len() {
+        let split = data.split(index, args.train_weeks).expect("enough weeks");
+        let (Ok(plain), Ok(seasonal)) = (
+            ArimaModel::fit(split.train.flat(), spec),
+            SeasonalArima::fit(split.train.flat(), SLOTS_PER_DAY, spec),
+        ) else {
+            continue;
+        };
+        // Residuals: run each forecaster over the test weeks and collect
+        // one-step errors.
+        let mut plain_fc = plain.forecaster(split.train.flat()).expect("seeded");
+        let mut seasonal_fc = seasonal.forecaster(split.train.flat()).expect("seeded");
+        let mut plain_resid = Vec::new();
+        let mut seasonal_resid = Vec::new();
+        for week in split.test.iter_weeks() {
+            for &v in week {
+                plain_resid.push(v - plain_fc.forecast(0.95).mean);
+                seasonal_resid.push(v - seasonal_fc.forecast(0.95).mean);
+                plain_fc.observe(v);
+                seasonal_fc.observe(v);
+            }
+        }
+        let params = spec.parameter_count() - 1;
+        if let Ok(result) = ljung_box(&plain_resid, lags, params) {
+            plain_white += usize::from(!result.rejects_whiteness(0.01));
+        }
+        if let Ok(result) = ljung_box(&seasonal_resid, lags, params) {
+            seasonal_white += usize::from(!result.rejects_whiteness(0.01));
+        }
+        plain_sigma += plain.sigma2().sqrt();
+        seasonal_sigma += seasonal.inner().sigma2().sqrt();
+        evaluated += 1;
+    }
+
+    let n = evaluated as f64;
+    println!("EXPERIMENT X9: ARIMA model adequacy on load data ({evaluated} consumers)");
+    println!();
+    let widths = [26, 20, 20];
+    println!(
+        "{}",
+        row(&["model", "residuals white", "mean sigma (kW)"], &widths)
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "ARIMA(2,0,1)",
+                &pct(plain_white as f64 / n),
+                &format!("{:.3}", plain_sigma / n),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "ARIMA(2,0,1) x (0,1,0)_48",
+                &pct(seasonal_white as f64 / n),
+                &format!("{:.3}", seasonal_sigma / n),
+            ],
+            &widths
+        )
+    );
+    println!();
+    println!("non-white residuals mean the order is inadequate and the detector's");
+    println!("interval widths over-cover — quantifying why boundary-riding attacks");
+    println!("have so much room inside the plain model's confidence band. (With");
+    println!("thousands of test residuals the test has power to reject even small");
+    println!("residual structure: a FIXED per-fleet order is never truly adequate,");
+    println!("which is itself the finding.)");
+}

@@ -1,0 +1,61 @@
+//! Regenerates Fig. 2: the paper's example radial topology as Graphviz
+//! DOT (`dot -Tsvg` renders it).
+//!
+//! The figure shows internal nodes N1–N3, consumers C1–C5, and loss
+//! pseudo-nodes L1–L3 with the additivity relations
+//! `D_N1 = D_N2 + D_N3 + D_L1` and `D_N3 = D_C4 + D_C5 + D_L3`, which this
+//! binary also *verifies* on a demand snapshot before printing.
+
+use fdeta_gridsim::balance::{BalanceChecker, Snapshot};
+use fdeta_gridsim::meter::MeterDeployment;
+use fdeta_gridsim::to_dot;
+use fdeta_gridsim::topology::GridTopology;
+
+fn main() {
+    // N1 is the root; N2 and N3 are its internal children; L1 hangs off
+    // N1; C1..C3 + L2 under N2; C4, C5 + L3 under N3.
+    let mut grid = GridTopology::new();
+    let n1 = grid.root();
+    let n2 = grid.add_internal(n1).expect("root is internal");
+    let n3 = grid.add_internal(n1).expect("root is internal");
+    let l1 = grid.add_loss(n1).expect("root is internal");
+    let c1 = grid.add_consumer(n2, "C1").expect("internal");
+    let c2 = grid.add_consumer(n2, "C2").expect("internal");
+    let c3 = grid.add_consumer(n2, "C3").expect("internal");
+    let l2 = grid.add_loss(n2).expect("internal");
+    let c4 = grid.add_consumer(n3, "C4").expect("internal");
+    let c5 = grid.add_consumer(n3, "C5").expect("internal");
+    let l3 = grid.add_loss(n3).expect("internal");
+
+    // Verify the figure's additivity relations on a concrete snapshot.
+    let mut snapshot = Snapshot::new();
+    for (node, demand) in [(c1, 1.0), (c2, 0.8), (c3, 1.2), (c4, 0.5), (c5, 2.0)] {
+        snapshot
+            .set_consumer(&grid, node, demand, demand)
+            .expect("consumer");
+    }
+    for (node, loss) in [(l1, 0.05), (l2, 0.03), (l3, 0.02)] {
+        snapshot.set_loss(&grid, node, loss).expect("loss");
+    }
+    let d_n3 = snapshot.actual_flow(&grid, n3).expect("complete");
+    let d_n2 = snapshot.actual_flow(&grid, n2).expect("complete");
+    let d_n1 = snapshot.actual_flow(&grid, n1).expect("complete");
+    assert!(
+        (d_n3 - (0.5 + 2.0 + 0.02)).abs() < 1e-12,
+        "D_N3 = D_C4 + D_C5 + D_L3"
+    );
+    assert!(
+        (d_n1 - (d_n2 + d_n3 + 0.05)).abs() < 1e-12,
+        "D_N1 = D_N2 + D_N3 + D_L1"
+    );
+    eprintln!("additivity relations of Fig. 2 verified: D_N1 = {d_n1:.2} kW");
+
+    // Balance checks pass at every metered node (honest reports).
+    let deployment = MeterDeployment::full(&grid);
+    let events = BalanceChecker::default()
+        .w_events(&grid, &deployment, &snapshot)
+        .expect("complete snapshot");
+    assert!(events.values().all(|s| !s.is_failure()));
+
+    print!("{}", to_dot(&grid, &deployment, Some(&events)));
+}

@@ -1,0 +1,137 @@
+//! Experiment X4: multiple victims / multiple attackers (the paper's
+//! closing future-work item: "account for the presence of multiple
+//! attackers").
+//!
+//! The sharpest multi-party variant of Attack Class 1B: instead of
+//! dumping the stolen energy onto one neighbour's bill, Mallory spreads
+//! the same total across `k` victims, inflating each by `1/k` of the
+//! theft. Per-consumer detectors see a `k`-times smaller distortion per
+//! victim, so per-victim detection decays with `k` — quantifying how much
+//! a *distributed* thief gains, and what aggregate (feeder-level) checks
+//! must therefore add.
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{integrated_arima_worst_case, Direction, InjectionContext};
+use fdeta_bench::{kwh, pct, row, RunArgs};
+use fdeta_detect::{Detector, KldDetector, SignificanceLevel};
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        args.consumers = 120;
+    }
+    let data = args.corpus();
+    let scheme = PricingScheme::tou_ireland();
+
+    // Per prospective victim: the trained detector, the actual test week,
+    // and the *concentrated* theft delta an attacker would dump on them.
+    struct Victim {
+        detector: KldDetector,
+        actual: WeekVector,
+        delta: Vec<f64>,
+    }
+    let mut victims = Vec::new();
+    for index in 0..data.len() {
+        let split = data.split(index, args.train_weeks).expect("enough weeks");
+        let actual = split.test.week_vector(0);
+        let Ok(model) = ArimaModel::fit(
+            split.train.flat(),
+            ArimaSpec::new(2, 0, 1).expect("static order"),
+        ) else {
+            continue;
+        };
+        let ctx = InjectionContext {
+            train: &split.train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: args.train_weeks * SLOTS_PER_WEEK,
+        };
+        let seed = args.seed ^ (index as u64).wrapping_mul(0x2545_F491);
+        let attack =
+            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme);
+        let delta: Vec<f64> = attack
+            .reported
+            .as_slice()
+            .iter()
+            .zip(attack.actual.as_slice())
+            .map(|(r, a)| (r - a).max(0.0))
+            .collect();
+        let detector = KldDetector::train(&split.train, args.bins, SignificanceLevel::Ten)
+            .expect("valid training matrix");
+        victims.push(Victim {
+            detector,
+            actual,
+            delta,
+        });
+    }
+
+    println!(
+        "EXPERIMENT X4: distributed Class-1B theft across k victims ({} candidates)",
+        victims.len()
+    );
+    println!();
+    let widths = [10, 16, 16, 20];
+    println!(
+        "{}",
+        row(
+            &[
+                "k victims",
+                "per-victim det",
+                "stolen/victim",
+                "undetected kWh/att."
+            ],
+            &widths
+        )
+    );
+
+    for k in [1usize, 2, 4, 8, 16] {
+        // Spread each attacker's theft over k victims: every victim
+        // receives 1/k of a (cyclically chosen) attacker's delta.
+        let mut detected = 0usize;
+        let mut total_victims = 0usize;
+        let mut undetected_kwh = 0.0;
+        let mut per_victim_kwh = 0.0;
+        for (v, victim) in victims.iter().enumerate() {
+            // The delta this victim absorbs comes from attacker v/k.
+            let source = &victims[(v / k) * k % victims.len()];
+            let reported: Vec<f64> = victim
+                .actual
+                .as_slice()
+                .iter()
+                .zip(&source.delta)
+                .map(|(a, d)| a + d / k as f64)
+                .collect();
+            let week = WeekVector::new(reported).expect("valid inflated week");
+            let share_kwh: f64 =
+                source.delta.iter().sum::<f64>() / k as f64 * fdeta_tsdata::SLOT_HOURS;
+            per_victim_kwh += share_kwh;
+            total_victims += 1;
+            if victim.detector.is_anomalous(&week) {
+                detected += 1;
+            } else {
+                undetected_kwh += share_kwh;
+            }
+        }
+        let det_rate = detected as f64 / total_victims as f64;
+        println!(
+            "{}",
+            row(
+                &[
+                    &k.to_string(),
+                    &pct(det_rate),
+                    &kwh(per_victim_kwh / total_victims as f64),
+                    &kwh(undetected_kwh * k as f64 / total_victims as f64),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("expected shape: per-victim detection decays as the theft is spread");
+    println!("thinner, while the per-attacker undetected total *rises* — the gap a");
+    println!("feeder-level aggregate check (the trusted root meter) must close.");
+}

@@ -1,0 +1,125 @@
+//! Experiment X5: the PCA detector (companion work, QEST 2015) vs the KLD
+//! detector on the paper's attack realisations.
+//!
+//! The two detectors see different projections of the same week: KLD sees
+//! the *value distribution* (blind to reordering), PCA sees the *temporal
+//! pattern* (blind to distribution shifts that mimic the weekly shape).
+//! This comparison quantifies the complementarity on all three attack
+//! groups, plus a combined OR-detector.
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{integrated_arima_worst_case, optimal_swap, Direction, InjectionContext};
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_detect::{Detector, KldDetector, PcaDetector, SignificanceLevel};
+use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        args.consumers = 120;
+    }
+    let data = args.corpus();
+    let scheme = PricingScheme::tou_ireland();
+    let plan = TouPlan::ireland_nightsaver();
+
+    #[derive(Default)]
+    struct Tally {
+        kld: [usize; 3],
+        pca: [usize; 3],
+        both: [usize; 3],
+        kld_fp: usize,
+        pca_fp: usize,
+        both_fp: usize,
+        n: usize,
+    }
+    let mut tally = Tally::default();
+
+    for index in 0..data.len() {
+        let split = data.split(index, args.train_weeks).expect("enough weeks");
+        let actual = split.test.week_vector(0);
+        let clean = split.test.week_vector(1);
+        let Ok(model) = ArimaModel::fit(
+            split.train.flat(),
+            ArimaSpec::new(2, 0, 1).expect("static order"),
+        ) else {
+            continue;
+        };
+        let ctx = InjectionContext {
+            train: &split.train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: args.train_weeks * SLOTS_PER_WEEK,
+        };
+        let seed = args.seed ^ (index as u64).wrapping_mul(0x94D0_49BB);
+        let attacks: [WeekVector; 3] = [
+            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme)
+                .reported,
+            integrated_arima_worst_case(
+                &ctx,
+                Direction::UnderReport,
+                args.vectors,
+                seed ^ 1,
+                &scheme,
+            )
+            .reported,
+            optimal_swap(&actual, &plan, ctx.start_slot).reported,
+        ];
+        let kld = KldDetector::train(&split.train, args.bins, SignificanceLevel::Ten)
+            .expect("valid training matrix");
+        let Ok(pca) = PcaDetector::train(&split.train, 3, SignificanceLevel::Ten) else {
+            continue;
+        };
+        tally.n += 1;
+        tally.kld_fp += usize::from(kld.is_anomalous(&clean));
+        tally.pca_fp += usize::from(pca.is_anomalous(&clean));
+        tally.both_fp += usize::from(kld.is_anomalous(&clean) || pca.is_anomalous(&clean));
+        for (i, week) in attacks.iter().enumerate() {
+            let k = kld.is_anomalous(week);
+            let p = pca.is_anomalous(week);
+            tally.kld[i] += usize::from(k);
+            tally.pca[i] += usize::from(p);
+            tally.both[i] += usize::from(k || p);
+        }
+    }
+
+    let n = tally.n as f64;
+    println!(
+        "EXPERIMENT X5: PCA vs KLD detectors @10% significance ({} consumers)",
+        tally.n
+    );
+    println!();
+    let widths = [18, 10, 12, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["detector", "det 1B", "det 2A/2B", "det swap", "FP rate"],
+            &widths
+        )
+    );
+    for (name, det, fp) in [
+        ("KLD", &tally.kld, tally.kld_fp),
+        ("PCA", &tally.pca, tally.pca_fp),
+        ("KLD OR PCA", &tally.both, tally.both_fp),
+    ] {
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    &pct(det[0] as f64 / n),
+                    &pct(det[1] as f64 / n),
+                    &pct(det[2] as f64 / n),
+                    &pct(fp as f64 / n),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("expected shape: KLD leads on distribution-shifting attacks (1B, 2A/2B);");
+    println!("PCA sees the swap's reordering that unconditioned KLD cannot; the union");
+    println!("improves coverage at the cost of a higher combined false-positive rate.");
+}

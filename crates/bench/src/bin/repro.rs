@@ -1,0 +1,178 @@
+//! One-shot reproduction: runs the full Section VIII evaluation once and
+//! prints Table II, Table III, and the headline improvement statistics.
+//!
+//! ```sh
+//! cargo run --release -p fdeta-bench --bin repro              # paper scale
+//! cargo run --release -p fdeta-bench --bin repro -- --consumers 100 --vectors 10
+//! ```
+
+use fdeta_bench::{dollars, kwh, pct, row, RunArgs};
+use fdeta_detect::eval::{DetectorKind, Scenario};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let eval = args.evaluation();
+    let n = eval.evaluated_consumers();
+
+    // ---------------- Table II ----------------
+    println!();
+    println!("TABLE II: Metric 1 — % of consumers for whom the detector detected the attack");
+    println!(
+        "({n} consumers, {} train weeks, {} attack vectors, seed {:#x})",
+        args.train_weeks, args.vectors, args.seed
+    );
+    println!();
+    let widths2 = [34, 8, 8, 8];
+    println!(
+        "{}",
+        row(
+            &["Electricity Theft Detector", "1B", "2A/2B", "3A/3B"],
+            &widths2
+        )
+    );
+    let rows2: [(&str, DetectorKind, DetectorKind); 4] = [
+        ("ARIMA detector", DetectorKind::Arima, DetectorKind::Arima),
+        (
+            "Integrated ARIMA detector",
+            DetectorKind::Integrated,
+            DetectorKind::Integrated,
+        ),
+        (
+            "KLD detector (5% significance)",
+            DetectorKind::Kld5,
+            DetectorKind::CondKld5,
+        ),
+        (
+            "KLD detector (10% significance)",
+            DetectorKind::Kld10,
+            DetectorKind::CondKld10,
+        ),
+    ];
+    for (label, main_detector, swap_detector) in rows2 {
+        println!(
+            "{}",
+            row(
+                &[
+                    label,
+                    &pct(eval.metric1(main_detector, Scenario::IntegratedOver)),
+                    &pct(eval.metric1(main_detector, Scenario::IntegratedUnder)),
+                    &pct(eval.metric1(swap_detector, Scenario::Swap)),
+                ],
+                &widths2
+            )
+        );
+    }
+
+    // ---------------- Table III ----------------
+    println!();
+    println!("TABLE III: Metric 2 — maximum attacker gains in one week");
+    println!();
+    let widths3 = [34, 14, 12, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "Electricity Theft Detector",
+                "Attack Class",
+                "1B",
+                "2A/2B",
+                "3A/3B"
+            ],
+            &widths3
+        )
+    );
+    let rows3: [(&str, DetectorKind, DetectorKind, Scenario, Scenario); 4] = [
+        (
+            "ARIMA detector",
+            DetectorKind::Arima,
+            DetectorKind::Arima,
+            Scenario::ArimaOver,
+            Scenario::ArimaUnder,
+        ),
+        (
+            "Integrated ARIMA detector",
+            DetectorKind::Integrated,
+            DetectorKind::Integrated,
+            Scenario::IntegratedOver,
+            Scenario::IntegratedUnder,
+        ),
+        (
+            "KLD detector (5% significance)",
+            DetectorKind::Kld5,
+            DetectorKind::CondKld5,
+            Scenario::IntegratedOver,
+            Scenario::IntegratedUnder,
+        ),
+        (
+            "KLD detector (10% significance)",
+            DetectorKind::Kld10,
+            DetectorKind::CondKld10,
+            Scenario::IntegratedOver,
+            Scenario::IntegratedUnder,
+        ),
+    ];
+    for (label, detector, swap_detector, over, under) in rows3 {
+        let m1b = eval.metric2(detector, over);
+        let m2 = eval.metric2(detector, under);
+        let m3 = eval.metric2(swap_detector, Scenario::Swap);
+        println!(
+            "{}",
+            row(
+                &[
+                    label,
+                    "Stolen (kWh)",
+                    &kwh(m1b.stolen_kwh),
+                    &kwh(m2.stolen_kwh),
+                    &kwh(m3.stolen_kwh),
+                ],
+                &widths3
+            )
+        );
+        println!(
+            "{}",
+            row(
+                &[
+                    "",
+                    "Profit ($)",
+                    &dollars(m1b.profit_dollars),
+                    &dollars(m2.profit_dollars),
+                    &dollars(m3.profit_dollars),
+                ],
+                &widths3
+            )
+        );
+    }
+
+    // ---------------- Headlines ----------------
+    println!();
+    let base = eval
+        .metric2(DetectorKind::Arima, Scenario::ArimaOver)
+        .stolen_kwh;
+    let integrated = eval
+        .metric2(DetectorKind::Integrated, Scenario::IntegratedOver)
+        .stolen_kwh;
+    let integrated_vs_arima = if base > 0.0 {
+        (1.0 - integrated / base) * 100.0
+    } else {
+        0.0
+    };
+    let kld_vs_integrated = eval
+        .improvement_pct(
+            DetectorKind::Integrated,
+            DetectorKind::Kld5,
+            Scenario::IntegratedOver,
+        )
+        .max(eval.improvement_pct(
+            DetectorKind::Integrated,
+            DetectorKind::Kld10,
+            Scenario::IntegratedOver,
+        ));
+    println!(
+        "improvement of Integrated ARIMA over ARIMA detector on Class 1B: {} (paper: ~78%)",
+        pct(integrated_vs_arima / 100.0)
+    );
+    println!(
+        "improvement of KLD over Integrated ARIMA detector on Class 1B:   {} (paper: 94.8%)",
+        pct(kld_vs_integrated / 100.0)
+    );
+}

@@ -1,0 +1,101 @@
+//! Regenerates Table I (attack classification) by simulation.
+//!
+//! Every cell is *measured*: the attack class's canonical injection is run
+//! on a two-consumer feeder under each pricing scheme, the attacker's
+//! advantage (eq. 1) decides feasibility, and per-slot balance checks at a
+//! trusted root meter decide circumvention. The printed matrix is compared
+//! against the paper's Table I and the binary exits non-zero on any
+//! mismatch.
+
+use fdeta_attacks::feasibility::simulate_table1;
+use fdeta_attacks::AttackClass;
+use fdeta_bench::row;
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "Y"
+    } else {
+        "N"
+    }
+}
+
+fn main() {
+    println!("TABLE I: Attack Classification (measured by simulation)");
+    println!();
+    let widths = [33, 4, 4, 4, 4, 4, 4, 4];
+    let header: Vec<String> = std::iter::once("Attack Class".to_owned())
+        .chain(AttackClass::ALL.iter().map(|c| c.paper_name().to_owned()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", row(&header_refs, &widths));
+
+    let matrix = simulate_table1();
+    let mut mismatches = 0;
+
+    // Row 1: possible despite balance check (measured under the scheme
+    // that admits the class; B classes must balance, A classes must not).
+    let mut cells = vec!["Possible despite Balance Check".to_owned()];
+    for (class, outcomes) in &matrix {
+        let measured = outcomes.iter().any(|o| o.feasible && o.circumvents_balance);
+        cells.push(yn(measured).to_owned());
+        if measured != class.circumvents_balance_check() {
+            eprintln!("MISMATCH: {class} balance row (measured {measured})");
+            mismatches += 1;
+        }
+    }
+    let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+    println!("{}", row(&refs, &widths));
+
+    // Rows 2-4: feasibility per scheme.
+    type FeasibilityPredicate = fn(AttackClass) -> bool;
+    let scheme_rows: [(&str, usize, FeasibilityPredicate); 3] = [
+        (
+            "Possible with Flat Rate Pricing",
+            0,
+            AttackClass::possible_with_flat_rate,
+        ),
+        (
+            "Possible with TOU Pricing",
+            1,
+            AttackClass::possible_with_tou,
+        ),
+        ("Possible with RTP", 2, AttackClass::possible_with_rtp),
+    ];
+    for (label, idx, expect) in scheme_rows {
+        let mut cells = vec![label.to_owned()];
+        for (class, outcomes) in &matrix {
+            let measured = outcomes[idx].feasible;
+            cells.push(yn(measured).to_owned());
+            if measured != expect(*class) {
+                eprintln!("MISMATCH: {class} under {label} (measured {measured})");
+                mismatches += 1;
+            }
+        }
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        println!("{}", row(&refs, &widths));
+    }
+
+    // Row 5: requires ADR (measured: feasible with ADR but not without).
+    let mut cells = vec!["Requires ADR".to_owned()];
+    for (class, _) in &matrix {
+        let rtp = fdeta_attacks::feasibility::rtp_scheme();
+        let with = fdeta_attacks::feasibility::simulate(*class, &rtp, true).feasible;
+        let without = fdeta_attacks::feasibility::simulate(*class, &rtp, false).feasible;
+        let measured = with && !without;
+        cells.push(yn(measured).to_owned());
+        if measured != class.requires_adr() {
+            eprintln!("MISMATCH: {class} ADR row (measured {measured})");
+            mismatches += 1;
+        }
+    }
+    let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+    println!("{}", row(&refs, &widths));
+
+    println!();
+    if mismatches == 0 {
+        println!("measured matrix matches the paper's Table I exactly");
+    } else {
+        println!("{mismatches} cells disagree with the paper's Table I");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary accepts the same flags (all optional):
+//!
+//! ```text
+//! --consumers N   corpus size                  (default 500, paper scale)
+//! --weeks N       weeks per consumer           (default 74)
+//! --train N       training weeks               (default 60)
+//! --vectors N     truncated-normal draws       (default 50)
+//! --bins N        KLD histogram bins           (default 10)
+//! --seed N        master seed                  (default paper seed)
+//! --threads N     worker threads               (default: all cores)
+//! ```
+//!
+//! `--consumers 60 --weeks 20 --train 16 --vectors 10` gives a minute-scale
+//! smoke run whose *shapes* already match the paper; the defaults reproduce
+//! the full 500 × 74 protocol.
+
+use std::time::Instant;
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::eval::{evaluate, EvalConfig, Evaluation};
+
+/// Parsed command-line options shared by all reproduction binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Number of consumers to synthesise.
+    pub consumers: usize,
+    /// Weeks per consumer.
+    pub weeks: usize,
+    /// Training weeks.
+    pub train_weeks: usize,
+    /// Truncated-normal attack vectors per consumer.
+    pub vectors: usize,
+    /// KLD histogram bins.
+    pub bins: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            consumers: 500,
+            weeks: 74,
+            train_weeks: 60,
+            vectors: 50,
+            bins: 10,
+            seed: DatasetConfig::default().seed,
+            threads: 0,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed value.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse(&args)
+    }
+
+    /// Parses an explicit argument vector (element 0 is the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed value or an impossible
+    /// week/train combination.
+    pub fn parse(args: &[String]) -> Self {
+        let mut out = Self::default();
+        let mut i = 1;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let mut take = |field: &mut usize| {
+                i += 1;
+                *field = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("expected a number after {flag}"));
+            };
+            match flag {
+                "--consumers" => take(&mut out.consumers),
+                "--weeks" => take(&mut out.weeks),
+                "--train" => take(&mut out.train_weeks),
+                "--vectors" => take(&mut out.vectors),
+                "--bins" => take(&mut out.bins),
+                "--threads" => take(&mut out.threads),
+                "--seed" => {
+                    i += 1;
+                    out.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("expected a number after --seed"));
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        assert!(
+            out.weeks >= out.train_weeks + 2,
+            "--weeks must exceed --train by at least 2 (attack week + clean week)"
+        );
+        out
+    }
+
+    /// The dataset configuration implied by these arguments.
+    pub fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig {
+            consumers: self.consumers,
+            weeks: self.weeks,
+            seed: self.seed,
+            ..DatasetConfig::default()
+        }
+    }
+
+    /// The evaluation configuration implied by these arguments.
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            train_weeks: self.train_weeks,
+            attack_vectors: self.vectors,
+            bins: self.bins,
+            seed: self.seed,
+            threads: self.threads,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Generates the corpus (with a progress line on stderr).
+    pub fn corpus(&self) -> SyntheticDataset {
+        let started = Instant::now();
+        eprintln!(
+            "generating synthetic CER corpus: {} consumers x {} weeks (seed {:#x})...",
+            self.consumers, self.weeks, self.seed
+        );
+        let data = SyntheticDataset::generate(&self.dataset_config());
+        eprintln!("corpus ready in {:.1?}", started.elapsed());
+        data
+    }
+
+    /// Generates the corpus and runs the full evaluation protocol.
+    pub fn evaluation(&self) -> Evaluation {
+        let data = self.corpus();
+        let started = Instant::now();
+        eprintln!(
+            "running evaluation: train {} weeks, {} attack vectors/consumer...",
+            self.train_weeks, self.vectors
+        );
+        let eval = evaluate(&data, &self.eval_config());
+        eprintln!("evaluation done in {:.1?}", started.elapsed());
+        eval
+    }
+}
+
+/// Formats a fraction as a paper-style percentage ("90.3%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a kWh quantity with thousands separators, paper-style.
+pub fn kwh(value: f64) -> String {
+    group_thousands(value.round() as i64)
+}
+
+/// Formats a dollar amount, paper-style (integer dollars above $100,
+/// one decimal below).
+pub fn dollars(value: f64) -> String {
+    if value.abs() >= 100.0 {
+        group_thousands(value.round() as i64)
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+fn group_thousands(mut v: i64) -> String {
+    let negative = v < 0;
+    v = v.abs();
+    let mut groups = Vec::new();
+    loop {
+        groups.push(format!("{:03}", v % 1000));
+        v /= 1000;
+        if v == 0 {
+            break;
+        }
+    }
+    let mut s = groups
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(i, g)| {
+            if i == 0 {
+                g.trim_start_matches('0').to_owned()
+            } else {
+                g.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    if s.starts_with(',') || s.is_empty() {
+        s = format!("0{s}");
+    }
+    if negative {
+        format!("-{s}")
+    } else {
+        s
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(pct(0.903), "90.3%");
+        assert_eq!(kwh(362261.4), "362,261");
+        assert_eq!(kwh(79325.0), "79,325");
+        assert_eq!(kwh(237.0), "237");
+        assert_eq!(kwh(0.4), "0");
+        assert_eq!(dollars(14.31), "14.3");
+        assert_eq!(dollars(15413.0), "15,413");
+        assert_eq!(dollars(-3.25), "-3.2");
+    }
+
+    #[test]
+    fn group_thousands_edge_cases() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(1000000), "1,000,000");
+        assert_eq!(group_thousands(-1234567), "-1,234,567");
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        std::iter::once("prog")
+            .chain(list.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn parse_reads_flags_and_ignores_unknown() {
+        let parsed = RunArgs::parse(&args(&[
+            "--consumers",
+            "42",
+            "--weeks",
+            "30",
+            "--train",
+            "20",
+            "--vectors",
+            "7",
+            "--bins",
+            "12",
+            "--seed",
+            "9",
+            "--threads",
+            "3",
+            "--mystery",
+            "x",
+        ]));
+        assert_eq!(parsed.consumers, 42);
+        assert_eq!(parsed.weeks, 30);
+        assert_eq!(parsed.train_weeks, 20);
+        assert_eq!(parsed.vectors, 7);
+        assert_eq!(parsed.bins, 12);
+        assert_eq!(parsed.seed, 9);
+        assert_eq!(parsed.threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a number")]
+    fn parse_rejects_malformed_values() {
+        RunArgs::parse(&args(&["--consumers", "lots"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--weeks must exceed --train")]
+    fn parse_rejects_impossible_split() {
+        RunArgs::parse(&args(&["--weeks", "10", "--train", "9"]));
+    }
+
+    #[test]
+    fn default_args_are_paper_scale() {
+        let args = RunArgs::default();
+        assert_eq!(args.consumers, 500);
+        assert_eq!(args.weeks, 74);
+        assert_eq!(args.train_weeks, 60);
+        assert_eq!(args.vectors, 50);
+    }
+
+    #[test]
+    fn row_pads_columns() {
+        assert_eq!(row(&["a", "bb"], &[3, 4]), "a   | bb  ");
+    }
+}

@@ -1,0 +1,358 @@
+//! The synthetic dataset: generation, splitting, and CER-format I/O.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, Write};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::csv::{read_cer_records, records_to_series, write_cer_series};
+use fdeta_tsdata::series::HalfHourSeries;
+use fdeta_tsdata::week::WeekMatrix;
+use fdeta_tsdata::{TsError, DAYS_PER_WEEK, SLOTS_PER_DAY};
+
+use crate::config::DatasetConfig;
+use crate::profile::{ConsumerClass, ConsumerProfile};
+use crate::shape::{daily_shape, seasonal_factor};
+
+/// One consumer's data: identity, class, generation profile, and readings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerRecord {
+    /// CER-style meter id (synthetic ids start at 1000).
+    pub id: u32,
+    /// Consumer category.
+    pub class: ConsumerClass,
+    /// The generation profile (absent for loaded real data).
+    pub profile: Option<ConsumerProfile>,
+    /// Half-hour average-demand readings.
+    pub series: HalfHourSeries,
+}
+
+/// One consumer's train/test week matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// The training matrix `X` (first `train_weeks` weeks).
+    pub train: WeekMatrix,
+    /// The held-out test weeks.
+    pub test: WeekMatrix,
+}
+
+/// A corpus of consumers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticDataset {
+    records: Vec<ConsumerRecord>,
+}
+
+impl SyntheticDataset {
+    /// Generates the corpus described by `config`. Deterministic in
+    /// `config.seed`; each consumer draws from an independent stream, so
+    /// changing `consumers` does not reshuffle existing consumers.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        let records = (0..config.consumers)
+            .map(|i| Self::generate_consumer(config, i))
+            .collect();
+        Self { records }
+    }
+
+    fn class_for_index(config: &DatasetConfig, index: usize) -> ConsumerClass {
+        // Deterministic counts: residential first, then the remainder split
+        // between SME and unclassified at the paper's 36:60 ratio.
+        let residential = (config.consumers as f64 * config.residential_fraction).round() as usize;
+        let remainder = config.consumers.saturating_sub(residential);
+        let sme = (remainder as f64 * 36.0 / 96.0).round() as usize;
+        if index < residential {
+            ConsumerClass::Residential
+        } else if index < residential + sme {
+            ConsumerClass::Sme
+        } else {
+            ConsumerClass::Unclassified
+        }
+    }
+
+    fn generate_consumer(config: &DatasetConfig, index: usize) -> ConsumerRecord {
+        let mut hasher = DefaultHasher::new();
+        (config.seed, index as u64).hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        let class = Self::class_for_index(config, index);
+        let id = 1000 + index as u32;
+        let profile = ConsumerProfile::sample(id, class, &mut rng);
+
+        let gauss = |rng: &mut StdRng| -> f64 {
+            (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0
+        };
+
+        let mut values = Vec::with_capacity(config.weeks * DAYS_PER_WEEK * SLOTS_PER_DAY);
+        for week in 0..config.weeks {
+            let vacation = rng.gen_bool(config.vacation_week_prob);
+            let season = seasonal_factor(week, config.weeks, config.seasonal_amplitude);
+            // Behavioural week-level wander (occupancy, weather).
+            let level = (config.weekly_level_sigma * gauss(&mut rng)).exp();
+            for day in 0..DAYS_PER_WEEK {
+                let weekend = day >= 5;
+                let party = !vacation && rng.gen_bool(config.party_day_prob);
+                for slot in 0..SLOTS_PER_DAY {
+                    let mut kw =
+                        profile.scale_kw * daily_shape(&profile, slot, weekend) * season * level;
+                    if vacation {
+                        // Away from home: standing load only.
+                        kw *= 0.15;
+                    }
+                    if party && (34..SLOTS_PER_DAY).contains(&slot) {
+                        // Evening gathering from ~17:00: extra load.
+                        kw *= 2.5;
+                    }
+                    // Multiplicative log-normal noise, mean-one corrected.
+                    let sigma = config.noise_sigma;
+                    let noise = (sigma * gauss(&mut rng) - 0.5 * sigma * sigma).exp();
+                    values.push((kw * noise).max(0.0));
+                }
+            }
+        }
+        let series = HalfHourSeries::from_raw(values).expect("generator emits valid readings");
+        ConsumerRecord {
+            id,
+            class,
+            profile: Some(profile),
+            series,
+        }
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The consumer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn consumer(&self, index: usize) -> &ConsumerRecord {
+        &self.records[index]
+    }
+
+    /// Looks a consumer up by meter id.
+    pub fn by_id(&self, id: u32) -> Option<&ConsumerRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Iterates over consumers.
+    pub fn iter(&self) -> impl Iterator<Item = &ConsumerRecord> {
+        self.records.iter()
+    }
+
+    /// Splits one consumer's series into train/test week matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if the series has fewer than
+    /// `train_weeks + 1` whole weeks (at least one test week must remain).
+    pub fn split(&self, index: usize, train_weeks: usize) -> Result<TrainTestSplit, TsError> {
+        let series = &self.records[index].series;
+        let total = series.whole_weeks();
+        if total < train_weeks + 1 {
+            return Err(TsError::NotEnoughWeeks {
+                required: train_weeks + 1,
+                available: total,
+            });
+        }
+        let train = series.week_range(0, train_weeks)?.to_week_matrix()?;
+        let test = series.week_range(train_weeks, total)?.to_week_matrix()?;
+        Ok(TrainTestSplit { train, test })
+    }
+
+    /// Builds a corpus from real CER-format records (e.g. the ISSDA files),
+    /// truncating every consumer to whole weeks. Consumers are classed
+    /// [`ConsumerClass::Unclassified`] since the CER allocation files are
+    /// separate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSV parse errors.
+    pub fn from_cer_reader<R: BufRead>(reader: R) -> Result<Self, TsError> {
+        let records = read_cer_records(reader)?;
+        let series_map = records_to_series(&records);
+        let mut records = Vec::with_capacity(series_map.len());
+        for (id, series) in series_map {
+            let weeks = series.whole_weeks();
+            let truncated = if weeks == 0 {
+                series
+            } else {
+                series.week_range(0, weeks)?
+            };
+            records.push(ConsumerRecord {
+                id,
+                class: ConsumerClass::Unclassified,
+                profile: None,
+                series: truncated,
+            });
+        }
+        Ok(Self { records })
+    }
+
+    /// Writes the corpus in CER text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_cer<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        for record in &self.records {
+            write_cer_series(writer, record.id, 1, &record.series)?;
+        }
+        Ok(())
+    }
+
+    /// Fraction of consumers whose peak-window (09:00–24:00) consumption
+    /// exceeds their off-peak consumption on more than `day_threshold` of
+    /// days — the paper's TOU plausibility statistic (94.4% at 90%).
+    pub fn peak_heavy_fraction(&self, day_threshold: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let mut peak_heavy = 0usize;
+        for record in &self.records {
+            let values = record.series.as_slice();
+            let days = values.len() / SLOTS_PER_DAY;
+            if days == 0 {
+                continue;
+            }
+            let mut heavy_days = 0usize;
+            for day in 0..days {
+                let start = day * SLOTS_PER_DAY;
+                let off: f64 = values[start..start + 18].iter().sum();
+                let peak: f64 = values[start + 18..start + SLOTS_PER_DAY].iter().sum();
+                if peak > off {
+                    heavy_days += 1;
+                }
+            }
+            if heavy_days as f64 / days as f64 > day_threshold {
+                peak_heavy += 1;
+            }
+        }
+        peak_heavy as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::small(20, 6, 42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consumer_count_and_week_count() {
+        let data = small();
+        assert_eq!(data.len(), 20);
+        for record in data.iter() {
+            assert_eq!(record.series.whole_weeks(), 6);
+        }
+    }
+
+    #[test]
+    fn class_allocation_follows_paper_ratios() {
+        let config = DatasetConfig::small(500, 1, 7);
+        let data = SyntheticDataset::generate(&config);
+        let res = data
+            .iter()
+            .filter(|r| r.class == ConsumerClass::Residential)
+            .count();
+        let sme = data
+            .iter()
+            .filter(|r| r.class == ConsumerClass::Sme)
+            .count();
+        let unc = data
+            .iter()
+            .filter(|r| r.class == ConsumerClass::Unclassified)
+            .count();
+        assert_eq!((res, sme, unc), (404, 36, 60));
+    }
+
+    #[test]
+    fn readings_are_valid_and_nontrivial() {
+        let data = small();
+        for record in data.iter() {
+            assert!(record
+                .series
+                .as_slice()
+                .iter()
+                .all(|&v| v >= 0.0 && v.is_finite()));
+            assert!(record.series.mean_kw() > 0.0);
+        }
+    }
+
+    #[test]
+    fn split_produces_requested_shapes() {
+        let data = small();
+        let split = data.split(0, 4).unwrap();
+        assert_eq!(split.train.weeks(), 4);
+        assert_eq!(split.test.weeks(), 2);
+        assert!(matches!(
+            data.split(0, 6),
+            Err(TsError::NotEnoughWeeks { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_heavy_statistic_matches_paper_shape() {
+        // On a moderate corpus, ≥ ~90% of consumers must be peak-heavy on
+        // >90% of days (paper: 94.4%).
+        let data = SyntheticDataset::generate(&DatasetConfig::small(100, 8, 11));
+        let frac = data.peak_heavy_fraction(0.9);
+        assert!(
+            frac >= 0.90,
+            "peak-heavy fraction {frac} below the paper's regime"
+        );
+    }
+
+    #[test]
+    fn ids_are_stable_and_lookup_works() {
+        let data = small();
+        assert_eq!(data.consumer(0).id, 1000);
+        assert_eq!(data.by_id(1005).unwrap().id, 1005);
+        assert!(data.by_id(9999).is_none());
+    }
+
+    #[test]
+    fn cer_roundtrip_preserves_readings() {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(3, 2, 5));
+        let mut buf = Vec::new();
+        data.write_cer(&mut buf).unwrap();
+        let restored = SyntheticDataset::from_cer_reader(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(restored.len(), 3);
+        for (a, b) in data.iter().zip(restored.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.series.len(), b.series.len());
+            for (x, y) in a.series.as_slice().iter().zip(b.series.as_slice()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_differ_across_consumers() {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(50, 2, 3));
+        let means: Vec<f64> = data.iter().map(|r| r.series.mean_kw()).collect();
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 3.0,
+            "expected heterogeneous scales, got {min}..{max}"
+        );
+    }
+}

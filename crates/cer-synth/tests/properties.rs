@@ -1,0 +1,105 @@
+//! Property-based tests for the synthetic corpus generator.
+
+use proptest::prelude::*;
+
+use fdeta_cer_synth::{ConsumerClass, DatasetConfig, SyntheticDataset};
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+fn config_strategy() -> impl Strategy<Value = DatasetConfig> {
+    (
+        2usize..12,
+        2usize..8,
+        0u64..10_000,
+        0.0f64..1.0,
+        0.0f64..0.3,
+    )
+        .prop_map(
+            |(consumers, weeks, seed, residential, seasonal)| DatasetConfig {
+                consumers,
+                weeks,
+                seed,
+                residential_fraction: residential,
+                seasonal_amplitude: seasonal,
+                ..DatasetConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated reading is a valid demand, for any configuration.
+    #[test]
+    fn readings_always_valid(config in config_strategy()) {
+        let data = SyntheticDataset::generate(&config);
+        prop_assert_eq!(data.len(), config.consumers);
+        for record in data.iter() {
+            prop_assert_eq!(record.series.whole_weeks(), config.weeks);
+            prop_assert_eq!(record.series.len(), config.weeks * SLOTS_PER_WEEK);
+            prop_assert!(record.series.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0));
+        }
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn generation_is_deterministic(config in config_strategy()) {
+        let a = SyntheticDataset::generate(&config);
+        let b = SyntheticDataset::generate(&config);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Growing the corpus preserves existing consumers byte for byte —
+    /// each consumer draws from an independent stream — *provided* their
+    /// class assignment is unchanged (class counts scale with corpus
+    /// size).
+    #[test]
+    fn growing_corpus_is_stable_for_unchanged_classes(config in config_strategy()) {
+        let small = SyntheticDataset::generate(&config);
+        let mut bigger_config = config.clone();
+        bigger_config.consumers += 3;
+        let bigger = SyntheticDataset::generate(&bigger_config);
+        for i in 0..config.consumers {
+            if small.consumer(i).class == bigger.consumer(i).class {
+                prop_assert_eq!(small.consumer(i), bigger.consumer(i), "consumer {} changed", i);
+            }
+        }
+    }
+
+    /// Class allocation respects the residential fraction and the fixed
+    /// SME:unclassified split of the remainder.
+    #[test]
+    fn class_allocation_is_consistent(config in config_strategy()) {
+        let data = SyntheticDataset::generate(&config);
+        let residential =
+            data.iter().filter(|r| r.class == ConsumerClass::Residential).count();
+        let expected =
+            (config.consumers as f64 * config.residential_fraction).round() as usize;
+        prop_assert_eq!(residential, expected.min(config.consumers));
+        // Residential consumers come first (stable indices for tests).
+        for (i, record) in data.iter().enumerate() {
+            if i < residential {
+                prop_assert_eq!(record.class, ConsumerClass::Residential);
+            }
+        }
+    }
+
+    /// The train/test split never loses or duplicates readings.
+    #[test]
+    fn split_partitions_the_series(config in config_strategy(), train_frac in 0.2f64..0.8) {
+        let data = SyntheticDataset::generate(&config);
+        let train_weeks = ((config.weeks as f64 * train_frac) as usize)
+            .clamp(1, config.weeks - 1);
+        let split = data.split(0, train_weeks).expect("valid split");
+        prop_assert_eq!(split.train.weeks(), train_weeks);
+        prop_assert_eq!(split.test.weeks(), config.weeks - train_weeks);
+        let original = data.consumer(0).series.as_slice();
+        let rejoined: Vec<f64> = split
+            .train
+            .flat()
+            .iter()
+            .chain(split.test.flat())
+            .copied()
+            .collect();
+        prop_assert_eq!(original, &rejoined[..]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The ARIMA detector: per-reading confidence-interval checks.
+
+use fdeta_arima::ArimaModel;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+use crate::detector::{Detector, Verdict};
+
+/// The CRITIS-2015 baseline detector: forecast each reading one step ahead
+/// and count readings outside the confidence interval.
+///
+/// A clean week is *expected* to violate a 95% interval in about 5% of its
+/// 336 readings, so flagging on any single violation would flag every
+/// clean week. The detector therefore flags a week when the violation
+/// count exceeds the nominal rate by more than `z_margin` binomial
+/// standard deviations — a calibrated "more violations than chance" rule.
+///
+/// The forecaster updates on the *reported* readings while scanning, so an
+/// attack that rides the interval boundary drags the interval with it —
+/// the poisoning weakness the paper's attacks exploit.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ArimaDetector {
+    seeded: fdeta_arima::Forecaster,
+    confidence: f64,
+    z_margin: f64,
+}
+
+impl ArimaDetector {
+    /// Trains the detector: fits nothing new, but seeds a forecaster with
+    /// the training history once; each assessment clones that small
+    /// seeded state instead of replaying the history.
+    pub fn new(model: ArimaModel, train: &WeekMatrix, confidence: f64) -> Self {
+        let seeded = model
+            .forecaster(train.flat())
+            .expect("training history seeds the forecaster");
+        Self {
+            seeded,
+            confidence,
+            z_margin: 4.0,
+        }
+    }
+
+    /// Overrides the violation-count margin (in binomial standard
+    /// deviations above the nominal violation rate).
+    pub fn with_margin(mut self, z_margin: f64) -> Self {
+        self.z_margin = z_margin;
+        self
+    }
+
+    /// Counts readings of `week` falling outside the (poisoned) interval.
+    pub fn violations(&self, week: &WeekVector) -> usize {
+        let mut forecaster = self.seeded.clone();
+        let mut violations = 0;
+        for &reading in week.as_slice() {
+            let f = forecaster.forecast(self.confidence);
+            if !(f.lower.max(0.0)..=f.upper.max(0.0)).contains(&reading) {
+                violations += 1;
+            }
+            forecaster.observe(reading);
+        }
+        violations
+    }
+
+    fn threshold(&self) -> f64 {
+        let n = SLOTS_PER_WEEK as f64;
+        let p = 1.0 - self.confidence;
+        n * p + self.z_margin * (n * p * (1.0 - p)).sqrt()
+    }
+}
+
+impl Detector for ArimaDetector {
+    fn name(&self) -> &'static str {
+        "arima"
+    }
+
+    fn assess(&self, week: &WeekVector) -> Verdict {
+        let violations = self.violations(week) as f64;
+        if violations > self.threshold() {
+            Verdict::flagged(violations)
+        } else {
+            Verdict::clean(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_arima::ArimaSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..weeks * SLOTS_PER_WEEK)
+            .map(|i| {
+                let daily = 1.0 + 0.4 * ((i % 48) as f64 / 48.0 * std::f64::consts::TAU).sin();
+                (daily + rng.gen_range(-0.15..0.15)).max(0.0)
+            })
+            .collect();
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    fn detector(train: &WeekMatrix) -> ArimaDetector {
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        ArimaDetector::new(model, train, 0.95)
+    }
+
+    #[test]
+    fn clean_week_is_not_flagged() {
+        let train = training(8, 1);
+        let det = detector(&train);
+        let clean = train.week_vector(7);
+        assert!(!det.is_anomalous(&clean));
+    }
+
+    #[test]
+    fn blatant_spike_week_is_flagged() {
+        let train = training(8, 2);
+        let det = detector(&train);
+        // A week of wild oscillation far outside any one-step interval.
+        let wild: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| if i % 2 == 0 { 30.0 } else { 0.0 })
+            .collect();
+        let week = WeekVector::new(wild).unwrap();
+        let verdict = det.assess(&week);
+        assert!(verdict.anomalous, "violations = {}", verdict.score);
+    }
+
+    #[test]
+    fn boundary_riding_attack_is_not_flagged() {
+        // The ARIMA attack by construction: reported = CI bound each step.
+        use fdeta_attacks::{arima_attack, Direction, InjectionContext};
+        let train = training(8, 3);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let actual = train.week_vector(7);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let det = ArimaDetector::new(model.clone(), &train, 0.95);
+        for direction in [Direction::UnderReport, Direction::OverReport] {
+            let attack = arima_attack(&ctx, direction);
+            assert!(
+                !det.is_anomalous(&attack.reported),
+                "ARIMA attack must evade the ARIMA detector ({direction:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn margin_tunes_aggressiveness() {
+        let train = training(8, 4);
+        let strict = detector(&train).with_margin(-10.0); // absurdly aggressive
+        let clean = train.week_vector(7);
+        assert!(
+            strict.is_anomalous(&clean),
+            "negative margin flags everything"
+        );
+    }
+}

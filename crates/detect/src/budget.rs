@@ -1,0 +1,139 @@
+//! Alert-budget planning.
+//!
+//! Utilities do not choose a significance level in the abstract: they have
+//! a field-investigation capacity — so many meter inspections per week per
+//! thousand consumers — and want the most aggressive detector that stays
+//! inside it. This module turns an operating curve (see [`crate::roc`])
+//! into that choice, making the Section VIII-F.1 trade-off actionable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::roc::RocPoint;
+
+/// A weekly investigation capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertBudget {
+    /// Investigations the utility can staff per week, per 1000 consumers.
+    pub weekly_per_thousand: f64,
+    /// Assumed prevalence of active attackers (fraction of the fleet);
+    /// true detections also consume investigation capacity.
+    pub attacker_prevalence: f64,
+}
+
+impl AlertBudget {
+    /// Expected weekly alerts per 1000 consumers at an operating point:
+    /// false positives on the honest majority plus detections on the
+    /// attacker minority.
+    pub fn expected_load(&self, point: &RocPoint) -> f64 {
+        let honest = 1000.0 * (1.0 - self.attacker_prevalence);
+        let attackers = 1000.0 * self.attacker_prevalence;
+        honest * point.false_positive_rate + attackers * point.detection_rate
+    }
+
+    /// Whether an operating point fits the budget.
+    pub fn admits(&self, point: &RocPoint) -> bool {
+        self.expected_load(point) <= self.weekly_per_thousand
+    }
+
+    /// The most aggressive operating point (maximum detection rate) whose
+    /// expected alert load fits the budget, if any. Ties break toward the
+    /// lower false-positive rate.
+    pub fn pick(&self, curve: &[RocPoint]) -> Option<RocPoint> {
+        curve
+            .iter()
+            .copied()
+            .filter(|p| self.admits(p))
+            .max_by(|a, b| {
+                (a.detection_rate, -a.false_positive_rate)
+                    .partial_cmp(&(b.detection_rate, -b.false_positive_rate))
+                    .expect("finite rates")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<RocPoint> {
+        vec![
+            RocPoint {
+                alpha: 0.01,
+                detection_rate: 0.60,
+                false_positive_rate: 0.01,
+            },
+            RocPoint {
+                alpha: 0.05,
+                detection_rate: 0.92,
+                false_positive_rate: 0.05,
+            },
+            RocPoint {
+                alpha: 0.10,
+                detection_rate: 0.98,
+                false_positive_rate: 0.10,
+            },
+            RocPoint {
+                alpha: 0.20,
+                detection_rate: 1.00,
+                false_positive_rate: 0.17,
+            },
+        ]
+    }
+
+    #[test]
+    fn expected_load_mixes_fp_and_detections() {
+        let budget = AlertBudget {
+            weekly_per_thousand: 100.0,
+            attacker_prevalence: 0.01,
+        };
+        let p = &curve()[1];
+        // 990 honest × 5% + 10 attackers × 92% = 49.5 + 9.2.
+        assert!((budget.expected_load(p) - 58.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pick_is_the_most_aggressive_admissible_point() {
+        let tight = AlertBudget {
+            weekly_per_thousand: 60.0,
+            attacker_prevalence: 0.01,
+        };
+        let chosen = tight.pick(&curve()).expect("some point fits");
+        assert_eq!(
+            chosen.alpha, 0.05,
+            "5% fits a 60-alert budget, 10% does not"
+        );
+
+        let generous = AlertBudget {
+            weekly_per_thousand: 500.0,
+            attacker_prevalence: 0.01,
+        };
+        assert_eq!(generous.pick(&curve()).expect("fits").alpha, 0.20);
+    }
+
+    #[test]
+    fn impossible_budget_yields_none() {
+        let impossible = AlertBudget {
+            weekly_per_thousand: 1.0,
+            attacker_prevalence: 0.01,
+        };
+        assert_eq!(impossible.pick(&curve()), None);
+        assert_eq!(impossible.pick(&[]), None);
+    }
+
+    #[test]
+    fn prevalence_shifts_the_choice() {
+        // With many attackers, true detections alone exhaust the budget
+        // sooner, pushing the choice to a stricter level.
+        let few = AlertBudget {
+            weekly_per_thousand: 150.0,
+            attacker_prevalence: 0.001,
+        };
+        let many = AlertBudget {
+            weekly_per_thousand: 150.0,
+            attacker_prevalence: 0.20,
+        };
+        let few_alpha = few.pick(&curve()).expect("fits").alpha;
+        let many_alpha = many.pick(&curve()).expect("fits").alpha;
+        assert!(many_alpha < few_alpha, "{many_alpha} vs {few_alpha}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The detector abstraction.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::week::WeekVector;
+
+/// A detector's decision about one week of reported readings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether the week is flagged anomalous.
+    pub anomalous: bool,
+    /// The detector's scalar evidence (detector-specific scale: violation
+    /// count for interval detectors, divergence in bits for KLD). Exposed
+    /// so evaluations can study margins, not just binary outcomes.
+    pub score: f64,
+}
+
+impl Verdict {
+    /// A non-anomalous verdict with the given score.
+    pub fn clean(score: f64) -> Self {
+        Self {
+            anomalous: false,
+            score,
+        }
+    }
+
+    /// An anomalous verdict with the given score.
+    pub fn flagged(score: f64) -> Self {
+        Self {
+            anomalous: true,
+            score,
+        }
+    }
+}
+
+/// A per-consumer theft detector, trained on that consumer's history.
+///
+/// Detectors are immutable once trained: scoring clones whatever online
+/// state it needs (e.g. a forecaster), so one trained detector can score
+/// attack weeks and clean weeks independently — required by the
+/// false-positive evaluation, where the same detector must judge many
+/// candidate weeks from the same starting state.
+pub trait Detector {
+    /// Short stable name for reports (e.g. `"kld@5%"`).
+    fn name(&self) -> &'static str;
+
+    /// Scores one week of reported readings.
+    fn assess(&self, week: &WeekVector) -> Verdict;
+
+    /// Convenience: whether the week is flagged.
+    fn is_anomalous(&self, week: &WeekVector) -> bool {
+        self.assess(week).anomalous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+
+    struct Always(bool);
+    impl Detector for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn assess(&self, _week: &WeekVector) -> Verdict {
+            if self.0 {
+                Verdict::flagged(1.0)
+            } else {
+                Verdict::clean(0.0)
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_anomalous_delegates_to_assess() {
+        let week = WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap();
+        assert!(Always(true).is_anomalous(&week));
+        assert!(!Always(false).is_anomalous(&week));
+    }
+
+    #[test]
+    fn verdict_constructors() {
+        assert!(Verdict::flagged(2.0).anomalous);
+        assert!(!Verdict::clean(0.5).anomalous);
+        assert_eq!(Verdict::clean(0.5).score, 0.5);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let detectors: Vec<Box<dyn Detector>> = vec![Box::new(Always(true))];
+        assert_eq!(detectors[0].name(), "always");
+    }
+}

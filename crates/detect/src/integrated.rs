@@ -1,0 +1,200 @@
+//! The Integrated ARIMA detector: interval checks plus weekly mean and
+//! variance range checks.
+
+use fdeta_arima::ArimaModel;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+
+use crate::arima_detector::ArimaDetector;
+use crate::detector::{Detector, Verdict};
+
+/// The CRITIS-2015 detector with "additional checks ... on the mean and
+/// variance of a set of readings": a week is flagged if the interval
+/// detector flags it, or its mean falls outside the range of training
+/// weekly means, or its variance falls outside the range of training
+/// weekly variances (each range widened by a small relative slack).
+///
+/// This defeats the plain ARIMA attack (whose boundary-riding drags the
+/// weekly mean far outside history) but is circumvented by the Integrated
+/// ARIMA attack, which steers the mean to a historically attained value.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct IntegratedArimaDetector {
+    inner: ArimaDetector,
+    mean_range: (f64, f64),
+    var_range: (f64, f64),
+}
+
+impl IntegratedArimaDetector {
+    /// Relative slack applied to the historic ranges (2%): meters are
+    /// accurate to a fraction of a percent, and the slack keeps borderline
+    /// honest weeks from tripping the range checks.
+    pub const RANGE_SLACK: f64 = 0.02;
+
+    /// Trains the detector from the model and training matrix.
+    pub fn new(model: ArimaModel, train: &WeekMatrix, confidence: f64) -> Self {
+        let means = train.weekly_means();
+        let vars = train.weekly_variances();
+        let min_mean = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_mean = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_var = vars.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_var = vars.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let slack = Self::RANGE_SLACK;
+        Self {
+            inner: ArimaDetector::new(model, train, confidence),
+            mean_range: (min_mean * (1.0 - slack), max_mean * (1.0 + slack)),
+            var_range: (min_var * (1.0 - slack), max_var * (1.0 + slack)),
+        }
+    }
+
+    /// The accepted weekly-mean range.
+    pub fn mean_range(&self) -> (f64, f64) {
+        self.mean_range
+    }
+
+    /// The accepted weekly-variance range.
+    pub fn var_range(&self) -> (f64, f64) {
+        self.var_range
+    }
+
+    fn range_violation(&self, week: &WeekVector) -> bool {
+        let summary = week.summary();
+        let (mean_lo, mean_hi) = self.mean_range;
+        let (_, var_hi) = self.var_range;
+        // Mean is range-checked both ways: "failed to maintain a
+        // high-enough average" is how the paper says low injections get
+        // caught. Variance is upper-bounded only ("do not exceed
+        // thresholds"): an attack vector hugging the forecast has *less*
+        // spread than organic load, and real detectors do not alarm on
+        // suspiciously calm weeks.
+        summary.mean < mean_lo || summary.mean > mean_hi || summary.variance > var_hi
+    }
+}
+
+impl Detector for IntegratedArimaDetector {
+    fn name(&self) -> &'static str {
+        "integrated-arima"
+    }
+
+    fn assess(&self, week: &WeekVector) -> Verdict {
+        let inner = self.inner.assess(week);
+        if inner.anomalous || self.range_violation(week) {
+            Verdict::flagged(inner.score)
+        } else {
+            Verdict::clean(inner.score)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_arima::ArimaSpec;
+    use fdeta_attacks::{arima_attack, integrated_arima_worst_case, Direction, InjectionContext};
+    use fdeta_gridsim::pricing::PricingScheme;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+        for w in 0..weeks {
+            // Decreasing level: the history ends near its minimum weekly
+            // mean, so the under-report attack's target is close to the
+            // model's end-of-training state (the typical case; strong
+            // level transients are the paper's own ~10% residual).
+            let level = 1.3 - 0.3 * (w as f64 / weeks as f64);
+            for i in 0..SLOTS_PER_WEEK {
+                let daily = level + 0.4 * ((i % 48) as f64 / 48.0 * std::f64::consts::TAU).sin();
+                values.push((daily + rng.gen_range(-0.15..0.15)).max(0.0));
+            }
+        }
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    fn setup(seed: u64) -> (WeekMatrix, ArimaModel, IntegratedArimaDetector) {
+        let train = training(10, seed);
+        let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let det = IntegratedArimaDetector::new(model.clone(), &train, 0.95);
+        (train, model, det)
+    }
+
+    #[test]
+    fn clean_week_passes() {
+        let (train, _, det) = setup(1);
+        assert!(!det.is_anomalous(&train.week_vector(9)));
+    }
+
+    #[test]
+    fn plain_arima_attack_is_caught_by_the_mean_check() {
+        // The paper's motivation for the integrated checks: the
+        // boundary-riding attack drags the weekly mean outside history.
+        let (train, model, det) = setup(2);
+        let actual = train.week_vector(9);
+        let ctx = InjectionContext {
+            train: &train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: 0,
+        };
+        let attack = arima_attack(&ctx, Direction::UnderReport);
+        assert!(
+            det.is_anomalous(&attack.reported),
+            "integrated detector must catch the plain ARIMA attack"
+        );
+    }
+
+    #[test]
+    fn integrated_attack_usually_evades() {
+        // The counter-attack steers the mean back into the historic range.
+        // The paper itself reports ~10% residual detections, so assert the
+        // *typical* case across several consumers rather than every seed.
+        let mut evaded = 0;
+        let total = 8;
+        for seed in 0..total {
+            let (train, model, det) = setup(seed);
+            let actual = train.week_vector(9);
+            let ctx = InjectionContext {
+                train: &train,
+                actual_week: &actual,
+                model: &model,
+                confidence: 0.95,
+                start_slot: 0,
+            };
+            let attack = integrated_arima_worst_case(
+                &ctx,
+                Direction::UnderReport,
+                10,
+                7,
+                &PricingScheme::flat_default(),
+            );
+            if !det.is_anomalous(&attack.reported) {
+                evaded += 1;
+            }
+        }
+        assert!(
+            evaded * 2 > total,
+            "integrated ARIMA attack should evade the integrated detector for most \
+             consumers ({evaded}/{total} evaded)"
+        );
+    }
+
+    #[test]
+    fn mean_and_variance_ranges_are_ordered() {
+        let (_, _, det) = setup(4);
+        let (mlo, mhi) = det.mean_range();
+        let (vlo, vhi) = det.var_range();
+        assert!(mlo < mhi);
+        assert!(vlo < vhi);
+    }
+
+    #[test]
+    fn flat_zero_week_trips_the_range_checks() {
+        let (_, _, det) = setup(5);
+        let zeros = WeekVector::new(vec![0.0; SLOTS_PER_WEEK]).unwrap();
+        assert!(
+            det.is_anomalous(&zeros),
+            "an all-zero week is far below the historic mean range"
+        );
+    }
+}

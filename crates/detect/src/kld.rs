@@ -1,0 +1,448 @@
+//! The Kullback-Leibler divergence detector (Section VII-D) and its
+//! price-conditioned variant (Section VIII-F.3).
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_gridsim::pricing::TouPlan;
+use fdeta_tsdata::hist::{BinEdges, Histogram};
+use fdeta_tsdata::kl::kl_divergence_smoothed;
+use fdeta_tsdata::stats::Quantile;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::TsError;
+
+use crate::detector::{Detector, Verdict};
+
+/// The detector's upper-tail significance level: 5% thresholds at the 95th
+/// percentile of the training KLD distribution, 10% at the 90th.
+///
+/// The 10% setting is the more aggressive boundary — it catches more
+/// attacks but risks more false positives, the trade-off Section VIII-F.1
+/// dissects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignificanceLevel {
+    /// α = 5% (95th percentile threshold).
+    Five,
+    /// α = 10% (90th percentile threshold).
+    Ten,
+}
+
+impl SignificanceLevel {
+    /// The percentile of the training KLD distribution used as threshold.
+    pub fn percentile(self) -> f64 {
+        match self {
+            SignificanceLevel::Five => 0.95,
+            SignificanceLevel::Ten => 0.90,
+        }
+    }
+}
+
+/// The paper's default bin count for the `X` histogram.
+pub const DEFAULT_BINS: usize = 10;
+
+/// The KLD detector: histogram the training matrix `X` with `B` bins to
+/// fix edges; compute `K_i = KL(X_i ‖ X)` for each training week; flag a
+/// new week whose divergence exceeds the chosen percentile of the `K_i`
+/// distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KldDetector {
+    edges: BinEdges,
+    baseline: Histogram,
+    training_k: Vec<f64>,
+    threshold: f64,
+    level: Option<SignificanceLevel>,
+    percentile: f64,
+}
+
+impl KldDetector {
+    /// Trains the detector on the matrix `X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::EmptyHistogram`] for `bins == 0` and propagates
+    /// histogram construction errors.
+    pub fn train(
+        train: &WeekMatrix,
+        bins: usize,
+        level: SignificanceLevel,
+    ) -> Result<Self, TsError> {
+        let mut detector = Self::train_at_percentile(train, bins, level.percentile())?;
+        detector.level = Some(level);
+        Ok(detector)
+    }
+
+    /// Trains with an arbitrary threshold percentile (the significance
+    /// level is `1 − percentile`); used by the ablation sweeps.
+    ///
+    /// # Errors
+    ///
+    /// As [`KldDetector::train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `[0, 1]`.
+    pub fn train_at_percentile(
+        train: &WeekMatrix,
+        bins: usize,
+        percentile: f64,
+    ) -> Result<Self, TsError> {
+        let edges = BinEdges::from_sample(train.flat(), bins)?;
+        let baseline = edges.histogram(train.flat());
+        let mut training_k = Vec::with_capacity(train.weeks());
+        for week in train.iter_weeks() {
+            let hist = edges.histogram(week);
+            training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
+        }
+        training_k.sort_by(|a, b| a.partial_cmp(b).expect("finite divergences"));
+        let threshold = Quantile::of_sorted(&training_k, percentile);
+        Ok(Self {
+            edges,
+            baseline,
+            training_k,
+            threshold,
+            level: None,
+            percentile,
+        })
+    }
+
+    /// The divergence `K` of one week against the baseline, in bits.
+    pub fn score(&self, week: &WeekVector) -> f64 {
+        let hist = self.edges.histogram(week.as_slice());
+        kl_divergence_smoothed(&hist, &self.baseline).expect("same edges by construction")
+    }
+
+    /// The detection threshold (percentile of the training KLD
+    /// distribution).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The sorted training `K_i` values (e.g. for plotting Fig. 4b).
+    pub fn training_divergences(&self) -> &[f64] {
+        &self.training_k
+    }
+
+    /// The baseline histogram (Fig. 4a's `X` distribution).
+    pub fn baseline(&self) -> &Histogram {
+        &self.baseline
+    }
+
+    /// The shared bin edges.
+    pub fn edges(&self) -> &BinEdges {
+        &self.edges
+    }
+
+    /// The configured significance level (`None` for a custom percentile
+    /// from [`KldDetector::train_at_percentile`]).
+    pub fn level(&self) -> Option<SignificanceLevel> {
+        self.level
+    }
+
+    /// The threshold percentile in use.
+    pub fn percentile(&self) -> f64 {
+        self.percentile
+    }
+}
+
+impl Detector for KldDetector {
+    fn name(&self) -> &'static str {
+        match self.level {
+            Some(SignificanceLevel::Five) => "kld@5%",
+            Some(SignificanceLevel::Ten) => "kld@10%",
+            None => "kld@custom",
+        }
+    }
+
+    fn assess(&self, week: &WeekVector) -> Verdict {
+        let score = self.score(week);
+        if score > self.threshold {
+            Verdict::flagged(score)
+        } else {
+            Verdict::clean(score)
+        }
+    }
+}
+
+/// The price-conditioned KLD detector: one `(edges, baseline, thresholds)`
+/// triple per tariff window. A week is flagged when *any* window's
+/// divergence exceeds that window's threshold.
+///
+/// The Optimal Swap attack preserves the *whole-week* histogram, blinding
+/// the unconditioned detector; splitting by price restores the signal
+/// because swapped readings change which tariff window they occupy. The
+/// paper extends the same idea to RTP (one distribution per price level),
+/// which is why the constructor takes an arbitrary number of windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionedKldDetector {
+    bands: Vec<Band>,
+    level: SignificanceLevel,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Band {
+    /// Which slots of the week (0..336) belong to this band.
+    slots: Vec<usize>,
+    edges: BinEdges,
+    baseline: Histogram,
+    threshold: f64,
+}
+
+impl ConditionedKldDetector {
+    /// Trains a two-band (peak / off-peak) detector from a TOU plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction errors.
+    pub fn train_tou(
+        train: &WeekMatrix,
+        plan: &TouPlan,
+        bins: usize,
+        level: SignificanceLevel,
+    ) -> Result<Self, TsError> {
+        let mut peak_slots = Vec::new();
+        let mut off_slots = Vec::new();
+        for slot in 0..fdeta_tsdata::SLOTS_PER_WEEK {
+            if plan.is_peak(slot) {
+                peak_slots.push(slot);
+            } else {
+                off_slots.push(slot);
+            }
+        }
+        Self::train_with_bands(train, vec![off_slots, peak_slots], bins, level)
+    }
+
+    /// Trains with explicit slot bands (e.g. one per RTP price level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::EmptyHistogram`] if any band is empty, and
+    /// propagates histogram construction errors.
+    pub fn train_with_bands(
+        train: &WeekMatrix,
+        band_slots: Vec<Vec<usize>>,
+        bins: usize,
+        level: SignificanceLevel,
+    ) -> Result<Self, TsError> {
+        let mut bands = Vec::with_capacity(band_slots.len());
+        for slots in band_slots {
+            if slots.is_empty() {
+                return Err(TsError::EmptyHistogram);
+            }
+            // Collect the band's values across all training weeks.
+            let mut sample = Vec::with_capacity(slots.len() * train.weeks());
+            for week in train.iter_weeks() {
+                sample.extend(slots.iter().map(|&s| week[s]));
+            }
+            let edges = BinEdges::from_sample(&sample, bins)?;
+            let baseline = edges.histogram(&sample);
+            let mut training_k = Vec::with_capacity(train.weeks());
+            for week in train.iter_weeks() {
+                let values: Vec<f64> = slots.iter().map(|&s| week[s]).collect();
+                let hist = edges.histogram(&values);
+                training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
+            }
+            training_k.sort_by(|a, b| a.partial_cmp(b).expect("finite divergences"));
+            let threshold = Quantile::of_sorted(&training_k, level.percentile());
+            bands.push(Band {
+                slots,
+                edges,
+                baseline,
+                threshold,
+            });
+        }
+        Ok(Self { bands, level })
+    }
+
+    /// Per-band `(score, threshold)` pairs for one week.
+    pub fn band_scores(&self, week: &WeekVector) -> Vec<(f64, f64)> {
+        self.bands
+            .iter()
+            .map(|band| {
+                let values: Vec<f64> = band.slots.iter().map(|&s| week.as_slice()[s]).collect();
+                let hist = band.edges.histogram(&values);
+                let score = kl_divergence_smoothed(&hist, &band.baseline)
+                    .expect("same edges by construction");
+                (score, band.threshold)
+            })
+            .collect()
+    }
+
+    /// The configured significance level.
+    pub fn level(&self) -> SignificanceLevel {
+        self.level
+    }
+}
+
+impl Detector for ConditionedKldDetector {
+    fn name(&self) -> &'static str {
+        match self.level {
+            SignificanceLevel::Five => "kld-cond@5%",
+            SignificanceLevel::Ten => "kld-cond@10%",
+        }
+    }
+
+    fn assess(&self, week: &WeekVector) -> Verdict {
+        let scores = self.band_scores(week);
+        let worst_excess = scores
+            .iter()
+            .map(|(score, threshold)| score - threshold)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_score = scores.iter().map(|(s, _)| *s).fold(0.0, f64::max);
+        if worst_excess > 0.0 {
+            Verdict::flagged(max_score)
+        } else {
+            Verdict::clean(max_score)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_attacks::optimal_swap;
+    use fdeta_tsdata::{SLOTS_PER_DAY, SLOTS_PER_WEEK};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Evening-peaked weekly pattern with noise.
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..weeks * SLOTS_PER_WEEK)
+            .map(|i| {
+                let slot = i % SLOTS_PER_DAY;
+                let base: f64 = if (36..46).contains(&slot) { 2.5 } else { 0.5 };
+                (base * rng.gen_range(0.8..1.2)).max(0.0)
+            })
+            .collect();
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    #[test]
+    fn training_weeks_rarely_flagged_at_configured_rate() {
+        let train = training(40, 1);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Ten).unwrap();
+        let flagged = (0..train.weeks())
+            .filter(|&w| det.is_anomalous(&train.week_vector(w)))
+            .count();
+        // By construction ~10% of training weeks sit above the 90th
+        // percentile; allow slack for ties.
+        assert!(
+            flagged <= train.weeks() / 5,
+            "{flagged} of {} flagged",
+            train.weeks()
+        );
+    }
+
+    #[test]
+    fn shifted_distribution_is_flagged() {
+        let train = training(30, 2);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        // A week at triple the usual level: its histogram escapes the
+        // training support.
+        let inflated: Vec<f64> = train
+            .week_vector(0)
+            .as_slice()
+            .iter()
+            .map(|v| v * 3.0)
+            .collect();
+        let week = WeekVector::new(inflated).unwrap();
+        let verdict = det.assess(&week);
+        assert!(verdict.anomalous);
+        assert!(verdict.score > det.threshold());
+    }
+
+    #[test]
+    fn five_percent_threshold_is_no_lower_than_ten() {
+        let train = training(30, 3);
+        let five = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let ten = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Ten).unwrap();
+        assert!(five.threshold() >= ten.threshold());
+        assert_eq!(five.name(), "kld@5%");
+        assert_eq!(ten.name(), "kld@10%");
+    }
+
+    #[test]
+    fn unconditioned_detector_is_blind_to_optimal_swap() {
+        // The paper's negative result, reproduced: swap preserves the
+        // histogram, so the plain KLD score of the swapped week equals the
+        // score of the original week exactly.
+        let train = training(30, 4);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Ten).unwrap();
+        let actual = train.week_vector(29);
+        let attack = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), 0);
+        assert_eq!(det.score(&attack.reported), det.score(&attack.actual));
+    }
+
+    #[test]
+    fn conditioned_detector_catches_optimal_swap() {
+        let train = training(30, 5);
+        let det = ConditionedKldDetector::train_tou(
+            &train,
+            &TouPlan::ireland_nightsaver(),
+            DEFAULT_BINS,
+            SignificanceLevel::Ten,
+        )
+        .unwrap();
+        // ~10% of training weeks legitimately sit above the 90th-percentile
+        // threshold; evaluate on weeks the detector considers clean.
+        let clean_weeks: Vec<usize> = (0..train.weeks())
+            .filter(|&w| !det.is_anomalous(&train.week_vector(w)))
+            .collect();
+        assert!(
+            clean_weeks.len() >= train.weeks() * 2 / 3,
+            "most training weeks must pass"
+        );
+        for &w in &clean_weeks {
+            let actual = train.week_vector(w);
+            let attack = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), 0);
+            assert!(
+                det.is_anomalous(&attack.reported),
+                "swap of clean week {w} must trip the conditioned detector"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_band_scores_expose_the_shifted_band() {
+        let train = training(30, 6);
+        let det = ConditionedKldDetector::train_tou(
+            &train,
+            &TouPlan::ireland_nightsaver(),
+            DEFAULT_BINS,
+            SignificanceLevel::Ten,
+        )
+        .unwrap();
+        let actual = train.week_vector(29);
+        let attack = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), 0);
+        let scores = det.band_scores(&attack.reported);
+        assert_eq!(scores.len(), 2);
+        // The off-peak band (index 0) received the big readings: its
+        // excess over threshold should dominate.
+        assert!(
+            scores[0].0 > scores[0].1,
+            "off-peak band must exceed its threshold"
+        );
+    }
+
+    #[test]
+    fn empty_band_rejected() {
+        let train = training(5, 7);
+        let result = ConditionedKldDetector::train_with_bands(
+            &train,
+            vec![vec![], vec![0, 1]],
+            DEFAULT_BINS,
+            SignificanceLevel::Ten,
+        );
+        assert!(matches!(result, Err(TsError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn constant_consumer_trains_without_panic() {
+        // Degenerate history (e.g. a vacant property with constant standing
+        // load) must not crash training — the padded histogram handles it.
+        let train = WeekMatrix::from_flat(vec![0.5; 4 * SLOTS_PER_WEEK]).unwrap();
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        assert_eq!(det.score(&train.week_vector(0)), 0.0);
+        let spike = WeekVector::new(vec![5.0; SLOTS_PER_WEEK]).unwrap();
+        assert!(det.is_anomalous(&spike));
+    }
+}

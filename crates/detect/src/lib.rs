@@ -1,0 +1,49 @@
+//! Theft detectors and the paper's evaluation protocol.
+//!
+//! Three detector families are evaluated in the paper:
+//!
+//! * [`ArimaDetector`] — the per-reading confidence-interval check of
+//!   Badrinath Krishna et al. (CRITIS 2015): a "first-level check on the
+//!   range of smart meter readings".
+//! * [`IntegratedArimaDetector`] — the same plus weekly mean/variance
+//!   range checks derived from the training history.
+//! * [`KldDetector`] — the paper's contribution: a non-parametric
+//!   multiple-reading detector thresholding the Kullback-Leibler
+//!   divergence between a week's histogram and the training histogram at
+//!   the 90th/95th percentile of the training KLD distribution
+//!   (Section VII-D), with a price-conditioned variant
+//!   ([`ConditionedKldDetector`]) that splits the histogram by TOU window
+//!   to catch the Optimal Swap attack (Section VIII-F.3).
+//!
+//! Beyond the paper's detectors, [`PcaDetector`] implements the companion
+//! QEST-2015 subspace method, [`roc`] computes full operating curves, and
+//! [`budget`] turns a curve plus an investigation capacity into a
+//! significance-level choice.
+//!
+//! [`eval`] reproduces the full Section VIII protocol: train on 60 weeks,
+//! inject the Integrated ARIMA attack (worst of 50 vectors) and the
+//! Optimal Swap attack into the test period, score every detector with
+//! the false-positive penalty rule of Section VIII-E, and aggregate the
+//! paper's Metric 1 (detection percentage) and Metric 2 (worst-case kWh
+//! stolen and $ profit). [`ttd`] adds the time-to-detection analysis the
+//! paper cites from its companion work.
+
+pub mod arima_detector;
+pub mod budget;
+pub mod detector;
+pub mod eval;
+pub mod integrated;
+pub mod kld;
+pub mod pca;
+pub mod roc;
+pub mod ttd;
+
+pub use arima_detector::ArimaDetector;
+pub use budget::AlertBudget;
+pub use detector::{Detector, Verdict};
+pub use eval::{evaluate, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario, ScenarioResult};
+pub use integrated::IntegratedArimaDetector;
+pub use kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
+pub use pca::PcaDetector;
+pub use roc::{best_operating_point, kld_roc_curve, RocPoint};
+pub use ttd::time_to_detection;

@@ -1,0 +1,317 @@
+//! A PCA-based integrity detector, after the paper's companion work
+//! (Badrinath Krishna, Weaver, Sanders — QEST 2015, the paper's reference \[3\]).
+//!
+//! The weekly consumption of one consumer is highly structured: a few
+//! principal components of the training week-matrix capture most organic
+//! variation (daily rhythm, weekday/weekend split, level wander). A week
+//! whose *residual* — the part not explained by those components — is
+//! large relative to the training residuals is anomalous even when its
+//! value histogram looks plausible. The paper cites this method both as a
+//! related detector and as the source of the time-to-detection technique.
+//!
+//! The implementation computes the top-`k` principal components of the
+//! mean-centred training matrix with power iteration + deflation (the
+//! matrices here are 336-dimensional with ≤ ~100 observations, so
+//! iterative extraction is plenty), then thresholds the reconstruction
+//! error at a percentile of the training errors — the same calibration
+//! style the KLD detector uses, which makes the two directly comparable.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::stats::Quantile;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::{TsError, SLOTS_PER_WEEK};
+
+use crate::detector::{Detector, Verdict};
+use crate::kld::SignificanceLevel;
+
+/// Number of power-iteration sweeps per component; convergence is
+/// geometric in the eigenvalue gap and 50 sweeps is far beyond what the
+/// strongly separated load spectra need.
+const POWER_ITERATIONS: usize = 50;
+
+/// PCA subspace detector for one consumer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcaDetector {
+    /// Per-slot mean of the training weeks (the centring vector).
+    mean: Vec<f64>,
+    /// Principal components, row-major (`k × 336`), orthonormal.
+    components: Vec<Vec<f64>>,
+    /// Detection threshold on the residual norm.
+    threshold: f64,
+    /// Sorted training residual norms (for diagnostics/plots).
+    training_errors: Vec<f64>,
+    level: SignificanceLevel,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+impl PcaDetector {
+    /// Trains the detector: extracts `components` principal components of
+    /// the centred training matrix and calibrates the residual threshold
+    /// at the significance level's percentile of training residuals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if fewer than
+    /// `components + 2` training weeks are available (the residual
+    /// distribution needs non-trivial support).
+    pub fn train(
+        train: &WeekMatrix,
+        components: usize,
+        level: SignificanceLevel,
+    ) -> Result<Self, TsError> {
+        let m = train.weeks();
+        if m < components + 2 {
+            return Err(TsError::NotEnoughWeeks {
+                required: components + 2,
+                available: m,
+            });
+        }
+        // Column means.
+        let mut mean = vec![0.0; SLOTS_PER_WEEK];
+        for week in train.iter_weeks() {
+            for (acc, v) in mean.iter_mut().zip(week) {
+                *acc += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= m as f64;
+        }
+        // Centred rows.
+        let centered: Vec<Vec<f64>> = train
+            .iter_weeks()
+            .map(|week| week.iter().zip(&mean).map(|(v, mu)| v - mu).collect())
+            .collect();
+
+        // Power iteration with deflation on the implicit covariance
+        // C = Xᵀ X / m: multiply v ← Σ_i (x_i · v) x_i without forming C.
+        let mut extracted: Vec<Vec<f64>> = Vec::with_capacity(components);
+        let mut residual_rows = centered.clone();
+        for c in 0..components {
+            // Deterministic start: a unit vector with structure.
+            let mut v: Vec<f64> = (0..SLOTS_PER_WEEK)
+                .map(|i| ((i + c + 1) as f64 * 0.37).sin())
+                .collect();
+            let n = norm(&v);
+            for x in &mut v {
+                *x /= n;
+            }
+            for _ in 0..POWER_ITERATIONS {
+                let mut next = vec![0.0; SLOTS_PER_WEEK];
+                for row in &residual_rows {
+                    let scale = dot(row, &v);
+                    for (acc, x) in next.iter_mut().zip(row) {
+                        *acc += scale * x;
+                    }
+                }
+                let n = norm(&next);
+                if n < 1e-12 {
+                    break; // no variance left
+                }
+                for x in &mut next {
+                    *x /= n;
+                }
+                v = next;
+            }
+            // Deflate: remove this component from every row.
+            for row in &mut residual_rows {
+                let scale = dot(row, &v);
+                for (x, pc) in row.iter_mut().zip(&v) {
+                    *x -= scale * pc;
+                }
+            }
+            extracted.push(v);
+        }
+
+        // Training residual norms with the final subspace.
+        let mut errors: Vec<f64> = centered
+            .iter()
+            .map(|row| Self::residual_norm(row, &extracted))
+            .collect();
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let threshold = Quantile::of_sorted(&errors, level.percentile());
+        Ok(Self {
+            mean,
+            components: extracted,
+            threshold,
+            training_errors: errors,
+            level,
+        })
+    }
+
+    fn residual_norm(centered_row: &[f64], components: &[Vec<f64>]) -> f64 {
+        let mut residual = centered_row.to_vec();
+        for pc in components {
+            let scale = dot(&residual, pc);
+            for (x, p) in residual.iter_mut().zip(pc) {
+                *x -= scale * p;
+            }
+        }
+        norm(&residual)
+    }
+
+    /// Residual norm of one week against the trained subspace.
+    pub fn score(&self, week: &WeekVector) -> f64 {
+        let centered: Vec<f64> = week
+            .as_slice()
+            .iter()
+            .zip(&self.mean)
+            .map(|(v, mu)| v - mu)
+            .collect();
+        Self::residual_norm(&centered, &self.components)
+    }
+
+    /// The calibrated residual threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of principal components retained.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Sorted training residual norms.
+    pub fn training_errors(&self) -> &[f64] {
+        &self.training_errors
+    }
+}
+
+impl Detector for PcaDetector {
+    fn name(&self) -> &'static str {
+        match self.level {
+            SignificanceLevel::Five => "pca@5%",
+            SignificanceLevel::Ten => "pca@10%",
+        }
+    }
+
+    fn assess(&self, week: &WeekVector) -> Verdict {
+        let score = self.score(week);
+        if score > self.threshold {
+            Verdict::flagged(score)
+        } else {
+            Verdict::clean(score)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::SLOTS_PER_DAY;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+        for w in 0..weeks {
+            let level = 1.0 + 0.15 * ((w as f64 * 0.7).sin());
+            for i in 0..SLOTS_PER_WEEK {
+                let slot = i % SLOTS_PER_DAY;
+                let daily: f64 = if (36..46).contains(&slot) { 2.0 } else { 0.4 };
+                values.push((level * daily * rng.gen_range(0.9..1.1)).max(0.0));
+            }
+        }
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let train = training(30, 1);
+        let det = PcaDetector::train(&train, 3, SignificanceLevel::Five).unwrap();
+        assert_eq!(det.component_count(), 3);
+        for (i, a) in det.components.iter().enumerate() {
+            assert!((norm(a) - 1.0).abs() < 1e-6, "component {i} not unit norm");
+            for b in det.components.iter().skip(i + 1) {
+                assert!(dot(a, b).abs() < 1e-6, "components not orthogonal");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_weeks_mostly_pass() {
+        let train = training(30, 2);
+        let det = PcaDetector::train(&train, 3, SignificanceLevel::Ten).unwrap();
+        let flagged = (0..train.weeks())
+            .filter(|&w| det.is_anomalous(&train.week_vector(w)))
+            .count();
+        assert!(
+            flagged <= train.weeks() / 5,
+            "{flagged}/{} training weeks flagged",
+            train.weeks()
+        );
+    }
+
+    #[test]
+    fn structural_break_is_flagged() {
+        // A week whose *pattern* changes (consumption moved to the
+        // morning) even though the total is similar.
+        let train = training(30, 3);
+        let det = PcaDetector::train(&train, 3, SignificanceLevel::Five).unwrap();
+        let shifted: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| {
+                let slot = i % SLOTS_PER_DAY;
+                if (10..20).contains(&slot) {
+                    2.0
+                } else {
+                    0.4
+                }
+            })
+            .collect();
+        let week = WeekVector::new(shifted).unwrap();
+        assert!(det.is_anomalous(&week));
+    }
+
+    #[test]
+    fn pca_sees_what_kld_cannot_the_reordering() {
+        // The Optimal Swap preserves the value histogram (blinding the
+        // unconditioned KLD detector) but rearranges the *temporal*
+        // pattern, which PCA's subspace is sensitive to.
+        use fdeta_attacks::optimal_swap;
+        use fdeta_gridsim::pricing::TouPlan;
+        let train = training(30, 4);
+        let det = PcaDetector::train(&train, 3, SignificanceLevel::Ten).unwrap();
+        let clean_weeks: Vec<usize> = (0..train.weeks())
+            .filter(|&w| !det.is_anomalous(&train.week_vector(w)))
+            .collect();
+        assert!(!clean_weeks.is_empty());
+        let mut caught = 0;
+        for &w in &clean_weeks {
+            let attack = optimal_swap(&train.week_vector(w), &TouPlan::ireland_nightsaver(), 0);
+            if det.is_anomalous(&attack.reported) {
+                caught += 1;
+            }
+        }
+        assert!(
+            caught * 2 > clean_weeks.len(),
+            "PCA should catch most swaps ({caught}/{})",
+            clean_weeks.len()
+        );
+    }
+
+    #[test]
+    fn too_few_weeks_rejected() {
+        let train = training(4, 5);
+        assert!(matches!(
+            PcaDetector::train(&train, 3, SignificanceLevel::Five),
+            Err(TsError::NotEnoughWeeks { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_training_data_yields_zero_scores() {
+        let train = WeekMatrix::from_flat(vec![1.0; 6 * SLOTS_PER_WEEK]).unwrap();
+        let det = PcaDetector::train(&train, 2, SignificanceLevel::Five).unwrap();
+        assert_eq!(det.score(&train.week_vector(0)), 0.0);
+        let spike = WeekVector::new(vec![4.0; SLOTS_PER_WEEK]).unwrap();
+        assert!(det.score(&spike) > 0.0);
+    }
+}

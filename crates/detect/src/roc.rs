@@ -1,0 +1,149 @@
+//! ROC analysis for threshold detectors.
+//!
+//! The significance level α trades detection against false positives
+//! (Section VIII-F.1 demonstrates the trade-off with two points, 5% and
+//! 10%); this module computes the whole operating curve so a utility can
+//! pick its own operating point from its alert budget.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::TsError;
+
+use crate::detector::Detector;
+use crate::kld::KldDetector;
+
+/// One operating point of a threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Upper-tail significance level (1 − threshold percentile).
+    pub alpha: f64,
+    /// Fraction of attack weeks flagged.
+    pub detection_rate: f64,
+    /// Fraction of clean weeks flagged.
+    pub false_positive_rate: f64,
+}
+
+impl RocPoint {
+    /// Youden's J statistic (`detection − FP`), a scalar quality of the
+    /// operating point.
+    pub fn youden_j(&self) -> f64 {
+        self.detection_rate - self.false_positive_rate
+    }
+}
+
+/// Computes the KLD detector's operating curve for one consumer: for each
+/// significance level, train at the corresponding percentile and measure
+/// rates over the given clean and attack weeks.
+///
+/// Alphas are clamped into `(0, 1)`; the returned points are in the input
+/// order.
+///
+/// # Errors
+///
+/// Propagates histogram construction errors from detector training.
+pub fn kld_roc_curve(
+    train: &WeekMatrix,
+    clean_weeks: &[WeekVector],
+    attack_weeks: &[WeekVector],
+    bins: usize,
+    alphas: &[f64],
+) -> Result<Vec<RocPoint>, TsError> {
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        let alpha = alpha.clamp(1e-6, 1.0 - 1e-6);
+        let detector = KldDetector::train_at_percentile(train, bins, 1.0 - alpha)?;
+        let rate = |weeks: &[WeekVector]| {
+            if weeks.is_empty() {
+                return 0.0;
+            }
+            weeks.iter().filter(|w| detector.is_anomalous(w)).count() as f64 / weeks.len() as f64
+        };
+        points.push(RocPoint {
+            alpha,
+            detection_rate: rate(attack_weeks),
+            false_positive_rate: rate(clean_weeks),
+        });
+    }
+    Ok(points)
+}
+
+/// The operating point with the highest Youden's J on a curve, if any.
+pub fn best_operating_point(curve: &[RocPoint]) -> Option<RocPoint> {
+    curve.iter().copied().max_by(|a, b| {
+        a.youden_j()
+            .partial_cmp(&b.youden_j())
+            .expect("finite rates")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::{SLOTS_PER_DAY, SLOTS_PER_WEEK};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training(weeks: usize, seed: u64) -> WeekMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..weeks * SLOTS_PER_WEEK)
+            .map(|i| {
+                let slot = i % SLOTS_PER_DAY;
+                let base: f64 = if (36..46).contains(&slot) { 2.0 } else { 0.5 };
+                (base * rng.gen_range(0.7..1.3)).max(0.0)
+            })
+            .collect();
+        WeekMatrix::from_flat(values).unwrap()
+    }
+
+    fn setup() -> (WeekMatrix, Vec<WeekVector>, Vec<WeekVector>) {
+        let all = training(36, 9);
+        let train = WeekMatrix::from_flat(all.flat()[..30 * SLOTS_PER_WEEK].to_vec()).unwrap();
+        let clean: Vec<WeekVector> = (30..36).map(|w| all.week_vector(w)).collect();
+        let attacks: Vec<WeekVector> = clean
+            .iter()
+            .map(|w| WeekVector::new(w.as_slice().iter().map(|v| v * 2.2 + 0.3).collect()).unwrap())
+            .collect();
+        (train, clean, attacks)
+    }
+
+    #[test]
+    fn rates_are_monotone_in_alpha() {
+        let (train, clean, attacks) = setup();
+        let alphas = [0.01, 0.05, 0.10, 0.20, 0.40];
+        let curve = kld_roc_curve(&train, &clean, &attacks, 10, &alphas).unwrap();
+        assert_eq!(curve.len(), alphas.len());
+        for pair in curve.windows(2) {
+            assert!(pair[1].detection_rate >= pair[0].detection_rate - 1e-12);
+            assert!(pair[1].false_positive_rate >= pair[0].false_positive_rate - 1e-12);
+        }
+    }
+
+    #[test]
+    fn blatant_attacks_dominate_clean_weeks() {
+        let (train, clean, attacks) = setup();
+        let curve = kld_roc_curve(&train, &clean, &attacks, 10, &[0.05]).unwrap();
+        let p = curve[0];
+        assert!(p.detection_rate > p.false_positive_rate, "{p:?}");
+        assert!(p.youden_j() > 0.5, "doubled consumption is easy: {p:?}");
+    }
+
+    #[test]
+    fn best_point_maximises_youden() {
+        let (train, clean, attacks) = setup();
+        let curve = kld_roc_curve(&train, &clean, &attacks, 10, &[0.01, 0.05, 0.1, 0.2]).unwrap();
+        let best = best_operating_point(&curve).unwrap();
+        for p in &curve {
+            assert!(best.youden_j() >= p.youden_j());
+        }
+        assert!(best_operating_point(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_week_sets_yield_zero_rates() {
+        let (train, _, _) = setup();
+        let curve = kld_roc_curve(&train, &[], &[], 10, &[0.05]).unwrap();
+        assert_eq!(curve[0].detection_rate, 0.0);
+        assert_eq!(curve[0].false_positive_rate, 0.0);
+    }
+}

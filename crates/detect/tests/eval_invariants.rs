@@ -1,0 +1,156 @@
+//! Property-based tests of the evaluation aggregation itself: Metric 1
+//! and Metric 2 must satisfy structural invariants for *any* per-consumer
+//! outcome matrix, not just ones produced by real runs.
+
+use proptest::prelude::*;
+
+use fdeta_detect::eval::{ConsumerEval, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario};
+
+const ND: usize = 8;
+const NS: usize = 5;
+
+fn consumer_strategy() -> impl Strategy<Value = ConsumerEval> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(any::<bool>(), ND),
+        proptest::collection::vec(any::<bool>(), ND * NS),
+        proptest::collection::vec(0.0f64..1000.0, NS * 2),
+        proptest::collection::vec(0.0f64..1000.0, ND * NS * 2),
+        any::<bool>(),
+    )
+        .prop_map(|(id, fps, detected, full, evading, skipped)| {
+            let mut eval = ConsumerEval {
+                id,
+                skipped,
+                false_positive: [false; ND],
+                detected: [[false; NS]; ND],
+                full_gain: [Metric2::default(); NS],
+                evading_gain: [[Metric2::default(); NS]; ND],
+            };
+            for d in 0..ND {
+                eval.false_positive[d] = fps[d];
+                for s in 0..NS {
+                    eval.detected[d][s] = detected[d * NS + s];
+                }
+            }
+            for s in 0..NS {
+                let kwh = full[s * 2];
+                let dollars = full[s * 2 + 1];
+                eval.full_gain[s] = Metric2 {
+                    stolen_kwh: kwh,
+                    profit_dollars: dollars,
+                };
+                for d in 0..ND {
+                    // Evading gains never exceed the full gain.
+                    let base = (d * NS + s) * 2;
+                    eval.evading_gain[d][s] = Metric2 {
+                        stolen_kwh: evading[base].min(kwh),
+                        profit_dollars: evading[base + 1].min(dollars),
+                    };
+                }
+            }
+            eval
+        })
+}
+
+fn evaluation_strategy() -> impl Strategy<Value = Evaluation> {
+    proptest::collection::vec(consumer_strategy(), 0..12).prop_map(|consumers| Evaluation {
+        consumers,
+        config: EvalConfig::default(),
+    })
+}
+
+proptest! {
+    /// Metric 1 is a probability for every cell.
+    #[test]
+    fn metric1_is_a_probability(eval in evaluation_strategy()) {
+        for d in DetectorKind::ALL {
+            for s in Scenario::ALL {
+                let m1 = eval.metric1(d, s);
+                prop_assert!((0.0..=1.0).contains(&m1), "{d:?}/{s:?}: {m1}");
+            }
+        }
+    }
+
+    /// Metric 2 is non-negative, and a detector that succeeds for every
+    /// consumer (all detected, no FPs, zero evading gains) leaves nothing.
+    #[test]
+    fn metric2_nonnegative(eval in evaluation_strategy()) {
+        for d in DetectorKind::ALL {
+            for s in Scenario::ALL {
+                let m2 = eval.metric2(d, s);
+                prop_assert!(m2.stolen_kwh >= 0.0);
+                prop_assert!(m2.profit_dollars >= 0.0);
+            }
+        }
+    }
+
+    /// Perfect detectors leave zero residual gain.
+    #[test]
+    fn perfect_detector_zero_residual(mut eval in evaluation_strategy()) {
+        for c in &mut eval.consumers {
+            c.false_positive = [false; ND];
+            c.detected = [[true; NS]; ND];
+            c.evading_gain = [[Metric2::default(); NS]; ND];
+        }
+        for d in DetectorKind::ALL {
+            for s in Scenario::ALL {
+                let m2 = eval.metric2(d, s);
+                prop_assert_eq!(m2.stolen_kwh, 0.0);
+                prop_assert_eq!(m2.profit_dollars, 0.0);
+                if eval.evaluated_consumers() > 0 {
+                    prop_assert_eq!(eval.metric1(d, s), 1.0);
+                }
+            }
+        }
+    }
+
+    /// For summing scenarios (Class 1B) the aggregate dominates any single
+    /// consumer's residual; for max scenarios it equals some consumer's
+    /// residual (or zero).
+    #[test]
+    fn aggregation_mode_respected(eval in evaluation_strategy()) {
+        for d in DetectorKind::ALL {
+            for s in Scenario::ALL {
+                let m2 = eval.metric2(d, s);
+                let per_consumer: Vec<f64> = eval
+                    .consumers
+                    .iter()
+                    .filter(|c| !c.skipped)
+                    .map(|c| {
+                        let idx_d = DetectorKind::ALL.iter().position(|&x| x == d).unwrap();
+                        let idx_s = Scenario::ALL.iter().position(|&x| x == s).unwrap();
+                        if c.false_positive[idx_d] {
+                            c.full_gain[idx_s].profit_dollars.max(0.0)
+                        } else {
+                            c.evading_gain[idx_d][idx_s].profit_dollars.max(0.0)
+                        }
+                    })
+                    .collect();
+                if s.metric2_sums() {
+                    let total: f64 = per_consumer.iter().sum();
+                    prop_assert!((m2.profit_dollars - total).abs() < 1e-6);
+                } else {
+                    let max = per_consumer.iter().cloned().fold(0.0, f64::max);
+                    prop_assert!((m2.profit_dollars - max).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Skipped consumers never contribute to either metric.
+    #[test]
+    fn skipped_consumers_are_inert(eval in evaluation_strategy()) {
+        let mut all_skipped = eval.clone();
+        for c in &mut all_skipped.consumers {
+            c.skipped = true;
+        }
+        prop_assert_eq!(all_skipped.evaluated_consumers(), 0);
+        for d in DetectorKind::ALL {
+            for s in Scenario::ALL {
+                prop_assert_eq!(all_skipped.metric1(d, s), 0.0);
+                prop_assert_eq!(all_skipped.metric2(d, s).profit_dollars, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the detectors: structural invariants that
+//! must hold on arbitrary consumption histories.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fdeta_detect::{ConditionedKldDetector, Detector, KldDetector, PcaDetector, SignificanceLevel};
+use fdeta_gridsim::pricing::TouPlan;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::{SLOTS_PER_DAY, SLOTS_PER_WEEK};
+
+/// Random but structured training matrices: level, daily amplitude, noise.
+fn history(weeks: usize, level: f64, amplitude: f64, noise: f64, seed: u64) -> WeekMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..weeks * SLOTS_PER_WEEK)
+        .map(|i| {
+            let slot = i % SLOTS_PER_DAY;
+            let bump: f64 = if (34..46).contains(&slot) {
+                amplitude
+            } else {
+                0.0
+            };
+            (level + bump + rng.gen_range(-noise..noise)).max(0.0)
+        })
+        .collect();
+    WeekMatrix::from_flat(values).expect("constructed aligned")
+}
+
+fn params() -> impl Strategy<Value = (f64, f64, f64, u64)> {
+    (0.2f64..4.0, 0.0f64..2.0, 0.01f64..0.5, 0u64..1000)
+}
+
+/// A deterministic permutation of a week's readings keyed by `seed`.
+fn permuted(week: &WeekVector, seed: u64) -> WeekVector {
+    let mut values = week.as_slice().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..values.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        values.swap(i, j);
+    }
+    WeekVector::new(values).expect("permutation of valid readings")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The unconditioned KLD score is invariant under any permutation of
+    /// the week's readings — the formal statement of "the KLD detector
+    /// sees only the value distribution", which is why the paper needs
+    /// price conditioning for Attack Classes 3A/3B.
+    #[test]
+    fn kld_score_is_permutation_invariant(
+        (level, amplitude, noise, seed) in params(),
+        perm_seed in 0u64..100,
+    ) {
+        let train = history(8, level, amplitude, noise, seed);
+        let detector = KldDetector::train(&train, 10, SignificanceLevel::Five)
+            .expect("valid training matrix");
+        let week = train.week_vector(7);
+        let shuffled = permuted(&week, perm_seed);
+        let a = detector.score(&week);
+        let b = detector.score(&shuffled);
+        prop_assert!((a - b).abs() < 1e-12, "KLD must ignore ordering: {a} vs {b}");
+    }
+
+    /// Thresholds are monotone in the percentile: a stricter significance
+    /// level (higher percentile) never lowers the threshold.
+    #[test]
+    fn kld_threshold_monotone_in_percentile((level, amplitude, noise, seed) in params()) {
+        let train = history(10, level, amplitude, noise, seed);
+        let mut last = f64::NEG_INFINITY;
+        for pct in [0.5, 0.8, 0.9, 0.95, 0.99] {
+            let det = KldDetector::train_at_percentile(&train, 10, pct)
+                .expect("valid training matrix");
+            prop_assert!(det.threshold() >= last - 1e-12);
+            last = det.threshold();
+        }
+    }
+
+    /// Scaling every reading by a constant factor leaves the *training
+    /// weeks'* verdicts unchanged (bin edges scale along), i.e. the
+    /// detector is unit-free.
+    #[test]
+    fn kld_is_scale_free((level, amplitude, noise, seed) in params(), factor in 0.1f64..10.0) {
+        let train = history(8, level, amplitude, noise, seed);
+        let scaled = WeekMatrix::from_flat(
+            train.flat().iter().map(|v| v * factor).collect(),
+        ).expect("scaled stays valid");
+        let det = KldDetector::train(&train, 10, SignificanceLevel::Ten).expect("valid");
+        let det_scaled = KldDetector::train(&scaled, 10, SignificanceLevel::Ten).expect("valid");
+        for w in 0..train.weeks() {
+            let a = det.score(&train.week_vector(w));
+            let b = det_scaled.score(&scaled.week_vector(w));
+            prop_assert!((a - b).abs() < 1e-9, "week {w}: {a} vs {b}");
+        }
+        prop_assert!((det.threshold() - det_scaled.threshold()).abs() < 1e-9);
+    }
+
+    /// The conditioned detector never scores a training week's bands with
+    /// non-finite values, and the verdict is consistent with its band
+    /// scores.
+    #[test]
+    fn conditioned_verdict_matches_band_scores((level, amplitude, noise, seed) in params()) {
+        let train = history(8, level, amplitude, noise, seed);
+        let det = ConditionedKldDetector::train_tou(
+            &train,
+            &TouPlan::ireland_nightsaver(),
+            10,
+            SignificanceLevel::Ten,
+        ).expect("valid training matrix");
+        for w in 0..train.weeks() {
+            let week = train.week_vector(w);
+            let scores = det.band_scores(&week);
+            prop_assert!(scores.iter().all(|(s, t)| s.is_finite() && t.is_finite()));
+            let expected = scores.iter().any(|(s, t)| s > t);
+            prop_assert_eq!(det.is_anomalous(&week), expected);
+        }
+    }
+
+    /// PCA residuals are invariant under adding a multiple of a retained
+    /// component... weakened to the checkable surrogate: the residual of
+    /// the training mean week is (near) zero.
+    #[test]
+    fn pca_mean_week_has_small_residual((level, amplitude, noise, seed) in params()) {
+        let train = history(10, level, amplitude, noise, seed);
+        let det = PcaDetector::train(&train, 3, SignificanceLevel::Ten)
+            .expect("valid training matrix");
+        // The per-slot mean week: centring makes it the zero vector in
+        // feature space, so its residual must be ~0 regardless of data.
+        let mut mean = vec![0.0; SLOTS_PER_WEEK];
+        for week in train.iter_weeks() {
+            for (acc, v) in mean.iter_mut().zip(week) {
+                *acc += v / train.weeks() as f64;
+            }
+        }
+        let mean_week = WeekVector::new(mean).expect("means of valid readings");
+        prop_assert!(det.score(&mean_week) < 1e-6);
+    }
+
+    /// For every detector, verdicts agree with `assess().anomalous` (the
+    /// `Detector` trait contract).
+    #[test]
+    fn is_anomalous_agrees_with_assess((level, amplitude, noise, seed) in params()) {
+        let train = history(8, level, amplitude, noise, seed);
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(KldDetector::train(&train, 10, SignificanceLevel::Five).expect("valid")),
+            Box::new(PcaDetector::train(&train, 2, SignificanceLevel::Five).expect("valid")),
+        ];
+        let week = train.week_vector(0);
+        for det in &detectors {
+            prop_assert_eq!(det.is_anomalous(&week), det.assess(&week).anomalous);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # F-DETA: a Framework for Detecting Electricity Theft Attacks
+//!
+//! A from-scratch Rust reproduction of *F-DETA* (Badrinath Krishna, Lee,
+//! Weaver, Iyer, Sanders — DSN 2016). The paper makes three contributions,
+//! and each maps onto a crate re-exported here:
+//!
+//! 1. **A comprehensive attack taxonomy** — seven classes of electricity
+//!    theft attacks classified by their relation to distribution-grid
+//!    balance checks and pricing schemes: [`attacks`] (taxonomy and
+//!    concrete injections) over [`gridsim`] (radial grid topology, balance
+//!    checks, pricing, billing, ADR).
+//! 2. **A KL-divergence theft detector** — non-parametric, multi-reading:
+//!    [`detect`] (KLD, price-conditioned KLD, and the ARIMA baselines it
+//!    is compared against, built on [`arima`]).
+//! 3. **A data-driven evaluation** — [`detect::eval`] reproduces the
+//!    Section VIII protocol on a CER-style corpus from [`cer_synth`].
+//!
+//! This crate adds the *framework* itself: the five-step detection
+//! pipeline of Section VII ([`pipeline::Pipeline`]):
+//!
+//! 1. model each consumer's expected consumption;
+//! 2. score incoming weeks for anomalies;
+//! 3. label anomalies as attacker-like (abnormally low) or victim-like
+//!    (abnormally high) per Propositions 1 and 2;
+//! 4. suppress alerts explained by external evidence (weather, holidays,
+//!    special events) via the [`pipeline::ExternalEvidence`] hook;
+//! 5. plan the physical investigation over the grid topology
+//!    (Section V-B/V-C).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fdeta::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small synthetic CER-style corpus.
+//! let data = SyntheticDataset::generate(&DatasetConfig::small(4, 10, 7));
+//!
+//! // Train the framework on the first 8 weeks of every consumer.
+//! let pipeline = Pipeline::train(&data, &PipelineConfig { train_weeks: 8, ..Default::default() })?;
+//!
+//! // Score a held-out week for one consumer.
+//! let split = data.split(0, 8)?;
+//! let alerts = pipeline.assess(data.consumer(0).id, &split.test.week_vector(0));
+//! // An honest week raises no (unsuppressed) alarm for most consumers.
+//! println!("{} alerts", alerts.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{
+    Alert, AnomalyKind, ExternalEvidence, HolidayCalendar, NoEvidence, Pipeline, PipelineConfig,
+    RoleHint,
+};
+pub use report::{FrameworkReport, InvestigationRequest};
+
+// Re-export the constituent crates under stable names so downstream users
+// depend on `fdeta` alone.
+pub use fdeta_arima as arima;
+pub use fdeta_attacks as attacks;
+pub use fdeta_cer_synth as cer_synth;
+pub use fdeta_detect as detect;
+pub use fdeta_gridsim as gridsim;
+pub use fdeta_tsdata as tsdata;
+
+/// One-line imports for examples and applications.
+pub mod prelude {
+    pub use crate::pipeline::{Alert, AnomalyKind, Pipeline, PipelineConfig, RoleHint};
+    pub use crate::report::{FrameworkReport, InvestigationRequest};
+    pub use fdeta_arima::{ArimaModel, ArimaSpec};
+    pub use fdeta_attacks::{
+        arima_attack, integrated_arima_worst_case, optimal_swap, AttackClass, AttackVector,
+        Direction, InjectionContext,
+    };
+    pub use fdeta_cer_synth::{ConsumerClass, DatasetConfig, SyntheticDataset};
+    pub use fdeta_detect::{
+        AlertBudget, ConditionedKldDetector, Detector, KldDetector, PcaDetector, SignificanceLevel,
+    };
+    pub use fdeta_gridsim::{
+        BalanceChecker, GridTopology, MeterDeployment, PricingScheme, Snapshot, TouPlan,
+    };
+    pub use fdeta_tsdata::{HalfHourSeries, Kw, WeekMatrix, WeekVector, SLOTS_PER_WEEK};
+}

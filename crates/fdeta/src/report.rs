@@ -1,0 +1,221 @@
+//! Step-5 outputs: investigation requests and framework reports.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_gridsim::balance::{BalanceChecker, Snapshot};
+use fdeta_gridsim::investigate::PortableMeterSearch;
+use fdeta_gridsim::topology::{GridTopology, NodeId};
+use fdeta_gridsim::GridError;
+
+use crate::pipeline::{Alert, RoleHint};
+
+/// A concrete task for the utility's field crew, derived from alerts and
+/// the grid topology (step 5 of the framework).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvestigationRequest {
+    /// Consumers whose smart meters should be physically validated.
+    pub inspect_meters: Vec<u32>,
+    /// Grid nodes where a portable balance meter should be clamped
+    /// (Section V-C Case 2 walk), in visit order.
+    pub clamp_points: Vec<NodeId>,
+    /// Why the request was raised: the surviving (unsuppressed) alerts.
+    pub alerts: Vec<Alert>,
+}
+
+impl InvestigationRequest {
+    /// Builds a request from alerts and a topology.
+    ///
+    /// Victim-labelled alerts implicate the victim's *neighbours* (one of
+    /// them is the attacker, per Proposition 2) as well as the victim's
+    /// own meter; attacker-labelled alerts implicate the consumer
+    /// directly. If a grid snapshot is available, a Case-2 portable-meter
+    /// walk is planned to corroborate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology lookups ([`GridError`]) — e.g. alerts that name
+    /// consumers not present in the topology are reported, not ignored.
+    pub fn from_alerts(
+        alerts: Vec<Alert>,
+        grid: &GridTopology,
+        label_to_node: &dyn Fn(u32) -> Option<NodeId>,
+        snapshot: Option<&Snapshot>,
+    ) -> Result<Self, GridError> {
+        let mut inspect = Vec::new();
+        for alert in alerts.iter().filter(|a| a.actionable()) {
+            let Some(node) = label_to_node(alert.consumer) else {
+                // Not placed in this feeder's topology; still inspect the
+                // meter itself.
+                inspect.push(alert.consumer);
+                continue;
+            };
+            inspect.push(alert.consumer);
+            if alert.role == RoleHint::Victim {
+                for neighbor in grid.neighbors(node)? {
+                    if let Some(label) = grid.consumer_label(neighbor) {
+                        if let Ok(id) = label.parse::<u32>() {
+                            inspect.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        inspect.sort_unstable();
+        inspect.dedup();
+
+        let clamp_points = match snapshot {
+            Some(snap) => PortableMeterSearch::run(grid, snap, &BalanceChecker::default())?.visited,
+            None => Vec::new(),
+        };
+        Ok(Self {
+            inspect_meters: inspect,
+            clamp_points,
+            alerts,
+        })
+    }
+
+    /// Whether any field action is requested.
+    pub fn is_empty(&self) -> bool {
+        self.inspect_meters.is_empty() && self.clamp_points.is_empty()
+    }
+}
+
+/// A serialisable summary of one monitoring cycle across the fleet.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameworkReport {
+    /// Week index (relative to deployment) this report covers.
+    pub week: usize,
+    /// Consumers scored.
+    pub consumers_scored: usize,
+    /// Alerts raised before suppression.
+    pub alerts_raised: usize,
+    /// Alerts surviving external-evidence suppression.
+    pub alerts_actionable: usize,
+    /// The surviving alerts.
+    pub alerts: Vec<Alert>,
+}
+
+impl FrameworkReport {
+    /// Builds a report from the alerts of one scoring cycle.
+    pub fn from_cycle(week: usize, consumers_scored: usize, all_alerts: Vec<Alert>) -> Self {
+        let raised = all_alerts.len();
+        let actionable: Vec<Alert> = all_alerts.into_iter().filter(|a| a.actionable()).collect();
+        Self {
+            week,
+            consumers_scored,
+            alerts_raised: raised,
+            alerts_actionable: actionable.len(),
+            alerts: actionable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnomalyKind;
+
+    fn alert(consumer: u32, role: RoleHint, suppressed: bool) -> Alert {
+        Alert {
+            consumer,
+            kind: AnomalyKind::DistributionShift,
+            role,
+            score: 1.0,
+            suppressed: suppressed.then(|| "holiday".to_owned()),
+        }
+    }
+
+    /// root ── bus ── {c100, c101, c102}
+    fn grid() -> (GridTopology, Vec<NodeId>) {
+        let mut g = GridTopology::new();
+        let bus = g.add_internal(g.root()).unwrap();
+        let nodes = (100..103)
+            .map(|id| g.add_consumer(bus, id.to_string()).unwrap())
+            .collect();
+        (g, nodes)
+    }
+
+    #[test]
+    fn victim_alert_implicates_neighbors() {
+        let (g, nodes) = grid();
+        let lookup = move |id: u32| match id {
+            100 => Some(nodes[0]),
+            101 => Some(nodes[1]),
+            102 => Some(nodes[2]),
+            _ => None,
+        };
+        let req = InvestigationRequest::from_alerts(
+            vec![alert(101, RoleHint::Victim, false)],
+            &g,
+            &lookup,
+            None,
+        )
+        .unwrap();
+        assert_eq!(req.inspect_meters, vec![100, 101, 102]);
+        assert!(req.clamp_points.is_empty());
+    }
+
+    #[test]
+    fn attacker_alert_implicates_only_the_consumer() {
+        let (g, nodes) = grid();
+        let lookup = move |id: u32| (id == 100).then_some(nodes[0]);
+        let req = InvestigationRequest::from_alerts(
+            vec![alert(100, RoleHint::Attacker, false)],
+            &g,
+            &lookup,
+            None,
+        )
+        .unwrap();
+        assert_eq!(req.inspect_meters, vec![100]);
+    }
+
+    #[test]
+    fn suppressed_alerts_request_nothing() {
+        let (g, _) = grid();
+        let req = InvestigationRequest::from_alerts(
+            vec![alert(100, RoleHint::Attacker, true)],
+            &g,
+            &|_| None,
+            None,
+        )
+        .unwrap();
+        assert!(req.inspect_meters.is_empty());
+        assert!(req.is_empty());
+    }
+
+    #[test]
+    fn snapshot_triggers_portable_walk() {
+        let (g, nodes) = grid();
+        let mut snap = Snapshot::new();
+        for (i, &n) in nodes.iter().enumerate() {
+            // Consumer 100 under-reports.
+            let reported = if i == 0 { 0.2 } else { 1.0 };
+            snap.set_consumer(&g, n, 1.0, reported).unwrap();
+        }
+        let lookup = move |id: u32| (id == 100).then_some(nodes[0]);
+        let req = InvestigationRequest::from_alerts(
+            vec![alert(100, RoleHint::Attacker, false)],
+            &g,
+            &lookup,
+            Some(&snap),
+        )
+        .unwrap();
+        assert!(!req.clamp_points.is_empty());
+        assert_eq!(req.clamp_points[0], g.root());
+    }
+
+    #[test]
+    fn report_counts_suppression() {
+        let alerts = vec![
+            alert(1, RoleHint::Attacker, false),
+            alert(2, RoleHint::Victim, true),
+            alert(3, RoleHint::Unknown, false),
+        ];
+        let report = FrameworkReport::from_cycle(4, 100, alerts);
+        assert_eq!(report.week, 4);
+        assert_eq!(report.consumers_scored, 100);
+        assert_eq!(report.alerts_raised, 3);
+        assert_eq!(report.alerts_actionable, 2);
+        assert_eq!(report.alerts.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Automated Demand Response (ADR) via the Consumer Own Elasticity model.
+//!
+//! Attack Class 4B (Section VI-B) compromises a neighbour's ADR interface:
+//! by inflating the price signal `λ'_n > λ`, the neighbour's ADR system —
+//! programmed with a monotonically decreasing demand/price relation —
+//! automatically sheds load, which Mallory then consumes. The paper names
+//! the Consumer Own Elasticity model (Tan et al., CCS 2013) as the
+//! canonical such relation; this module implements the standard
+//! constant-elasticity form
+//!
+//! ```text
+//! D(λ) = D_base · (λ / λ_base)^ε,   ε ≤ 0
+//! ```
+//!
+//! which is monotonically decreasing in `λ` for negative elasticity `ε`.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::units::PricePerKwh;
+
+/// Constant own-price elasticity demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityModel {
+    /// Own-price elasticity `ε ≤ 0` (typical short-run residential values
+    /// are around −0.1 to −0.4).
+    elasticity: f64,
+    /// Reference price at which demand equals the base demand.
+    base_price: PricePerKwh,
+}
+
+impl ElasticityModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elasticity` is positive or not finite, or if
+    /// `base_price` is zero (the reference ratio would be undefined).
+    pub fn new(elasticity: f64, base_price: PricePerKwh) -> Self {
+        assert!(
+            elasticity.is_finite() && elasticity <= 0.0,
+            "own-price elasticity must be finite and non-positive, got {elasticity}"
+        );
+        assert!(base_price.value() > 0.0, "base price must be positive");
+        Self {
+            elasticity,
+            base_price,
+        }
+    }
+
+    /// A typical short-run residential model: ε = −0.3 at the paper's
+    /// off-peak price.
+    pub fn typical_residential() -> Self {
+        Self::new(-0.3, PricePerKwh::new_unchecked(0.18))
+    }
+
+    /// The elasticity `ε`.
+    pub fn elasticity(&self) -> f64 {
+        self.elasticity
+    }
+
+    /// Demand after the ADR system responds to `price`, given the demand
+    /// `base_kw` the consumer would have had at the base price.
+    pub fn respond(&self, base_kw: f64, price: PricePerKwh) -> f64 {
+        if base_kw == 0.0 {
+            return 0.0;
+        }
+        let ratio = price.value() / self.base_price.value();
+        if ratio <= 0.0 {
+            // A zero price with negative elasticity would request infinite
+            // demand; physical load is bounded, so saturate at base demand
+            // (the ADR controller will not *add* appliances).
+            return base_kw;
+        }
+        base_kw * ratio.powf(self.elasticity)
+    }
+
+    /// How much load (kW) the consumer sheds when shown `spoofed` instead
+    /// of `true_price` — the headroom Mallory gains in Attack Class 4B.
+    pub fn load_shed(&self, base_kw: f64, true_price: PricePerKwh, spoofed: PricePerKwh) -> f64 {
+        (self.respond(base_kw, true_price) - self.respond(base_kw, spoofed)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_price_returns_base_demand() {
+        let m = ElasticityModel::typical_residential();
+        let d = m.respond(2.0, PricePerKwh::new_unchecked(0.18));
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_is_monotone_decreasing_in_price() {
+        let m = ElasticityModel::typical_residential();
+        let lo = m.respond(2.0, PricePerKwh::new_unchecked(0.10));
+        let mid = m.respond(2.0, PricePerKwh::new_unchecked(0.18));
+        let hi = m.respond(2.0, PricePerKwh::new_unchecked(0.40));
+        assert!(
+            lo > mid && mid > hi,
+            "demand must fall as price rises: {lo} {mid} {hi}"
+        );
+    }
+
+    #[test]
+    fn zero_elasticity_never_responds() {
+        let m = ElasticityModel::new(0.0, PricePerKwh::new_unchecked(0.18));
+        assert_eq!(m.respond(3.0, PricePerKwh::new_unchecked(0.99)), 3.0);
+        assert_eq!(m.elasticity(), 0.0);
+    }
+
+    #[test]
+    fn load_shed_positive_only_for_inflated_price() {
+        let m = ElasticityModel::typical_residential();
+        let true_price = PricePerKwh::new_unchecked(0.18);
+        let spoofed = PricePerKwh::new_unchecked(0.36);
+        let shed = m.load_shed(2.0, true_price, spoofed);
+        assert!(shed > 0.0);
+        // Deflated price sheds nothing (clamped).
+        let negative = m.load_shed(2.0, true_price, PricePerKwh::new_unchecked(0.09));
+        assert_eq!(negative, 0.0);
+    }
+
+    #[test]
+    fn zero_base_demand_stays_zero() {
+        let m = ElasticityModel::typical_residential();
+        assert_eq!(m.respond(0.0, PricePerKwh::new_unchecked(0.5)), 0.0);
+    }
+
+    #[test]
+    fn zero_price_saturates_at_base() {
+        let m = ElasticityModel::typical_residential();
+        assert_eq!(m.respond(2.0, PricePerKwh::ZERO), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn positive_elasticity_rejected() {
+        ElasticityModel::new(0.5, PricePerKwh::new_unchecked(0.18));
+    }
+}

@@ -1,0 +1,496 @@
+//! The balance check (Section V-A) and the Section V-B meter-fault alarms.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GridError;
+use crate::meter::{MeterDeployment, MeterState};
+use crate::topology::{GridTopology, NodeId};
+
+/// Demands at one time period `t`: actual and reported values for consumer
+/// leaves, and calculated values for loss leaves.
+///
+/// The paper's notation: `D_c(t)` (actual), `D'_c(t)` (reported), `D_l(t)`
+/// (loss, calculated by the utility from component specifications — losses
+/// have no reported variant, Section V-A).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    actual: HashMap<NodeId, f64>,
+    reported: HashMap<NodeId, f64>,
+    losses: HashMap<NodeId, f64>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a consumer's actual and reported demand (kW).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::NotConsumer`] if `node` is not a consumer leaf
+    /// of `grid`.
+    pub fn set_consumer(
+        &mut self,
+        grid: &GridTopology,
+        node: NodeId,
+        actual: f64,
+        reported: f64,
+    ) -> Result<(), GridError> {
+        if !grid.is_consumer(node) {
+            return Err(GridError::NotConsumer(node));
+        }
+        self.actual.insert(node, actual);
+        self.reported.insert(node, reported);
+        Ok(())
+    }
+
+    /// Records a loss leaf's calculated demand (kW).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::UnknownNode`] if `node` is not a loss leaf.
+    pub fn set_loss(
+        &mut self,
+        grid: &GridTopology,
+        node: NodeId,
+        value: f64,
+    ) -> Result<(), GridError> {
+        if !grid.is_loss(node) {
+            return Err(GridError::UnknownNode(node));
+        }
+        self.losses.insert(node, value);
+        Ok(())
+    }
+
+    /// Actual demand of a consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::MissingDemand`] if the consumer was never set.
+    pub fn actual(&self, node: NodeId) -> Result<f64, GridError> {
+        self.actual
+            .get(&node)
+            .copied()
+            .ok_or(GridError::MissingDemand(node))
+    }
+
+    /// Reported demand of a consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::MissingDemand`] if the consumer was never set.
+    pub fn reported(&self, node: NodeId) -> Result<f64, GridError> {
+        self.reported
+            .get(&node)
+            .copied()
+            .ok_or(GridError::MissingDemand(node))
+    }
+
+    /// Calculated loss at a loss leaf (0 if never set — lossless segment).
+    pub fn loss(&self, node: NodeId) -> f64 {
+        self.losses.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// The physical power flowing through `node` (eq. 4): actual demands of
+    /// all consumer descendants plus all losses below it. For a consumer
+    /// leaf this is its own actual demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::MissingDemand`] if a descendant consumer has no
+    /// recorded demand.
+    pub fn actual_flow(&self, grid: &GridTopology, node: NodeId) -> Result<f64, GridError> {
+        if grid.is_consumer(node) {
+            return self.actual(node);
+        }
+        if grid.is_loss(node) {
+            return Ok(self.loss(node));
+        }
+        let mut total = 0.0;
+        for c in grid.consumer_descendants(node) {
+            total += self.actual(c)?;
+        }
+        for l in grid.loss_descendants(node) {
+            total += self.loss(l);
+        }
+        Ok(total)
+    }
+
+    /// The right-hand side of eq. (5) at `node`: reported demands of all
+    /// consumer descendants plus calculated losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::MissingDemand`] if a descendant consumer has no
+    /// recorded report.
+    pub fn reported_flow(&self, grid: &GridTopology, node: NodeId) -> Result<f64, GridError> {
+        if grid.is_consumer(node) {
+            return self.reported(node);
+        }
+        if grid.is_loss(node) {
+            return Ok(self.loss(node));
+        }
+        let mut total = 0.0;
+        for c in grid.consumer_descendants(node) {
+            total += self.reported(c)?;
+        }
+        for l in grid.loss_descendants(node) {
+            total += self.loss(l);
+        }
+        Ok(total)
+    }
+}
+
+/// Outcome of a balance check at one metered node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BalanceStatus {
+    /// The check balances within tolerance: the paper's event `W` is false.
+    Balanced,
+    /// The check fails: `W` is true. Carries the signed mismatch
+    /// `D'_N − Σ D'_c − Σ D_l` in kW.
+    Unbalanced {
+        /// Meter reading minus the reported/loss sum, in kW.
+        mismatch_kw: f64,
+    },
+}
+
+impl BalanceStatus {
+    /// Whether this is the failing (`W` true) state.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, BalanceStatus::Unbalanced { .. })
+    }
+}
+
+/// Alarms raised by the Section V-B rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalanceAlarm {
+    /// `W` is true for a node but false for its (metered) parent: at least
+    /// one of the two meters is faulty or compromised.
+    ChildFailsParentPasses {
+        /// The failing node.
+        child: NodeId,
+        /// Its passing parent.
+        parent: NodeId,
+    },
+    /// `W` is true for a parent whose metered children all pass: one of
+    /// the children — or the parent itself — is faulty or compromised.
+    ParentFailsChildrenPass {
+        /// The failing parent node.
+        parent: NodeId,
+    },
+}
+
+/// Runs balance checks across a metered grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceChecker {
+    /// Absolute tolerance in kW under which a mismatch is considered
+    /// balanced. Real meters are accurate to a fraction of a percent
+    /// (Section VII-A cites ±0.5% for 99.91% of readings), so a small
+    /// positive tolerance avoids false `W` events from float noise.
+    pub tolerance_kw: f64,
+}
+
+impl Default for BalanceChecker {
+    fn default() -> Self {
+        Self { tolerance_kw: 1e-6 }
+    }
+}
+
+impl BalanceChecker {
+    /// Creates a checker with the given kW tolerance.
+    pub fn new(tolerance_kw: f64) -> Self {
+        Self { tolerance_kw }
+    }
+
+    /// The value the meter at `node` *reports*: the true flow for a
+    /// trusted meter, or a cover value (the reported flow, which makes the
+    /// local check pass) for a compromised one. `None` if no meter there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError::MissingDemand`] from the snapshot.
+    pub fn meter_reading(
+        &self,
+        grid: &GridTopology,
+        deployment: &MeterDeployment,
+        snapshot: &Snapshot,
+        node: NodeId,
+    ) -> Result<Option<f64>, GridError> {
+        match deployment.state(node) {
+            MeterState::Absent => Ok(None),
+            MeterState::Trusted => Ok(Some(snapshot.actual_flow(grid, node)?)),
+            MeterState::Compromised => Ok(Some(snapshot.reported_flow(grid, node)?)),
+        }
+    }
+
+    /// Balance check (eq. 5) at one metered internal node. Returns `None`
+    /// if the node has no meter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::NotInternal`] for leaves and propagates
+    /// [`GridError::MissingDemand`].
+    pub fn check_node(
+        &self,
+        grid: &GridTopology,
+        deployment: &MeterDeployment,
+        snapshot: &Snapshot,
+        node: NodeId,
+    ) -> Result<Option<BalanceStatus>, GridError> {
+        if !grid.is_internal(node) {
+            return Err(GridError::NotInternal(node));
+        }
+        let Some(meter) = self.meter_reading(grid, deployment, snapshot, node)? else {
+            return Ok(None);
+        };
+        let expected = snapshot.reported_flow(grid, node)?;
+        let mismatch = meter - expected;
+        if mismatch.abs() <= self.tolerance_kw {
+            Ok(Some(BalanceStatus::Balanced))
+        } else {
+            Ok(Some(BalanceStatus::Unbalanced {
+                mismatch_kw: mismatch,
+            }))
+        }
+    }
+
+    /// Runs the check at every metered internal node, returning the `W`
+    /// event map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-node errors.
+    pub fn w_events(
+        &self,
+        grid: &GridTopology,
+        deployment: &MeterDeployment,
+        snapshot: &Snapshot,
+    ) -> Result<HashMap<NodeId, BalanceStatus>, GridError> {
+        let mut out = HashMap::new();
+        for node in grid.internal_nodes() {
+            if let Some(status) = self.check_node(grid, deployment, snapshot, node)? {
+                out.insert(node, status);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the Section V-B alarm rules to a `W` event map.
+    pub fn alarms(
+        &self,
+        grid: &GridTopology,
+        events: &HashMap<NodeId, BalanceStatus>,
+    ) -> Vec<BalanceAlarm> {
+        let failed = |n: NodeId| events.get(&n).is_some_and(|s| s.is_failure());
+        let metered = |n: NodeId| events.contains_key(&n);
+        let mut alarms = Vec::new();
+        for (&node, status) in events {
+            // Rule 1: child fails, metered parent passes.
+            if status.is_failure() {
+                if let Some(parent) = grid.parent(node) {
+                    if metered(parent) && !failed(parent) {
+                        alarms.push(BalanceAlarm::ChildFailsParentPasses {
+                            child: node,
+                            parent,
+                        });
+                    }
+                }
+            }
+            // Rule 2: parent fails, all metered internal children pass
+            // (only meaningful if it has at least one metered child).
+            if status.is_failure() {
+                let internal_children: Vec<NodeId> = grid
+                    .children(node)
+                    .iter()
+                    .copied()
+                    .filter(|&c| grid.is_internal(c) && metered(c))
+                    .collect();
+                if !internal_children.is_empty() && internal_children.iter().all(|&c| !failed(c)) {
+                    alarms.push(BalanceAlarm::ParentFailsChildrenPass { parent: node });
+                }
+            }
+        }
+        alarms.sort_by_key(|a| match a {
+            BalanceAlarm::ChildFailsParentPasses { child, .. } => (0, child.raw()),
+            BalanceAlarm::ParentFailsChildrenPass { parent } => (1, parent.raw()),
+        });
+        alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root ── busA ── {c0, c1, lossA}
+    ///       └─ busB ── {c2, lossB}
+    fn grid() -> (GridTopology, NodeId, NodeId, [NodeId; 3], [NodeId; 2]) {
+        let mut g = GridTopology::new();
+        let root = g.root();
+        let bus_a = g.add_internal(root).unwrap();
+        let bus_b = g.add_internal(root).unwrap();
+        let c0 = g.add_consumer(bus_a, "c0").unwrap();
+        let c1 = g.add_consumer(bus_a, "c1").unwrap();
+        let loss_a = g.add_loss(bus_a).unwrap();
+        let c2 = g.add_consumer(bus_b, "c2").unwrap();
+        let loss_b = g.add_loss(bus_b).unwrap();
+        (g, bus_a, bus_b, [c0, c1, c2], [loss_a, loss_b])
+    }
+
+    fn honest_snapshot(
+        g: &GridTopology,
+        consumers: &[NodeId; 3],
+        losses: &[NodeId; 2],
+    ) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.set_consumer(g, consumers[0], 1.0, 1.0).unwrap();
+        s.set_consumer(g, consumers[1], 2.0, 2.0).unwrap();
+        s.set_consumer(g, consumers[2], 3.0, 3.0).unwrap();
+        s.set_loss(g, losses[0], 0.1).unwrap();
+        s.set_loss(g, losses[1], 0.2).unwrap();
+        s
+    }
+
+    #[test]
+    fn flows_are_additive_like_eq4() {
+        let (g, bus_a, _, consumers, losses) = grid();
+        let s = honest_snapshot(&g, &consumers, &losses);
+        assert!((s.actual_flow(&g, bus_a).unwrap() - 3.1).abs() < 1e-12);
+        assert!((s.actual_flow(&g, g.root()).unwrap() - 6.3).abs() < 1e-12);
+        assert_eq!(s.actual_flow(&g, consumers[0]).unwrap(), 1.0);
+        assert_eq!(s.actual_flow(&g, losses[0]).unwrap(), 0.1);
+    }
+
+    #[test]
+    fn honest_reports_balance_everywhere() {
+        let (g, ..) = grid();
+        let (g2, _, _, consumers, losses) = grid();
+        assert_eq!(g, g2);
+        let s = honest_snapshot(&g, &consumers, &losses);
+        let dep = MeterDeployment::full(&g);
+        let events = BalanceChecker::default().w_events(&g, &dep, &s).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(events.values().all(|st| !st.is_failure()));
+        assert!(BalanceChecker::default().alarms(&g, &events).is_empty());
+    }
+
+    #[test]
+    fn under_reporting_fails_checks_up_to_root() {
+        let (g, bus_a, bus_b, consumers, losses) = grid();
+        let mut s = honest_snapshot(&g, &consumers, &losses);
+        // c0 under-reports by 0.5 kW (Attack Class 2A shape).
+        s.set_consumer(&g, consumers[0], 1.0, 0.5).unwrap();
+        let dep = MeterDeployment::full(&g);
+        let events = BalanceChecker::default().w_events(&g, &dep, &s).unwrap();
+        // W true at bus_a and at the root (ancestor propagation, V-B),
+        // false at bus_b.
+        assert!(events[&bus_a].is_failure());
+        assert!(events[&g.root()].is_failure());
+        assert!(!events[&bus_b].is_failure());
+        if let BalanceStatus::Unbalanced { mismatch_kw } = events[&bus_a] {
+            assert!((mismatch_kw - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compromised_route_hides_theft_from_local_checks_but_not_root() {
+        let (g, bus_a, _, consumers, losses) = grid();
+        let mut s = honest_snapshot(&g, &consumers, &losses);
+        s.set_consumer(&g, consumers[0], 1.0, 0.2).unwrap();
+        let mut dep = MeterDeployment::full(&g);
+        dep.compromise(bus_a).unwrap();
+        let checker = BalanceChecker::default();
+        let events = checker.w_events(&g, &dep, &s).unwrap();
+        // Local check at the compromised bus passes (cover reading)...
+        assert!(!events[&bus_a].is_failure());
+        // ...but the trusted root still catches the deficit.
+        assert!(events[&g.root()].is_failure());
+        // V-B rule 2 fires: parent fails, metered children pass.
+        let alarms = checker.alarms(&g, &events);
+        assert!(alarms.iter().any(
+            |a| matches!(a, BalanceAlarm::ParentFailsChildrenPass { parent } if *parent == g.root())
+        ));
+    }
+
+    #[test]
+    fn neighbor_overreport_circumvents_even_the_root_check() {
+        // Attack Class 1B shape: Mallory (c0) consumes 2.0 but reports 1.0;
+        // neighbour c1's report is inflated by the difference. Every
+        // balance check passes — exactly Proposition 2's conclusion.
+        let (g, _, _, consumers, losses) = grid();
+        let mut s = honest_snapshot(&g, &consumers, &losses);
+        s.set_consumer(&g, consumers[0], 2.0, 1.0).unwrap();
+        s.set_consumer(&g, consumers[1], 2.0, 3.0).unwrap();
+        let dep = MeterDeployment::full(&g);
+        let events = BalanceChecker::default().w_events(&g, &dep, &s).unwrap();
+        assert!(events.values().all(|st| !st.is_failure()));
+    }
+
+    #[test]
+    fn child_fails_parent_passes_alarm() {
+        // Make bus_a fail while the root passes: compromise the ROOT meter
+        // (it covers), leave bus_a trusted, and have c0 under-report.
+        let (g, bus_a, _, consumers, losses) = grid();
+        let mut s = honest_snapshot(&g, &consumers, &losses);
+        s.set_consumer(&g, consumers[0], 1.0, 0.5).unwrap();
+        let mut dep = MeterDeployment::full(&g);
+        dep.compromise(g.root()).unwrap();
+        let checker = BalanceChecker::default();
+        let events = checker.w_events(&g, &dep, &s).unwrap();
+        assert!(events[&bus_a].is_failure());
+        assert!(!events[&g.root()].is_failure());
+        let alarms = checker.alarms(&g, &events);
+        assert!(alarms.iter().any(|a| matches!(
+            a,
+            BalanceAlarm::ChildFailsParentPasses { child, .. } if *child == bus_a
+        )));
+    }
+
+    #[test]
+    fn missing_demand_is_reported() {
+        let (g, _, _, consumers, _) = grid();
+        let s = Snapshot::new();
+        assert_eq!(
+            s.actual(consumers[0]),
+            Err(GridError::MissingDemand(consumers[0]))
+        );
+        let dep = MeterDeployment::full(&g);
+        assert!(BalanceChecker::default().w_events(&g, &dep, &s).is_err());
+    }
+
+    #[test]
+    fn snapshot_validates_node_kinds() {
+        let (g, bus_a, _, consumers, losses) = grid();
+        let mut s = Snapshot::new();
+        assert_eq!(
+            s.set_consumer(&g, bus_a, 1.0, 1.0),
+            Err(GridError::NotConsumer(bus_a))
+        );
+        assert_eq!(
+            s.set_loss(&g, consumers[0], 0.1),
+            Err(GridError::UnknownNode(consumers[0]))
+        );
+        assert!(s.set_loss(&g, losses[0], 0.1).is_ok());
+    }
+
+    #[test]
+    fn check_node_rejects_leaves_and_unmetered_returns_none() {
+        let (g, bus_a, _, consumers, losses) = grid();
+        let s = honest_snapshot(&g, &consumers, &losses);
+        let dep = MeterDeployment::root_only(&g);
+        let checker = BalanceChecker::default();
+        assert_eq!(
+            checker.check_node(&g, &dep, &s, consumers[0]),
+            Err(GridError::NotInternal(consumers[0]))
+        );
+        assert_eq!(checker.check_node(&g, &dep, &s, bus_a).unwrap(), None);
+        assert!(checker
+            .check_node(&g, &dep, &s, g.root())
+            .unwrap()
+            .is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Billing and the paper's monetary quantities.
+//!
+//! * eq. (2): the attacker's advantage
+//!   `α = Σ λ(t)·D_A(t)·Δt − Σ λ(t)·D'_A(t)·Δt`;
+//! * eq. (10): the victimised neighbour's loss
+//!   `L_n = Δt Σ λ(t)·[D'_n(t) − D_n(t)]`;
+//! * eq. (11): Attack Class 4B's deceptive bill delta
+//!   `ΔB = Δt Σ [λ'_n(t)·D'_n(t) − λ(t)·D'_n(t)]`.
+
+use fdeta_tsdata::units::{Money, PricePerKwh};
+use fdeta_tsdata::SLOT_HOURS;
+
+use crate::pricing::PricingScheme;
+
+/// Bill for a demand series under a pricing scheme:
+/// `Σ λ(t) · D(t) · Δt`, with slot `i` of `readings` billed at global slot
+/// `start_slot + i`.
+pub fn bill(readings: &[f64], scheme: &PricingScheme, start_slot: usize) -> Money {
+    let mut total = 0.0;
+    for (i, &kw) in readings.iter().enumerate() {
+        total += scheme.price_at(start_slot + i).value() * kw * SLOT_HOURS;
+    }
+    Money::new(total).expect("finite bill from finite readings")
+}
+
+/// The attacker's monetary advantage `α` (eq. 2): what she *should* have
+/// been billed minus what she *was* billed. A successful theft attack has
+/// `α > 0` (eq. 1).
+///
+/// # Panics
+///
+/// Panics if `actual` and `reported` have different lengths.
+pub fn attacker_advantage(
+    actual: &[f64],
+    reported: &[f64],
+    scheme: &PricingScheme,
+    start_slot: usize,
+) -> Money {
+    assert_eq!(actual.len(), reported.len(), "series length mismatch");
+    bill(actual, scheme, start_slot) - bill(reported, scheme, start_slot)
+}
+
+/// The loss `L_n` (eq. 10) incurred by a neighbour whose consumption was
+/// over-reported: what they were billed minus what they actually consumed.
+///
+/// # Panics
+///
+/// Panics if `actual` and `reported` have different lengths.
+pub fn neighbor_loss(
+    actual: &[f64],
+    reported: &[f64],
+    scheme: &PricingScheme,
+    start_slot: usize,
+) -> Money {
+    assert_eq!(actual.len(), reported.len(), "series length mismatch");
+    bill(reported, scheme, start_slot) - bill(actual, scheme, start_slot)
+}
+
+/// Energy stolen in kWh given actual and reported demand series:
+/// `Δt Σ (D − D')`, floored at each slot? — **No**: the paper counts the
+/// signed total (load shifting nets to zero), so this is the plain signed
+/// sum `Δt Σ [D(t) − D'(t)]`.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn energy_stolen_kwh(actual: &[f64], reported: &[f64]) -> f64 {
+    assert_eq!(actual.len(), reported.len(), "series length mismatch");
+    actual
+        .iter()
+        .zip(reported)
+        .map(|(a, r)| (a - r) * SLOT_HOURS)
+        .sum()
+}
+
+/// Attack Class 4B's deceptive bill delta `ΔB` (eq. 11): the bill the
+/// neighbour *expected* under the inflated price signal `λ'_n` minus the
+/// bill the utility actually sends (at the true `λ`). Positive `ΔB` makes
+/// the victim believe he benefited.
+///
+/// `reported` is the neighbour's reported demand `D'_n`; `spoofed_prices`
+/// is the per-slot `λ'_n` his ADR system saw.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn deceptive_bill_delta(
+    reported: &[f64],
+    spoofed_prices: &[PricePerKwh],
+    scheme: &PricingScheme,
+    start_slot: usize,
+) -> Money {
+    assert_eq!(
+        reported.len(),
+        spoofed_prices.len(),
+        "series length mismatch"
+    );
+    let mut expected = 0.0;
+    for (i, &kw) in reported.iter().enumerate() {
+        expected += spoofed_prices[i].value() * kw * SLOT_HOURS;
+    }
+    Money::new(expected).expect("finite") - bill(reported, scheme, start_slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::SLOTS_PER_DAY;
+
+    #[test]
+    fn flat_bill_hand_check() {
+        // 48 slots at 2 kW, 0.18 $/kWh: 48 × 2 × 0.5 × 0.18 = $8.64.
+        let scheme = PricingScheme::flat_default();
+        let b = bill(&vec![2.0; SLOTS_PER_DAY], &scheme, 0);
+        assert!((b.dollars() - 8.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tou_bill_splits_peak_and_off_peak() {
+        // 1 kW all day under NightSaver: off-peak 18 slots × 0.5 h × 0.18
+        // + peak 30 slots × 0.5 h × 0.21 = 1.62 + 3.15 = $4.77.
+        let scheme = PricingScheme::tou_ireland();
+        let b = bill(&vec![1.0; SLOTS_PER_DAY], &scheme, 0);
+        assert!((b.dollars() - 4.77).abs() < 1e-9, "bill = {b}");
+    }
+
+    #[test]
+    fn advantage_positive_iff_under_reported_value() {
+        let scheme = PricingScheme::flat_default();
+        let actual = vec![2.0; 10];
+        let reported = vec![1.0; 10];
+        let alpha = attacker_advantage(&actual, &reported, &scheme, 0);
+        assert!(alpha.is_gain());
+        // Honest reporting: zero advantage.
+        let zero = attacker_advantage(&actual, &actual, &scheme, 0);
+        assert_eq!(zero.dollars(), 0.0);
+        // Over-reporting yourself is a loss, not an attack (Prop. 1).
+        let silly = attacker_advantage(&reported, &actual, &scheme, 0);
+        assert!(!silly.is_gain());
+    }
+
+    #[test]
+    fn neighbor_loss_mirrors_over_report() {
+        let scheme = PricingScheme::flat_default();
+        let actual = vec![1.0; 10];
+        let inflated = vec![1.5; 10];
+        let loss = neighbor_loss(&actual, &inflated, &scheme, 0);
+        // 10 slots × 0.5 kW × 0.5 h × 0.18 = $0.45.
+        assert!((loss.dollars() - 0.45).abs() < 1e-9);
+        // The attacker's gain equals the neighbours' loss in a pure 1B
+        // exchange: α = Σ L_n (Section VI-B).
+        let attacker_actual = vec![1.5; 10];
+        let attacker_reported = vec![1.0; 10];
+        let alpha = attacker_advantage(&attacker_actual, &attacker_reported, &scheme, 0);
+        assert!((alpha.dollars() - loss.dollars()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_shift_steals_nothing_but_profits_under_tou() {
+        // Attack 3A shape: move 1 kW of demand from a peak slot to an
+        // off-peak slot in the *report only*.
+        let scheme = PricingScheme::tou_ireland();
+        let mut actual = vec![0.0; SLOTS_PER_DAY];
+        actual[20] = 1.0; // 10:00, peak
+        let mut reported = vec![0.0; SLOTS_PER_DAY];
+        reported[2] = 1.0; // 01:00, off-peak
+        assert_eq!(energy_stolen_kwh(&actual, &reported), 0.0);
+        let alpha = attacker_advantage(&actual, &reported, &scheme, 0);
+        // 0.5 kWh × (0.21 − 0.18) = $0.015.
+        assert!((alpha.dollars() - 0.015).abs() < 1e-12);
+        // Under flat pricing the same shift profits nothing (Table I: 3A
+        // impossible under flat rate).
+        let flat_alpha = attacker_advantage(&actual, &reported, &PricingScheme::flat_default(), 0);
+        assert_eq!(flat_alpha.dollars(), 0.0);
+    }
+
+    #[test]
+    fn energy_stolen_signed_sum() {
+        let actual = vec![2.0, 2.0];
+        let reported = vec![1.0, 3.0];
+        assert_eq!(energy_stolen_kwh(&actual, &reported), 0.0);
+        assert_eq!(energy_stolen_kwh(&actual, &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn deceptive_delta_positive_when_prices_spoofed_up() {
+        // Neighbour reports 1 kW for 4 slots; spoofed price 0.30 vs true
+        // flat 0.18: ΔB = 4 × 0.5 × (0.30 − 0.18) = $0.24 > 0.
+        let scheme = PricingScheme::flat_default();
+        let reported = vec![1.0; 4];
+        let spoofed = vec![PricePerKwh::new_unchecked(0.30); 4];
+        let delta = deceptive_bill_delta(&reported, &spoofed, &scheme, 0);
+        assert!((delta.dollars() - 0.24).abs() < 1e-12);
+        assert!(delta.is_gain());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        attacker_advantage(&[1.0], &[1.0, 2.0], &PricingScheme::flat_default(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Graphviz export of grid topologies.
+//!
+//! Utilities reason about feeders visually; `to_dot` renders the radial
+//! tree with meter deployment state and (optionally) the latest balance
+//! check outcomes, ready for `dot -Tsvg`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::balance::BalanceStatus;
+use crate::meter::{MeterDeployment, MeterState};
+use crate::topology::{GridTopology, NodeId};
+
+/// Renders the topology in Graphviz DOT format.
+///
+/// Internal nodes are circles coloured by meter state (white = no meter,
+/// green = trusted, red = compromised); consumers are boxes; losses are
+/// small diamonds. If `events` is given, failing balance checks get a
+/// double border and a `W` suffix.
+pub fn to_dot(
+    grid: &GridTopology,
+    deployment: &MeterDeployment,
+    events: Option<&HashMap<NodeId, BalanceStatus>>,
+) -> String {
+    let mut out = String::from("digraph feeder {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for node in grid.iter() {
+        let id = node.raw();
+        if grid.is_internal(node) {
+            let fill = match deployment.state(node) {
+                MeterState::Absent => "white",
+                MeterState::Trusted => "palegreen",
+                MeterState::Compromised => "lightcoral",
+            };
+            let failing = events
+                .and_then(|e| e.get(&node))
+                .is_some_and(BalanceStatus::is_failure);
+            let label = if node == grid.root() {
+                "root".to_owned()
+            } else {
+                format!("N{id}")
+            };
+            let label = if failing { format!("{label} W") } else { label };
+            let peripheries = if failing { 2 } else { 1 };
+            writeln!(
+                out,
+                "  n{id} [shape=circle style=filled fillcolor={fill} \
+                 peripheries={peripheries} label=\"{label}\"];"
+            )
+            .expect("writing to a String cannot fail");
+        } else if grid.is_consumer(node) {
+            let label = grid.consumer_label(node).unwrap_or("?");
+            writeln!(out, "  n{id} [shape=box label=\"{label}\"];")
+                .expect("writing to a String cannot fail");
+        } else {
+            writeln!(
+                out,
+                "  n{id} [shape=diamond width=0.3 height=0.3 label=\"L\"];"
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    for node in grid.iter() {
+        for &child in grid.children(node) {
+            writeln!(out, "  n{} -> n{};", node.raw(), child.raw())
+                .expect("writing to a String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{BalanceChecker, Snapshot};
+
+    fn grid() -> (GridTopology, NodeId) {
+        let mut g = GridTopology::new();
+        let bus = g.add_internal(g.root()).unwrap();
+        g.add_consumer(bus, "alice").unwrap();
+        g.add_consumer(bus, "bob").unwrap();
+        g.add_loss(bus).unwrap();
+        (g, bus)
+    }
+
+    #[test]
+    fn renders_every_node_and_edge() {
+        let (g, _) = grid();
+        let dot = to_dot(&g, &MeterDeployment::full(&g), None);
+        assert!(dot.starts_with("digraph feeder {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 5 nodes, 4 edges.
+        assert_eq!(dot.matches("shape=").count(), 5);
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("alice"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("fillcolor=palegreen"));
+    }
+
+    #[test]
+    fn compromised_meters_are_red_and_absent_white() {
+        let (g, bus) = grid();
+        let mut dep = MeterDeployment::root_only(&g);
+        let dot = to_dot(&g, &dep, None);
+        assert!(dot.contains("fillcolor=white"), "unmetered bus is white");
+        dep = MeterDeployment::full(&g);
+        dep.compromise(bus).unwrap();
+        let dot = to_dot(&g, &dep, None);
+        assert!(dot.contains("fillcolor=lightcoral"));
+    }
+
+    #[test]
+    fn failing_checks_get_marked() {
+        let (g, _) = grid();
+        let mut snap = Snapshot::new();
+        for c in g.consumers() {
+            snap.set_consumer(&g, c, 1.0, 0.5).unwrap();
+        }
+        let dep = MeterDeployment::full(&g);
+        let events = BalanceChecker::default().w_events(&g, &dep, &snap).unwrap();
+        let dot = to_dot(&g, &dep, Some(&events));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains(" W\""));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for grid construction and analysis.
+
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Errors produced by grid topology construction and balance analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The referenced node does not exist in this topology.
+    UnknownNode(NodeId),
+    /// A child was attached to a leaf node (consumers and losses cannot
+    /// have children in a radial topology).
+    LeafCannotHaveChildren(NodeId),
+    /// An operation that requires an internal node was given a leaf.
+    NotInternal(NodeId),
+    /// An operation that requires a consumer node was given something else.
+    NotConsumer(NodeId),
+    /// A demand snapshot was missing a value for the given leaf node.
+    MissingDemand(NodeId),
+    /// An investigation was requested on a grid whose meter deployment
+    /// cannot support it (e.g. Case 1 requires every internal node to be
+    /// metered).
+    InsufficientMetering(NodeId),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GridError::LeafCannotHaveChildren(n) => {
+                write!(f, "node {n} is a leaf and cannot have children")
+            }
+            GridError::NotInternal(n) => write!(f, "node {n} is not an internal node"),
+            GridError::NotConsumer(n) => write!(f, "node {n} is not a consumer"),
+            GridError::MissingDemand(n) => write!(f, "no demand recorded for leaf node {n}"),
+            GridError::InsufficientMetering(n) => {
+                write!(
+                    f,
+                    "internal node {n} has no meter; operation requires full instrumentation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let node = NodeId::from_raw(3);
+        for err in [
+            GridError::UnknownNode(node),
+            GridError::LeafCannotHaveChildren(node),
+            GridError::NotInternal(node),
+            GridError::NotConsumer(node),
+            GridError::MissingDemand(node),
+            GridError::InsufficientMetering(node),
+        ] {
+            assert!(err.to_string().contains('3'));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Investigation of balance-check failures (Section V-C).
+//!
+//! *Case 1* — every internal node is metered: the deepest failing meters
+//! bound the geographic neighbourhood to inspect; their consumer children
+//! are the suspects.
+//!
+//! *Case 2* — sparse metering: a serviceman with a portable meter walks the
+//! tree breadth-first from the root, measuring the true flow at each
+//! internal node, descending only into subtrees whose check fails. The
+//! other subtrees are pruned — that pruning is the efficiency claim this
+//! module also quantifies (checks performed).
+
+use serde::{Deserialize, Serialize};
+
+use crate::balance::{BalanceChecker, Snapshot};
+use crate::error::GridError;
+use crate::meter::MeterDeployment;
+use crate::topology::{GridTopology, NodeId};
+
+/// Result of a Case 1 (fully instrumented) investigation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Investigation {
+    /// Deepest internal nodes whose balance check fails.
+    pub deepest_failing: Vec<NodeId>,
+    /// Consumer leaves directly attached to those nodes — the manual
+    /// inspection list (one or more of these is the attacker or victim of
+    /// tampering).
+    pub suspects: Vec<NodeId>,
+}
+
+impl Investigation {
+    /// Runs Case 1: requires every internal node to be metered.
+    ///
+    /// Compromised meters *cover* for the attacker, so their checks pass —
+    /// which is precisely why the paper's evaluation falls back to the
+    /// trusted root meter. Case 1 is still the right tool against
+    /// line-tapping attacks (Class 1A/2A) where meters are honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::InsufficientMetering`] naming the first
+    /// unmetered internal node, and propagates snapshot errors.
+    pub fn case1(
+        grid: &GridTopology,
+        deployment: &MeterDeployment,
+        snapshot: &Snapshot,
+        checker: &BalanceChecker,
+    ) -> Result<Investigation, GridError> {
+        for node in grid.internal_nodes() {
+            if matches!(deployment.state(node), crate::meter::MeterState::Absent) {
+                return Err(GridError::InsufficientMetering(node));
+            }
+        }
+        let events = checker.w_events(grid, deployment, snapshot)?;
+        let failing: Vec<NodeId> = events
+            .iter()
+            .filter(|(_, s)| s.is_failure())
+            .map(|(&n, _)| n)
+            .collect();
+        // Deepest failing: failing nodes none of whose failing descendants
+        // exist — equivalently, failing nodes with no failing internal child.
+        let mut deepest: Vec<NodeId> = failing
+            .iter()
+            .copied()
+            .filter(|&n| grid.children(n).iter().all(|&c| !failing.contains(&c)))
+            .collect();
+        deepest.sort();
+        let mut suspects: Vec<NodeId> = deepest
+            .iter()
+            .flat_map(|&n| {
+                grid.children(n)
+                    .iter()
+                    .copied()
+                    .filter(|&c| grid.is_consumer(c))
+            })
+            .collect();
+        suspects.sort();
+        suspects.dedup();
+        Ok(Investigation {
+            deepest_failing: deepest,
+            suspects,
+        })
+    }
+}
+
+/// A Case 2 portable-meter search and its cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableMeterSearch {
+    /// Internal nodes where the serviceman clamped the portable meter, in
+    /// visit order.
+    pub visited: Vec<NodeId>,
+    /// Internal nodes whose subtree check failed (the trail to the theft).
+    pub failing_trail: Vec<NodeId>,
+    /// Consumer leaves requiring manual inspection at the end of the walk.
+    pub suspects: Vec<NodeId>,
+}
+
+impl PortableMeterSearch {
+    /// Runs the Case 2 search. The portable meter measures ground truth
+    /// (it is in the serviceman's hands, not the attacker's), so at each
+    /// visited internal node the true flow is compared against the
+    /// reported flow of the subtree; only failing subtrees are descended
+    /// into.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot errors ([`GridError::MissingDemand`]).
+    pub fn run(
+        grid: &GridTopology,
+        snapshot: &Snapshot,
+        checker: &BalanceChecker,
+    ) -> Result<PortableMeterSearch, GridError> {
+        let mut visited = Vec::new();
+        let mut failing_trail = Vec::new();
+        let mut suspects = Vec::new();
+        let mut queue = std::collections::VecDeque::from([grid.root()]);
+        while let Some(node) = queue.pop_front() {
+            visited.push(node);
+            let actual = snapshot.actual_flow(grid, node)?;
+            let reported = snapshot.reported_flow(grid, node)?;
+            if (actual - reported).abs() <= checker.tolerance_kw {
+                continue; // subtree is clean: prune.
+            }
+            failing_trail.push(node);
+            let mut has_internal_child = false;
+            for &child in grid.children(node) {
+                if grid.is_internal(child) {
+                    has_internal_child = true;
+                    queue.push_back(child);
+                } else if grid.is_consumer(child) {
+                    // Leaf-level discrepancy check: compare the consumer's
+                    // own actual vs reported demand.
+                    let a = snapshot.actual(child)?;
+                    let r = snapshot.reported(child)?;
+                    if (a - r).abs() > checker.tolerance_kw {
+                        suspects.push(child);
+                    }
+                }
+            }
+            // A failing node with no internal children and no individually
+            // failing consumer (possible under cross-consumer masking)
+            // leaves all its consumer children suspect.
+            if !has_internal_child && suspects.is_empty() {
+                suspects.extend(
+                    grid.children(node)
+                        .iter()
+                        .copied()
+                        .filter(|&c| grid.is_consumer(c)),
+                );
+            }
+        }
+        suspects.sort();
+        suspects.dedup();
+        Ok(PortableMeterSearch {
+            visited,
+            failing_trail,
+            suspects,
+        })
+    }
+
+    /// Number of portable-meter placements performed (the serviceman's
+    /// effort — the quantity the subtree pruning minimises).
+    pub fn checks_performed(&self) -> usize {
+        self.visited.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::BalanceChecker;
+
+    /// root ── a ── a1 ── {c0, c1}
+    ///       │    └ a2 ── {c2}
+    ///       └ b ── {c3, c4}
+    struct Fixture {
+        grid: GridTopology,
+        a: NodeId,
+        a1: NodeId,
+        a2: NodeId,
+        b: NodeId,
+        consumers: [NodeId; 5],
+    }
+
+    fn fixture() -> Fixture {
+        let mut g = GridTopology::new();
+        let root = g.root();
+        let a = g.add_internal(root).unwrap();
+        let b = g.add_internal(root).unwrap();
+        let a1 = g.add_internal(a).unwrap();
+        let a2 = g.add_internal(a).unwrap();
+        let c0 = g.add_consumer(a1, "c0").unwrap();
+        let c1 = g.add_consumer(a1, "c1").unwrap();
+        let c2 = g.add_consumer(a2, "c2").unwrap();
+        let c3 = g.add_consumer(b, "c3").unwrap();
+        let c4 = g.add_consumer(b, "c4").unwrap();
+        Fixture {
+            grid: g,
+            a,
+            a1,
+            a2,
+            b,
+            consumers: [c0, c1, c2, c3, c4],
+        }
+    }
+
+    fn snapshot(f: &Fixture, reports: [f64; 5]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for (i, &c) in f.consumers.iter().enumerate() {
+            s.set_consumer(&f.grid, c, 1.0, reports[i]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn case1_localises_the_thief_bus() {
+        let f = fixture();
+        // c2 under-reports: checks fail at a2, a, root; deepest is a2.
+        let s = snapshot(&f, [1.0, 1.0, 0.3, 1.0, 1.0]);
+        let dep = MeterDeployment::full(&f.grid);
+        let inv = Investigation::case1(&f.grid, &dep, &s, &BalanceChecker::default()).unwrap();
+        assert_eq!(inv.deepest_failing, vec![f.a2]);
+        assert_eq!(inv.suspects, vec![f.consumers[2]]);
+    }
+
+    #[test]
+    fn case1_requires_full_instrumentation() {
+        let f = fixture();
+        let s = snapshot(&f, [1.0; 5]);
+        let dep = MeterDeployment::root_only(&f.grid);
+        assert!(matches!(
+            Investigation::case1(&f.grid, &dep, &s, &BalanceChecker::default()),
+            Err(GridError::InsufficientMetering(_))
+        ));
+    }
+
+    #[test]
+    fn case1_clean_grid_has_no_suspects() {
+        let f = fixture();
+        let s = snapshot(&f, [1.0; 5]);
+        let dep = MeterDeployment::full(&f.grid);
+        let inv = Investigation::case1(&f.grid, &dep, &s, &BalanceChecker::default()).unwrap();
+        assert!(inv.deepest_failing.is_empty());
+        assert!(inv.suspects.is_empty());
+    }
+
+    #[test]
+    fn portable_search_prunes_clean_subtrees() {
+        let f = fixture();
+        let s = snapshot(&f, [1.0, 1.0, 0.3, 1.0, 1.0]);
+        let search = PortableMeterSearch::run(&f.grid, &s, &BalanceChecker::default()).unwrap();
+        // Walk: root (fails), a and b enqueued; b passes (pruned), a fails;
+        // a1 passes, a2 fails → c2 suspect.
+        assert_eq!(search.suspects, vec![f.consumers[2]]);
+        assert!(search.failing_trail.contains(&f.grid.root()));
+        assert!(search.failing_trail.contains(&f.a));
+        assert!(search.failing_trail.contains(&f.a2));
+        assert!(!search.failing_trail.contains(&f.b));
+        assert!(!search.failing_trail.contains(&f.a1));
+        // b is visited (measured once) but its children are not.
+        assert!(search.visited.contains(&f.b));
+        assert!(search.checks_performed() <= f.grid.internal_nodes().count());
+    }
+
+    #[test]
+    fn portable_search_clean_grid_costs_one_check() {
+        let f = fixture();
+        let s = snapshot(&f, [1.0; 5]);
+        let search = PortableMeterSearch::run(&f.grid, &s, &BalanceChecker::default()).unwrap();
+        assert_eq!(search.checks_performed(), 1);
+        assert!(search.suspects.is_empty());
+    }
+
+    #[test]
+    fn portable_search_beats_exhaustive_on_big_grid() {
+        // One thief in a 3-level binary grid: pruned search must clamp the
+        // meter at far fewer nodes than there are internal nodes.
+        let grid = GridTopology::balanced(3, 2, 4);
+        let thief = grid.consumers().next().unwrap();
+        let mut s = Snapshot::new();
+        for c in grid.consumers() {
+            let reported = if c == thief { 0.1 } else { 1.0 };
+            s.set_consumer(&grid, c, 1.0, reported).unwrap();
+        }
+        for l in grid.losses() {
+            s.set_loss(&grid, l, 0.0).unwrap();
+        }
+        let search = PortableMeterSearch::run(&grid, &s, &BalanceChecker::default()).unwrap();
+        assert_eq!(search.suspects, vec![thief]);
+        let internals = grid.internal_nodes().count();
+        assert!(
+            search.checks_performed() < internals,
+            "pruned {} vs exhaustive {internals}",
+            search.checks_performed()
+        );
+    }
+
+    #[test]
+    fn masked_bus_level_theft_suspects_all_children() {
+        // Mallory (c0) under-reports while neighbour c1 is over-reported by
+        // a *different* amount, so the bus total still fails, but both
+        // leaf-level reports differ from actuals — both are suspects.
+        let f = fixture();
+        let s = snapshot(&f, [0.5, 1.2, 1.0, 1.0, 1.0]);
+        let search = PortableMeterSearch::run(&f.grid, &s, &BalanceChecker::default()).unwrap();
+        assert_eq!(search.suspects, vec![f.consumers[0], f.consumers[1]]);
+    }
+}

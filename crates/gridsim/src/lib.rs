@@ -1,0 +1,70 @@
+//! Electric distribution grid substrate for the F-DETA reproduction.
+//!
+//! Section V of the paper models the (radial) distribution grid as an
+//! unbalanced n-ary tree whose internal nodes host *balance meters* and
+//! whose leaves are either end-consumers or network-loss pseudo-nodes.
+//! This crate implements that model and everything the paper's framework
+//! needs from it:
+//!
+//! * [`topology`] — the arena-based radial tree ([`GridTopology`],
+//!   [`NodeId`]), with consumer/loss leaves and internal nodes.
+//! * [`meter`] — per-node meter deployment and compromise state. The
+//!   evaluation's conservative assumption ("the balance meter at the root
+//!   node is the only meter that has been deployed", Section VIII-A) is one
+//!   configuration; full instrumentation for the Section V-B/V-C
+//!   investigation algorithms is another.
+//! * [`balance`] — the balance check (eqs. 4–6), per-node `W` events, and
+//!   the Section V-B alarm rules for locating faulty or compromised meters.
+//! * [`investigate`] — the Section V-C investigation procedures: Case 1
+//!   (fully instrumented: deepest failing meter) and Case 2 (portable-meter
+//!   BFS with subtree pruning), plus the attacker-side cost analysis of how
+//!   many meters must be compromised along the route to the root.
+//! * [`pricing`] — flat-rate, time-of-use and real-time pricing schemes
+//!   (Section III), including the paper's Electric Ireland NightSaver-style
+//!   TOU plan (peak 09:00–24:00 at 0.21 $/kWh, off-peak at 0.18 $/kWh).
+//! * [`billing`] — billing and the paper's monetary quantities: the
+//!   attacker advantage `α` (eqs. 1–2), the neighbour loss `L_n` (eq. 10),
+//!   and the deceptive bill delta `ΔB` of Attack Class 4B (eq. 11).
+//! * [`adr`] — the Consumer Own Elasticity model of automated demand
+//!   response, the ingredient of Attack Class 4B.
+//!
+//! # Example
+//!
+//! ```
+//! use fdeta_gridsim::topology::GridTopology;
+//!
+//! # fn main() -> Result<(), fdeta_gridsim::GridError> {
+//! let mut grid = GridTopology::new();
+//! let root = grid.root();
+//! let feeder = grid.add_internal(root)?;
+//! let alice = grid.add_consumer(feeder, "alice")?;
+//! let loss = grid.add_loss(feeder)?;
+//! assert_eq!(grid.children(feeder), &[alice, loss]);
+//! assert_eq!(grid.depth(alice), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adr;
+pub mod balance;
+pub mod billing;
+pub mod dot;
+pub mod error;
+pub mod investigate;
+pub mod losses;
+pub mod market;
+pub mod meter;
+pub mod pricing;
+pub mod topology;
+
+pub use adr::ElasticityModel;
+pub use balance::{BalanceChecker, BalanceStatus, Snapshot};
+pub use billing::{attacker_advantage, bill, neighbor_loss};
+pub use dot::to_dot;
+pub use error::GridError;
+pub use investigate::{Investigation, PortableMeterSearch};
+pub use losses::{derive_losses, LossModel};
+pub use market::MarketModel;
+pub use meter::{MeterDeployment, MeterState};
+pub use pricing::{PricingScheme, TouPlan};
+pub use topology::{GridTopology, NodeId, NodeKind};

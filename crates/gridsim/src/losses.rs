@@ -1,0 +1,196 @@
+//! Calculated network losses (Section V-A).
+//!
+//! The paper's loss pseudo-nodes "model line impedances and transformer
+//! losses", and their values are "not reported, but calculated by
+//! utilities based on known values of distribution system component
+//! specifications, such as line impedances" (the calculation the paper
+//! attributes to Nikovski et al., its reference \[24\]). This module implements
+//! that calculation for the two dominant loss mechanisms:
+//!
+//! * **Series (copper) loss** — `I²R` heating of a line segment: with the
+//!   downstream real power `P` delivered at line-to-line voltage `V` and
+//!   power factor `pf`, the current is `I = P / (√3 · V · pf)` (three
+//!   phase), so the loss is `3 · I² · R`.
+//! * **Shunt (core) loss** — transformer magnetisation: a constant
+//!   no-load loss while the segment is energised.
+//!
+//! A [`LossModel`] attached to a loss leaf lets a snapshot be *derived*
+//! from consumer demands instead of hand-entered, which is how the
+//! investigation algorithms obtain `D_l(t)` in practice.
+
+use serde::{Deserialize, Serialize};
+
+use crate::balance::Snapshot;
+use crate::error::GridError;
+use crate::topology::GridTopology;
+
+/// Component specification for one loss segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Series resistance per phase, in ohms.
+    pub resistance_ohm: f64,
+    /// Line-to-line voltage at the segment, in volts (e.g. 400 V LV,
+    /// 10–20 kV MV).
+    pub voltage_v: f64,
+    /// Power factor of the downstream load (0 < pf <= 1).
+    pub power_factor: f64,
+    /// Constant no-load (core) loss, in kW.
+    pub no_load_kw: f64,
+}
+
+impl LossModel {
+    /// A typical European low-voltage feeder segment: 400 V, 50 mΩ series
+    /// resistance, pf 0.95, 50 W core loss.
+    pub fn typical_lv() -> Self {
+        Self {
+            resistance_ohm: 0.05,
+            voltage_v: 400.0,
+            power_factor: 0.95,
+            no_load_kw: 0.05,
+        }
+    }
+
+    /// A typical medium-voltage segment: 10 kV, 1 Ω series resistance,
+    /// pf 0.95, 1 kW transformer core loss.
+    pub fn typical_mv() -> Self {
+        Self {
+            resistance_ohm: 1.0,
+            voltage_v: 10_000.0,
+            power_factor: 0.95,
+            no_load_kw: 1.0,
+        }
+    }
+
+    /// Loss in kW for a downstream real power `downstream_kw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has non-positive voltage or power factor
+    /// (construction bugs, not data conditions).
+    pub fn loss_kw(&self, downstream_kw: f64) -> f64 {
+        assert!(self.voltage_v > 0.0, "voltage must be positive");
+        assert!(
+            self.power_factor > 0.0 && self.power_factor <= 1.0,
+            "power factor must be in (0, 1]"
+        );
+        let p_w = downstream_kw.max(0.0) * 1000.0;
+        // Three-phase line current.
+        let current = p_w / (3f64.sqrt() * self.voltage_v * self.power_factor);
+        let copper_w = 3.0 * current * current * self.resistance_ohm;
+        self.no_load_kw + copper_w / 1000.0
+    }
+}
+
+/// Derives the loss-leaf values of `snapshot` from the consumer demands
+/// already recorded in it: each loss leaf's value becomes
+/// `model.loss_kw(sum of actual sibling-subtree consumer demands)`.
+///
+/// The same model is applied to every loss leaf; per-segment models can
+/// be applied by calling [`LossModel::loss_kw`] and
+/// [`Snapshot::set_loss`] directly.
+///
+/// # Errors
+///
+/// Returns [`GridError::MissingDemand`] if a consumer demand needed for
+/// the calculation has not been recorded.
+pub fn derive_losses(
+    grid: &GridTopology,
+    snapshot: &mut Snapshot,
+    model: &LossModel,
+) -> Result<(), GridError> {
+    // Collect first (immutably), then write.
+    let mut updates = Vec::new();
+    for loss in grid.losses() {
+        let parent = grid.parent(loss).expect("loss leaves always have a parent");
+        let mut downstream = 0.0;
+        for c in grid.consumer_descendants(parent) {
+            downstream += snapshot.actual(c)?;
+        }
+        updates.push((loss, model.loss_kw(downstream)));
+    }
+    for (loss, value) in updates {
+        snapshot.set_loss(grid, loss, value)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_loss_is_quadratic_in_load() {
+        let model = LossModel::typical_lv();
+        let base = model.loss_kw(0.0);
+        let at_10 = model.loss_kw(10.0) - base;
+        let at_20 = model.loss_kw(20.0) - base;
+        assert!(
+            (at_20 / at_10 - 4.0).abs() < 1e-9,
+            "I²R loss must scale quadratically"
+        );
+    }
+
+    #[test]
+    fn no_load_loss_present_at_zero_demand() {
+        let model = LossModel::typical_mv();
+        assert!((model.loss_kw(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_lv_example() {
+        // 10 kW at 400 V, pf 0.95: I = 10000 / (1.732 * 400 * 0.95) ≈ 15.19 A;
+        // copper = 3 * 15.19² * 0.05 ≈ 34.6 W.
+        let model = LossModel::typical_lv();
+        let loss = model.loss_kw(10.0);
+        assert!((loss - (0.05 + 0.0346)).abs() < 5e-4, "loss = {loss}");
+    }
+
+    #[test]
+    fn mv_losses_are_relatively_smaller() {
+        // Same power at 25× the voltage ⇒ ~625× less copper loss per ohm.
+        let lv = LossModel {
+            no_load_kw: 0.0,
+            ..LossModel::typical_lv()
+        };
+        let mv = LossModel {
+            no_load_kw: 0.0,
+            ..LossModel::typical_mv()
+        };
+        let p = 50.0;
+        let lv_frac = lv.loss_kw(p) / p;
+        let mv_frac = mv.loss_kw(p) / p;
+        assert!(mv_frac < lv_frac, "high voltage must lose less per kW");
+    }
+
+    #[test]
+    fn derive_losses_fills_every_loss_leaf() {
+        let grid = GridTopology::balanced(1, 2, 3);
+        let mut snapshot = Snapshot::new();
+        for c in grid.consumers() {
+            snapshot.set_consumer(&grid, c, 2.0, 2.0).expect("consumer");
+        }
+        derive_losses(&grid, &mut snapshot, &LossModel::typical_lv()).expect("demands set");
+        for l in grid.losses() {
+            // 3 consumers × 2 kW downstream of each bus.
+            let expected = LossModel::typical_lv().loss_kw(6.0);
+            assert!((snapshot.loss(l) - expected).abs() < 1e-12);
+        }
+        // The derived snapshot passes the balance check end to end.
+        let deployment = crate::meter::MeterDeployment::full(&grid);
+        let checker = crate::balance::BalanceChecker::default();
+        let events = checker
+            .w_events(&grid, &deployment, &snapshot)
+            .expect("complete");
+        assert!(events.values().all(|s| !s.is_failure()));
+    }
+
+    #[test]
+    fn derive_losses_requires_demands() {
+        let grid = GridTopology::balanced(1, 1, 2);
+        let mut snapshot = Snapshot::new();
+        assert!(matches!(
+            derive_losses(&grid, &mut snapshot, &LossModel::typical_lv()),
+            Err(GridError::MissingDemand(_))
+        ));
+    }
+}

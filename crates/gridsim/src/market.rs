@@ -1,0 +1,209 @@
+//! A simple real-time electricity market.
+//!
+//! The paper's RTP scheme assumes prices that "change in a
+//! non-deterministic manner that captures the dynamic market trends in
+//! electricity demand and supply" (Section III) with an update period
+//! `k·Δt`. This module generates such price paths: a deterministic daily
+//! demand curve (cheap nights, expensive evenings) modulated by a
+//! mean-reverting stochastic component — the standard reduced-form model
+//! of day-ahead/real-time prices. Class-4B experiments and the taxonomy
+//! simulation consume the resulting [`PricingScheme::RealTime`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::units::PricePerKwh;
+use fdeta_tsdata::SLOTS_PER_DAY;
+
+use crate::pricing::PricingScheme;
+
+/// Parameters of the reduced-form RTP market.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketModel {
+    /// Baseline price level in $/kWh (the daily curve oscillates around
+    /// it).
+    pub base_price: f64,
+    /// Relative amplitude of the deterministic daily curve (0..1).
+    pub daily_amplitude: f64,
+    /// Mean-reversion rate of the stochastic component per update
+    /// (0 = random walk, 1 = white noise).
+    pub mean_reversion: f64,
+    /// Standard deviation of the per-update shock, as a fraction of the
+    /// base price.
+    pub volatility: f64,
+    /// Price update period in polling slots (the paper's `k`).
+    pub update_period_slots: usize,
+}
+
+impl Default for MarketModel {
+    fn default() -> Self {
+        Self {
+            // Centred between the paper's TOU prices.
+            base_price: 0.195,
+            daily_amplitude: 0.3,
+            mean_reversion: 0.2,
+            volatility: 0.08,
+            update_period_slots: 2, // hourly updates
+        }
+    }
+}
+
+impl MarketModel {
+    /// The deterministic daily shape at a given update index: cheap
+    /// overnight, a morning shoulder, an evening peak.
+    fn daily_shape(&self, update_index: usize) -> f64 {
+        let updates_per_day = (SLOTS_PER_DAY / self.update_period_slots).max(1);
+        let phase = (update_index % updates_per_day) as f64 / updates_per_day as f64;
+        // Two harmonics give the characteristic double-hump price curve:
+        // the fundamental peaks in the evening (phase ~0.75, i.e. ~18:00)
+        // and bottoms overnight; the weak second harmonic adds the morning
+        // shoulder.
+        let tau = std::f64::consts::TAU;
+        1.0 + self.daily_amplitude
+            * (0.8 * ((phase - 0.5) * tau).sin() + 0.2 * ((phase - 0.08) * 2.0 * tau).sin())
+    }
+
+    /// Simulates a price path covering `slots` polling slots, returning a
+    /// ready-to-use [`PricingScheme::RealTime`]. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has a non-positive base price, an update period
+    /// of zero, or volatility/amplitude outside sane bounds (construction
+    /// bugs).
+    pub fn simulate(&self, slots: usize, seed: u64) -> PricingScheme {
+        assert!(self.base_price > 0.0, "base price must be positive");
+        assert!(
+            self.update_period_slots > 0,
+            "update period must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.daily_amplitude),
+            "amplitude in [0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mean_reversion),
+            "mean reversion in [0, 1]"
+        );
+        assert!(
+            self.volatility >= 0.0 && self.volatility < 1.0,
+            "volatility in [0, 1)"
+        );
+        let updates = slots.div_ceil(self.update_period_slots).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut deviation = 0.0f64; // stochastic component, relative units
+        let mut prices = Vec::with_capacity(updates);
+        for u in 0..updates {
+            let shock: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            deviation = (1.0 - self.mean_reversion) * deviation + self.volatility * shock;
+            let level = self.base_price * self.daily_shape(u) * (1.0 + deviation);
+            // Prices floor at a small positive scrap value — negative
+            // wholesale prices exist but retail RTP tariffs clamp them.
+            prices.push(PricePerKwh::new_unchecked(level.max(0.01)));
+        }
+        PricingScheme::RealTime {
+            prices,
+            update_period_slots: self.update_period_slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+
+    #[test]
+    fn simulated_path_is_valid_and_deterministic() {
+        let model = MarketModel::default();
+        let a = model.simulate(SLOTS_PER_WEEK, 7);
+        let b = model.simulate(SLOTS_PER_WEEK, 7);
+        assert_eq!(a, b);
+        for t in 0..SLOTS_PER_WEEK {
+            let p = a.price_at(t).value();
+            assert!(p >= 0.01 && p.is_finite(), "price {p} at slot {t}");
+        }
+        assert!(a.is_variable());
+        assert!(a.is_real_time());
+    }
+
+    #[test]
+    fn evening_prices_exceed_night_prices_on_average() {
+        let model = MarketModel {
+            volatility: 0.02,
+            ..MarketModel::default()
+        };
+        let scheme = model.simulate(SLOTS_PER_WEEK, 3);
+        let mut night = 0.0;
+        let mut evening = 0.0;
+        let mut days = 0.0;
+        for day in 0..7 {
+            let base = day * SLOTS_PER_DAY;
+            // 02:00-05:00 vs 17:00-20:00.
+            night += (4..10)
+                .map(|s| scheme.price_at(base + s).value())
+                .sum::<f64>()
+                / 6.0;
+            evening += (34..40)
+                .map(|s| scheme.price_at(base + s).value())
+                .sum::<f64>()
+                / 6.0;
+            days += 1.0;
+        }
+        assert!(
+            evening / days > night / days,
+            "evening {evening} should exceed night {night} on average"
+        );
+    }
+
+    #[test]
+    fn volatility_widens_the_price_range() {
+        let calm = MarketModel {
+            volatility: 0.01,
+            ..MarketModel::default()
+        }
+        .simulate(SLOTS_PER_WEEK, 5);
+        let wild = MarketModel {
+            volatility: 0.20,
+            ..MarketModel::default()
+        }
+        .simulate(SLOTS_PER_WEEK, 5);
+        let spread = |scheme: &PricingScheme| {
+            let prices: Vec<f64> = (0..SLOTS_PER_WEEK)
+                .map(|t| scheme.price_at(t).value())
+                .collect();
+            prices.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - prices.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&wild) > spread(&calm));
+    }
+
+    #[test]
+    fn update_period_is_respected() {
+        let model = MarketModel {
+            update_period_slots: 4,
+            ..MarketModel::default()
+        };
+        let scheme = model.simulate(96, 11);
+        // Prices constant within each 4-slot update window.
+        for t in (0..96).step_by(4) {
+            for offset in 1..4 {
+                assert_eq!(scheme.price_at(t), scheme.price_at(t + offset));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_price_tracks_the_base_price() {
+        let model = MarketModel::default();
+        let scheme = model.simulate(SLOTS_PER_WEEK * 8, 13);
+        let n = SLOTS_PER_WEEK * 8;
+        let mean: f64 = (0..n).map(|t| scheme.price_at(t).value()).sum::<f64>() / n as f64;
+        assert!(
+            (mean - model.base_price).abs() < model.base_price * 0.3,
+            "long-run mean {mean} should be near base {}",
+            model.base_price
+        );
+    }
+}

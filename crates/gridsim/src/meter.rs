@@ -1,0 +1,199 @@
+//! Meter deployment and compromise state.
+//!
+//! Two orthogonal facts matter per internal node: whether a balance meter
+//! is *deployed* there at all (industry deploys sparsely; the paper's
+//! evaluation assumes root-only), and whether a deployed meter is
+//! *compromised* (Section VI-A: an attacker circumventing local balance
+//! checks must compromise every meter on her route to the root).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GridError;
+use crate::topology::{GridTopology, NodeId};
+
+/// The state of the (potential) balance meter at an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeterState {
+    /// No meter is installed at this node.
+    Absent,
+    /// A functioning, uncompromised meter.
+    Trusted,
+    /// A meter whose reported readings are attacker-controlled. A
+    /// compromised meter reports whatever hides the attack (it echoes the
+    /// sum of reported child demands, so its local balance check passes).
+    Compromised,
+}
+
+/// Which internal nodes carry balance meters, and which of those are
+/// compromised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeterDeployment {
+    metered: HashSet<NodeId>,
+    compromised: HashSet<NodeId>,
+}
+
+impl MeterDeployment {
+    /// The paper's evaluation assumption: only the root node is metered
+    /// (and trusted, being co-located with the control centre).
+    pub fn root_only(grid: &GridTopology) -> Self {
+        let mut metered = HashSet::new();
+        metered.insert(grid.root());
+        Self {
+            metered,
+            compromised: HashSet::new(),
+        }
+    }
+
+    /// Full instrumentation: every internal node metered (Section V-C
+    /// Case 1).
+    pub fn full(grid: &GridTopology) -> Self {
+        Self {
+            metered: grid.internal_nodes().collect(),
+            compromised: HashSet::new(),
+        }
+    }
+
+    /// Deployment with an explicit metered set.
+    pub fn with_metered(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Self {
+            metered: nodes.into_iter().collect(),
+            compromised: HashSet::new(),
+        }
+    }
+
+    /// Marks a metered node as compromised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::InsufficientMetering`] if no meter is deployed
+    /// at `node` (there is nothing to compromise).
+    pub fn compromise(&mut self, node: NodeId) -> Result<(), GridError> {
+        if !self.metered.contains(&node) {
+            return Err(GridError::InsufficientMetering(node));
+        }
+        self.compromised.insert(node);
+        Ok(())
+    }
+
+    /// Restores a meter to trusted state (e.g. after utility remediation).
+    pub fn restore(&mut self, node: NodeId) {
+        self.compromised.remove(&node);
+    }
+
+    /// The state of the meter at `node`.
+    pub fn state(&self, node: NodeId) -> MeterState {
+        if !self.metered.contains(&node) {
+            MeterState::Absent
+        } else if self.compromised.contains(&node) {
+            MeterState::Compromised
+        } else {
+            MeterState::Trusted
+        }
+    }
+
+    /// Whether every internal node of `grid` carries a meter.
+    pub fn is_full(&self, grid: &GridTopology) -> bool {
+        grid.internal_nodes().all(|n| self.metered.contains(&n))
+    }
+
+    /// All metered nodes.
+    pub fn metered_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.metered.iter().copied()
+    }
+
+    /// Number of compromised meters (the attacker's cost in Section VI-A).
+    pub fn compromised_count(&self) -> usize {
+        self.compromised.len()
+    }
+
+    /// The meters an attacker at consumer `attacker` must compromise to
+    /// defeat *every deployed* balance check between her and the root,
+    /// excluding the root itself (assumed physically untouchable,
+    /// Section VII-A): the metered internal nodes strictly on her route.
+    ///
+    /// For a balanced tree this is `O(log N)` nodes; for a degenerate
+    /// (linear) tree it is `O(N)` — exactly the paper's cost remark.
+    pub fn meters_on_route(&self, grid: &GridTopology, attacker: NodeId) -> Vec<NodeId> {
+        grid.path_to_root(attacker)
+            .into_iter()
+            .filter(|&n| n != attacker && n != grid.root() && self.metered.contains(&n))
+            .collect()
+    }
+
+    /// Compromises every meter on the attacker's route to (but excluding)
+    /// the root, returning how many were compromised. This is the setup
+    /// step for the B-class attacks when intermediate meters exist.
+    pub fn compromise_route(&mut self, grid: &GridTopology, attacker: NodeId) -> usize {
+        let route = self.meters_on_route(grid, attacker);
+        let count = route.len();
+        for node in route {
+            self.compromised.insert(node);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only_deployment() {
+        let grid = GridTopology::balanced(2, 2, 2);
+        let dep = MeterDeployment::root_only(&grid);
+        assert_eq!(dep.state(grid.root()), MeterState::Trusted);
+        let other = grid.internal_nodes().find(|&n| n != grid.root()).unwrap();
+        assert_eq!(dep.state(other), MeterState::Absent);
+        assert!(!dep.is_full(&grid));
+    }
+
+    #[test]
+    fn full_deployment_and_compromise() {
+        let grid = GridTopology::balanced(1, 2, 1);
+        let mut dep = MeterDeployment::full(&grid);
+        assert!(dep.is_full(&grid));
+        let bus = grid.internal_nodes().find(|&n| n != grid.root()).unwrap();
+        dep.compromise(bus).unwrap();
+        assert_eq!(dep.state(bus), MeterState::Compromised);
+        assert_eq!(dep.compromised_count(), 1);
+        dep.restore(bus);
+        assert_eq!(dep.state(bus), MeterState::Trusted);
+    }
+
+    #[test]
+    fn cannot_compromise_absent_meter() {
+        let grid = GridTopology::balanced(1, 2, 1);
+        let mut dep = MeterDeployment::root_only(&grid);
+        let bus = grid.internal_nodes().find(|&n| n != grid.root()).unwrap();
+        assert_eq!(
+            dep.compromise(bus),
+            Err(GridError::InsufficientMetering(bus))
+        );
+    }
+
+    #[test]
+    fn route_cost_scales_with_depth() {
+        // Balanced: consumer depth = levels + 1, route meters = levels
+        // (every internal node on the path except the root).
+        let grid = GridTopology::balanced(3, 2, 2);
+        let mut dep = MeterDeployment::full(&grid);
+        let victim = grid.consumers().next().unwrap();
+        let route = dep.meters_on_route(&grid, victim);
+        assert_eq!(route.len(), 3);
+        assert_eq!(dep.compromise_route(&grid, victim), 3);
+        assert_eq!(dep.compromised_count(), 3);
+        // Root stays trusted.
+        assert_eq!(dep.state(grid.root()), MeterState::Trusted);
+    }
+
+    #[test]
+    fn route_under_root_only_deployment_is_free() {
+        let grid = GridTopology::balanced(3, 2, 2);
+        let mut dep = MeterDeployment::root_only(&grid);
+        let victim = grid.consumers().next().unwrap();
+        assert!(dep.meters_on_route(&grid, victim).is_empty());
+        assert_eq!(dep.compromise_route(&grid, victim), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Electricity pricing schemes (Section III).
+//!
+//! Three schemes appear in the paper's taxonomy: flat-rate, time-of-use
+//! (TOU), and real-time pricing (RTP). Prices may update less often than
+//! meters poll (the `k·Δt` update period of Section III); [`PricingScheme`]
+//! exposes a per-slot `λ(t)` regardless.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::units::PricePerKwh;
+use fdeta_tsdata::SLOTS_PER_DAY;
+
+/// A time-of-use plan with one peak window per day.
+///
+/// The paper's evaluation adopts an Electric Ireland NightSaver-style plan:
+/// peak 09:00–24:00 at 0.21 $/kWh and off-peak 00:00–09:00 at 0.18 $/kWh
+/// (Section VIII-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TouPlan {
+    /// First half-hour slot of the day (0..48) that is charged peak.
+    pub peak_start_slot: usize,
+    /// One past the last peak slot (0..=48).
+    pub peak_end_slot: usize,
+    /// Peak price.
+    pub peak: PricePerKwh,
+    /// Off-peak price.
+    pub off_peak: PricePerKwh,
+}
+
+impl TouPlan {
+    /// The paper's plan: peak 09:00–24:00 at 0.21 $/kWh, off-peak at
+    /// 0.18 $/kWh.
+    pub fn ireland_nightsaver() -> Self {
+        Self {
+            peak_start_slot: 18, // 09:00
+            peak_end_slot: SLOTS_PER_DAY,
+            peak: PricePerKwh::new_unchecked(0.21),
+            off_peak: PricePerKwh::new_unchecked(0.18),
+        }
+    }
+
+    /// Whether global slot `t` (half-hours since the start of the series)
+    /// falls in the peak window.
+    pub fn is_peak(&self, t: usize) -> bool {
+        let slot_of_day = t % SLOTS_PER_DAY;
+        (self.peak_start_slot..self.peak_end_slot).contains(&slot_of_day)
+    }
+
+    /// Price at global slot `t`.
+    pub fn price_at(&self, t: usize) -> PricePerKwh {
+        if self.is_peak(t) {
+            self.peak
+        } else {
+            self.off_peak
+        }
+    }
+}
+
+/// A pricing scheme assigning a price `λ(t)` to every polling slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PricingScheme {
+    /// Constant price for the whole billing cycle.
+    Flat {
+        /// The flat price.
+        price: PricePerKwh,
+    },
+    /// Deterministic peak/off-peak plan published in advance.
+    TimeOfUse {
+        /// The plan.
+        plan: TouPlan,
+    },
+    /// Market-driven prices updating every `update_period_slots` slots
+    /// (the paper's `k·Δt`); slot `t` uses `prices[t / k]`, with the last
+    /// price held if the series runs out.
+    RealTime {
+        /// Published price sequence.
+        prices: Vec<PricePerKwh>,
+        /// Slots per price update (`k ≥ 1`).
+        update_period_slots: usize,
+    },
+}
+
+impl PricingScheme {
+    /// A flat plan at the paper's off-peak rate, for experiments that need
+    /// a neutral flat price.
+    pub fn flat_default() -> Self {
+        PricingScheme::Flat {
+            price: PricePerKwh::new_unchecked(0.18),
+        }
+    }
+
+    /// The paper's TOU evaluation plan.
+    pub fn tou_ireland() -> Self {
+        PricingScheme::TimeOfUse {
+            plan: TouPlan::ireland_nightsaver(),
+        }
+    }
+
+    /// Price at global slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`PricingScheme::RealTime`] with an empty price vector
+    /// or a zero update period (construction bugs, not runtime conditions).
+    pub fn price_at(&self, t: usize) -> PricePerKwh {
+        match self {
+            PricingScheme::Flat { price } => *price,
+            PricingScheme::TimeOfUse { plan } => plan.price_at(t),
+            PricingScheme::RealTime {
+                prices,
+                update_period_slots,
+            } => {
+                assert!(*update_period_slots > 0, "update period must be positive");
+                assert!(
+                    !prices.is_empty(),
+                    "real-time scheme needs at least one price"
+                );
+                let idx = (t / update_period_slots).min(prices.len() - 1);
+                prices[idx]
+            }
+        }
+    }
+
+    /// Whether the price can differ between two slots (false only for
+    /// flat-rate). Attack Class 3A/3B requires this (Table I).
+    pub fn is_variable(&self) -> bool {
+        match self {
+            PricingScheme::Flat { .. } => false,
+            PricingScheme::TimeOfUse { .. } => true,
+            PricingScheme::RealTime { prices, .. } => prices.len() > 1,
+        }
+    }
+
+    /// Whether the scheme is real-time (required by Attack Class 4B).
+    pub fn is_real_time(&self) -> bool {
+        matches!(self, PricingScheme::RealTime { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nightsaver_window_matches_paper() {
+        let plan = TouPlan::ireland_nightsaver();
+        // 00:00–09:00 off-peak.
+        assert!(!plan.is_peak(0));
+        assert!(!plan.is_peak(17)); // 08:30–09:00
+                                    // 09:00–24:00 peak.
+        assert!(plan.is_peak(18));
+        assert!(plan.is_peak(47));
+        // Next day wraps.
+        assert!(!plan.is_peak(48));
+        assert!(plan.is_peak(48 + 18));
+        assert_eq!(plan.price_at(20).value(), 0.21);
+        assert_eq!(plan.price_at(2).value(), 0.18);
+    }
+
+    #[test]
+    fn flat_price_is_constant() {
+        let scheme = PricingScheme::flat_default();
+        assert_eq!(scheme.price_at(0), scheme.price_at(9999));
+        assert!(!scheme.is_variable());
+        assert!(!scheme.is_real_time());
+    }
+
+    #[test]
+    fn tou_is_variable_not_real_time() {
+        let scheme = PricingScheme::tou_ireland();
+        assert!(scheme.is_variable());
+        assert!(!scheme.is_real_time());
+    }
+
+    #[test]
+    fn real_time_updates_every_k_slots() {
+        let prices = vec![
+            PricePerKwh::new_unchecked(0.1),
+            PricePerKwh::new_unchecked(0.3),
+        ];
+        let scheme = PricingScheme::RealTime {
+            prices,
+            update_period_slots: 4,
+        };
+        assert_eq!(scheme.price_at(0).value(), 0.1);
+        assert_eq!(scheme.price_at(3).value(), 0.1);
+        assert_eq!(scheme.price_at(4).value(), 0.3);
+        // Held after the series ends.
+        assert_eq!(scheme.price_at(100).value(), 0.3);
+        assert!(scheme.is_variable());
+        assert!(scheme.is_real_time());
+    }
+
+    #[test]
+    fn single_price_rtp_is_not_variable() {
+        let scheme = PricingScheme::RealTime {
+            prices: vec![PricePerKwh::new_unchecked(0.2)],
+            update_period_slots: 1,
+        };
+        assert!(!scheme.is_variable());
+    }
+}

@@ -1,0 +1,438 @@
+//! Radial distribution grid topology as an arena-based n-ary tree.
+//!
+//! The paper (Section V) assumes radial topologies: power reaches each
+//! consumer through a single path from the distribution substation (the
+//! *root node*). Internal nodes are buses/transformers where balance meters
+//! can live; leaves are end-consumers or loss pseudo-nodes that model line
+//! impedance and transformer losses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GridError;
+
+/// Index of a node in a [`GridTopology`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs a raw id; only meaningful for ids previously handed out
+    /// by the same topology.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A bus/transformer that can host a balance meter.
+    Internal,
+    /// An end-consumer with a smart meter; carries a stable label so
+    /// datasets can be joined back to the topology.
+    Consumer {
+        /// External identifier, e.g. the anonymised CER meter id.
+        label: String,
+    },
+    /// A network-loss pseudo-node (line impedance / transformer loss).
+    /// The utility *calculates* these rather than metering them
+    /// (Section V-A).
+    Loss,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: usize,
+}
+
+/// A radial distribution grid: a rooted tree of internal nodes with
+/// consumer and loss leaves.
+///
+/// The root (a distribution substation) always exists and is internal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTopology {
+    nodes: Vec<Node>,
+}
+
+impl Default for GridTopology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GridTopology {
+    /// Creates a topology containing only the root node.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node {
+                kind: NodeKind::Internal,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+        }
+    }
+
+    /// The root node (the trusted substation of Section VII-A).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn node(&self, id: NodeId) -> Result<&Node, GridError> {
+        self.nodes.get(id.index()).ok_or(GridError::UnknownNode(id))
+    }
+
+    fn attach(&mut self, parent: NodeId, kind: NodeKind) -> Result<NodeId, GridError> {
+        let parent_node = self.node(parent)?;
+        if parent_node.kind != NodeKind::Internal {
+            return Err(GridError::LeafCannotHaveChildren(parent));
+        }
+        let depth = parent_node.depth + 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Adds an internal node (bus/transformer) under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::UnknownNode`] or
+    /// [`GridError::LeafCannotHaveChildren`].
+    pub fn add_internal(&mut self, parent: NodeId) -> Result<NodeId, GridError> {
+        self.attach(parent, NodeKind::Internal)
+    }
+
+    /// Adds a consumer leaf under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridTopology::add_internal`].
+    pub fn add_consumer(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+    ) -> Result<NodeId, GridError> {
+        self.attach(
+            parent,
+            NodeKind::Consumer {
+                label: label.into(),
+            },
+        )
+    }
+
+    /// Adds a loss pseudo-leaf under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridTopology::add_internal`].
+    pub fn add_loss(&mut self, parent: NodeId) -> Result<NodeId, GridError> {
+        self.attach(parent, NodeKind::Loss)
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the grid has only the bare root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of a node, in insertion order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].depth
+    }
+
+    /// Whether the node is an internal node.
+    pub fn is_internal(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Internal)
+    }
+
+    /// Whether the node is a consumer leaf.
+    pub fn is_consumer(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Consumer { .. })
+    }
+
+    /// Whether the node is a loss pseudo-leaf.
+    pub fn is_loss(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Loss)
+    }
+
+    /// Consumer label, if the node is a consumer.
+    pub fn consumer_label(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Consumer { label } => Some(label),
+            _ => None,
+        }
+    }
+
+    /// All node ids, root first.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All internal node ids.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|&id| self.is_internal(id))
+    }
+
+    /// All consumer node ids.
+    pub fn consumers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|&id| self.is_consumer(id))
+    }
+
+    /// All loss node ids.
+    pub fn losses(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|&id| self.is_loss(id))
+    }
+
+    /// Consumer leaves in the subtree rooted at `node` — the paper's `C`
+    /// set for the balance check at that node.
+    pub fn consumer_descendants(&self, node: NodeId) -> Vec<NodeId> {
+        self.descendants_matching(node, |id| self.is_consumer(id))
+    }
+
+    /// Loss leaves in the subtree rooted at `node` — the paper's `L` set.
+    pub fn loss_descendants(&self, node: NodeId) -> Vec<NodeId> {
+        self.descendants_matching(node, |id| self.is_loss(id))
+    }
+
+    fn descendants_matching(&self, node: NodeId, pred: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            for &child in self.children(id) {
+                if pred(child) {
+                    out.push(child);
+                }
+                stack.push(child);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The path from `node` up to the root, inclusive of both ends.
+    pub fn path_to_root(&self, node: NodeId) -> Vec<NodeId> {
+        let mut path = vec![node];
+        let mut current = node;
+        while let Some(parent) = self.parent(current) {
+            path.push(parent);
+            current = parent;
+        }
+        path
+    }
+
+    /// The consumers sharing `consumer`'s parent node — the paper's
+    /// "neighbors": the victims available to balance-check-circumventing
+    /// attacks (Section VI-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::NotConsumer`] if `consumer` is not a consumer
+    /// leaf.
+    pub fn neighbors(&self, consumer: NodeId) -> Result<Vec<NodeId>, GridError> {
+        if !self.is_consumer(consumer) {
+            return Err(GridError::NotConsumer(consumer));
+        }
+        let parent = self
+            .parent(consumer)
+            .expect("consumers always have a parent");
+        Ok(self
+            .children(parent)
+            .iter()
+            .copied()
+            .filter(|&c| c != consumer && self.is_consumer(c))
+            .collect())
+    }
+
+    /// Breadth-first order over all nodes starting at `node`.
+    pub fn bfs_order(&self, node: NodeId) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::from([node]);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            queue.extend(self.children(id).iter().copied());
+        }
+        order
+    }
+
+    /// Builds a balanced radial grid: `levels` tiers of internal nodes with
+    /// `fanout` children each, then `consumers_per_bus` consumer leaves and
+    /// one loss leaf under every deepest internal node. Consumer labels are
+    /// `c<N>` in creation order. Convenient for tests and benchmarks.
+    pub fn balanced(levels: usize, fanout: usize, consumers_per_bus: usize) -> Self {
+        let mut grid = Self::new();
+        let mut frontier = vec![grid.root()];
+        for _ in 0..levels {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for _ in 0..fanout {
+                    next.push(grid.add_internal(node).expect("internal parent"));
+                }
+            }
+            frontier = next;
+        }
+        let mut counter = 0;
+        for &bus in &frontier {
+            for _ in 0..consumers_per_bus {
+                grid.add_consumer(bus, format!("c{counter}"))
+                    .expect("internal parent");
+                counter += 1;
+            }
+            grid.add_loss(bus).expect("internal parent");
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> (GridTopology, NodeId, NodeId, NodeId, NodeId) {
+        // root ── n1 ── {c1, c2, loss}
+        //      └─ c0
+        let mut g = GridTopology::new();
+        let root = g.root();
+        let c0 = g.add_consumer(root, "c0").unwrap();
+        let n1 = g.add_internal(root).unwrap();
+        let c1 = g.add_consumer(n1, "c1").unwrap();
+        let c2 = g.add_consumer(n1, "c2").unwrap();
+        g.add_loss(n1).unwrap();
+        (g, c0, n1, c1, c2)
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let (g, c0, n1, c1, c2) = small_grid();
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+        assert!(g.is_internal(g.root()));
+        assert!(g.is_consumer(c1));
+        assert_eq!(g.consumer_label(c1), Some("c1"));
+        assert_eq!(g.consumer_label(n1), None);
+        assert_eq!(g.depth(c1), 2);
+        assert_eq!(g.depth(c0), 1);
+        assert_eq!(g.parent(c1), Some(n1));
+        assert_eq!(g.parent(g.root()), None);
+        assert_eq!(g.consumers().count(), 3);
+        assert_eq!(g.losses().count(), 1);
+        assert_eq!(g.internal_nodes().count(), 2);
+        let _ = (c0, c2);
+    }
+
+    #[test]
+    fn leaves_cannot_have_children() {
+        let (mut g, c0, ..) = small_grid();
+        assert_eq!(
+            g.add_consumer(c0, "x"),
+            Err(GridError::LeafCannotHaveChildren(c0))
+        );
+        assert_eq!(
+            g.add_internal(c0),
+            Err(GridError::LeafCannotHaveChildren(c0))
+        );
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = GridTopology::new();
+        let ghost = NodeId::from_raw(99);
+        assert_eq!(
+            g.add_consumer(ghost, "x"),
+            Err(GridError::UnknownNode(ghost))
+        );
+    }
+
+    #[test]
+    fn descendant_sets_match_paper_definitions() {
+        let (g, c0, n1, c1, c2) = small_grid();
+        let all = g.consumer_descendants(g.root());
+        assert_eq!(all, vec![c0, c1, c2]);
+        assert_eq!(g.consumer_descendants(n1), vec![c1, c2]);
+        assert_eq!(g.loss_descendants(n1).len(), 1);
+        assert_eq!(g.loss_descendants(c0), vec![]);
+    }
+
+    #[test]
+    fn path_to_root_and_neighbors() {
+        let (g, c0, n1, c1, c2) = small_grid();
+        assert_eq!(g.path_to_root(c1), vec![c1, n1, g.root()]);
+        assert_eq!(g.neighbors(c1).unwrap(), vec![c2]);
+        assert_eq!(g.neighbors(c0).unwrap(), vec![]);
+        assert_eq!(g.neighbors(n1), Err(GridError::NotConsumer(n1)));
+    }
+
+    #[test]
+    fn bfs_visits_root_first_and_everything_once() {
+        let (g, ..) = small_grid();
+        let order = g.bfs_order(g.root());
+        assert_eq!(order[0], g.root());
+        assert_eq!(order.len(), g.len());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.len());
+    }
+
+    #[test]
+    fn balanced_builder_shape() {
+        let g = GridTopology::balanced(2, 3, 4);
+        // 1 root + 3 + 9 internals; 9 buses × (4 consumers + 1 loss).
+        assert_eq!(g.internal_nodes().count(), 1 + 3 + 9);
+        assert_eq!(g.consumers().count(), 36);
+        assert_eq!(g.losses().count(), 9);
+        // All consumers at depth 3.
+        for c in g.consumers() {
+            assert_eq!(g.depth(c), 3);
+        }
+    }
+}

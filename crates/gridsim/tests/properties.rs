@@ -1,0 +1,155 @@
+//! Property-based tests for the grid substrate: the Section V-B
+//! propagation invariant, billing linearity, and investigation soundness
+//! over randomly generated feeders.
+
+use proptest::prelude::*;
+
+use fdeta_gridsim::balance::{BalanceChecker, Snapshot};
+use fdeta_gridsim::billing::{attacker_advantage, bill, energy_stolen_kwh};
+use fdeta_gridsim::investigate::PortableMeterSearch;
+use fdeta_gridsim::meter::MeterDeployment;
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_gridsim::topology::{GridTopology, NodeId};
+
+/// A random radial feeder: a root with `buses` internal nodes, each with
+/// 1..=4 consumers, honest demands in (0, 3].
+#[derive(Debug, Clone)]
+struct RandomFeeder {
+    grid: GridTopology,
+    consumers: Vec<NodeId>,
+}
+
+fn feeder(buses: usize, per_bus: Vec<usize>) -> RandomFeeder {
+    let mut grid = GridTopology::new();
+    let mut consumers = Vec::new();
+    for b in 0..buses {
+        let bus = grid.add_internal(grid.root()).expect("root internal");
+        for c in 0..per_bus[b % per_bus.len()].max(1) {
+            consumers.push(
+                grid.add_consumer(bus, format!("c{b}_{c}"))
+                    .expect("bus internal"),
+            );
+        }
+    }
+    RandomFeeder { grid, consumers }
+}
+
+fn feeder_strategy() -> impl Strategy<Value = (RandomFeeder, Vec<(f64, f64)>)> {
+    (1usize..5, proptest::collection::vec(1usize..5, 1..5)).prop_flat_map(|(buses, per_bus)| {
+        let f = feeder(buses, per_bus);
+        let n = f.consumers.len();
+        (
+            Just(f),
+            proptest::collection::vec((0.01f64..3.0, 0.0f64..3.0), n..=n),
+        )
+    })
+}
+
+proptest! {
+    /// Section V-B: if W is true for an internal node, it is true for all
+    /// its trusted ancestors (mismatches only accumulate upward when all
+    /// meters are honest and mismatch signs agree — here reports only
+    /// under-report, so signs agree).
+    #[test]
+    fn w_propagates_to_ancestors((f, demands) in feeder_strategy()) {
+        let mut snapshot = Snapshot::new();
+        for (node, (actual, under)) in f.consumers.iter().zip(&demands) {
+            // reported <= actual so every mismatch has the same sign.
+            let reported = actual.min(*under);
+            snapshot.set_consumer(&f.grid, *node, *actual, reported).expect("consumer");
+        }
+        let deployment = MeterDeployment::full(&f.grid);
+        let checker = BalanceChecker::default();
+        let events = checker.w_events(&f.grid, &deployment, &snapshot).expect("complete");
+        for (&node, status) in &events {
+            if status.is_failure() {
+                for ancestor in f.grid.path_to_root(node).into_iter().skip(1) {
+                    if let Some(anc_status) = events.get(&ancestor) {
+                        prop_assert!(
+                            anc_status.is_failure(),
+                            "W true at {node} but false at ancestor {ancestor}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The portable-meter search never visits more nodes than exist, finds
+    /// no suspects on an honest feeder, and on a single-thief feeder the
+    /// thief is always among the suspects.
+    #[test]
+    fn portable_search_soundness((f, demands) in feeder_strategy(), thief_pick in 0usize..64) {
+        let thief = f.consumers[thief_pick % f.consumers.len()];
+        let mut honest = Snapshot::new();
+        let mut attacked = Snapshot::new();
+        for (node, (actual, _)) in f.consumers.iter().zip(&demands) {
+            honest.set_consumer(&f.grid, *node, *actual, *actual).expect("consumer");
+            let reported = if *node == thief { actual * 0.3 } else { *actual };
+            attacked.set_consumer(&f.grid, *node, *actual, reported).expect("consumer");
+        }
+        let checker = BalanceChecker::default();
+        let clean = PortableMeterSearch::run(&f.grid, &honest, &checker).expect("complete");
+        prop_assert!(clean.suspects.is_empty());
+        prop_assert_eq!(clean.checks_performed(), 1, "honest feeder needs one root check");
+
+        let found = PortableMeterSearch::run(&f.grid, &attacked, &checker).expect("complete");
+        prop_assert!(found.suspects.contains(&thief), "thief {thief} not among {:?}", found.suspects);
+        prop_assert!(found.checks_performed() <= f.grid.internal_nodes().count());
+    }
+
+    /// Billing is linear: bill(a + b) = bill(a) + bill(b) under any scheme,
+    /// and the attacker advantage of an honest report is exactly zero.
+    #[test]
+    fn billing_linearity(
+        a in proptest::collection::vec(0.0f64..5.0, 48),
+        b in proptest::collection::vec(0.0f64..5.0, 48),
+        start in 0usize..96,
+    ) {
+        let combined: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        for scheme in [PricingScheme::flat_default(), PricingScheme::tou_ireland()] {
+            let lhs = bill(&combined, &scheme, start).dollars();
+            let rhs = bill(&a, &scheme, start).dollars() + bill(&b, &scheme, start).dollars();
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+            prop_assert_eq!(attacker_advantage(&a, &a, &scheme, start).dollars(), 0.0);
+        }
+    }
+
+    /// Stolen energy is antisymmetric and vanishes for honest reports.
+    #[test]
+    fn stolen_energy_antisymmetric(
+        a in proptest::collection::vec(0.0f64..5.0, 48),
+        b in proptest::collection::vec(0.0f64..5.0, 48),
+    ) {
+        let forward = energy_stolen_kwh(&a, &b);
+        let backward = energy_stolen_kwh(&b, &a);
+        prop_assert!((forward + backward).abs() < 1e-9);
+        prop_assert_eq!(energy_stolen_kwh(&a, &a), 0.0);
+    }
+
+    /// Compromising the attacker's route silences every check strictly
+    /// below the root, for any feeder and any single under-reporter.
+    #[test]
+    fn route_compromise_silences_local_checks(
+        (f, demands) in feeder_strategy(),
+        thief_pick in 0usize..64,
+    ) {
+        let thief = f.consumers[thief_pick % f.consumers.len()];
+        let mut snapshot = Snapshot::new();
+        for (node, (actual, _)) in f.consumers.iter().zip(&demands) {
+            let reported = if *node == thief { actual * 0.5 } else { *actual };
+            snapshot.set_consumer(&f.grid, *node, *actual, reported).expect("consumer");
+        }
+        let mut deployment = MeterDeployment::full(&f.grid);
+        deployment.compromise_route(&f.grid, thief);
+        let checker = BalanceChecker::default();
+        let events = checker.w_events(&f.grid, &deployment, &snapshot).expect("complete");
+        for (&node, status) in &events {
+            if node != f.grid.root() && f.grid.path_to_root(thief).contains(&node) {
+                prop_assert!(!status.is_failure(), "compromised meter at {node} still fails");
+            }
+        }
+        // The trusted root still sees the theft.
+        prop_assert!(events[&f.grid.root()].is_failure());
+    }
+}

@@ -1,0 +1,81 @@
+//! Serde round trips: utilities persist topologies, deployments, pricing
+//! plans and snapshots; every one must survive JSON serialisation.
+
+use fdeta_gridsim::balance::Snapshot;
+use fdeta_gridsim::market::MarketModel;
+use fdeta_gridsim::meter::MeterDeployment;
+use fdeta_gridsim::pricing::PricingScheme;
+use fdeta_gridsim::topology::GridTopology;
+
+fn feeder() -> GridTopology {
+    GridTopology::balanced(2, 2, 3)
+}
+
+#[test]
+fn topology_roundtrip() {
+    let grid = feeder();
+    let json = serde_json::to_string(&grid).expect("serialise");
+    let restored: GridTopology = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(grid, restored);
+    // Structure survives: same consumer set and parent relations.
+    assert_eq!(
+        grid.consumers().collect::<Vec<_>>(),
+        restored.consumers().collect::<Vec<_>>()
+    );
+    for node in grid.iter() {
+        assert_eq!(grid.parent(node), restored.parent(node));
+    }
+}
+
+#[test]
+fn deployment_roundtrip_preserves_compromise() {
+    let grid = feeder();
+    let mut deployment = MeterDeployment::full(&grid);
+    let victim = grid.consumers().nth(4).expect("consumers exist");
+    deployment.compromise_route(&grid, victim);
+    let json = serde_json::to_string(&deployment).expect("serialise");
+    let restored: MeterDeployment = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(deployment, restored);
+    for node in grid.internal_nodes() {
+        assert_eq!(deployment.state(node), restored.state(node));
+    }
+}
+
+#[test]
+fn pricing_schemes_roundtrip() {
+    let schemes = [
+        PricingScheme::flat_default(),
+        PricingScheme::tou_ireland(),
+        MarketModel::default().simulate(96, 3),
+    ];
+    for scheme in schemes {
+        let json = serde_json::to_string(&scheme).expect("serialise");
+        let restored: PricingScheme = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(scheme, restored);
+        for t in 0..96 {
+            assert_eq!(scheme.price_at(t), restored.price_at(t));
+        }
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_flows() {
+    let grid = feeder();
+    let mut snapshot = Snapshot::new();
+    for (i, c) in grid.consumers().enumerate() {
+        snapshot
+            .set_consumer(&grid, c, 1.0 + i as f64 * 0.1, 1.0)
+            .expect("consumer");
+    }
+    for l in grid.losses() {
+        snapshot.set_loss(&grid, l, 0.05).expect("loss");
+    }
+    let json = serde_json::to_string(&snapshot).expect("serialise");
+    let restored: Snapshot = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(snapshot, restored);
+    let root = grid.root();
+    assert_eq!(
+        snapshot.actual_flow(&grid, root).expect("complete"),
+        restored.actual_flow(&grid, root).expect("complete")
+    );
+}

@@ -1,0 +1,55 @@
+//! Embedded attacker behaviours.
+
+use serde::{Deserialize, Serialize};
+
+/// How an embedded attacker manipulates the reports flowing through the
+/// meters she controls, week after week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackerKind {
+    /// Attack Classes 2A/2B: under-report her own consumption with the
+    /// Integrated ARIMA attack (and over-report a neighbour to balance,
+    /// handled by the runner when a neighbour exists).
+    UnderReport,
+    /// Attack Class 1B: consume extra while a neighbour's meter absorbs
+    /// the difference (Integrated ARIMA over-report on the neighbour).
+    StealFromNeighbor,
+    /// Attack Classes 3A/3B: report a price-optimal reordering of her own
+    /// true readings (the Optimal Swap attack).
+    LoadShift,
+}
+
+impl AttackerKind {
+    /// The paper's attack-class label realised by this behaviour.
+    pub fn class_label(self) -> &'static str {
+        match self {
+            AttackerKind::UnderReport => "2A/2B",
+            AttackerKind::StealFromNeighbor => "1B",
+            AttackerKind::LoadShift => "3A/3B",
+        }
+    }
+}
+
+/// One attacker embedded in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerSpec {
+    /// Index of the attacking consumer in the corpus.
+    pub consumer_index: usize,
+    /// Behaviour.
+    pub kind: AttackerKind,
+    /// First *test* week (0-based) in which the attack runs; earlier
+    /// weeks report honestly, modelling a consumer who turns rogue
+    /// mid-deployment.
+    pub start_week: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels_match_paper() {
+        assert_eq!(AttackerKind::UnderReport.class_label(), "2A/2B");
+        assert_eq!(AttackerKind::StealFromNeighbor.class_label(), "1B");
+        assert_eq!(AttackerKind::LoadShift.class_label(), "3A/3B");
+    }
+}

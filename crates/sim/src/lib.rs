@@ -1,0 +1,43 @@
+//! Closed-loop AMI simulation for the F-DETA reproduction.
+//!
+//! The paper's components — corpus, grid, attacks, detectors, framework —
+//! are exercised here as one *running system*, the way a utility would
+//! deploy them: every simulated week, consumers' smart meters report
+//! demand, embedded attackers rewrite the reports passing through their
+//! compromised meters, the root balance meter cross-checks the feeder,
+//! and the F-DETA pipeline scores every consumer's week. The output is a
+//! timeline: when each attacker was first flagged, what the false-alert
+//! load on the operators was, and what the balance meter corroborated.
+//!
+//! This is the substrate for longitudinal questions the single-week
+//! evaluation (in `fdeta-detect::eval`) cannot answer: detection
+//! *latency* in weeks, alert budgets over a quarter, and the interplay
+//! between data-driven alerts and physical balance checks.
+//!
+//! # Example
+//!
+//! ```
+//! use fdeta_sim::{AttackerKind, AttackerSpec, Scenario, Simulation};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::small(12, 16, 7)
+//!     .with_attacker(AttackerSpec {
+//!         consumer_index: 3,
+//!         kind: AttackerKind::UnderReport,
+//!         start_week: 1,
+//!     });
+//! let outcome = Simulation::run(&scenario)?;
+//! assert_eq!(outcome.weeks.len(), scenario.test_weeks());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attacker;
+pub mod outcome;
+pub mod runner;
+pub mod scenario;
+
+pub use attacker::{AttackerKind, AttackerSpec};
+pub use outcome::{SimOutcome, WeekLog};
+pub use runner::Simulation;
+pub use scenario::Scenario;

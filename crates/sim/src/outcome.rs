@@ -1,0 +1,194 @@
+//! Simulation output: the weekly timeline and its summaries.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta::pipeline::Alert;
+
+use crate::attacker::AttackerSpec;
+
+/// What happened in one simulated week.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeekLog {
+    /// Live week index (0-based from the end of training).
+    pub week: usize,
+    /// Alerts the pipeline raised this week (actionable only).
+    pub alerts: Vec<Alert>,
+    /// Whether the trusted root balance check failed this week (sampled at
+    /// the week's first polling slot).
+    pub root_balance_failed: bool,
+    /// Total energy (kWh) displaced by attackers this week — ground truth
+    /// the detectors do not see.
+    pub stolen_kwh: f64,
+}
+
+/// The full simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// One log per live week, in order.
+    pub weeks: Vec<WeekLog>,
+    /// The attackers that were embedded (copied from the scenario).
+    pub attackers: Vec<AttackerSpec>,
+    /// Consumer ids, indexed like the corpus.
+    pub consumer_ids: Vec<u32>,
+    /// Per attacker (same order as `attackers`): the live week in which
+    /// the utility's investigation stopped them, if the response loop was
+    /// enabled and converged.
+    pub stopped_week: Vec<Option<usize>>,
+}
+
+impl SimOutcome {
+    /// First live week (0-based) in which the given attacker — or, for
+    /// neighbour-theft, their victim — was flagged, if ever. Latency in
+    /// weeks is `detection_week - spec.start_week`.
+    pub fn detection_week(&self, spec: &AttackerSpec) -> Option<usize> {
+        let subject_ids = self.subjects_of(spec);
+        self.weeks.iter().find_map(|log| {
+            let hit = log
+                .alerts
+                .iter()
+                .any(|a| subject_ids.contains(&a.consumer) && log.week >= spec.start_week);
+            hit.then_some(log.week)
+        })
+    }
+
+    /// The meter ids whose reports the attack distorts (the attacker, and
+    /// the victim for neighbour theft) — the ids detection can fire on.
+    fn subjects_of(&self, spec: &AttackerSpec) -> Vec<u32> {
+        let mut ids = vec![self.consumer_ids[spec.consumer_index]];
+        if spec.kind == crate::attacker::AttackerKind::StealFromNeighbor {
+            // The runner victimises the next consumer on the same bus,
+            // which is the next corpus index (wrapping within the corpus).
+            let victim = (spec.consumer_index + 1) % self.consumer_ids.len();
+            ids.push(self.consumer_ids[victim]);
+        }
+        ids
+    }
+
+    /// Alerts per week on consumers *not* involved in any attack — the
+    /// operator's false-alert load.
+    pub fn false_alert_rate(&self) -> f64 {
+        if self.weeks.is_empty() {
+            return 0.0;
+        }
+        let mut implicated: Vec<u32> = self
+            .attackers
+            .iter()
+            .flat_map(|spec| self.subjects_of(spec))
+            .collect();
+        implicated.sort_unstable();
+        implicated.dedup();
+        let false_alerts: usize = self
+            .weeks
+            .iter()
+            .map(|log| {
+                log.alerts
+                    .iter()
+                    .filter(|a| !implicated.contains(&a.consumer))
+                    .count()
+            })
+            .sum();
+        false_alerts as f64 / self.weeks.len() as f64
+    }
+
+    /// Total energy attackers displaced across the simulation, in kWh.
+    pub fn total_stolen_kwh(&self) -> f64 {
+        self.weeks.iter().map(|w| w.stolen_kwh).sum()
+    }
+
+    /// Weeks in which the root balance check corroborated that *something*
+    /// was wrong on the feeder.
+    pub fn balance_corroborated_weeks(&self) -> usize {
+        self.weeks.iter().filter(|w| w.root_balance_failed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::AttackerKind;
+    use fdeta::pipeline::{AnomalyKind, RoleHint};
+
+    fn alert(consumer: u32) -> Alert {
+        Alert {
+            consumer,
+            kind: AnomalyKind::DistributionShift,
+            role: RoleHint::Unknown,
+            score: 1.0,
+            suppressed: None,
+        }
+    }
+
+    fn outcome() -> SimOutcome {
+        SimOutcome {
+            weeks: vec![
+                WeekLog {
+                    week: 0,
+                    alerts: vec![],
+                    root_balance_failed: false,
+                    stolen_kwh: 0.0,
+                },
+                WeekLog {
+                    week: 1,
+                    alerts: vec![alert(1001), alert(1009)],
+                    root_balance_failed: true,
+                    stolen_kwh: 50.0,
+                },
+                WeekLog {
+                    week: 2,
+                    alerts: vec![alert(1001)],
+                    root_balance_failed: true,
+                    stolen_kwh: 50.0,
+                },
+            ],
+            attackers: vec![AttackerSpec {
+                consumer_index: 1,
+                kind: AttackerKind::UnderReport,
+                start_week: 1,
+            }],
+            consumer_ids: (1000..1010).collect(),
+            stopped_week: vec![None],
+        }
+    }
+
+    #[test]
+    fn detection_week_finds_first_hit_after_start() {
+        let out = outcome();
+        let spec = out.attackers[0];
+        assert_eq!(out.detection_week(&spec), Some(1));
+    }
+
+    #[test]
+    fn detection_ignores_pre_attack_alerts() {
+        let mut out = outcome();
+        // An alert on the attacker BEFORE the attack starts is not a
+        // detection of the attack.
+        out.weeks[0].alerts.push(alert(1001));
+        let spec = out.attackers[0];
+        assert_eq!(out.detection_week(&spec), Some(1));
+    }
+
+    #[test]
+    fn false_alert_rate_excludes_implicated_consumers() {
+        let out = outcome();
+        // 1009 is uninvolved: 1 false alert over 3 weeks.
+        assert!((out.false_alert_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let out = outcome();
+        assert_eq!(out.total_stolen_kwh(), 100.0);
+        assert_eq!(out.balance_corroborated_weeks(), 2);
+    }
+
+    #[test]
+    fn neighbor_theft_counts_victim_alerts() {
+        let mut out = outcome();
+        out.attackers[0].kind = AttackerKind::StealFromNeighbor;
+        // Alert fires on the victim (index 2 -> id 1002).
+        out.weeks[1].alerts = vec![alert(1002)];
+        out.weeks[2].alerts = vec![];
+        let spec = out.attackers[0];
+        assert_eq!(out.detection_week(&spec), Some(1));
+    }
+}

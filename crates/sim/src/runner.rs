@@ -1,0 +1,421 @@
+//! The week-by-week simulation loop.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fdeta::pipeline::{Pipeline, PipelineConfig};
+use fdeta_arima::{ArimaError, ArimaModel, ArimaSpec};
+use fdeta_attacks::{integrated_arima_worst_case, optimal_swap, Direction, InjectionContext};
+use fdeta_cer_synth::SyntheticDataset;
+use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_gridsim::topology::GridTopology;
+use fdeta_gridsim::GridError;
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::{TsError, SLOTS_PER_WEEK, SLOT_HOURS};
+
+use crate::attacker::AttackerKind;
+use crate::outcome::{SimOutcome, WeekLog};
+use crate::scenario::Scenario;
+
+/// Errors surfaced by a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Time-series layer error (corpus splitting, detector training).
+    Ts(TsError),
+    /// Grid layer error (topology construction).
+    Grid(GridError),
+    /// The utility model could not be fitted for a consumer an attacker
+    /// needs to impersonate.
+    Arima(ArimaError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Ts(e) => write!(f, "time-series error: {e}"),
+            SimError::Grid(e) => write!(f, "grid error: {e}"),
+            SimError::Arima(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TsError> for SimError {
+    fn from(e: TsError) -> Self {
+        SimError::Ts(e)
+    }
+}
+impl From<GridError> for SimError {
+    fn from(e: GridError) -> Self {
+        SimError::Grid(e)
+    }
+}
+impl From<ArimaError> for SimError {
+    fn from(e: ArimaError) -> Self {
+        SimError::Arima(e)
+    }
+}
+
+/// Pre-fitted state for one attacker's injection machinery.
+struct ArmedAttacker {
+    spec: crate::attacker::AttackerSpec,
+    /// Training matrix of the consumer whose reports get rewritten (self
+    /// for under-report/shift, the victim for neighbour theft).
+    subject_train: WeekMatrix,
+    /// Utility-model replica for the subject (None for load shift, which
+    /// needs no model).
+    model: Option<ArimaModel>,
+    /// The victim's corpus index for neighbour theft.
+    victim_index: Option<usize>,
+}
+
+/// Runs scenarios.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the corpus cannot be split as configured,
+    /// the pipeline cannot train, or an attacker's model replica cannot be
+    /// fitted.
+    pub fn run(scenario: &Scenario) -> Result<SimOutcome, SimError> {
+        let data = SyntheticDataset::generate(&scenario.dataset);
+        let n = data.len();
+        let pipeline_config = PipelineConfig {
+            train_weeks: scenario.train_weeks,
+            bins: scenario.bins,
+            level: scenario.level,
+            ..Default::default()
+        };
+        let pipeline = Pipeline::train(&data, &pipeline_config)?;
+
+        // Radial topology: consecutive corpus indices share buses.
+        let mut grid = GridTopology::new();
+        let mut node_of = HashMap::new();
+        let mut bus = None;
+        for index in 0..n {
+            if index % scenario.consumers_per_bus == 0 {
+                bus = Some(grid.add_internal(grid.root())?);
+            }
+            let id = data.consumer(index).id;
+            let node = grid.add_consumer(bus.expect("bus created"), id.to_string())?;
+            node_of.insert(index, node);
+        }
+
+        // Arm the attackers.
+        let spec_order = ArimaSpec::new(2, 0, 1).expect("static order");
+        let mut armed = Vec::with_capacity(scenario.attackers.len());
+        for spec in &scenario.attackers {
+            let (subject_index, victim_index) = match spec.kind {
+                AttackerKind::StealFromNeighbor => {
+                    let victim = (spec.consumer_index + 1) % n;
+                    (victim, Some(victim))
+                }
+                _ => (spec.consumer_index, None),
+            };
+            let subject_train = data
+                .consumer(subject_index)
+                .series
+                .week_range(0, scenario.train_weeks)?
+                .to_week_matrix()?;
+            let model = match spec.kind {
+                AttackerKind::LoadShift => None,
+                _ => Some(ArimaModel::fit(subject_train.flat(), spec_order)?),
+            };
+            armed.push(ArmedAttacker {
+                spec: *spec,
+                subject_train,
+                model,
+                victim_index,
+            });
+        }
+
+        let scheme = PricingScheme::tou_ireland();
+        let plan = TouPlan::ireland_nightsaver();
+        let mut weeks = Vec::with_capacity(scenario.test_weeks());
+        // Response-loop state: consecutive alert weeks and stop marks.
+        let mut consecutive_alerts = vec![0usize; armed.len()];
+        let mut stopped_week: Vec<Option<usize>> = vec![None; armed.len()];
+        for week in 0..scenario.test_weeks() {
+            let absolute = scenario.train_weeks + week;
+            let start_slot = absolute * SLOTS_PER_WEEK;
+            // Honest baseline: actual = reported = the corpus week.
+            let mut actual: Vec<WeekVector> = (0..n)
+                .map(|i| {
+                    WeekVector::new(
+                        data.consumer(i)
+                            .series
+                            .week_range(absolute, absolute + 1)
+                            .expect("scenario validated week counts")
+                            .as_slice()
+                            .to_vec(),
+                    )
+                    .expect("corpus readings are valid")
+                })
+                .collect();
+            let mut reported = actual.clone();
+            let mut stolen_kwh = 0.0;
+
+            for (attacker_index, attacker) in armed.iter().enumerate() {
+                if week < attacker.spec.start_week || stopped_week[attacker_index].is_some() {
+                    continue;
+                }
+                let seed = scenario.dataset.seed
+                    ^ (attacker.spec.consumer_index as u64).wrapping_mul(0xA24B_AED4)
+                    ^ (week as u64).wrapping_mul(0x9E37_79B9);
+                match attacker.spec.kind {
+                    AttackerKind::UnderReport => {
+                        let me = attacker.spec.consumer_index;
+                        let ctx = InjectionContext {
+                            train: &attacker.subject_train,
+                            actual_week: &actual[me],
+                            model: attacker.model.as_ref().expect("armed with a model"),
+                            confidence: 0.95,
+                            start_slot,
+                        };
+                        let attack = integrated_arima_worst_case(
+                            &ctx,
+                            Direction::UnderReport,
+                            scenario.attack_vectors,
+                            seed,
+                            &scheme,
+                        );
+                        stolen_kwh += attack.energy_delta_kwh().max(0.0);
+                        // 2B: a neighbour absorbs the difference so the
+                        // root balance check stays silent.
+                        let accomplice = (me + 1) % n;
+                        let mut absorbed = reported[accomplice].as_slice().to_vec();
+                        for (t, slot) in absorbed.iter_mut().enumerate() {
+                            let delta = actual[me].as_slice()[t] - attack.reported.as_slice()[t];
+                            *slot = (*slot + delta).max(0.0);
+                        }
+                        reported[me] = attack.reported;
+                        reported[accomplice] =
+                            WeekVector::new(absorbed).expect("clamped non-negative");
+                    }
+                    AttackerKind::StealFromNeighbor => {
+                        let me = attacker.spec.consumer_index;
+                        let victim = attacker.victim_index.expect("armed with a victim");
+                        let ctx = InjectionContext {
+                            train: &attacker.subject_train,
+                            actual_week: &actual[victim],
+                            model: attacker.model.as_ref().expect("armed with a model"),
+                            confidence: 0.95,
+                            start_slot,
+                        };
+                        let attack = integrated_arima_worst_case(
+                            &ctx,
+                            Direction::OverReport,
+                            scenario.attack_vectors,
+                            seed,
+                            &scheme,
+                        );
+                        stolen_kwh += attack.energy_overbilled_kwh();
+                        // Mallory physically consumes what the victim is
+                        // billed for; her own meter reports her organic
+                        // load, so the feeder stays balanced.
+                        let mut mallory_actual = actual[me].as_slice().to_vec();
+                        for (t, slot) in mallory_actual.iter_mut().enumerate() {
+                            let delta =
+                                attack.reported.as_slice()[t] - actual[victim].as_slice()[t];
+                            *slot = (*slot + delta).max(0.0);
+                        }
+                        actual[me] = WeekVector::new(mallory_actual).expect("clamped non-negative");
+                        reported[victim] = attack.reported;
+                    }
+                    AttackerKind::LoadShift => {
+                        let me = attacker.spec.consumer_index;
+                        let attack = optimal_swap(&actual[me], &plan, start_slot);
+                        reported[me] = attack.reported;
+                    }
+                }
+            }
+
+            // The pipeline scores every consumer's reported week.
+            let mut alerts = Vec::new();
+            for (index, week_vector) in reported.iter().enumerate() {
+                let id = data.consumer(index).id;
+                alerts.extend(
+                    pipeline
+                        .assess(id, week_vector)
+                        .into_iter()
+                        .filter(|a| a.actionable()),
+                );
+            }
+
+            // Step 5 response loop: sustained alerts on an attacker (or
+            // their victim) trigger the field investigation that stops
+            // them (Section V-B's "manually validate all meters" step).
+            if scenario.investigation_after > 0 {
+                for (attacker_index, attacker) in armed.iter().enumerate() {
+                    if stopped_week[attacker_index].is_some() || week < attacker.spec.start_week {
+                        continue;
+                    }
+                    let me = data.consumer(attacker.spec.consumer_index).id;
+                    let victim = attacker.victim_index.map(|v| data.consumer(v).id);
+                    let implicated = alerts
+                        .iter()
+                        .any(|a| a.consumer == me || victim.is_some_and(|v| a.consumer == v));
+                    if implicated {
+                        consecutive_alerts[attacker_index] += 1;
+                        if consecutive_alerts[attacker_index] >= scenario.investigation_after {
+                            stopped_week[attacker_index] = Some(week);
+                        }
+                    } else {
+                        consecutive_alerts[attacker_index] = 0;
+                    }
+                }
+            }
+
+            // Root balance check on weekly energy totals.
+            let total_actual: f64 = actual
+                .iter()
+                .map(|w| w.as_slice().iter().sum::<f64>())
+                .sum::<f64>()
+                * SLOT_HOURS;
+            let total_reported: f64 = reported
+                .iter()
+                .map(|w| w.as_slice().iter().sum::<f64>())
+                .sum::<f64>()
+                * SLOT_HOURS;
+            // Tolerance: 1% of feeder energy — real feeders carry loss
+            // uncertainty of this order, and the attackers' physical
+            // non-negativity clamps introduce small residuals.
+            let tolerance = total_actual.abs() * 0.01 + 1e-6;
+            let root_balance_failed = (total_actual - total_reported).abs() > tolerance;
+
+            weeks.push(WeekLog {
+                week,
+                alerts,
+                root_balance_failed,
+                stolen_kwh,
+            });
+        }
+
+        Ok(SimOutcome {
+            weeks,
+            attackers: scenario.attackers.clone(),
+            consumer_ids: (0..n).map(|i| data.consumer(i).id).collect(),
+            stopped_week,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::AttackerSpec;
+
+    #[test]
+    fn honest_simulation_is_quiet_and_balanced() {
+        let scenario = Scenario::small(20, 24, 41);
+        let outcome = Simulation::run(&scenario).expect("runs");
+        assert_eq!(outcome.weeks.len(), 4);
+        assert_eq!(outcome.total_stolen_kwh(), 0.0);
+        assert_eq!(outcome.balance_corroborated_weeks(), 0);
+        // The pipeline raises organic alerts at roughly the detectors'
+        // configured false-positive rates — a fraction of the fleet per
+        // week, not a flood.
+        assert!(
+            outcome.false_alert_rate() < 16.0 * 0.3,
+            "rate {}",
+            outcome.false_alert_rate()
+        );
+    }
+
+    #[test]
+    fn neighbor_theft_is_detected_and_stays_balanced() {
+        let scenario = Scenario::small(12, 18, 43).with_attacker(AttackerSpec {
+            consumer_index: 2,
+            kind: AttackerKind::StealFromNeighbor,
+            start_week: 1,
+        });
+        let outcome = Simulation::run(&scenario).expect("runs");
+        assert!(outcome.total_stolen_kwh() > 0.0);
+        // Class 1B circumvents the balance check by construction.
+        assert_eq!(
+            outcome.balance_corroborated_weeks(),
+            0,
+            "1B must stay balanced"
+        );
+        let spec = outcome.attackers[0];
+        let detected = outcome.detection_week(&spec);
+        assert!(
+            detected.is_some(),
+            "neighbour theft should be flagged within the horizon"
+        );
+        assert!(detected.expect("checked") >= spec.start_week);
+    }
+
+    #[test]
+    fn under_report_with_accomplice_balances() {
+        let scenario = Scenario::small(12, 16, 47).with_attacker(AttackerSpec {
+            consumer_index: 5,
+            kind: AttackerKind::UnderReport,
+            start_week: 0,
+        });
+        let outcome = Simulation::run(&scenario).expect("runs");
+        assert!(outcome.total_stolen_kwh() > 0.0);
+        // 2B shape: the accomplice's inflation keeps the root silent
+        // (up to the non-negativity clamp, which is rarely binding).
+        assert!(outcome.balance_corroborated_weeks() <= 1);
+    }
+
+    #[test]
+    fn pre_start_weeks_are_honest() {
+        let scenario = Scenario::small(12, 16, 51).with_attacker(AttackerSpec {
+            consumer_index: 1,
+            kind: AttackerKind::UnderReport,
+            start_week: 2,
+        });
+        let outcome = Simulation::run(&scenario).expect("runs");
+        assert_eq!(outcome.weeks[0].stolen_kwh, 0.0);
+        assert_eq!(outcome.weeks[1].stolen_kwh, 0.0);
+        assert!(outcome.weeks[2].stolen_kwh > 0.0);
+    }
+
+    #[test]
+    fn investigation_loop_stops_a_detected_attacker() {
+        let mut scenario = Scenario::small(20, 33, 43).with_attacker(AttackerSpec {
+            consumer_index: 2,
+            kind: AttackerKind::StealFromNeighbor,
+            start_week: 1,
+        });
+        scenario.investigation_after = 2;
+        let outcome = Simulation::run(&scenario).expect("runs");
+        let stopped = outcome.stopped_week[0];
+        assert!(
+            stopped.is_some(),
+            "a flagged attacker must eventually be stopped"
+        );
+        let stop = stopped.expect("checked");
+        // No further theft after the stop week.
+        for log in &outcome.weeks {
+            if log.week > stop {
+                assert_eq!(log.stolen_kwh, 0.0, "week {} after stop {stop}", log.week);
+            }
+        }
+        // With the loop disabled the same attacker steals to the end.
+        let mut unresponsive = scenario.clone();
+        unresponsive.investigation_after = 0;
+        let free_run = Simulation::run(&unresponsive).expect("runs");
+        assert!(free_run.total_stolen_kwh() > outcome.total_stolen_kwh());
+        assert_eq!(free_run.stopped_week[0], None);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let scenario = Scenario::small(12, 15, 53).with_attacker(AttackerSpec {
+            consumer_index: 0,
+            kind: AttackerKind::LoadShift,
+            start_week: 0,
+        });
+        let a = Simulation::run(&scenario).expect("runs");
+        let b = Simulation::run(&scenario).expect("runs");
+        assert_eq!(a, b);
+    }
+}

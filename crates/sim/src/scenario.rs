@@ -1,0 +1,121 @@
+//! Simulation scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_cer_synth::DatasetConfig;
+use fdeta_detect::SignificanceLevel;
+
+use crate::attacker::AttackerSpec;
+
+/// A complete, reproducible simulation setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Corpus parameters (consumers, weeks, seed, ...).
+    pub dataset: DatasetConfig,
+    /// Weeks used to train the monitors; the remainder is simulated live.
+    pub train_weeks: usize,
+    /// Consumers per feeder bus in the generated radial topology.
+    pub consumers_per_bus: usize,
+    /// KLD histogram bins.
+    pub bins: usize,
+    /// KLD significance level for the pipeline monitors.
+    pub level: SignificanceLevel,
+    /// Truncated-normal vectors drawn per attack week (the attacker picks
+    /// her best).
+    pub attack_vectors: usize,
+    /// Embedded attackers.
+    pub attackers: Vec<AttackerSpec>,
+    /// After this many *consecutive* live weeks with an actionable alert on
+    /// an attacker (or their victim), the utility's investigation confirms
+    /// the theft and the attacker stops. `0` disables the response loop
+    /// (attacks run to the end of the horizon).
+    pub investigation_after: usize,
+}
+
+impl Scenario {
+    /// A compact scenario: `consumers` consumers × `weeks` weeks with
+    /// `train_weeks` training weeks, no attackers yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two test weeks remain after training.
+    pub fn small(train_weeks: usize, weeks: usize, seed: u64) -> Self {
+        assert!(weeks >= train_weeks + 2, "need at least two live weeks");
+        Self {
+            dataset: DatasetConfig::small(16, weeks, seed),
+            train_weeks,
+            consumers_per_bus: 4,
+            bins: 10,
+            level: SignificanceLevel::Ten,
+            attack_vectors: 8,
+            attackers: Vec::new(),
+            investigation_after: 0,
+        }
+    }
+
+    /// Adds an attacker (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attacker's consumer index is out of range or their
+    /// start week is beyond the simulated horizon.
+    pub fn with_attacker(mut self, spec: AttackerSpec) -> Self {
+        assert!(
+            spec.consumer_index < self.dataset.consumers,
+            "attacker index {} out of range ({} consumers)",
+            spec.consumer_index,
+            self.dataset.consumers
+        );
+        assert!(
+            spec.start_week < self.test_weeks(),
+            "attack starts at week {} but only {} live weeks are simulated",
+            spec.start_week,
+            self.test_weeks()
+        );
+        self.attackers.push(spec);
+        self
+    }
+
+    /// Number of live (simulated) weeks after training.
+    pub fn test_weeks(&self) -> usize {
+        self.dataset.weeks - self.train_weeks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::AttackerKind;
+
+    #[test]
+    fn builder_validates() {
+        let s = Scenario::small(10, 14, 1);
+        assert_eq!(s.test_weeks(), 4);
+        let s = s.with_attacker(AttackerSpec {
+            consumer_index: 0,
+            kind: AttackerKind::LoadShift,
+            start_week: 1,
+        });
+        assert_eq!(s.attackers.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn attacker_index_checked() {
+        Scenario::small(10, 14, 1).with_attacker(AttackerSpec {
+            consumer_index: 999,
+            kind: AttackerKind::UnderReport,
+            start_week: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "live weeks")]
+    fn start_week_checked() {
+        Scenario::small(10, 14, 1).with_attacker(AttackerSpec {
+            consumer_index: 0,
+            kind: AttackerKind::UnderReport,
+            start_week: 10,
+        });
+    }
+}

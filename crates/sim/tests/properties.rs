@@ -1,0 +1,96 @@
+//! Property-based tests for the closed-loop simulation: structural
+//! invariants over randomly drawn scenarios.
+
+use proptest::prelude::*;
+
+use fdeta_sim::{AttackerKind, AttackerSpec, Scenario, Simulation};
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        10usize..14, // train weeks
+        2usize..5,   // live weeks
+        0u64..500,   // seed
+        proptest::collection::vec(
+            (
+                0usize..16,
+                0usize..2,
+                prop_oneof![
+                    Just(AttackerKind::UnderReport),
+                    Just(AttackerKind::StealFromNeighbor),
+                    Just(AttackerKind::LoadShift),
+                ],
+            ),
+            0..3,
+        ),
+        0usize..3, // investigation_after
+    )
+        .prop_map(|(train, live, seed, attackers, investigation)| {
+            let mut scenario = Scenario::small(train, train + live, seed);
+            scenario.attack_vectors = 2;
+            scenario.investigation_after = investigation;
+            let mut used = Vec::new();
+            for (index, start, kind) in attackers {
+                let start_week = start.min(scenario.test_weeks() - 1);
+                // One attacker per consumer keeps the semantics crisp.
+                if used.contains(&index) {
+                    continue;
+                }
+                used.push(index);
+                scenario = scenario.with_attacker(AttackerSpec {
+                    consumer_index: index,
+                    kind,
+                    start_week,
+                });
+            }
+            scenario
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any well-formed scenario runs to completion with a well-formed
+    /// timeline: one log per live week, non-negative theft, and theft only
+    /// while some attacker is active.
+    #[test]
+    fn simulation_always_completes(scenario in scenario_strategy()) {
+        let outcome = Simulation::run(&scenario).expect("well-formed scenario runs");
+        prop_assert_eq!(outcome.weeks.len(), scenario.test_weeks());
+        prop_assert_eq!(outcome.stopped_week.len(), scenario.attackers.len());
+        let earliest_start = scenario
+            .attackers
+            .iter()
+            .filter(|a| a.kind != AttackerKind::LoadShift)
+            .map(|a| a.start_week)
+            .min();
+        for log in &outcome.weeks {
+            prop_assert!(log.stolen_kwh >= 0.0);
+            prop_assert!(log.stolen_kwh.is_finite());
+            match earliest_start {
+                Some(start) if log.week >= start => {}
+                _ => prop_assert_eq!(
+                    log.stolen_kwh,
+                    0.0,
+                    "no energy theft before any energy-stealing attacker starts (week {})",
+                    log.week
+                ),
+            }
+        }
+    }
+
+    /// The stopped-week marks respect the response-loop contract: never
+    /// set when the loop is disabled, never before the attack starts.
+    #[test]
+    fn stop_marks_are_consistent(scenario in scenario_strategy()) {
+        let outcome = Simulation::run(&scenario).expect("runs");
+        for (spec, stopped) in outcome.attackers.iter().zip(&outcome.stopped_week) {
+            if scenario.investigation_after == 0 {
+                prop_assert_eq!(*stopped, None);
+            }
+            if let Some(week) = stopped {
+                prop_assert!(*week >= spec.start_week);
+                prop_assert!(*week < scenario.test_weeks());
+            }
+        }
+    }
+}

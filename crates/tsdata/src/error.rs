@@ -1,0 +1,156 @@
+//! Error type shared by the time-series substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming time-series data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// A demand, energy, or price value was negative, NaN, or infinite.
+    ///
+    /// Average demand in the paper's model is a value in `R >= 0` (Section
+    /// III), so every constructor rejects anything else.
+    InvalidValue {
+        /// What the value was supposed to represent (e.g. `"kW"`).
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A series did not contain a whole number of weeks when a week-aligned
+    /// view was requested.
+    NotWeekAligned {
+        /// Length of the series in half-hour slots.
+        len: usize,
+    },
+    /// An operation that needs at least `required` weeks of data was invoked
+    /// with only `available` weeks.
+    NotEnoughWeeks {
+        /// Weeks needed by the operation.
+        required: usize,
+        /// Weeks actually present.
+        available: usize,
+    },
+    /// A histogram was requested with fewer than one bin.
+    EmptyHistogram,
+    /// Histogram bin edges were not strictly increasing.
+    NonMonotonicEdges,
+    /// Two histograms with different bin layouts were compared.
+    ///
+    /// The paper stresses that `X_i` distributions must be computed with the
+    /// exact bin edges of the `X` distribution; comparing histograms with
+    /// different edges is a logic error that this variant surfaces.
+    MismatchedBins {
+        /// Bin count of the left-hand histogram.
+        left: usize,
+        /// Bin count of the right-hand histogram.
+        right: usize,
+    },
+    /// The truncated-normal sampler was configured with an empty support
+    /// interval (`low >= high`) or a non-positive standard deviation.
+    DegenerateDistribution,
+    /// A slot index was out of range for the containing structure.
+    SlotOutOfRange {
+        /// The requested slot.
+        slot: usize,
+        /// The number of slots available.
+        len: usize,
+    },
+    /// A malformed record was encountered while parsing CSV input.
+    Csv {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::InvalidValue { what, value } => {
+                write!(
+                    f,
+                    "invalid {what} value {value}: must be finite and non-negative"
+                )
+            }
+            TsError::NotWeekAligned { len } => {
+                write!(
+                    f,
+                    "series length {len} is not a whole number of 336-slot weeks"
+                )
+            }
+            TsError::NotEnoughWeeks {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "operation requires {required} weeks but only {available} available"
+                )
+            }
+            TsError::EmptyHistogram => write!(f, "histogram must have at least one bin"),
+            TsError::NonMonotonicEdges => {
+                write!(f, "histogram bin edges must be strictly increasing")
+            }
+            TsError::MismatchedBins { left, right } => {
+                write!(
+                    f,
+                    "histograms have different bin counts ({left} vs {right})"
+                )
+            }
+            TsError::DegenerateDistribution => {
+                write!(
+                    f,
+                    "truncated normal support is empty or std dev is not positive"
+                )
+            }
+            TsError::SlotOutOfRange { slot, len } => {
+                write!(f, "slot {slot} out of range for length {len}")
+            }
+            TsError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            TsError::InvalidValue {
+                what: "kW",
+                value: -1.0,
+            },
+            TsError::NotWeekAligned { len: 7 },
+            TsError::NotEnoughWeeks {
+                required: 2,
+                available: 1,
+            },
+            TsError::EmptyHistogram,
+            TsError::NonMonotonicEdges,
+            TsError::MismatchedBins { left: 10, right: 5 },
+            TsError::DegenerateDistribution,
+            TsError::SlotOutOfRange { slot: 9, len: 3 },
+            TsError::Csv {
+                line: 2,
+                message: "bad field".into(),
+            },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'), "no trailing punctuation: {text}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TsError>();
+    }
+}

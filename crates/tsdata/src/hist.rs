@@ -1,0 +1,276 @@
+//! Fixed-edge histograms for the KLD detector.
+//!
+//! The paper's procedure (Section VII-D): histogram *all* values of the
+//! training matrix `X` with `B` bins to fix the `B + 1` bin edges, then
+//! histogram each week `X_i` **with those same edges**. [`BinEdges`] is the
+//! shared-edge object; [`Histogram`] can only be built through a `BinEdges`,
+//! so the same-edges requirement holds by construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+
+/// Immutable, strictly increasing bin edges (`B + 1` edges for `B` bins).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinEdges {
+    edges: Vec<f64>,
+}
+
+impl BinEdges {
+    /// Builds `bins` equal-width bins spanning `[min, max]` of the sample.
+    ///
+    /// If the sample is constant (min == max) the single point is widened by
+    /// a small symmetric margin so that every value falls in a bin. Values
+    /// outside the range (e.g. from an attack vector larger than anything in
+    /// training) are clamped into the first/last bin when counting — the
+    /// paper's histograms are over the training support, and out-of-support
+    /// mass must still be accounted for rather than dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::EmptyHistogram`] if `bins == 0` or the sample is
+    /// empty, and [`TsError::InvalidValue`] if the sample contains a
+    /// non-finite value.
+    pub fn from_sample(sample: &[f64], bins: usize) -> Result<Self, TsError> {
+        if bins == 0 || sample.is_empty() {
+            return Err(TsError::EmptyHistogram);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in sample {
+            if !v.is_finite() {
+                return Err(TsError::InvalidValue {
+                    what: "histogram sample",
+                    value: v,
+                });
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min == max {
+            // Degenerate (constant) sample: widen so the bin has volume.
+            let pad = if min == 0.0 { 0.5 } else { min.abs() * 0.5 };
+            min -= pad;
+            max += pad;
+        }
+        let width = (max - min) / bins as f64;
+        let edges = (0..=bins).map(|i| min + width * i as f64).collect();
+        Ok(Self { edges })
+    }
+
+    /// Builds edges from an explicit, strictly increasing edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::EmptyHistogram`] for fewer than two edges and
+    /// [`TsError::NonMonotonicEdges`] if edges are not strictly increasing.
+    pub fn from_edges(edges: Vec<f64>) -> Result<Self, TsError> {
+        if edges.len() < 2 {
+            return Err(TsError::EmptyHistogram);
+        }
+        if edges
+            .windows(2)
+            .any(|w| w[0] >= w[1] || !w[0].is_finite() || !w[1].is_finite())
+        {
+            return Err(TsError::NonMonotonicEdges);
+        }
+        Ok(Self { edges })
+    }
+
+    /// Number of bins `B`.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// The raw edges (`B + 1` values).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Index of the bin containing `value`, clamping out-of-range values
+    /// into the first or last bin.
+    pub fn bin_of(&self, value: f64) -> usize {
+        let bins = self.bins();
+        let lo = self.edges[0];
+        let hi = self.edges[bins];
+        if value <= lo {
+            return 0;
+        }
+        if value >= hi {
+            return bins - 1;
+        }
+        // Binary search over the edges: find the rightmost edge <= value.
+        match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&value).expect("finite edges"))
+        {
+            Ok(i) => i.min(bins - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Counts `sample` into a [`Histogram`] that shares these edges.
+    pub fn histogram(&self, sample: &[f64]) -> Histogram {
+        let mut counts = vec![0u64; self.bins()];
+        for &v in sample {
+            counts[self.bin_of(v)] += 1;
+        }
+        Histogram {
+            edges: self.clone(),
+            counts,
+            total: sample.len() as u64,
+        }
+    }
+}
+
+/// A histogram bound to the [`BinEdges`] it was counted with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: BinEdges,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// The bin edges this histogram was counted with.
+    #[inline]
+    pub fn edges(&self) -> &BinEdges {
+        &self.edges
+    }
+
+    /// Raw per-bin counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Relative frequencies `p(j)` (empty histogram yields all zeros).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Checks that `self` and `other` share bin layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::MismatchedBins`] when the layouts differ.
+    pub fn check_compatible(&self, other: &Histogram) -> Result<(), TsError> {
+        if self.edges != other.edges {
+            return Err(TsError::MismatchedBins {
+                left: self.bins(),
+                right: other.bins(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_edges() {
+        let edges = BinEdges::from_sample(&[0.0, 10.0], 5).unwrap();
+        assert_eq!(edges.bins(), 5);
+        assert_eq!(edges.as_slice(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn constant_sample_gets_padded() {
+        let edges = BinEdges::from_sample(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(edges.bins(), 4);
+        assert!(edges.as_slice()[0] < 3.0);
+        assert!(*edges.as_slice().last().unwrap() > 3.0);
+        // And an all-zero sample (a vacant property) still works.
+        let zero = BinEdges::from_sample(&[0.0; 10], 3).unwrap();
+        assert_eq!(zero.histogram(&[0.0; 10]).total(), 10);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(BinEdges::from_sample(&[], 5), Err(TsError::EmptyHistogram));
+        assert_eq!(
+            BinEdges::from_sample(&[1.0], 0),
+            Err(TsError::EmptyHistogram)
+        );
+        assert!(BinEdges::from_sample(&[1.0, f64::NAN], 2).is_err());
+        assert_eq!(
+            BinEdges::from_edges(vec![1.0]),
+            Err(TsError::EmptyHistogram)
+        );
+        assert_eq!(
+            BinEdges::from_edges(vec![1.0, 1.0]),
+            Err(TsError::NonMonotonicEdges)
+        );
+        assert_eq!(
+            BinEdges::from_edges(vec![2.0, 1.0]),
+            Err(TsError::NonMonotonicEdges)
+        );
+    }
+
+    #[test]
+    fn bin_of_interior_boundary_and_clamp() {
+        let edges = BinEdges::from_edges(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(edges.bin_of(0.5), 0);
+        assert_eq!(edges.bin_of(1.5), 1);
+        assert_eq!(edges.bin_of(2.5), 2);
+        // Boundary values belong to the right bin (left-closed convention),
+        // except the final edge which closes the last bin.
+        assert_eq!(edges.bin_of(1.0), 1);
+        assert_eq!(edges.bin_of(3.0), 2);
+        // Out-of-range clamps.
+        assert_eq!(edges.bin_of(-5.0), 0);
+        assert_eq!(edges.bin_of(99.0), 2);
+    }
+
+    #[test]
+    fn histogram_counts_everything_exactly_once() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let edges = BinEdges::from_sample(&sample, 10).unwrap();
+        let hist = edges.histogram(&sample);
+        assert_eq!(hist.counts().iter().sum::<u64>(), 100);
+        assert_eq!(hist.total(), 100);
+        let probs = hist.probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_edges_are_compatible_fresh_edges_are_not() {
+        let edges = BinEdges::from_sample(&[0.0, 1.0, 2.0], 4).unwrap();
+        let a = edges.histogram(&[0.5, 1.5]);
+        let b = edges.histogram(&[0.1]);
+        assert!(a.check_compatible(&b).is_ok());
+        let other = BinEdges::from_sample(&[0.0, 9.0], 4)
+            .unwrap()
+            .histogram(&[1.0]);
+        assert!(a.check_compatible(&other).is_err());
+    }
+
+    #[test]
+    fn empty_histogram_probabilities_are_zero() {
+        let edges = BinEdges::from_sample(&[0.0, 1.0], 2).unwrap();
+        let hist = edges.histogram(&[]);
+        assert_eq!(hist.probabilities(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Kullback-Leibler divergence between binned distributions (eq. 12).
+//!
+//! The paper computes, for each training week `i`,
+//!
+//! ```text
+//! K_i = Σ_j p(X_i^(j)) · log2( p(X_i^(j)) / p(X^(j)) )
+//! ```
+//!
+//! where `p(X_i^(j))` is the relative frequency of week `i`'s readings in
+//! bin `j` and `p(X^(j))` the relative frequency over the whole training
+//! matrix. Terms with `p(X_i^(j)) = 0` contribute zero (the standard
+//! `0 · log 0 = 0` convention). A bin that is empty in the *baseline* but
+//! occupied in the week would make the divergence infinite; because the
+//! baseline histogram is built over the union of all training values and
+//! out-of-range values clamp into the edge bins, this cannot happen for
+//! training rows, but it **can** happen for attack vectors. The smoothed
+//! variant assigns such bins a small floor probability so the score stays
+//! finite and strictly ordered (more out-of-support mass ⇒ larger score).
+
+use crate::error::TsError;
+use crate::hist::Histogram;
+
+/// Floor probability used by [`kl_divergence_smoothed`] for baseline bins
+/// with zero mass. Chosen well below `1 / (74 weeks × 336 slots)` so it is
+/// smaller than any observable relative frequency in the paper's setting.
+pub const BASELINE_FLOOR: f64 = 1e-9;
+
+/// Exact discrete KL divergence `KL(p ‖ q)` in bits.
+///
+/// `p` is the week distribution, `q` the baseline (training) distribution.
+/// Returns `+inf` when `p` has mass in a bin where `q` has none.
+///
+/// # Errors
+///
+/// Returns [`TsError::MismatchedBins`] if the histograms were counted with
+/// different bin edges.
+///
+/// # Example
+///
+/// ```
+/// use fdeta_tsdata::{BinEdges, kl_divergence};
+///
+/// # fn main() -> Result<(), fdeta_tsdata::TsError> {
+/// let edges = BinEdges::from_sample(&[0.0, 4.0], 4)?;
+/// let base = edges.histogram(&[0.5, 1.5, 2.5, 3.5]);
+/// let same = edges.histogram(&[0.6, 1.6, 2.6, 3.6]);
+/// assert_eq!(kl_divergence(&same, &base)?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kl_divergence(p: &Histogram, q: &Histogram) -> Result<f64, TsError> {
+    p.check_compatible(q)?;
+    let p_probs = p.probabilities();
+    let q_probs = q.probabilities();
+    let mut kl = 0.0;
+    for (pj, qj) in p_probs.iter().zip(&q_probs) {
+        if *pj == 0.0 {
+            continue;
+        }
+        if *qj == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        kl += pj * (pj / qj).log2();
+    }
+    // Guard against -0.0 and tiny negative rounding noise.
+    Ok(kl.max(0.0))
+}
+
+/// KL divergence with a floor on baseline-zero bins, guaranteeing a finite
+/// score. This is the form the KLD detector uses when scoring attack
+/// vectors whose support may exceed the training support.
+///
+/// # Errors
+///
+/// Returns [`TsError::MismatchedBins`] if the histograms were counted with
+/// different bin edges.
+pub fn kl_divergence_smoothed(p: &Histogram, q: &Histogram) -> Result<f64, TsError> {
+    p.check_compatible(q)?;
+    let p_probs = p.probabilities();
+    let q_probs = q.probabilities();
+    let mut kl = 0.0;
+    for (pj, qj) in p_probs.iter().zip(&q_probs) {
+        if *pj == 0.0 {
+            continue;
+        }
+        let q_eff = qj.max(BASELINE_FLOOR);
+        kl += pj * (pj / q_eff).log2();
+    }
+    Ok(kl.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::BinEdges;
+
+    fn edges() -> BinEdges {
+        BinEdges::from_edges(vec![0.0, 1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let e = edges();
+        let base = e.histogram(&[0.5, 1.5, 2.5, 3.5]);
+        let week = e.histogram(&[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(kl_divergence(&week, &base).unwrap(), 0.0);
+        assert_eq!(kl_divergence_smoothed(&week, &base).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn divergence_matches_hand_computation() {
+        let e = BinEdges::from_edges(vec![0.0, 1.0, 2.0]).unwrap();
+        // p = (3/4, 1/4), q = (1/2, 1/2)
+        let p = e.histogram(&[0.5, 0.5, 0.5, 1.5]);
+        let q = e.histogram(&[0.5, 1.5]);
+        let expected = 0.75 * (0.75f64 / 0.5).log2() + 0.25 * (0.25f64 / 0.5).log2();
+        let got = kl_divergence(&p, &q).unwrap();
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn asymmetry() {
+        let e = BinEdges::from_edges(vec![0.0, 1.0, 2.0]).unwrap();
+        let p = e.histogram(&[0.5, 0.5, 0.5, 1.5]);
+        let q = e.histogram(&[0.5, 1.5]);
+        let forward = kl_divergence(&p, &q).unwrap();
+        let backward = kl_divergence(&q, &p).unwrap();
+        assert!(forward != backward, "KL divergence is not symmetric");
+    }
+
+    #[test]
+    fn baseline_zero_bin_is_infinite_exact_finite_smoothed() {
+        let e = edges();
+        let base = e.histogram(&[0.5, 0.5]); // mass only in bin 0
+        let week = e.histogram(&[3.5]); // mass only in bin 3
+        assert_eq!(kl_divergence(&week, &base).unwrap(), f64::INFINITY);
+        let smoothed = kl_divergence_smoothed(&week, &base).unwrap();
+        assert!(smoothed.is_finite());
+        assert!(
+            smoothed > 10.0,
+            "floor makes escaped mass very expensive: {smoothed}"
+        );
+    }
+
+    #[test]
+    fn smoothed_orders_by_escaped_mass() {
+        let e = edges();
+        let base = e.histogram(&[0.5; 8]);
+        let slight = e.histogram(&[0.5, 0.5, 0.5, 3.5]); // 25% escaped
+        let heavy = e.histogram(&[0.5, 3.5, 3.5, 3.5]); // 75% escaped
+        let s = kl_divergence_smoothed(&slight, &base).unwrap();
+        let h = kl_divergence_smoothed(&heavy, &base).unwrap();
+        assert!(h > s, "more escaped mass must score higher ({h} <= {s})");
+    }
+
+    #[test]
+    fn mismatched_bins_error() {
+        let a = edges().histogram(&[0.5]);
+        let b = BinEdges::from_edges(vec![0.0, 2.0, 4.0])
+            .unwrap()
+            .histogram(&[0.5]);
+        assert!(matches!(
+            kl_divergence(&a, &b),
+            Err(TsError::MismatchedBins { .. })
+        ));
+        assert!(matches!(
+            kl_divergence_smoothed(&a, &b),
+            Err(TsError::MismatchedBins { .. })
+        ));
+    }
+
+    #[test]
+    fn never_negative() {
+        // Random-ish pairs of histograms over the same edges.
+        let e = edges();
+        let samples: Vec<Vec<f64>> = vec![
+            vec![0.5, 1.5, 2.5],
+            vec![0.5, 0.5, 3.5, 3.5],
+            vec![1.5; 7],
+            vec![0.1, 0.9, 1.1, 1.9, 2.1, 2.9, 3.1, 3.9],
+        ];
+        for p_sample in &samples {
+            for q_sample in &samples {
+                let p = e.histogram(p_sample);
+                let q = e.histogram(q_sample);
+                let kl = kl_divergence_smoothed(&p, &q).unwrap();
+                assert!(kl >= 0.0, "KL({p_sample:?} || {q_sample:?}) = {kl} < 0");
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Time-series substrate for the F-DETA reproduction.
+//!
+//! The paper (F-DETA, DSN 2016) analyses electricity consumption reported by
+//! smart meters at a half-hour resolution. Every algorithm in the framework —
+//! the ARIMA detectors, the Kullback-Leibler-divergence detector, and the
+//! attack injections — operates on the data structures defined here:
+//!
+//! * [`Kw`] / [`Kwh`] — newtypes for average demand and energy, so that demand
+//!   and energy cannot be confused (demand × duration = energy).
+//! * [`HalfHourSeries`] — a contiguous series of half-hour average-demand
+//!   readings for one consumer.
+//! * [`WeekMatrix`] — the paper's training matrix `X` with `M` rows (weeks)
+//!   and 336 columns (half-hours of the week).
+//! * [`Histogram`] — a fixed-edge histogram; the KLD detector requires the
+//!   `X_i` distributions to be computed **with the bin edges of `X`**, which
+//!   this type enforces by construction.
+//! * [`kl_divergence`] — discrete KL divergence in bits
+//!   (log base 2), as in eq. (12) of the paper.
+//! * [`TruncatedNormal`] — the sampler used by
+//!   the *Integrated ARIMA attack*.
+//! * Descriptive statistics ([`stats`]) — running mean/variance (Welford),
+//!   empirical quantiles, and weekly summaries used by the Integrated ARIMA
+//!   detector's mean/variance checks.
+//!
+//! # Example
+//!
+//! ```
+//! use fdeta_tsdata::{HalfHourSeries, Kw, SLOTS_PER_WEEK};
+//!
+//! # fn main() -> Result<(), fdeta_tsdata::TsError> {
+//! // Two weeks of flat 1 kW consumption.
+//! let series = HalfHourSeries::from_kw(vec![Kw::new(1.0)?; 2 * SLOTS_PER_WEEK]);
+//! let matrix = series.to_week_matrix()?;
+//! assert_eq!(matrix.weeks(), 2);
+//! assert_eq!(matrix.week(0).len(), SLOTS_PER_WEEK);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod csv;
+pub mod error;
+pub mod hist;
+pub mod kl;
+pub mod series;
+pub mod stats;
+pub mod truncnorm;
+pub mod units;
+pub mod week;
+
+pub use csv::GapPolicy;
+pub use error::TsError;
+pub use hist::{BinEdges, Histogram};
+pub use kl::{kl_divergence, kl_divergence_smoothed};
+pub use series::{HalfHourSeries, SlotOfWeek};
+pub use stats::{Quantile, RunningStats, Summary};
+pub use truncnorm::TruncatedNormal;
+pub use units::{Kw, Kwh, Money, PricePerKwh};
+pub use week::{WeekMatrix, WeekVector};
+
+/// Number of half-hour polling slots in a day (the paper's Δt is 30 min).
+pub const SLOTS_PER_DAY: usize = 48;
+
+/// Number of half-hour polling slots in a week: the length of the paper's
+/// week vectors (336 readings).
+pub const SLOTS_PER_WEEK: usize = 7 * SLOTS_PER_DAY;
+
+/// Duration of one polling slot in hours (Δt). Multiplying a [`Kw`] average
+/// demand by this yields the [`Kwh`] energy consumed in the slot.
+pub const SLOT_HOURS: f64 = 0.5;
+
+/// Number of days in a week, used by day-of-week helpers.
+pub const DAYS_PER_WEEK: usize = 7;

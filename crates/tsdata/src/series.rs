@@ -1,0 +1,332 @@
+//! Half-hour demand series and week-slot arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+use crate::units::Kw;
+use crate::week::WeekMatrix;
+use crate::{DAYS_PER_WEEK, SLOTS_PER_DAY, SLOTS_PER_WEEK};
+
+/// A position within the 336-slot week: day of week × half-hour of day.
+///
+/// Slot 0 is 00:00–00:30 on day 0 (Monday by convention); slot 335 is
+/// 23:30–24:00 on day 6 (Sunday).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotOfWeek(usize);
+
+impl SlotOfWeek {
+    /// Creates a slot from a raw index in `0..336`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::SlotOutOfRange`] if `index >= 336`.
+    pub fn new(index: usize) -> Result<Self, TsError> {
+        if index < SLOTS_PER_WEEK {
+            Ok(Self(index))
+        } else {
+            Err(TsError::SlotOutOfRange {
+                slot: index,
+                len: SLOTS_PER_WEEK,
+            })
+        }
+    }
+
+    /// Creates a slot from a day-of-week (`0..7`) and half-hour-of-day
+    /// (`0..48`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::SlotOutOfRange`] if either component is out of
+    /// range.
+    pub fn from_day_slot(day: usize, slot_of_day: usize) -> Result<Self, TsError> {
+        if day >= DAYS_PER_WEEK {
+            return Err(TsError::SlotOutOfRange {
+                slot: day,
+                len: DAYS_PER_WEEK,
+            });
+        }
+        if slot_of_day >= SLOTS_PER_DAY {
+            return Err(TsError::SlotOutOfRange {
+                slot: slot_of_day,
+                len: SLOTS_PER_DAY,
+            });
+        }
+        Ok(Self(day * SLOTS_PER_DAY + slot_of_day))
+    }
+
+    /// The raw index in `0..336`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Day of the week in `0..7` (0 = Monday by convention).
+    #[inline]
+    pub fn day(self) -> usize {
+        self.0 / SLOTS_PER_DAY
+    }
+
+    /// Half-hour of the day in `0..48` (0 is 00:00–00:30).
+    #[inline]
+    pub fn slot_of_day(self) -> usize {
+        self.0 % SLOTS_PER_DAY
+    }
+
+    /// Hour of the day as a float (e.g. slot 19 starts at 9.5 = 09:30).
+    #[inline]
+    pub fn hour_of_day(self) -> f64 {
+        self.slot_of_day() as f64 * 0.5
+    }
+
+    /// Whether the day is Saturday or Sunday (days 5 and 6).
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        self.day() >= 5
+    }
+
+    /// Iterates over all 336 slots of the week in order.
+    pub fn all() -> impl Iterator<Item = SlotOfWeek> {
+        (0..SLOTS_PER_WEEK).map(SlotOfWeek)
+    }
+}
+
+/// A contiguous series of half-hour average-demand readings for one
+/// consumer, starting at slot 0 of some week.
+///
+/// This is the in-memory form of the CER-style dataset: the synthetic
+/// generator produces one `HalfHourSeries` per consumer, and the detectors
+/// split it into a training [`WeekMatrix`] and test weeks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HalfHourSeries {
+    values: Vec<f64>,
+}
+
+impl HalfHourSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a series from validated [`Kw`] readings.
+    pub fn from_kw(readings: Vec<Kw>) -> Self {
+        Self {
+            values: readings.into_iter().map(Kw::value).collect(),
+        }
+    }
+
+    /// Builds a series from raw `f64` kW values, validating each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidValue`] on the first negative, NaN, or
+    /// infinite reading.
+    pub fn from_raw(values: Vec<f64>) -> Result<Self, TsError> {
+        for &v in &values {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(TsError::InvalidValue {
+                    what: "kW",
+                    value: v,
+                });
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// Number of half-hour readings in the series.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series contains no readings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of whole weeks in the series (truncating any partial week).
+    #[inline]
+    pub fn whole_weeks(&self) -> usize {
+        self.values.len() / SLOTS_PER_WEEK
+    }
+
+    /// The raw readings as a slice of kW values.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Reading at `index`, if in range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Kw> {
+        self.values.get(index).map(|&v| Kw::new_unchecked(v))
+    }
+
+    /// Appends a reading.
+    pub fn push(&mut self, reading: Kw) {
+        self.values.push(reading.value());
+    }
+
+    /// Iterates over the readings as [`Kw`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Kw> + '_ {
+        self.values.iter().map(|&v| Kw::new_unchecked(v))
+    }
+
+    /// Splits the series into a [`WeekMatrix`] (rows = weeks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotWeekAligned`] if the length is not a multiple
+    /// of 336, and [`TsError::NotEnoughWeeks`] if the series is empty.
+    pub fn to_week_matrix(&self) -> Result<WeekMatrix, TsError> {
+        if self.values.is_empty() || !self.values.len().is_multiple_of(SLOTS_PER_WEEK) {
+            if self.values.is_empty() {
+                return Err(TsError::NotEnoughWeeks {
+                    required: 1,
+                    available: 0,
+                });
+            }
+            return Err(TsError::NotWeekAligned {
+                len: self.values.len(),
+            });
+        }
+        WeekMatrix::from_flat(self.values.clone())
+    }
+
+    /// Returns the sub-series covering weeks `start..end` (half-open).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if the range extends past the end
+    /// of the series.
+    pub fn week_range(&self, start: usize, end: usize) -> Result<HalfHourSeries, TsError> {
+        let available = self.whole_weeks();
+        if end > available || start > end {
+            return Err(TsError::NotEnoughWeeks {
+                required: end,
+                available,
+            });
+        }
+        Ok(Self {
+            values: self.values[start * SLOTS_PER_WEEK..end * SLOTS_PER_WEEK].to_vec(),
+        })
+    }
+
+    /// Total energy represented by the series in kWh (`Σ D(t) · Δt`).
+    pub fn total_energy_kwh(&self) -> f64 {
+        self.values.iter().sum::<f64>() * crate::SLOT_HOURS
+    }
+
+    /// Arithmetic mean of the readings in kW, or 0 for an empty series.
+    pub fn mean_kw(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+impl FromIterator<Kw> for HalfHourSeries {
+    fn from_iter<I: IntoIterator<Item = Kw>>(iter: I) -> Self {
+        Self {
+            values: iter.into_iter().map(Kw::value).collect(),
+        }
+    }
+}
+
+impl Extend<Kw> for HalfHourSeries {
+    fn extend<I: IntoIterator<Item = Kw>>(&mut self, iter: I) {
+        self.values.extend(iter.into_iter().map(Kw::value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_of_week_roundtrip() {
+        for day in 0..DAYS_PER_WEEK {
+            for s in 0..SLOTS_PER_DAY {
+                let slot = SlotOfWeek::from_day_slot(day, s).unwrap();
+                assert_eq!(slot.day(), day);
+                assert_eq!(slot.slot_of_day(), s);
+            }
+        }
+        assert!(SlotOfWeek::from_day_slot(7, 0).is_err());
+        assert!(SlotOfWeek::from_day_slot(0, 48).is_err());
+        assert!(SlotOfWeek::new(336).is_err());
+    }
+
+    #[test]
+    fn slot_hour_and_weekend() {
+        let nine_am_monday = SlotOfWeek::from_day_slot(0, 18).unwrap();
+        assert_eq!(nine_am_monday.hour_of_day(), 9.0);
+        assert!(!nine_am_monday.is_weekend());
+        let saturday = SlotOfWeek::from_day_slot(5, 0).unwrap();
+        assert!(saturday.is_weekend());
+    }
+
+    #[test]
+    fn all_slots_enumerated_in_order() {
+        let slots: Vec<_> = SlotOfWeek::all().collect();
+        assert_eq!(slots.len(), SLOTS_PER_WEEK);
+        assert_eq!(slots[0].index(), 0);
+        assert_eq!(slots[335].index(), 335);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(HalfHourSeries::from_raw(vec![1.0, 0.0, 2.5]).is_ok());
+        assert!(HalfHourSeries::from_raw(vec![1.0, -0.5]).is_err());
+        assert!(HalfHourSeries::from_raw(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn week_matrix_requires_alignment() {
+        let short = HalfHourSeries::from_raw(vec![1.0; 100]).unwrap();
+        assert_eq!(
+            short.to_week_matrix(),
+            Err(TsError::NotWeekAligned { len: 100 })
+        );
+        let empty = HalfHourSeries::new();
+        assert!(matches!(
+            empty.to_week_matrix(),
+            Err(TsError::NotEnoughWeeks { .. })
+        ));
+        let two_weeks = HalfHourSeries::from_raw(vec![1.0; 2 * SLOTS_PER_WEEK]).unwrap();
+        assert_eq!(two_weeks.to_week_matrix().unwrap().weeks(), 2);
+    }
+
+    #[test]
+    fn week_range_slices_weeks() {
+        let mut vals = Vec::new();
+        for w in 0..3 {
+            vals.extend(std::iter::repeat_n(w as f64, SLOTS_PER_WEEK));
+        }
+        let series = HalfHourSeries::from_raw(vals).unwrap();
+        let middle = series.week_range(1, 2).unwrap();
+        assert_eq!(middle.len(), SLOTS_PER_WEEK);
+        assert!(middle.as_slice().iter().all(|&v| v == 1.0));
+        assert!(series.week_range(1, 4).is_err());
+    }
+
+    #[test]
+    fn energy_and_mean() {
+        let series = HalfHourSeries::from_raw(vec![2.0; 4]).unwrap();
+        // 4 slots × 2 kW × 0.5 h = 4 kWh.
+        assert!((series.total_energy_kwh() - 4.0).abs() < 1e-12);
+        assert_eq!(series.mean_kw(), 2.0);
+        assert_eq!(HalfHourSeries::new().mean_kw(), 0.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut series: HalfHourSeries = (0..3).map(|i| Kw::new(i as f64).unwrap()).collect();
+        series.extend([Kw::new(5.0).unwrap()]);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.get(3), Some(Kw::new(5.0).unwrap()));
+        assert_eq!(series.get(4), None);
+    }
+}

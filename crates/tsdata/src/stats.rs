@@ -1,0 +1,306 @@
+//! Descriptive statistics: Welford running moments, summaries, and
+//! empirical quantiles.
+//!
+//! The Integrated ARIMA detector thresholds on the mean and variance of a
+//! week of readings against their historic ranges; the KLD detector
+//! thresholds on the 90th / 95th percentile of the training KLD
+//! distribution. Both need exactly the primitives in this module.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and population variance of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divide by `n`, not `n - 1`).
+    pub variance: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary of a slice in one pass (Welford).
+    pub fn of(values: &[f64]) -> Summary {
+        let mut rs = RunningStats::new();
+        for &v in values {
+            rs.push(v);
+        }
+        rs.summary()
+    }
+
+    /// Standard deviation (square root of the population variance).
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Numerically stable running mean/variance accumulator (Welford's
+/// algorithm), usable online as readings stream in from meters.
+///
+/// # Example
+///
+/// ```
+/// use fdeta_tsdata::RunningStats;
+///
+/// let mut rs = RunningStats::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     rs.push(v);
+/// }
+/// assert_eq!(rs.mean(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Running mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than two
+    /// observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Minimum observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Snapshot of the current mean/variance/count.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            mean: self.mean(),
+            variance: self.variance(),
+            count: self.count,
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Empirical quantile estimator over a finite sample, with linear
+/// interpolation between order statistics (type-7 / the common default).
+///
+/// The KLD detector's thresholds are the 90th and 95th percentiles of the
+/// training `K_i` values; [`Quantile::of_sorted`] computes them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile;
+
+impl Quantile {
+    /// Quantile `q` in `[0, 1]` of an already-sorted, non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+    pub fn of_sorted(sorted: &[f64], q: f64) -> f64 {
+        assert!(!sorted.is_empty(), "quantile of empty sample");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile level {q} outside [0, 1]"
+        );
+        if sorted.len() == 1 {
+            return sorted[0];
+        }
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Quantile `q` of an unsorted slice (sorts a copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, contains NaN, or `q` is outside
+    /// `[0, 1]`.
+    pub fn of(values: &[f64], q: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        Self::of_sorted(&sorted, q)
+    }
+}
+
+/// Percentile rank of `value` within `sample`: the fraction of observations
+/// strictly below it. Used to convert a KLD score into a significance level.
+pub fn percentile_rank(sample: &[f64], value: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let below = sample.iter().filter(|&&v| v < value).count();
+    below as f64 / sample.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let values = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let s = Summary::of(&values);
+        let mean = values.iter().sum::<f64>() / 5.0;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 5.0;
+        assert!((s.mean - mean).abs() < 1e-12);
+        assert!((s.variance - var).abs() < 1e-9);
+        assert_eq!(s.count, 5);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_edge_cases() {
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.min(), 7.0);
+        assert_eq!(one.max(), 7.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut seq = RunningStats::new();
+        for &v in &values {
+            seq.push(v);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &v in &values[..37] {
+            left.push(v);
+        }
+        for &v in &values[37..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        assert!((left.mean() - seq.mean()).abs() < 1e-12);
+        assert!((left.variance() - seq.variance()).abs() < 1e-12);
+        assert_eq!(left.count(), seq.count());
+        assert_eq!(left.min(), seq.min());
+        assert_eq!(left.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantiles_match_definition() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Quantile::of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(Quantile::of_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(Quantile::of_sorted(&sorted, 0.5), 3.0);
+        // 0.9 * 4 = 3.6 → 4 + 0.6 * (5 - 4) = 4.6
+        assert!((Quantile::of_sorted(&sorted, 0.9) - 4.6).abs() < 1e-12);
+        // Unsorted input is handled by `of`.
+        assert_eq!(Quantile::of(&[5.0, 1.0, 3.0, 2.0, 4.0], 0.5), 3.0);
+        // Single observation.
+        assert_eq!(Quantile::of(&[42.0], 0.95), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Quantile::of(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_rank_counts_strictly_below() {
+        let sample = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_rank(&sample, 2.5), 0.5);
+        assert_eq!(percentile_rank(&sample, 0.0), 0.0);
+        assert_eq!(percentile_rank(&sample, 10.0), 1.0);
+        assert_eq!(percentile_rank(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Physical and monetary unit newtypes.
+//!
+//! The paper's attack condition (eq. 1) mixes average demand `D` (kW),
+//! electricity price `λ` ($/kWh), slot duration `Δt` (hours), and monetary
+//! gain `α` ($). Representing each as a distinct newtype makes the billing
+//! arithmetic in `fdeta-gridsim` type-checked: a demand must be multiplied by
+//! a duration before it can be priced.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+use crate::SLOT_HOURS;
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $what:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a new value, validating that it is finite and
+            /// non-negative.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`TsError::InvalidValue`] if `value` is negative, NaN,
+            /// or infinite.
+            pub fn new(value: f64) -> Result<Self, TsError> {
+                if value.is_finite() && value >= 0.0 {
+                    Ok(Self(value))
+                } else {
+                    Err(TsError::InvalidValue { what: $what, value })
+                }
+            }
+
+            /// Creates a new value without validation.
+            ///
+            /// Useful in hot loops where the caller has already established
+            /// the invariant. Debug builds still assert it.
+            #[inline]
+            pub fn new_unchecked(value: f64) -> Self {
+                debug_assert!(value.is_finite() && value >= 0.0, "invalid {}: {value}", $what);
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Saturating subtraction: returns zero instead of going negative.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self((self.0 - rhs.0).max(0.0))
+            }
+
+            /// Returns the smaller of two values.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                if self.0 <= rhs.0 { self } else { rhs }
+            }
+
+            /// Returns the larger of two values.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                if self.0 >= rhs.0 { self } else { rhs }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $what)
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        // Values are validated finite, so a total order exists.
+        impl Eq for $name {}
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.partial_cmp(&other.0).expect("unit values are finite by construction")
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Average electric demand over one polling slot, in kilowatts.
+    ///
+    /// This is the paper's `D_C(t)`: a value in `R >= 0` (Section III).
+    Kw,
+    "kW"
+);
+
+unit_newtype!(
+    /// Electric energy, in kilowatt-hours.
+    Kwh,
+    "kWh"
+);
+
+unit_newtype!(
+    /// Electricity price, in dollars per kilowatt-hour (the paper's `λ(t)`).
+    PricePerKwh,
+    "$/kWh"
+);
+
+impl Kw {
+    /// Energy consumed when this average demand is sustained for one
+    /// half-hour polling slot: `D · Δt`.
+    #[inline]
+    pub fn energy_per_slot(self) -> Kwh {
+        Kwh(self.0 * SLOT_HOURS)
+    }
+
+    /// Energy consumed when this average demand is sustained for `hours`.
+    #[inline]
+    pub fn energy_over(self, hours: f64) -> Kwh {
+        Kwh(self.0 * hours)
+    }
+}
+
+impl Kwh {
+    /// Cost of this energy at the given price.
+    #[inline]
+    pub fn cost(self, price: PricePerKwh) -> Money {
+        Money(self.0 * price.0)
+    }
+}
+
+/// A signed amount of money in dollars.
+///
+/// Unlike the non-negative physical units, money is signed: the paper's `α`
+/// (attacker advantage, eq. 2) and `L_n` (neighbour loss, eq. 10) are
+/// differences of bills and can take either sign in intermediate states.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Money(f64);
+
+impl Money {
+    /// The zero amount.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Creates a monetary amount from a finite dollar value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidValue`] if `dollars` is NaN or infinite.
+    pub fn new(dollars: f64) -> Result<Self, TsError> {
+        if dollars.is_finite() {
+            Ok(Self(dollars))
+        } else {
+            Err(TsError::InvalidValue {
+                what: "$",
+                value: dollars,
+            })
+        }
+    }
+
+    /// Returns the raw dollar value.
+    #[inline]
+    pub fn dollars(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this amount is strictly positive (the attacker's success
+    /// condition in eq. 1 requires `α > 0`).
+    #[inline]
+    pub fn is_gain(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Returns the larger of two amounts.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0.0 {
+            write!(f, "-${:.2}", -self.0)
+        } else {
+            write!(f, "${:.2}", self.0)
+        }
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kw_rejects_negative_nan_inf() {
+        assert!(Kw::new(-0.1).is_err());
+        assert!(Kw::new(f64::NAN).is_err());
+        assert!(Kw::new(f64::INFINITY).is_err());
+        assert!(Kw::new(0.0).is_ok());
+        assert!(Kw::new(3.25).is_ok());
+    }
+
+    #[test]
+    fn demand_times_slot_gives_energy() {
+        let d = Kw::new(2.0).unwrap();
+        assert_eq!(d.energy_per_slot(), Kwh::new(1.0).unwrap());
+        assert_eq!(d.energy_over(3.0), Kwh::new(6.0).unwrap());
+    }
+
+    #[test]
+    fn energy_cost_matches_hand_computation() {
+        // 10 kWh at the paper's peak price 0.21 $/kWh = $2.10.
+        let e = Kwh::new(10.0).unwrap();
+        let cost = e.cost(PricePerKwh::new(0.21).unwrap());
+        assert!((cost.dollars() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn money_arithmetic_and_sign() {
+        let a = Money::new(5.0).unwrap();
+        let b = Money::new(7.5).unwrap();
+        assert_eq!((b - a).dollars(), 2.5);
+        assert!((b - a).is_gain());
+        assert!(!(a - b).is_gain());
+        assert_eq!((-(a - b)).dollars(), 2.5);
+        assert_eq!(a.to_string(), "$5.00");
+        assert_eq!((a - b).to_string(), "-$2.50");
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let small = Kw::new(1.0).unwrap();
+        let large = Kw::new(4.0).unwrap();
+        assert_eq!(small.saturating_sub(large), Kw::ZERO);
+        assert_eq!(large.saturating_sub(small), Kw::new(3.0).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_total_for_validated_values() {
+        let mut values = vec![
+            Kw::new(3.0).unwrap(),
+            Kw::new(1.0).unwrap(),
+            Kw::new(2.0).unwrap(),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Kw::new(1.0).unwrap(),
+                Kw::new(2.0).unwrap(),
+                Kw::new(3.0).unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: Kw = (1..=4).map(|i| Kw::new(i as f64).unwrap()).sum();
+        assert_eq!(total, Kw::new(10.0).unwrap());
+        let cash: Money = [1.0, -2.0, 4.0]
+            .iter()
+            .map(|&d| Money::new(d).unwrap())
+            .sum();
+        assert_eq!(cash.dollars(), 3.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Week vectors and the training matrix `X`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+use crate::series::SlotOfWeek;
+use crate::stats::Summary;
+use crate::SLOTS_PER_WEEK;
+
+/// One week of 336 half-hour readings — the unit the KLD detector scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeekVector {
+    values: Vec<f64>,
+}
+
+impl WeekVector {
+    /// Builds a week vector from exactly 336 validated kW readings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotWeekAligned`] for a wrong length and
+    /// [`TsError::InvalidValue`] for a non-finite or negative reading.
+    pub fn new(values: Vec<f64>) -> Result<Self, TsError> {
+        if values.len() != SLOTS_PER_WEEK {
+            return Err(TsError::NotWeekAligned { len: values.len() });
+        }
+        for &v in &values {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(TsError::InvalidValue {
+                    what: "kW",
+                    value: v,
+                });
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// The readings as a slice (length 336).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of readings (always 336).
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // a week vector is never empty
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reading at the given week slot.
+    #[inline]
+    pub fn at(&self, slot: SlotOfWeek) -> f64 {
+        self.values[slot.index()]
+    }
+
+    /// Replaces the reading at the given slot, validating the new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidValue`] if `value` is negative, NaN, or
+    /// infinite.
+    pub fn set(&mut self, slot: SlotOfWeek, value: f64) -> Result<(), TsError> {
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(TsError::InvalidValue { what: "kW", value });
+        }
+        self.values[slot.index()] = value;
+        Ok(())
+    }
+
+    /// Swaps the readings at two slots. Used by the *Optimal Swap attack*,
+    /// which permutes readings without changing their multiset.
+    pub fn swap(&mut self, a: SlotOfWeek, b: SlotOfWeek) {
+        self.values.swap(a.index(), b.index());
+    }
+
+    /// Mean and variance of the week's readings.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+
+    /// Consumes the vector and returns the raw readings.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+/// The paper's training matrix `X`: `M` rows (weeks) × 336 columns
+/// (half-hours of the week), stored row-major.
+///
+/// The KLD detector histograms *all* values of `X` to fix bin edges, then
+/// histograms each row `X_i` with those same edges (Section VII-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeekMatrix {
+    /// Row-major storage: `data[w * 336 + s]`.
+    data: Vec<f64>,
+    weeks: usize,
+}
+
+impl WeekMatrix {
+    /// Builds a matrix from row-major data whose length is a multiple of 336.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotWeekAligned`] for misaligned input,
+    /// [`TsError::NotEnoughWeeks`] for empty input, and
+    /// [`TsError::InvalidValue`] for non-finite or negative readings.
+    pub fn from_flat(data: Vec<f64>) -> Result<Self, TsError> {
+        if data.is_empty() {
+            return Err(TsError::NotEnoughWeeks {
+                required: 1,
+                available: 0,
+            });
+        }
+        if !data.len().is_multiple_of(SLOTS_PER_WEEK) {
+            return Err(TsError::NotWeekAligned { len: data.len() });
+        }
+        for &v in &data {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(TsError::InvalidValue {
+                    what: "kW",
+                    value: v,
+                });
+            }
+        }
+        let weeks = data.len() / SLOTS_PER_WEEK;
+        Ok(Self { data, weeks })
+    }
+
+    /// Builds a matrix from week vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if `rows` is empty.
+    pub fn from_weeks(rows: Vec<WeekVector>) -> Result<Self, TsError> {
+        if rows.is_empty() {
+            return Err(TsError::NotEnoughWeeks {
+                required: 1,
+                available: 0,
+            });
+        }
+        let weeks = rows.len();
+        let mut data = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+        for row in rows {
+            data.extend_from_slice(row.as_slice());
+        }
+        Ok(Self { data, weeks })
+    }
+
+    /// Number of weeks (rows).
+    #[inline]
+    pub fn weeks(&self) -> usize {
+        self.weeks
+    }
+
+    /// Row `w` as a slice of 336 readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.weeks()`.
+    #[inline]
+    pub fn week(&self, w: usize) -> &[f64] {
+        assert!(
+            w < self.weeks,
+            "week {w} out of range ({} weeks)",
+            self.weeks
+        );
+        &self.data[w * SLOTS_PER_WEEK..(w + 1) * SLOTS_PER_WEEK]
+    }
+
+    /// Row `w` as an owned [`WeekVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.weeks()`.
+    pub fn week_vector(&self, w: usize) -> WeekVector {
+        WeekVector {
+            values: self.week(w).to_vec(),
+        }
+    }
+
+    /// All values of the matrix as one flat slice — the sample the `X`
+    /// distribution is built from.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterates over the rows.
+    pub fn iter_weeks(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.weeks).map(move |w| self.week(w))
+    }
+
+    /// Per-week mean demand (kW) — the statistic whose training minimum /
+    /// maximum parameterises the Integrated ARIMA attack and detector.
+    pub fn weekly_means(&self) -> Vec<f64> {
+        self.iter_weeks()
+            .map(|row| row.iter().sum::<f64>() / SLOTS_PER_WEEK as f64)
+            .collect()
+    }
+
+    /// Per-week variance of demand (population variance).
+    pub fn weekly_variances(&self) -> Vec<f64> {
+        self.iter_weeks()
+            .map(|row| Summary::of(row).variance)
+            .collect()
+    }
+
+    /// Column `s` across all weeks (the history of one week-slot), used by
+    /// seasonal forecasting.
+    pub fn column(&self, slot: SlotOfWeek) -> Vec<f64> {
+        (0..self.weeks)
+            .map(|w| self.data[w * SLOTS_PER_WEEK + slot.index()])
+            .collect()
+    }
+
+    /// Appends a week, dropping the oldest, to model the sliding training
+    /// window a utility would maintain online.
+    pub fn roll(&mut self, week: &WeekVector) {
+        self.data.drain(0..SLOTS_PER_WEEK);
+        self.data.extend_from_slice(week.as_slice());
+    }
+
+    /// Global minimum reading in the matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum reading in the matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_matrix(weeks: usize) -> WeekMatrix {
+        // Week w is the constant value w+1.
+        let mut data = Vec::new();
+        for w in 0..weeks {
+            data.extend(std::iter::repeat_n((w + 1) as f64, SLOTS_PER_WEEK));
+        }
+        WeekMatrix::from_flat(data).unwrap()
+    }
+
+    #[test]
+    fn week_vector_validation() {
+        assert!(WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).is_ok());
+        assert!(WeekVector::new(vec![1.0; 100]).is_err());
+        let mut bad = vec![1.0; SLOTS_PER_WEEK];
+        bad[10] = -1.0;
+        assert!(WeekVector::new(bad).is_err());
+    }
+
+    #[test]
+    fn week_vector_set_and_swap() {
+        let mut wv = WeekVector::new(vec![0.0; SLOTS_PER_WEEK]).unwrap();
+        let a = SlotOfWeek::new(3).unwrap();
+        let b = SlotOfWeek::new(300).unwrap();
+        wv.set(a, 5.0).unwrap();
+        assert_eq!(wv.at(a), 5.0);
+        assert!(wv.set(b, f64::NAN).is_err());
+        wv.swap(a, b);
+        assert_eq!(wv.at(a), 0.0);
+        assert_eq!(wv.at(b), 5.0);
+    }
+
+    #[test]
+    fn matrix_rows_and_columns() {
+        let m = ramp_matrix(3);
+        assert_eq!(m.weeks(), 3);
+        assert!(m.week(1).iter().all(|&v| v == 2.0));
+        let col = m.column(SlotOfWeek::new(100).unwrap());
+        assert_eq!(col, vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+    }
+
+    #[test]
+    fn weekly_means_and_variances() {
+        let m = ramp_matrix(2);
+        assert_eq!(m.weekly_means(), vec![1.0, 2.0]);
+        assert_eq!(m.weekly_variances(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn roll_slides_the_window() {
+        let mut m = ramp_matrix(3);
+        let new_week = WeekVector::new(vec![9.0; SLOTS_PER_WEEK]).unwrap();
+        m.roll(&new_week);
+        assert_eq!(m.weeks(), 3);
+        assert!(m.week(0).iter().all(|&v| v == 2.0));
+        assert!(m.week(2).iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn from_weeks_matches_from_flat() {
+        let rows = vec![
+            WeekVector::new(vec![1.0; SLOTS_PER_WEEK]).unwrap(),
+            WeekVector::new(vec![2.0; SLOTS_PER_WEEK]).unwrap(),
+        ];
+        let m = WeekMatrix::from_weeks(rows).unwrap();
+        assert_eq!(m, ramp_matrix(2));
+        assert!(WeekMatrix::from_weeks(vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn week_out_of_range_panics() {
+        ramp_matrix(2).week(2);
+    }
+}

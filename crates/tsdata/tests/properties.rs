@@ -1,0 +1,177 @@
+//! Property-based tests for the time-series substrate.
+
+use proptest::prelude::*;
+
+use fdeta_tsdata::hist::BinEdges;
+use fdeta_tsdata::kl::{kl_divergence, kl_divergence_smoothed};
+use fdeta_tsdata::stats::{percentile_rank, Quantile, RunningStats, Summary};
+use fdeta_tsdata::truncnorm::{norm_cdf, norm_quantile, TruncatedNormal};
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+fn sample_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 1..max_len)
+}
+
+proptest! {
+    // ---------------- histograms ----------------
+
+    /// Every value of the construction sample lands in exactly one bin and
+    /// nothing is dropped, whatever the data.
+    #[test]
+    fn histogram_conserves_mass(sample in sample_vec(200), bins in 1usize..20) {
+        let edges = BinEdges::from_sample(&sample, bins).expect("nonempty sample");
+        let hist = edges.histogram(&sample);
+        prop_assert_eq!(hist.total() as usize, sample.len());
+        prop_assert_eq!(hist.counts().iter().sum::<u64>() as usize, sample.len());
+        let probs = hist.probabilities();
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Out-of-range values clamp into the edge bins rather than vanish.
+    #[test]
+    fn histogram_clamps_out_of_range(
+        sample in sample_vec(100),
+        outliers in proptest::collection::vec(-1000.0f64..1000.0, 1..20),
+        bins in 1usize..12,
+    ) {
+        let edges = BinEdges::from_sample(&sample, bins).expect("nonempty sample");
+        let hist = edges.histogram(&outliers);
+        prop_assert_eq!(hist.total() as usize, outliers.len());
+    }
+
+    // ---------------- KL divergence ----------------
+
+    /// KL(p ‖ q) >= 0 always; = 0 when the histograms coincide.
+    #[test]
+    fn kl_nonnegative_and_zero_on_self(sample in sample_vec(200), bins in 1usize..15) {
+        let edges = BinEdges::from_sample(&sample, bins).expect("nonempty sample");
+        let hist = edges.histogram(&sample);
+        let self_kl = kl_divergence(&hist, &hist).expect("same edges");
+        prop_assert!(self_kl.abs() < 1e-12);
+        let smoothed = kl_divergence_smoothed(&hist, &hist).expect("same edges");
+        prop_assert!(smoothed.abs() < 1e-12);
+    }
+
+    /// Exact and smoothed KL agree whenever the exact value is finite.
+    #[test]
+    fn smoothed_matches_exact_when_finite(
+        p_sample in sample_vec(150),
+        q_extra in sample_vec(150),
+        bins in 1usize..12,
+    ) {
+        // Build q over the union so every bin with p-mass has q-mass.
+        let mut q_sample = p_sample.clone();
+        q_sample.extend(q_extra);
+        let edges = BinEdges::from_sample(&q_sample, bins).expect("nonempty");
+        let p = edges.histogram(&p_sample);
+        let q = edges.histogram(&q_sample);
+        let exact = kl_divergence(&p, &q).expect("same edges");
+        prop_assert!(exact.is_finite(), "q covers p by construction");
+        let smoothed = kl_divergence_smoothed(&p, &q).expect("same edges");
+        prop_assert!((exact - smoothed).abs() < 1e-9);
+    }
+
+    // ---------------- quantiles & stats ----------------
+
+    /// A quantile of a sample lies within the sample's range, and the
+    /// function is monotone in its level.
+    #[test]
+    fn quantiles_bounded_and_monotone(sample in sample_vec(200), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let q_lo = Quantile::of(&sample, lo);
+        let q_hi = Quantile::of(&sample, hi);
+        prop_assert!(q_lo >= min - 1e-12 && q_hi <= max + 1e-12);
+        prop_assert!(q_lo <= q_hi + 1e-12);
+    }
+
+    /// percentile_rank is consistent with quantiles: at most `q`-fraction of
+    /// observations lie strictly below the q-quantile... (weak direction).
+    #[test]
+    fn rank_of_max_is_below_one(sample in sample_vec(100)) {
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(percentile_rank(&sample, max) < 1.0);
+        prop_assert_eq!(percentile_rank(&sample, max + 1.0), 1.0);
+    }
+
+    /// Welford matches the two-pass definition and merging is associative
+    /// with sequential pushing.
+    #[test]
+    fn welford_matches_two_pass(sample in sample_vec(300), split in 0usize..300) {
+        let split = split.min(sample.len());
+        let two_pass = {
+            let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+            let var = sample.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / sample.len() as f64;
+            (mean, var)
+        };
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &v in &sample[..split] {
+            left.push(v);
+        }
+        for &v in &sample[split..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert!((left.mean() - two_pass.0).abs() < 1e-6);
+        prop_assert!((left.variance() - two_pass.1).abs() < 1e-4);
+        let s = Summary::of(&sample);
+        prop_assert!((s.mean - two_pass.0).abs() < 1e-9);
+    }
+
+    // ---------------- truncated normal ----------------
+
+    /// Samples always stay inside the support, and the analytic truncated
+    /// mean lies inside the support too.
+    #[test]
+    fn truncnorm_support(
+        mean in -10.0f64..10.0,
+        sd in 0.1f64..5.0,
+        low in -10.0f64..9.0,
+        width in 0.1f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let high = low + width;
+        let Ok(tn) = TruncatedNormal::new(mean, sd, low, high) else {
+            // Degenerate window (mass underflow deep in a tail) is allowed.
+            return Ok(());
+        };
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = tn.sample(&mut rng);
+            prop_assert!((low..=high).contains(&x), "{x} escaped [{low}, {high}]");
+        }
+        let tmean = tn.truncated_mean();
+        prop_assert!((low - 1e-9..=high + 1e-9).contains(&tmean));
+    }
+
+    /// The quantile function inverts the CDF across the usable range.
+    #[test]
+    fn quantile_inverts_cdf(p in 0.0005f64..0.9995) {
+        let x = norm_quantile(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-8);
+    }
+
+    // ---------------- week structures ----------------
+
+    /// Rolling a week matrix preserves its shape and drops exactly the
+    /// oldest week.
+    #[test]
+    fn roll_preserves_shape(weeks in 1usize..6, fill in 0.0f64..10.0) {
+        let mut data = Vec::new();
+        for w in 0..weeks {
+            data.extend(std::iter::repeat_n(w as f64, SLOTS_PER_WEEK));
+        }
+        let mut matrix = WeekMatrix::from_flat(data).expect("aligned");
+        let new_week = WeekVector::new(vec![fill; SLOTS_PER_WEEK]).expect("valid");
+        matrix.roll(&new_week);
+        prop_assert_eq!(matrix.weeks(), weeks);
+        prop_assert!(matrix.week(weeks - 1).iter().all(|&v| v == fill));
+        if weeks > 1 {
+            prop_assert!(matrix.week(0).iter().all(|&v| v == 1.0));
+        }
+    }
+}

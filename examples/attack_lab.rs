@@ -1,0 +1,156 @@
+//! Attack lab: inject every attack class from the paper's taxonomy against
+//! one consumer and watch which detectors catch which attack.
+//!
+//! This is Table I and Section VIII in miniature: the feasibility matrix
+//! is simulated, then the three concrete injections (ARIMA attack,
+//! Integrated ARIMA attack, Optimal Swap) are run against the four
+//! detectors.
+//!
+//! ```sh
+//! cargo run --release --example attack_lab
+//! ```
+
+use fdeta::attacks::feasibility::simulate_table1;
+use fdeta::detect::{ArimaDetector, IntegratedArimaDetector};
+use fdeta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: the taxonomy, measured -------------------------------
+    println!("attack feasibility (measured on a two-consumer feeder):");
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>18}",
+        "class", "flat", "TOU", "RTP", "evades balance?"
+    );
+    for (class, [flat, tou, rtp]) in simulate_table1() {
+        let evades = [flat, tou, rtp]
+            .iter()
+            .any(|o| o.feasible && o.circumvents_balance);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>18}",
+            class.paper_name(),
+            if flat.feasible { "yes" } else { "no" },
+            if tou.feasible { "yes" } else { "no" },
+            if rtp.feasible { "yes" } else { "no" },
+            if evades { "yes" } else { "no" },
+        );
+    }
+
+    // --- Part 2: concrete injections vs detectors ----------------------
+    let train_weeks = 12;
+    let data = SyntheticDataset::generate(&DatasetConfig::small(8, 14, 5));
+    // Use a subject whose attack-target week is organically quiet, so
+    // every flag below is caused by the injection, not by the consumer's
+    // own behaviour.
+    let subject = (0..data.len())
+        .find(|&i| {
+            let split = data.split(i, train_weeks).expect("14 weeks generated");
+            let det = KldDetector::train(&split.train, 10, SignificanceLevel::Ten)
+                .expect("valid training matrix");
+            !det.is_anomalous(&split.test.week_vector(0))
+        })
+        .expect("some consumer has a quiet test week");
+    let split = data.split(subject, train_weeks)?;
+    let actual = split.test.week_vector(0);
+    let model = ArimaModel::fit(split.train.flat(), ArimaSpec::new(2, 0, 1)?)?;
+    let ctx = InjectionContext {
+        train: &split.train,
+        actual_week: &actual,
+        model: &model,
+        confidence: 0.95,
+        start_slot: train_weeks * SLOTS_PER_WEEK,
+    };
+    let scheme = PricingScheme::tou_ireland();
+    let plan = TouPlan::ireland_nightsaver();
+
+    let attacks: Vec<(&str, AttackVector)> = vec![
+        (
+            "ARIMA attack (2A/2B)",
+            arima_attack(&ctx, Direction::UnderReport),
+        ),
+        (
+            "Integrated ARIMA (1B)",
+            integrated_arima_worst_case(&ctx, Direction::OverReport, 50, 11, &scheme),
+        ),
+        (
+            "Integrated ARIMA (2A/2B)",
+            integrated_arima_worst_case(&ctx, Direction::UnderReport, 50, 13, &scheme),
+        ),
+        (
+            "Optimal Swap (3A/3B)",
+            optimal_swap(&actual, &plan, ctx.start_slot),
+        ),
+    ];
+
+    let detectors: Vec<(&str, Box<dyn Detector>)> = vec![
+        (
+            "arima",
+            Box::new(ArimaDetector::new(model.clone(), &split.train, 0.95)),
+        ),
+        (
+            "integrated",
+            Box::new(IntegratedArimaDetector::new(
+                model.clone(),
+                &split.train,
+                0.95,
+            )),
+        ),
+        (
+            "kld@5%",
+            Box::new(KldDetector::train(
+                &split.train,
+                10,
+                SignificanceLevel::Five,
+            )?),
+        ),
+        (
+            "kld-cond@10%",
+            Box::new(ConditionedKldDetector::train_tou(
+                &split.train,
+                &plan,
+                10,
+                SignificanceLevel::Ten,
+            )?),
+        ),
+    ];
+
+    println!();
+    println!(
+        "{:<26} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "attack", "profit $", "kWh", "arima", "integrated", "kld"
+    );
+    for (name, attack) in &attacks {
+        let profit = attack.advantage(&scheme).dollars().abs();
+        let kwh = attack.energy_delta_kwh().abs();
+        let verdicts: Vec<String> = detectors
+            .iter()
+            .map(|(_, d)| {
+                if d.is_anomalous(&attack.reported) {
+                    "FLAGGED".into()
+                } else {
+                    "missed".into()
+                }
+            })
+            .collect();
+        println!(
+            "{name:<26} {profit:>10.2} {kwh:>10.1} {:>12} {:>12} {:>12}",
+            verdicts[0], verdicts[1], verdicts[2]
+        );
+        let _ = &verdicts[3];
+    }
+    println!();
+    println!("the boundary-riding attacks evade the interval detectors; the KLD");
+    println!("detector sees their distorted weekly distribution. Only the");
+    println!("price-conditioned variant sees the Optimal Swap:");
+    let swap = &attacks[3].1;
+    for (name, d) in &detectors {
+        println!(
+            "  {name:<14} on Optimal Swap: {}",
+            if d.is_anomalous(&swap.reported) {
+                "FLAGGED"
+            } else {
+                "missed"
+            }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Closed loop: run the full AMI simulation for a quarter with an
+//! embedded neighbour-thief and watch the framework converge on her.
+//!
+//! ```sh
+//! cargo run --release --example closed_loop
+//! ```
+
+use fdeta_sim::{AttackerKind, AttackerSpec, Scenario, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 16 consumers, 20 weeks of history to train on, 6 live weeks; Mallory
+    // (consumer index 4) starts stealing from her neighbour in week 1.
+    let scenario = Scenario::small(20, 26, 2077).with_attacker(AttackerSpec {
+        consumer_index: 4,
+        kind: AttackerKind::StealFromNeighbor,
+        start_week: 1,
+    });
+
+    let outcome = Simulation::run(&scenario)?;
+    let spec = outcome.attackers[0];
+    let mallory = outcome.consumer_ids[spec.consumer_index];
+    let victim = outcome.consumer_ids[(spec.consumer_index + 1) % outcome.consumer_ids.len()];
+    println!(
+        "Mallory is consumer {mallory} ({}), stealing via consumer {victim} from week {}",
+        spec.kind.class_label(),
+        spec.start_week
+    );
+    println!();
+
+    for log in &outcome.weeks {
+        let involved: Vec<String> = log
+            .alerts
+            .iter()
+            .filter(|a| a.consumer == mallory || a.consumer == victim)
+            .map(|a| format!("{:?} on {}", a.kind, a.consumer))
+            .collect();
+        println!(
+            "week {}: {:>5.1} kWh stolen | balance {} | {} alerts{}",
+            log.week,
+            log.stolen_kwh,
+            if log.root_balance_failed {
+                "FAILED"
+            } else {
+                "silent"
+            },
+            log.alerts.len(),
+            if involved.is_empty() {
+                String::new()
+            } else {
+                format!(" | implicated: {}", involved.join(", "))
+            }
+        );
+    }
+    println!();
+    match outcome.detection_week(&spec) {
+        Some(week) => println!(
+            "the framework flagged the theft in live week {week} \
+             (latency {} week(s) after the attack began)",
+            week - spec.start_week
+        ),
+        None => println!("the theft went undetected this quarter — rerun with more history"),
+    }
+    println!(
+        "stolen in total: {:.0} kWh; the balance meter corroborated {} weeks \
+         (Class 1B circumvents it by construction)",
+        outcome.total_stolen_kwh(),
+        outcome.balance_corroborated_weeks()
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Grid forensics: the Section V machinery on its own — balance checks,
+//! the W-event alarm rules, attacker cost analysis, and both investigation
+//! procedures (Case 1 fully instrumented, Case 2 portable-meter walk).
+//!
+//! ```sh
+//! cargo run --release --example grid_forensics
+//! ```
+
+use fdeta::gridsim::balance::Snapshot;
+use fdeta::gridsim::investigate::{Investigation, PortableMeterSearch};
+use fdeta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A three-level feeder: 2 zones x 3 buses x 6 consumers.
+    let grid = GridTopology::balanced(2, 3, 6);
+    println!(
+        "feeder: {} internal nodes, {} consumers, {} loss segments",
+        grid.internal_nodes().count(),
+        grid.consumers().count(),
+        grid.losses().count()
+    );
+
+    // Pick a thief deep in the tree; she taps the line upstream of her
+    // meter (Attack Class 1A: consumes 2.4 kW, meter sees 1.0 kW).
+    let thief = grid.consumers().nth(10).expect("consumers exist");
+    let mut snapshot = Snapshot::new();
+    for c in grid.consumers() {
+        let (actual, reported) = if c == thief { (2.4, 1.0) } else { (1.0, 1.0) };
+        snapshot.set_consumer(&grid, c, actual, reported)?;
+    }
+    for l in grid.losses() {
+        snapshot.set_loss(&grid, l, 0.05)?;
+    }
+
+    // --- Balance checks with full instrumentation -----------------------
+    let deployment = MeterDeployment::full(&grid);
+    let checker = BalanceChecker::default();
+    let events = checker.w_events(&grid, &deployment, &snapshot)?;
+    let failing: Vec<_> = events
+        .iter()
+        .filter(|(_, s)| s.is_failure())
+        .map(|(n, _)| *n)
+        .collect();
+    println!(
+        "balance checks failing at {} of {} metered nodes",
+        failing.len(),
+        events.len()
+    );
+
+    // Case 1: the deepest failing meter localises the neighbourhood.
+    let inv = Investigation::case1(&grid, &deployment, &snapshot, &checker)?;
+    println!(
+        "case 1: deepest failing meters {:?}, suspect consumers {:?}",
+        inv.deepest_failing, inv.suspects
+    );
+    assert!(inv.suspects.contains(&thief));
+
+    // Case 2: sparse metering — a serviceman walks the tree with a
+    // portable meter, pruning clean subtrees.
+    let search = PortableMeterSearch::run(&grid, &snapshot, &checker)?;
+    println!(
+        "case 2: {} clamp points instead of {} (pruned {:.0}%), suspects {:?}",
+        search.checks_performed(),
+        grid.internal_nodes().count(),
+        100.0 * (1.0 - search.checks_performed() as f64 / grid.internal_nodes().count() as f64),
+        search.suspects
+    );
+    assert_eq!(search.suspects, vec![thief]);
+
+    // --- The attacker's counter-cost ------------------------------------
+    // To hide from local checks the thief must compromise every metered
+    // node on her route to the root (Section VI-A): O(log N) for balanced
+    // trees, O(N) worst case.
+    let mut compromised = MeterDeployment::full(&grid);
+    let cost = compromised.compromise_route(&grid, thief);
+    println!("to evade local checks the thief must compromise {cost} meters (tree depth - 1)");
+    let events = checker.w_events(&grid, &compromised, &snapshot)?;
+    let root_status = events[&grid.root()];
+    println!(
+        "with the route compromised, local checks pass but the trusted root still {}",
+        if root_status.is_failure() {
+            "FAILS -> theft is visible"
+        } else {
+            "passes"
+        }
+    );
+
+    // The V-B alarm rules point at the inconsistency.
+    let alarms = checker.alarms(&grid, &events);
+    println!("V-B alarms raised: {}", alarms.len());
+    for alarm in alarms.iter().take(3) {
+        println!("  {alarm:?}");
+    }
+
+    // Finally: the 1B variant (neighbour over-report) silences even the
+    // root — which is exactly why the paper needs data-driven detection.
+    let neighbor = grid.neighbors(thief)?[0];
+    let mut masked = snapshot.clone();
+    masked.set_consumer(&grid, thief, 2.4, 1.0)?;
+    masked.set_consumer(&grid, neighbor, 1.0, 2.4)?;
+    let honest_deployment = MeterDeployment::full(&grid);
+    let events = checker.w_events(&grid, &honest_deployment, &masked)?;
+    let any_failure = events.values().any(|s| s.is_failure());
+    println!(
+        "1B variant (neighbour absorbs the difference): any balance failure? {}",
+        if any_failure {
+            "yes"
+        } else {
+            "no -> Proposition 2 in action"
+        }
+    );
+    Ok(())
+}

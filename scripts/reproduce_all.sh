@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproduce every table, figure, and extension experiment.
+#
+#   scripts/reproduce_all.sh            # paper scale (500 consumers, ~5 min)
+#   SCALE="--consumers 100 --vectors 10" scripts/reproduce_all.sh   # quick pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${SCALE:-}"
+OUT="${OUT:-repro_outputs}"
+mkdir -p "$OUT"
+
+run() {
+    local name="$1" ext="${2:-txt}"
+    echo "=== $name ==="
+    # shellcheck disable=SC2086
+    cargo run --release -p fdeta-bench --bin "$name" -- $SCALE > "$OUT/$name.$ext"
+    echo "    -> $OUT/$name.$ext"
+}
+
+cargo build --release -p fdeta-bench
+
+run table1
+run repro            # Tables II & III + headline improvements
+run fig2 dot
+run fig3 csv
+run fig4 csv
+run ablate_bins
+run ablate_alpha
+run ablate_train
+run ttd
+run class4b
+run multi_victim
+run pca_compare
+run sim_campaign
+run roc csv
+run diagnose
+
+echo "all outputs in $OUT/"

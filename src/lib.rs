@@ -1,0 +1,2 @@
+//! Umbrella package for the F-DETA reproduction: hosts workspace-level
+//! examples and integration tests. See the `fdeta` crate for the library API.

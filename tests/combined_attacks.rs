@@ -1,0 +1,106 @@
+//! Integration: combined attacks (Section VI's "combination of one or
+//! more of these seven attack classes") against the detector suite.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fdeta::arima::{ArimaModel, ArimaSpec};
+use fdeta::attacks::combined::under_report_and_shift;
+use fdeta::attacks::{integrated_arima_attack, Direction, InjectionContext};
+use fdeta::cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta::detect::{ConditionedKldDetector, Detector, KldDetector, SignificanceLevel};
+use fdeta::gridsim::{PricingScheme, TouPlan};
+use fdeta::tsdata::SLOTS_PER_WEEK;
+
+#[test]
+fn combined_attack_profits_more_but_is_still_caught() {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(12, 26, 88));
+    let train_weeks = 24;
+    let plan = TouPlan::ireland_nightsaver();
+    let scheme = PricingScheme::tou_ireland();
+
+    let mut combined_caught = 0usize;
+    let mut profit_gain_confirmed = 0usize;
+    let mut evaluated = 0usize;
+    for index in 0..data.len() {
+        let split = data.split(index, train_weeks).expect("26 weeks generated");
+        let actual = split.test.week_vector(0);
+        let Ok(model) = ArimaModel::fit(
+            split.train.flat(),
+            ArimaSpec::new(2, 0, 1).expect("static order"),
+        ) else {
+            continue;
+        };
+        let ctx = InjectionContext {
+            train: &split.train,
+            actual_week: &actual,
+            model: &model,
+            confidence: 0.95,
+            start_slot: train_weeks * SLOTS_PER_WEEK,
+        };
+        let mut rng = StdRng::seed_from_u64(index as u64);
+        let combined = under_report_and_shift(&ctx, &plan, &mut rng);
+        let mut rng = StdRng::seed_from_u64(index as u64);
+        let plain = integrated_arima_attack(&ctx, Direction::UnderReport, &mut rng);
+
+        // Economics: the added re-timing never loses money under TOU.
+        if combined.advantage(&scheme) >= plain.advantage(&scheme) {
+            profit_gain_confirmed += 1;
+        }
+
+        // Detection: the distribution distortion of the under-report stage
+        // survives the permutation, so the KLD detector family still sees
+        // the combined attack.
+        let kld = KldDetector::train(&split.train, 10, SignificanceLevel::Ten)
+            .expect("valid training matrix");
+        let conditioned =
+            ConditionedKldDetector::train_tou(&split.train, &plan, 10, SignificanceLevel::Ten)
+                .expect("valid training matrix");
+        if kld.is_anomalous(&combined.reported) || conditioned.is_anomalous(&combined.reported) {
+            combined_caught += 1;
+        }
+        evaluated += 1;
+    }
+    assert!(evaluated >= 10, "most consumers evaluated");
+    assert_eq!(
+        profit_gain_confirmed, evaluated,
+        "re-timing must never reduce the combined profit"
+    );
+    assert!(
+        combined_caught * 3 >= evaluated * 2,
+        "the detector family should catch most combined attacks \
+         ({combined_caught}/{evaluated})"
+    );
+}
+
+#[test]
+fn permutation_invariance_extends_to_combined_vectors() {
+    // The KLD score of the combined vector equals that of its stage-1
+    // vector: the tariff re-timing is invisible to the unconditioned
+    // detector, exactly like the pure swap (the paper's §VIII-F.3 point).
+    let data = SyntheticDataset::generate(&DatasetConfig::small(3, 16, 21));
+    let split = data.split(0, 14).expect("16 weeks generated");
+    let actual = split.test.week_vector(0);
+    let model = ArimaModel::fit(
+        split.train.flat(),
+        ArimaSpec::new(2, 0, 1).expect("static order"),
+    )
+    .expect("synthetic history fits");
+    let ctx = InjectionContext {
+        train: &split.train,
+        actual_week: &actual,
+        model: &model,
+        confidence: 0.95,
+        start_slot: 14 * SLOTS_PER_WEEK,
+    };
+    let plan = TouPlan::ireland_nightsaver();
+    let kld = KldDetector::train(&split.train, 10, SignificanceLevel::Ten).expect("valid");
+    let mut rng = StdRng::seed_from_u64(3);
+    let plain = integrated_arima_attack(&ctx, Direction::UnderReport, &mut rng);
+    let mut rng = StdRng::seed_from_u64(3);
+    let combined = under_report_and_shift(&ctx, &plan, &mut rng);
+    assert!(
+        (kld.score(&plain.reported) - kld.score(&combined.reported)).abs() < 1e-12,
+        "re-timing must not change the unconditioned KLD score"
+    );
+}

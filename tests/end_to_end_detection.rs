@@ -1,0 +1,166 @@
+//! Integration: the full train → inject → detect protocol on a small
+//! corpus must reproduce the paper's qualitative results.
+
+use fdeta::cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta::detect::eval::{evaluate, DetectorKind, EvalConfig, Scenario};
+
+fn shared_eval() -> fdeta::detect::Evaluation {
+    // 40 consumers × 26 weeks (24 train + attack + clean), 8 vectors: big
+    // enough for stable shapes, small enough for CI.
+    let data = SyntheticDataset::generate(&DatasetConfig::small(40, 26, 1234));
+    let config = EvalConfig {
+        bins: 10,
+        ..EvalConfig::fast(24, 8)
+    };
+    evaluate(&data, &config)
+}
+
+#[test]
+fn paper_shapes_hold_end_to_end() {
+    let eval = shared_eval();
+
+    // Interval detectors are blind to the boundary-riding attacks.
+    for s in [Scenario::ArimaOver, Scenario::ArimaUnder] {
+        assert!(
+            eval.metric1(DetectorKind::Arima, s) <= 0.1,
+            "ARIMA detector should miss its namesake attack"
+        );
+    }
+    for s in [Scenario::IntegratedOver, Scenario::IntegratedUnder] {
+        assert!(
+            eval.metric1(DetectorKind::Integrated, s) <= 0.2,
+            "Integrated detector should miss the Integrated ARIMA attack"
+        );
+    }
+
+    // The KLD detector catches the majority of Integrated ARIMA attacks.
+    let kld_1b = eval
+        .metric1(DetectorKind::Kld5, Scenario::IntegratedOver)
+        .max(eval.metric1(DetectorKind::Kld10, Scenario::IntegratedOver));
+    assert!(
+        kld_1b >= 0.5,
+        "KLD must catch most 1B attacks, got {kld_1b}"
+    );
+
+    // Only the conditioned variant handles the Optimal Swap.
+    let cond_swap = eval.metric1(DetectorKind::CondKld10, Scenario::Swap);
+    let plain_swap = eval.metric1(DetectorKind::Kld10, Scenario::Swap);
+    assert!(
+        cond_swap >= 0.5,
+        "conditioned KLD must catch most swaps, got {cond_swap}"
+    );
+    assert!(
+        cond_swap > plain_swap,
+        "conditioning must add swap coverage"
+    );
+
+    // Energy ordering on Class 1B: ARIMA >> Integrated >= KLD.
+    let arima = eval
+        .metric2(DetectorKind::Arima, Scenario::ArimaOver)
+        .stolen_kwh;
+    let integrated = eval
+        .metric2(DetectorKind::Integrated, Scenario::IntegratedOver)
+        .stolen_kwh;
+    let kld = eval
+        .metric2(DetectorKind::Kld5, Scenario::IntegratedOver)
+        .stolen_kwh
+        .min(
+            eval.metric2(DetectorKind::Kld10, Scenario::IntegratedOver)
+                .stolen_kwh,
+        );
+    assert!(
+        arima > integrated,
+        "integrated checks must reduce 1B theft ({arima} vs {integrated})"
+    );
+    assert!(
+        kld < integrated,
+        "KLD must reduce 1B theft further ({kld} vs {integrated})"
+    );
+
+    // Class 3A/3B steals no energy; its profit is comparatively small.
+    let swap = eval.metric2(DetectorKind::Kld5, Scenario::Swap);
+    assert_eq!(swap.stolen_kwh, 0.0);
+    let under = eval.metric2(DetectorKind::Arima, Scenario::ArimaUnder);
+    assert!(
+        swap.profit_dollars < under.profit_dollars,
+        "load-shift profit must be small relative to under-report theft"
+    );
+}
+
+#[test]
+fn improvement_headline_direction() {
+    let eval = shared_eval();
+    let improvement = eval
+        .improvement_pct(
+            DetectorKind::Integrated,
+            DetectorKind::Kld5,
+            Scenario::IntegratedOver,
+        )
+        .max(eval.improvement_pct(
+            DetectorKind::Integrated,
+            DetectorKind::Kld10,
+            Scenario::IntegratedOver,
+        ));
+    assert!(
+        improvement > 50.0,
+        "KLD should cut residual 1B theft by a large factor, got {improvement:.1}%"
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(8, 14, 42));
+    let config = EvalConfig {
+        threads: 3,
+        ..EvalConfig::fast(12, 4)
+    };
+    let a = evaluate(&data, &config);
+    let b = evaluate(&data, &config);
+    assert_eq!(a, b, "same corpus + config must give identical results");
+}
+
+#[test]
+fn naive_attacks_are_caught_where_crafted_ones_slip() {
+    // The contrast motivating the paper's random injections: the all-zero
+    // report is flagged for every consumer by the Integrated ARIMA
+    // detector the crafted attack evades, and the half-scaling report —
+    // which can slip past the mean-range check when vacation weeks
+    // depress the training minimum — is caught by the KLD detector's
+    // distribution view.
+    use fdeta::arima::{ArimaModel, ArimaSpec};
+    use fdeta::attacks::{scaling_report, zero_report};
+    use fdeta::detect::{Detector, IntegratedArimaDetector, KldDetector, SignificanceLevel};
+    use fdeta::tsdata::SLOTS_PER_WEEK;
+
+    let data = SyntheticDataset::generate(&DatasetConfig::small(15, 18, 77));
+    let mut zero_caught = 0usize;
+    let mut scale_caught = 0usize;
+    let mut evaluated = 0usize;
+    for index in 0..data.len() {
+        let split = data.split(index, 16).expect("18 weeks generated");
+        let Ok(model) = ArimaModel::fit(
+            split.train.flat(),
+            ArimaSpec::new(2, 0, 1).expect("static order"),
+        ) else {
+            continue;
+        };
+        let detector = IntegratedArimaDetector::new(model, &split.train, 0.95);
+        let kld = KldDetector::train(&split.train, 10, SignificanceLevel::Ten)
+            .expect("valid training matrix");
+        let actual = split.test.week_vector(0);
+        let start = 16 * SLOTS_PER_WEEK;
+        zero_caught += usize::from(detector.is_anomalous(&zero_report(&actual, start).reported));
+        scale_caught +=
+            usize::from(kld.is_anomalous(&scaling_report(&actual, 0.5, start).reported));
+        evaluated += 1;
+    }
+    assert_eq!(
+        zero_caught, evaluated,
+        "all-zero reports must always be flagged"
+    );
+    assert!(
+        scale_caught * 10 >= evaluated * 8,
+        "half-scaling must be flagged by KLD for the large majority \
+         ({scale_caught}/{evaluated})"
+    );
+}

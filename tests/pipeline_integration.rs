@@ -1,0 +1,122 @@
+//! Integration: the five-step framework pipeline against the grid
+//! substrate, including report serialisation.
+
+use fdeta::gridsim::balance::Snapshot;
+use fdeta::prelude::*;
+use fdeta::tsdata::week::WeekVector;
+
+fn corpus() -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::small(12, 16, 321))
+}
+
+#[test]
+fn victim_alert_leads_to_neighbor_inspection() -> Result<(), Box<dyn std::error::Error>> {
+    let train_weeks = 14;
+    let data = corpus();
+    let pipeline = Pipeline::train(
+        &data,
+        &PipelineConfig {
+            train_weeks,
+            ..Default::default()
+        },
+    )?;
+
+    // A feeder with all consumers under two buses.
+    let mut grid = GridTopology::new();
+    let mut node_of = std::collections::HashMap::new();
+    for half in 0..2 {
+        let bus = grid.add_internal(grid.root())?;
+        for i in 0..6 {
+            let id = data.consumer(half * 6 + i).id;
+            node_of.insert(id, grid.add_consumer(bus, id.to_string())?);
+        }
+    }
+
+    // Victimise consumer 2 with a blatant over-report.
+    let victim = data.consumer(2);
+    let split = data.split(2, train_weeks)?;
+    let inflated = WeekVector::new(split.test.week(0).iter().map(|v| v * 5.0 + 0.5).collect())?;
+    let alerts = pipeline.assess(victim.id, &inflated);
+    assert!(
+        alerts.iter().any(|a| a.role == RoleHint::Victim),
+        "blatant inflation must be labelled victim-like: {alerts:?}"
+    );
+
+    let request =
+        InvestigationRequest::from_alerts(alerts, &grid, &|id| node_of.get(&id).copied(), None)?;
+    // The victim AND their bus neighbours are on the inspection list.
+    assert!(request.inspect_meters.contains(&victim.id));
+    assert!(
+        request.inspect_meters.len() > 1,
+        "victim alerts must implicate neighbours: {:?}",
+        request.inspect_meters
+    );
+    Ok(())
+}
+
+#[test]
+fn reports_round_trip_through_serde() -> Result<(), Box<dyn std::error::Error>> {
+    let data = corpus();
+    let pipeline = Pipeline::train(
+        &data,
+        &PipelineConfig {
+            train_weeks: 14,
+            ..Default::default()
+        },
+    )?;
+    let id = data.consumer(0).id;
+    let zeros = WeekVector::new(vec![0.0; SLOTS_PER_WEEK])?;
+    let alerts = pipeline.assess(id, &zeros);
+    assert!(!alerts.is_empty(), "an all-zero week must alert");
+
+    let report = FrameworkReport::from_cycle(3, data.len(), alerts);
+    let json = serde_json::to_string(&report)?;
+    let restored: FrameworkReport = serde_json::from_str(&json)?;
+    assert_eq!(report, restored);
+    Ok(())
+}
+
+#[test]
+fn snapshot_corroboration_walks_the_grid() -> Result<(), Box<dyn std::error::Error>> {
+    let data = corpus();
+    let train_weeks = 14;
+    let pipeline = Pipeline::train(
+        &data,
+        &PipelineConfig {
+            train_weeks,
+            ..Default::default()
+        },
+    )?;
+
+    let mut grid = GridTopology::new();
+    let bus = grid.add_internal(grid.root())?;
+    let mut node_of = std::collections::HashMap::new();
+    for i in 0..4 {
+        let id = data.consumer(i).id;
+        node_of.insert(id, grid.add_consumer(bus, id.to_string())?);
+    }
+
+    // Consumer 1 under-reports in the physical snapshot too.
+    let mut snapshot = Snapshot::new();
+    for i in 0..4 {
+        let id = data.consumer(i).id;
+        let (actual, reported) = if i == 1 { (2.0, 0.4) } else { (1.0, 1.0) };
+        snapshot.set_consumer(&grid, node_of[&id], actual, reported)?;
+    }
+
+    let thief = data.consumer(1);
+    let zeros = WeekVector::new(vec![0.0; SLOTS_PER_WEEK])?;
+    let alerts = pipeline.assess(thief.id, &zeros);
+    let request = InvestigationRequest::from_alerts(
+        alerts,
+        &grid,
+        &|id| node_of.get(&id).copied(),
+        Some(&snapshot),
+    )?;
+    assert!(
+        !request.clamp_points.is_empty(),
+        "snapshot must trigger the portable walk"
+    );
+    assert_eq!(request.clamp_points[0], grid.root());
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! The paper's Propositions 1 and 2 as executable, property-based
+//! theorems over randomly generated attack vectors and feeder states.
+
+use proptest::prelude::*;
+
+use fdeta::attacks::AttackVector;
+use fdeta::gridsim::balance::{BalanceChecker, Snapshot};
+use fdeta::gridsim::{GridTopology, MeterDeployment, PricingScheme};
+use fdeta::tsdata::week::WeekVector;
+use fdeta::tsdata::SLOTS_PER_WEEK;
+
+/// Strategy: a pair of demand series (actual, reported) of one day's
+/// length, embedded into week vectors (rest zero), values in [0, 5] kW.
+fn demand_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    let day = 48usize;
+    (
+        proptest::collection::vec(0.0f64..5.0, day),
+        proptest::collection::vec(0.0f64..5.0, day),
+    )
+}
+
+fn to_week(mut day: Vec<f64>) -> WeekVector {
+    day.resize(SLOTS_PER_WEEK, 0.0);
+    WeekVector::new(day).expect("bounded non-negative values")
+}
+
+proptest! {
+    /// Proposition 1: any vector with positive advantage under-reports at
+    /// some time — under every pricing scheme.
+    #[test]
+    fn proposition_1_holds((actual, reported) in demand_pair()) {
+        for scheme in [PricingScheme::flat_default(), PricingScheme::tou_ireland()] {
+            let vector = AttackVector {
+                actual: to_week(actual.clone()),
+                reported: to_week(reported.clone()),
+                start_slot: 0,
+            };
+            if vector.advantage(&scheme).is_gain() {
+                prop_assert!(
+                    vector.under_reports_somewhere(),
+                    "positive advantage without under-reporting"
+                );
+            }
+        }
+    }
+
+    /// Proposition 2: a theft that passes the balance check at a trusted
+    /// meter requires some neighbour to over-report at the same slot.
+    #[test]
+    fn proposition_2_holds(
+        (mallory_actual, mallory_reported) in demand_pair(),
+        neighbor_actual in proptest::collection::vec(0.0f64..5.0, 48),
+        deltas in proptest::collection::vec(-1.0f64..1.0, 48),
+    ) {
+        // Build a neighbour report; the feeder balances at slot t iff
+        // mallory_delta(t) + neighbor_delta(t) == 0.
+        let neighbor_reported: Vec<f64> = neighbor_actual
+            .iter()
+            .zip(&deltas)
+            .map(|(a, d)| (a + d).max(0.0))
+            .collect();
+        let scheme = PricingScheme::flat_default();
+        let mallory = AttackVector {
+            actual: to_week(mallory_actual.clone()),
+            reported: to_week(mallory_reported.clone()),
+            start_slot: 0,
+        };
+        if !mallory.advantage(&scheme).is_gain() {
+            return Ok(()); // not a theft; nothing to check
+        }
+        // Per-slot balance over the first day.
+        let balanced = (0..48).all(|t| {
+            let actual = mallory_actual[t] + neighbor_actual[t];
+            let reported = mallory_reported[t] + neighbor_reported[t];
+            (actual - reported).abs() <= 1e-9
+        });
+        if balanced {
+            let neighbor_over = (0..48).any(|t| neighbor_reported[t] > neighbor_actual[t]);
+            prop_assert!(
+                neighbor_over,
+                "balanced theft without any neighbour over-report"
+            );
+        }
+    }
+
+    /// The grid substrate agrees with the direct arithmetic: a random
+    /// subset of consumers under-reporting fails the trusted root check
+    /// exactly when the total deficit exceeds tolerance.
+    #[test]
+    fn balance_check_matches_arithmetic(
+        reports in proptest::collection::vec((0.1f64..3.0, 0.0f64..3.0), 6)
+    ) {
+        let mut grid = GridTopology::new();
+        let bus = grid.add_internal(grid.root()).expect("root is internal");
+        let mut snapshot = Snapshot::new();
+        let mut actual_sum = 0.0;
+        let mut reported_sum = 0.0;
+        for (i, (actual, reported)) in reports.iter().enumerate() {
+            let node = grid.add_consumer(bus, format!("c{i}")).expect("bus is internal");
+            snapshot.set_consumer(&grid, node, *actual, *reported).expect("consumer");
+            actual_sum += actual;
+            reported_sum += reported;
+        }
+        let deployment = MeterDeployment::root_only(&grid);
+        let checker = BalanceChecker::default();
+        let status = checker
+            .check_node(&grid, &deployment, &snapshot, grid.root())
+            .expect("root is metered")
+            .expect("root has a meter");
+        let expected_failure = (actual_sum - reported_sum).abs() > checker.tolerance_kw;
+        prop_assert_eq!(status.is_failure(), expected_failure);
+    }
+}

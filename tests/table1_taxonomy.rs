@@ -1,0 +1,62 @@
+//! Integration: the attack taxonomy of Table I, derived by simulating
+//! every class against the grid substrate, must coincide with the paper's
+//! matrix (encoded as predicates on `AttackClass`).
+
+use fdeta::attacks::feasibility::{rtp_scheme, simulate, simulate_table1};
+use fdeta::attacks::AttackClass;
+use fdeta::gridsim::PricingScheme;
+
+#[test]
+fn measured_matrix_matches_paper() {
+    for (class, [flat, tou, rtp]) in simulate_table1() {
+        assert_eq!(
+            flat.feasible,
+            class.possible_with_flat_rate(),
+            "{class} flat"
+        );
+        assert_eq!(tou.feasible, class.possible_with_tou(), "{class} tou");
+        assert_eq!(rtp.feasible, class.possible_with_rtp(), "{class} rtp");
+        for cell in [flat, tou, rtp] {
+            if cell.feasible {
+                assert_eq!(
+                    cell.circumvents_balance,
+                    class.circumvents_balance_check(),
+                    "{class} balance"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adr_requirement_is_measured_not_assumed() {
+    let rtp = rtp_scheme();
+    for class in AttackClass::ALL {
+        let with = simulate(class, &rtp, true).feasible;
+        let without = simulate(class, &rtp, false).feasible;
+        assert_eq!(with && !without, class.requires_adr(), "{class} adr");
+    }
+}
+
+#[test]
+fn b_classes_strictly_extend_a_classes() {
+    // Every A class feasible under a scheme has its B counterpart feasible
+    // too (the neighbour over-report only adds capability).
+    let schemes = [
+        PricingScheme::flat_default(),
+        PricingScheme::tou_ireland(),
+        rtp_scheme(),
+    ];
+    let pairs = [
+        (AttackClass::C1A, AttackClass::C1B),
+        (AttackClass::C2A, AttackClass::C2B),
+        (AttackClass::C3A, AttackClass::C3B),
+    ];
+    for scheme in &schemes {
+        for (a, b) in pairs {
+            let a_ok = simulate(a, scheme, true).feasible;
+            let b_ok = simulate(b, scheme, true).feasible;
+            assert!(!a_ok || b_ok, "{a} feasible but {b} not under {scheme:?}");
+        }
+    }
+}
