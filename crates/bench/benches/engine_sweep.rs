@@ -1,0 +1,69 @@
+//! P6: the cost of a significance-level sweep — the legacy path retrains a
+//! KLD detector for every (consumer, α) pair; the engine path trains each
+//! consumer once and answers every α with a quantile lookup on the cached
+//! training divergences. The two paths make identical decisions (see the
+//! `rethresholding_matches_fresh_training` tests); this bench measures the
+//! speedup the `ablate_alpha` and `roc` binaries get from re-scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::eval::EvalConfig;
+use fdeta_detect::{Detector, EvalEngine, KldDetector};
+
+const ALPHAS: [f64; 6] = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20];
+
+fn bench_sweep(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(8, 20, 23));
+    let config = EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(16, 5)
+    };
+
+    // Pre-split outside the measured loop so both variants pay the same
+    // corpus-handling cost; the measured difference is retrain vs re-score.
+    let splits: Vec<_> = (0..data.len())
+        .map(|i| {
+            let split = data.split(i, config.train_weeks).expect("enough weeks");
+            (split.train, split.test.week_vector(0))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+
+    group.bench_function("legacy_retrain_per_alpha", |b| {
+        b.iter(|| {
+            let mut flags = 0usize;
+            for (train, week) in &splits {
+                for alpha in ALPHAS {
+                    let det = KldDetector::train_at_percentile(train, config.bins, 1.0 - alpha)
+                        .expect("valid training matrix");
+                    flags += usize::from(det.is_anomalous(week));
+                }
+            }
+            black_box(flags)
+        })
+    });
+
+    let engine = EvalEngine::train(&data, &config).expect("engine trains");
+    group.bench_function("engine_rethreshold_per_alpha", |b| {
+        b.iter(|| {
+            let mut flags = 0usize;
+            for artifact in engine.artifacts() {
+                let det = artifact.kld_base();
+                let week = artifact.test_matrix().expect("test window").week_vector(0);
+                let score = det.score(&week);
+                for alpha in ALPHAS {
+                    flags += usize::from(score > det.threshold_at(1.0 - alpha));
+                }
+            }
+            black_box(flags)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

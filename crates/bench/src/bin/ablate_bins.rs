@@ -6,9 +6,14 @@
 //! This binary runs that extension: for each bin count it reports the
 //! detection rate on the Integrated ARIMA attack (1B and 2A/2B), the
 //! clean-week false-positive rate, and the composite Metric 1.
+//!
+//! Each bin count retrains the engine (the histograms themselves change),
+//! but within a configuration all detectors share the per-consumer
+//! artifact.
 
 use fdeta_bench::{pct, row, RunArgs};
-use fdeta_detect::eval::{evaluate, DetectorKind, Scenario};
+use fdeta_detect::eval::{DetectorKind, EvalConfig, Scenario};
+use fdeta_detect::EvalEngine;
 
 fn main() {
     let mut args = RunArgs::from_env();
@@ -33,15 +38,16 @@ fn main() {
     );
 
     for bins in [4, 6, 8, 10, 14, 20] {
-        let mut config = args.eval_config();
-        config.bins = bins;
-        let eval = evaluate(&data, &config);
+        let config = EvalConfig {
+            bins,
+            ..args.eval_config()
+        };
+        let eval = EvalEngine::train(&data, &config)
+            .and_then(|engine| engine.evaluate())
+            .unwrap_or_else(|e| panic!("evaluation at B = {bins} failed: {e}"));
         let n = eval.evaluated_consumers() as f64;
         let d = DetectorKind::Kld5;
-        let d_idx = DetectorKind::ALL
-            .iter()
-            .position(|&x| x == d)
-            .expect("member");
+        let d_idx = d.index();
         let fp = eval
             .consumers
             .iter()
@@ -49,10 +55,9 @@ fn main() {
             .count() as f64
             / n;
         let det = |s: Scenario| {
-            let s_idx = Scenario::ALL.iter().position(|&x| x == s).expect("member");
             eval.consumers
                 .iter()
-                .filter(|c| !c.skipped && c.detected[d_idx][s_idx])
+                .filter(|c| !c.skipped && c.detected[d_idx][s.index()])
                 .count() as f64
                 / n
         };

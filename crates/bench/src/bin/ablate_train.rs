@@ -5,9 +5,13 @@
 //! (missed attacks *and* false positives), long windows absorb more
 //! behavioural history. Run with `--weeks 74` (default) so every window
 //! fits.
+//!
+//! Each window retrains the engine (the training split itself changes),
+//! but within a window all detectors share the same per-consumer artifact.
 
 use fdeta_bench::{pct, row, RunArgs};
-use fdeta_detect::eval::{evaluate, DetectorKind, Scenario};
+use fdeta_detect::eval::{DetectorKind, EvalConfig, Scenario};
+use fdeta_detect::EvalEngine;
 
 fn main() {
     let mut args = RunArgs::from_env();
@@ -34,19 +38,17 @@ fn main() {
         if train_weeks + 2 > args.weeks {
             continue;
         }
-        let mut config = args.eval_config();
-        config.train_weeks = train_weeks;
-        let eval = evaluate(&data, &config);
+        let config = EvalConfig {
+            train_weeks,
+            ..args.eval_config()
+        };
+        let eval = EvalEngine::train(&data, &config)
+            .and_then(|engine| engine.evaluate())
+            .unwrap_or_else(|e| panic!("evaluation at M = {train_weeks} failed: {e}"));
         let n = eval.evaluated_consumers() as f64;
         let d = DetectorKind::Kld10;
-        let d_idx = DetectorKind::ALL
-            .iter()
-            .position(|&x| x == d)
-            .expect("member");
-        let s_idx = Scenario::ALL
-            .iter()
-            .position(|&x| x == Scenario::IntegratedOver)
-            .expect("member");
+        let d_idx = d.index();
+        let s_idx = Scenario::IntegratedOver.index();
         let fp = eval
             .consumers
             .iter()

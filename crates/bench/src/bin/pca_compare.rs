@@ -6,23 +6,22 @@
 //! pattern* (blind to distribution shifts that mimic the weekly shape).
 //! This comparison quantifies the complementarity on all three attack
 //! groups, plus a combined OR-detector.
+//!
+//! Both detectors come from the same shared engine artifacts: the PCA
+//! subspace and the KLD histogram are trained once per consumer and only
+//! re-thresholded to the 10% level here.
 
-use fdeta_arima::{ArimaModel, ArimaSpec};
-use fdeta_attacks::{integrated_arima_worst_case, optimal_swap, Direction, InjectionContext};
 use fdeta_bench::{pct, row, RunArgs};
-use fdeta_detect::{Detector, KldDetector, PcaDetector, SignificanceLevel};
-use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
-use fdeta_tsdata::week::WeekVector;
-use fdeta_tsdata::SLOTS_PER_WEEK;
+use fdeta_detect::eval::Scenario;
+use fdeta_detect::{Detector, SignificanceLevel};
 
 fn main() {
     let mut args = RunArgs::from_env();
     if args.consumers == RunArgs::default().consumers {
         args.consumers = 120;
     }
-    let data = args.corpus();
-    let scheme = PricingScheme::tou_ireland();
-    let plan = TouPlan::ireland_nightsaver();
+    let engine = args.engine();
+    let config = engine.config();
 
     #[derive(Default)]
     struct Tally {
@@ -36,46 +35,35 @@ fn main() {
     }
     let mut tally = Tally::default();
 
-    for index in 0..data.len() {
-        let split = data.split(index, args.train_weeks).expect("enough weeks");
-        let actual = split.test.week_vector(0);
-        let clean = split.test.week_vector(1);
-        let Ok(model) = ArimaModel::fit(
-            split.train.flat(),
-            ArimaSpec::new(2, 0, 1).expect("static order"),
+    for artifact in engine.artifacts() {
+        let (Some(pca), Some(clean)) = (
+            artifact.pca_at(SignificanceLevel::Ten),
+            artifact.clean_week(),
         ) else {
             continue;
         };
-        let ctx = InjectionContext {
-            train: &split.train,
-            actual_week: &actual,
-            model: &model,
-            confidence: 0.95,
-            start_slot: args.train_weeks * SLOTS_PER_WEEK,
-        };
-        let seed = args.seed ^ (index as u64).wrapping_mul(0x94D0_49BB);
-        let attacks: [WeekVector; 3] = [
-            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme)
-                .reported,
-            integrated_arima_worst_case(
-                &ctx,
-                Direction::UnderReport,
-                args.vectors,
-                seed ^ 1,
-                &scheme,
-            )
-            .reported,
-            optimal_swap(&actual, &plan, ctx.start_slot).reported,
-        ];
-        let kld = KldDetector::train(&split.train, args.bins, SignificanceLevel::Ten)
-            .expect("valid training matrix");
-        let Ok(pca) = PcaDetector::train(&split.train, 3, SignificanceLevel::Ten) else {
+        let kld = artifact.kld_at(SignificanceLevel::Ten);
+        let attacks: Option<Vec<_>> = [
+            Scenario::IntegratedOver,
+            Scenario::IntegratedUnder,
+            Scenario::Swap,
+        ]
+        .into_iter()
+        .map(|s| {
+            artifact
+                .worst_case(s, config)
+                .map(|(attack, _)| attack.reported)
+        })
+        .collect();
+        let Some(attacks) = attacks else {
             continue;
         };
         tally.n += 1;
-        tally.kld_fp += usize::from(kld.is_anomalous(&clean));
-        tally.pca_fp += usize::from(pca.is_anomalous(&clean));
-        tally.both_fp += usize::from(kld.is_anomalous(&clean) || pca.is_anomalous(&clean));
+        let k_fp = kld.is_anomalous(&clean);
+        let p_fp = pca.is_anomalous(&clean);
+        tally.kld_fp += usize::from(k_fp);
+        tally.pca_fp += usize::from(p_fp);
+        tally.both_fp += usize::from(k_fp || p_fp);
         for (i, week) in attacks.iter().enumerate() {
             let k = kld.is_anomalous(week);
             let p = pca.is_anomalous(week);

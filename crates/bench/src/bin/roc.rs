@@ -4,65 +4,37 @@
 //! corpus, for the Integrated ARIMA attack (1B direction) — the curve the
 //! paper samples at two points (5% and 10%). CSV on stdout; plot FP rate
 //! against detection rate for the ROC.
+//!
+//! Runs on the shared evaluation engine: each consumer's clean and attack
+//! weeks are scored once, and every α re-thresholds the cached training
+//! quantiles instead of retraining the detector.
 
-use fdeta_arima::{ArimaModel, ArimaSpec};
-use fdeta_attacks::{integrated_arima_worst_case, Direction, InjectionContext};
 use fdeta_bench::RunArgs;
-use fdeta_detect::roc::kld_roc_curve;
-use fdeta_gridsim::pricing::PricingScheme;
-use fdeta_tsdata::SLOTS_PER_WEEK;
 
 fn main() {
     let mut args = RunArgs::from_env();
     if args.consumers == RunArgs::default().consumers {
         args.consumers = 100;
     }
-    let data = args.corpus();
-    let scheme = PricingScheme::tou_ireland();
+    let engine = args.engine();
     let alphas: Vec<f64> = vec![0.01, 0.02, 0.03, 0.05, 0.075, 0.10, 0.15, 0.20, 0.30, 0.40];
-
-    let mut sums = vec![(0.0f64, 0.0f64); alphas.len()];
-    let mut evaluated = 0usize;
-    for index in 0..data.len() {
-        let split = data.split(index, args.train_weeks).expect("enough weeks");
-        let actual = split.test.week_vector(0);
-        let Ok(model) = ArimaModel::fit(
-            split.train.flat(),
-            ArimaSpec::new(2, 0, 1).expect("static order"),
-        ) else {
-            continue;
-        };
-        let ctx = InjectionContext {
-            train: &split.train,
-            actual_week: &actual,
-            model: &model,
-            confidence: 0.95,
-            start_slot: args.train_weeks * SLOTS_PER_WEEK,
-        };
-        let seed = args.seed ^ (index as u64).wrapping_mul(0xC2B2_AE35);
-        let attack =
-            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme);
-        let clean: Vec<_> = (1..split.test.weeks())
-            .map(|w| split.test.week_vector(w))
-            .collect();
-        let curve = kld_roc_curve(&split.train, &clean, &[attack.reported], args.bins, &alphas)
-            .expect("valid training matrix");
-        for (acc, point) in sums.iter_mut().zip(&curve) {
-            acc.0 += point.detection_rate;
-            acc.1 += point.false_positive_rate;
-        }
-        evaluated += 1;
-    }
+    let curve = engine
+        .kld_roc(&alphas)
+        .unwrap_or_else(|e| panic!("operating-curve sweep failed: {e}"));
 
     eprintln!(
         "EXPERIMENT X7: KLD operating curve, {} consumers",
-        evaluated
+        engine.modelled_consumers()
     );
     println!("alpha,detection_rate,false_positive_rate,youden_j");
-    for (&alpha, &(det, fp)) in alphas.iter().zip(&sums) {
-        let det = det / evaluated as f64;
-        let fp = fp / evaluated as f64;
-        println!("{alpha},{det:.4},{fp:.4},{:.4}", det - fp);
+    for p in &curve {
+        println!(
+            "{},{:.4},{:.4},{:.4}",
+            p.alpha,
+            p.detection_rate,
+            p.false_positive_rate,
+            p.youden_j()
+        );
     }
     eprintln!("plot column 3 (x) against column 2 (y) for the ROC; the paper's two");
     eprintln!("operating points are alpha = 0.05 and alpha = 0.10.");

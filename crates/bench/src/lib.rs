@@ -19,7 +19,8 @@
 use std::time::Instant;
 
 use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
-use fdeta_detect::eval::{evaluate, EvalConfig, Evaluation};
+use fdeta_detect::engine::{EngineStage, EvalEngine};
+use fdeta_detect::eval::{EvalConfig, Evaluation};
 
 /// Parsed command-line options shared by all reproduction binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,16 +119,22 @@ impl RunArgs {
         }
     }
 
-    /// The evaluation configuration implied by these arguments.
+    /// The evaluation configuration implied by these arguments, validated
+    /// through the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`fdeta_detect::ConfigError`] message if the flags
+    /// describe an impossible configuration (e.g. `--bins 0`).
     pub fn eval_config(&self) -> EvalConfig {
-        EvalConfig {
-            train_weeks: self.train_weeks,
-            attack_vectors: self.vectors,
-            bins: self.bins,
-            seed: self.seed,
-            threads: self.threads,
-            ..EvalConfig::default()
-        }
+        EvalConfig::builder()
+            .train_weeks(self.train_weeks)
+            .attack_vectors(self.vectors)
+            .bins(self.bins)
+            .seed(self.seed)
+            .threads(self.threads)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid evaluation configuration: {e}"))
     }
 
     /// Generates the corpus (with a progress line on stderr).
@@ -142,16 +149,72 @@ impl RunArgs {
         data
     }
 
-    /// Generates the corpus and runs the full evaluation protocol.
-    pub fn evaluation(&self) -> Evaluation {
+    /// Generates the corpus and trains the shared evaluation engine: the
+    /// per-consumer artifacts every table and sweep reuses. Progress and
+    /// throughput go to stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`fdeta_detect::EvalError`] message if the corpus
+    /// cannot be trained as configured.
+    pub fn engine(&self) -> EvalEngine {
         let data = self.corpus();
-        let started = Instant::now();
+        self.engine_for(&data)
+    }
+
+    /// Trains the shared evaluation engine over an existing corpus.
+    ///
+    /// # Panics
+    ///
+    /// As [`RunArgs::engine`].
+    pub fn engine_for(&self, data: &SyntheticDataset) -> EvalEngine {
         eprintln!(
-            "running evaluation: train {} weeks, {} attack vectors/consumer...",
-            self.train_weeks, self.vectors
+            "training per-consumer artifacts: {} weeks each (ARIMA + KLD + PCA)...",
+            self.train_weeks
         );
-        let eval = evaluate(&data, &self.eval_config());
-        eprintln!("evaluation done in {:.1?}", started.elapsed());
+        let total = data.len();
+        let step = (total / 10).max(1);
+        let engine = EvalEngine::train_with_progress(
+            data,
+            &self.eval_config(),
+            Some(Box::new(move |stage, done, of| {
+                if stage == EngineStage::Train && (done % step == 0 || done == of) {
+                    eprintln!("  trained {done}/{of} consumers");
+                }
+            })),
+        )
+        .unwrap_or_else(|e| panic!("engine training failed: {e}"));
+        let stats = engine.stats();
+        eprintln!(
+            "artifacts ready in {:.1?} ({:.0} consumers/sec on {} threads)",
+            stats.train_wall,
+            stats.train_throughput(),
+            stats.threads
+        );
+        engine
+    }
+
+    /// Generates the corpus and runs the full evaluation protocol via the
+    /// shared engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`fdeta_detect::EvalError`] message on failure.
+    pub fn evaluation(&self) -> Evaluation {
+        let engine = self.engine();
+        eprintln!(
+            "scoring the protocol: {} attack vectors/consumer...",
+            self.vectors
+        );
+        let eval = engine
+            .evaluate()
+            .unwrap_or_else(|e| panic!("evaluation failed: {e}"));
+        let stats = engine.stats();
+        eprintln!(
+            "evaluation done in {:.1?} ({:.0} consumers/sec)",
+            stats.score_wall,
+            stats.score_throughput()
+        );
         eval
     }
 }

@@ -1,0 +1,1060 @@
+//! The shared trained-artifact evaluation engine.
+//!
+//! The Section VIII protocol is the repo's hot path, and almost all of its
+//! cost is *training*: the per-consumer ARIMA fit, the KLD histograms and
+//! their training-divergence quantiles, the PCA subspace, and the
+//! integrated detector's mean/variance ranges. The legacy harness recomputed
+//! all of it for every sweep point — `ablate_alpha` refit the KLD detector
+//! once per significance level per consumer, `roc` once per α. None of that
+//! is necessary: the trained state is threshold-independent, and a new
+//! significance level is a single quantile lookup on the cached sorted
+//! training statistics.
+//!
+//! [`TrainedConsumer`] captures that state once per consumer.
+//! [`EvalEngine`] owns a vector of artifacts plus the configuration, and
+//! exposes:
+//!
+//! * [`EvalEngine::evaluate`] — the full Tables II/III protocol, scored
+//!   from the cached artifacts;
+//! * [`EvalEngine::kld_alpha_sweep`] / [`EvalEngine::kld_roc`] — threshold
+//!   sweeps that score each week **once** and re-threshold per α
+//!   (`O(consumers + alphas)` detector work instead of
+//!   `O(consumers × alphas)` retrains);
+//! * [`EvalEngine::stats`] — per-stage wall-clock timings and throughput;
+//! * a progress callback for long fleet runs.
+//!
+//! Scheduling is work-stealing over an atomic work index: each worker
+//! claims the next unclaimed consumer, so one slow ARIMA fit delays one
+//! worker by one consumer instead of idling a whole static chunk. Results
+//! are merged by consumer index, which keeps the output byte-identical
+//! across thread counts. Worker panics and per-consumer training failures
+//! surface as typed [`EvalError`]s, never as `expect` panics.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_attacks::{
+    arima_attack, integrated_arima_attack, optimal_swap, AttackVector, Direction, InjectionContext,
+};
+use fdeta_cer_synth::{ConsumerRecord, SyntheticDataset};
+use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_tsdata::week::{WeekMatrix, WeekVector};
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+use crate::arima_detector::ArimaDetector;
+use crate::detector::Detector;
+use crate::error::{EvalError, TrainError};
+use crate::eval::{gain_of, ConsumerEval, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario};
+use crate::integrated::IntegratedArimaDetector;
+use crate::kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
+use crate::pca::PcaDetector;
+use crate::roc::RocPoint;
+
+/// Parameters needed to train one consumer's artifact from a bare training
+/// window. A strict subset of [`EvalConfig`] — the monitoring pipeline
+/// trains artifacts too but has no notion of attack vectors or seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactParams {
+    /// KLD histogram bins.
+    pub bins: usize,
+    /// Interval-detector confidence level.
+    pub confidence: f64,
+    /// Utility ARIMA order `(p, d, q)`.
+    pub arima_order: (usize, usize, usize),
+    /// PCA components to retain; `0` disables the subspace detector (the
+    /// monitoring pipeline does not use it).
+    pub pca_components: usize,
+    /// TOU plan for the price-conditioned KLD detector.
+    pub tou: TouPlan,
+}
+
+impl ArtifactParams {
+    /// The parameters the evaluation protocol implies: the paper's TOU
+    /// plan, and the subspace rank clamped for short training windows
+    /// (the same clamp the legacy per-consumer loop applied).
+    pub fn from_eval(config: &EvalConfig) -> Self {
+        Self {
+            bins: config.bins,
+            confidence: config.confidence,
+            arima_order: config.arima_order,
+            pca_components: config.train_weeks.saturating_sub(2).clamp(1, 3),
+            tou: TouPlan::ireland_nightsaver(),
+        }
+    }
+}
+
+/// Everything trained once per consumer and reused across scenarios,
+/// significance levels, and calling binaries.
+///
+/// The detectors inside are stored at their *base* calibration; the
+/// `*_at` accessors re-threshold from the cached sorted training
+/// statistics in O(1) — provably identical to retraining at that level,
+/// because bin edges, baselines, subspaces, and training scores do not
+/// depend on the threshold percentile.
+#[derive(Debug, Clone)]
+pub struct TrainedConsumer {
+    id: u32,
+    index: usize,
+    train: WeekMatrix,
+    /// Held-out weeks (attack week first, then clean weeks); `None` when
+    /// the artifact was trained from a bare window.
+    test: Option<WeekMatrix>,
+    /// `None` when the ARIMA fit failed (degenerate history) — the
+    /// consumer is scored as skipped, matching the legacy protocol.
+    model: Option<ArimaModel>,
+    arima: Option<ArimaDetector>,
+    integrated: Option<IntegratedArimaDetector>,
+    kld: KldDetector,
+    conditioned: ConditionedKldDetector,
+    pca: Option<PcaDetector>,
+    mean_range: (f64, f64),
+}
+
+impl TrainedConsumer {
+    /// Trains an artifact from a bare training window (no held-out test
+    /// weeks) — the entry point used by the monitoring pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] if any detector's training state cannot be
+    /// built. An ARIMA fit failure is *not* an error: degenerate histories
+    /// keep KLD coverage and lose only the interval detectors.
+    pub fn from_window(
+        id: u32,
+        index: usize,
+        train: &WeekMatrix,
+        params: &ArtifactParams,
+    ) -> Result<Self, TrainError> {
+        let kld =
+            KldDetector::train(train, params.bins, SignificanceLevel::Five).map_err(|source| {
+                TrainError::Histogram {
+                    consumer: id,
+                    source,
+                }
+            })?;
+        let conditioned = ConditionedKldDetector::train_tou(
+            train,
+            &params.tou,
+            params.bins,
+            SignificanceLevel::Five,
+        )
+        .map_err(|source| TrainError::Histogram {
+            consumer: id,
+            source,
+        })?;
+        let pca = if params.pca_components == 0 {
+            None
+        } else {
+            Some(
+                PcaDetector::train(train, params.pca_components, SignificanceLevel::Five).map_err(
+                    |source| TrainError::Subspace {
+                        consumer: id,
+                        source,
+                    },
+                )?,
+            )
+        };
+        let (p, d, q) = params.arima_order;
+        let model = ArimaSpec::new(p, d, q)
+            .ok()
+            .and_then(|spec| ArimaModel::fit(train.flat(), spec).ok());
+        let (arima, integrated) = match &model {
+            Some(m) => (
+                Some(ArimaDetector::new(m.clone(), train, params.confidence)),
+                Some(IntegratedArimaDetector::new(
+                    m.clone(),
+                    train,
+                    params.confidence,
+                )),
+            ),
+            None => (None, None),
+        };
+        let means = train.weekly_means();
+        let mean_range = (
+            means.iter().cloned().fold(f64::INFINITY, f64::min),
+            means.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        Ok(Self {
+            id,
+            index,
+            train: train.clone(),
+            test: None,
+            model,
+            arima,
+            integrated,
+            kld,
+            conditioned,
+            pca,
+            mean_range,
+        })
+    }
+
+    /// Trains an artifact for the evaluation protocol: splits the record
+    /// into `train_weeks` + held-out weeks and trains every detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::NotEnoughWeeks`] if the record has fewer than
+    /// `train_weeks + 2` whole weeks (one attack week plus one clean week),
+    /// and propagates detector training failures.
+    pub fn train(
+        record: &ConsumerRecord,
+        index: usize,
+        config: &EvalConfig,
+    ) -> Result<Self, TrainError> {
+        let total_weeks = record.series.whole_weeks();
+        let required = config.train_weeks + 2;
+        if total_weeks < required {
+            return Err(TrainError::NotEnoughWeeks {
+                consumer: record.id,
+                required,
+                available: total_weeks,
+            });
+        }
+        let train = record
+            .series
+            .week_range(0, config.train_weeks)
+            .and_then(|s| s.to_week_matrix())?;
+        let test = record
+            .series
+            .week_range(config.train_weeks, total_weeks)
+            .and_then(|s| s.to_week_matrix())?;
+        let mut artifact =
+            Self::from_window(record.id, index, &train, &ArtifactParams::from_eval(config))?;
+        artifact.test = Some(test);
+        Ok(artifact)
+    }
+
+    /// The consumer's meter id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The consumer's position in the corpus (seeds the attack draws).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The training window the artifact was calibrated on.
+    pub fn train_matrix(&self) -> &WeekMatrix {
+        &self.train
+    }
+
+    /// The held-out weeks (attack week first), if the artifact has them.
+    pub fn test_matrix(&self) -> Option<&WeekMatrix> {
+        self.test.as_ref()
+    }
+
+    /// The fitted utility model, if the fit succeeded.
+    pub fn model(&self) -> Option<&ArimaModel> {
+        self.model.as_ref()
+    }
+
+    /// Whether the utility ARIMA model could be fitted.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The historic range of weekly means (the pipeline's step-3 labeller).
+    pub fn mean_range(&self) -> (f64, f64) {
+        self.mean_range
+    }
+
+    /// The KLD detector at its base (5%) calibration.
+    pub fn kld_base(&self) -> &KldDetector {
+        &self.kld
+    }
+
+    /// The KLD detector re-thresholded at `level` — a quantile lookup on
+    /// the cached training divergences, identical to retraining.
+    pub fn kld_at(&self, level: SignificanceLevel) -> KldDetector {
+        self.kld.at_level(level)
+    }
+
+    /// The price-conditioned KLD detector re-thresholded at `level`.
+    pub fn conditioned_at(&self, level: SignificanceLevel) -> ConditionedKldDetector {
+        self.conditioned.at_level(level)
+    }
+
+    /// The PCA detector re-thresholded at `level`, if the subspace was
+    /// trained.
+    pub fn pca_at(&self, level: SignificanceLevel) -> Option<PcaDetector> {
+        self.pca.as_ref().map(|p| p.at_level(level))
+    }
+
+    /// The interval detectors (plain + integrated), if the model fitted.
+    pub fn interval_detectors(&self) -> Option<(ArimaDetector, IntegratedArimaDetector)> {
+        match (&self.arima, &self.integrated) {
+            (Some(a), Some(i)) => Some((a.clone(), i.clone())),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn arima_detector(&self) -> Option<&ArimaDetector> {
+        self.arima.as_ref()
+    }
+
+    pub(crate) fn integrated_detector(&self) -> Option<&IntegratedArimaDetector> {
+        self.integrated.as_ref()
+    }
+
+    /// The actual consumption of the designated attack week.
+    pub fn attack_week(&self) -> Option<WeekVector> {
+        self.test.as_ref().map(|t| t.week_vector(0))
+    }
+
+    /// The designated clean week (the week after the attack week) used for
+    /// the per-week false-positive assessment.
+    pub fn clean_week(&self) -> Option<WeekVector> {
+        self.test
+            .as_ref()
+            .filter(|t| t.weeks() >= 2)
+            .map(|t| t.week_vector(1))
+    }
+
+    /// The attack-vector family realising `scenario` against this
+    /// consumer, drawn with the legacy protocol's exact seeds (so engine
+    /// results are bit-identical to the pre-engine harness). `None` when
+    /// the artifact lacks a test window, or lacks a model for the
+    /// model-based scenarios.
+    pub fn scenario_vectors(
+        &self,
+        scenario: Scenario,
+        config: &EvalConfig,
+    ) -> Option<Vec<AttackVector>> {
+        let test = self.test.as_ref()?;
+        let actual = test.week_vector(0);
+        let start_slot = config.train_weeks * SLOTS_PER_WEEK;
+        if scenario == Scenario::Swap {
+            let plan = TouPlan::ireland_nightsaver();
+            return Some(vec![optimal_swap(&actual, &plan, start_slot)]);
+        }
+        let model = self.model.as_ref()?;
+        let ctx = InjectionContext {
+            train: &self.train,
+            actual_week: &actual,
+            model,
+            confidence: config.confidence,
+            start_slot,
+        };
+        let consumer_seed = config.seed ^ (self.index as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+        Some(match scenario {
+            Scenario::ArimaOver => vec![arima_attack(&ctx, Direction::OverReport)],
+            Scenario::ArimaUnder => vec![arima_attack(&ctx, Direction::UnderReport)],
+            Scenario::IntegratedOver | Scenario::IntegratedUnder => {
+                let direction = if scenario == Scenario::IntegratedOver {
+                    Direction::OverReport
+                } else {
+                    Direction::UnderReport
+                };
+                (0..config.attack_vectors)
+                    .map(|i| {
+                        let mut rng = StdRng::seed_from_u64(
+                            consumer_seed
+                                ^ (0x9E37_79B9_7F4A_7C15u64
+                                    .wrapping_mul((i as u64 + 1) * (scenario.index() as u64 + 1))),
+                        );
+                        integrated_arima_attack(&ctx, direction, &mut rng)
+                    })
+                    .collect()
+            }
+            Scenario::Swap => unreachable!("handled above"),
+        })
+    }
+
+    /// The worst-case (max-profit) vector for `scenario` and its gain.
+    pub fn worst_case(
+        &self,
+        scenario: Scenario,
+        config: &EvalConfig,
+    ) -> Option<(AttackVector, Metric2)> {
+        let vectors = self.scenario_vectors(scenario, config)?;
+        let scheme = PricingScheme::tou_ireland();
+        vectors
+            .into_iter()
+            .map(|v| {
+                let gain = gain_of(&v, scenario, &scheme);
+                (v, gain)
+            })
+            .max_by(|a, b| {
+                a.1.profit_dollars
+                    .partial_cmp(&b.1.profit_dollars)
+                    .expect("finite profits")
+            })
+    }
+}
+
+/// Which stage of an engine run a progress report belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineStage {
+    /// Per-consumer artifact training (the expensive stage).
+    Train,
+    /// Scoring cached artifacts (evaluation or a threshold sweep).
+    Score,
+}
+
+impl std::fmt::Display for EngineStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineStage::Train => write!(f, "train"),
+            EngineStage::Score => write!(f, "score"),
+        }
+    }
+}
+
+/// Progress callback: `(stage, consumers done, consumers total)`. Invoked
+/// from worker threads, so it must be `Send + Sync`.
+pub type ProgressFn = dyn Fn(EngineStage, usize, usize) + Send + Sync;
+
+/// Per-stage instrumentation for one engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Wall-clock time of the artifact-training stage.
+    pub train_wall: Duration,
+    /// Wall-clock time of the most recent scoring stage.
+    pub score_wall: Duration,
+    /// Consumers in the corpus.
+    pub consumers: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scoring passes served from the cached artifacts so far.
+    pub scoring_passes: usize,
+}
+
+impl EngineStats {
+    /// Consumers trained per second of wall-clock, `0.0` if unmeasured.
+    pub fn train_throughput(&self) -> f64 {
+        throughput(self.consumers, self.train_wall)
+    }
+
+    /// Consumers scored per second in the latest scoring pass.
+    pub fn score_throughput(&self) -> f64 {
+        throughput(self.consumers, self.score_wall)
+    }
+}
+
+fn throughput(items: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        items as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// The evaluation engine: per-consumer artifacts trained once, scored many
+/// times. See the module docs for the architecture.
+pub struct EvalEngine {
+    config: EvalConfig,
+    artifacts: Vec<TrainedConsumer>,
+    threads: usize,
+    stats: Mutex<EngineStats>,
+    progress: Option<Box<ProgressFn>>,
+}
+
+impl EvalEngine {
+    /// Validates the configuration and trains every consumer's artifact
+    /// with work-stealing parallelism.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Config`] for an invalid configuration,
+    /// [`EvalError::Train`] if any consumer's artifact fails to train
+    /// (e.g. too few weeks), [`EvalError::WorkerPanicked`] if a worker
+    /// thread dies.
+    pub fn train(dataset: &SyntheticDataset, config: &EvalConfig) -> Result<Self, EvalError> {
+        Self::train_with_progress(dataset, config, None)
+    }
+
+    /// As [`EvalEngine::train`], with a progress callback invoked after
+    /// each consumer completes a stage.
+    pub fn train_with_progress(
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+        progress: Option<Box<ProgressFn>>,
+    ) -> Result<Self, EvalError> {
+        config.validate()?;
+        let threads = config.worker_threads(dataset.len());
+        let started = Instant::now();
+        let artifacts = run_work_stealing(
+            dataset.len(),
+            threads,
+            progress.as_deref(),
+            EngineStage::Train,
+            |index| TrainedConsumer::train(dataset.consumer(index), index, config),
+        )?;
+        let stats = EngineStats {
+            train_wall: started.elapsed(),
+            consumers: artifacts.len(),
+            threads,
+            ..EngineStats::default()
+        };
+        Ok(Self {
+            config: config.clone(),
+            artifacts,
+            threads,
+            stats: Mutex::new(stats),
+            progress,
+        })
+    }
+
+    /// The configuration the engine was trained with.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The trained artifacts, in corpus order.
+    pub fn artifacts(&self) -> &[TrainedConsumer] {
+        &self.artifacts
+    }
+
+    /// A snapshot of the engine's instrumentation.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Scores the full Tables II/III protocol from the cached artifacts.
+    /// Calling this repeatedly retrains nothing and returns identical
+    /// results each time.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Train`] if an artifact lacks the test window the
+    /// protocol needs (impossible for engine-trained artifacts), or
+    /// [`EvalError::WorkerPanicked`].
+    pub fn evaluate(&self) -> Result<Evaluation, EvalError> {
+        let started = Instant::now();
+        let consumers = run_work_stealing(
+            self.artifacts.len(),
+            self.threads,
+            self.progress.as_deref(),
+            EngineStage::Score,
+            |index| score_consumer(&self.artifacts[index], &self.config),
+        )?;
+        self.note_scoring_pass(started.elapsed());
+        Ok(Evaluation {
+            consumers,
+            config: self.config.clone(),
+        })
+    }
+
+    /// Significance-level sweep for the (unconditioned) KLD detector: each
+    /// consumer's clean week and worst-case Integrated ARIMA attacks (both
+    /// directions) are scored exactly once; every α then costs one quantile
+    /// lookup per consumer. Consumers whose model failed to fit are
+    /// excluded, matching the legacy `ablate_alpha` loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::evaluate`].
+    pub fn kld_alpha_sweep(&self, alphas: &[f64]) -> Result<Vec<AlphaPoint>, EvalError> {
+        let started = Instant::now();
+        // One pass over the corpus: cache (clean, worst-over, worst-under)
+        // divergence scores per consumer. Scores are threshold-independent.
+        let cached = run_work_stealing(
+            self.artifacts.len(),
+            self.threads,
+            self.progress.as_deref(),
+            EngineStage::Score,
+            |index| {
+                let artifact = &self.artifacts[index];
+                if !artifact.has_model() {
+                    return Ok(None);
+                }
+                let clean = artifact.clean_week().ok_or(TrainError::NoTestWindow {
+                    consumer: artifact.id,
+                })?;
+                let (over, _) = artifact
+                    .worst_case(Scenario::IntegratedOver, &self.config)
+                    .ok_or(TrainError::NoTestWindow {
+                        consumer: artifact.id,
+                    })?;
+                let (under, _) = artifact
+                    .worst_case(Scenario::IntegratedUnder, &self.config)
+                    .ok_or(TrainError::NoTestWindow {
+                        consumer: artifact.id,
+                    })?;
+                let base = artifact.kld_base();
+                Ok(Some([
+                    base.score(&clean),
+                    base.score(&over.reported),
+                    base.score(&under.reported),
+                ]))
+            },
+        )?;
+
+        let mut points = Vec::with_capacity(alphas.len());
+        for &alpha in alphas {
+            let alpha = alpha.clamp(1e-6, 1.0 - 1e-6);
+            let percentile = 1.0 - alpha;
+            let mut n = 0usize;
+            let mut fp = 0usize;
+            let mut det_over = 0usize;
+            let mut det_under = 0usize;
+            let mut m1_over = 0usize;
+            let mut m1_under = 0usize;
+            for (artifact, scores) in self.artifacts.iter().zip(&cached) {
+                let Some([clean, over, under]) = scores else {
+                    continue;
+                };
+                let threshold = artifact.kld_base().threshold_at(percentile);
+                let clean_flag = *clean > threshold;
+                let over_flag = *over > threshold;
+                let under_flag = *under > threshold;
+                n += 1;
+                fp += usize::from(clean_flag);
+                det_over += usize::from(over_flag);
+                det_under += usize::from(under_flag);
+                m1_over += usize::from(over_flag && !clean_flag);
+                m1_under += usize::from(under_flag && !clean_flag);
+            }
+            let denom = if n == 0 { 1.0 } else { n as f64 };
+            points.push(AlphaPoint {
+                alpha,
+                consumers: n,
+                false_positive_rate: fp as f64 / denom,
+                detection_over: det_over as f64 / denom,
+                detection_under: det_under as f64 / denom,
+                metric1_over: m1_over as f64 / denom,
+                metric1_under: m1_under as f64 / denom,
+            });
+        }
+        self.note_scoring_pass(started.elapsed());
+        Ok(points)
+    }
+
+    /// The KLD detector's averaged operating curve over the corpus for the
+    /// worst-case Integrated ARIMA (over-report) attack. Clean weeks are
+    /// every held-out week after the attack week. Scores are computed once;
+    /// each α re-thresholds from the cached training quantiles.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::evaluate`].
+    pub fn kld_roc(&self, alphas: &[f64]) -> Result<Vec<RocPoint>, EvalError> {
+        struct ConsumerScores {
+            clean: Vec<f64>,
+            attack: f64,
+        }
+        let started = Instant::now();
+        let cached = run_work_stealing(
+            self.artifacts.len(),
+            self.threads,
+            self.progress.as_deref(),
+            EngineStage::Score,
+            |index| {
+                let artifact = &self.artifacts[index];
+                if !artifact.has_model() {
+                    return Ok(None);
+                }
+                let test = artifact.test_matrix().ok_or(TrainError::NoTestWindow {
+                    consumer: artifact.id,
+                })?;
+                let (attack, _) = artifact
+                    .worst_case(Scenario::IntegratedOver, &self.config)
+                    .ok_or(TrainError::NoTestWindow {
+                        consumer: artifact.id,
+                    })?;
+                let base = artifact.kld_base();
+                Ok(Some(ConsumerScores {
+                    clean: (1..test.weeks())
+                        .map(|w| base.score(&test.week_vector(w)))
+                        .collect(),
+                    attack: base.score(&attack.reported),
+                }))
+            },
+        )?;
+
+        let mut points = Vec::with_capacity(alphas.len());
+        for &alpha in alphas {
+            let alpha = alpha.clamp(1e-6, 1.0 - 1e-6);
+            let percentile = 1.0 - alpha;
+            let mut n = 0usize;
+            let mut detection = 0.0;
+            let mut false_positive = 0.0;
+            for (artifact, scores) in self.artifacts.iter().zip(&cached) {
+                let Some(scores) = scores else { continue };
+                let threshold = artifact.kld_base().threshold_at(percentile);
+                n += 1;
+                detection += f64::from(u8::from(scores.attack > threshold));
+                if !scores.clean.is_empty() {
+                    false_positive += scores.clean.iter().filter(|&&s| s > threshold).count()
+                        as f64
+                        / scores.clean.len() as f64;
+                }
+            }
+            let denom = if n == 0 { 1.0 } else { n as f64 };
+            points.push(RocPoint {
+                alpha,
+                detection_rate: detection / denom,
+                false_positive_rate: false_positive / denom,
+            });
+        }
+        self.note_scoring_pass(started.elapsed());
+        Ok(points)
+    }
+
+    /// Consumers whose artifact carries a fitted model (the ones the
+    /// sweeps actually score).
+    pub fn modelled_consumers(&self) -> usize {
+        self.artifacts.iter().filter(|a| a.has_model()).count()
+    }
+
+    fn note_scoring_pass(&self, wall: Duration) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.score_wall = wall;
+        stats.scoring_passes += 1;
+    }
+}
+
+/// One operating point of the significance-level sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPoint {
+    /// Upper-tail significance level.
+    pub alpha: f64,
+    /// Consumers contributing to the rates.
+    pub consumers: usize,
+    /// Fraction of consumers whose clean week was (falsely) flagged.
+    pub false_positive_rate: f64,
+    /// Detection rate on the worst-case 1B (over-report) attack.
+    pub detection_over: f64,
+    /// Detection rate on the worst-case 2A/2B (under-report) attack.
+    pub detection_under: f64,
+    /// Composite Metric 1 (detected and no false positive), 1B.
+    pub metric1_over: f64,
+    /// Composite Metric 1, 2A/2B.
+    pub metric1_under: f64,
+}
+
+/// Work-stealing fan-out over `n` items: workers claim the next unclaimed
+/// index from a shared atomic counter, buffer `(index, result)` pairs
+/// locally, and the results are merged by index — deterministic output
+/// regardless of thread count or interleaving. The first `Err` aborts the
+/// remaining work; a panicked worker surfaces as
+/// [`EvalError::WorkerPanicked`].
+fn run_work_stealing<T, F>(
+    n: usize,
+    threads: usize,
+    progress: Option<&ProgressFn>,
+    stage: EngineStage,
+    work: F,
+) -> Result<Vec<T>, EvalError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, TrainError> + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let worker = |_worker_id: usize| -> Result<Vec<(usize, T)>, TrainError> {
+        let mut local = Vec::new();
+        while !abort.load(Ordering::Relaxed) {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= n {
+                break;
+            }
+            match work(index) {
+                Ok(value) => {
+                    local.push((index, value));
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(report) = progress {
+                        report(stage, completed, n);
+                    }
+                }
+                Err(error) => {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(error);
+                }
+            }
+        }
+        Ok(local)
+    };
+
+    let outcomes: Vec<std::thread::Result<Result<Vec<(usize, T)>, TrainError>>> =
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| scope.spawn(move || worker(t)))
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut first_error: Option<TrainError> = None;
+    let mut panicked = false;
+    for outcome in outcomes {
+        match outcome {
+            Ok(Ok(local)) => {
+                for (index, value) in local {
+                    slots[index] = Some(value);
+                }
+            }
+            Ok(Err(error)) => {
+                if first_error.is_none() {
+                    first_error = Some(error);
+                }
+            }
+            Err(_) => panicked = true,
+        }
+    }
+    if let Some(error) = first_error {
+        return Err(EvalError::Train(error));
+    }
+    if panicked {
+        return Err(EvalError::WorkerPanicked);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.ok_or(EvalError::WorkerPanicked))
+        .collect()
+}
+
+/// Scores one consumer's cached artifact through the full protocol —
+/// byte-for-byte the legacy `evaluate_consumer` semantics, with the
+/// detector construction replaced by the [`DetectorKind::train`] factory
+/// over the artifact.
+fn score_consumer(
+    artifact: &TrainedConsumer,
+    config: &EvalConfig,
+) -> Result<ConsumerEval, TrainError> {
+    let mut eval = ConsumerEval::empty(artifact.id);
+    if !artifact.has_model() {
+        eval.skipped = true;
+        return Ok(eval);
+    }
+    let clean_week = artifact.clean_week().ok_or(TrainError::NoTestWindow {
+        consumer: artifact.id,
+    })?;
+    let scheme = PricingScheme::tou_ireland();
+
+    let mut detectors: Vec<Box<dyn Detector>> = Vec::with_capacity(DetectorKind::ALL.len());
+    for kind in DetectorKind::ALL {
+        detectors.push(kind.train(artifact)?);
+    }
+    for kind in DetectorKind::ALL {
+        eval.false_positive[kind.index()] = detectors[kind.index()].is_anomalous(&clean_week);
+    }
+
+    for scenario in Scenario::ALL {
+        let vectors =
+            artifact
+                .scenario_vectors(scenario, config)
+                .ok_or(TrainError::NoTestWindow {
+                    consumer: artifact.id,
+                })?;
+        let gains: Vec<Metric2> = vectors
+            .iter()
+            .map(|v| gain_of(v, scenario, &scheme))
+            .collect();
+        // Worst case overall: the vector the paper evaluates detectors on.
+        let worst_index = gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.profit_dollars
+                    .partial_cmp(&b.1.profit_dollars)
+                    .expect("finite profits")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one vector");
+        eval.full_gain[scenario.index()] = gains[worst_index];
+
+        for kind in DetectorKind::ALL {
+            let det = &detectors[kind.index()];
+            let mut best_evading = Metric2::default();
+            let mut worst_detected = false;
+            for (i, vector) in vectors.iter().enumerate() {
+                let flagged = det.is_anomalous(&vector.reported);
+                if i == worst_index {
+                    worst_detected = flagged;
+                }
+                if !flagged {
+                    best_evading = best_evading.max(gains[i]);
+                }
+            }
+            eval.detected[kind.index()][scenario.index()] = worst_detected;
+            eval.evading_gain[kind.index()][scenario.index()] = best_evading;
+        }
+    }
+    Ok(eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_cer_synth::DatasetConfig;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    fn corpus(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::small(consumers, weeks, seed))
+    }
+
+    fn config() -> EvalConfig {
+        EvalConfig {
+            threads: 2,
+            ..EvalConfig::fast(8, 4)
+        }
+    }
+
+    #[test]
+    fn engine_scores_every_consumer() {
+        let data = corpus(5, 12, 11);
+        let engine = EvalEngine::train(&data, &config()).expect("valid corpus");
+        let eval = engine.evaluate().expect("cached artifacts score");
+        assert_eq!(eval.consumers.len(), 5);
+        assert_eq!(eval.evaluated_consumers(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.consumers, 5);
+        assert_eq!(stats.scoring_passes, 1);
+        assert!(stats.train_wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn repeated_scoring_is_identical() {
+        let data = corpus(4, 12, 12);
+        let engine = EvalEngine::train(&data, &config()).expect("valid corpus");
+        let a = engine.evaluate().expect("first pass");
+        let b = engine.evaluate().expect("second pass");
+        assert_eq!(a, b, "re-scoring cached artifacts must be deterministic");
+        assert_eq!(engine.stats().scoring_passes, 2);
+    }
+
+    #[test]
+    fn too_few_weeks_is_a_typed_error() {
+        let data = corpus(3, 8, 13);
+        let mut cfg = config();
+        cfg.train_weeks = 10; // needs 12 weeks, corpus has 8
+        let result = EvalEngine::train(&data, &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(EvalError::Train(TrainError::NotEnoughWeeks { .. }))
+            ),
+            "short history must be a typed error"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_training() {
+        let data = corpus(2, 12, 14);
+        let mut cfg = config();
+        cfg.attack_vectors = 0;
+        assert!(matches!(
+            EvalEngine::train(&data, &cfg),
+            Err(EvalError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn progress_reports_reach_the_total() {
+        let data = corpus(4, 12, 15);
+        let seen = std::sync::Arc::new(Counter::new(0));
+        let seen_in_cb = seen.clone();
+        let engine = EvalEngine::train_with_progress(
+            &data,
+            &config(),
+            Some(Box::new(move |_stage, done, total| {
+                assert!(done <= total);
+                seen_in_cb.fetch_add(1, Ordering::Relaxed);
+            })),
+        )
+        .expect("valid corpus");
+        assert_eq!(seen.load(Ordering::Relaxed), 4, "one report per consumer");
+        engine.evaluate().expect("scores");
+        assert_eq!(seen.load(Ordering::Relaxed), 8, "scoring reports too");
+    }
+
+    #[test]
+    fn alpha_sweep_is_monotone_and_counts_modelled_consumers() {
+        let data = corpus(6, 12, 16);
+        let engine = EvalEngine::train(&data, &config()).expect("valid corpus");
+        let points = engine
+            .kld_alpha_sweep(&[0.01, 0.05, 0.10, 0.20])
+            .expect("sweep");
+        assert_eq!(points.len(), 4);
+        for pair in points.windows(2) {
+            // Lower threshold percentile ⇒ everything flags at least as often.
+            assert!(pair[1].false_positive_rate >= pair[0].false_positive_rate - 1e-12);
+            assert!(pair[1].detection_over >= pair[0].detection_over - 1e-12);
+        }
+        assert_eq!(points[0].consumers, engine.modelled_consumers());
+    }
+
+    #[test]
+    fn roc_points_are_monotone_in_alpha() {
+        let data = corpus(5, 12, 17);
+        let engine = EvalEngine::train(&data, &config()).expect("valid corpus");
+        let curve = engine.kld_roc(&[0.02, 0.10, 0.30]).expect("curve");
+        for pair in curve.windows(2) {
+            assert!(pair[1].detection_rate >= pair[0].detection_rate - 1e-12);
+            assert!(pair[1].false_positive_rate >= pair[0].false_positive_rate - 1e-12);
+        }
+    }
+
+    #[test]
+    fn work_stealing_preserves_input_order() {
+        let results = run_work_stealing(17, 4, None, EngineStage::Score, |i| {
+            Ok::<usize, TrainError>(i * 10)
+        })
+        .expect("infallible work");
+        assert_eq!(results.len(), 17);
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, i * 10);
+        }
+    }
+
+    #[test]
+    fn work_stealing_propagates_the_first_error() {
+        let result = run_work_stealing(8, 3, None, EngineStage::Train, |i| {
+            if i >= 5 {
+                Err(TrainError::ModelUnavailable { consumer: i as u32 })
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(matches!(result, Err(EvalError::Train(_))));
+    }
+
+    #[test]
+    fn work_stealing_surfaces_worker_panics_as_errors() {
+        let result = run_work_stealing(4, 2, None, EngineStage::Train, |i| {
+            if i == 2 {
+                panic!("deliberate test panic");
+            }
+            Ok::<usize, TrainError>(i)
+        });
+        assert_eq!(result.unwrap_err(), EvalError::WorkerPanicked);
+    }
+
+    #[test]
+    fn artifact_rethresholding_matches_fresh_training() {
+        let data = corpus(3, 12, 18);
+        let engine = EvalEngine::train(&data, &config()).expect("valid corpus");
+        for artifact in engine.artifacts() {
+            for level in [SignificanceLevel::Five, SignificanceLevel::Ten] {
+                let fresh =
+                    KldDetector::train(artifact.train_matrix(), engine.config().bins, level)
+                        .expect("trains");
+                assert_eq!(artifact.kld_at(level), fresh);
+                let fresh_cond = ConditionedKldDetector::train_tou(
+                    artifact.train_matrix(),
+                    &TouPlan::ireland_nightsaver(),
+                    engine.config().bins,
+                    level,
+                )
+                .expect("trains");
+                assert_eq!(artifact.conditioned_at(level), fresh_cond);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Typed errors for detector training and the evaluation engine.
+//!
+//! The original harness asserted its way through bad inputs: a consumer
+//! with too few weeks panicked a worker thread, and the panic surfaced as
+//! an opaque `expect` in the thread-join path. Fleet-scale runs need the
+//! failure *typed* — which consumer, what was missing — so callers can
+//! skip, retry, or abort deliberately. Three layers:
+//!
+//! * [`ConfigError`] — the configuration itself is unusable; rejected at
+//!   construction by [`crate::eval::EvalConfigBuilder`].
+//! * [`TrainError`] — one consumer's artifact could not be trained.
+//! * [`EvalError`] — a whole engine run failed (bad config, a training
+//!   failure, or a worker panic).
+
+use std::fmt;
+
+use fdeta_tsdata::TsError;
+
+/// An evaluation configuration that can never produce a valid run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `train_weeks` must be at least 1.
+    ZeroTrainWeeks,
+    /// `attack_vectors` must be at least 1 (the worst-of-N protocol needs
+    /// at least one draw).
+    ZeroAttackVectors,
+    /// `bins` must be at least 1 for the KLD histograms.
+    ZeroBins,
+    /// The interval-detector confidence must lie strictly inside (0, 1).
+    InvalidConfidence {
+        /// The rejected value.
+        confidence: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTrainWeeks => write!(f, "train_weeks must be >= 1"),
+            ConfigError::ZeroAttackVectors => write!(f, "attack_vectors must be >= 1"),
+            ConfigError::ZeroBins => write!(f, "bins must be >= 1"),
+            ConfigError::InvalidConfidence { confidence } => {
+                write!(f, "confidence {confidence} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Failure to train one consumer's detector artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The consumer's history is shorter than the protocol requires
+    /// (`train_weeks + 2`: the training window, one attack week, one clean
+    /// week).
+    NotEnoughWeeks {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// Weeks the protocol requires.
+        required: usize,
+        /// Weeks actually available.
+        available: usize,
+    },
+    /// A KLD histogram could not be built from the training window.
+    Histogram {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// The underlying histogram error.
+        source: TsError,
+    },
+    /// The PCA subspace could not be extracted (typically the window is
+    /// shorter than `components + 2` weeks).
+    Subspace {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// The underlying error.
+        source: TsError,
+    },
+    /// The artifact has no fitted ARIMA model but the requested operation
+    /// needs one.
+    ModelUnavailable {
+        /// The consumer's meter id.
+        consumer: u32,
+    },
+    /// The artifact was trained without a PCA subspace
+    /// (`pca_components == 0`) but a subspace detector was requested.
+    SubspaceUnavailable {
+        /// The consumer's meter id.
+        consumer: u32,
+    },
+    /// The artifact carries no held-out test window (it was trained from a
+    /// bare window, e.g. by the monitoring pipeline) but the requested
+    /// operation needs attack/clean weeks.
+    NoTestWindow {
+        /// The consumer's meter id.
+        consumer: u32,
+    },
+    /// A time-series layer error with no per-consumer attribution.
+    Data(TsError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NotEnoughWeeks {
+                consumer,
+                required,
+                available,
+            } => write!(
+                f,
+                "consumer {consumer}: {available} whole weeks, protocol needs {required}"
+            ),
+            TrainError::Histogram { consumer, source } => {
+                write!(f, "consumer {consumer}: KLD training failed: {source}")
+            }
+            TrainError::Subspace { consumer, source } => {
+                write!(f, "consumer {consumer}: PCA training failed: {source}")
+            }
+            TrainError::ModelUnavailable { consumer } => {
+                write!(f, "consumer {consumer}: no fitted ARIMA model")
+            }
+            TrainError::SubspaceUnavailable { consumer } => {
+                write!(
+                    f,
+                    "consumer {consumer}: artifact trained without a PCA subspace"
+                )
+            }
+            TrainError::NoTestWindow { consumer } => {
+                write!(
+                    f,
+                    "consumer {consumer}: artifact has no held-out test window"
+                )
+            }
+            TrainError::Data(source) => write!(f, "time-series error: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<TsError> for TrainError {
+    fn from(source: TsError) -> Self {
+        TrainError::Data(source)
+    }
+}
+
+/// Failure of a whole engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The configuration was rejected before any work started.
+    Config(ConfigError),
+    /// A consumer's artifact could not be trained; the run was aborted.
+    Train(TrainError),
+    /// A worker thread panicked (a bug, not an input problem — training
+    /// and scoring failures surface as [`EvalError::Train`]).
+    WorkerPanicked,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Config(e) => write!(f, "invalid configuration: {e}"),
+            EvalError::Train(e) => write!(f, "training failed: {e}"),
+            EvalError::WorkerPanicked => write!(f, "an evaluation worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Config(e) => Some(e),
+            EvalError::Train(e) => Some(e),
+            EvalError::WorkerPanicked => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EvalError {
+    fn from(e: ConfigError) -> Self {
+        EvalError::Config(e)
+    }
+}
+
+impl From<TrainError> for EvalError {
+    fn from(e: TrainError) -> Self {
+        EvalError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_consumer() {
+        let e = TrainError::NotEnoughWeeks {
+            consumer: 1333,
+            required: 62,
+            available: 40,
+        };
+        let text = e.to_string();
+        assert!(text.contains("1333"), "{text}");
+        assert!(text.contains("62"), "{text}");
+    }
+
+    #[test]
+    fn eval_error_chains_sources() {
+        use std::error::Error;
+        let e = EvalError::from(TrainError::ModelUnavailable { consumer: 7 });
+        assert!(e.source().is_some());
+        assert!(matches!(e, EvalError::Train(_)));
+        let c = EvalError::from(ConfigError::ZeroTrainWeeks);
+        assert!(matches!(c, EvalError::Config(_)));
+    }
+
+    #[test]
+    fn ts_errors_lift_into_train_errors() {
+        let e: TrainError = fdeta_tsdata::TsError::EmptyHistogram.into();
+        assert!(matches!(e, TrainError::Data(_)));
+    }
+}

@@ -1,6 +1,11 @@
 //! The Section VIII evaluation protocol: attacks × detectors × consumers,
 //! with the false-positive penalty rule, Metric 1, and Metric 2.
 //!
+//! The heavy lifting — per-consumer artifact training and work-stealing
+//! scheduling — lives in [`crate::engine`]; this module owns the protocol
+//! vocabulary ([`DetectorKind`], [`Scenario`], [`EvalConfig`]), the output
+//! types, and the [`try_evaluate`] entry point.
+//!
 //! Two protocol details matter and are documented here because the paper
 //! states them only implicitly:
 //!
@@ -20,20 +25,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use fdeta_arima::{ArimaModel, ArimaSpec};
-use fdeta_attacks::{
-    arima_attack, integrated_arima_attack, optimal_swap, AttackVector, Direction, InjectionContext,
-};
-use fdeta_cer_synth::{ConsumerRecord, SyntheticDataset};
-use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
-use fdeta_tsdata::week::WeekVector;
-use fdeta_tsdata::SLOTS_PER_WEEK;
+use fdeta_attacks::AttackVector;
+use fdeta_cer_synth::SyntheticDataset;
+use fdeta_gridsim::pricing::PricingScheme;
 
-use crate::arima_detector::ArimaDetector;
 use crate::detector::Detector;
-use crate::integrated::IntegratedArimaDetector;
-use crate::kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
-use crate::pca::PcaDetector;
+use crate::engine::{EvalEngine, TrainedConsumer};
+use crate::error::{ConfigError, EvalError, TrainError};
+use crate::kld::SignificanceLevel;
 
 /// The detectors under evaluation (Table II/III rows, plus the
 /// price-conditioned variants used for Attack Classes 3A/3B).
@@ -84,7 +83,8 @@ impl DetectorKind {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable row index (Table II/III row order).
+    pub fn index(self) -> usize {
         match self {
             DetectorKind::Arima => 0,
             DetectorKind::Integrated => 1,
@@ -95,6 +95,54 @@ impl DetectorKind {
             DetectorKind::Pca5 => 6,
             DetectorKind::Pca10 => 7,
         }
+    }
+
+    /// The significance level of this row's detector.
+    pub fn level(self) -> SignificanceLevel {
+        match self {
+            DetectorKind::Kld10 | DetectorKind::CondKld10 | DetectorKind::Pca10 => {
+                SignificanceLevel::Ten
+            }
+            _ => SignificanceLevel::Five,
+        }
+    }
+
+    /// Builds this row's detector from a consumer's cached artifact — the
+    /// single construction point shared by the engine, the monitoring
+    /// pipeline, and the bench binaries. Re-thresholding from the cached
+    /// training statistics is identical to retraining at the level.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::ModelUnavailable`] for the interval detectors when
+    /// the ARIMA fit failed, [`TrainError::SubspaceUnavailable`] for the
+    /// PCA rows when the artifact was trained without a subspace.
+    pub fn train(self, artifact: &TrainedConsumer) -> Result<Box<dyn Detector>, TrainError> {
+        let level = self.level();
+        Ok(match self {
+            DetectorKind::Arima | DetectorKind::Integrated => {
+                let (arima, integrated) =
+                    artifact
+                        .interval_detectors()
+                        .ok_or(TrainError::ModelUnavailable {
+                            consumer: artifact.id(),
+                        })?;
+                if self == DetectorKind::Arima {
+                    Box::new(arima)
+                } else {
+                    Box::new(integrated)
+                }
+            }
+            DetectorKind::Kld5 | DetectorKind::Kld10 => Box::new(artifact.kld_at(level)),
+            DetectorKind::CondKld5 | DetectorKind::CondKld10 => {
+                Box::new(artifact.conditioned_at(level))
+            }
+            DetectorKind::Pca5 | DetectorKind::Pca10 => Box::new(artifact.pca_at(level).ok_or(
+                TrainError::SubspaceUnavailable {
+                    consumer: artifact.id(),
+                },
+            )?),
+        })
     }
 }
 
@@ -139,7 +187,8 @@ impl Scenario {
         matches!(self, Scenario::ArimaOver | Scenario::IntegratedOver)
     }
 
-    fn index(self) -> usize {
+    /// Stable column index (also salts the per-scenario attack seeds).
+    pub fn index(self) -> usize {
         match self {
             Scenario::ArimaOver => 0,
             Scenario::ArimaUnder => 1,
@@ -150,10 +199,16 @@ impl Scenario {
     }
 }
 
-const ND: usize = 8;
-const NS: usize = 5;
+pub(crate) const ND: usize = 8;
+pub(crate) const NS: usize = 5;
 
 /// Evaluation configuration. Defaults reproduce the paper's protocol.
+///
+/// Prefer [`EvalConfig::builder`], which rejects unusable configurations
+/// at construction; a hand-written struct literal is validated when the
+/// engine starts instead. `threads` is execution policy, not protocol: it
+/// is excluded from serialisation so an [`Evaluation`] JSON is identical
+/// at any thread count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalConfig {
     /// Training weeks (paper: 60).
@@ -168,7 +223,9 @@ pub struct EvalConfig {
     pub seed: u64,
     /// ARIMA order `(p, d, q)` used by the utility model.
     pub arima_order: (usize, usize, usize),
-    /// Worker threads (0 = one per available core).
+    /// Worker threads (0 = one per available core). Not part of the
+    /// protocol: skipped by serde so results are thread-count invariant.
+    #[serde(skip)]
     pub threads: usize,
 }
 
@@ -195,6 +252,116 @@ impl EvalConfig {
             ..Self::default()
         }
     }
+
+    /// A builder that validates at construction.
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder::default()
+    }
+
+    /// Rejects configurations that can never produce a valid run.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.train_weeks == 0 {
+            return Err(ConfigError::ZeroTrainWeeks);
+        }
+        if self.attack_vectors == 0 {
+            return Err(ConfigError::ZeroAttackVectors);
+        }
+        if self.bins == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(ConfigError::InvalidConfidence {
+                confidence: self.confidence,
+            });
+        }
+        Ok(())
+    }
+
+    /// Worker threads to actually spawn for `jobs` units of work:
+    /// `0` expands to the available parallelism, and the count never
+    /// exceeds the job count.
+    pub(crate) fn worker_threads(&self, jobs: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, jobs.max(1))
+    }
+}
+
+/// Builder for [`EvalConfig`]: invalid configurations are rejected by
+/// [`EvalConfigBuilder::build`] instead of mid-sweep, and `threads = 0`
+/// is normalised to the available parallelism.
+#[derive(Debug, Clone, Default)]
+pub struct EvalConfigBuilder {
+    config: EvalConfig,
+}
+
+impl EvalConfigBuilder {
+    /// Training weeks (paper: 60).
+    pub fn train_weeks(mut self, weeks: usize) -> Self {
+        self.config.train_weeks = weeks;
+        self
+    }
+
+    /// Attack vectors drawn per consumer (paper: 50).
+    pub fn attack_vectors(mut self, vectors: usize) -> Self {
+        self.config.attack_vectors = vectors;
+        self
+    }
+
+    /// KLD histogram bins (paper: 10).
+    pub fn bins(mut self, bins: usize) -> Self {
+        self.config.bins = bins;
+        self
+    }
+
+    /// Interval-detector confidence, strictly inside (0, 1).
+    pub fn confidence(mut self, confidence: f64) -> Self {
+        self.config.confidence = confidence;
+        self
+    }
+
+    /// Seed for the attack-vector draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Utility ARIMA order `(p, d, q)`.
+    pub fn arima_order(mut self, order: (usize, usize, usize)) -> Self {
+        self.config.arima_order = order;
+        self
+    }
+
+    /// Worker threads; `0` means one per available core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates and normalises the configuration.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first invalid field.
+    pub fn build(self) -> Result<EvalConfig, ConfigError> {
+        let mut config = self.config;
+        config.validate()?;
+        if config.threads == 0 {
+            config.threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
+        }
+        Ok(config)
+    }
 }
 
 /// Attacker gains: energy and money.
@@ -207,7 +374,7 @@ pub struct Metric2 {
 }
 
 impl Metric2 {
-    fn max(self, other: Metric2) -> Metric2 {
+    pub(crate) fn max(self, other: Metric2) -> Metric2 {
         if other.profit_dollars > self.profit_dollars {
             other
         } else {
@@ -236,6 +403,20 @@ pub struct ConsumerEval {
     /// Per-detector, per-scenario: the best gain among vectors that
     /// *evaded* the detector (zero if every vector was flagged).
     pub evading_gain: [[Metric2; NS]; ND],
+}
+
+impl ConsumerEval {
+    /// A blank record for one consumer, ready to be filled in by scoring.
+    pub fn empty(id: u32) -> Self {
+        Self {
+            id,
+            skipped: false,
+            false_positive: [false; ND],
+            detected: [[false; NS]; ND],
+            full_gain: [Metric2::default(); NS],
+            evading_gain: [[Metric2::default(); NS]; ND],
+        }
+    }
 }
 
 /// One (detector, scenario) cell with both metrics.
@@ -353,44 +534,40 @@ impl Evaluation {
 /// positives, and record the paper's metrics. Consumers whose model cannot
 /// be fitted are marked skipped.
 ///
+/// This is a thin wrapper over [`crate::engine::EvalEngine`] — train the
+/// engine directly to reuse the artifacts across sweeps or to attach a
+/// progress callback.
+///
+/// # Errors
+///
+/// [`EvalError::Config`] for an invalid configuration,
+/// [`EvalError::Train`] when a consumer has fewer than `train_weeks + 2`
+/// whole weeks or a detector cannot be trained, and
+/// [`EvalError::WorkerPanicked`] if a worker thread dies.
+pub fn try_evaluate(
+    dataset: &SyntheticDataset,
+    config: &EvalConfig,
+) -> Result<Evaluation, EvalError> {
+    EvalEngine::train(dataset, config)?.evaluate()
+}
+
+/// Panicking wrapper around [`try_evaluate`], kept for one release so
+/// existing callers keep compiling.
+///
 /// # Panics
 ///
-/// Panics if the dataset has consumers with fewer than `train_weeks + 2`
-/// whole weeks (one attack week plus one clean week are needed).
+/// Panics on any [`EvalError`] — an invalid configuration, a consumer
+/// with fewer than `train_weeks + 2` whole weeks, or a worker failure.
+#[deprecated(
+    since = "0.1.0",
+    note = "use try_evaluate, which returns typed errors instead of panicking"
+)]
 pub fn evaluate(dataset: &SyntheticDataset, config: &EvalConfig) -> Evaluation {
-    let n = dataset.len();
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        config.threads
-    };
-    let mut consumers: Vec<Option<ConsumerEval>> = vec![None; n];
-    let chunk = n.div_ceil(threads.max(1));
-    crossbeam::thread::scope(|scope| {
-        for (t, slot_chunk) in consumers.chunks_mut(chunk).enumerate() {
-            let config = config.clone();
-            scope.spawn(move |_| {
-                for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                    let index = t * chunk + offset;
-                    *slot = Some(evaluate_consumer(dataset.consumer(index), index, &config));
-                }
-            });
-        }
-    })
-    .expect("evaluation worker panicked");
-    Evaluation {
-        consumers: consumers
-            .into_iter()
-            .map(|c| c.expect("all slots filled"))
-            .collect(),
-        config: config.clone(),
-    }
+    try_evaluate(dataset, config).unwrap_or_else(|e| panic!("evaluation failed: {e}"))
 }
 
 /// Gain of one attack vector from the attacker's perspective.
-fn gain_of(attack: &AttackVector, s: Scenario, scheme: &PricingScheme) -> Metric2 {
+pub(crate) fn gain_of(attack: &AttackVector, s: Scenario, scheme: &PricingScheme) -> Metric2 {
     let advantage = attack.advantage(scheme).dollars();
     match s {
         Scenario::ArimaOver | Scenario::IntegratedOver => Metric2 {
@@ -411,165 +588,6 @@ fn gain_of(attack: &AttackVector, s: Scenario, scheme: &PricingScheme) -> Metric
     }
 }
 
-fn evaluate_consumer(record: &ConsumerRecord, index: usize, config: &EvalConfig) -> ConsumerEval {
-    let scheme = PricingScheme::tou_ireland();
-    let plan = TouPlan::ireland_nightsaver();
-    let total_weeks = record.series.whole_weeks();
-    assert!(
-        total_weeks >= config.train_weeks + 2,
-        "consumer {} has {total_weeks} weeks; need train+2",
-        record.id
-    );
-    let week_vector = |w: usize| -> WeekVector {
-        WeekVector::new(
-            record
-                .series
-                .week_range(w, w + 1)
-                .expect("length checked above")
-                .as_slice()
-                .to_vec(),
-        )
-        .expect("validated readings")
-    };
-    let train = record
-        .series
-        .week_range(0, config.train_weeks)
-        .and_then(|s| s.to_week_matrix())
-        .expect("length checked above");
-    let attack_week_actual = week_vector(config.train_weeks);
-    // The designated clean week for the per-week FP assessment.
-    let clean_week = week_vector(config.train_weeks + 1);
-
-    let mut eval = ConsumerEval {
-        id: record.id,
-        skipped: false,
-        false_positive: [false; ND],
-        detected: [[false; NS]; ND],
-        full_gain: [Metric2::default(); NS],
-        evading_gain: [[Metric2::default(); NS]; ND],
-    };
-
-    let (p, d, q) = config.arima_order;
-    let spec = ArimaSpec::new(p, d, q).expect("static order is valid");
-    let Ok(model) = ArimaModel::fit(train.flat(), spec) else {
-        eval.skipped = true;
-        return eval;
-    };
-
-    // --- Detectors --------------------------------------------------------
-    let detectors: [Box<dyn Detector>; ND] = [
-        Box::new(ArimaDetector::new(model.clone(), &train, config.confidence)),
-        Box::new(IntegratedArimaDetector::new(
-            model.clone(),
-            &train,
-            config.confidence,
-        )),
-        Box::new(
-            KldDetector::train(&train, config.bins, SignificanceLevel::Five)
-                .expect("bins > 0 and train nonempty"),
-        ),
-        Box::new(
-            KldDetector::train(&train, config.bins, SignificanceLevel::Ten)
-                .expect("bins > 0 and train nonempty"),
-        ),
-        Box::new(
-            ConditionedKldDetector::train_tou(&train, &plan, config.bins, SignificanceLevel::Five)
-                .expect("bins > 0 and train nonempty"),
-        ),
-        Box::new(
-            ConditionedKldDetector::train_tou(&train, &plan, config.bins, SignificanceLevel::Ten)
-                .expect("bins > 0 and train nonempty"),
-        ),
-        {
-            // Clamp the subspace rank for very short training windows.
-            let components = config.train_weeks.saturating_sub(2).clamp(1, 3);
-            Box::new(
-                PcaDetector::train(&train, components, SignificanceLevel::Five)
-                    .expect("component count clamped below window length"),
-            )
-        },
-        {
-            let components = config.train_weeks.saturating_sub(2).clamp(1, 3);
-            Box::new(
-                PcaDetector::train(&train, components, SignificanceLevel::Ten)
-                    .expect("component count clamped below window length"),
-            )
-        },
-    ];
-
-    for dkind in DetectorKind::ALL {
-        eval.false_positive[dkind.index()] = detectors[dkind.index()].is_anomalous(&clean_week);
-    }
-
-    // --- Attacks -----------------------------------------------------------
-    let start_slot = config.train_weeks * SLOTS_PER_WEEK;
-    let ctx = InjectionContext {
-        train: &train,
-        actual_week: &attack_week_actual,
-        model: &model,
-        confidence: config.confidence,
-        start_slot,
-    };
-    let consumer_seed = config.seed ^ (index as u64).wrapping_mul(0xD134_2543_DE82_EF95);
-
-    for s in Scenario::ALL {
-        // The vector family realising this scenario.
-        let vectors: Vec<AttackVector> = match s {
-            Scenario::ArimaOver => vec![arima_attack(&ctx, Direction::OverReport)],
-            Scenario::ArimaUnder => vec![arima_attack(&ctx, Direction::UnderReport)],
-            Scenario::IntegratedOver | Scenario::IntegratedUnder => {
-                let direction = if s == Scenario::IntegratedOver {
-                    Direction::OverReport
-                } else {
-                    Direction::UnderReport
-                };
-                (0..config.attack_vectors)
-                    .map(|i| {
-                        let mut rng = rand::SeedableRng::seed_from_u64(
-                            consumer_seed
-                                ^ (0x9E37_79B9_7F4A_7C15u64
-                                    .wrapping_mul((i as u64 + 1) * (s.index() as u64 + 1))),
-                        );
-                        integrated_arima_attack(&ctx, direction, &mut rng)
-                    })
-                    .collect()
-            }
-            Scenario::Swap => vec![optimal_swap(&attack_week_actual, &plan, start_slot)],
-        };
-        let gains: Vec<Metric2> = vectors.iter().map(|v| gain_of(v, s, &scheme)).collect();
-        // Worst case overall: the vector the paper evaluates detectors on.
-        let worst_index = gains
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.profit_dollars
-                    .partial_cmp(&b.1.profit_dollars)
-                    .expect("finite profits")
-            })
-            .map(|(i, _)| i)
-            .expect("at least one vector");
-        eval.full_gain[s.index()] = gains[worst_index];
-
-        for dkind in DetectorKind::ALL {
-            let det = &detectors[dkind.index()];
-            let mut best_evading = Metric2::default();
-            let mut worst_detected = false;
-            for (i, vector) in vectors.iter().enumerate() {
-                let flagged = det.is_anomalous(&vector.reported);
-                if i == worst_index {
-                    worst_detected = flagged;
-                }
-                if !flagged {
-                    best_evading = best_evading.max(gains[i]);
-                }
-            }
-            eval.detected[dkind.index()][s.index()] = worst_detected;
-            eval.evading_gain[dkind.index()][s.index()] = best_evading;
-        }
-    }
-    eval
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,7 +602,7 @@ mod tests {
             bins: 10,
             ..EvalConfig::fast(8, 5)
         };
-        evaluate(&data, &config)
+        try_evaluate(&data, &config).expect("valid corpus and config")
     }
 
     #[test]
@@ -691,5 +709,63 @@ mod tests {
             Scenario::IntegratedOver,
         );
         assert!(imp <= 100.0);
+    }
+
+    #[test]
+    fn builder_validates_and_normalises() {
+        assert!(matches!(
+            EvalConfig::builder().train_weeks(0).build(),
+            Err(ConfigError::ZeroTrainWeeks)
+        ));
+        assert!(matches!(
+            EvalConfig::builder().attack_vectors(0).build(),
+            Err(ConfigError::ZeroAttackVectors)
+        ));
+        assert!(matches!(
+            EvalConfig::builder().bins(0).build(),
+            Err(ConfigError::ZeroBins)
+        ));
+        assert!(matches!(
+            EvalConfig::builder().confidence(1.5).build(),
+            Err(ConfigError::InvalidConfidence { .. })
+        ));
+        let config = EvalConfig::builder()
+            .train_weeks(8)
+            .attack_vectors(5)
+            .threads(0)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.train_weeks, 8);
+        assert!(config.threads >= 1, "threads must be normalised");
+    }
+
+    #[test]
+    fn threads_are_not_part_of_the_serialised_config() {
+        let a = EvalConfig {
+            threads: 1,
+            ..EvalConfig::default()
+        };
+        let b = EvalConfig {
+            threads: 8,
+            ..EvalConfig::default()
+        };
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "thread count is execution policy, not protocol"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_works() {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(2, 12, 32));
+        let config = EvalConfig {
+            threads: 1,
+            ..EvalConfig::fast(8, 3)
+        };
+        let legacy = evaluate(&data, &config);
+        let current = try_evaluate(&data, &config).expect("valid corpus");
+        assert_eq!(legacy, current);
     }
 }

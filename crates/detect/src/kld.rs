@@ -104,6 +104,43 @@ impl KldDetector {
         })
     }
 
+    /// The threshold this detector would use at an arbitrary percentile —
+    /// a quantile lookup on the cached sorted training divergences, with
+    /// no retraining. The scores themselves are threshold-independent, so
+    /// `score(w) > threshold_at(p)` is exactly what a detector freshly
+    /// trained at `p` would decide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `[0, 1]`.
+    pub fn threshold_at(&self, percentile: f64) -> f64 {
+        Quantile::of_sorted(&self.training_k, percentile)
+    }
+
+    /// A copy of this detector re-thresholded at an arbitrary percentile;
+    /// identical to [`KldDetector::train_at_percentile`] on the same
+    /// window but without recomputing edges, baseline, or training scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `[0, 1]`.
+    pub fn at_percentile(&self, percentile: f64) -> Self {
+        Self {
+            threshold: self.threshold_at(percentile),
+            level: None,
+            percentile,
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this detector re-thresholded at a named significance
+    /// level; identical to [`KldDetector::train`] at that level.
+    pub fn at_level(&self, level: SignificanceLevel) -> Self {
+        let mut detector = self.at_percentile(level.percentile());
+        detector.level = Some(level);
+        detector
+    }
+
     /// The divergence `K` of one week against the baseline, in bits.
     pub fn score(&self, week: &WeekVector) -> f64 {
         let hist = self.edges.histogram(week.as_slice());
@@ -183,6 +220,9 @@ struct Band {
     slots: Vec<usize>,
     edges: BinEdges,
     baseline: Histogram,
+    /// Sorted training divergences of this band (kept so the band can be
+    /// re-thresholded at any level without retraining).
+    training_k: Vec<f64>,
     threshold: f64,
 }
 
@@ -246,6 +286,7 @@ impl ConditionedKldDetector {
                 slots,
                 edges,
                 baseline,
+                training_k,
                 threshold,
             });
         }
@@ -269,6 +310,24 @@ impl ConditionedKldDetector {
     /// The configured significance level.
     pub fn level(&self) -> SignificanceLevel {
         self.level
+    }
+
+    /// A copy of this detector with every band re-thresholded at `level`
+    /// from its cached training divergences; identical to
+    /// [`ConditionedKldDetector::train_tou`] /
+    /// [`ConditionedKldDetector::train_with_bands`] at that level.
+    pub fn at_level(&self, level: SignificanceLevel) -> Self {
+        Self {
+            bands: self
+                .bands
+                .iter()
+                .map(|band| Band {
+                    threshold: Quantile::of_sorted(&band.training_k, level.percentile()),
+                    ..band.clone()
+                })
+                .collect(),
+            level,
+        }
     }
 }
 
@@ -433,6 +492,25 @@ mod tests {
             SignificanceLevel::Ten,
         );
         assert!(matches!(result, Err(TsError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn rethresholding_matches_fresh_training() {
+        let train = training(30, 8);
+        let base = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let fresh_ten = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Ten).unwrap();
+        assert_eq!(base.at_level(SignificanceLevel::Ten), fresh_ten);
+        let fresh_p = KldDetector::train_at_percentile(&train, DEFAULT_BINS, 0.85).unwrap();
+        assert_eq!(base.at_percentile(0.85), fresh_p);
+        assert_eq!(base.threshold_at(0.85), fresh_p.threshold());
+        let plan = TouPlan::ireland_nightsaver();
+        let cond =
+            ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Five)
+                .unwrap();
+        let cond_ten =
+            ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Ten)
+                .unwrap();
+        assert_eq!(cond.at_level(SignificanceLevel::Ten), cond_ten);
     }
 
     #[test]

@@ -27,10 +27,19 @@
 //! paper's Metric 1 (detection percentage) and Metric 2 (worst-case kWh
 //! stolen and $ profit). [`ttd`] adds the time-to-detection analysis the
 //! paper cites from its companion work.
+//!
+//! [`engine`] is how the protocol actually runs: an [`EvalEngine`] trains
+//! one [`TrainedConsumer`] artifact per consumer (ARIMA fit, KLD
+//! histograms and quantiles, PCA subspace, integrated ranges) with
+//! work-stealing scheduling, then scores the protocol — and any number of
+//! threshold sweeps — from the cached artifacts. Failures surface as
+//! typed [`EvalError`]s rather than panics.
 
 pub mod arima_detector;
 pub mod budget;
 pub mod detector;
+pub mod engine;
+pub mod error;
 pub mod eval;
 pub mod integrated;
 pub mod kld;
@@ -41,7 +50,16 @@ pub mod ttd;
 pub use arima_detector::ArimaDetector;
 pub use budget::AlertBudget;
 pub use detector::{Detector, Verdict};
-pub use eval::{evaluate, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario, ScenarioResult};
+pub use engine::{
+    AlphaPoint, ArtifactParams, EngineStage, EngineStats, EvalEngine, TrainedConsumer,
+};
+pub use error::{ConfigError, EvalError, TrainError};
+#[allow(deprecated)]
+pub use eval::evaluate;
+pub use eval::{
+    try_evaluate, DetectorKind, EvalConfig, EvalConfigBuilder, Evaluation, Metric2, Scenario,
+    ScenarioResult,
+};
 pub use integrated::IntegratedArimaDetector;
 pub use kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
 pub use pca::PcaDetector;

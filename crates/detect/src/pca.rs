@@ -173,6 +173,18 @@ impl PcaDetector {
         self.threshold
     }
 
+    /// A copy of this detector re-thresholded at `level` — a quantile
+    /// lookup on the cached sorted training residuals, identical to
+    /// retraining at that level (the subspace itself is
+    /// threshold-independent).
+    pub fn at_level(&self, level: SignificanceLevel) -> Self {
+        Self {
+            threshold: Quantile::of_sorted(&self.training_errors, level.percentile()),
+            level,
+            ..self.clone()
+        }
+    }
+
     /// Number of principal components retained.
     pub fn component_count(&self) -> usize {
         self.components.len()
@@ -295,6 +307,14 @@ mod tests {
             "PCA should catch most swaps ({caught}/{})",
             clean_weeks.len()
         );
+    }
+
+    #[test]
+    fn rethresholding_matches_fresh_training() {
+        let train = training(20, 6);
+        let base = PcaDetector::train(&train, 3, SignificanceLevel::Five).unwrap();
+        let fresh = PcaDetector::train(&train, 3, SignificanceLevel::Ten).unwrap();
+        assert_eq!(base.at_level(SignificanceLevel::Ten), fresh);
     }
 
     #[test]

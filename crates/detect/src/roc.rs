@@ -10,7 +10,6 @@ use serde::{Deserialize, Serialize};
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
 use fdeta_tsdata::TsError;
 
-use crate::detector::Detector;
 use crate::kld::KldDetector;
 
 /// One operating point of a threshold detector.
@@ -32,9 +31,11 @@ impl RocPoint {
     }
 }
 
-/// Computes the KLD detector's operating curve for one consumer: for each
-/// significance level, train at the corresponding percentile and measure
-/// rates over the given clean and attack weeks.
+/// Computes the KLD detector's operating curve for one consumer: train
+/// **once**, score every week **once**, then re-threshold the cached
+/// scores at each significance level (the detector's scores are
+/// threshold-independent, so this is exactly the curve per-α retraining
+/// would produce, at a fraction of the cost).
 ///
 /// Alphas are clamped into `(0, 1)`; the returned points are in the input
 /// order.
@@ -49,20 +50,25 @@ pub fn kld_roc_curve(
     bins: usize,
     alphas: &[f64],
 ) -> Result<Vec<RocPoint>, TsError> {
+    // The percentile used here is irrelevant: only the cached training
+    // quantiles and the week scores matter, and both are shared across α.
+    let detector = KldDetector::train(train, bins, crate::kld::SignificanceLevel::Five)?;
+    let clean_scores: Vec<f64> = clean_weeks.iter().map(|w| detector.score(w)).collect();
+    let attack_scores: Vec<f64> = attack_weeks.iter().map(|w| detector.score(w)).collect();
     let mut points = Vec::with_capacity(alphas.len());
     for &alpha in alphas {
         let alpha = alpha.clamp(1e-6, 1.0 - 1e-6);
-        let detector = KldDetector::train_at_percentile(train, bins, 1.0 - alpha)?;
-        let rate = |weeks: &[WeekVector]| {
-            if weeks.is_empty() {
+        let threshold = detector.threshold_at(1.0 - alpha);
+        let rate = |scores: &[f64]| {
+            if scores.is_empty() {
                 return 0.0;
             }
-            weeks.iter().filter(|w| detector.is_anomalous(w)).count() as f64 / weeks.len() as f64
+            scores.iter().filter(|&&s| s > threshold).count() as f64 / scores.len() as f64
         };
         points.push(RocPoint {
             alpha,
-            detection_rate: rate(attack_weeks),
-            false_positive_rate: rate(clean_weeks),
+            detection_rate: rate(&attack_scores),
+            false_positive_rate: rate(&clean_scores),
         });
     }
     Ok(points)
@@ -137,6 +143,24 @@ mod tests {
             assert!(best.youden_j() >= p.youden_j());
         }
         assert!(best_operating_point(&[]).is_none());
+    }
+
+    #[test]
+    fn rethresholded_curve_matches_per_alpha_retraining() {
+        // The optimisation claim, verified: scoring once and re-thresholding
+        // is exactly equivalent to retraining the detector per α.
+        use crate::detector::Detector;
+        let (train, clean, attacks) = setup();
+        let alphas = [0.01, 0.05, 0.10, 0.20];
+        let curve = kld_roc_curve(&train, &clean, &attacks, 10, &alphas).unwrap();
+        for (point, &alpha) in curve.iter().zip(&alphas) {
+            let det = KldDetector::train_at_percentile(&train, 10, 1.0 - alpha).unwrap();
+            let rate = |weeks: &[WeekVector]| {
+                weeks.iter().filter(|w| det.is_anomalous(w)).count() as f64 / weeks.len() as f64
+            };
+            assert_eq!(point.detection_rate, rate(&attacks));
+            assert_eq!(point.false_positive_rate, rate(&clean));
+        }
     }
 
     #[test]

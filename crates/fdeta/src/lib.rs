@@ -77,7 +77,8 @@ pub mod prelude {
     };
     pub use fdeta_cer_synth::{ConsumerClass, DatasetConfig, SyntheticDataset};
     pub use fdeta_detect::{
-        AlertBudget, ConditionedKldDetector, Detector, KldDetector, PcaDetector, SignificanceLevel,
+        try_evaluate, AlertBudget, ConditionedKldDetector, Detector, EvalConfig, EvalEngine,
+        EvalError, KldDetector, PcaDetector, SignificanceLevel, TrainError, TrainedConsumer,
     };
     pub use fdeta_gridsim::{
         BalanceChecker, GridTopology, MeterDeployment, PricingScheme, Snapshot, TouPlan,

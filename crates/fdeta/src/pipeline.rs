@@ -4,15 +4,13 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use fdeta_arima::{ArimaModel, ArimaSpec};
 use fdeta_cer_synth::SyntheticDataset;
 use fdeta_detect::{
-    ArimaDetector, ConditionedKldDetector, Detector, IntegratedArimaDetector, KldDetector,
-    SignificanceLevel,
+    ArimaDetector, ArtifactParams, ConditionedKldDetector, Detector, IntegratedArimaDetector,
+    KldDetector, SignificanceLevel, TrainError, TrainedConsumer,
 };
 use fdeta_gridsim::pricing::TouPlan;
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
-use fdeta_tsdata::TsError;
 
 /// What kind of anomaly an alert describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -166,26 +164,32 @@ pub struct Pipeline {
 impl Pipeline {
     /// Trains monitors for every consumer in the dataset (step 1).
     ///
+    /// Each monitor is derived from a shared [`TrainedConsumer`] artifact
+    /// (the same per-consumer trained state the evaluation engine uses),
+    /// re-thresholded at the pipeline's significance level.
+    ///
     /// # Errors
     ///
-    /// Returns [`TsError::NotEnoughWeeks`] if any consumer has fewer than
-    /// `train_weeks` whole weeks, and propagates histogram errors.
-    pub fn train(dataset: &SyntheticDataset, config: &PipelineConfig) -> Result<Self, TsError> {
+    /// Returns [`TrainError::NotEnoughWeeks`] if any consumer has fewer
+    /// than `train_weeks` whole weeks, and propagates detector training
+    /// errors.
+    pub fn train(dataset: &SyntheticDataset, config: &PipelineConfig) -> Result<Self, TrainError> {
         let mut monitors = HashMap::with_capacity(dataset.len());
         for index in 0..dataset.len() {
             let record = dataset.consumer(index);
             let available = record.series.whole_weeks();
             if available < config.train_weeks {
-                return Err(TsError::NotEnoughWeeks {
+                return Err(TrainError::NotEnoughWeeks {
+                    consumer: record.id,
                     required: config.train_weeks,
                     available,
                 });
             }
             let train = record
                 .series
-                .week_range(0, config.train_weeks)?
-                .to_week_matrix()?;
-            monitors.insert(record.id, Self::train_monitor(&train, config)?);
+                .week_range(0, config.train_weeks)
+                .and_then(|s| s.to_week_matrix())?;
+            monitors.insert(record.id, Self::train_monitor(record.id, &train, config)?);
         }
         Ok(Self {
             monitors,
@@ -194,33 +198,25 @@ impl Pipeline {
     }
 
     fn train_monitor(
+        id: u32,
         train: &WeekMatrix,
         config: &PipelineConfig,
-    ) -> Result<ConsumerMonitor, TsError> {
-        let kld = KldDetector::train(train, config.bins, config.level)?;
-        let conditioned =
-            ConditionedKldDetector::train_tou(train, &config.tou, config.bins, config.level)?;
-        let (p, d, q) = config.arima_order;
-        let interval = ArimaSpec::new(p, d, q)
-            .ok()
-            .and_then(|spec| ArimaModel::fit(train.flat(), spec).ok())
-            .map(|model| {
-                (
-                    ArimaDetector::new(model.clone(), train, config.confidence),
-                    IntegratedArimaDetector::new(model, train, config.confidence),
-                )
-            });
-        let means = train.weekly_means();
-        let mean_range = (
-            means.iter().cloned().fold(f64::INFINITY, f64::min),
-            means.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        );
+    ) -> Result<ConsumerMonitor, TrainError> {
+        let params = ArtifactParams {
+            bins: config.bins,
+            confidence: config.confidence,
+            arima_order: config.arima_order,
+            // The pipeline does not use the subspace detector.
+            pca_components: 0,
+            tou: config.tou,
+        };
+        let artifact = TrainedConsumer::from_window(id, 0, train, &params)?;
         Ok(ConsumerMonitor {
             train: train.clone(),
-            kld,
-            conditioned,
-            interval,
-            mean_range,
+            kld: artifact.kld_at(config.level),
+            conditioned: artifact.conditioned_at(config.level),
+            interval: artifact.interval_detectors(),
+            mean_range: artifact.mean_range(),
         })
     }
 
@@ -240,13 +236,13 @@ impl Pipeline {
         &mut self,
         consumer: u32,
         week: &WeekVector,
-    ) -> Result<(), TsError> {
+    ) -> Result<(), TrainError> {
         let Some(monitor) = self.monitors.get_mut(&consumer) else {
             return Ok(());
         };
         let mut train = monitor.train.clone();
         train.roll(week);
-        *monitor = Self::train_monitor(&train, &self.config)?;
+        *monitor = Self::train_monitor(consumer, &train, &self.config)?;
         Ok(())
     }
 

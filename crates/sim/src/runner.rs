@@ -7,6 +7,7 @@ use fdeta::pipeline::{Pipeline, PipelineConfig};
 use fdeta_arima::{ArimaError, ArimaModel, ArimaSpec};
 use fdeta_attacks::{integrated_arima_worst_case, optimal_swap, Direction, InjectionContext};
 use fdeta_cer_synth::SyntheticDataset;
+use fdeta_detect::TrainError;
 use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
 use fdeta_gridsim::topology::GridTopology;
 use fdeta_gridsim::GridError;
@@ -27,6 +28,8 @@ pub enum SimError {
     /// The utility model could not be fitted for a consumer an attacker
     /// needs to impersonate.
     Arima(ArimaError),
+    /// The detection pipeline could not train a consumer's monitor.
+    Train(TrainError),
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +38,7 @@ impl fmt::Display for SimError {
             SimError::Ts(e) => write!(f, "time-series error: {e}"),
             SimError::Grid(e) => write!(f, "grid error: {e}"),
             SimError::Arima(e) => write!(f, "model error: {e}"),
+            SimError::Train(e) => write!(f, "pipeline training error: {e}"),
         }
     }
 }
@@ -54,6 +58,11 @@ impl From<GridError> for SimError {
 impl From<ArimaError> for SimError {
     fn from(e: ArimaError) -> Self {
         SimError::Arima(e)
+    }
+}
+impl From<TrainError> for SimError {
+    fn from(e: TrainError) -> Self {
+        SimError::Train(e)
     }
 }
 

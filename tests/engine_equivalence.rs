@@ -1,0 +1,158 @@
+//! Integration: the shared evaluation engine must be an invisible
+//! optimisation — cached artifacts, work-stealing scheduling, and quantile
+//! re-thresholding all have to produce byte-for-byte the results of the
+//! naive retrain-everything path.
+
+use fdeta::cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta::detect::eval::{try_evaluate, EvalConfig, Scenario};
+use fdeta::detect::{ConfigError, Detector, EvalEngine, EvalError, KldDetector};
+
+fn corpus(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::small(consumers, weeks, seed))
+}
+
+#[test]
+fn evaluation_json_is_thread_count_invariant() {
+    let data = corpus(10, 14, 7);
+    let base = EvalConfig::fast(12, 3);
+    let serial = try_evaluate(
+        &data,
+        &EvalConfig {
+            threads: 1,
+            ..base.clone()
+        },
+    )
+    .expect("serial run");
+    let parallel = try_evaluate(&data, &EvalConfig { threads: 8, ..base }).expect("parallel run");
+    let serial_json = serde_json::to_string(&serial).expect("serialises");
+    let parallel_json = serde_json::to_string(&parallel).expect("serialises");
+    assert_eq!(
+        serial_json, parallel_json,
+        "thread count must not leak into the Evaluation"
+    );
+}
+
+#[test]
+fn cached_artifacts_match_retrain_from_scratch() {
+    let data = corpus(10, 14, 21);
+    let config = EvalConfig {
+        threads: 2,
+        ..EvalConfig::fast(12, 3)
+    };
+    let engine = EvalEngine::train(&data, &config).expect("engine trains");
+    let first = engine.evaluate().expect("first pass");
+    let second = engine.evaluate().expect("second pass");
+    assert_eq!(first, second, "cached artifacts must score identically");
+    let scratch = try_evaluate(&data, &config).expect("fresh run");
+    assert_eq!(first, scratch, "engine must equal the one-shot path");
+}
+
+#[test]
+fn too_few_weeks_is_a_typed_error_not_a_panic() {
+    let data = corpus(4, 8, 3);
+    // 10 training weeks + attack week + clean week > 8 available.
+    let config = EvalConfig::fast(10, 2);
+    let result = try_evaluate(&data, &config);
+    assert!(
+        matches!(result, Err(EvalError::Train(_))),
+        "expected a typed training error, got {result:?}"
+    );
+}
+
+#[test]
+fn builder_rejects_invalid_configs() {
+    assert!(matches!(
+        EvalConfig::builder().train_weeks(0).build(),
+        Err(ConfigError::ZeroTrainWeeks)
+    ));
+    assert!(matches!(
+        EvalConfig::builder().attack_vectors(0).build(),
+        Err(ConfigError::ZeroAttackVectors)
+    ));
+    assert!(matches!(
+        EvalConfig::builder().bins(0).build(),
+        Err(ConfigError::ZeroBins)
+    ));
+    assert!(matches!(
+        EvalConfig::builder().confidence(1.5).build(),
+        Err(ConfigError::InvalidConfidence { .. })
+    ));
+    let config = EvalConfig::builder()
+        .threads(0)
+        .build()
+        .expect("defaults are valid");
+    assert!(config.threads >= 1, "threads = 0 must be normalised");
+}
+
+#[test]
+fn deprecated_wrapper_matches_try_evaluate() {
+    let data = corpus(2, 10, 11);
+    let config = EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(8, 2)
+    };
+    #[allow(deprecated)]
+    let legacy = fdeta::detect::eval::evaluate(&data, &config);
+    let modern = try_evaluate(&data, &config).expect("evaluates");
+    assert_eq!(legacy, modern);
+}
+
+#[test]
+fn alpha_sweep_rescoring_matches_full_retrain() {
+    let data = corpus(10, 14, 99);
+    let config = EvalConfig {
+        threads: 2,
+        ..EvalConfig::fast(12, 3)
+    };
+    let engine = EvalEngine::train(&data, &config).expect("engine trains");
+    let alphas = [0.02, 0.05, 0.10, 0.20];
+    let points = engine.kld_alpha_sweep(&alphas).expect("sweep");
+    assert_eq!(points.len(), alphas.len());
+
+    for (point, &alpha) in points.iter().zip(&alphas) {
+        // The legacy path: a KLD detector freshly trained at this level for
+        // every consumer, applied to the same clean and worst-case weeks.
+        let percentile = 1.0 - alpha;
+        let mut n = 0usize;
+        let mut fp = 0usize;
+        let mut det_over = 0usize;
+        let mut det_under = 0usize;
+        let mut m1_over = 0usize;
+        let mut m1_under = 0usize;
+        for artifact in engine.artifacts() {
+            if !artifact.has_model() {
+                continue;
+            }
+            let clean = artifact.clean_week().expect("clean week");
+            let (over, _) = artifact
+                .worst_case(Scenario::IntegratedOver, engine.config())
+                .expect("over-report attack");
+            let (under, _) = artifact
+                .worst_case(Scenario::IntegratedUnder, engine.config())
+                .expect("under-report attack");
+            let fresh = KldDetector::train_at_percentile(
+                artifact.train_matrix(),
+                engine.config().bins,
+                percentile,
+            )
+            .expect("fresh training");
+            let clean_flag = fresh.is_anomalous(&clean);
+            let over_flag = fresh.is_anomalous(&over.reported);
+            let under_flag = fresh.is_anomalous(&under.reported);
+            n += 1;
+            fp += usize::from(clean_flag);
+            det_over += usize::from(over_flag);
+            det_under += usize::from(under_flag);
+            m1_over += usize::from(over_flag && !clean_flag);
+            m1_under += usize::from(under_flag && !clean_flag);
+        }
+        assert!(n > 0, "corpus must contain modelled consumers");
+        let denom = n as f64;
+        assert_eq!(point.consumers, n);
+        assert_eq!(point.false_positive_rate, fp as f64 / denom);
+        assert_eq!(point.detection_over, det_over as f64 / denom);
+        assert_eq!(point.detection_under, det_under as f64 / denom);
+        assert_eq!(point.metric1_over, m1_over as f64 / denom);
+        assert_eq!(point.metric1_under, m1_under as f64 / denom);
+    }
+}
