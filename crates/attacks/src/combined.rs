@@ -22,6 +22,7 @@ use fdeta_tsdata::week::WeekVector;
 use fdeta_tsdata::{DAYS_PER_WEEK, SLOTS_PER_DAY};
 
 use crate::integrated_arima::integrated_arima_attack;
+use crate::optimal_swap::profitable_swap_day;
 use crate::vector::{AttackVector, Direction, InjectionContext};
 
 /// Re-times `reported` within each day for tariff optimality (the Optimal
@@ -41,15 +42,7 @@ fn retime_reported(reported: &WeekVector, plan: &TouPlan, start_slot: usize) -> 
                 off.push(global);
             }
         }
-        peak.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite readings"));
-        off.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite readings"));
-        for (&p, &o) in peak.iter().zip(&off) {
-            if values[p] > values[o] {
-                values.swap(p, o);
-            } else {
-                break;
-            }
-        }
+        profitable_swap_day(&mut values, &mut peak, &mut off);
     }
     WeekVector::new(values).expect("permutation of valid readings")
 }
@@ -102,16 +95,9 @@ pub fn over_report_and_shift(
                 off.push(global);
             }
         }
-        // Largest off-peak readings trade places with smallest peak ones.
-        off.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite readings"));
-        peak.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite readings"));
-        for (&o, &p) in off.iter().zip(&peak) {
-            if values[o] > values[p] {
-                values.swap(o, p);
-            } else {
-                break;
-            }
-        }
+        // Largest off-peak readings trade places with smallest peak ones:
+        // the same swap with the window roles reversed.
+        profitable_swap_day(&mut values, &mut off, &mut peak);
     }
     AttackVector {
         actual: stage1.actual,
@@ -228,8 +214,8 @@ mod tests {
         let combined = under_report_and_shift(&ctx, &plan, &mut rng);
         let mut a: Vec<f64> = stage1.reported.as_slice().to_vec();
         let mut b: Vec<f64> = combined.reported.as_slice().to_vec();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
         assert_eq!(a, b, "re-timing must only permute the stage-1 report");
     }
 

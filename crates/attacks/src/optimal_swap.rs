@@ -19,6 +19,31 @@ use fdeta_tsdata::{DAYS_PER_WEEK, SLOTS_PER_DAY};
 
 use crate::vector::AttackVector;
 
+/// One day of the swap: move the largest readings indexed by `expensive`
+/// into the slots indexed by `cheap`, one profitable pair at a time.
+///
+/// `total_cmp` keeps the comparator total: a NaN reading (e.g. from a
+/// degenerate forecast) sorts after every finite value instead of
+/// panicking mid-sort, and the `>` guard then rejects the swap.
+pub(crate) fn profitable_swap_day(
+    values: &mut [f64],
+    expensive: &mut [usize],
+    cheap: &mut [usize],
+) {
+    // Highest expensive-window readings first; lowest cheap first.
+    expensive.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    cheap.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    for (&e, &c) in expensive.iter().zip(cheap.iter()) {
+        // Swap only while profitable: the expensive-window reading must
+        // exceed the cheap-window reading it trades places with.
+        if values[e] > values[c] {
+            values.swap(e, c);
+        } else {
+            break;
+        }
+    }
+}
+
 /// Injects the Optimal Swap attack on one week of true readings under the
 /// given TOU plan.
 pub fn optimal_swap(actual: &WeekVector, plan: &TouPlan, start_slot: usize) -> AttackVector {
@@ -36,26 +61,7 @@ pub fn optimal_swap(actual: &WeekVector, plan: &TouPlan, start_slot: usize) -> A
                 off.push(global);
             }
         }
-        // Highest peak readings first; lowest off-peak readings first.
-        peak.sort_by(|&a, &b| {
-            reported[b]
-                .partial_cmp(&reported[a])
-                .expect("finite readings")
-        });
-        off.sort_by(|&a, &b| {
-            reported[a]
-                .partial_cmp(&reported[b])
-                .expect("finite readings")
-        });
-        for (&p, &o) in peak.iter().zip(&off) {
-            // Swap only while profitable: the peak reading must exceed the
-            // off-peak reading it trades places with.
-            if reported[p] > reported[o] {
-                reported.swap(p, o);
-            } else {
-                break;
-            }
-        }
+        profitable_swap_day(&mut reported, &mut peak, &mut off);
     }
     AttackVector {
         actual: actual.clone(),
@@ -129,7 +135,7 @@ mod tests {
         // readings, bill the largest 18 (off-peak window size) off-peak.
         let day: Vec<f64> = week.as_slice()[..SLOTS_PER_DAY].to_vec();
         let mut sorted = day.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let off_slots = 18;
         let optimal_cost: f64 = sorted
             .iter()
@@ -148,6 +154,33 @@ mod tests {
             (reported_day_cost - optimal_cost).abs() < 1e-9,
             "reported {reported_day_cost} vs optimal {optimal_cost}"
         );
+    }
+
+    #[test]
+    fn nan_bearing_readings_no_longer_panic_the_swap() {
+        // Regression: these comparators were `partial_cmp().expect("finite
+        // readings")` and panicked the whole attack on a single NaN (e.g. a
+        // degenerate forecast). total_cmp is total: NaN sorts after every
+        // finite value, the profitability guard rejects it, and the finite
+        // readings still end up optimally arranged.
+        let mut values = vec![2.0, 0.3, 1.0, 0.1, f64::NAN, 0.5];
+        let mut expensive = vec![0, 1, 2];
+        let mut cheap = vec![3, 4, 5];
+        profitable_swap_day(&mut values, &mut expensive, &mut cheap);
+        // Finite pairs still traded (2.0↔0.1, 1.0↔0.5); the loop stopped
+        // at the NaN instead of panicking, leaving it in place.
+        assert!(values[4].is_nan());
+        assert_eq!(values[3], 2.0, "largest reading moved to the cheap slot");
+        let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        finite.sort_by(f64::total_cmp);
+        assert_eq!(finite, vec![0.1, 0.3, 0.5, 1.0, 2.0], "multiset preserved");
+
+        // NaN in the *expensive* window sorts first and conservatively
+        // blocks the day's swaps — still no panic, readings untouched.
+        let mut values = vec![f64::NAN, 2.0, 1.0, 0.1, 0.2, 0.5];
+        profitable_swap_day(&mut values, &mut vec![0, 1, 2], &mut vec![3, 4, 5]);
+        assert!(values[0].is_nan());
+        assert_eq!(&values[1..], &[2.0, 1.0, 0.1, 0.2, 0.5]);
     }
 
     #[test]

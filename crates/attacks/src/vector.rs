@@ -104,8 +104,8 @@ impl AttackVector {
     pub fn preserves_multiset(&self, tolerance: f64) -> bool {
         let mut a = self.actual.as_slice().to_vec();
         let mut r = self.reported.as_slice().to_vec();
-        a.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
-        r.sort_by(|x, y| x.partial_cmp(y).expect("finite readings"));
+        a.sort_by(f64::total_cmp);
+        r.sort_by(f64::total_cmp);
         a.iter().zip(&r).all(|(x, y)| (x - y).abs() <= tolerance)
     }
 

@@ -30,9 +30,10 @@
 //! across thread counts. Worker panics and per-consumer training failures
 //! surface as typed [`EvalError`]s, never as `expect` panics.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::sync::{AtomicBool, AtomicUsize, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -364,6 +365,7 @@ impl TrainedConsumer {
                     })
                     .collect()
             }
+            // lint:allow(no-panic-in-lib, Scenario::Swap returns before the match above)
             Scenario::Swap => unreachable!("handled above"),
         })
     }
@@ -382,11 +384,7 @@ impl TrainedConsumer {
                 let gain = gain_of(&v, scenario, &scheme);
                 (v, gain)
             })
-            .max_by(|a, b| {
-                a.1.profit_dollars
-                    .partial_cmp(&b.1.profit_dollars)
-                    .expect("finite profits")
-            })
+            .max_by(|a, b| a.1.profit_dollars.total_cmp(&b.1.profit_dollars))
     }
 }
 
@@ -516,7 +514,12 @@ impl EvalEngine {
 
     /// A snapshot of the engine's instrumentation.
     pub fn stats(&self) -> EngineStats {
-        self.stats.lock().expect("stats lock").clone()
+        // A poisoned lock only means a panicking thread held it; the stats
+        // are plain counters and remain usable.
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Scores the full Tables II/III protocol from the cached artifacts.
@@ -707,7 +710,10 @@ impl EvalEngine {
     }
 
     fn note_scoring_pass(&self, wall: Duration) {
-        let mut stats = self.stats.lock().expect("stats lock");
+        let mut stats = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         stats.score_wall = wall;
         stats.scoring_passes += 1;
     }
@@ -732,8 +738,71 @@ pub struct AlphaPoint {
     pub metric1_under: f64,
 }
 
+/// The claim/abort protocol at the heart of [`run_work_stealing`],
+/// extracted as a standalone type so the loom model checker can exhaust
+/// its interleavings (`tests/loom_scheduler.rs`, built with
+/// `RUSTFLAGS="--cfg loom"`).
+///
+/// Protocol invariants, as model-checked:
+///
+/// * every index in `0..n` is claimed **at most once** across all threads
+///   (no double execution);
+/// * when no worker aborts, every index is claimed **exactly once** (no
+///   lost items);
+/// * after [`WorkQueue::abort`], `claim` hands out no new work — the
+///   fleet quiesces.
+#[derive(Debug)]
+pub struct WorkQueue {
+    n: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    abort: AtomicBool,
+}
+
+impl WorkQueue {
+    /// A queue over the work indices `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the next unclaimed index; `None` once the queue is
+    /// exhausted or aborted.
+    pub fn claim(&self) -> Option<usize> {
+        if self.abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        (index < self.n).then_some(index)
+    }
+
+    /// Records one completed item and returns the completed count.
+    pub fn complete(&self) -> usize {
+        self.done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stops the fleet: no further [`WorkQueue::claim`] succeeds.
+    pub fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`WorkQueue::abort`] has been observed.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Items completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
 /// Work-stealing fan-out over `n` items: workers claim the next unclaimed
-/// index from a shared atomic counter, buffer `(index, result)` pairs
+/// index from a shared [`WorkQueue`], buffer `(index, result)` pairs
 /// locally, and the results are merged by index — deterministic output
 /// regardless of thread count or interleaving. The first `Err` aborts the
 /// remaining work; a panicked worker surfaces as
@@ -753,26 +822,20 @@ where
         return Ok(Vec::new());
     }
     let threads = threads.clamp(1, n);
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
+    let queue = WorkQueue::new(n);
     let worker = |_worker_id: usize| -> Result<Vec<(usize, T)>, TrainError> {
         let mut local = Vec::new();
-        while !abort.load(Ordering::Relaxed) {
-            let index = next.fetch_add(1, Ordering::Relaxed);
-            if index >= n {
-                break;
-            }
+        while let Some(index) = queue.claim() {
             match work(index) {
                 Ok(value) => {
                     local.push((index, value));
-                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let completed = queue.complete();
                     if let Some(report) = progress {
                         report(stage, completed, n);
                     }
                 }
                 Err(error) => {
-                    abort.store(true, Ordering::Relaxed);
+                    queue.abort();
                     return Err(error);
                 }
             }
@@ -860,12 +923,9 @@ fn score_consumer(
         let worst_index = gains
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.profit_dollars
-                    .partial_cmp(&b.1.profit_dollars)
-                    .expect("finite profits")
-            })
+            .max_by(|a, b| a.1.profit_dollars.total_cmp(&b.1.profit_dollars))
             .map(|(i, _)| i)
+            // lint:allow(no-panic-in-lib, EvalConfig::validate rejects attack_vectors == 0, so every scenario yields at least one vector)
             .expect("at least one vector");
         eval.full_gain[scenario.index()] = gains[worst_index];
 

@@ -92,7 +92,7 @@ impl KldDetector {
             let hist = edges.histogram(week);
             training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
         }
-        training_k.sort_by(|a, b| a.partial_cmp(b).expect("finite divergences"));
+        training_k.sort_by(f64::total_cmp);
         let threshold = Quantile::of_sorted(&training_k, percentile);
         Ok(Self {
             edges,
@@ -142,9 +142,25 @@ impl KldDetector {
     }
 
     /// The divergence `K` of one week against the baseline, in bits.
-    pub fn score(&self, week: &WeekVector) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::MismatchedBins`] if the week's histogram and
+    /// the baseline disagree in bin count — impossible for a detector built
+    /// by [`KldDetector::train`], but reachable through a detector
+    /// deserialized from a corrupted or hand-edited artifact.
+    pub fn try_score(&self, week: &WeekVector) -> Result<f64, TsError> {
         let hist = self.edges.histogram(week.as_slice());
-        kl_divergence_smoothed(&hist, &self.baseline).expect("same edges by construction")
+        kl_divergence_smoothed(&hist, &self.baseline)
+    }
+
+    /// The divergence `K` of one week against the baseline, in bits.
+    ///
+    /// Infallible variant of [`KldDetector::try_score`] for detectors
+    /// built by training (where the edges match by construction).
+    pub fn score(&self, week: &WeekVector) -> f64 {
+        // lint:allow(no-panic-in-lib, trained detectors share edges by construction; try_score covers untrusted artifacts)
+        self.try_score(week).expect("same edges by construction")
     }
 
     /// The detection threshold (percentile of the training KLD
@@ -280,7 +296,7 @@ impl ConditionedKldDetector {
                 let hist = edges.histogram(&values);
                 training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
             }
-            training_k.sort_by(|a, b| a.partial_cmp(b).expect("finite divergences"));
+            training_k.sort_by(f64::total_cmp);
             let threshold = Quantile::of_sorted(&training_k, level.percentile());
             bands.push(Band {
                 slots,
@@ -294,17 +310,31 @@ impl ConditionedKldDetector {
     }
 
     /// Per-band `(score, threshold)` pairs for one week.
-    pub fn band_scores(&self, week: &WeekVector) -> Vec<(f64, f64)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::MismatchedBins`] if a band's histogram and
+    /// its baseline disagree in bin count — impossible for a trained
+    /// detector, reachable through a corrupted deserialized artifact.
+    pub fn try_band_scores(&self, week: &WeekVector) -> Result<Vec<(f64, f64)>, TsError> {
         self.bands
             .iter()
             .map(|band| {
                 let values: Vec<f64> = band.slots.iter().map(|&s| week.as_slice()[s]).collect();
                 let hist = band.edges.histogram(&values);
-                let score = kl_divergence_smoothed(&hist, &band.baseline)
-                    .expect("same edges by construction");
-                (score, band.threshold)
+                let score = kl_divergence_smoothed(&hist, &band.baseline)?;
+                Ok((score, band.threshold))
             })
             .collect()
+    }
+
+    /// Per-band `(score, threshold)` pairs for one week. Infallible
+    /// variant of [`ConditionedKldDetector::try_band_scores`] for trained
+    /// detectors (band edges match their baselines by construction).
+    pub fn band_scores(&self, week: &WeekVector) -> Vec<(f64, f64)> {
+        // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
+        self.try_band_scores(week)
+            .expect("same edges by construction")
     }
 
     /// The configured significance level.

@@ -45,6 +45,7 @@ pub mod integrated;
 pub mod kld;
 pub mod pca;
 pub mod roc;
+pub(crate) mod sync;
 pub mod ttd;
 
 pub use arima_detector::ArimaDetector;

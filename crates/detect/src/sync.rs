@@ -1,0 +1,16 @@
+//! Atomic primitives, swappable for [loom] model checking.
+//!
+//! Compiled normally this re-exports `std::sync::atomic`; under
+//! `RUSTFLAGS="--cfg loom"` it re-exports loom's instrumented versions so
+//! `tests/loom_scheduler.rs` can exhaustively explore the interleavings of
+//! the [`WorkQueue`](crate::engine::WorkQueue) claim/abort protocol.
+//!
+//! [loom]: https://docs.rs/loom
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicUsize};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize};
+
+pub(crate) use std::sync::atomic::Ordering;

@@ -1,0 +1,135 @@
+//! Loom model check of the eval scheduler's claim/abort protocol.
+//!
+//! The work-stealing fan-out in `engine::run_work_stealing` coordinates
+//! its workers through [`WorkQueue`]: an `AtomicUsize` hands out work
+//! indices, an `AtomicBool` aborts the fleet on the first error. These
+//! tests let [loom](https://docs.rs/loom) exhaust every interleaving of
+//! that protocol for small fleets and assert the invariants the engine's
+//! correctness rests on:
+//!
+//! 1. no index is ever claimed twice (no double execution);
+//! 2. absent an abort, every index is claimed exactly once (no lost
+//!    items);
+//! 3. once a worker aborts, claims quiesce — work claimed *after* the
+//!    abort flag is visible is impossible.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p fdeta-detect --test loom_scheduler --release
+//! ```
+//!
+//! Without `--cfg loom` this file compiles to nothing, so the ordinary
+//! test suite is unaffected.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use fdeta_detect::engine::WorkQueue;
+
+/// Each claimed index lands in exactly one worker's local buffer.
+#[test]
+fn no_index_is_claimed_twice() {
+    loom::model(|| {
+        const N: usize = 3;
+        let queue = Arc::new(WorkQueue::new(N));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    while let Some(index) = queue.claim() {
+                        claimed.push(index);
+                        queue.complete();
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut deduped = all.clone();
+        deduped.dedup();
+        assert_eq!(all, deduped, "an index was claimed by two workers");
+    });
+}
+
+/// With no abort, the fleet drains the queue completely: every index in
+/// `0..n` is claimed exactly once and `completed()` reaches `n`.
+#[test]
+fn no_items_are_lost_without_abort() {
+    loom::model(|| {
+        const N: usize = 3;
+        let queue = Arc::new(WorkQueue::new(N));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    while let Some(index) = queue.claim() {
+                        claimed.push(index);
+                        queue.complete();
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>(), "an index was lost");
+        assert_eq!(queue.completed(), N);
+    });
+}
+
+/// One worker aborts after its first claim; the other keeps claiming.
+/// Every interleaving must uphold both safety invariants: no index is
+/// claimed twice, and no claim succeeds after the abort flag is visible
+/// to the claiming thread.
+#[test]
+fn abort_quiesces_the_fleet() {
+    loom::model(|| {
+        const N: usize = 3;
+        let queue = Arc::new(WorkQueue::new(N));
+
+        let aborter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                let claimed = queue.claim();
+                queue.abort();
+                claimed
+            })
+        };
+        let worker = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut claimed = Vec::new();
+                while let Some(index) = queue.claim() {
+                    // claim() checked the abort flag before handing this
+                    // index out, so at that moment the flag was unset.
+                    claimed.push(index);
+                    queue.complete();
+                }
+                claimed
+            })
+        };
+
+        let mut all: Vec<usize> = worker.join().unwrap();
+        all.extend(aborter.join().unwrap());
+        all.sort_unstable();
+        let mut deduped = all.clone();
+        deduped.dedup();
+        assert_eq!(all, deduped, "an index was claimed by two workers");
+
+        // The fleet has quiesced: with the abort flag set, no further
+        // work is handed out, in any interleaving.
+        assert!(queue.is_aborted());
+        assert_eq!(queue.claim(), None, "claim succeeded after abort");
+    });
+}

@@ -1,6 +1,6 @@
 //! The five-step detection pipeline of Section VII.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -154,10 +154,13 @@ struct ConsumerMonitor {
 /// The trained F-DETA pipeline: one monitor per consumer.
 ///
 /// Serialisable: train once (expensive at fleet scale), persist with
-/// serde, reload at the next monitoring cycle.
+/// serde, reload at the next monitoring cycle. Monitors live in a
+/// `BTreeMap` so iteration — and therefore the persisted JSON — is in
+/// consumer-id order, byte-identical across runs (a `HashMap` here made
+/// every serialisation shuffle monitors by that map's random hash seed).
 #[derive(Serialize, Deserialize)]
 pub struct Pipeline {
-    monitors: HashMap<u32, ConsumerMonitor>,
+    monitors: BTreeMap<u32, ConsumerMonitor>,
     config: PipelineConfig,
 }
 
@@ -174,7 +177,7 @@ impl Pipeline {
     /// than `train_weeks` whole weeks, and propagates detector training
     /// errors.
     pub fn train(dataset: &SyntheticDataset, config: &PipelineConfig) -> Result<Self, TrainError> {
-        let mut monitors = HashMap::with_capacity(dataset.len());
+        let mut monitors = BTreeMap::new();
         for index in 0..dataset.len() {
             let record = dataset.consumer(index);
             let available = record.series.whole_weeks();
@@ -515,6 +518,58 @@ mod tests {
             }
         }
         assert!(fired, "no load-shift alert fired for any quiet consumer");
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use fdeta_cer_synth::DatasetConfig;
+
+    #[test]
+    fn training_twice_serialises_byte_identically() {
+        // Regression: with a HashMap of monitors, two identically-trained
+        // pipelines serialised in different (random) monitor orders.
+        let data = SyntheticDataset::generate(&DatasetConfig::small(5, 12, 123));
+        let config = PipelineConfig {
+            train_weeks: 10,
+            ..Default::default()
+        };
+        let first = serde_json::to_string(&Pipeline::train(&data, &config).unwrap()).unwrap();
+        let second = serde_json::to_string(&Pipeline::train(&data, &config).unwrap()).unwrap();
+        assert_eq!(first, second, "persisted pipelines must be byte-identical");
+    }
+
+    #[test]
+    fn fleet_report_alerts_follow_submission_order() {
+        // Alerts in a cycle report appear in the order the weekly reports
+        // were submitted, not in any map-iteration order.
+        let data = SyntheticDataset::generate(&DatasetConfig::small(5, 12, 77));
+        let config = PipelineConfig {
+            train_weeks: 10,
+            ..Default::default()
+        };
+        let pipeline = Pipeline::train(&data, &config).unwrap();
+        // Every consumer blatantly under-reports, so every consumer alerts;
+        // submit the reports in reversed id order to make ordering visible.
+        let zero = WeekVector::new(vec![0.0; fdeta_tsdata::SLOTS_PER_WEEK]).unwrap();
+        let mut reports: Vec<(u32, WeekVector)> = (0..data.len())
+            .map(|i| (data.consumer(i).id, zero.clone()))
+            .collect();
+        reports.reverse();
+        let report = pipeline.assess_fleet(3, &reports, &NoEvidence);
+        let mut alert_order: Vec<u32> = report.alerts.iter().map(|a| a.consumer).collect();
+        alert_order.dedup(); // a consumer's alerts are contiguous
+        let expected: Vec<u32> = reports
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| alert_order.contains(id))
+            .collect();
+        assert!(!alert_order.is_empty(), "zero weeks must raise alerts");
+        assert_eq!(
+            alert_order, expected,
+            "alert order must mirror report submission order"
+        );
     }
 }
 

@@ -1,6 +1,6 @@
 //! The balance check (Section V-A) and the Section V-B meter-fault alarms.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -16,9 +16,9 @@ use crate::topology::{GridTopology, NodeId};
 /// have no reported variant, Section V-A).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
-    actual: HashMap<NodeId, f64>,
-    reported: HashMap<NodeId, f64>,
-    losses: HashMap<NodeId, f64>,
+    actual: BTreeMap<NodeId, f64>,
+    reported: BTreeMap<NodeId, f64>,
+    losses: BTreeMap<NodeId, f64>,
 }
 
 impl Snapshot {
@@ -269,8 +269,8 @@ impl BalanceChecker {
         grid: &GridTopology,
         deployment: &MeterDeployment,
         snapshot: &Snapshot,
-    ) -> Result<HashMap<NodeId, BalanceStatus>, GridError> {
-        let mut out = HashMap::new();
+    ) -> Result<BTreeMap<NodeId, BalanceStatus>, GridError> {
+        let mut out = BTreeMap::new();
         for node in grid.internal_nodes() {
             if let Some(status) = self.check_node(grid, deployment, snapshot, node)? {
                 out.insert(node, status);
@@ -283,7 +283,7 @@ impl BalanceChecker {
     pub fn alarms(
         &self,
         grid: &GridTopology,
-        events: &HashMap<NodeId, BalanceStatus>,
+        events: &BTreeMap<NodeId, BalanceStatus>,
     ) -> Vec<BalanceAlarm> {
         let failed = |n: NodeId| events.get(&n).is_some_and(|s| s.is_failure());
         let metered = |n: NodeId| events.contains_key(&n);

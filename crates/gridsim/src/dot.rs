@@ -4,7 +4,7 @@
 //! tree with meter deployment state and (optionally) the latest balance
 //! check outcomes, ready for `dot -Tsvg`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::balance::BalanceStatus;
@@ -20,7 +20,7 @@ use crate::topology::{GridTopology, NodeId};
 pub fn to_dot(
     grid: &GridTopology,
     deployment: &MeterDeployment,
-    events: Option<&HashMap<NodeId, BalanceStatus>>,
+    events: Option<&BTreeMap<NodeId, BalanceStatus>>,
 ) -> String {
     let mut out = String::from("digraph feeder {\n  rankdir=TB;\n  node [fontsize=10];\n");
     for node in grid.iter() {

@@ -1,0 +1,210 @@
+//! The committed lint baseline: existing violations are burned down
+//! incrementally while *new* ones fail the build.
+//!
+//! Format: one tab-separated line per distinct violation site,
+//! `rule<TAB>path<TAB>count<TAB>snippet`, sorted. Keying on the
+//! whitespace-normalized snippet instead of the line number makes the
+//! baseline stable under unrelated edits that shift line numbers; the
+//! count makes it a multiset so two identical sites in one file are
+//! still tracked exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lints::Finding;
+
+/// (rule name, path, snippet) — the identity of a violation site.
+pub type Key = (String, String, String);
+
+/// A parsed baseline: violation key → allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<Key, usize>,
+}
+
+/// The result of checking findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Baseline entries with fewer (or zero) current matches: progress!
+    /// Each entry is (key, how many baseline slots went unused).
+    pub stale: Vec<(Key, usize)>,
+}
+
+/// A malformed baseline line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in the baseline file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from the current set of findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<Key, usize> = BTreeMap::new();
+        for finding in findings {
+            *entries.entry(finding.key()).or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Parses the baseline file format.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = raw.splitn(4, '\t');
+            let (Some(rule), Some(path), Some(count), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "expected rule<TAB>path<TAB>count<TAB>snippet".to_owned(),
+                });
+            };
+            let count: usize = count.parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("count `{count}` is not a number"),
+            })?;
+            *entries
+                .entry((rule.to_owned(), path.to_owned(), snippet.to_owned()))
+                .or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Result<Self, ParseError>> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Ok(Self::default())),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Renders the baseline file format (sorted, stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Lint baseline: pre-existing violations tolerated by `cargo xtask lint`.\n\
+             # Burn entries down by fixing the code, then run `cargo xtask lint --update-baseline`.\n\
+             # Format: rule<TAB>path<TAB>count<TAB>snippet\n",
+        );
+        for ((rule, path, snippet), count) in &self.entries {
+            out.push_str(&format!("{rule}\t{path}\t{count}\t{snippet}\n"));
+        }
+        out
+    }
+
+    /// Total number of tolerated violations.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Checks `findings` against this baseline.
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let mut remaining = self.entries.clone();
+        let mut comparison = Comparison::default();
+        for finding in findings {
+            match remaining.get_mut(&finding.key()) {
+                Some(count) if *count > 0 => *count -= 1,
+                _ => comparison.new.push(finding.clone()),
+            }
+        }
+        for (key, count) in remaining {
+            if count > 0 {
+                comparison.stale.push((key, count));
+            }
+        }
+        comparison
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Rule;
+
+    fn finding(rule: Rule, path: &str, line: usize, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            snippet: snippet.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let findings = vec![
+            finding(Rule::NoPanicInLib, "a.rs", 3, "x.unwrap()"),
+            finding(Rule::NoPanicInLib, "a.rs", 9, "x.unwrap()"),
+            finding(Rule::NanUnsafeSort, "b.rs", 5, "v.sort_by(..)"),
+        ];
+        let baseline = Baseline::from_findings(&findings);
+        let reparsed = Baseline::parse(&baseline.render()).unwrap();
+        assert_eq!(baseline, reparsed);
+        assert_eq!(reparsed.total(), 3);
+    }
+
+    #[test]
+    fn line_drift_does_not_create_new_findings() {
+        let baseline =
+            Baseline::from_findings(&[finding(Rule::NoPanicInLib, "a.rs", 3, "x.unwrap()")]);
+        // Same site, new line number after unrelated edits above it.
+        let cmp = baseline.compare(&[finding(Rule::NoPanicInLib, "a.rs", 42, "x.unwrap()")]);
+        assert!(cmp.new.is_empty());
+        assert!(cmp.stale.is_empty());
+    }
+
+    #[test]
+    fn extra_occurrence_is_new() {
+        let baseline =
+            Baseline::from_findings(&[finding(Rule::NoPanicInLib, "a.rs", 3, "x.unwrap()")]);
+        let cmp = baseline.compare(&[
+            finding(Rule::NoPanicInLib, "a.rs", 3, "x.unwrap()"),
+            finding(Rule::NoPanicInLib, "a.rs", 7, "x.unwrap()"),
+        ]);
+        assert_eq!(cmp.new.len(), 1);
+        assert_eq!(cmp.new[0].line, 7);
+    }
+
+    #[test]
+    fn fixed_violation_reports_stale() {
+        let baseline =
+            Baseline::from_findings(&[finding(Rule::NoPanicInLib, "a.rs", 3, "x.unwrap()")]);
+        let cmp = baseline.compare(&[]);
+        assert!(cmp.new.is_empty());
+        assert_eq!(cmp.stale.len(), 1);
+        assert_eq!(cmp.stale[0].1, 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = Baseline::parse("no tabs here").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let baseline =
+            Baseline::parse("# header\n\nno-panic-in-lib\ta.rs\t2\tx.unwrap()\n").unwrap();
+        assert_eq!(baseline.total(), 2);
+    }
+}

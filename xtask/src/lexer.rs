@@ -1,0 +1,388 @@
+//! A minimal Rust lexer — just enough structure for the repo lints.
+//!
+//! The full-fidelity route would be a `syn` AST visitor, but the lint
+//! driver must build with **zero external dependencies** so it works on
+//! offline runners. The lints only need token-level facts (identifier
+//! chains like `.partial_cmp(..).unwrap()`, `#[cfg(test)]` block extents,
+//! `as <ty>` casts), and a hand-rolled lexer provides those exactly, while
+//! correctly skipping the places regexes get wrong: string literals, raw
+//! strings, char-vs-lifetime ambiguity, and nested block comments.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `as`, `mod`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `!`, ...).
+    Punct(char),
+    /// A string / char / byte literal (contents dropped).
+    Literal,
+    /// A numeric literal.
+    Number,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A comment found during lexing (kept for `lint:allow` parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// The comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexer's output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-trivia tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unknown bytes are skipped —
+/// the lints prefer resilience over strictness (a file that fails real
+/// compilation will be reported by `cargo build`, not by us).
+pub fn lex(source: &str) -> LexOutput {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_continue = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            // Line or block comment.
+            '/' if i + 1 < n && (chars[i + 1] == '/' || chars[i + 1] == '*') => {
+                if chars[i + 1] == '/' {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < n && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    out.comments.push(Comment {
+                        line,
+                        text: chars[start..j].iter().collect(),
+                    });
+                    i = j;
+                } else {
+                    // Nested block comment.
+                    let comment_line = line;
+                    let start = i + 2;
+                    let mut depth = 1usize;
+                    let mut j = start;
+                    while j < n && depth > 0 {
+                        if chars[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                        } else if j + 1 < n && chars[j] == '/' && chars[j + 1] == '*' {
+                            depth += 1;
+                            j += 2;
+                        } else if j + 1 < n && chars[j] == '*' && chars[j + 1] == '/' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    let end = j.saturating_sub(2).max(start);
+                    out.comments.push(Comment {
+                        line: comment_line,
+                        text: chars[start..end].iter().collect(),
+                    });
+                    i = j;
+                }
+            }
+            // String literal (including the tail of b"..." handled via ident path).
+            '"' => {
+                let tok_line = line;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+            }
+            // Char literal or lifetime.
+            '\'' => {
+                let tok_line = line;
+                // Lifetime: 'ident NOT followed by a closing quote.
+                if i + 1 < n && is_ident_start(chars[i + 1]) {
+                    let mut j = i + 2;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' {
+                        // 'a' — a char literal.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: tok_line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            line: tok_line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to closing quote.
+                    let mut j = i + 1;
+                    while j < n {
+                        match chars[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: tok_line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < n && (is_ident_continue(chars[j])) {
+                    j += 1;
+                }
+                // A single decimal point, but never the `..` range operator.
+                if j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line: tok_line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if (text == "r" || text == "b" || text == "br" || text == "rb")
+                    && j < n
+                    && (chars[j] == '"' || chars[j] == '#')
+                {
+                    // Count hashes, then scan to the matching close.
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && chars[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && chars[k] == '"' {
+                        k += 1;
+                        'scan: while k < n {
+                            if chars[k] == '\n' {
+                                line += 1;
+                                k += 1;
+                            } else if chars[k] == '"' {
+                                let mut h = 0usize;
+                                while k + 1 + h < n && h < hashes && chars[k + 1 + h] == '#' {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    k += 1 + hashes;
+                                    break 'scan;
+                                }
+                                k += 1;
+                            } else {
+                                k += 1;
+                            }
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: tok_line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through as ident.
+                    if hashes == 1 && k < n && is_ident_start(chars[k]) {
+                        let mut m = k + 1;
+                        while m < n && is_ident_continue(chars[m]) {
+                            m += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident(chars[k..m].iter().collect()),
+                            line: tok_line,
+                        });
+                        i = m;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: tok_line,
+                });
+                i = j;
+            }
+            other => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_punct() {
+        let out = lex("x.unwrap()");
+        assert_eq!(out.tokens.len(), 5);
+        assert!(out.tokens[0].is_ident("x"));
+        assert!(out.tokens[1].is_punct('.'));
+        assert!(out.tokens[2].is_ident("unwrap"));
+        assert!(out.tokens[3].is_punct('('));
+        assert!(out.tokens[4].is_punct(')'));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let out = lex(r#"let s = "a.unwrap() // not a comment";"#);
+        assert_eq!(idents(r#"let s = "x.unwrap()";"#), vec!["let", "s"]);
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; y.unwrap()"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"quote".to_owned()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let literals = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let out = lex("let a = 1;\n// lint:allow(rule, why)\nlet b = 2; /* block */");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 2);
+        assert!(out.comments[0].text.contains("lint:allow"));
+        assert_eq!(out.comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ x");
+        assert_eq!(out.tokens.len(), 1);
+        assert!(out.tokens[0].is_ident("x"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let out = lex("for i in 0..n { let f = 1.5e3; }");
+        let dots = out.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..n keeps both range dots");
+        let numbers = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .count();
+        assert_eq!(numbers, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let out = lex("let s = \"line1\nline2\";\nx.unwrap()");
+        let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Repo-local static analysis for the F-DETA workspace.
+//!
+//! `cargo xtask lint` walks every `crates/*/src` file and enforces the
+//! workspace invariants as named lints (see [`lints`]), compares the
+//! findings against a committed baseline (see [`baseline`]), and renders
+//! text or JSON reports (see [`report`]). The crate is dependency-free on
+//! purpose: it must build on runners with no registry access.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lints::{Finding, LintConfig};
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Converts `path` (under `root`) into the repo-relative, `/`-separated
+/// form the lints and baseline use.
+fn relative_key(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every directory the lint pass scans, repo-relative.
+fn scan_roots(config: &LintConfig) -> Vec<String> {
+    let mut roots = config.lib_crates.clone();
+    for file in &config.ordered_output_files {
+        if let Some(dir) = file.rsplit_once('/').map(|(d, _)| d.to_owned()) {
+            if !roots.iter().any(|r| dir.starts_with(r.as_str())) {
+                roots.push(dir);
+            }
+        }
+    }
+    for prefix in &config.datapath_prefixes {
+        if !roots.iter().any(|r| prefix.starts_with(r.as_str())) {
+            roots.push(prefix.clone());
+        }
+    }
+    roots.sort();
+    roots.dedup();
+    roots
+}
+
+/// Runs every lint over the repo rooted at `root`. Findings are sorted by
+/// (path, line, rule) — byte-stable across runs and platforms.
+pub fn run_lints(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for rel_root in scan_roots(config) {
+        let dir = root.join(&rel_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let key = relative_key(root, path);
+        findings.extend(lints::lint_file(&key, &source, config));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.snippet).cmp(&(&b.path, b.line, b.rule, &b.snippet))
+    });
+    Ok(findings)
+}
+
+/// Finds the repo root by walking up from `start` until a directory with
+/// both `Cargo.toml` and `crates/` appears.
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! The repo's invariant lints.
+//!
+//! Each lint is a named, configurable rule over the token stream of one
+//! source file. The rules encode invariants PR 1 made load-bearing:
+//!
+//! * [`Rule::NoPanicInLib`] — library code paths must not contain
+//!   `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`;
+//!   fleet-scale evaluation surfaces failures as typed errors, and a panic
+//!   mid-fleet is exactly the "robust deployment" failure the framework is
+//!   meant to prevent. Escape hatch: `// lint:allow(no-panic-in-lib,
+//!   <reason>)` on the same line or the line above — the reason is
+//!   mandatory.
+//! * [`Rule::NanUnsafeSort`] — `partial_cmp(..).unwrap()` inside a
+//!   `sort_by`/`max_by`/`min_by` comparator panics on NaN and, worse,
+//!   *silently reorders* under `sort_unstable_by` implementations that
+//!   tolerate inconsistent comparators. Detector verdicts must not depend
+//!   on NaN luck: use `f64::total_cmp`.
+//! * [`Rule::NondeterministicIteration`] — `HashMap`/`HashSet` in files
+//!   that feed serialized or ordered output (reports, persisted pipelines,
+//!   engine results). Iteration order varies per process *and* per map, so
+//!   byte-identical JSON — PR 1's determinism contract — silently breaks.
+//! * [`Rule::LossyCastInDatapath`] — truncating `as` casts to narrow
+//!   numeric types in the reading datapath (`tsdata`, `detect`) can drop
+//!   precision on meter readings and scores.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// A named lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panicking constructs in library code.
+    NoPanicInLib,
+    /// NaN-unsafe comparator in a sort/min/max context.
+    NanUnsafeSort,
+    /// Hash-order iteration feeding ordered output.
+    NondeterministicIteration,
+    /// Truncating numeric cast in the reading datapath.
+    LossyCastInDatapath,
+    /// A `lint:allow` annotation without a reason.
+    LintAllowMissingReason,
+    /// A `lint:allow` annotation naming no known rule.
+    LintAllowUnknownRule,
+}
+
+impl Rule {
+    /// The rule's kebab-case name (used in output and `lint:allow`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NanUnsafeSort => "nan-unsafe-sort",
+            Rule::NondeterministicIteration => "nondeterministic-iteration",
+            Rule::LossyCastInDatapath => "lossy-cast-in-datapath",
+            Rule::LintAllowMissingReason => "lint-allow-missing-reason",
+            Rule::LintAllowUnknownRule => "lint-allow-unknown-rule",
+        }
+    }
+
+    /// Parses a rule name as written in a `lint:allow`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "no-panic-in-lib" => Some(Rule::NoPanicInLib),
+            "nan-unsafe-sort" => Some(Rule::NanUnsafeSort),
+            "nondeterministic-iteration" => Some(Rule::NondeterministicIteration),
+            "lossy-cast-in-datapath" => Some(Rule::LossyCastInDatapath),
+            "lint-allow-missing-reason" => Some(Rule::LintAllowMissingReason),
+            "lint-allow-unknown-rule" => Some(Rule::LintAllowUnknownRule),
+            _ => None,
+        }
+    }
+
+    /// A one-line help string rendered under each finding.
+    pub fn help(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => {
+                "return a typed error (TrainError/EvalError/GridError/TsError) or add \
+                 `// lint:allow(no-panic-in-lib, <reason>)` if provably unreachable"
+            }
+            Rule::NanUnsafeSort => "use f64::total_cmp for a total, NaN-safe ordering",
+            Rule::NondeterministicIteration => {
+                "use BTreeMap/BTreeSet, or collect and sort keys before iterating"
+            }
+            Rule::LossyCastInDatapath => {
+                "widen the type, or annotate with `// lint:allow(lossy-cast-in-datapath, <reason>)`"
+            }
+            Rule::LintAllowMissingReason => {
+                "write `// lint:allow(<rule>, <reason>)` — the reason is mandatory"
+            }
+            Rule::LintAllowUnknownRule => "the rule name must match a lint exactly",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: usize,
+    /// The trimmed source line (rendered, and part of the baseline key).
+    pub snippet: String,
+    /// Human-readable description of this specific violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline key: stable under unrelated line drift.
+    pub fn key(&self) -> (String, String, String) {
+        (
+            self.rule.name().to_owned(),
+            self.path.clone(),
+            self.snippet.clone(),
+        )
+    }
+}
+
+/// Which rules run over which files; paths are repo-relative.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose `src/` trees are library code paths (no-panic scope).
+    pub lib_crates: Vec<String>,
+    /// Files that feed serialized or ordered output.
+    pub ordered_output_files: Vec<String>,
+    /// Path prefixes forming the reading datapath (lossy-cast scope).
+    pub datapath_prefixes: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            lib_crates: ["tsdata", "gridsim", "arima", "attacks", "detect", "fdeta"]
+                .iter()
+                .map(|s| format!("crates/{s}/src"))
+                .collect(),
+            ordered_output_files: [
+                "crates/fdeta/src/pipeline.rs",
+                "crates/fdeta/src/report.rs",
+                "crates/detect/src/engine.rs",
+                "crates/detect/src/eval.rs",
+                "crates/detect/src/roc.rs",
+                "crates/gridsim/src/balance.rs",
+                "crates/gridsim/src/dot.rs",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+            datapath_prefixes: vec![
+                "crates/tsdata/src".to_owned(),
+                "crates/detect/src".to_owned(),
+            ],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Whether `path` (repo-relative, `/`-separated) is library code.
+    pub fn is_lib_path(&self, path: &str) -> bool {
+        self.lib_crates.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` feeds ordered output.
+    pub fn is_ordered_output(&self, path: &str) -> bool {
+        self.ordered_output_files.iter().any(|p| p == path)
+    }
+
+    /// Whether `path` is in the reading datapath.
+    pub fn is_datapath(&self, path: &str) -> bool {
+        self.datapath_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// A parsed `lint:allow(rule, reason)` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize,
+    rule_name: String,
+    reason: String,
+}
+
+/// Extracts `lint:allow(...)` annotations from comments.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        let mut rest = comment.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let inside = &after[..close];
+            let (rule_name, reason) = match inside.split_once(',') {
+                Some((r, why)) => (r.trim().to_owned(), why.trim().to_owned()),
+                None => (inside.trim().to_owned(), String::new()),
+            };
+            allows.push(Allow {
+                line: comment.line,
+                rule_name,
+                reason,
+            });
+            rest = &after[close..];
+        }
+    }
+    allows
+}
+
+/// Marks every token index that lies inside a `#[cfg(test)]`-gated item
+/// (including `#[cfg(all(test, ..))]` and friends): lints only govern the
+/// code that ships.
+fn test_extent_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Find the matching ']' of the attribute.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut is_test_cfg = false;
+            let mut saw_cfg = false;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::Punct('[') | TokenKind::Punct('(') => depth += 1,
+                    TokenKind::Punct(']') | TokenKind::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident(name) if name == "cfg" => saw_cfg = true,
+                    TokenKind::Ident(name) if name == "test" && saw_cfg => is_test_cfg = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_end = j; // index of closing ']'
+            if is_test_cfg && attr_end < tokens.len() {
+                // Skip any further attributes, then blank out the item:
+                // either up to a top-level ';' or over the brace-matched
+                // body of the first '{'.
+                let mut k = attr_end + 1;
+                while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[')
+                {
+                    let mut d = 0usize;
+                    let mut m = k + 1;
+                    while m < tokens.len() {
+                        match &tokens[m].kind {
+                            TokenKind::Punct('[') => d += 1,
+                            TokenKind::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    k = m + 1;
+                }
+                let body_start = k;
+                let mut brace_depth = 0usize;
+                let mut end = tokens.len();
+                let mut m = body_start;
+                while m < tokens.len() {
+                    match &tokens[m].kind {
+                        TokenKind::Punct('{') => brace_depth += 1,
+                        TokenKind::Punct('}') => {
+                            brace_depth = brace_depth.saturating_sub(1);
+                            if brace_depth == 0 {
+                                end = m + 1;
+                                break;
+                            }
+                        }
+                        TokenKind::Punct(';') if brace_depth == 0 => {
+                            end = m + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                for slot in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Identifiers that establish a sort/min/max comparator context.
+const SORT_CONTEXT: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// How far back (in tokens) a comparator looks for its sort context.
+const SORT_LOOKBACK: usize = 100;
+
+/// Narrow numeric targets flagged by `lossy-cast-in-datapath`.
+const NARROW_CASTS: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// Panicking macro names flagged by `no-panic-in-lib`.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Finds the index of the token closing the paren opened at `open`
+/// (which must be `(`), or `None` if unbalanced.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, token) in tokens.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Lints one file. `path` must be repo-relative with `/` separators.
+pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet_of = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+            .unwrap_or_default()
+    };
+    let in_test = test_extent_mask(tokens);
+    let allows = parse_allows(&lexed.comments);
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Validate the annotations themselves first.
+    for allow in &allows {
+        match Rule::from_name(&allow.rule_name) {
+            None => findings.push(Finding {
+                rule: Rule::LintAllowUnknownRule,
+                path: path.to_owned(),
+                line: allow.line,
+                snippet: snippet_of(allow.line),
+                message: format!("`lint:allow({})` names no known rule", allow.rule_name),
+            }),
+            Some(_) if allow.reason.is_empty() => findings.push(Finding {
+                rule: Rule::LintAllowMissingReason,
+                path: path.to_owned(),
+                line: allow.line,
+                snippet: snippet_of(allow.line),
+                message: format!(
+                    "`lint:allow({})` must carry a reason: lint:allow({}, <why this is sound>)",
+                    allow.rule_name, allow.rule_name
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    let is_lib = config.is_lib_path(path);
+    let ordered = config.is_ordered_output(path);
+    let datapath = config.is_datapath(path);
+
+    // Token positions consumed by a nan-unsafe-sort finding: the chained
+    // unwrap/expect there must not be double-reported by no-panic-in-lib.
+    let mut consumed = vec![false; tokens.len()];
+
+    if is_lib || ordered {
+        // nan-unsafe-sort: `.partial_cmp(..).unwrap()` / `.expect(..)`
+        // within a sort/min/max comparator.
+        for i in 0..tokens.len() {
+            if in_test[i] || !tokens[i].is_ident("partial_cmp") {
+                continue;
+            }
+            if i == 0 || !tokens[i - 1].is_punct('.') {
+                continue;
+            }
+            let Some(open) = tokens.get(i + 1).filter(|t| t.is_punct('(')).map(|_| i + 1) else {
+                continue;
+            };
+            let Some(close) = matching_paren(tokens, open) else {
+                continue;
+            };
+            let is_chain_panic = tokens.get(close + 1).is_some_and(|t| t.is_punct('.'))
+                && tokens
+                    .get(close + 2)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+            if !is_chain_panic {
+                continue;
+            }
+            let lookback_start = i.saturating_sub(SORT_LOOKBACK);
+            let in_sort = tokens[lookback_start..i]
+                .iter()
+                .any(|t| t.ident().is_some_and(|id| SORT_CONTEXT.contains(&id)));
+            if !in_sort {
+                continue;
+            }
+            consumed[close + 2] = true;
+            findings.push(Finding {
+                rule: Rule::NanUnsafeSort,
+                path: path.to_owned(),
+                line: tokens[i].line,
+                snippet: snippet_of(tokens[i].line),
+                message: "comparator unwraps partial_cmp: NaN input panics mid-sort".to_owned(),
+            });
+        }
+    }
+
+    if is_lib {
+        for i in 0..tokens.len() {
+            if in_test[i] || consumed[i] {
+                continue;
+            }
+            let Some(name) = tokens[i].ident() else {
+                continue;
+            };
+            // `.unwrap()` / `.expect(..)` method calls.
+            if (name == "unwrap" || name == "expect")
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                findings.push(Finding {
+                    rule: Rule::NoPanicInLib,
+                    path: path.to_owned(),
+                    line: tokens[i].line,
+                    snippet: snippet_of(tokens[i].line),
+                    message: format!("`.{name}(..)` can panic in a library code path"),
+                });
+            }
+            // panic-family macros.
+            if PANIC_MACROS.contains(&name) && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                findings.push(Finding {
+                    rule: Rule::NoPanicInLib,
+                    path: path.to_owned(),
+                    line: tokens[i].line,
+                    snippet: snippet_of(tokens[i].line),
+                    message: format!("`{name}!` aborts the caller in a library code path"),
+                });
+            }
+        }
+    }
+
+    if ordered {
+        for (i, token) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let Some(name) = token.ident() else { continue };
+            if name == "HashMap" || name == "HashSet" {
+                findings.push(Finding {
+                    rule: Rule::NondeterministicIteration,
+                    path: path.to_owned(),
+                    line: token.line,
+                    snippet: snippet_of(token.line),
+                    message: format!(
+                        "`{name}` in a file feeding serialized/ordered output: iteration \
+                         order is nondeterministic"
+                    ),
+                });
+            }
+        }
+    }
+
+    if datapath {
+        for i in 0..tokens.len() {
+            if in_test[i] || !tokens[i].is_ident("as") {
+                continue;
+            }
+            if let Some(target) = tokens.get(i + 1).and_then(|t| t.ident()) {
+                if NARROW_CASTS.contains(&target) {
+                    findings.push(Finding {
+                        rule: Rule::LossyCastInDatapath,
+                        path: path.to_owned(),
+                        line: tokens[i].line,
+                        snippet: snippet_of(tokens[i].line),
+                        message: format!("`as {target}` can truncate in the reading datapath"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Apply suppressions: an allow on the finding's line or the line above.
+    let mut allowed: BTreeMap<(usize, Rule), bool> = BTreeMap::new();
+    for allow in &allows {
+        if let Some(rule) = Rule::from_name(&allow.rule_name) {
+            if !allow.reason.is_empty() {
+                allowed.insert((allow.line, rule), true);
+            }
+        }
+    }
+    findings.retain(|f| {
+        !(allowed.contains_key(&(f.line, f.rule))
+            || allowed.contains_key(&(f.line.saturating_sub(1), f.rule)))
+    });
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(source: &str) -> Vec<Finding> {
+        lint_file("crates/detect/src/demo.rs", source, &LintConfig::default())
+    }
+
+    #[test]
+    fn unwrap_in_lib_is_flagged() {
+        let findings = lint_lib("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::NoPanicInLib);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n fn f(x: Option<u32>) { x.unwrap(); }\n}";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let findings = lint_lib("fn f() { panic!(\"boom\"); unreachable!() }");
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == Rule::NoPanicInLib));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line() {
+        let src =
+            "fn f(x: Option<u32>) { x.unwrap(); } // lint:allow(no-panic-in-lib, checked above)";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_line_below() {
+        let src = "// lint:allow(no-panic-in-lib, invariant: x is Some)\nfn f(x: Option<u32>) { x.unwrap(); }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_violation() {
+        let src = "// lint:allow(no-panic-in-lib)\nfn f(x: Option<u32>) { x.unwrap(); }";
+        let findings = lint_lib(src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::LintAllowMissingReason));
+        assert!(findings.iter().any(|f| f.rule == Rule::NoPanicInLib));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_flagged() {
+        let src = "// lint:allow(no-such-rule, whatever)\nfn f() {}";
+        let findings = lint_lib(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::LintAllowUnknownRule);
+    }
+
+    #[test]
+    fn nan_unsafe_sort_detected_once_not_twice() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let findings = lint_lib(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::NanUnsafeSort);
+    }
+
+    #[test]
+    fn total_cmp_sort_is_clean() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_outside_sort_is_plain_no_panic() {
+        let src = "fn f(a: f64, b: f64) -> std::cmp::Ordering { a.partial_cmp(&b).unwrap() }";
+        let findings = lint_lib(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::NoPanicInLib);
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_ordered_output_files() {
+        let src = "use std::collections::HashMap;\nfn f() { let _m: HashMap<u32, u32> = HashMap::new(); }";
+        let ordered = lint_file("crates/fdeta/src/pipeline.rs", src, &LintConfig::default());
+        assert_eq!(ordered.len(), 3, "{ordered:?}");
+        assert!(ordered
+            .iter()
+            .all(|f| f.rule == Rule::NondeterministicIteration));
+        // Same content in a non-ordered file: clean.
+        let other = lint_file("crates/arima/src/fit.rs", src, &LintConfig::default());
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flagged_in_datapath_only() {
+        let src = "fn f(x: f64) -> f32 { x as f32 }";
+        let flagged = lint_file("crates/tsdata/src/units.rs", src, &LintConfig::default());
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rule, Rule::LossyCastInDatapath);
+        let clean = lint_file("crates/gridsim/src/meter.rs", src, &LintConfig::default());
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn usize_cast_is_not_narrow() {
+        let src = "fn f(x: u32) -> usize { x as usize }";
+        assert!(lint_file("crates/tsdata/src/units.rs", src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn string_contents_never_trigger() {
+        let src = r#"fn f() -> &'static str { "call .unwrap() and panic!(now)" }"#;
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_is_also_skipped() {
+        let src =
+            "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f(x: Option<u32>) { x.unwrap(); } }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_snippets() {
+        let findings = lint_lib("fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}");
+        assert_eq!(findings[0].snippet, "x.unwrap()");
+        assert_eq!(findings[0].line, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! `cargo xtask` — repo-local task runner. Currently one task: `lint`.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::baseline::Baseline;
+use xtask::lints::LintConfig;
+use xtask::{find_repo_root, report, run_lints};
+
+const USAGE: &str = "\
+usage: cargo xtask lint [OPTIONS]
+
+Enforce workspace invariants (panic-freedom, NaN-safe ordering,
+deterministic iteration, lossless datapath casts) over crates/*/src.
+
+options:
+  --format <text|json>   output format (default: text)
+  --baseline <FILE>      baseline file (default: <repo>/lint-baseline.tsv)
+  --no-baseline          report every finding; any finding fails
+  --update-baseline      rewrite the baseline from current findings
+  --root <DIR>           repo root (default: discovered from cwd)
+  -h, --help             show this help
+
+exit status: 0 clean (vs baseline), 1 new violations, 2 usage/io error";
+
+struct Options {
+    format: Format,
+    baseline_path: Option<PathBuf>,
+    use_baseline: bool,
+    update_baseline: bool,
+    root: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        baseline_path: None,
+        use_baseline: true,
+        update_baseline: false,
+        root: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match iter.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                }
+            }
+            "--baseline" => {
+                let path = iter.next().ok_or("--baseline expects a path")?;
+                opts.baseline_path = Some(PathBuf::from(path));
+            }
+            "--no-baseline" => opts.use_baseline = false,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => {
+                let path = iter.next().ok_or("--root expects a directory")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts
+        .root
+        .or_else(|| env::current_dir().ok().and_then(|cwd| find_repo_root(&cwd)))
+    {
+        Some(root) => root,
+        None => {
+            eprintln!("error: could not find the repo root (Cargo.toml + crates/); use --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = LintConfig::default();
+    let findings = match run_lints(&root, &config) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("error: lint walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline_path
+        .unwrap_or_else(|| root.join("lint-baseline.tsv"));
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: baseline updated — {} violation(s) recorded in {}",
+            baseline.total(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.use_baseline {
+        match Baseline::load(&baseline_path) {
+            Ok(Ok(baseline)) => baseline,
+            Ok(Err(parse)) => {
+                eprintln!("error: {}: {parse}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let comparison = baseline.compare(&findings);
+    let output = match opts.format {
+        Format::Json => report::render_json(&findings, &comparison, baseline.total()),
+        Format::Text => report::render_text(&findings, &comparison, baseline.total()),
+    };
+    print!("{output}");
+
+    if comparison.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("-h") | Some("--help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown task `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Rendering lint results: human-readable text and machine-readable JSON
+//! (hand-rolled — the driver is dependency-free by design).
+
+use crate::baseline::Comparison;
+use crate::lints::Finding;
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(finding: &Finding, is_new: bool) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\",\"new\":{}}}",
+        finding.rule.name(),
+        json_escape(&finding.path),
+        finding.line,
+        json_escape(&finding.snippet),
+        json_escape(&finding.message),
+        is_new
+    )
+}
+
+/// Renders the full JSON report: every finding (tagged `new` when not in
+/// the baseline), stale baseline entries, and summary counts.
+pub fn render_json(findings: &[Finding], comparison: &Comparison, baseline_total: usize) -> String {
+    let new_keys: Vec<(&str, usize)> = comparison
+        .new
+        .iter()
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    let mut out = String::from("{\"findings\":[");
+    for (i, finding) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let is_new = new_keys.contains(&(finding.path.as_str(), finding.line));
+        out.push_str(&finding_json(finding, is_new));
+    }
+    out.push_str("],\"stale_baseline\":[");
+    for (i, ((rule, path, snippet), count)) in comparison.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"snippet\":\"{}\",\"count\":{}}}",
+            json_escape(rule),
+            json_escape(path),
+            json_escape(snippet),
+            count
+        ));
+    }
+    out.push_str(&format!(
+        "],\"summary\":{{\"total\":{},\"new\":{},\"baselined\":{},\"stale\":{}}}}}",
+        findings.len(),
+        comparison.new.len(),
+        baseline_total,
+        comparison.stale.len()
+    ));
+    out.push('\n');
+    out
+}
+
+/// Renders the human-readable report.
+pub fn render_text(findings: &[Finding], comparison: &Comparison, baseline_total: usize) -> String {
+    let mut out = String::new();
+    if comparison.new.is_empty() {
+        out.push_str(&format!(
+            "lint: clean — {} finding(s), all within the baseline of {}\n",
+            findings.len(),
+            baseline_total
+        ));
+    } else {
+        for finding in &comparison.new {
+            out.push_str(&format!(
+                "error[{}]: {}\n  --> {}:{}\n   |\n   |  {}\n   |\n   = help: {}\n\n",
+                finding.rule.name(),
+                finding.message,
+                finding.path,
+                finding.line,
+                finding.snippet,
+                finding.rule.help()
+            ));
+        }
+        out.push_str(&format!(
+            "lint: {} NEW violation(s) not in the baseline ({} total, {} baselined)\n",
+            comparison.new.len(),
+            findings.len(),
+            baseline_total
+        ));
+    }
+    if !comparison.stale.is_empty() {
+        let fixed: usize = comparison.stale.iter().map(|(_, n)| n).sum();
+        out.push_str(&format!(
+            "lint: {fixed} baselined violation(s) no longer occur — run \
+             `cargo xtask lint --update-baseline` to lock in the progress\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::lints::Rule;
+
+    fn finding(line: usize, snippet: &str) -> Finding {
+        Finding {
+            rule: Rule::NoPanicInLib,
+            path: "crates/detect/src/kld.rs".to_owned(),
+            line,
+            snippet: snippet.to_owned(),
+            message: "`.unwrap(..)` can panic in a library code path".to_owned(),
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let findings = vec![finding(3, "x.unwrap() // \"quoted\"")];
+        let cmp = Baseline::default().compare(&findings);
+        let json = render_json(&findings, &cmp, 0);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"new\":true"));
+        assert!(json.contains("\"summary\":{\"total\":1,\"new\":1,\"baselined\":0,\"stale\":0}"));
+    }
+
+    #[test]
+    fn text_clean_when_baselined() {
+        let findings = vec![finding(3, "x.unwrap()")];
+        let baseline = Baseline::from_findings(&findings);
+        let cmp = baseline.compare(&findings);
+        let text = render_text(&findings, &cmp, baseline.total());
+        assert!(text.contains("clean"));
+    }
+
+    #[test]
+    fn text_reports_new_with_location_and_help() {
+        let findings = vec![finding(3, "x.unwrap()")];
+        let cmp = Baseline::default().compare(&findings);
+        let text = render_text(&findings, &cmp, 0);
+        assert!(text.contains("error[no-panic-in-lib]"));
+        assert!(text.contains("crates/detect/src/kld.rs:3"));
+        assert!(text.contains("help:"));
+    }
+}

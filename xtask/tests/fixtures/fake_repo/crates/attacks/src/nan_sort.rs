@@ -1,0 +1,15 @@
+// Fixture: nan-unsafe-sort violations at known lines.
+
+pub fn bad_sort(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn bad_max(values: &[f64]) -> Option<&f64> {
+    values
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+pub fn good_sort(values: &mut [f64]) {
+    values.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,30 @@
+// Fixture: no-panic-in-lib violations at known lines.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn panic_site() {
+    panic!("fixture");
+}
+
+pub fn unreachable_site() {
+    unreachable!()
+}
+
+pub fn allowed_site(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(no-panic-in-lib, fixture: validated by caller)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: nondeterministic-iteration violations at known lines.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn hash_order(monitors: &HashMap<u32, f64>) -> Vec<u32> {
+    monitors.keys().copied().collect()
+}
+
+pub fn tree_order(monitors: &BTreeMap<u32, f64>) -> Vec<u32> {
+    monitors.keys().copied().collect()
+}

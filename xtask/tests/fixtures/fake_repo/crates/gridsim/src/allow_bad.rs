@@ -1,0 +1,8 @@
+// Fixture: malformed lint:allow annotations at known lines.
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(no-panic-in-lib)
+}
+
+// lint:allow(no-such-rule, reasons do not save a bad rule name)
+pub fn unknown_rule() {}

@@ -1,0 +1,13 @@
+// Fixture: lossy-cast-in-datapath violations at known lines.
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn allowed(x: f64) -> f32 {
+    x as f32 // lint:allow(lossy-cast-in-datapath, fixture: display precision only)
+}

@@ -1,0 +1,170 @@
+//! End-to-end lint tests over `tests/fixtures/fake_repo/` — a miniature
+//! repo tree with violations at known lines. Asserts the exact
+//! (rule, file, line) triples, `lint:allow` suppression, baseline
+//! semantics, and the CLI's exit codes / JSON output.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::baseline::Baseline;
+use xtask::lints::{LintConfig, Rule};
+use xtask::run_lints;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("fake_repo")
+}
+
+fn fixture_findings() -> Vec<(Rule, String, usize)> {
+    run_lints(&fixture_root(), &LintConfig::default())
+        .expect("fixture walk")
+        .into_iter()
+        .map(|f| (f.rule, f.path, f.line))
+        .collect()
+}
+
+#[test]
+fn fixtures_report_exact_rule_file_line() {
+    let expected: Vec<(Rule, &str, usize)> = vec![
+        (
+            Rule::NanUnsafeSort,
+            "crates/attacks/src/nan_sort.rs",
+            4, // sort_by(partial_cmp().unwrap())
+        ),
+        (
+            Rule::NanUnsafeSort,
+            "crates/attacks/src/nan_sort.rs",
+            10, // max_by(partial_cmp().expect())
+        ),
+        (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 4), // x.unwrap()
+        (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 8), // x.expect()
+        (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 12), // panic!
+        (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 16), // unreachable!
+        (
+            Rule::NondeterministicIteration,
+            "crates/fdeta/src/pipeline.rs",
+            3, // use ... HashMap
+        ),
+        (
+            Rule::NondeterministicIteration,
+            "crates/fdeta/src/pipeline.rs",
+            5, // &HashMap<u32, f64> param
+        ),
+        (Rule::NoPanicInLib, "crates/gridsim/src/allow_bad.rs", 4), // unsuppressed unwrap
+        (
+            Rule::LintAllowMissingReason,
+            "crates/gridsim/src/allow_bad.rs",
+            4,
+        ),
+        (
+            Rule::LintAllowUnknownRule,
+            "crates/gridsim/src/allow_bad.rs",
+            7,
+        ),
+        (Rule::LossyCastInDatapath, "crates/tsdata/src/cast.rs", 4), // x as f32
+    ];
+    let expected: Vec<(Rule, String, usize)> = expected
+        .into_iter()
+        .map(|(r, p, l)| (r, p.to_owned(), l))
+        .collect();
+    assert_eq!(fixture_findings(), expected);
+}
+
+#[test]
+fn lint_allow_with_reason_suppresses_fixture_sites() {
+    let findings = fixture_findings();
+    // panics.rs:20 and cast.rs:12 carry well-formed lint:allow annotations.
+    assert!(!findings
+        .iter()
+        .any(|(_, p, l)| p.ends_with("panics.rs") && *l == 20));
+    assert!(!findings
+        .iter()
+        .any(|(_, p, l)| p.ends_with("cast.rs") && *l == 12));
+}
+
+#[test]
+fn test_modules_are_exempt_in_fixtures() {
+    // panics.rs has an unwrap inside #[cfg(test)] mod tests (line 27).
+    assert!(!fixture_findings()
+        .iter()
+        .any(|(_, p, l)| p.ends_with("panics.rs") && *l > 22));
+}
+
+#[test]
+fn baseline_roundtrip_over_fixtures() {
+    let findings = run_lints(&fixture_root(), &LintConfig::default()).expect("fixture walk");
+    let baseline = Baseline::from_findings(&findings);
+    assert_eq!(baseline.total(), findings.len());
+    // Everything baselined: clean.
+    let cmp = baseline.compare(&findings);
+    assert!(cmp.new.is_empty());
+    assert!(cmp.stale.is_empty());
+    // Re-parse of the rendered file is identity.
+    let reparsed = Baseline::parse(&baseline.render()).expect("reparse");
+    assert!(reparsed.compare(&findings).new.is_empty());
+    // Dropping one finding marks its baseline slot stale, never new.
+    let cmp = baseline.compare(&findings[1..]);
+    assert!(cmp.new.is_empty());
+    assert_eq!(cmp.stale.len(), 1);
+}
+
+fn xtask_cmd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask binary")
+}
+
+#[test]
+fn cli_exit_codes_and_json() {
+    let root = fixture_root();
+    let root_arg = root.to_str().expect("utf8 fixture path");
+
+    // New violations with no baseline: exit 1.
+    let out = xtask_cmd(&["lint", "--root", root_arg, "--no-baseline"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("error[no-panic-in-lib]"));
+    assert!(text.contains("crates/detect/src/panics.rs:4"));
+
+    // JSON format: machine-readable findings with rule/path/line.
+    let out = xtask_cmd(&[
+        "lint",
+        "--root",
+        root_arg,
+        "--no-baseline",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"rule\":\"nan-unsafe-sort\""));
+    assert!(json.contains("\"path\":\"crates/attacks/src/nan_sort.rs\""));
+    assert!(json.contains("\"line\":4"));
+    assert!(json.contains("\"summary\":{\"total\":12,\"new\":12,\"baselined\":0,\"stale\":0}"));
+
+    // Update the baseline, then lint against it: exit 0.
+    let baseline_path =
+        std::env::temp_dir().join(format!("xtask-fixture-baseline-{}.tsv", std::process::id()));
+    let baseline_arg = baseline_path.to_str().expect("utf8 temp path");
+    let out = xtask_cmd(&[
+        "lint",
+        "--root",
+        root_arg,
+        "--baseline",
+        baseline_arg,
+        "--update-baseline",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = xtask_cmd(&["lint", "--root", root_arg, "--baseline", baseline_arg]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("clean"));
+    std::fs::remove_file(&baseline_path).ok();
+
+    // Unknown flag: usage error, exit 2.
+    let out = xtask_cmd(&["lint", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
