@@ -1,0 +1,132 @@
+//! Robustness harness CLI: detection quality as a function of data decay.
+//!
+//! Sweeps fault rate × repair policy over one synthetic fleet and prints
+//! the [`fdeta::robustness_sweep`] report — a human-readable table on
+//! stderr-free stdout, then (with `--json`) the byte-deterministic JSON
+//! the CI smoke job diffs.
+//!
+//! ```text
+//! robustness_sweep --consumers 20 --weeks 12 --train 8 --vectors 3 \
+//!     --fault-rates 0.0,0.05,0.15 --policies historical-median --json
+//! ```
+
+use fdeta::robustness::{robustness_sweep, SweepConfig};
+use fdeta_bench::{pct, row, RunArgs};
+use fdeta_tsdata::RepairPolicy;
+
+fn parse_policy(name: &str) -> RepairPolicy {
+    match name {
+        "drop-week" => RepairPolicy::DropWeek,
+        "linear-interpolate" => RepairPolicy::LinearInterpolate,
+        "historical-median" => RepairPolicy::HistoricalMedian,
+        other => panic!(
+            "unknown policy {other:?}: expected drop-week, linear-interpolate, or historical-median"
+        ),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = RunArgs::from_env();
+    if args.consumers == RunArgs::default().consumers {
+        // The sweep retrains the engine once per grid cell; default to a
+        // smoke-sized fleet.
+        args.consumers = 20;
+        args.weeks = 12;
+        args.train_weeks = 8;
+        args.vectors = 3;
+    }
+
+    let defaults = SweepConfig::default();
+    let mut fault_rates = defaults.fault_rates.clone();
+    let mut policies = defaults.policies.clone();
+    let mut min_coverage = defaults.min_coverage;
+    let mut json = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fault-rates" => {
+                i += 1;
+                let spec = argv.get(i).expect("expected a list after --fault-rates");
+                fault_rates = spec
+                    .split(',')
+                    .map(|r| r.parse().unwrap_or_else(|_| panic!("bad fault rate {r:?}")))
+                    .collect();
+            }
+            "--policies" => {
+                i += 1;
+                let spec = argv.get(i).expect("expected a list after --policies");
+                policies = spec.split(',').map(parse_policy).collect();
+            }
+            "--min-coverage" => {
+                i += 1;
+                min_coverage = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("expected a number after --min-coverage");
+            }
+            "--json" => json = true,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let config = SweepConfig {
+        consumers: args.consumers,
+        weeks: args.weeks,
+        train_weeks: args.train_weeks,
+        attack_vectors: args.vectors,
+        seed: args.seed,
+        fault_rates,
+        policies,
+        min_coverage,
+        threads: args.threads,
+    };
+    let report =
+        robustness_sweep(&config).unwrap_or_else(|e| panic!("robustness sweep failed: {e}"));
+
+    println!(
+        "ROBUSTNESS SWEEP: {} consumers, {} weeks ({} train), seed {}",
+        report.consumers, report.weeks, report.train_weeks, report.seed
+    );
+    println!();
+    let widths = [8, 20, 9, 12, 10, 8, 9, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "rate",
+                "policy",
+                "affected",
+                "quarantined",
+                "survivors",
+                "det 1B",
+                "det 2A2B",
+                "FP"
+            ],
+            &widths
+        )
+    );
+    for cell in &report.cells {
+        println!(
+            "{}",
+            row(
+                &[
+                    &format!("{:.2}", cell.fault_rate),
+                    cell.policy.name(),
+                    &cell.affected.to_string(),
+                    &cell.quarantined.to_string(),
+                    &cell.survivors.to_string(),
+                    &pct(cell.detection_over),
+                    &pct(cell.detection_under),
+                    &pct(cell.false_positive_rate),
+                ],
+                &widths
+            )
+        );
+    }
+    if json {
+        println!();
+        print!("{}", report.to_json());
+    }
+}

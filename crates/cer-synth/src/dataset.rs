@@ -178,7 +178,7 @@ impl SyntheticDataset {
     /// Propagates CSV parse errors.
     pub fn from_cer_reader<R: BufRead>(reader: R) -> Result<Self, TsError> {
         let records = read_cer_records(reader)?;
-        let series_map = records_to_series(&records);
+        let series_map = records_to_series(&records)?;
         let mut records = Vec::with_capacity(series_map.len());
         for (id, series) in series_map {
             let weeks = series.whole_weeks();

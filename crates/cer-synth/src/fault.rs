@@ -1,0 +1,591 @@
+//! Seeded telemetry fault injection with ground-truth logging.
+//!
+//! The paper's evaluation assumes every consumer delivers a dense 336-slot
+//! week; real AMI fleets do not. This module degrades a clean
+//! [`SyntheticDataset`] the way real telemetry degrades — random reading
+//! dropout, fleet-wide communication outage bursts, stuck-at-last-value
+//! meters, spike corruption, and duplicated intervals — while stamping
+//! every injected fault into a [`FaultLog`]. The log is the ground truth
+//! the robustness harness checks quarantine decisions against: a hardened
+//! pipeline may quarantine a consumer *only if* the log shows a fault
+//! touched them.
+//!
+//! Everything is deterministic in [`FaultModel::seed`]: each consumer
+//! draws from an independent stream (keyed by seed and corpus index, like
+//! the generator itself), and fleet-wide bursts draw from a dedicated
+//! stream, so the same seed produces a byte-identical log and identical
+//! degraded readings regardless of thread count or fleet size changes
+//! elsewhere.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fdeta_tsdata::{ObservedSeries, TsError};
+
+use crate::dataset::SyntheticDataset;
+use crate::profile::ConsumerClass;
+
+/// The kinds of telemetry fault the model can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A fleet-wide communications outage: a contiguous run of slots is
+    /// lost for every consumer the burst touches.
+    CommsBurst,
+    /// A meter reporting its last value unchanged for a contiguous run
+    /// (readings arrive, but are wrong).
+    StuckMeter,
+    /// A single reading corrupted upward by a large multiplier.
+    Spike,
+    /// A single reading replaced by a copy of the previous interval.
+    DuplicateInterval,
+    /// An isolated reading lost in transit.
+    Dropout,
+}
+
+impl FaultKind {
+    /// Kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CommsBurst => "comms-burst",
+            FaultKind::StuckMeter => "stuck-meter",
+            FaultKind::Spike => "spike",
+            FaultKind::DuplicateInterval => "duplicate-interval",
+            FaultKind::Dropout => "dropout",
+        }
+    }
+
+    /// All kinds, in report order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CommsBurst,
+        FaultKind::StuckMeter,
+        FaultKind::Spike,
+        FaultKind::DuplicateInterval,
+        FaultKind::Dropout,
+    ];
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected fault: ground truth for the robustness harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Meter id of the affected consumer.
+    pub consumer_id: u32,
+    /// First affected slot (index into the consumer's full series).
+    pub start_slot: usize,
+    /// Number of consecutive affected slots (1 for point faults).
+    pub len: usize,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Ground-truth record of every fault injected by a [`FaultModel`] run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// All events in canonical order (consumer id, slot, length, kind).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no faults were injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The set of consumer ids touched by at least one fault.
+    pub fn affected_consumers(&self) -> BTreeSet<u32> {
+        self.events.iter().map(|e| e.consumer_id).collect()
+    }
+
+    /// Events touching one consumer.
+    pub fn events_for(&self, consumer_id: u32) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.consumer_id == consumer_id)
+    }
+
+    /// Event count per fault kind, in [`FaultKind::ALL`] order.
+    pub fn counts_by_kind(&self) -> [(FaultKind, usize); 5] {
+        FaultKind::ALL.map(|kind| (kind, self.events.iter().filter(|e| e.kind == kind).count()))
+    }
+}
+
+/// A seeded model of how dirty the telemetry is.
+///
+/// All rates default to zero, so `FaultModel { seed, ..Default::default() }`
+/// injects nothing and [`FaultModel::degrade`] becomes a lossless wrap into
+/// [`ObservedSeries`]. Rates compose: a slot can lose its reading *and* sit
+/// inside a stuck run, and the log records both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Master seed for all fault streams.
+    pub seed: u64,
+    /// Per-slot probability that a reading is lost in transit.
+    pub dropout_rate: f64,
+    /// Number of fleet-wide communication outage bursts over the horizon.
+    pub comms_bursts: usize,
+    /// Minimum burst length in slots.
+    pub burst_min_slots: usize,
+    /// Maximum burst length in slots.
+    pub burst_max_slots: usize,
+    /// Probability that a given consumer is behind the failing
+    /// concentrator for a given burst.
+    pub burst_fleet_fraction: f64,
+    /// Per-consumer probability of one stuck-at-last-value episode.
+    pub stuck_prob: f64,
+    /// Minimum stuck episode length in slots.
+    pub stuck_min_slots: usize,
+    /// Maximum stuck episode length in slots.
+    pub stuck_max_slots: usize,
+    /// Per-slot probability of a spike corruption.
+    pub spike_rate: f64,
+    /// Multiplier applied to a spiked reading.
+    pub spike_multiplier: f64,
+    /// Per-slot probability that the reading duplicates the previous
+    /// interval's value.
+    pub duplicate_rate: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA_017,
+            dropout_rate: 0.0,
+            comms_bursts: 0,
+            burst_min_slots: 24,
+            burst_max_slots: 96,
+            burst_fleet_fraction: 0.5,
+            stuck_prob: 0.0,
+            stuck_min_slots: fdeta_tsdata::STUCK_RUN_MIN_SLOTS,
+            stuck_max_slots: 48,
+            spike_rate: 0.0,
+            spike_multiplier: 25.0,
+            duplicate_rate: 0.0,
+        }
+    }
+}
+
+impl FaultModel {
+    /// A model injecting nothing (useful as a control).
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The acceptance scenario: `dropout_rate` random dropout plus one
+    /// fleet-wide comms burst.
+    pub fn dropout_and_burst(seed: u64, dropout_rate: f64) -> Self {
+        Self {
+            seed,
+            dropout_rate,
+            comms_bursts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A model exercising every fault kind at moderate rates.
+    pub fn dirty(seed: u64) -> Self {
+        Self {
+            seed,
+            dropout_rate: 0.02,
+            comms_bursts: 1,
+            stuck_prob: 0.2,
+            spike_rate: 0.001,
+            duplicate_rate: 0.002,
+            ..Self::default()
+        }
+    }
+
+    /// Degrades a clean corpus, returning the observed (dirty) dataset and
+    /// the ground-truth log of everything injected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if any consumer's series is
+    /// empty (degradation needs at least one whole week).
+    pub fn degrade(&self, data: &SyntheticDataset) -> Result<(ObservedDataset, FaultLog), TsError> {
+        // Fleet-wide bursts are decided once, from a dedicated stream, so
+        // every consumer sees the same outage windows.
+        let mut fleet_rng = StdRng::seed_from_u64(stream_seed(self.seed, u64::MAX));
+        let horizon = data
+            .iter()
+            .map(|r| r.series.len())
+            .min()
+            .unwrap_or_default();
+        let mut bursts: Vec<(usize, usize)> = Vec::with_capacity(self.comms_bursts);
+        if horizon > 0 {
+            for _ in 0..self.comms_bursts {
+                let min_len = self.burst_min_slots.max(1).min(horizon);
+                let max_len = self.burst_max_slots.max(min_len).min(horizon);
+                let len = if min_len == max_len {
+                    min_len
+                } else {
+                    fleet_rng.gen_range(min_len..=max_len)
+                };
+                let start = if horizon > len {
+                    fleet_rng.gen_range(0..horizon - len)
+                } else {
+                    0
+                };
+                bursts.push((start, len));
+            }
+        }
+        // Per-burst membership per consumer, drawn from the fleet stream in
+        // index order so it is independent of any per-consumer stream.
+        let mut burst_hits: Vec<Vec<bool>> = Vec::with_capacity(bursts.len());
+        for _ in &bursts {
+            let hits = (0..data.len())
+                .map(|_| fleet_rng.gen_bool(self.burst_fleet_fraction))
+                .collect();
+            burst_hits.push(hits);
+        }
+
+        let mut events = Vec::new();
+        let mut records = Vec::with_capacity(data.len());
+        for (index, record) in data.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, index as u64));
+            let mut values = record.series.as_slice().to_vec();
+            let mut mask = vec![true; values.len()];
+            let len = values.len();
+
+            // Value corruptions first (they model the meter), then
+            // transport losses (they model the network).
+            if len > 0 && self.stuck_prob > 0.0 && rng.gen_bool(self.stuck_prob) {
+                let min_len = self.stuck_min_slots.max(1).min(len);
+                let max_len = self.stuck_max_slots.max(min_len).min(len);
+                let run = if min_len == max_len {
+                    min_len
+                } else {
+                    rng.gen_range(min_len..=max_len)
+                };
+                let start = if len > run {
+                    rng.gen_range(0..len - run)
+                } else {
+                    0
+                };
+                let held = values[start];
+                for value in values.iter_mut().take(start + run).skip(start) {
+                    *value = held;
+                }
+                events.push(FaultEvent {
+                    consumer_id: record.id,
+                    start_slot: start,
+                    len: run,
+                    kind: FaultKind::StuckMeter,
+                });
+            }
+            if self.spike_rate > 0.0 {
+                for t in 0..len {
+                    if rng.gen_bool(self.spike_rate) {
+                        values[t] *= self.spike_multiplier;
+                        events.push(FaultEvent {
+                            consumer_id: record.id,
+                            start_slot: t,
+                            len: 1,
+                            kind: FaultKind::Spike,
+                        });
+                    }
+                }
+            }
+            if self.duplicate_rate > 0.0 {
+                for t in 1..len {
+                    if rng.gen_bool(self.duplicate_rate) {
+                        values[t] = values[t - 1];
+                        events.push(FaultEvent {
+                            consumer_id: record.id,
+                            start_slot: t,
+                            len: 1,
+                            kind: FaultKind::DuplicateInterval,
+                        });
+                    }
+                }
+            }
+            if self.dropout_rate > 0.0 {
+                for (t, observed) in mask.iter_mut().enumerate() {
+                    if rng.gen_bool(self.dropout_rate) {
+                        *observed = false;
+                        events.push(FaultEvent {
+                            consumer_id: record.id,
+                            start_slot: t,
+                            len: 1,
+                            kind: FaultKind::Dropout,
+                        });
+                    }
+                }
+            }
+            for (burst, hits) in bursts.iter().zip(&burst_hits) {
+                if !hits[index] {
+                    continue;
+                }
+                let (start, run) = *burst;
+                let end = (start + run).min(len);
+                for observed in mask.iter_mut().take(end).skip(start) {
+                    *observed = false;
+                }
+                if end > start {
+                    events.push(FaultEvent {
+                        consumer_id: record.id,
+                        start_slot: start,
+                        len: end - start,
+                        kind: FaultKind::CommsBurst,
+                    });
+                }
+            }
+
+            let observed = ObservedSeries::from_parts(values, mask)?;
+            records.push(ObservedRecord {
+                id: record.id,
+                class: record.class,
+                observed,
+            });
+        }
+
+        events.sort();
+        Ok((ObservedDataset { records }, FaultLog { events }))
+    }
+}
+
+/// Derives an independent stream seed, matching the generator's idiom.
+fn stream_seed(seed: u64, lane: u64) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    (seed, lane).hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One consumer's identity and (possibly degraded) observed readings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedRecord {
+    /// Meter id (matches the source [`SyntheticDataset`]).
+    pub id: u32,
+    /// Consumer category.
+    pub class: ConsumerClass,
+    /// Gap-aware readings after fault injection.
+    pub observed: ObservedSeries,
+}
+
+/// A corpus of consumers as the head-end actually received them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedDataset {
+    records: Vec<ObservedRecord>,
+}
+
+impl ObservedDataset {
+    /// Builds a corpus from explicit records (e.g. real head-end data or a
+    /// hand-crafted fixture). Records keep the given order; corpus index is
+    /// positional.
+    pub fn from_records(records: Vec<ObservedRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Wraps a clean corpus without degradation (full observation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] if any consumer's series is
+    /// empty, and [`TsError::NotWeekAligned`] if not week-aligned.
+    pub fn fully_observed(data: &SyntheticDataset) -> Result<Self, TsError> {
+        let mut records = Vec::with_capacity(data.len());
+        for record in data.iter() {
+            records.push(ObservedRecord {
+                id: record.id,
+                class: record.class,
+                observed: ObservedSeries::fully_observed(&record.series)?,
+            });
+        }
+        Ok(Self { records })
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The consumer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn consumer(&self, index: usize) -> &ObservedRecord {
+        &self.records[index]
+    }
+
+    /// Looks a consumer up by meter id.
+    pub fn by_id(&self, id: u32) -> Option<&ObservedRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Iterates over consumers in corpus order.
+    pub fn iter(&self) -> impl Iterator<Item = &ObservedRecord> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+
+    fn corpus() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::small(12, 4, 99))
+    }
+
+    #[test]
+    fn clean_model_injects_nothing() {
+        let data = corpus();
+        let (observed, log) = FaultModel::clean(7).degrade(&data).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(observed.len(), data.len());
+        for (dirty, clean) in observed.iter().zip(data.iter()) {
+            assert_eq!(dirty.observed.observed_count(), clean.series.len());
+            assert_eq!(dirty.observed.values(), clean.series.as_slice());
+        }
+    }
+
+    #[test]
+    fn degradation_is_deterministic_in_seed() {
+        let data = corpus();
+        let model = FaultModel::dirty(1234);
+        let (a_data, a_log) = model.degrade(&data).unwrap();
+        let (b_data, b_log) = model.degrade(&data).unwrap();
+        assert_eq!(a_log, b_log);
+        assert_eq!(a_data, b_data);
+        let other = FaultModel::dirty(1235).degrade(&data).unwrap().1;
+        assert_ne!(a_log, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn dropout_affects_masks_and_is_logged() {
+        let data = corpus();
+        let model = FaultModel {
+            seed: 5,
+            dropout_rate: 0.05,
+            ..FaultModel::default()
+        };
+        let (observed, log) = model.degrade(&data).unwrap();
+        assert!(!log.is_empty());
+        let dropped: usize = observed
+            .iter()
+            .map(|r| r.observed.len() - r.observed.observed_count())
+            .sum();
+        let logged = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::Dropout)
+            .count();
+        assert_eq!(dropped, logged, "every lost slot has a log entry");
+        // ~5% of 12 * 4 * 336 = 16128 slots.
+        assert!(logged > 400 && logged < 1300, "got {logged}");
+    }
+
+    #[test]
+    fn comms_burst_hits_a_shared_window() {
+        let data = corpus();
+        let model = FaultModel {
+            seed: 6,
+            comms_bursts: 1,
+            burst_fleet_fraction: 1.0,
+            ..FaultModel::default()
+        };
+        let (observed, log) = model.degrade(&data).unwrap();
+        let bursts: Vec<_> = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::CommsBurst)
+            .collect();
+        assert_eq!(bursts.len(), data.len(), "fraction 1.0 hits everyone");
+        let (start, len) = (bursts[0].start_slot, bursts[0].len);
+        assert!(bursts.iter().all(|e| e.start_slot == start && e.len == len));
+        assert!(len >= model.burst_min_slots && len <= model.burst_max_slots);
+        for record in observed.iter() {
+            for t in start..start + len {
+                assert!(!record.observed.is_observed(t));
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_meter_keeps_mask_but_flattens_values() {
+        let data = corpus();
+        let model = FaultModel {
+            seed: 8,
+            stuck_prob: 1.0,
+            ..FaultModel::default()
+        };
+        let (observed, log) = model.degrade(&data).unwrap();
+        for record in observed.iter() {
+            let event = log
+                .events_for(record.id)
+                .find(|e| e.kind == FaultKind::StuckMeter)
+                .expect("stuck_prob 1.0 hits everyone");
+            let slice = &record.observed.values()[event.start_slot..event.start_slot + event.len];
+            assert!(slice.iter().all(|&v| v == slice[0]), "run is constant");
+            assert!(
+                (event.start_slot..event.start_slot + event.len)
+                    .all(|t| record.observed.is_observed(t)),
+                "stuck readings still arrive"
+            );
+            assert!(event.len >= model.stuck_min_slots);
+        }
+    }
+
+    #[test]
+    fn affected_consumers_match_event_ids() {
+        let data = corpus();
+        let (_, log) = FaultModel::dirty(77).degrade(&data).unwrap();
+        let affected = log.affected_consumers();
+        assert!(!affected.is_empty());
+        for id in &affected {
+            assert!(log.events_for(*id).count() > 0);
+        }
+        let by_kind = log.counts_by_kind();
+        let total: usize = by_kind.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, log.len());
+    }
+
+    #[test]
+    fn log_is_sorted_canonically() {
+        let data = corpus();
+        let (_, log) = FaultModel::dirty(31).degrade(&data).unwrap();
+        let mut sorted = log.events().to_vec();
+        sorted.sort();
+        assert_eq!(log.events(), sorted.as_slice());
+    }
+
+    #[test]
+    fn fully_observed_wrap_preserves_everything() {
+        let data = corpus();
+        let observed = ObservedDataset::fully_observed(&data).unwrap();
+        assert_eq!(observed.len(), data.len());
+        assert_eq!(observed.consumer(3).id, data.consumer(3).id);
+        assert!(observed.by_id(1001).is_some());
+        let report = observed.consumer(0).observed.quality_report();
+        assert_eq!(report.coverage, 1.0);
+        let _ = SLOTS_PER_WEEK;
+    }
+}

@@ -42,9 +42,11 @@
 
 pub mod config;
 pub mod dataset;
+pub mod fault;
 pub mod profile;
 pub mod shape;
 
 pub use config::DatasetConfig;
 pub use dataset::{ConsumerRecord, SyntheticDataset, TrainTestSplit};
+pub use fault::{FaultEvent, FaultKind, FaultLog, FaultModel, ObservedDataset, ObservedRecord};
 pub use profile::{ConsumerClass, ConsumerProfile};

@@ -297,11 +297,14 @@ impl TrainedConsumer {
         }
     }
 
-    pub(crate) fn arima_detector(&self) -> Option<&ArimaDetector> {
+    /// The trained per-reading interval detector, if the artifact has one.
+    pub fn arima_detector(&self) -> Option<&ArimaDetector> {
         self.arima.as_ref()
     }
 
-    pub(crate) fn integrated_detector(&self) -> Option<&IntegratedArimaDetector> {
+    /// The trained integrated (interval + weekly-range) detector, if the
+    /// artifact has one.
+    pub fn integrated_detector(&self) -> Option<&IntegratedArimaDetector> {
         self.integrated.as_ref()
     }
 
@@ -499,6 +502,37 @@ impl EvalEngine {
             threads,
             stats: Mutex::new(stats),
             progress,
+        })
+    }
+
+    /// Builds an engine directly from pre-trained artifacts.
+    ///
+    /// This is the assembly point for training paths that do *not* abort
+    /// on the first bad consumer — the robustness path repairs and retries
+    /// per consumer and hands the survivors here. Each artifact keeps
+    /// whatever corpus `index` it was trained with, so the attack draws of
+    /// the surviving consumers are bit-identical to a full-fleet run.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Config`] if the configuration is invalid.
+    pub fn from_artifacts(
+        config: &EvalConfig,
+        artifacts: Vec<TrainedConsumer>,
+    ) -> Result<Self, EvalError> {
+        config.validate()?;
+        let threads = config.worker_threads(artifacts.len());
+        let stats = EngineStats {
+            consumers: artifacts.len(),
+            threads,
+            ..EngineStats::default()
+        };
+        Ok(Self {
+            config: config.clone(),
+            artifacts,
+            threads,
+            stats: Mutex::new(stats),
+            progress: None,
         })
     }
 
@@ -738,7 +772,7 @@ pub struct AlphaPoint {
     pub metric1_under: f64,
 }
 
-/// The claim/abort protocol at the heart of [`run_work_stealing`],
+/// The claim/abort protocol at the heart of `run_work_stealing`,
 /// extracted as a standalone type so the loom model checker can exhaust
 /// its interleavings (`tests/loom_scheduler.rs`, built with
 /// `RUSTFLAGS="--cfg loom"`).
@@ -807,7 +841,7 @@ impl WorkQueue {
 /// regardless of thread count or interleaving. The first `Err` aborts the
 /// remaining work; a panicked worker surfaces as
 /// [`EvalError::WorkerPanicked`].
-fn run_work_stealing<T, F>(
+pub(crate) fn run_work_stealing<T, F>(
     n: usize,
     threads: usize,
     progress: Option<&ProgressFn>,

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use fdeta_tsdata::TsError;
+use fdeta_tsdata::{RepairError, RepairPolicy, TsError};
 
 /// An evaluation configuration that can never produce a valid run.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,11 @@ pub enum ConfigError {
         /// The rejected value.
         confidence: f64,
     },
+    /// The robustness coverage threshold must lie inside `[0, 1]`.
+    InvalidCoverage {
+        /// The rejected value.
+        coverage: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -41,6 +46,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBins => write!(f, "bins must be >= 1"),
             ConfigError::InvalidConfidence { confidence } => {
                 write!(f, "confidence {confidence} outside (0, 1)")
+            }
+            ConfigError::InvalidCoverage { coverage } => {
+                write!(f, "min_coverage {coverage} outside [0, 1]")
             }
         }
     }
@@ -96,6 +104,28 @@ pub enum TrainError {
         /// The consumer's meter id.
         consumer: u32,
     },
+    /// A kept week's observation coverage fell below the robustness
+    /// threshold — the repair policy would have had to invent too much of
+    /// the week for its statistics to be trusted.
+    LowCoverage {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// Original (pre-repair) index of the offending week.
+        week: usize,
+        /// The week's observed fraction, in `[0, 1]`.
+        coverage: f64,
+        /// The configured minimum.
+        required: f64,
+    },
+    /// A repair policy could not densify the consumer's observed series.
+    Repair {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// The policy that failed.
+        policy: RepairPolicy,
+        /// The underlying repair error.
+        source: RepairError,
+    },
     /// A time-series layer error with no per-consumer attribution.
     Data(TsError),
 }
@@ -132,12 +162,37 @@ impl fmt::Display for TrainError {
                     "consumer {consumer}: artifact has no held-out test window"
                 )
             }
+            TrainError::LowCoverage {
+                consumer,
+                week,
+                coverage,
+                required,
+            } => write!(
+                f,
+                "consumer {consumer}: week {week} coverage {coverage:.3} below required {required:.3}"
+            ),
+            TrainError::Repair {
+                consumer,
+                policy,
+                source,
+            } => write!(f, "consumer {consumer}: {policy} repair failed: {source}"),
             TrainError::Data(source) => write!(f, "time-series error: {source}"),
         }
     }
 }
 
-impl std::error::Error for TrainError {}
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Histogram { source, .. } | TrainError::Subspace { source, .. } => {
+                Some(source)
+            }
+            TrainError::Repair { source, .. } => Some(source),
+            TrainError::Data(source) => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<TsError> for TrainError {
     fn from(source: TsError) -> Self {
@@ -219,5 +274,31 @@ mod tests {
     fn ts_errors_lift_into_train_errors() {
         let e: TrainError = fdeta_tsdata::TsError::EmptyHistogram.into();
         assert!(matches!(e, TrainError::Data(_)));
+    }
+
+    #[test]
+    fn robustness_errors_name_the_cause() {
+        use std::error::Error;
+        let low = TrainError::LowCoverage {
+            consumer: 1007,
+            week: 3,
+            coverage: 0.25,
+            required: 0.5,
+        };
+        let text = low.to_string();
+        assert!(text.contains("1007"), "{text}");
+        assert!(text.contains("week 3"), "{text}");
+
+        let repair = TrainError::Repair {
+            consumer: 1007,
+            policy: RepairPolicy::HistoricalMedian,
+            source: RepairError::ResidualGaps { missing: 12 },
+        };
+        assert!(repair.to_string().contains("historical-median"));
+        assert!(repair.source().is_some(), "repair errors chain their cause");
+
+        assert!(ConfigError::InvalidCoverage { coverage: 1.5 }
+            .to_string()
+            .contains("1.5"));
     }
 }

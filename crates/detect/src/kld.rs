@@ -1,5 +1,15 @@
 //! The Kullback-Leibler divergence detector (Section VII-D) and its
 //! price-conditioned variant (Section VIII-F.3).
+//!
+//! Besides the paper's dense-week scoring, both detectors can score
+//! **partially observed** weeks: the week's histogram is built from the
+//! observed slots only, so its relative frequencies renormalise over the
+//! observed mass. A band (or week) with *zero* observed slots has no
+//! distribution at all — naive renormalisation would divide zero counts by
+//! a zero total — so masked scoring returns [`KldError::EmptyBand`] instead
+//! of a NaN or a silent, vacuous `0.0` divergence.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +48,48 @@ impl SignificanceLevel {
 
 /// The paper's default bin count for the `X` histogram.
 pub const DEFAULT_BINS: usize = 10;
+
+/// Errors from scoring partially observed weeks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KldError {
+    /// Every slot of the band (band `0` for the unconditioned detector)
+    /// was unobserved: the week carries no mass in that band, so its
+    /// divergence is undefined rather than zero.
+    EmptyBand {
+        /// Index of the empty band.
+        band: usize,
+    },
+    /// An underlying histogram error (mask length mismatch, corrupted
+    /// artifact with incompatible bins, ...).
+    Ts(TsError),
+}
+
+impl fmt::Display for KldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KldError::EmptyBand { band } => write!(
+                f,
+                "band {band} has no observed readings: divergence is undefined"
+            ),
+            KldError::Ts(source) => write!(f, "{source}"),
+        }
+    }
+}
+
+impl std::error::Error for KldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KldError::EmptyBand { .. } => None,
+            KldError::Ts(source) => Some(source),
+        }
+    }
+}
+
+impl From<TsError> for KldError {
+    fn from(source: TsError) -> Self {
+        KldError::Ts(source)
+    }
+}
 
 /// The KLD detector: histogram the training matrix `X` with `B` bins to
 /// fix edges; compute `K_i = KL(X_i ‖ X)` for each training week; flag a
@@ -161,6 +213,38 @@ impl KldDetector {
     pub fn score(&self, week: &WeekVector) -> f64 {
         // lint:allow(no-panic-in-lib, trained detectors share edges by construction; try_score covers untrusted artifacts)
         self.try_score(week).expect("same edges by construction")
+    }
+
+    /// The divergence of a *partially observed* week: only slots whose
+    /// mask entry is `true` are histogrammed, so the week's relative
+    /// frequencies renormalise over the observed mass (the histogram total
+    /// is the observed count, not 336).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KldError::EmptyBand`] if no slot is observed (the
+    /// distribution is undefined — a naive 0/0 renormalisation would yield
+    /// NaN), [`TsError::MaskLengthMismatch`] via [`KldError::Ts`] if the
+    /// mask length differs from the week length, and propagates
+    /// [`TsError::MismatchedBins`] for corrupted deserialized artifacts.
+    pub fn try_score_masked(&self, week: &WeekVector, mask: &[bool]) -> Result<f64, KldError> {
+        let values = week.as_slice();
+        if values.len() != mask.len() {
+            return Err(KldError::Ts(TsError::MaskLengthMismatch {
+                values: values.len(),
+                mask: mask.len(),
+            }));
+        }
+        let observed: Vec<f64> = values
+            .iter()
+            .zip(mask)
+            .filter_map(|(&v, &m)| m.then_some(v))
+            .collect();
+        if observed.is_empty() {
+            return Err(KldError::EmptyBand { band: 0 });
+        }
+        let hist = self.edges.histogram(&observed);
+        kl_divergence_smoothed(&hist, &self.baseline).map_err(KldError::Ts)
     }
 
     /// The detection threshold (percentile of the training KLD
@@ -335,6 +419,48 @@ impl ConditionedKldDetector {
         // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
         self.try_band_scores(week)
             .expect("same edges by construction")
+    }
+
+    /// Per-band `(score, threshold)` pairs for a *partially observed* week:
+    /// each band histograms only its observed slots, renormalising over the
+    /// band's observed mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KldError::EmptyBand`] naming the first band with zero
+    /// observed slots (a comms gap can swallow an entire TOU period — its
+    /// divergence is undefined, not zero), and [`KldError::Ts`] for a mask
+    /// length mismatch or a corrupted deserialized artifact.
+    pub fn try_band_scores_masked(
+        &self,
+        week: &WeekVector,
+        mask: &[bool],
+    ) -> Result<Vec<(f64, f64)>, KldError> {
+        let values = week.as_slice();
+        if values.len() != mask.len() {
+            return Err(KldError::Ts(TsError::MaskLengthMismatch {
+                values: values.len(),
+                mask: mask.len(),
+            }));
+        }
+        self.bands
+            .iter()
+            .enumerate()
+            .map(|(index, band)| {
+                let observed: Vec<f64> = band
+                    .slots
+                    .iter()
+                    .filter(|&&s| mask[s])
+                    .map(|&s| values[s])
+                    .collect();
+                if observed.is_empty() {
+                    return Err(KldError::EmptyBand { band: index });
+                }
+                let hist = band.edges.histogram(&observed);
+                let score = kl_divergence_smoothed(&hist, &band.baseline)?;
+                Ok((score, band.threshold))
+            })
+            .collect()
     }
 
     /// The configured significance level.
@@ -541,6 +667,89 @@ mod tests {
             ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Ten)
                 .unwrap();
         assert_eq!(cond.at_level(SignificanceLevel::Ten), cond_ten);
+    }
+
+    #[test]
+    fn fully_observed_masked_score_matches_dense_score() {
+        let train = training(20, 9);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let week = train.week_vector(3);
+        let mask = vec![true; SLOTS_PER_WEEK];
+        assert_eq!(
+            det.try_score_masked(&week, &mask).unwrap(),
+            det.score(&week)
+        );
+        let cond = ConditionedKldDetector::train_tou(
+            &train,
+            &TouPlan::ireland_nightsaver(),
+            DEFAULT_BINS,
+            SignificanceLevel::Five,
+        )
+        .unwrap();
+        assert_eq!(
+            cond.try_band_scores_masked(&week, &mask).unwrap(),
+            cond.band_scores(&week)
+        );
+    }
+
+    #[test]
+    fn masked_score_renormalises_over_observed_mass() {
+        // A training week with every second slot masked still looks like
+        // itself: the renormalised histogram keeps roughly the training
+        // shape, so the score stays finite and unspectacular — whereas the
+        // dense score of the same gap-zeroed week would see a huge spike of
+        // mass at zero.
+        let train = training(30, 10);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let week = train.week_vector(5);
+        let mask: Vec<bool> = (0..SLOTS_PER_WEEK).map(|i| i % 2 == 0).collect();
+        let masked = det.try_score_masked(&week, &mask).unwrap();
+        assert!(masked.is_finite());
+        let zeroed: Vec<f64> = week
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| if m { v } else { 0.0 })
+            .collect();
+        let dense_zeroed = det.score(&WeekVector::new(zeroed).unwrap());
+        assert!(
+            masked < dense_zeroed,
+            "renormalised score {masked} must beat naive gap-as-zero score {dense_zeroed}"
+        );
+    }
+
+    #[test]
+    fn empty_mask_is_a_typed_error_not_nan() {
+        let train = training(10, 11);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let week = train.week_vector(0);
+        let result = det.try_score_masked(&week, &vec![false; SLOTS_PER_WEEK]);
+        assert_eq!(result, Err(KldError::EmptyBand { band: 0 }));
+    }
+
+    #[test]
+    fn gap_swallowing_a_tou_band_is_a_typed_error() {
+        let train = training(10, 12);
+        let plan = TouPlan::ireland_nightsaver();
+        let det =
+            ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Five)
+                .unwrap();
+        let week = train.week_vector(0);
+        // Observe only off-peak slots: the peak band (index 1) is empty.
+        let mask: Vec<bool> = (0..SLOTS_PER_WEEK).map(|s| !plan.is_peak(s)).collect();
+        let result = det.try_band_scores_masked(&week, &mask);
+        assert_eq!(result, Err(KldError::EmptyBand { band: 1 }));
+    }
+
+    #[test]
+    fn mask_length_mismatch_is_typed() {
+        let train = training(10, 13);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let week = train.week_vector(0);
+        assert!(matches!(
+            det.try_score_masked(&week, &[true; 10]),
+            Err(KldError::Ts(TsError::MaskLengthMismatch { .. }))
+        ));
     }
 
     #[test]

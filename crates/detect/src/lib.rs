@@ -44,6 +44,7 @@ pub mod eval;
 pub mod integrated;
 pub mod kld;
 pub mod pca;
+pub mod robustness;
 pub mod roc;
 pub(crate) mod sync;
 pub mod ttd;
@@ -62,7 +63,10 @@ pub use eval::{
     ScenarioResult,
 };
 pub use integrated::IntegratedArimaDetector;
-pub use kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
+pub use kld::{ConditionedKldDetector, KldDetector, KldError, SignificanceLevel};
 pub use pca::PcaDetector;
+pub use robustness::{
+    QuarantinedConsumer, RepairAttempt, RobustEngine, RobustEvaluation, RobustnessConfig,
+};
 pub use roc::{best_operating_point, kld_roc_curve, RocPoint};
 pub use ttd::time_to_detection;

@@ -1,0 +1,470 @@
+//! Graceful degradation for dirty fleets: repair, retry, quarantine.
+//!
+//! [`EvalEngine::train`](crate::engine::EvalEngine::train) is deliberately
+//! strict: the first consumer whose artifact cannot be trained aborts the
+//! whole run. That is the right contract for a clean synthetic corpus,
+//! where a failure means a configuration bug — and the wrong one for real
+//! AMI telemetry, where one meter with a dead comms card must not take
+//! down a 500-consumer evaluation.
+//!
+//! [`RobustEngine`] is the lenient path. Per consumer, it:
+//!
+//! 1. repairs the gap-aware [`ObservedSeries`](fdeta_tsdata::ObservedSeries)
+//!    into a dense week matrix under the **primary**
+//!    [`RepairPolicy`], rejecting any surviving week whose original
+//!    observation coverage is below [`RobustnessConfig::min_coverage`]
+//!    (imputation is only trusted up to a point);
+//! 2. on any typed failure, retries **once** under the fallback policy;
+//! 3. on a second failure, **quarantines** the consumer — both attempts'
+//!    error chains are kept in the run report — and carries on with the
+//!    rest of the fleet.
+//!
+//! Artifacts of surviving consumers keep their original corpus index, so
+//! their attack-vector draws (seeded by index) are bit-identical to a
+//! no-fault run: quarantining a dirty consumer never perturbs the results
+//! of a clean one. The scheduling is the engine's work-stealing fan-out,
+//! and the outcome — artifacts, quarantine list, evaluation — is
+//! deterministic in the seed and invariant to the thread count.
+
+use std::fmt;
+
+use fdeta_cer_synth::{ConsumerRecord, ObservedDataset, ObservedRecord};
+use fdeta_tsdata::{RepairOutcome, RepairPolicy};
+
+use crate::engine::{run_work_stealing, EngineStage, EvalEngine, TrainedConsumer};
+use crate::error::{ConfigError, EvalError, TrainError};
+use crate::eval::{EvalConfig, Evaluation};
+
+/// How the robust training path repairs dirty consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessConfig {
+    /// Repair policy tried first for every consumer.
+    pub primary: RepairPolicy,
+    /// Policy for the single retry after the primary attempt fails. Set it
+    /// equal to `primary` to disable the retry.
+    pub fallback: RepairPolicy,
+    /// Minimum observation coverage, in `[0, 1]`, required of every week
+    /// that survives repair (measured on the *original* mask — imputed
+    /// slots do not count). Weeks dropped by
+    /// [`RepairPolicy::DropWeek`] are exempt because they do not survive.
+    pub min_coverage: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        Self {
+            primary: RepairPolicy::HistoricalMedian,
+            fallback: RepairPolicy::LinearInterpolate,
+            min_coverage: 0.5,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// Rejects thresholds outside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidCoverage`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.min_coverage) {
+            return Err(ConfigError::InvalidCoverage {
+                coverage: self.min_coverage,
+            });
+        }
+        Ok(())
+    }
+
+    /// The bounded attempt sequence: primary, then (if different) the
+    /// fallback.
+    fn attempt_policies(&self) -> Vec<RepairPolicy> {
+        if self.fallback == self.primary {
+            vec![self.primary]
+        } else {
+            vec![self.primary, self.fallback]
+        }
+    }
+}
+
+/// One failed repair-and-train attempt for a quarantined consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairAttempt {
+    /// The repair policy this attempt used.
+    pub policy: RepairPolicy,
+    /// Why the attempt failed.
+    pub error: TrainError,
+}
+
+/// A consumer excluded from the run, with every attempt's error retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedConsumer {
+    /// Meter id.
+    pub id: u32,
+    /// Original corpus index.
+    pub index: usize,
+    /// The failed attempts, in the order they were made.
+    pub attempts: Vec<RepairAttempt>,
+}
+
+impl QuarantinedConsumer {
+    /// The attempts' errors as one `policy: error; policy: error` line.
+    pub fn error_chain(&self) -> String {
+        let parts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| format!("{}: {}", a.policy, a.error))
+            .collect();
+        parts.join("; ")
+    }
+}
+
+impl fmt::Display for QuarantinedConsumer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consumer {} quarantined after {} attempt(s): {}",
+            self.id,
+            self.attempts.len(),
+            self.error_chain()
+        )
+    }
+}
+
+/// An evaluation plus the quarantine section of the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustEvaluation {
+    /// The Tables II/III protocol over the surviving consumers.
+    pub evaluation: Evaluation,
+    /// The consumers that never made it into the engine.
+    pub quarantined: Vec<QuarantinedConsumer>,
+}
+
+/// Per-consumer training outcome of the lenient path.
+enum ConsumerOutcome {
+    Trained(Box<TrainedConsumer>),
+    Quarantined(QuarantinedConsumer),
+}
+
+/// An [`EvalEngine`] trained leniently over an [`ObservedDataset`], plus
+/// the consumers it had to quarantine. See the module docs.
+pub struct RobustEngine {
+    engine: EvalEngine,
+    quarantined: Vec<QuarantinedConsumer>,
+}
+
+impl RobustEngine {
+    /// Repairs, trains, retries, and quarantines per consumer — the fleet
+    /// always completes unless the configuration itself is unusable or a
+    /// worker thread dies.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Config`] for an invalid [`EvalConfig`] or
+    /// [`RobustnessConfig`], and [`EvalError::WorkerPanicked`] for a dead
+    /// worker. Per-consumer failures do **not** surface here; they land in
+    /// [`RobustEngine::quarantined`].
+    pub fn train(
+        dataset: &ObservedDataset,
+        config: &EvalConfig,
+        robustness: &RobustnessConfig,
+    ) -> Result<Self, EvalError> {
+        config.validate()?;
+        robustness.validate()?;
+        let threads = config.worker_threads(dataset.len());
+        let outcomes =
+            run_work_stealing(dataset.len(), threads, None, EngineStage::Train, |index| {
+                Ok::<_, TrainError>(train_one(
+                    dataset.consumer(index),
+                    index,
+                    config,
+                    robustness,
+                ))
+            })?;
+        let mut artifacts = Vec::new();
+        let mut quarantined = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                ConsumerOutcome::Trained(artifact) => artifacts.push(*artifact),
+                ConsumerOutcome::Quarantined(q) => quarantined.push(q),
+            }
+        }
+        let engine = EvalEngine::from_artifacts(config, artifacts)?;
+        Ok(Self {
+            engine,
+            quarantined,
+        })
+    }
+
+    /// The engine over the surviving consumers.
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
+    }
+
+    /// The quarantined consumers, in corpus order.
+    pub fn quarantined(&self) -> &[QuarantinedConsumer] {
+        &self.quarantined
+    }
+
+    /// Meter ids of the quarantined consumers, in corpus order.
+    pub fn quarantined_ids(&self) -> Vec<u32> {
+        self.quarantined.iter().map(|q| q.id).collect()
+    }
+
+    /// Consumers that survived into the engine.
+    pub fn survivors(&self) -> usize {
+        self.engine.artifacts().len()
+    }
+
+    /// Scores the full protocol over the survivors and attaches the
+    /// quarantine list to the run report.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::evaluate`].
+    pub fn evaluate(&self) -> Result<RobustEvaluation, EvalError> {
+        Ok(RobustEvaluation {
+            evaluation: self.engine.evaluate()?,
+            quarantined: self.quarantined.clone(),
+        })
+    }
+}
+
+/// Runs the bounded attempt sequence for one consumer.
+fn train_one(
+    record: &ObservedRecord,
+    index: usize,
+    config: &EvalConfig,
+    robustness: &RobustnessConfig,
+) -> ConsumerOutcome {
+    let mut attempts = Vec::new();
+    for policy in robustness.attempt_policies() {
+        match attempt(record, index, config, robustness, policy) {
+            Ok(artifact) => return ConsumerOutcome::Trained(Box::new(artifact)),
+            Err(error) => attempts.push(RepairAttempt { policy, error }),
+        }
+    }
+    ConsumerOutcome::Quarantined(QuarantinedConsumer {
+        id: record.id,
+        index,
+        attempts,
+    })
+}
+
+/// One repair-gate-train attempt under one policy.
+fn attempt(
+    record: &ObservedRecord,
+    index: usize,
+    config: &EvalConfig,
+    robustness: &RobustnessConfig,
+    policy: RepairPolicy,
+) -> Result<TrainedConsumer, TrainError> {
+    let outcome = record
+        .observed
+        .repair(policy)
+        .map_err(|source| TrainError::Repair {
+            consumer: record.id,
+            policy,
+            source,
+        })?;
+    enforce_coverage(record, &outcome, robustness.min_coverage)?;
+    let repaired = ConsumerRecord {
+        id: record.id,
+        class: record.class,
+        profile: None,
+        series: outcome.series,
+    };
+    TrainedConsumer::train(&repaired, index, config)
+}
+
+/// Rejects any surviving week whose original coverage is below the
+/// threshold: repair may fill gaps, but it must not be asked to invent
+/// most of a week.
+fn enforce_coverage(
+    record: &ObservedRecord,
+    outcome: &RepairOutcome,
+    min_coverage: f64,
+) -> Result<(), TrainError> {
+    for &week in &outcome.kept_weeks {
+        let Some(coverage) = record.observed.week_coverage(week) else {
+            continue;
+        };
+        if coverage < min_coverage {
+            return Err(TrainError::LowCoverage {
+                consumer: record.id,
+                week,
+                coverage,
+                required: min_coverage,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_cer_synth::{DatasetConfig, FaultModel, SyntheticDataset};
+    use fdeta_tsdata::{ObservedSeries, SLOTS_PER_WEEK};
+
+    fn corpus(consumers: usize, seed: u64) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::small(consumers, 12, seed))
+    }
+
+    fn config(threads: usize) -> EvalConfig {
+        EvalConfig {
+            threads,
+            ..EvalConfig::fast(8, 3)
+        }
+    }
+
+    /// A hand-built observed record with a caller-chosen mask over a
+    /// smooth, repairable series.
+    fn crafted_record(id: u32, weeks: usize, mask_out: impl Fn(usize) -> bool) -> ObservedRecord {
+        let n = weeks * SLOTS_PER_WEEK;
+        let values: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.5 * ((i % SLOTS_PER_WEEK) as f64 / 48.0).sin())
+            .collect();
+        let mask: Vec<bool> = (0..n).map(|i| !mask_out(i)).collect();
+        ObservedRecord {
+            id,
+            class: fdeta_cer_synth::ConsumerClass::Residential,
+            observed: ObservedSeries::from_parts(values, mask).expect("valid fixture"),
+        }
+    }
+
+    #[test]
+    fn clean_corpus_survives_whole_and_matches_the_strict_engine() {
+        let data = corpus(4, 71);
+        let observed = ObservedDataset::fully_observed(&data).expect("clean corpus wraps");
+        let robust = RobustEngine::train(&observed, &config(2), &RobustnessConfig::default())
+            .expect("trains");
+        assert!(robust.quarantined().is_empty());
+        assert_eq!(robust.survivors(), 4);
+        let lenient = robust.evaluate().expect("scores");
+        let strict = EvalEngine::train(&data, &config(2))
+            .expect("trains")
+            .evaluate()
+            .expect("scores");
+        assert_eq!(
+            lenient.evaluation, strict,
+            "a fully observed corpus must evaluate bit-identically to the strict path"
+        );
+    }
+
+    #[test]
+    fn quarantine_and_evaluation_are_thread_count_invariant() {
+        let data = corpus(6, 72);
+        let (observed, _log) = FaultModel::dirty(72).degrade(&data).expect("degrades");
+        let a = RobustEngine::train(&observed, &config(1), &RobustnessConfig::default())
+            .expect("trains");
+        let b = RobustEngine::train(&observed, &config(4), &RobustnessConfig::default())
+            .expect("trains");
+        assert_eq!(a.quarantined(), b.quarantined());
+        // The embedded config legitimately differs in `threads`; the
+        // per-consumer results must not.
+        assert_eq!(
+            a.evaluate().expect("scores").evaluation.consumers,
+            b.evaluate().expect("scores").evaluation.consumers
+        );
+    }
+
+    #[test]
+    fn historical_median_failure_retries_under_the_fallback() {
+        // Slot 7 of every week is missing: the same-slot median has no
+        // donors, so the primary (HistoricalMedian) fails with
+        // ResidualGaps — and linear interpolation repairs it.
+        let records = vec![
+            crafted_record(2000, 12, |i| i % SLOTS_PER_WEEK == 7),
+            crafted_record(2001, 12, |i| i % SLOTS_PER_WEEK == 7),
+        ];
+        let observed = ObservedDataset::from_records(records);
+        let robust = RobustEngine::train(&observed, &config(2), &RobustnessConfig::default())
+            .expect("trains");
+        assert!(
+            robust.quarantined().is_empty(),
+            "fallback must rescue the consumer: {:?}",
+            robust.quarantined_ids()
+        );
+        assert_eq!(robust.survivors(), 2);
+    }
+
+    #[test]
+    fn hopeless_weeks_are_quarantined_with_both_attempts_on_record() {
+        // Week 2 is entirely unobserved: both imputers repair it, but the
+        // coverage gate rejects a 0%-observed week under either policy.
+        let hopeless = crafted_record(3001, 12, |i| i / SLOTS_PER_WEEK == 2);
+        let healthy = crafted_record(3002, 12, |_| false);
+        let observed = ObservedDataset::from_records(vec![hopeless, healthy]);
+        let robust = RobustEngine::train(&observed, &config(1), &RobustnessConfig::default())
+            .expect("completes despite the bad consumer");
+        assert_eq!(robust.quarantined_ids(), vec![3001]);
+        assert_eq!(robust.survivors(), 1);
+        let q = &robust.quarantined()[0];
+        assert_eq!(q.index, 0);
+        assert_eq!(q.attempts.len(), 2, "primary plus exactly one retry");
+        for attempt in &q.attempts {
+            assert!(matches!(
+                attempt.error,
+                TrainError::LowCoverage { week: 2, .. }
+            ));
+        }
+        let chain = q.error_chain();
+        assert!(chain.contains("historical-median"), "{chain}");
+        assert!(chain.contains("linear-interpolate"), "{chain}");
+        // The same week under DropWeek fallback survives: the dead week is
+        // dropped instead of imputed.
+        let lenient = RobustnessConfig {
+            fallback: RepairPolicy::DropWeek,
+            ..RobustnessConfig::default()
+        };
+        let rescued = RobustEngine::train(
+            &ObservedDataset::from_records(vec![crafted_record(3001, 12, |i| {
+                i / SLOTS_PER_WEEK == 2
+            })]),
+            &config(1),
+            &lenient,
+        )
+        .expect("trains");
+        assert!(rescued.quarantined().is_empty());
+    }
+
+    #[test]
+    fn quarantine_report_travels_with_the_evaluation() {
+        let hopeless = crafted_record(3001, 12, |i| i / SLOTS_PER_WEEK == 2);
+        let healthy = crafted_record(3002, 12, |_| false);
+        let observed = ObservedDataset::from_records(vec![hopeless, healthy]);
+        let robust = RobustEngine::train(&observed, &config(1), &RobustnessConfig::default())
+            .expect("trains");
+        let report = robust.evaluate().expect("scores");
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.evaluation.consumers.len(), 1);
+        assert_eq!(report.evaluation.consumers[0].id, 3002);
+        assert!(report.quarantined[0].to_string().contains("3001"));
+    }
+
+    #[test]
+    fn identical_policies_attempt_only_once() {
+        let hopeless = crafted_record(3001, 12, |i| i / SLOTS_PER_WEEK == 2);
+        let observed = ObservedDataset::from_records(vec![hopeless]);
+        let no_retry = RobustnessConfig {
+            primary: RepairPolicy::LinearInterpolate,
+            fallback: RepairPolicy::LinearInterpolate,
+            ..RobustnessConfig::default()
+        };
+        let robust = RobustEngine::train(&observed, &config(1), &no_retry).expect("completes");
+        assert_eq!(robust.quarantined()[0].attempts.len(), 1);
+    }
+
+    #[test]
+    fn invalid_coverage_is_rejected_before_training() {
+        let observed = ObservedDataset::from_records(vec![crafted_record(1, 12, |_| false)]);
+        let bad = RobustnessConfig {
+            min_coverage: 1.5,
+            ..RobustnessConfig::default()
+        };
+        assert!(matches!(
+            RobustEngine::train(&observed, &config(1), &bad),
+            Err(EvalError::Config(ConfigError::InvalidCoverage { .. }))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Acceptance test for the dirty-fleet path: dropout plus a comms burst
+//! over a synthetic fleet must never abort the run, must quarantine only
+//! consumers the fault log actually touched, and must leave the clean
+//! subset's Table II numbers bit-identical to a no-fault run.
+
+use std::collections::BTreeSet;
+
+use fdeta_cer_synth::{DatasetConfig, FaultModel, ObservedDataset, SyntheticDataset};
+use fdeta_detect::{EvalConfig, EvalEngine, RobustEngine, RobustnessConfig};
+
+fn fleet(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::small(consumers, weeks, seed))
+}
+
+fn config(threads: usize) -> EvalConfig {
+    EvalConfig {
+        threads,
+        ..EvalConfig::fast(8, 3)
+    }
+}
+
+/// Runs the acceptance scenario — 5% dropout plus one fleet-wide comms
+/// burst — over `consumers` meters and checks every acceptance property.
+fn check_fleet(consumers: usize, seed: u64) {
+    let data = fleet(consumers, 12, seed);
+    let model = FaultModel::dropout_and_burst(seed, 0.05);
+    let (observed, log) = model.degrade(&data).expect("degrade never fails");
+    let affected = log.affected_consumers();
+
+    let robust = RobustEngine::train(&observed, &config(3), &RobustnessConfig::default())
+        .expect("the fleet completes despite faults");
+    let report = robust.evaluate().expect("scoring completes");
+
+    // Quarantine only ever hits consumers the fault log touched.
+    let quarantined: BTreeSet<u32> = robust.quarantined_ids().into_iter().collect();
+    assert!(
+        quarantined.is_subset(&affected),
+        "quarantined {quarantined:?} not a subset of fault-affected {affected:?}"
+    );
+    assert_eq!(
+        report.evaluation.consumers.len() + quarantined.len(),
+        consumers,
+        "every consumer is either evaluated or quarantined"
+    );
+
+    // The untouched subset's per-consumer results are bit-identical to a
+    // run that never saw a fault model at all.
+    let baseline = EvalEngine::train(&data, &config(3))
+        .expect("clean fleet trains")
+        .evaluate()
+        .expect("clean fleet scores");
+    for eval in &report.evaluation.consumers {
+        if affected.contains(&eval.id) {
+            continue;
+        }
+        let clean = baseline
+            .consumers
+            .iter()
+            .find(|c| c.id == eval.id)
+            .expect("clean run covers every meter");
+        assert_eq!(
+            eval, clean,
+            "consumer {} drifted from the no-fault run",
+            eval.id
+        );
+    }
+
+    // Same seed, different thread count: byte-identical quarantine set and
+    // per-consumer results.
+    let rerun = RobustEngine::train(&observed, &config(1), &RobustnessConfig::default())
+        .expect("single-threaded rerun completes");
+    assert_eq!(robust.quarantined(), rerun.quarantined());
+    assert_eq!(
+        report.evaluation.consumers,
+        rerun.evaluate().expect("scores").evaluation.consumers
+    );
+}
+
+#[test]
+fn dropout_and_burst_fleet_degrades_gracefully() {
+    check_fleet(24, 90);
+}
+
+#[test]
+fn fault_injection_is_deterministic_in_the_seed() {
+    let data = fleet(10, 12, 91);
+    let model = FaultModel::dropout_and_burst(91, 0.05);
+    let (a, log_a) = model.degrade(&data).expect("degrades");
+    let (b, log_b) = model.degrade(&data).expect("degrades");
+    assert_eq!(log_a, log_b, "fault logs must be identical run to run");
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.observed, rb.observed);
+    }
+}
+
+#[test]
+fn heavy_faults_still_complete_the_fleet() {
+    // A much dirtier fleet: higher dropout, stuck meters, spikes. The run
+    // must still complete with every consumer accounted for — zero panics
+    // is the whole point of the lenient path.
+    let data = fleet(12, 12, 92);
+    let (observed, _log) = FaultModel::dirty(92).degrade(&data).expect("degrades");
+    let robust = RobustEngine::train(&observed, &config(2), &RobustnessConfig::default())
+        .expect("completes");
+    let report = robust.evaluate().expect("scores");
+    assert_eq!(
+        report.evaluation.consumers.len() + report.quarantined.len(),
+        12
+    );
+}
+
+/// The paper-scale acceptance criterion: 500 consumers, 5% dropout plus a
+/// comms burst. Run with `cargo test -- --ignored` when you have minutes
+/// to spare.
+#[test]
+#[ignore = "paper-scale: ~500 consumers, minutes of wall clock"]
+fn paper_scale_fleet_degrades_gracefully() {
+    check_fleet(500, 93);
+}
+
+#[test]
+fn observed_dataset_wraps_without_loss() {
+    let data = fleet(4, 12, 94);
+    let observed = ObservedDataset::fully_observed(&data).expect("wraps");
+    assert_eq!(observed.len(), 4);
+    for (record, clean) in observed.iter().zip(data.iter()) {
+        assert_eq!(record.id, clean.id);
+        assert!((record.observed.coverage() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -50,12 +50,14 @@
 
 pub mod pipeline;
 pub mod report;
+pub mod robustness;
 
 pub use pipeline::{
     Alert, AnomalyKind, ExternalEvidence, HolidayCalendar, NoEvidence, Pipeline, PipelineConfig,
     RoleHint,
 };
 pub use report::{FrameworkReport, InvestigationRequest};
+pub use robustness::{robustness_sweep, SweepCell, SweepConfig, SweepError, SweepReport};
 
 // Re-export the constituent crates under stable names so downstream users
 // depend on `fdeta` alone.
@@ -70,15 +72,19 @@ pub use fdeta_tsdata as tsdata;
 pub mod prelude {
     pub use crate::pipeline::{Alert, AnomalyKind, Pipeline, PipelineConfig, RoleHint};
     pub use crate::report::{FrameworkReport, InvestigationRequest};
+    pub use crate::robustness::{robustness_sweep, SweepConfig, SweepReport};
     pub use fdeta_arima::{ArimaModel, ArimaSpec};
     pub use fdeta_attacks::{
         arima_attack, integrated_arima_worst_case, optimal_swap, AttackClass, AttackVector,
         Direction, InjectionContext,
     };
-    pub use fdeta_cer_synth::{ConsumerClass, DatasetConfig, SyntheticDataset};
+    pub use fdeta_cer_synth::{
+        ConsumerClass, DatasetConfig, FaultLog, FaultModel, ObservedDataset, SyntheticDataset,
+    };
     pub use fdeta_detect::{
         try_evaluate, AlertBudget, ConditionedKldDetector, Detector, EvalConfig, EvalEngine,
-        EvalError, KldDetector, PcaDetector, SignificanceLevel, TrainError, TrainedConsumer,
+        EvalError, KldDetector, PcaDetector, RobustEngine, RobustnessConfig, SignificanceLevel,
+        TrainError, TrainedConsumer,
     };
     pub use fdeta_gridsim::{
         BalanceChecker, GridTopology, MeterDeployment, PricingScheme, Snapshot, TouPlan,

@@ -1,0 +1,326 @@
+//! The robustness harness: detection quality as a function of data decay.
+//!
+//! [`robustness_sweep`] runs the full evaluation protocol across a grid of
+//! fault rate × repair policy over one synthetic fleet, and reports per
+//! cell how the KLD detector's Table II numbers hold up: detection
+//! percentage for the integrated over/under scenarios, the clean-week
+//! false-positive rate, and how many consumers the lenient training path
+//! had to quarantine (against the fault log's ground-truth count of
+//! affected consumers).
+//!
+//! Each cell disables the retry fallback (`fallback == primary`) so the
+//! numbers measure one policy in isolation; production runs want the
+//! retrying [`RobustnessConfig::default`] instead.
+//!
+//! Everything is deterministic in [`SweepConfig::seed`]: the corpus, every
+//! fault draw, every attack vector, and therefore the rendered JSON — byte
+//! for byte, at any thread count.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use fdeta_cer_synth::{DatasetConfig, FaultModel, SyntheticDataset};
+use fdeta_detect::robustness::{RobustEngine, RobustnessConfig};
+use fdeta_detect::{DetectorKind, EvalConfig, EvalError, Scenario};
+use fdeta_tsdata::{RepairPolicy, TsError};
+
+/// The sweep grid and the fleet it runs over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Fleet size.
+    pub consumers: usize,
+    /// Weeks of history per consumer.
+    pub weeks: usize,
+    /// Training window per consumer.
+    pub train_weeks: usize,
+    /// Attack vectors per scenario (the worst-of-N protocol).
+    pub attack_vectors: usize,
+    /// Master seed for the corpus, the faults, and the attacks.
+    pub seed: u64,
+    /// Dropout rates to sweep. `0.0` means a pristine fleet (no faults of
+    /// any kind); every positive rate also injects one fleet-wide comms
+    /// burst.
+    pub fault_rates: Vec<f64>,
+    /// Repair policies to sweep.
+    pub policies: Vec<RepairPolicy>,
+    /// Coverage gate handed to [`RobustnessConfig`].
+    pub min_coverage: f64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            consumers: 20,
+            weeks: 12,
+            train_weeks: 8,
+            attack_vectors: 3,
+            seed: 7,
+            fault_rates: vec![0.0, 0.05, 0.15],
+            policies: vec![
+                RepairPolicy::DropWeek,
+                RepairPolicy::LinearInterpolate,
+                RepairPolicy::HistoricalMedian,
+            ],
+            min_coverage: 0.5,
+            threads: 0,
+        }
+    }
+}
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The dropout rate this cell ran at.
+    pub fault_rate: f64,
+    /// The repair policy this cell trained under.
+    pub policy: RepairPolicy,
+    /// Consumers the fault log says were touched by at least one fault.
+    pub affected: usize,
+    /// Consumers the lenient path quarantined.
+    pub quarantined: usize,
+    /// Consumers that survived into the evaluation.
+    pub survivors: usize,
+    /// KLD-95 Metric 1 for the integrated over-report scenario, in `[0, 1]`.
+    pub detection_over: f64,
+    /// KLD-95 Metric 1 for the integrated under-report scenario, in `[0, 1]`.
+    pub detection_under: f64,
+    /// Fraction of evaluated consumers whose clean week raised a KLD-95
+    /// false positive, in `[0, 1]`.
+    pub false_positive_rate: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Fleet size the sweep ran over.
+    pub consumers: usize,
+    /// Weeks of history per consumer.
+    pub weeks: usize,
+    /// Training window per consumer.
+    pub train_weeks: usize,
+    /// The master seed.
+    pub seed: u64,
+    /// One cell per (fault rate, policy) pair, rates outer, policies inner.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Renders the report as JSON.
+    ///
+    /// Hand-rolled on purpose: field order is fixed and floats use Rust's
+    /// shortest-round-trip formatting, so the same seed yields the same
+    /// bytes on every run and thread count — the CI smoke job diffs this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"consumers\": {},\n  \"weeks\": {},\n  \"train_weeks\": {},\n  \"seed\": {},\n  \"cells\": [",
+            self.consumers, self.weeks, self.train_weeks, self.seed
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"fault_rate\": {}, \"policy\": \"{}\", \"affected\": {}, \"quarantined\": {}, \"survivors\": {}, \"detection_over\": {}, \"detection_under\": {}, \"false_positive_rate\": {}}}{}",
+                cell.fault_rate,
+                cell.policy,
+                cell.affected,
+                cell.quarantined,
+                cell.survivors,
+                cell.detection_over,
+                cell.detection_under,
+                cell.false_positive_rate,
+                comma
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Failure of a sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A fault rate outside `[0, 1]`.
+    InvalidFaultRate {
+        /// The rejected value.
+        rate: f64,
+    },
+    /// Fault injection failed (a malformed corpus).
+    Data(TsError),
+    /// The evaluation engine failed (bad config or a worker panic —
+    /// per-consumer data problems quarantine instead).
+    Eval(EvalError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidFaultRate { rate } => {
+                write!(f, "fault rate {rate} outside [0, 1]")
+            }
+            SweepError::Data(e) => write!(f, "fault injection failed: {e}"),
+            SweepError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::InvalidFaultRate { .. } => None,
+            SweepError::Data(e) => Some(e),
+            SweepError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<TsError> for SweepError {
+    fn from(e: TsError) -> Self {
+        SweepError::Data(e)
+    }
+}
+
+impl From<EvalError> for SweepError {
+    fn from(e: EvalError) -> Self {
+        SweepError::Eval(e)
+    }
+}
+
+/// Runs the fault-rate × repair-policy grid. See the module docs.
+///
+/// # Errors
+///
+/// [`SweepError::InvalidFaultRate`] before any work starts;
+/// [`SweepError::Data`] / [`SweepError::Eval`] if a cell fails outright
+/// (per-consumer problems quarantine rather than erroring).
+pub fn robustness_sweep(config: &SweepConfig) -> Result<SweepReport, SweepError> {
+    for &rate in &config.fault_rates {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(SweepError::InvalidFaultRate { rate });
+        }
+    }
+    let data = SyntheticDataset::generate(&DatasetConfig::small(
+        config.consumers,
+        config.weeks,
+        config.seed,
+    ));
+    let eval_config = EvalConfig {
+        threads: config.threads,
+        ..EvalConfig::fast(config.train_weeks, config.attack_vectors)
+    };
+    let mut cells = Vec::with_capacity(config.fault_rates.len() * config.policies.len());
+    for &rate in &config.fault_rates {
+        let model = if rate > 0.0 {
+            FaultModel::dropout_and_burst(config.seed, rate)
+        } else {
+            FaultModel::clean(config.seed)
+        };
+        let (observed, log) = model.degrade(&data)?;
+        let affected = log.affected_consumers().len();
+        for &policy in &config.policies {
+            let robustness = RobustnessConfig {
+                primary: policy,
+                fallback: policy,
+                min_coverage: config.min_coverage,
+            };
+            let robust = RobustEngine::train(&observed, &eval_config, &robustness)?;
+            let report = robust.evaluate()?;
+            let evaluation = &report.evaluation;
+            let kld = DetectorKind::Kld5;
+            let active: Vec<_> = evaluation.consumers.iter().filter(|c| !c.skipped).collect();
+            let fp = active
+                .iter()
+                .filter(|c| c.false_positive[kld.index()])
+                .count();
+            let false_positive_rate = if active.is_empty() {
+                0.0
+            } else {
+                fp as f64 / active.len() as f64
+            };
+            cells.push(SweepCell {
+                fault_rate: rate,
+                policy,
+                affected,
+                quarantined: report.quarantined.len(),
+                survivors: robust.survivors(),
+                detection_over: evaluation.metric1(kld, Scenario::IntegratedOver),
+                detection_under: evaluation.metric1(kld, Scenario::IntegratedUnder),
+                false_positive_rate,
+            });
+        }
+    }
+    Ok(SweepReport {
+        consumers: config.consumers,
+        weeks: config.weeks,
+        train_weeks: config.train_weeks,
+        seed: config.seed,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            consumers: 6,
+            weeks: 12,
+            train_weeks: 8,
+            attack_vectors: 2,
+            seed: 11,
+            fault_rates: vec![0.0, 0.05],
+            policies: vec![RepairPolicy::HistoricalMedian],
+            min_coverage: 0.5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_accounts_for_every_consumer() {
+        let report = robustness_sweep(&tiny()).expect("sweep runs");
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.survivors + cell.quarantined, 6);
+            assert!(cell.quarantined <= cell.affected);
+            assert!((0.0..=1.0).contains(&cell.detection_over));
+            assert!((0.0..=1.0).contains(&cell.detection_under));
+            assert!((0.0..=1.0).contains(&cell.false_positive_rate));
+        }
+        let pristine = &report.cells[0];
+        assert_eq!(pristine.fault_rate, 0.0);
+        assert_eq!(pristine.affected, 0, "rate 0.0 injects no faults at all");
+        assert_eq!(pristine.quarantined, 0);
+    }
+
+    #[test]
+    fn sweep_json_is_deterministic() {
+        let a = robustness_sweep(&tiny()).expect("sweep runs");
+        let b = robustness_sweep(&SweepConfig {
+            threads: 1,
+            ..tiny()
+        })
+        .expect("sweep runs");
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "same seed must render the same bytes at any thread count"
+        );
+        assert!(a.to_json().contains("\"policy\": \"historical-median\""));
+    }
+
+    #[test]
+    fn bad_rates_are_rejected_up_front() {
+        let bad = SweepConfig {
+            fault_rates: vec![0.05, 1.5],
+            ..tiny()
+        };
+        assert!(matches!(
+            robustness_sweep(&bad),
+            Err(SweepError::InvalidFaultRate { .. })
+        ));
+    }
+}

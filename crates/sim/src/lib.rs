@@ -39,5 +39,5 @@ pub mod scenario;
 
 pub use attacker::{AttackerKind, AttackerSpec};
 pub use outcome::{SimOutcome, WeekLog};
-pub use runner::Simulation;
-pub use scenario::Scenario;
+pub use runner::{SimError, Simulation};
+pub use scenario::{Scenario, TelemetryFaults};

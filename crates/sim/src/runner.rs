@@ -12,7 +12,11 @@ use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
 use fdeta_gridsim::topology::GridTopology;
 use fdeta_gridsim::GridError;
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
-use fdeta_tsdata::{TsError, SLOTS_PER_WEEK, SLOT_HOURS};
+use fdeta_tsdata::{
+    ObservedSeries, RepairError, RepairPolicy, TsError, SLOTS_PER_WEEK, SLOT_HOURS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::attacker::AttackerKind;
 use crate::outcome::{SimOutcome, WeekLog};
@@ -30,6 +34,8 @@ pub enum SimError {
     Arima(ArimaError),
     /// The detection pipeline could not train a consumer's monitor.
     Train(TrainError),
+    /// A degraded telemetry week could not be repaired back to dense.
+    Repair(RepairError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +45,7 @@ impl fmt::Display for SimError {
             SimError::Grid(e) => write!(f, "grid error: {e}"),
             SimError::Arima(e) => write!(f, "model error: {e}"),
             SimError::Train(e) => write!(f, "pipeline training error: {e}"),
+            SimError::Repair(e) => write!(f, "telemetry repair error: {e}"),
         }
     }
 }
@@ -64,6 +71,37 @@ impl From<TrainError> for SimError {
     fn from(e: TrainError) -> Self {
         SimError::Train(e)
     }
+}
+impl From<RepairError> for SimError {
+    fn from(e: RepairError) -> Self {
+        SimError::Repair(e)
+    }
+}
+
+/// Drops each slot of the head-end's copy of a reported week with the
+/// given probability ((consumer, week)-seeded), then repairs it back to
+/// dense by linear interpolation — what the monitors actually score.
+fn degrade_and_repair(
+    report: &WeekVector,
+    dropout_rate: f64,
+    master_seed: u64,
+    consumer_index: usize,
+    week: usize,
+) -> Result<WeekVector, SimError> {
+    let seed = master_seed
+        ^ 0x7E1E_6574_D474_0001
+        ^ (consumer_index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (week as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: Vec<bool> = (0..SLOTS_PER_WEEK)
+        .map(|_| !rng.gen_bool(dropout_rate))
+        .collect();
+    if mask.iter().all(|&m| m) {
+        return Ok(report.clone());
+    }
+    let observed = ObservedSeries::from_parts(report.as_slice().to_vec(), mask)?;
+    let outcome = observed.repair(RepairPolicy::LinearInterpolate)?;
+    Ok(WeekVector::new(outcome.series.as_slice().to_vec())?)
 }
 
 /// Pre-fitted state for one attacker's injection machinery.
@@ -244,9 +282,30 @@ impl Simulation {
                 }
             }
 
+            // Telemetry decay: the monitors score the head-end's (gappy,
+            // repaired) copy of each report. Billing, stolen-kWh
+            // accounting, and the root balance check keep the true
+            // reports — the backhaul loses data, the meters do not.
+            let assessed: Vec<WeekVector> = match scenario.telemetry {
+                Some(faults) if faults.dropout_rate > 0.0 => {
+                    let mut copies = Vec::with_capacity(n);
+                    for (index, report) in reported.iter().enumerate() {
+                        copies.push(degrade_and_repair(
+                            report,
+                            faults.dropout_rate,
+                            scenario.dataset.seed,
+                            index,
+                            week,
+                        )?);
+                    }
+                    copies
+                }
+                _ => reported.clone(),
+            };
+
             // The pipeline scores every consumer's reported week.
             let mut alerts = Vec::new();
-            for (index, week_vector) in reported.iter().enumerate() {
+            for (index, week_vector) in assessed.iter().enumerate() {
                 let id = data.consumer(index).id;
                 alerts.extend(
                     pipeline
@@ -414,6 +473,58 @@ mod tests {
         let free_run = Simulation::run(&unresponsive).expect("runs");
         assert!(free_run.total_stolen_kwh() > outcome.total_stolen_kwh());
         assert_eq!(free_run.stopped_week[0], None);
+    }
+
+    #[test]
+    fn zero_rate_telemetry_matches_the_legacy_path_exactly() {
+        use crate::scenario::TelemetryFaults;
+        let clean = Scenario::small(12, 16, 47).with_attacker(AttackerSpec {
+            consumer_index: 5,
+            kind: AttackerKind::UnderReport,
+            start_week: 0,
+        });
+        let zero = clean
+            .clone()
+            .with_telemetry(TelemetryFaults { dropout_rate: 0.0 });
+        assert_eq!(
+            Simulation::run(&clean).expect("runs"),
+            Simulation::run(&zero).expect("runs"),
+            "dropout 0.0 must be byte-identical to no telemetry model"
+        );
+    }
+
+    #[test]
+    fn degraded_telemetry_still_completes_and_is_deterministic() {
+        use crate::scenario::TelemetryFaults;
+        let scenario = Scenario::small(12, 16, 47)
+            .with_attacker(AttackerSpec {
+                consumer_index: 5,
+                kind: AttackerKind::UnderReport,
+                start_week: 0,
+            })
+            .with_telemetry(TelemetryFaults { dropout_rate: 0.05 });
+        let a = Simulation::run(&scenario).expect("dirty telemetry must not abort");
+        let b = Simulation::run(&scenario).expect("runs");
+        assert_eq!(a, b, "fault draws are seeded, so reruns are identical");
+        assert_eq!(a.weeks.len(), scenario.test_weeks());
+        // The true reports are untouched: the theft accounting and the
+        // balance check see exactly what the legacy path saw.
+        let clean = Simulation::run(&Scenario {
+            telemetry: None,
+            ..scenario.clone()
+        })
+        .expect("runs");
+        for (dirty, legacy) in a.weeks.iter().zip(clean.weeks.iter()) {
+            assert_eq!(dirty.stolen_kwh, legacy.stolen_kwh);
+            assert_eq!(dirty.root_balance_failed, legacy.root_balance_failed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn telemetry_rate_is_validated() {
+        use crate::scenario::TelemetryFaults;
+        let _ = Scenario::small(12, 16, 1).with_telemetry(TelemetryFaults { dropout_rate: 1.5 });
     }
 
     #[test]

@@ -7,6 +7,18 @@ use fdeta_detect::SignificanceLevel;
 
 use crate::attacker::AttackerSpec;
 
+/// Telemetry decay applied to the live weeks: the monitors score the
+/// head-end's (possibly gappy, repaired) copy of each report, while
+/// billing and the root balance check keep using the meters' true
+/// reports — modelling loss on the backhaul, not at the meter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryFaults {
+    /// Per-slot probability that a reported reading is lost in transit,
+    /// in `[0, 1]`. Lost slots are repaired by linear interpolation
+    /// before the pipeline sees the week.
+    pub dropout_rate: f64,
+}
+
 /// A complete, reproducible simulation setup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -30,6 +42,11 @@ pub struct Scenario {
     /// the theft and the attacker stops. `0` disables the response loop
     /// (attacks run to the end of the horizon).
     pub investigation_after: usize,
+    /// Telemetry decay on the monitors' copy of the live weeks. `None`
+    /// (the default, and what legacy scenario files deserialise to)
+    /// reproduces the original perfect-backhaul behaviour exactly.
+    #[serde(default)]
+    pub telemetry: Option<TelemetryFaults>,
 }
 
 impl Scenario {
@@ -50,7 +67,23 @@ impl Scenario {
             attack_vectors: 8,
             attackers: Vec::new(),
             investigation_after: 0,
+            telemetry: None,
         }
+    }
+
+    /// Enables telemetry decay (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dropout rate is outside `[0, 1]`.
+    pub fn with_telemetry(mut self, faults: TelemetryFaults) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&faults.dropout_rate),
+            "dropout rate {} outside [0, 1]",
+            faults.dropout_rate
+        );
+        self.telemetry = Some(faults);
+        self
     }
 
     /// Adds an attacker (builder style).

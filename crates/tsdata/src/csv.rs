@@ -35,9 +35,11 @@ pub struct CerRecord {
 ///
 /// # Errors
 ///
-/// Returns [`TsError::Csv`] with the 1-based line number on any malformed
-/// record, and [`TsError::InvalidValue`] for negative or non-finite
-/// readings.
+/// Returns [`TsError::Csv`] with the 1-based line number on any
+/// structurally malformed record (short rows, unparseable fields, extra
+/// fields, out-of-range slots), and [`TsError::InvalidReading`] — also
+/// carrying the line number — for readings that parse but are negative,
+/// NaN, or infinite.
 pub fn read_cer_records<R: BufRead>(reader: R) -> Result<Vec<CerRecord>, TsError> {
     let mut records = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
@@ -50,43 +52,41 @@ pub fn read_cer_records<R: BufRead>(reader: R) -> Result<Vec<CerRecord>, TsError
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut fields = trimmed.split(',');
-        let meter = fields
-            .next()
-            .and_then(|f| f.trim().parse::<u32>().ok())
-            .ok_or_else(|| TsError::Csv {
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 3 {
+            return Err(TsError::Csv {
                 line: line_no,
-                message: "bad meter id".into(),
-            })?;
-        let code = fields
-            .next()
-            .and_then(|f| f.trim().parse::<u32>().ok())
-            .ok_or_else(|| TsError::Csv {
-                line: line_no,
-                message: "bad day code".into(),
-            })?;
-        let kw = fields
-            .next()
-            .and_then(|f| f.trim().parse::<f64>().ok())
-            .ok_or_else(|| TsError::Csv {
-                line: line_no,
-                message: "bad reading".into(),
-            })?;
-        if fields.next().is_some() {
+                message: format!("short row: {} of 3 fields (meter,daycode,kw)", fields.len()),
+            });
+        }
+        if fields.len() > 3 {
             return Err(TsError::Csv {
                 line: line_no,
                 message: "too many fields".into(),
             });
         }
+        let meter = fields[0].trim().parse::<u32>().map_err(|_| TsError::Csv {
+            line: line_no,
+            message: "bad meter id".into(),
+        })?;
+        let code = fields[1].trim().parse::<u32>().map_err(|_| TsError::Csv {
+            line: line_no,
+            message: "bad day code".into(),
+        })?;
+        let kw = fields[2].trim().parse::<f64>().map_err(|_| TsError::Csv {
+            line: line_no,
+            message: "bad reading".into(),
+        })?;
         if !(kw.is_finite() && kw >= 0.0) {
-            return Err(TsError::InvalidValue {
+            return Err(TsError::InvalidReading {
+                line: line_no,
                 what: "kW",
                 value: kw,
             });
         }
         let slot = code % 100;
         let day = code / 100;
-        if !(1..=SLOTS_PER_DAY as u32).contains(&slot) {
+        if !(1..=SLOTS_PER_DAY).contains(&(slot as usize)) {
             return Err(TsError::Csv {
                 line: line_no,
                 message: format!("slot {slot} outside 1..=48"),
@@ -123,15 +123,25 @@ pub enum GapPolicy {
 /// Groups records into one gap-free [`HalfHourSeries`] per meter with the
 /// default zero-fill policy; days are laid out contiguously from each
 /// meter's first day to its last.
-pub fn records_to_series(records: &[CerRecord]) -> BTreeMap<u32, HalfHourSeries> {
+///
+/// # Errors
+///
+/// Returns [`TsError::InvalidValue`] if any record carries a reading that
+/// would not survive series validation (impossible for records produced by
+/// [`read_cer_records`], which rejects them with the line number).
+pub fn records_to_series(records: &[CerRecord]) -> Result<BTreeMap<u32, HalfHourSeries>, TsError> {
     records_to_series_with(records, GapPolicy::Zero)
 }
 
 /// As [`records_to_series`], with an explicit [`GapPolicy`].
+///
+/// # Errors
+///
+/// As [`records_to_series`].
 pub fn records_to_series_with(
     records: &[CerRecord],
     policy: GapPolicy,
-) -> BTreeMap<u32, HalfHourSeries> {
+) -> Result<BTreeMap<u32, HalfHourSeries>, TsError> {
     const WEEK: usize = 7 * SLOTS_PER_DAY;
     let mut per_meter: BTreeMap<u32, Vec<&CerRecord>> = BTreeMap::new();
     for rec in records {
@@ -139,8 +149,12 @@ pub fn records_to_series_with(
     }
     let mut out = BTreeMap::new();
     for (meter, recs) in per_meter {
-        let first_day = recs.iter().map(|r| r.day).min().expect("nonempty group");
-        let last_day = recs.iter().map(|r| r.day).max().expect("nonempty group");
+        let (Some(first_day), Some(last_day)) = (
+            recs.iter().map(|r| r.day).min(),
+            recs.iter().map(|r| r.day).max(),
+        ) else {
+            continue; // unreachable: groups are created by pushing a record
+        };
         let days = (last_day - first_day + 1) as usize;
         let mut slots: Vec<Option<f64>> = vec![None; days * SLOTS_PER_DAY];
         for rec in recs {
@@ -167,12 +181,9 @@ pub fn records_to_series_with(
             };
             values.push(value);
         }
-        out.insert(
-            meter,
-            HalfHourSeries::from_raw(values).expect("records validated on parse"),
-        );
+        out.insert(meter, HalfHourSeries::from_raw(values)?);
     }
-    out
+    Ok(out)
 }
 
 /// Writes a series for one meter in CER format, starting at `first_day`.
@@ -187,8 +198,8 @@ pub fn write_cer_series<W: Write>(
     series: &HalfHourSeries,
 ) -> std::io::Result<()> {
     for (i, kw) in series.as_slice().iter().enumerate() {
-        let day = first_day + (i / SLOTS_PER_DAY) as u32;
-        let slot = (i % SLOTS_PER_DAY) as u32 + 1;
+        let day = first_day as usize + i / SLOTS_PER_DAY;
+        let slot = i % SLOTS_PER_DAY + 1;
         writeln!(writer, "{meter_id},{:05},{kw}", day * 100 + slot)?;
     }
     Ok(())
@@ -225,10 +236,59 @@ mod tests {
         assert!(matches!(bad_slot, Err(TsError::Csv { line: 1, .. })));
         let extra = read_cer_records(Cursor::new("1,19501,1.0,zzz"));
         assert!(matches!(extra, Err(TsError::Csv { line: 1, .. })));
-        let negative = read_cer_records(Cursor::new("1,19501,-1.0"));
-        assert!(matches!(negative, Err(TsError::InvalidValue { .. })));
         let second_line = read_cer_records(Cursor::new("1,19501,1.0\noops"));
         assert!(matches!(second_line, Err(TsError::Csv { line: 2, .. })));
+    }
+
+    #[test]
+    fn invalid_readings_are_typed_with_line_numbers() {
+        // A negative reading two good lines in: the error pinpoints line 3.
+        let negative = read_cer_records(Cursor::new("1,19501,1.0\n1,19502,0.5\n1,19503,-1.0"));
+        assert_eq!(
+            negative,
+            Err(TsError::InvalidReading {
+                line: 3,
+                what: "kW",
+                value: -1.0,
+            })
+        );
+        // NaN and infinity parse as f64 but are rejected the same way.
+        let nan = read_cer_records(Cursor::new("1,19501,NaN"));
+        assert!(matches!(nan, Err(TsError::InvalidReading { line: 1, .. })));
+        let inf = read_cer_records(Cursor::new("# header\n1,19501,inf"));
+        assert!(matches!(inf, Err(TsError::InvalidReading { line: 2, .. })));
+    }
+
+    #[test]
+    fn short_rows_are_rejected_with_field_count() {
+        for (input, line) in [("1,19501", 1), ("1", 1), ("1,19501,1.0\n2,19501", 2)] {
+            match read_cer_records(Cursor::new(input)) {
+                Err(TsError::Csv {
+                    line: reported,
+                    message,
+                }) => {
+                    assert_eq!(reported, line, "input {input:?}");
+                    assert!(message.contains("short row"), "message {message:?}");
+                }
+                other => panic!("expected short-row error for {input:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_fixture_never_reaches_series_construction() {
+        // A realistic dirty export: good lines, then a NaN mid-file. The
+        // parse fails before any series is built, so no NaN can leak into
+        // a HalfHourSeries through this path.
+        let fixture = "\
+# CER export, meter 42
+42,00101,0.5
+42,00102,0.75
+42,00103,nan
+42,00104,1.0
+";
+        let err = read_cer_records(Cursor::new(fixture)).unwrap_err();
+        assert!(matches!(err, TsError::InvalidReading { line: 4, .. }));
     }
 
     #[test]
@@ -237,7 +297,7 @@ mod tests {
         let mut buf = Vec::new();
         write_cer_series(&mut buf, 77, 100, &series).unwrap();
         let records = read_cer_records(Cursor::new(buf)).unwrap();
-        let grouped = records_to_series(&records);
+        let grouped = records_to_series(&records).unwrap();
         assert_eq!(grouped.len(), 1);
         let restored = &grouped[&77];
         assert_eq!(restored.len(), series.len());
@@ -257,9 +317,9 @@ mod tests {
         input.push_str("9,00801,3.0\n");
         let records = read_cer_records(Cursor::new(input)).unwrap();
 
-        let zero = records_to_series_with(&records, GapPolicy::Zero);
-        let hold = records_to_series_with(&records, GapPolicy::HoldLast);
-        let weekly = records_to_series_with(&records, GapPolicy::PreviousWeek);
+        let zero = records_to_series_with(&records, GapPolicy::Zero).unwrap();
+        let hold = records_to_series_with(&records, GapPolicy::HoldLast).unwrap();
+        let weekly = records_to_series_with(&records, GapPolicy::PreviousWeek).unwrap();
         let day8_slot5 = 7 * SLOTS_PER_DAY + 4;
         assert_eq!(zero[&9].as_slice()[day8_slot5], 0.0);
         assert_eq!(
@@ -283,7 +343,7 @@ mod tests {
         // to hold-last.
         let input = "4,00101,1.5\n4,00103,2.5\n";
         let records = read_cer_records(Cursor::new(input)).unwrap();
-        let weekly = records_to_series_with(&records, GapPolicy::PreviousWeek);
+        let weekly = records_to_series_with(&records, GapPolicy::PreviousWeek).unwrap();
         assert_eq!(
             weekly[&4].as_slice()[1],
             1.5,
@@ -295,7 +355,7 @@ mod tests {
     fn missing_slots_fill_with_zero() {
         // Only slot 3 of day 10 present: day is padded to 48 slots.
         let records = read_cer_records(Cursor::new("5,1003,2.0")).unwrap();
-        let grouped = records_to_series(&records);
+        let grouped = records_to_series(&records).unwrap();
         let series = &grouped[&5];
         assert_eq!(series.len(), SLOTS_PER_DAY);
         assert_eq!(series.as_slice()[2], 2.0);

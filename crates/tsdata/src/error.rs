@@ -61,6 +61,27 @@ pub enum TsError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// An observation mask and its value vector differ in length.
+    MaskLengthMismatch {
+        /// Length of the value vector.
+        values: usize,
+        /// Length of the mask.
+        mask: usize,
+    },
+    /// A reading failed validation while parsing CSV input, with the line
+    /// it came from.
+    ///
+    /// Unlike [`TsError::InvalidValue`], this variant pinpoints the source
+    /// line so a malformed record in a million-line CER export can be
+    /// found and quarantined.
+    InvalidReading {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What the value was supposed to represent (e.g. `"kW"`).
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for TsError {
@@ -109,6 +130,18 @@ impl fmt::Display for TsError {
             TsError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
+            TsError::MaskLengthMismatch { values, mask } => {
+                write!(
+                    f,
+                    "observation mask length {mask} does not match {values} values"
+                )
+            }
+            TsError::InvalidReading { line, what, value } => {
+                write!(
+                    f,
+                    "invalid {what} reading {value} at line {line}: must be finite and non-negative"
+                )
+            }
         }
     }
 }
@@ -139,6 +172,15 @@ mod tests {
             TsError::Csv {
                 line: 2,
                 message: "bad field".into(),
+            },
+            TsError::MaskLengthMismatch {
+                values: 336,
+                mask: 300,
+            },
+            TsError::InvalidReading {
+                line: 4,
+                what: "kW",
+                value: f64::NAN,
             },
         ];
         for err in errors {

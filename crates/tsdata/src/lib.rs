@@ -18,6 +18,9 @@
 //!   (log base 2), as in eq. (12) of the paper.
 //! * [`TruncatedNormal`] — the sampler used by
 //!   the *Integrated ARIMA attack*.
+//! * [`ObservedSeries`] — gap-aware readings with a per-slot observation
+//!   mask, [`QualityReport`] summaries, and [`RepairPolicy`] repair into a
+//!   dense series (dirty-telemetry hardening).
 //! * Descriptive statistics ([`stats`]) — running mean/variance (Welford),
 //!   empirical quantiles, and weekly summaries used by the Integrated ARIMA
 //!   detector's mean/variance checks.
@@ -41,6 +44,7 @@ pub mod csv;
 pub mod error;
 pub mod hist;
 pub mod kl;
+pub mod observed;
 pub mod series;
 pub mod stats;
 pub mod truncnorm;
@@ -51,6 +55,9 @@ pub use csv::GapPolicy;
 pub use error::TsError;
 pub use hist::{BinEdges, Histogram};
 pub use kl::{kl_divergence, kl_divergence_smoothed};
+pub use observed::{
+    ObservedSeries, QualityReport, RepairError, RepairOutcome, RepairPolicy, STUCK_RUN_MIN_SLOTS,
+};
 pub use series::{HalfHourSeries, SlotOfWeek};
 pub use stats::{Quantile, RunningStats, Summary};
 pub use truncnorm::TruncatedNormal;

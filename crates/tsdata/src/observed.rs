@@ -1,0 +1,750 @@
+//! Gap-aware readings, data-quality reporting, and repair policies.
+//!
+//! Real AMI telemetry is dirty: meters drop readings, head-end comms fail
+//! for hours at a stretch, and firmware faults hold a register at its last
+//! value. The detectors in this workspace, following the paper, assume a
+//! dense 336-slot week — so dirty data must be made dense (or rejected)
+//! *before* training, and the decision must be explicit and auditable.
+//!
+//! [`ObservedSeries`] pairs a reading vector with a per-slot observation
+//! mask. [`QualityReport`] summarises how dirty a series is (coverage,
+//! longest gap, suspect stuck-at runs). [`RepairPolicy`] turns an
+//! `ObservedSeries` back into a dense [`HalfHourSeries`], failing with a
+//! typed [`RepairError`] when the data cannot support the policy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+use crate::series::HalfHourSeries;
+use crate::SLOTS_PER_WEEK;
+
+/// Minimum length (in half-hour slots) of a constant positive run before
+/// it is reported as a suspect stuck-at-last-value meter: 12 slots = 6
+/// hours. Real consumption carries measurement noise, so exact repetition
+/// this long is overwhelmingly a telemetry fault, not behaviour.
+pub const STUCK_RUN_MIN_SLOTS: usize = 12;
+
+/// A half-hour reading series in which individual slots may be missing.
+///
+/// Unobserved slots carry no reading; their stored value is normalised to
+/// zero so that equal series compare (and serialise) identically
+/// regardless of what garbage the transport layer delivered there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedSeries {
+    values: Vec<f64>,
+    mask: Vec<bool>,
+}
+
+impl ObservedSeries {
+    /// Wraps a dense series with every slot marked observed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::NotEnoughWeeks`] for an empty series and
+    /// [`TsError::NotWeekAligned`] if the length is not a whole number of
+    /// weeks.
+    pub fn fully_observed(series: &HalfHourSeries) -> Result<Self, TsError> {
+        let values = series.as_slice().to_vec();
+        let mask = vec![true; values.len()];
+        Self::from_parts(values, mask)
+    }
+
+    /// Builds a series from raw values and an observation mask.
+    ///
+    /// Values at unobserved slots are ignored and normalised to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::MaskLengthMismatch`] if the vectors differ in
+    /// length, [`TsError::NotEnoughWeeks`] if they are empty,
+    /// [`TsError::NotWeekAligned`] if the length is not a multiple of 336,
+    /// and [`TsError::InvalidValue`] if any *observed* value is negative,
+    /// NaN, or infinite.
+    pub fn from_parts(mut values: Vec<f64>, mask: Vec<bool>) -> Result<Self, TsError> {
+        if values.len() != mask.len() {
+            return Err(TsError::MaskLengthMismatch {
+                values: values.len(),
+                mask: mask.len(),
+            });
+        }
+        if values.is_empty() {
+            return Err(TsError::NotEnoughWeeks {
+                required: 1,
+                available: 0,
+            });
+        }
+        if !values.len().is_multiple_of(SLOTS_PER_WEEK) {
+            return Err(TsError::NotWeekAligned { len: values.len() });
+        }
+        for (value, &observed) in values.iter_mut().zip(&mask) {
+            if observed {
+                if !(value.is_finite() && *value >= 0.0) {
+                    return Err(TsError::InvalidValue {
+                        what: "kW",
+                        value: *value,
+                    });
+                }
+            } else {
+                *value = 0.0;
+            }
+        }
+        Ok(Self { values, mask })
+    }
+
+    /// Number of slots (observed or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has zero slots (never true post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of whole weeks.
+    #[inline]
+    pub fn whole_weeks(&self) -> usize {
+        self.values.len() / SLOTS_PER_WEEK
+    }
+
+    /// The raw values (zero at unobserved slots).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The observation mask (`true` = a reading arrived for the slot).
+    #[inline]
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Whether the slot at `index` was observed (`false` when out of range).
+    #[inline]
+    pub fn is_observed(&self, index: usize) -> bool {
+        self.mask.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of observed slots.
+    pub fn observed_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Fraction of slots observed, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.observed_count() as f64 / self.values.len() as f64
+    }
+
+    /// Fraction of slots observed within week `week`, or `None` if the
+    /// week index is out of range.
+    pub fn week_coverage(&self, week: usize) -> Option<f64> {
+        let start = week.checked_mul(SLOTS_PER_WEEK)?;
+        let slots = self.mask.get(start..start + SLOTS_PER_WEEK)?;
+        let observed = slots.iter().filter(|&&m| m).count();
+        Some(observed as f64 / SLOTS_PER_WEEK as f64)
+    }
+
+    /// Converts to a dense series, succeeding only at full coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepairError::ResidualGaps`] if any slot is unobserved.
+    pub fn to_dense(&self) -> Result<HalfHourSeries, RepairError> {
+        let missing = self.len() - self.observed_count();
+        if missing > 0 {
+            return Err(RepairError::ResidualGaps { missing });
+        }
+        HalfHourSeries::from_raw(self.values.clone()).map_err(RepairError::Ts)
+    }
+
+    /// Summarises the series' data quality.
+    pub fn quality_report(&self) -> QualityReport {
+        let total_slots = self.len();
+        let observed_slots = self.observed_count();
+
+        let mut longest_gap = 0usize;
+        let mut gap = 0usize;
+        for &observed in &self.mask {
+            if observed {
+                gap = 0;
+            } else {
+                gap += 1;
+                longest_gap = longest_gap.max(gap);
+            }
+        }
+
+        // Suspect stuck-at runs: maximal stretches of consecutive observed
+        // slots holding the exact same positive value.
+        let mut stuck_runs = 0usize;
+        let mut run = 1usize;
+        for i in 1..total_slots {
+            let continues = self.mask[i]
+                && self.mask[i - 1]
+                && self.values[i] > 0.0
+                && self.values[i] == self.values[i - 1];
+            if continues {
+                run += 1;
+            } else {
+                if run >= STUCK_RUN_MIN_SLOTS {
+                    stuck_runs += 1;
+                }
+                run = 1;
+            }
+        }
+        if run >= STUCK_RUN_MIN_SLOTS {
+            stuck_runs += 1;
+        }
+
+        let min_week_coverage = (0..self.whole_weeks())
+            .filter_map(|w| self.week_coverage(w))
+            .fold(1.0f64, f64::min);
+
+        QualityReport {
+            total_slots,
+            observed_slots,
+            coverage: observed_slots as f64 / total_slots as f64,
+            longest_gap,
+            stuck_runs,
+            min_week_coverage,
+        }
+    }
+
+    /// Repairs the series into a dense [`HalfHourSeries`] under `policy`.
+    ///
+    /// Observed slots are never altered by any policy; only unobserved
+    /// slots are filled (or whole weeks dropped). The returned
+    /// [`RepairOutcome`] records which original weeks survived and how many
+    /// slots were imputed.
+    ///
+    /// # Errors
+    ///
+    /// Each policy has a distinct failure mode — see [`RepairError`].
+    pub fn repair(&self, policy: RepairPolicy) -> Result<RepairOutcome, RepairError> {
+        match policy {
+            RepairPolicy::DropWeek => self.repair_drop_week(),
+            RepairPolicy::LinearInterpolate => self.repair_linear(),
+            RepairPolicy::HistoricalMedian => self.repair_historical_median(),
+        }
+    }
+
+    fn repair_drop_week(&self) -> Result<RepairOutcome, RepairError> {
+        let weeks = self.whole_weeks();
+        let mut kept_weeks = Vec::new();
+        let mut values = Vec::new();
+        for week in 0..weeks {
+            let start = week * SLOTS_PER_WEEK;
+            let range = start..start + SLOTS_PER_WEEK;
+            if self.mask[range.clone()].iter().all(|&m| m) {
+                kept_weeks.push(week);
+                values.extend_from_slice(&self.values[range]);
+            }
+        }
+        if kept_weeks.is_empty() {
+            return Err(RepairError::AllWeeksDropped { weeks });
+        }
+        let series = HalfHourSeries::from_raw(values).map_err(RepairError::Ts)?;
+        Ok(RepairOutcome {
+            series,
+            kept_weeks,
+            imputed_slots: 0,
+        })
+    }
+
+    fn repair_linear(&self) -> Result<RepairOutcome, RepairError> {
+        let observed = self.observed_count();
+        if observed == 0 {
+            return Err(RepairError::NothingObserved);
+        }
+        let mut values = self.values.clone();
+        let mut previous: Option<usize> = None;
+        let mut i = 0usize;
+        while i < values.len() {
+            if self.mask[i] {
+                previous = Some(i);
+                i += 1;
+                continue;
+            }
+            // A gap starts at i; find its end (first observed slot after).
+            let mut j = i;
+            while j < values.len() && !self.mask[j] {
+                j += 1;
+            }
+            let next = if j < values.len() { Some(j) } else { None };
+            match (previous, next) {
+                (Some(p), Some(n)) => {
+                    let lo = values[p];
+                    let hi = values[n];
+                    let span = (n - p) as f64;
+                    for (t, value) in values.iter_mut().enumerate().take(n).skip(i) {
+                        let frac = (t - p) as f64 / span;
+                        *value = lo + (hi - lo) * frac;
+                    }
+                }
+                (Some(p), None) => {
+                    let hold = values[p];
+                    for value in values.iter_mut().take(j).skip(i) {
+                        *value = hold;
+                    }
+                }
+                (None, Some(n)) => {
+                    let hold = values[n];
+                    for value in values.iter_mut().take(n).skip(i) {
+                        *value = hold;
+                    }
+                }
+                // observed > 0 guarantees at least one anchor exists.
+                (None, None) => return Err(RepairError::NothingObserved),
+            }
+            i = j;
+        }
+        let series = HalfHourSeries::from_raw(values).map_err(RepairError::Ts)?;
+        Ok(RepairOutcome {
+            series,
+            kept_weeks: (0..self.whole_weeks()).collect(),
+            imputed_slots: self.len() - observed,
+        })
+    }
+
+    fn repair_historical_median(&self) -> Result<RepairOutcome, RepairError> {
+        let weeks = self.whole_weeks();
+        // Median of observed readings at each slot-of-week across all weeks.
+        let mut medians: Vec<Option<f64>> = Vec::with_capacity(SLOTS_PER_WEEK);
+        let mut column = Vec::with_capacity(weeks);
+        for slot in 0..SLOTS_PER_WEEK {
+            column.clear();
+            for week in 0..weeks {
+                let index = week * SLOTS_PER_WEEK + slot;
+                if self.mask[index] {
+                    column.push(self.values[index]);
+                }
+            }
+            medians.push(median_of(&mut column));
+        }
+
+        let mut missing = 0usize;
+        for (index, &observed) in self.mask.iter().enumerate() {
+            if !observed && medians[index % SLOTS_PER_WEEK].is_none() {
+                missing += 1;
+            }
+        }
+        if missing > 0 {
+            return Err(RepairError::ResidualGaps { missing });
+        }
+
+        let mut values = self.values.clone();
+        let mut imputed_slots = 0usize;
+        for (index, value) in values.iter_mut().enumerate() {
+            if !self.mask[index] {
+                if let Some(median) = medians[index % SLOTS_PER_WEEK] {
+                    *value = median;
+                    imputed_slots += 1;
+                }
+            }
+        }
+        let series = HalfHourSeries::from_raw(values).map_err(RepairError::Ts)?;
+        Ok(RepairOutcome {
+            series,
+            kept_weeks: (0..weeks).collect(),
+            imputed_slots,
+        })
+    }
+}
+
+/// Median of the values in `column`, sorting it in place; `None` if empty.
+fn median_of(column: &mut [f64]) -> Option<f64> {
+    if column.is_empty() {
+        return None;
+    }
+    column.sort_by(f64::total_cmp);
+    let mid = column.len() / 2;
+    if column.len() % 2 == 1 {
+        Some(column[mid])
+    } else {
+        Some((column[mid - 1] + column[mid]) / 2.0)
+    }
+}
+
+/// A summary of one series' data quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Total number of half-hour slots.
+    pub total_slots: usize,
+    /// Number of slots for which a reading arrived.
+    pub observed_slots: usize,
+    /// `observed_slots / total_slots`.
+    pub coverage: f64,
+    /// Length of the longest run of consecutive unobserved slots.
+    pub longest_gap: usize,
+    /// Number of suspect stuck-at runs (see [`STUCK_RUN_MIN_SLOTS`]).
+    pub stuck_runs: usize,
+    /// Smallest per-week coverage across all whole weeks.
+    pub min_week_coverage: f64,
+}
+
+/// How to turn a gap-ridden [`ObservedSeries`] into a dense series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Discard every week containing at least one unobserved slot.
+    ///
+    /// Conservative: never invents a reading, but shrinks the training
+    /// window and fails outright when every week is dirty.
+    DropWeek,
+    /// Fill gaps by linear interpolation between the nearest observed
+    /// readings; leading/trailing gaps hold the nearest observed value.
+    LinearInterpolate,
+    /// Fill each gap with the median of the observed readings at the same
+    /// slot-of-week in other weeks — respects the weekly periodicity the
+    /// detectors train on, but fails if a slot-of-week was never observed.
+    HistoricalMedian,
+}
+
+impl RepairPolicy {
+    /// Kebab-case name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RepairPolicy::DropWeek => "drop-week",
+            RepairPolicy::LinearInterpolate => "linear-interpolate",
+            RepairPolicy::HistoricalMedian => "historical-median",
+        }
+    }
+
+    /// All policies, in report order.
+    pub const ALL: [RepairPolicy; 3] = [
+        RepairPolicy::DropWeek,
+        RepairPolicy::LinearInterpolate,
+        RepairPolicy::HistoricalMedian,
+    ];
+}
+
+impl fmt::Display for RepairPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of a successful repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The dense, fully-valid repaired series.
+    pub series: HalfHourSeries,
+    /// Original week indices surviving into `series`, in order. All weeks
+    /// for imputing policies; possibly fewer for [`RepairPolicy::DropWeek`].
+    pub kept_weeks: Vec<usize>,
+    /// Number of slots whose value was invented by the policy.
+    pub imputed_slots: usize,
+}
+
+/// Why a repair could not produce a dense series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairError {
+    /// No slot in the entire series was observed.
+    NothingObserved,
+    /// [`RepairPolicy::DropWeek`] removed every week.
+    AllWeeksDropped {
+        /// How many weeks the series had.
+        weeks: usize,
+    },
+    /// Gaps remained that the policy could not fill.
+    ResidualGaps {
+        /// Number of slots still unobserved after the repair pass.
+        missing: usize,
+    },
+    /// The repaired values failed series validation.
+    Ts(TsError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::NothingObserved => {
+                write!(f, "no slot in the series was observed")
+            }
+            RepairError::AllWeeksDropped { weeks } => {
+                write!(f, "drop-week repair removed all {weeks} weeks")
+            }
+            RepairError::ResidualGaps { missing } => {
+                write!(f, "{missing} slots remain unobserved after repair")
+            }
+            RepairError::Ts(err) => write!(f, "repaired series invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairError::Ts(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TsError> for RepairError {
+    fn from(err: TsError) -> Self {
+        RepairError::Ts(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(weeks: usize) -> Vec<f64> {
+        (0..weeks * SLOTS_PER_WEEK)
+            .map(|i| 1.0 + i as f64)
+            .collect()
+    }
+
+    fn observed_with_gaps(weeks: usize, gaps: &[usize]) -> ObservedSeries {
+        let values = ramp(weeks);
+        let mut mask = vec![true; values.len()];
+        for &g in gaps {
+            mask[g] = false;
+        }
+        ObservedSeries::from_parts(values, mask).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape_and_values() {
+        assert!(matches!(
+            ObservedSeries::from_parts(vec![1.0; 10], vec![true; 11]),
+            Err(TsError::MaskLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ObservedSeries::from_parts(vec![1.0; 10], vec![true; 10]),
+            Err(TsError::NotWeekAligned { len: 10 })
+        ));
+        assert!(matches!(
+            ObservedSeries::from_parts(Vec::new(), Vec::new()),
+            Err(TsError::NotEnoughWeeks { .. })
+        ));
+        let mut values = vec![1.0; SLOTS_PER_WEEK];
+        values[3] = f64::NAN;
+        let mask = vec![true; SLOTS_PER_WEEK];
+        assert!(matches!(
+            ObservedSeries::from_parts(values, mask),
+            Err(TsError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unobserved_garbage_is_normalised_to_zero() {
+        let mut values = vec![1.0; SLOTS_PER_WEEK];
+        values[5] = f64::NAN; // garbage, but unobserved
+        let mut mask = vec![true; SLOTS_PER_WEEK];
+        mask[5] = false;
+        let series = ObservedSeries::from_parts(values, mask).unwrap();
+        assert_eq!(series.values()[5], 0.0);
+        assert!(!series.is_observed(5));
+        assert_eq!(series.observed_count(), SLOTS_PER_WEEK - 1);
+    }
+
+    #[test]
+    fn coverage_and_week_coverage() {
+        let series = observed_with_gaps(2, &[0, 1, 2, SLOTS_PER_WEEK]);
+        assert_eq!(series.observed_count(), 2 * SLOTS_PER_WEEK - 4);
+        let w0 = series.week_coverage(0).unwrap();
+        let w1 = series.week_coverage(1).unwrap();
+        assert!((w0 - (SLOTS_PER_WEEK - 3) as f64 / SLOTS_PER_WEEK as f64).abs() < 1e-12);
+        assert!((w1 - (SLOTS_PER_WEEK - 1) as f64 / SLOTS_PER_WEEK as f64).abs() < 1e-12);
+        assert!(series.week_coverage(2).is_none());
+    }
+
+    #[test]
+    fn quality_report_finds_gaps_and_stuck_runs() {
+        let mut values = ramp(1);
+        // A 20-slot stuck run at a positive value.
+        for v in values.iter_mut().take(120).skip(100) {
+            *v = 3.25;
+        }
+        let mut mask = vec![true; SLOTS_PER_WEEK];
+        for m in mask.iter_mut().take(60).skip(50) {
+            *m = false;
+        }
+        let series = ObservedSeries::from_parts(values, mask).unwrap();
+        let report = series.quality_report();
+        assert_eq!(report.total_slots, SLOTS_PER_WEEK);
+        assert_eq!(report.observed_slots, SLOTS_PER_WEEK - 10);
+        assert_eq!(report.longest_gap, 10);
+        assert_eq!(report.stuck_runs, 1);
+        assert!(report.min_week_coverage < 1.0);
+    }
+
+    #[test]
+    fn fully_observed_report_is_clean() {
+        let dense = HalfHourSeries::from_raw(ramp(1)).unwrap();
+        let series = ObservedSeries::fully_observed(&dense).unwrap();
+        let report = series.quality_report();
+        assert_eq!(report.coverage, 1.0);
+        assert_eq!(report.longest_gap, 0);
+        assert_eq!(report.stuck_runs, 0);
+        assert_eq!(report.min_week_coverage, 1.0);
+    }
+
+    #[test]
+    fn drop_week_keeps_only_clean_weeks() {
+        let series = observed_with_gaps(3, &[SLOTS_PER_WEEK + 7]);
+        let outcome = series.repair(RepairPolicy::DropWeek).unwrap();
+        assert_eq!(outcome.kept_weeks, vec![0, 2]);
+        assert_eq!(outcome.series.whole_weeks(), 2);
+        assert_eq!(outcome.imputed_slots, 0);
+        // Kept weeks are byte-identical to the originals.
+        assert_eq!(
+            &outcome.series.as_slice()[..SLOTS_PER_WEEK],
+            &ramp(3)[..SLOTS_PER_WEEK]
+        );
+        assert_eq!(
+            &outcome.series.as_slice()[SLOTS_PER_WEEK..],
+            &ramp(3)[2 * SLOTS_PER_WEEK..]
+        );
+    }
+
+    #[test]
+    fn drop_week_fails_when_every_week_is_dirty() {
+        let series = observed_with_gaps(2, &[0, SLOTS_PER_WEEK]);
+        assert_eq!(
+            series.repair(RepairPolicy::DropWeek),
+            Err(RepairError::AllWeeksDropped { weeks: 2 })
+        );
+    }
+
+    #[test]
+    fn linear_interpolation_fills_interior_gaps_exactly() {
+        let series = observed_with_gaps(1, &[10, 11, 12]);
+        let outcome = series.repair(RepairPolicy::LinearInterpolate).unwrap();
+        assert_eq!(outcome.imputed_slots, 3);
+        assert_eq!(outcome.kept_weeks, vec![0]);
+        // The ramp is linear, so interpolation recovers it exactly.
+        for (a, b) in outcome.series.as_slice().iter().zip(ramp(1)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_interpolation_holds_at_edges() {
+        let series = observed_with_gaps(1, &[0, 1, SLOTS_PER_WEEK - 1]);
+        let outcome = series.repair(RepairPolicy::LinearInterpolate).unwrap();
+        let expect = ramp(1);
+        assert_eq!(outcome.series.as_slice()[0], expect[2]);
+        assert_eq!(outcome.series.as_slice()[1], expect[2]);
+        assert_eq!(
+            outcome.series.as_slice()[SLOTS_PER_WEEK - 1],
+            expect[SLOTS_PER_WEEK - 2]
+        );
+    }
+
+    #[test]
+    fn linear_interpolation_needs_an_observation() {
+        let values = vec![0.0; SLOTS_PER_WEEK];
+        let mask = vec![false; SLOTS_PER_WEEK];
+        let series = ObservedSeries::from_parts(values, mask).unwrap();
+        assert_eq!(
+            series.repair(RepairPolicy::LinearInterpolate),
+            Err(RepairError::NothingObserved)
+        );
+    }
+
+    #[test]
+    fn historical_median_uses_same_slot_other_weeks() {
+        // Three weeks, constant per week: 1.0, 2.0, 4.0. Slot 7 of week 1
+        // missing -> median of {1.0, 4.0} = 2.5.
+        let mut values = Vec::new();
+        for level in [1.0, 2.0, 4.0] {
+            values.extend(std::iter::repeat_n(level, SLOTS_PER_WEEK));
+        }
+        let mut mask = vec![true; 3 * SLOTS_PER_WEEK];
+        mask[SLOTS_PER_WEEK + 7] = false;
+        let series = ObservedSeries::from_parts(values, mask).unwrap();
+        let outcome = series.repair(RepairPolicy::HistoricalMedian).unwrap();
+        assert_eq!(outcome.imputed_slots, 1);
+        assert!((outcome.series.as_slice()[SLOTS_PER_WEEK + 7] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn historical_median_reports_unfillable_slots() {
+        // Slot 5 missing in BOTH weeks: no historical donor exists.
+        let series = observed_with_gaps(2, &[5, SLOTS_PER_WEEK + 5]);
+        assert_eq!(
+            series.repair(RepairPolicy::HistoricalMedian),
+            Err(RepairError::ResidualGaps { missing: 2 })
+        );
+    }
+
+    #[test]
+    fn repair_never_touches_observed_slots() {
+        let gaps = [3, 40, 41, SLOTS_PER_WEEK + 100];
+        let series = observed_with_gaps(2, &gaps);
+        for policy in [
+            RepairPolicy::LinearInterpolate,
+            RepairPolicy::HistoricalMedian,
+        ] {
+            let outcome = series.repair(policy).unwrap();
+            for i in 0..series.len() {
+                if series.is_observed(i) {
+                    assert_eq!(
+                        outcome.series.as_slice()[i],
+                        series.values()[i],
+                        "policy {policy} altered observed slot {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_of_dense_series_is_identity() {
+        let dense = HalfHourSeries::from_raw(ramp(2)).unwrap();
+        let series = ObservedSeries::fully_observed(&dense).unwrap();
+        for policy in RepairPolicy::ALL {
+            let outcome = series.repair(policy).unwrap();
+            assert_eq!(outcome.series, dense, "policy {policy}");
+            assert_eq!(outcome.imputed_slots, 0);
+            assert_eq!(outcome.kept_weeks, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn to_dense_requires_full_coverage() {
+        let series = observed_with_gaps(1, &[9]);
+        assert_eq!(
+            series.to_dense(),
+            Err(RepairError::ResidualGaps { missing: 1 })
+        );
+        let repaired = series.repair(RepairPolicy::LinearInterpolate).unwrap();
+        let full = ObservedSeries::fully_observed(&repaired.series).unwrap();
+        assert!(full.to_dense().is_ok());
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(RepairPolicy::DropWeek.to_string(), "drop-week");
+        assert_eq!(
+            RepairPolicy::LinearInterpolate.to_string(),
+            "linear-interpolate"
+        );
+        assert_eq!(
+            RepairPolicy::HistoricalMedian.to_string(),
+            "historical-median"
+        );
+    }
+
+    #[test]
+    fn repair_error_display_and_source() {
+        use std::error::Error;
+        let err = RepairError::Ts(TsError::NotWeekAligned { len: 5 });
+        assert!(err.source().is_some());
+        for err in [
+            RepairError::NothingObserved,
+            RepairError::AllWeeksDropped { weeks: 3 },
+            RepairError::ResidualGaps { missing: 2 },
+        ] {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'));
+        }
+    }
+}

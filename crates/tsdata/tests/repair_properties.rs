@@ -1,0 +1,169 @@
+//! Property-based tests for the repair policies.
+//!
+//! Whatever the gap pattern, a successful repair must (1) never alter a
+//! reading that actually arrived, (2) produce a fully dense output, and
+//! (3) be idempotent — repairing an already-dense series is the identity.
+//! Failures must be typed, never panics. Cases are drawn from a
+//! deterministic seed, so a failure here reproduces exactly.
+
+use proptest::prelude::*;
+
+use fdeta_tsdata::{ObservedSeries, RepairPolicy, SLOTS_PER_WEEK};
+
+const POLICIES: [RepairPolicy; 3] = [
+    RepairPolicy::DropWeek,
+    RepairPolicy::LinearInterpolate,
+    RepairPolicy::HistoricalMedian,
+];
+
+const MAX_WEEKS: usize = 4;
+
+/// Builds an observed series over `weeks` whole weeks from oversized raw
+/// pools: `raw` supplies readings, and a slot is masked out when its
+/// `dropout` draw says so (~10% of slots).
+fn build(weeks: usize, raw: &[f64], dropouts: &[usize]) -> ObservedSeries {
+    let n = weeks * SLOTS_PER_WEEK;
+    let values: Vec<f64> = raw[..n].to_vec();
+    let mask: Vec<bool> = dropouts[..n].iter().map(|&d| d < 9).collect();
+    ObservedSeries::from_parts(values, mask).expect("week-aligned fixture")
+}
+
+fn raw_pool() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        0.01f64..8.0,
+        MAX_WEEKS * SLOTS_PER_WEEK..MAX_WEEKS * SLOTS_PER_WEEK + 1,
+    )
+}
+
+fn dropout_pool() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(
+        0usize..10,
+        MAX_WEEKS * SLOTS_PER_WEEK..MAX_WEEKS * SLOTS_PER_WEEK + 1,
+    )
+}
+
+proptest! {
+    /// A reading that arrived is never altered by any policy. For the
+    /// imputing policies the slot positions are preserved; for DropWeek
+    /// the surviving weeks map back through `kept_weeks`.
+    #[test]
+    fn observed_readings_survive_repair(
+        weeks in 2usize..=MAX_WEEKS,
+        raw in raw_pool(),
+        dropouts in dropout_pool(),
+    ) {
+        let series = build(weeks, &raw, &dropouts);
+        for policy in POLICIES {
+            let Ok(outcome) = series.repair(policy) else { continue };
+            match policy {
+                RepairPolicy::DropWeek => {
+                    for (new_week, &orig_week) in outcome.kept_weeks.iter().enumerate() {
+                        let out = &outcome.series.as_slice()
+                            [new_week * SLOTS_PER_WEEK..(new_week + 1) * SLOTS_PER_WEEK];
+                        let orig = &series.values()
+                            [orig_week * SLOTS_PER_WEEK..(orig_week + 1) * SLOTS_PER_WEEK];
+                        prop_assert_eq!(out, orig, "week {} changed under drop-week", orig_week);
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(outcome.series.len(), series.len());
+                    for (i, (&out, &orig)) in outcome
+                        .series
+                        .as_slice()
+                        .iter()
+                        .zip(series.values())
+                        .enumerate()
+                    {
+                        if series.is_observed(i) {
+                            prop_assert_eq!(
+                                out, orig,
+                                "observed slot {} changed under {}", i, policy
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A successful repair is fully dense, and its imputation accounting
+    /// balances: every slot of the output is either an original observed
+    /// reading or counted in `imputed_slots`.
+    #[test]
+    fn repair_output_is_dense_and_accounted(
+        weeks in 2usize..=MAX_WEEKS,
+        raw in raw_pool(),
+        dropouts in dropout_pool(),
+    ) {
+        let series = build(weeks, &raw, &dropouts);
+        for policy in POLICIES {
+            let Ok(outcome) = series.repair(policy) else { continue };
+            prop_assert_eq!(outcome.series.len() % SLOTS_PER_WEEK, 0);
+            prop_assert_eq!(
+                outcome.series.len(),
+                outcome.kept_weeks.len() * SLOTS_PER_WEEK
+            );
+            let observed_in_kept: usize = outcome
+                .kept_weeks
+                .iter()
+                .map(|&w| {
+                    series.mask()[w * SLOTS_PER_WEEK..(w + 1) * SLOTS_PER_WEEK]
+                        .iter()
+                        .filter(|&&m| m)
+                        .count()
+                })
+                .sum();
+            prop_assert_eq!(
+                observed_in_kept + outcome.imputed_slots,
+                outcome.series.len(),
+                "imputation accounting must balance under {}", policy
+            );
+            if policy == RepairPolicy::DropWeek {
+                prop_assert_eq!(outcome.imputed_slots, 0, "drop-week never invents readings");
+            }
+        }
+    }
+
+    /// Repair is idempotent: wrapping a repaired series as fully observed
+    /// and repairing again is the identity, under every policy.
+    #[test]
+    fn repair_is_idempotent(
+        weeks in 2usize..=MAX_WEEKS,
+        raw in raw_pool(),
+        dropouts in dropout_pool(),
+    ) {
+        let series = build(weeks, &raw, &dropouts);
+        for policy in POLICIES {
+            let Ok(first) = series.repair(policy) else { continue };
+            let dense = ObservedSeries::fully_observed(&first.series)
+                .expect("repair output is week-aligned");
+            prop_assert!((dense.coverage() - 1.0).abs() < f64::EPSILON);
+            let second = dense.repair(policy).expect("dense repair cannot fail");
+            prop_assert_eq!(second.series.as_slice(), first.series.as_slice());
+            prop_assert_eq!(second.imputed_slots, 0);
+            prop_assert_eq!(
+                second.kept_weeks,
+                (0..first.kept_weeks.len()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Adding observations never hurts: un-masking every gap (coverage
+    /// 1.0) always repairs successfully, keeps every week, and imputes
+    /// nothing.
+    #[test]
+    fn full_coverage_always_repairs(
+        weeks in 2usize..=MAX_WEEKS,
+        raw in raw_pool(),
+    ) {
+        let n = weeks * SLOTS_PER_WEEK;
+        let series = ObservedSeries::from_parts(raw[..n].to_vec(), vec![true; n])
+            .expect("week-aligned fixture");
+        for policy in POLICIES {
+            let outcome = series.repair(policy).expect("full coverage repairs");
+            prop_assert_eq!(outcome.series.as_slice(), series.values());
+            prop_assert_eq!(outcome.imputed_slots, 0);
+            prop_assert_eq!(outcome.kept_weeks.len(), weeks);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`: runs each benchmark routine once
+//! (no measurement, no reports) so benches type-check and smoke-run
+//! offline. See `devstubs/README.md`.
+
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs the routine once.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("criterion stub: {id}");
+        f(&mut Bencher);
+        self
+    }
+
+    /// A named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("criterion stub group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+        }
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored (stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs the routine once.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("criterion stub:   {id}");
+        f(&mut Bencher);
+        self
+    }
+
+    /// Ignored (stub).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs the routine once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+
+    /// Runs setup + routine once.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+    }
+
+    /// Runs setup + routine once with a mutable input reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        black_box(routine(&mut input));
+    }
+}
+
+/// Stand-in for `criterion::BatchSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Stand-in for `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = { let _ = $config; $crate::Criterion::default() };
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Stand-in for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,4 @@
+//! Offline resolution stand-in for `loom`. The real dependency is only
+//! compiled under `RUSTFLAGS="--cfg loom"`, but cargo still resolves it
+//! for every build; this empty crate satisfies that resolution offline.
+//! Model-check runs require the real crate. See `devstubs/README.md`.

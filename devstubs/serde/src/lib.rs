@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`: type-checks, does not serialise.
+//!
+//! Both traits are blanket-implemented for every type, so the derive
+//! macros (re-exported from the stub `serde_derive`) expand to nothing
+//! and `#[derive(Serialize, Deserialize)]` still compiles. See
+//! `devstubs/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Deserialisation traits.
+
+    pub use crate::Deserialize;
+
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialisation traits.
+
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde_derive`: the stub `serde` traits are
+//! blanket-implemented, so both derives expand to nothing. Registering
+//! `attributes(serde)` keeps field-level `#[serde(...)]` attributes
+//! legal. See `devstubs/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

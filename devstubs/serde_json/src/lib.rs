@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_json`: type-checks only. `to_string`
+//! returns an empty string and `from_str` always errors, so JSON
+//! round-trip tests fail offline and pass in CI with the real crate.
+//! See `devstubs/README.md`.
+
+use std::fmt;
+
+/// Stand-in for `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: no real serialisation offline")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Returns an empty string (stub).
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok(String::new())
+}
+
+/// Returns an empty string (stub).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok(String::new())
+}
+
+/// Returns an empty vector (stub).
+pub fn to_vec<T: ?Sized + serde::Serialize>(_value: &T) -> Result<Vec<u8>> {
+    Ok(Vec::new())
+}
+
+/// Always errors (stub).
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error)
+}
+
+/// Always errors (stub).
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    Err(Error)
+}

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (GapPolicy::HoldLast, "hold-last"),
         (GapPolicy::PreviousWeek, "previous-week"),
     ] {
-        let series = &records_to_series_with(&records, policy)[&1000];
+        let series = &records_to_series_with(&records, policy)?[&1000];
         let weeks = series.whole_weeks();
         let train = series.week_range(0, weeks - 2)?.to_week_matrix()?;
         let detector = KldDetector::train(&train, 10, SignificanceLevel::Ten)?;

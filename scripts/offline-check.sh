@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Type-check (and optionally test) the workspace without network access.
+#
+# The container that grows this repo has no route to the crates registry,
+# so real dependencies cannot be downloaded. devstubs/ carries minimal
+# API-compatible stand-ins for every external dependency; this script
+# wires them in via [patch.crates-io] WITHOUT touching the committed
+# manifests, so CI and normal developer builds still use the real crates.
+#
+# Usage:
+#   scripts/offline-check.sh            # cargo check --workspace --all-targets
+#   scripts/offline-check.sh test       # cargo test  --workspace (stub RNG!)
+#   scripts/offline-check.sh <cargo-subcommand> [args...]
+#
+# NOTE: stub RNG streams differ from the real crates, so numeric results
+# under `test` are not representative — treat failures as signal only for
+# logic that does not depend on exact random draws.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+subcommand=${1:-check}
+[ "$#" -gt 0 ] && shift
+
+if [ "$subcommand" = "check" ] && [ "$#" -eq 0 ]; then
+    set -- --workspace --all-targets
+fi
+
+exec cargo --config devstubs/patch.toml "$subcommand" --offline "$@"
