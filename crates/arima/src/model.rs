@@ -145,6 +145,56 @@ impl ArimaModel {
         })
     }
 
+    /// Reconstructs a fitted model from persisted parameters (the inverse
+    /// of reading [`ArimaModel::spec`] / [`ArimaModel::intercept`] /
+    /// [`ArimaModel::phi`] / [`ArimaModel::theta`] /
+    /// [`ArimaModel::sigma2`]). The parameters are taken as-is — this is a
+    /// deserialization entry point, not an estimator — so a model saved
+    /// and reloaded forecasts bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArimaError::InvalidOrder`] if the coefficient vectors do
+    /// not match the spec's orders, and [`ArimaError::NonFiniteValue`] if
+    /// any parameter is NaN/infinite or `sigma2` is not positive.
+    pub fn from_parts(
+        spec: ArimaSpec,
+        intercept: f64,
+        phi: Vec<f64>,
+        theta: Vec<f64>,
+        sigma2: f64,
+    ) -> Result<Self, ArimaError> {
+        if phi.len() != spec.p() || theta.len() != spec.q() {
+            return Err(ArimaError::InvalidOrder {
+                p: phi.len(),
+                d: spec.d(),
+                q: theta.len(),
+            });
+        }
+        for (index, value) in std::iter::once(intercept)
+            .chain(phi.iter().copied())
+            .chain(theta.iter().copied())
+            .chain(std::iter::once(sigma2))
+            .enumerate()
+        {
+            if !value.is_finite() {
+                return Err(ArimaError::NonFiniteValue { index });
+            }
+        }
+        if sigma2 <= 0.0 {
+            return Err(ArimaError::NonFiniteValue {
+                index: 1 + phi.len() + theta.len(),
+            });
+        }
+        Ok(Self {
+            spec,
+            intercept,
+            phi,
+            theta,
+            sigma2,
+        })
+    }
+
     /// The model's order specification.
     pub fn spec(&self) -> ArimaSpec {
         self.spec
@@ -624,6 +674,38 @@ mod horizon_tests {
                 "forecast sigma must be non-decreasing in horizon"
             );
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_fitted_model() {
+        let series = simulate_ar1(0.6, 0.5, 600, 21);
+        let fitted = ArimaModel::fit(&series, ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let rebuilt = ArimaModel::from_parts(
+            fitted.spec(),
+            fitted.intercept(),
+            fitted.phi().to_vec(),
+            fitted.theta().to_vec(),
+            fitted.sigma2(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, fitted, "persist/reload must be exact");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_or_nonfinite_parameters() {
+        let spec = ArimaSpec::new(2, 0, 1).unwrap();
+        assert!(matches!(
+            ArimaModel::from_parts(spec, 0.0, vec![0.5], vec![0.1], 1.0),
+            Err(ArimaError::InvalidOrder { .. })
+        ));
+        assert!(matches!(
+            ArimaModel::from_parts(spec, f64::NAN, vec![0.5, 0.1], vec![0.1], 1.0),
+            Err(ArimaError::NonFiniteValue { index: 0 })
+        ));
+        assert!(matches!(
+            ArimaModel::from_parts(spec, 0.0, vec![0.5, 0.1], vec![0.1], -1.0),
+            Err(ArimaError::NonFiniteValue { .. })
+        ));
     }
 
     #[test]

@@ -4,12 +4,25 @@
 //! training divergences. The two paths make identical decisions (see the
 //! `rethresholding_matches_fresh_training` tests); this bench measures the
 //! speedup the `ablate_alpha` and `roc` binaries get from re-scoring.
+//!
+//! PR 4 extends this file with two more groups:
+//!
+//! * `scoring_path` — per-week KLD scoring through the legacy allocating
+//!   path (fresh histogram + histogram KL per call) vs the shipping
+//!   scratch-reuse hot path (`KldDetector::score`). Same numbers out, so
+//!   the measured delta is purely allocation + probability normalisation.
+//! * `train_cache` — cold fleet training vs a warm `ArtifactStore` load of
+//!   the identical fleet, the speedup the table/roc/ablate binaries see
+//!   with `--artifacts`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
 use fdeta_detect::eval::EvalConfig;
+use fdeta_detect::store::ArtifactStore;
 use fdeta_detect::{Detector, EvalEngine, KldDetector};
+use fdeta_tsdata::kl::kl_divergence_smoothed;
+use fdeta_tsdata::week::WeekVector;
 
 const ALPHAS: [f64; 6] = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20];
 
@@ -65,5 +78,98 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep);
+fn bench_scoring_path(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(8, 20, 23));
+    let config = EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(16, 5)
+    };
+    let engine = EvalEngine::train(&data, &config).expect("engine trains");
+
+    // Prebuild every scoreable week so the measured loops only score.
+    let fleet: Vec<(&fdeta_detect::TrainedConsumer, Vec<WeekVector>)> = engine
+        .artifacts()
+        .iter()
+        .map(|a| {
+            let train = a.train_matrix();
+            let mut weeks: Vec<WeekVector> =
+                (0..train.weeks()).map(|w| train.week_vector(w)).collect();
+            if let Some(test) = a.test_matrix() {
+                weeks.extend((0..test.weeks()).map(|w| test.week_vector(w)));
+            }
+            (a, weeks)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("scoring_path");
+    group.sample_size(20);
+
+    group.bench_function("alloc_per_score", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (artifact, weeks) in &fleet {
+                let det = artifact.kld_base();
+                for week in weeks {
+                    let hist = det.edges().histogram(week.as_slice());
+                    acc += kl_divergence_smoothed(&hist, det.baseline())
+                        .expect("finite histograms");
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("scratch_reuse", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (artifact, weeks) in &fleet {
+                let det = artifact.kld_base();
+                for week in weeks {
+                    acc += det.score(week);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_train_cache(c: &mut Criterion) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(6, 16, 29));
+    let config = EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(12, 4)
+    };
+
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("engine-sweep-store");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ArtifactStore::new(&root);
+    let engine = EvalEngine::train(&data, &config).expect("engine trains");
+    store
+        .save(&data, &config, engine.artifacts())
+        .expect("store writes");
+
+    let mut group = c.benchmark_group("train_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold_train", |b| {
+        b.iter(|| black_box(EvalEngine::train(&data, &config).expect("engine trains")))
+    });
+
+    group.bench_function("warm_load", |b| {
+        b.iter(|| {
+            let artifacts = store
+                .load(&data, &config)
+                .expect("store reads")
+                .expect("entry exists");
+            black_box(EvalEngine::from_artifacts(&config, artifacts).expect("rebuild"))
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_sweep, bench_scoring_path, bench_train_cache);
 criterion_main!(benches);

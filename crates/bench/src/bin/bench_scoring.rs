@@ -1,0 +1,432 @@
+//! Tracked perf baseline for the scoring hot path and the artifact store.
+//!
+//! Measures two things the PR-level optimisations claim:
+//!
+//! 1. **Scoring throughput** (weeks/sec), dense and banded, against a
+//!    faithful reproduction of the **pre-optimisation scoring path**:
+//!    binary-search bin lookup per value, a freshly allocated histogram
+//!    (cloned edges + count vector) per score, probability vectors inside
+//!    the KL computation, and — on the banded path — a gathered value
+//!    `Vec` per band per week. The shipping path replaces all of that
+//!    with a guess+fixup bin lookup, a reused thread-local scratch, and a
+//!    precomputed slot→band map. The two paths are also *verified*
+//!    equivalent: every score's bit pattern feeds an FNV-1a fingerprint
+//!    and the run aborts if legacy and current fingerprints differ.
+//! 2. **Train cache**: cold fleet training vs a warm
+//!    [`fdeta_detect::store::ArtifactStore`] load of the same fleet.
+//!
+//! Results go to `BENCH_scoring.json` (override with `--out PATH`) in a
+//! stable, hand-rolled schema (`fdeta-bench-scoring/v1`) with keys in a
+//! fixed order. `--deterministic` omits every timing field so two runs
+//! over the same corpus are byte-identical — that is what the CI
+//! perf-smoke job diffs. `--passes N` (default 5) repeats the scoring
+//! loops to stabilise the timings.
+//!
+//! Shares the standard corpus flags (`--consumers`, `--weeks`, ...); the
+//! defaults measure the paper-scale 500-consumer corpus.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use fdeta_bench::RunArgs;
+use fdeta_detect::store::ArtifactStore;
+use fdeta_detect::{EvalEngine, TrainedConsumer};
+use fdeta_tsdata::hist::HistScratch;
+use fdeta_tsdata::week::WeekVector;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The scoring arithmetic exactly as it shipped before the hot-path
+/// rework, kept here so the tracked baseline keeps measuring the same
+/// thing as the code evolves. Every fragment mirrors the old library
+/// code: `bin_of` was a `binary_search_by(total_cmp)` over the edges,
+/// `histogram` allocated a count vector, `kl_divergence_smoothed` built
+/// two probability vectors, and the banded path collected each band's
+/// values into a fresh `Vec` before histogramming.
+mod legacy {
+    use fdeta_tsdata::hist::Histogram;
+    use fdeta_tsdata::kl::BASELINE_FLOOR;
+
+    fn bin_of(edges: &[f64], value: f64) -> usize {
+        let bins = edges.len() - 1;
+        if value <= edges[0] {
+            return 0;
+        }
+        if value >= edges[bins] {
+            return bins - 1;
+        }
+        match edges.binary_search_by(|e| e.total_cmp(&value)) {
+            Ok(i) => i.min(bins - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Pre-rework `BinEdges::histogram` built a full `Histogram`, which
+    /// cloned the edge vector alongside the fresh count vector; both
+    /// allocations are reproduced here.
+    fn histogram(edges: &[f64], sample: &[f64]) -> (Vec<f64>, Vec<u64>, u64) {
+        let mut counts = vec![0u64; edges.len() - 1];
+        for &v in sample {
+            counts[bin_of(edges, v)] += 1;
+        }
+        (edges.to_vec(), counts, sample.len() as u64)
+    }
+
+    fn probabilities(counts: &[u64], total: u64) -> Vec<f64> {
+        if total == 0 {
+            return vec![0.0; counts.len()];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Pre-rework `kl_divergence_smoothed` took two `Histogram`s, so it
+    /// started with an edge-for-edge compatibility check before building
+    /// a probability vector for each side.
+    fn kl_smoothed(p_edges: &[f64], p: (&[u64], u64), q: &Histogram) -> f64 {
+        assert!(
+            p_edges == q.edges().as_slice(),
+            "histograms counted with different edges"
+        );
+        let p_probs = probabilities(p.0, p.1);
+        let q_probs = probabilities(q.counts(), q.total());
+        let mut kl = 0.0;
+        for (pj, qj) in p_probs.iter().zip(&q_probs) {
+            if *pj == 0.0 {
+                continue;
+            }
+            let q_eff = qj.max(BASELINE_FLOOR);
+            kl += pj * (pj / q_eff).log2();
+        }
+        kl.max(0.0)
+    }
+
+    /// The pre-rework `KldDetector::score`.
+    pub fn score(edges: &[f64], baseline: &Histogram, week: &[f64]) -> f64 {
+        let (owned_edges, counts, total) = histogram(edges, week);
+        kl_smoothed(&owned_edges, (&counts, total), baseline)
+    }
+
+    /// One band of the pre-rework `ConditionedKldDetector::band_scores`.
+    pub fn band_score(
+        slots: &[usize],
+        edges: &[f64],
+        baseline: &Histogram,
+        week: &[f64],
+    ) -> f64 {
+        let values: Vec<f64> = slots.iter().map(|&s| week[s]).collect();
+        let (owned_edges, counts, total) = histogram(edges, &values);
+        kl_smoothed(&owned_edges, (&counts, total), baseline)
+    }
+}
+
+struct BenchArgs {
+    run: RunArgs,
+    out: PathBuf,
+    passes: usize,
+    deterministic: bool,
+}
+
+impl BenchArgs {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let run = RunArgs::parse(&args);
+        let mut out = PathBuf::from("BENCH_scoring.json");
+        let mut passes = 5usize;
+        let mut deterministic = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--out" => {
+                    i += 1;
+                    out = PathBuf::from(
+                        args.get(i).unwrap_or_else(|| panic!("expected a path after --out")),
+                    );
+                }
+                "--passes" => {
+                    i += 1;
+                    passes = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("expected a number after --passes"));
+                }
+                "--deterministic" => deterministic = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        assert!(passes >= 1, "--passes must be at least 1");
+        Self {
+            run,
+            out,
+            passes,
+            deterministic,
+        }
+    }
+}
+
+/// Order-sensitive FNV-1a fingerprint over exact score bit patterns.
+struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    fn absorb(&mut self, score: f64) {
+        for b in score.to_bits().to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Every scoreable week of one artifact: the training weeks plus the
+/// held-out weeks, prebuilt once so the measured loops only score.
+fn weeks_of(artifact: &TrainedConsumer) -> Vec<WeekVector> {
+    let train = artifact.train_matrix();
+    let mut weeks: Vec<WeekVector> = (0..train.weeks()).map(|w| train.week_vector(w)).collect();
+    if let Some(test) = artifact.test_matrix() {
+        weeks.extend((0..test.weeks()).map(|w| test.week_vector(w)));
+    }
+    weeks
+}
+
+struct PathTiming {
+    wall: Duration,
+    fingerprint: u64,
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let data = args.run.corpus();
+    let config = args.run.eval_config();
+
+    // --- train cache: cold train, persist, warm load -----------------------
+    eprintln!("cold-training the fleet...");
+    let cold_started = Instant::now();
+    let engine = EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
+    let cold_train = cold_started.elapsed();
+
+    let store_root = std::env::temp_dir().join(format!("fdeta-bench-scoring-{}", std::process::id()));
+    let store = ArtifactStore::new(&store_root);
+    store
+        .save(&data, &config, engine.artifacts())
+        .unwrap_or_else(|e| panic!("artifact save failed: {e}"));
+    let store_bytes = fs::metadata(store.path_for(&data, &config)).map_or(0, |m| m.len());
+
+    eprintln!("warm-loading the fleet from the artifact store...");
+    let warm_started = Instant::now();
+    let warm = store
+        .load(&data, &config)
+        .unwrap_or_else(|e| panic!("artifact load failed: {e}"))
+        .unwrap_or_else(|| panic!("artifact entry vanished"));
+    let warm_engine =
+        EvalEngine::from_artifacts(&config, warm).unwrap_or_else(|e| panic!("rebuild failed: {e}"));
+    let warm_load = warm_started.elapsed();
+    drop(warm_engine);
+    let _ = fs::remove_dir_all(&store_root);
+
+    // --- scoring throughput ------------------------------------------------
+    let fleet: Vec<(&TrainedConsumer, Vec<WeekVector>)> = engine
+        .artifacts()
+        .iter()
+        .map(|a| (a, weeks_of(a)))
+        .collect();
+    let weeks_per_pass: usize = fleet.iter().map(|(_, w)| w.len()).sum();
+    eprintln!(
+        "scoring {} weeks x {} passes per path...",
+        weeks_per_pass, args.passes
+    );
+
+    // Dense, legacy reproduction.
+    let dense_legacy = {
+        let mut fp = Fingerprint::new();
+        let started = Instant::now();
+        for _ in 0..args.passes {
+            for (artifact, weeks) in &fleet {
+                let det = artifact.kld_base();
+                let edges = det.edges().as_slice();
+                for week in weeks {
+                    fp.absorb(legacy::score(edges, det.baseline(), week.as_slice()));
+                }
+            }
+        }
+        PathTiming {
+            wall: started.elapsed(),
+            fingerprint: fp.finish(),
+        }
+    };
+
+    // Dense, shipping hot path (explicit scratch, as a fleet loop runs it).
+    let dense_current = {
+        let mut fp = Fingerprint::new();
+        let mut scratch = HistScratch::new();
+        let started = Instant::now();
+        for _ in 0..args.passes {
+            for (artifact, weeks) in &fleet {
+                let det = artifact.kld_base();
+                for week in weeks {
+                    fp.absorb(det.try_score_with(week, &mut scratch).unwrap());
+                }
+            }
+        }
+        PathTiming {
+            wall: started.elapsed(),
+            fingerprint: fp.finish(),
+        }
+    };
+
+    assert_eq!(
+        dense_legacy.fingerprint, dense_current.fingerprint,
+        "dense scratch scoring diverged from the legacy allocating path"
+    );
+
+    // Banded, legacy reproduction (gather-per-band).
+    let banded_legacy = {
+        let mut fp = Fingerprint::new();
+        let started = Instant::now();
+        for _ in 0..args.passes {
+            for (artifact, weeks) in &fleet {
+                let det = artifact.conditioned_base();
+                for week in weeks {
+                    for band in 0..det.band_count() {
+                        let view = det.band_view(band);
+                        fp.absorb(legacy::band_score(
+                            view.slots,
+                            view.edges.as_slice(),
+                            view.baseline,
+                            week.as_slice(),
+                        ));
+                    }
+                }
+            }
+        }
+        PathTiming {
+            wall: started.elapsed(),
+            fingerprint: fp.finish(),
+        }
+    };
+
+    // Banded, shipping hot path (visitor + explicit scratch: no result
+    // vector, as the evaluation engine runs it).
+    let banded_current = {
+        let mut fp = Fingerprint::new();
+        let mut scratch = HistScratch::new();
+        let started = Instant::now();
+        for _ in 0..args.passes {
+            for (artifact, weeks) in &fleet {
+                let det = artifact.conditioned_base();
+                for week in weeks {
+                    det.try_visit_band_scores_with(week, None, &mut scratch, |score, _| {
+                        fp.absorb(score);
+                    })
+                    .unwrap();
+                }
+            }
+        }
+        PathTiming {
+            wall: started.elapsed(),
+            fingerprint: fp.finish(),
+        }
+    };
+
+    assert_eq!(
+        banded_legacy.fingerprint, banded_current.fingerprint,
+        "banded scratch scoring diverged from the legacy gather-per-band path"
+    );
+
+    // --- report ------------------------------------------------------------
+    let total_weeks = weeks_per_pass * args.passes;
+    let rate = |wall: Duration| total_weeks as f64 / wall.as_secs_f64();
+    let speedup = |legacy: &PathTiming, current: &PathTiming| {
+        legacy.wall.as_secs_f64() / current.wall.as_secs_f64()
+    };
+    eprintln!(
+        "dense:  legacy {:.2}s ({:.0} weeks/s) | current {:.2}s ({:.0} weeks/s) | {:.2}x",
+        dense_legacy.wall.as_secs_f64(),
+        rate(dense_legacy.wall),
+        dense_current.wall.as_secs_f64(),
+        rate(dense_current.wall),
+        speedup(&dense_legacy, &dense_current)
+    );
+    eprintln!(
+        "banded: legacy {:.2}s ({:.0} weeks/s) | current {:.2}s ({:.0} weeks/s) | {:.2}x",
+        banded_legacy.wall.as_secs_f64(),
+        rate(banded_legacy.wall),
+        banded_current.wall.as_secs_f64(),
+        rate(banded_current.wall),
+        speedup(&banded_legacy, &banded_current)
+    );
+    eprintln!(
+        "cold train: {:.2}s | warm load: {:.2}s | {:.1}x",
+        cold_train.as_secs_f64(),
+        warm_load.as_secs_f64(),
+        cold_train.as_secs_f64() / warm_load.as_secs_f64()
+    );
+
+    let mut json = String::new();
+    // Hand-rolled so the schema (and key order) is fixed and independent of
+    // any serializer; CI byte-diffs two --deterministic runs.
+    json.push_str("{\n  \"schema\": \"fdeta-bench-scoring/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"consumers\": {}, \"weeks\": {}, \"train_weeks\": {}, \"bins\": {}, \"seed\": {}}},",
+        args.run.consumers, args.run.weeks, args.run.train_weeks, args.run.bins, args.run.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"weeks_per_pass\": {weeks_per_pass}, \"passes\": {}, \"weeks_scored\": {total_weeks}}},",
+        args.passes
+    );
+    let _ = writeln!(
+        json,
+        "  \"equivalence\": {{\"dense\": \"{:016x}\", \"banded\": \"{:016x}\", \"identical\": true}},",
+        dense_current.fingerprint, banded_current.fingerprint
+    );
+    if args.deterministic {
+        json.push_str("  \"timings\": \"omitted (--deterministic)\"\n}\n");
+    } else {
+        let path_json = |legacy: &PathTiming, current: &PathTiming| {
+            format!(
+                "{{\n    \"legacy\": {{\"total_secs\": {:.6}, \"weeks_per_sec\": {:.1}}},\n    \
+                 \"current\": {{\"total_secs\": {:.6}, \"weeks_per_sec\": {:.1}}},\n    \
+                 \"speedup\": {:.3}\n  }}",
+                legacy.wall.as_secs_f64(),
+                rate(legacy.wall),
+                current.wall.as_secs_f64(),
+                rate(current.wall),
+                speedup(legacy, current)
+            )
+        };
+        let _ = writeln!(
+            json,
+            "  \"scoring_dense\": {},",
+            path_json(&dense_legacy, &dense_current)
+        );
+        let _ = writeln!(
+            json,
+            "  \"scoring_banded\": {},",
+            path_json(&banded_legacy, &banded_current)
+        );
+        let _ = writeln!(
+            json,
+            "  \"train_cache\": {{\"cold_train_secs\": {:.6}, \"warm_load_secs\": {:.6}, \"speedup\": {:.1}, \"store_file_bytes\": {store_bytes}}}\n}}",
+            cold_train.as_secs_f64(),
+            warm_load.as_secs_f64(),
+            cold_train.as_secs_f64() / warm_load.as_secs_f64()
+        );
+    }
+
+    fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.out.display()));
+    eprintln!("wrote {}", args.out.display());
+}

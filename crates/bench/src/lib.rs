@@ -10,17 +10,27 @@
 //! --bins N        KLD histogram bins           (default 10)
 //! --seed N        master seed                  (default paper seed)
 //! --threads N     worker threads               (default: all cores)
+//! --artifacts DIR persistent trained-artifact store (default: retrain)
 //! ```
+//!
+//! With `--artifacts DIR`, trained per-consumer artifacts are persisted to
+//! a content-keyed file under `DIR` after the first (cold) run; every later
+//! binary pointed at the same corpus and training parameters loads them and
+//! skips training entirely, with bit-identical results (the store's
+//! equivalence contract). The key excludes attack-side knobs, so `table2`,
+//! `table3`, `roc` and the ablations over one corpus share one entry.
 //!
 //! `--consumers 60 --weeks 20 --train 16 --vectors 10` gives a minute-scale
 //! smoke run whose *shapes* already match the paper; the defaults reproduce
 //! the full 500 × 74 protocol.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
-use fdeta_detect::engine::{EngineStage, EvalEngine};
+use fdeta_detect::engine::{EngineStage, EvalEngine, ProgressFn};
 use fdeta_detect::eval::{EvalConfig, Evaluation};
+use fdeta_detect::store::{ArtifactStore, CacheStatus};
 
 /// Parsed command-line options shared by all reproduction binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +49,9 @@ pub struct RunArgs {
     pub seed: u64,
     /// Worker threads (0 = auto).
     pub threads: usize,
+    /// Directory of the persistent trained-artifact store; `None` trains
+    /// from scratch every run.
+    pub artifacts: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
@@ -51,6 +64,7 @@ impl Default for RunArgs {
             bins: 10,
             seed: DatasetConfig::default().seed,
             threads: 0,
+            artifacts: None,
         }
     }
 }
@@ -97,6 +111,14 @@ impl RunArgs {
                         .get(i)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("expected a number after --seed"));
+                }
+                "--artifacts" => {
+                    i += 1;
+                    let dir = args
+                        .get(i)
+                        .filter(|v| !v.starts_with("--"))
+                        .unwrap_or_else(|| panic!("expected a directory after --artifacts"));
+                    out.artifacts = Some(PathBuf::from(dir));
                 }
                 _ => {}
             }
@@ -162,28 +184,63 @@ impl RunArgs {
         self.engine_for(&data)
     }
 
-    /// Trains the shared evaluation engine over an existing corpus.
+    /// Trains the shared evaluation engine over an existing corpus — or,
+    /// with `--artifacts`, loads the trained fleet from the persistent
+    /// store and skips training entirely on a warm cache (bit-identical
+    /// results either way).
     ///
     /// # Panics
     ///
     /// As [`RunArgs::engine`].
     pub fn engine_for(&self, data: &SyntheticDataset) -> EvalEngine {
-        eprintln!(
-            "training per-consumer artifacts: {} weeks each (ARIMA + KLD + PCA)...",
-            self.train_weeks
-        );
         let total = data.len();
         let step = (total / 10).max(1);
-        let engine = EvalEngine::train_with_progress(
-            data,
-            &self.eval_config(),
-            Some(Box::new(move |stage, done, of| {
-                if stage == EngineStage::Train && (done % step == 0 || done == of) {
-                    eprintln!("  trained {done}/{of} consumers");
+        let progress: Box<ProgressFn> = Box::new(move |stage, done, of| {
+            if stage == EngineStage::Train && (done % step == 0 || done == of) {
+                eprintln!("  trained {done}/{of} consumers");
+            }
+        });
+
+        let engine = match &self.artifacts {
+            Some(dir) => {
+                let store = ArtifactStore::new(dir);
+                let (engine, outcome) = store
+                    .engine(data, &self.eval_config(), Some(progress))
+                    .unwrap_or_else(|e| panic!("engine training failed: {e}"));
+                match outcome.status {
+                    CacheStatus::Hit => {
+                        eprintln!(
+                            "artifact store: warm hit, loaded {} trained consumers from {}",
+                            engine.artifacts().len(),
+                            outcome.path.display()
+                        );
+                        return engine;
+                    }
+                    CacheStatus::Miss => {
+                        eprintln!("artifact store: cold miss, trained and saved");
+                    }
+                    CacheStatus::Invalid => eprintln!(
+                        "artifact store: entry rejected ({}), retrained and rewrote it",
+                        outcome
+                            .load_error
+                            .as_ref()
+                            .map_or_else(|| "unknown".to_owned(), ToString::to_string)
+                    ),
                 }
-            })),
-        )
-        .unwrap_or_else(|e| panic!("engine training failed: {e}"));
+                if let Some(e) = &outcome.save_error {
+                    eprintln!("artifact store: save failed ({e}); next run will retrain");
+                }
+                engine
+            }
+            None => {
+                eprintln!(
+                    "training per-consumer artifacts: {} weeks each (ARIMA + KLD + PCA)...",
+                    self.train_weeks
+                );
+                EvalEngine::train_with_progress(data, &self.eval_config(), Some(progress))
+                    .unwrap_or_else(|e| panic!("engine training failed: {e}"))
+            }
+        };
         let stats = engine.stats();
         eprintln!(
             "artifacts ready in {:.1?} ({:.0} consumers/sec on {} threads)",
@@ -341,6 +398,19 @@ mod tests {
         assert_eq!(parsed.bins, 12);
         assert_eq!(parsed.seed, 9);
         assert_eq!(parsed.threads, 3);
+    }
+
+    #[test]
+    fn parse_reads_artifacts_dir() {
+        let parsed = RunArgs::parse(&args(&["--artifacts", "/tmp/fdeta-artifacts"]));
+        assert_eq!(parsed.artifacts, Some(PathBuf::from("/tmp/fdeta-artifacts")));
+        assert_eq!(RunArgs::parse(&args(&[])).artifacts, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a directory")]
+    fn parse_rejects_missing_artifacts_dir() {
+        RunArgs::parse(&args(&["--artifacts", "--weeks"]));
     }
 
     #[test]

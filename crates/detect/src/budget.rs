@@ -44,9 +44,13 @@ impl AlertBudget {
             .copied()
             .filter(|p| self.admits(p))
             .max_by(|a, b| {
-                (a.detection_rate, -a.false_positive_rate)
-                    .partial_cmp(&(b.detection_rate, -b.false_positive_rate))
-                    .expect("finite rates")
+                // Rates are finite ratios; total_cmp agrees with the
+                // partial order there and cannot panic. The reversed
+                // false-positive comparison breaks ties toward the lower
+                // rate without negating (which would hit -0.0 ordering).
+                a.detection_rate
+                    .total_cmp(&b.detection_rate)
+                    .then_with(|| b.false_positive_rate.total_cmp(&a.false_positive_rate))
             })
     }
 }

@@ -209,6 +209,21 @@ impl TrainedConsumer {
         index: usize,
         config: &EvalConfig,
     ) -> Result<Self, TrainError> {
+        let (train, test) = Self::split_record(record, config)?;
+        let mut artifact =
+            Self::from_window(record.id, index, &train, &ArtifactParams::from_eval(config))?;
+        artifact.test = Some(test);
+        Ok(artifact)
+    }
+
+    /// Splits a record into the protocol's `(train, test)` week matrices —
+    /// the deterministic, cheap part of [`TrainedConsumer::train`], shared
+    /// with the artifact store's warm path so a reloaded artifact sees
+    /// exactly the windows the cold run trained on.
+    pub(crate) fn split_record(
+        record: &ConsumerRecord,
+        config: &EvalConfig,
+    ) -> Result<(WeekMatrix, WeekMatrix), TrainError> {
         let total_weeks = record.series.whole_weeks();
         let required = config.train_weeks + 2;
         if total_weeks < required {
@@ -226,10 +241,60 @@ impl TrainedConsumer {
             .series
             .week_range(config.train_weeks, total_weeks)
             .and_then(|s| s.to_week_matrix())?;
-        let mut artifact =
-            Self::from_window(record.id, index, &train, &ArtifactParams::from_eval(config))?;
-        artifact.test = Some(test);
-        Ok(artifact)
+        Ok((train, test))
+    }
+
+    /// Reassembles an artifact from persisted trained state (the artifact
+    /// store's warm path): the expensive, persisted pieces — the ARIMA
+    /// parameter fit, the KLD histograms and training quantiles, the PCA
+    /// subspace — are taken as given, and everything cheap and fully
+    /// determined by them (the train/test split, the interval detectors,
+    /// the weekly-mean range) is re-derived exactly as
+    /// [`TrainedConsumer::train`] derives it. Bit-identical to a cold
+    /// train of the same record under the same config.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrainedConsumer::train`] for the record split.
+    pub(crate) fn reassemble(
+        record: &ConsumerRecord,
+        index: usize,
+        config: &EvalConfig,
+        model: Option<ArimaModel>,
+        kld: KldDetector,
+        conditioned: ConditionedKldDetector,
+        pca: Option<PcaDetector>,
+    ) -> Result<Self, TrainError> {
+        let (train, test) = Self::split_record(record, config)?;
+        let (arima, integrated) = match &model {
+            Some(m) => (
+                Some(ArimaDetector::new(m.clone(), &train, config.confidence)),
+                Some(IntegratedArimaDetector::new(
+                    m.clone(),
+                    &train,
+                    config.confidence,
+                )),
+            ),
+            None => (None, None),
+        };
+        let means = train.weekly_means();
+        let mean_range = (
+            means.iter().cloned().fold(f64::INFINITY, f64::min),
+            means.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        Ok(Self {
+            id: record.id,
+            index,
+            train,
+            test: Some(test),
+            model,
+            arima,
+            integrated,
+            kld,
+            conditioned,
+            pca,
+            mean_range,
+        })
     }
 
     /// The consumer's meter id.
@@ -270,6 +335,18 @@ impl TrainedConsumer {
     /// The KLD detector at its base (5%) calibration.
     pub fn kld_base(&self) -> &KldDetector {
         &self.kld
+    }
+
+    /// The price-conditioned KLD detector at its base (5%) calibration —
+    /// what the artifact store persists.
+    pub fn conditioned_base(&self) -> &ConditionedKldDetector {
+        &self.conditioned
+    }
+
+    /// The PCA detector at its base (5%) calibration, if the subspace was
+    /// trained — what the artifact store persists.
+    pub(crate) fn pca_base(&self) -> Option<&PcaDetector> {
+        self.pca.as_ref()
     }
 
     /// The KLD detector re-thresholded at `level` — a quantile lookup on
@@ -934,6 +1011,7 @@ fn score_consumer(
     })?;
     let scheme = PricingScheme::tou_ireland();
 
+    // lint:allow(vec-alloc-in-score-path, once per consumer, not per scored week)
     let mut detectors: Vec<Box<dyn Detector>> = Vec::with_capacity(DetectorKind::ALL.len());
     for kind in DetectorKind::ALL {
         detectors.push(kind.train(artifact)?);
@@ -952,6 +1030,7 @@ fn score_consumer(
         let gains: Vec<Metric2> = vectors
             .iter()
             .map(|v| gain_of(v, scenario, &scheme))
+            // lint:allow(vec-alloc-in-score-path, one small vector per scenario per consumer, not per scored week)
             .collect();
         // Worst case overall: the vector the paper evaluates detectors on.
         let worst_index = gains

@@ -9,18 +9,34 @@
 //! a zero total — so masked scoring returns [`KldError::EmptyBand`] instead
 //! of a NaN or a silent, vacuous `0.0` divergence.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use fdeta_gridsim::pricing::TouPlan;
-use fdeta_tsdata::hist::{BinEdges, Histogram};
-use fdeta_tsdata::kl::kl_divergence_smoothed;
+use fdeta_tsdata::bands::BandMap;
+use fdeta_tsdata::hist::{BinEdges, HistScratch, Histogram};
+use fdeta_tsdata::kl::{kl_divergence_smoothed, kl_divergence_smoothed_counts};
 use fdeta_tsdata::stats::Quantile;
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
 use fdeta_tsdata::TsError;
 
 use crate::detector::{Detector, Verdict};
+
+thread_local! {
+    /// Per-thread scoring scratch shared by every KLD detector instance.
+    ///
+    /// The eval loop scores tens of thousands of weeks per thread; a fresh
+    /// count vector (plus a gathered-value vector on the masked/banded
+    /// paths) per call made allocation the dominant scoring cost. One
+    /// scratch per thread amortises that to zero. The scratch is only
+    /// borrowed for the duration of a single histogram+divergence
+    /// computation and never across a call into caller code, so the
+    /// `RefCell` borrow cannot be re-entered.
+    static SCORE_SCRATCH: RefCell<HistScratch> = RefCell::new(HistScratch::new());
+}
 
 /// The detector's upper-tail significance level: 5% thresholds at the 95th
 /// percentile of the training KLD distribution, 10% at the 90th.
@@ -91,18 +107,99 @@ impl From<TsError> for KldError {
     }
 }
 
+/// The trained, threshold-independent artifacts of a [`KldDetector`]:
+/// edges, baseline histogram, and sorted training divergences. Shared via
+/// `Arc` so re-thresholded copies (ROC/alpha sweeps build dozens per
+/// consumer) reference one allocation instead of deep-copying histograms.
+#[derive(Debug, Clone, PartialEq)]
+struct KldCore {
+    edges: BinEdges,
+    baseline: Histogram,
+    /// Sorted training `K_i` divergences.
+    training_k: Vec<f64>,
+    /// Whether `edges` equals the baseline's own edges, computed once at
+    /// construction: the core is immutable behind its `Arc`, so the
+    /// per-score artifact guard reduces to this flag instead of an
+    /// edge-vector comparison on every call.
+    edges_match: bool,
+}
+
+impl KldCore {
+    fn new(edges: BinEdges, baseline: Histogram, training_k: Vec<f64>) -> Self {
+        let edges_match = edges == *baseline.edges();
+        Self {
+            edges,
+            baseline,
+            training_k,
+            edges_match,
+        }
+    }
+
+    /// Guards the count-based divergence against a corrupted or
+    /// hand-edited deserialized artifact whose baseline was counted with
+    /// different edges; detectors built by training share edges by
+    /// construction.
+    fn check_artifact(&self) -> Result<(), TsError> {
+        if !self.edges_match {
+            return Err(TsError::MismatchedBins {
+                left: self.edges.bins(),
+                right: self.baseline.bins(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// The KLD detector: histogram the training matrix `X` with `B` bins to
 /// fix edges; compute `K_i = KL(X_i ‖ X)` for each training week; flag a
 /// new week whose divergence exceeds the chosen percentile of the `K_i`
 /// distribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "KldDetectorRepr", into = "KldDetectorRepr")]
 pub struct KldDetector {
-    edges: BinEdges,
-    baseline: Histogram,
-    training_k: Vec<f64>,
+    core: Arc<KldCore>,
     threshold: f64,
     level: Option<SignificanceLevel>,
     percentile: f64,
+}
+
+/// Serialized shape of [`KldDetector`] — the flat field layout the
+/// detector had before its trained core moved behind an `Arc`, so
+/// persisted artifacts are independent of the in-memory sharing scheme.
+/// Also the exchange type the artifact store reads and writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct KldDetectorRepr {
+    pub(crate) edges: BinEdges,
+    pub(crate) baseline: Histogram,
+    pub(crate) training_k: Vec<f64>,
+    pub(crate) threshold: f64,
+    pub(crate) level: Option<SignificanceLevel>,
+    pub(crate) percentile: f64,
+}
+
+impl From<KldDetectorRepr> for KldDetector {
+    fn from(repr: KldDetectorRepr) -> Self {
+        Self {
+            core: Arc::new(KldCore::new(repr.edges, repr.baseline, repr.training_k)),
+            threshold: repr.threshold,
+            level: repr.level,
+            percentile: repr.percentile,
+        }
+    }
+}
+
+impl From<KldDetector> for KldDetectorRepr {
+    fn from(detector: KldDetector) -> Self {
+        let core = Arc::unwrap_or_clone(detector.core);
+        Self {
+            edges: core.edges,
+            baseline: core.baseline,
+            training_k: core.training_k,
+            threshold: detector.threshold,
+            level: detector.level,
+            percentile: detector.percentile,
+        }
+    }
 }
 
 impl KldDetector {
@@ -147,9 +244,7 @@ impl KldDetector {
         training_k.sort_by(f64::total_cmp);
         let threshold = Quantile::of_sorted(&training_k, percentile);
         Ok(Self {
-            edges,
-            baseline,
-            training_k,
+            core: Arc::new(KldCore::new(edges, baseline, training_k)),
             threshold,
             level: None,
             percentile,
@@ -166,22 +261,25 @@ impl KldDetector {
     ///
     /// Panics if `percentile` is outside `[0, 1]`.
     pub fn threshold_at(&self, percentile: f64) -> f64 {
-        Quantile::of_sorted(&self.training_k, percentile)
+        Quantile::of_sorted(&self.core.training_k, percentile)
     }
 
     /// A copy of this detector re-thresholded at an arbitrary percentile;
     /// identical to [`KldDetector::train_at_percentile`] on the same
     /// window but without recomputing edges, baseline, or training scores.
+    /// The trained core (edges, baseline, training divergences) is shared
+    /// with `self` by reference — re-sweeping α across many percentiles
+    /// costs one `Arc` bump per copy, not a deep copy of the histograms.
     ///
     /// # Panics
     ///
     /// Panics if `percentile` is outside `[0, 1]`.
     pub fn at_percentile(&self, percentile: f64) -> Self {
         Self {
+            core: Arc::clone(&self.core),
             threshold: self.threshold_at(percentile),
             level: None,
             percentile,
-            ..self.clone()
         }
     }
 
@@ -202,8 +300,33 @@ impl KldDetector {
     /// by [`KldDetector::train`], but reachable through a detector
     /// deserialized from a corrupted or hand-edited artifact.
     pub fn try_score(&self, week: &WeekVector) -> Result<f64, TsError> {
-        let hist = self.edges.histogram(week.as_slice());
-        kl_divergence_smoothed(&hist, &self.baseline)
+        SCORE_SCRATCH.with(|cell| self.try_score_with(week, &mut cell.borrow_mut()))
+    }
+
+    /// [`KldDetector::try_score`] with a caller-provided scratch instead of
+    /// the thread-local one.
+    ///
+    /// The thread-local lookup and `RefCell` borrow cost a few dozen
+    /// nanoseconds per call — irrelevant for occasional scoring, measurable
+    /// in a fleet loop that scores hundreds of thousands of weeks. Hot
+    /// loops that already own a [`HistScratch`] should pass it here.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`KldDetector::try_score`]'s.
+    pub fn try_score_with(
+        &self,
+        week: &WeekVector,
+        scratch: &mut HistScratch,
+    ) -> Result<f64, TsError> {
+        self.core.check_artifact()?;
+        self.core.edges.histogram_into(week.as_slice(), scratch);
+        kl_divergence_smoothed_counts(
+            scratch.counts(),
+            scratch.total(),
+            self.core.baseline.counts(),
+            self.core.baseline.total(),
+        )
     }
 
     /// The divergence `K` of one week against the baseline, in bits.
@@ -235,16 +358,23 @@ impl KldDetector {
                 mask: mask.len(),
             }));
         }
-        let observed: Vec<f64> = values
-            .iter()
-            .zip(mask)
-            .filter_map(|(&v, &m)| m.then_some(v))
-            .collect();
-        if observed.is_empty() {
-            return Err(KldError::EmptyBand { band: 0 });
-        }
-        let hist = self.edges.histogram(&observed);
-        kl_divergence_smoothed(&hist, &self.baseline).map_err(KldError::Ts)
+        self.core.check_artifact()?;
+        SCORE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let gather = scratch.gather_mut();
+            gather.extend(values.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)));
+            if gather.is_empty() {
+                return Err(KldError::EmptyBand { band: 0 });
+            }
+            self.core.edges.histogram_gathered(scratch);
+            kl_divergence_smoothed_counts(
+                scratch.counts(),
+                scratch.total(),
+                self.core.baseline.counts(),
+                self.core.baseline.total(),
+            )
+            .map_err(KldError::Ts)
+        })
     }
 
     /// The detection threshold (percentile of the training KLD
@@ -255,17 +385,25 @@ impl KldDetector {
 
     /// The sorted training `K_i` values (e.g. for plotting Fig. 4b).
     pub fn training_divergences(&self) -> &[f64] {
-        &self.training_k
+        &self.core.training_k
     }
 
     /// The baseline histogram (Fig. 4a's `X` distribution).
     pub fn baseline(&self) -> &Histogram {
-        &self.baseline
+        &self.core.baseline
     }
 
     /// The shared bin edges.
     pub fn edges(&self) -> &BinEdges {
-        &self.edges
+        &self.core.edges
+    }
+
+    /// Whether `self` and `other` reference the same trained core
+    /// allocation (used by tests to assert that re-thresholding shares
+    /// rather than deep-copies the trained artifacts).
+    #[cfg(test)]
+    fn shares_core_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     /// The configured significance level (`None` for a custom percentile
@@ -309,21 +447,103 @@ impl Detector for KldDetector {
 /// paper extends the same idea to RTP (one distribution per price level),
 /// which is why the constructor takes an arbitrary number of windows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "ConditionedKldDetectorRepr", into = "ConditionedKldDetectorRepr")]
 pub struct ConditionedKldDetector {
     bands: Vec<Band>,
+    /// Precomputed slot→band partition: which slots each band histograms,
+    /// built once at training time so scoring gathers by index with no
+    /// per-week membership checks.
+    map: BandMap,
     level: SignificanceLevel,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Band {
+    core: Arc<KldCore>,
+    threshold: f64,
+}
+
+/// Borrowed view of one trained band of a [`ConditionedKldDetector`]
+/// (see [`ConditionedKldDetector::band_view`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BandView<'a> {
+    /// Which slots of the week (0..336) this band histograms.
+    pub slots: &'a [usize],
+    /// The band's shared bin edges.
+    pub edges: &'a BinEdges,
+    /// The band's training baseline histogram.
+    pub baseline: &'a Histogram,
+    /// The band's divergence threshold at the configured level.
+    pub threshold: f64,
+}
+
+/// Serialized shape of [`ConditionedKldDetector`] — the pre-`Arc` flat
+/// layout with explicit per-band slot lists, so persisted artifacts are
+/// independent of the in-memory sharing scheme. Also the exchange type the
+/// artifact store reads and writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ConditionedKldDetectorRepr {
+    pub(crate) bands: Vec<BandRepr>,
+    pub(crate) level: SignificanceLevel,
+}
+
+/// One band of [`ConditionedKldDetectorRepr`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct BandRepr {
     /// Which slots of the week (0..336) belong to this band.
-    slots: Vec<usize>,
-    edges: BinEdges,
-    baseline: Histogram,
+    pub(crate) slots: Vec<usize>,
+    pub(crate) edges: BinEdges,
+    pub(crate) baseline: Histogram,
     /// Sorted training divergences of this band (kept so the band can be
     /// re-thresholded at any level without retraining).
-    training_k: Vec<f64>,
-    threshold: f64,
+    pub(crate) training_k: Vec<f64>,
+    pub(crate) threshold: f64,
+}
+
+impl TryFrom<ConditionedKldDetectorRepr> for ConditionedKldDetector {
+    type Error = TsError;
+
+    fn try_from(repr: ConditionedKldDetectorRepr) -> Result<Self, TsError> {
+        let slot_lists: Vec<Vec<usize>> = repr.bands.iter().map(|b| b.slots.clone()).collect();
+        let map = BandMap::from_bands(&slot_lists, fdeta_tsdata::SLOTS_PER_WEEK)?;
+        let bands = repr
+            .bands
+            .into_iter()
+            .map(|band| Band {
+                core: Arc::new(KldCore::new(band.edges, band.baseline, band.training_k)),
+                threshold: band.threshold,
+            })
+            .collect();
+        Ok(Self {
+            bands,
+            map,
+            level: repr.level,
+        })
+    }
+}
+
+impl From<ConditionedKldDetector> for ConditionedKldDetectorRepr {
+    fn from(detector: ConditionedKldDetector) -> Self {
+        let bands = detector
+            .bands
+            .into_iter()
+            .enumerate()
+            .map(|(index, band)| {
+                let core = Arc::unwrap_or_clone(band.core);
+                BandRepr {
+                    slots: detector.map.band_slots(index).to_vec(),
+                    edges: core.edges,
+                    baseline: core.baseline,
+                    training_k: core.training_k,
+                    threshold: band.threshold,
+                }
+            })
+            .collect();
+        Self {
+            bands,
+            level: detector.level,
+        }
+    }
 }
 
 impl ConditionedKldDetector {
@@ -354,19 +574,19 @@ impl ConditionedKldDetector {
     ///
     /// # Errors
     ///
-    /// Returns [`TsError::EmptyHistogram`] if any band is empty, and
-    /// propagates histogram construction errors.
+    /// Returns [`TsError::EmptyHistogram`] if any band is empty,
+    /// [`TsError::SlotOutOfRange`] / [`TsError::DuplicateSlot`] if the
+    /// bands do not form a partition of (a subset of) the week's slots,
+    /// and propagates histogram construction errors.
     pub fn train_with_bands(
         train: &WeekMatrix,
         band_slots: Vec<Vec<usize>>,
         bins: usize,
         level: SignificanceLevel,
     ) -> Result<Self, TsError> {
+        let map = BandMap::from_bands(&band_slots, fdeta_tsdata::SLOTS_PER_WEEK)?;
         let mut bands = Vec::with_capacity(band_slots.len());
-        for slots in band_slots {
-            if slots.is_empty() {
-                return Err(TsError::EmptyHistogram);
-            }
+        for slots in &band_slots {
             // Collect the band's values across all training weeks.
             let mut sample = Vec::with_capacity(slots.len() * train.weeks());
             for week in train.iter_weeks() {
@@ -383,14 +603,85 @@ impl ConditionedKldDetector {
             training_k.sort_by(f64::total_cmp);
             let threshold = Quantile::of_sorted(&training_k, level.percentile());
             bands.push(Band {
-                slots,
-                edges,
-                baseline,
-                training_k,
+                core: Arc::new(KldCore::new(edges, baseline, training_k)),
                 threshold,
             });
         }
-        Ok(Self { bands, level })
+        Ok(Self { bands, map, level })
+    }
+
+    /// Scores every band of `week` against its baseline using the shared
+    /// thread-local scratch, calling `visit(score, threshold)` per band in
+    /// band order. The single allocation-free engine behind the dense and
+    /// masked band scoring paths: band values are gathered through the
+    /// precomputed [`BandMap`] into the scratch's reused buffers.
+    ///
+    /// With `mask = Some(..)`, only observed slots are gathered and a band
+    /// with zero observed slots is a [`KldError::EmptyBand`]; with
+    /// `mask = None`, every slot of the band is gathered.
+    pub fn try_visit_band_scores<F>(
+        &self,
+        week: &WeekVector,
+        mask: Option<&[bool]>,
+        visit: F,
+    ) -> Result<(), KldError>
+    where
+        F: FnMut(f64, f64),
+    {
+        SCORE_SCRATCH.with(|cell| {
+            self.try_visit_band_scores_with(week, mask, &mut cell.borrow_mut(), visit)
+        })
+    }
+
+    /// [`ConditionedKldDetector::try_visit_band_scores`] with a
+    /// caller-provided scratch instead of the thread-local one; see
+    /// [`KldDetector::try_score_with`] for when that matters.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ConditionedKldDetector::try_visit_band_scores`]'s.
+    pub fn try_visit_band_scores_with<F>(
+        &self,
+        week: &WeekVector,
+        mask: Option<&[bool]>,
+        scratch: &mut HistScratch,
+        mut visit: F,
+    ) -> Result<(), KldError>
+    where
+        F: FnMut(f64, f64),
+    {
+        let values = week.as_slice();
+        if let Some(mask) = mask {
+            if values.len() != mask.len() {
+                return Err(KldError::Ts(TsError::MaskLengthMismatch {
+                    values: values.len(),
+                    mask: mask.len(),
+                }));
+            }
+        }
+        for (index, band) in self.bands.iter().enumerate() {
+            band.core.check_artifact()?;
+            match mask {
+                Some(mask) => {
+                    self.map
+                        .gather_masked_into(index, values, mask, scratch.gather_mut());
+                    if scratch.gathered().is_empty() {
+                        return Err(KldError::EmptyBand { band: index });
+                    }
+                }
+                None => self.map.gather_into(index, values, scratch.gather_mut()),
+            }
+            band.core.edges.histogram_gathered(scratch);
+            let score = kl_divergence_smoothed_counts(
+                scratch.counts(),
+                scratch.total(),
+                band.core.baseline.counts(),
+                band.core.baseline.total(),
+            )
+            .map_err(KldError::Ts)?;
+            visit(score, band.threshold);
+        }
+        Ok(())
     }
 
     /// Per-band `(score, threshold)` pairs for one week.
@@ -401,23 +692,26 @@ impl ConditionedKldDetector {
     /// its baseline disagree in bin count — impossible for a trained
     /// detector, reachable through a corrupted deserialized artifact.
     pub fn try_band_scores(&self, week: &WeekVector) -> Result<Vec<(f64, f64)>, TsError> {
-        self.bands
-            .iter()
-            .map(|band| {
-                let values: Vec<f64> = band.slots.iter().map(|&s| week.as_slice()[s]).collect();
-                let hist = band.edges.histogram(&values);
-                let score = kl_divergence_smoothed(&hist, &band.baseline)?;
-                Ok((score, band.threshold))
-            })
-            .collect()
+        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use try_visit_band_scores_with)
+        let mut scores = Vec::with_capacity(self.bands.len());
+        self.try_visit_band_scores(week, None, |score, threshold| {
+            scores.push((score, threshold));
+        })
+        .map_err(|err| match err {
+            KldError::Ts(source) => source,
+            // The dense path never reports an empty band: trained bands
+            // are non-empty by construction and every slot is "observed".
+            KldError::EmptyBand { .. } => TsError::EmptyHistogram,
+        })?;
+        Ok(scores)
     }
 
     /// Per-band `(score, threshold)` pairs for one week. Infallible
     /// variant of [`ConditionedKldDetector::try_band_scores`] for trained
     /// detectors (band edges match their baselines by construction).
     pub fn band_scores(&self, week: &WeekVector) -> Vec<(f64, f64)> {
-        // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
         self.try_band_scores(week)
+            // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
             .expect("same edges by construction")
     }
 
@@ -436,31 +730,12 @@ impl ConditionedKldDetector {
         week: &WeekVector,
         mask: &[bool],
     ) -> Result<Vec<(f64, f64)>, KldError> {
-        let values = week.as_slice();
-        if values.len() != mask.len() {
-            return Err(KldError::Ts(TsError::MaskLengthMismatch {
-                values: values.len(),
-                mask: mask.len(),
-            }));
-        }
-        self.bands
-            .iter()
-            .enumerate()
-            .map(|(index, band)| {
-                let observed: Vec<f64> = band
-                    .slots
-                    .iter()
-                    .filter(|&&s| mask[s])
-                    .map(|&s| values[s])
-                    .collect();
-                if observed.is_empty() {
-                    return Err(KldError::EmptyBand { band: index });
-                }
-                let hist = band.edges.histogram(&observed);
-                let score = kl_divergence_smoothed(&hist, &band.baseline)?;
-                Ok((score, band.threshold))
-            })
-            .collect()
+        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use try_visit_band_scores_with)
+        let mut scores = Vec::with_capacity(self.bands.len());
+        self.try_visit_band_scores(week, Some(mask), |score, threshold| {
+            scores.push((score, threshold));
+        })?;
+        Ok(scores)
     }
 
     /// The configured significance level.
@@ -468,20 +743,44 @@ impl ConditionedKldDetector {
         self.level
     }
 
+    /// Number of pricing bands.
+    pub fn band_count(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Read-only view of one trained band: its slot list, shared edges,
+    /// training baseline, and threshold. Diagnostic / benchmarking access —
+    /// scoring should go through [`ConditionedKldDetector::band_scores`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= self.band_count()`.
+    pub fn band_view(&self, band: usize) -> BandView<'_> {
+        BandView {
+            slots: self.map.band_slots(band),
+            edges: &self.bands[band].core.edges,
+            baseline: &self.bands[band].core.baseline,
+            threshold: self.bands[band].threshold,
+        }
+    }
+
     /// A copy of this detector with every band re-thresholded at `level`
     /// from its cached training divergences; identical to
     /// [`ConditionedKldDetector::train_tou`] /
-    /// [`ConditionedKldDetector::train_with_bands`] at that level.
+    /// [`ConditionedKldDetector::train_with_bands`] at that level. Each
+    /// band's trained core is shared with `self` by reference — no
+    /// histograms or slot maps are deep-copied.
     pub fn at_level(&self, level: SignificanceLevel) -> Self {
         Self {
             bands: self
                 .bands
                 .iter()
                 .map(|band| Band {
-                    threshold: Quantile::of_sorted(&band.training_k, level.percentile()),
-                    ..band.clone()
+                    core: Arc::clone(&band.core),
+                    threshold: Quantile::of_sorted(&band.core.training_k, level.percentile()),
                 })
                 .collect(),
+            map: self.map.clone(),
             level,
         }
     }
@@ -496,12 +795,14 @@ impl Detector for ConditionedKldDetector {
     }
 
     fn assess(&self, week: &WeekVector) -> Verdict {
-        let scores = self.band_scores(week);
-        let worst_excess = scores
-            .iter()
-            .map(|(score, threshold)| score - threshold)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let max_score = scores.iter().map(|(s, _)| *s).fold(0.0, f64::max);
+        let mut worst_excess = f64::NEG_INFINITY;
+        let mut max_score = 0.0f64;
+        self.try_visit_band_scores(week, None, |score, threshold| {
+            worst_excess = worst_excess.max(score - threshold);
+            max_score = max_score.max(score);
+        })
+        // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
+        .expect("same edges by construction");
         if worst_excess > 0.0 {
             Verdict::flagged(max_score)
         } else {
@@ -667,6 +968,32 @@ mod tests {
             ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Ten)
                 .unwrap();
         assert_eq!(cond.at_level(SignificanceLevel::Ten), cond_ten);
+    }
+
+    #[test]
+    fn rethresholding_shares_trained_core_instead_of_cloning() {
+        let train = training(30, 8);
+        let base = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let resweep = base.at_percentile(0.85);
+        assert!(
+            base.shares_core_with(&resweep),
+            "at_percentile must share the trained core by reference"
+        );
+        assert!(base.shares_core_with(&base.at_level(SignificanceLevel::Ten)));
+        let clone = base.clone();
+        assert!(base.shares_core_with(&clone), "clone is a shallow Arc bump");
+    }
+
+    #[test]
+    fn overlapping_bands_are_a_typed_error() {
+        let train = training(5, 7);
+        let result = ConditionedKldDetector::train_with_bands(
+            &train,
+            vec![vec![0, 1, 2], vec![2, 3]],
+            DEFAULT_BINS,
+            SignificanceLevel::Ten,
+        );
+        assert!(matches!(result, Err(TsError::DuplicateSlot { slot: 2 })));
     }
 
     #[test]

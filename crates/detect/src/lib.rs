@@ -46,6 +46,7 @@ pub mod kld;
 pub mod pca;
 pub mod robustness;
 pub mod roc;
+pub mod store;
 pub(crate) mod sync;
 pub mod ttd;
 
@@ -63,10 +64,11 @@ pub use eval::{
     ScenarioResult,
 };
 pub use integrated::IntegratedArimaDetector;
-pub use kld::{ConditionedKldDetector, KldDetector, KldError, SignificanceLevel};
+pub use kld::{BandView, ConditionedKldDetector, KldDetector, KldError, SignificanceLevel};
 pub use pca::PcaDetector;
 pub use robustness::{
     QuarantinedConsumer, RepairAttempt, RobustEngine, RobustEvaluation, RobustnessConfig,
 };
 pub use roc::{best_operating_point, kld_roc_curve, RocPoint};
+pub use store::{ArtifactStore, CacheOutcome, CacheStatus, StoreError, STORE_VERSION};
 pub use ttd::time_to_detection;

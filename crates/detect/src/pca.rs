@@ -135,7 +135,9 @@ impl PcaDetector {
             .iter()
             .map(|row| Self::residual_norm(row, &extracted))
             .collect();
-        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        // Residuals are finite norms; total_cmp agrees with the partial
+        // order there and cannot panic on adversarial input.
+        errors.sort_by(f64::total_cmp);
         let threshold = Quantile::of_sorted(&errors, level.percentile());
         Ok(Self {
             mean,
@@ -164,6 +166,7 @@ impl PcaDetector {
             .iter()
             .zip(&self.mean)
             .map(|(v, mu)| v - mu)
+            // lint:allow(vec-alloc-in-score-path, PCA residual scoring is not on the fleet KLD hot path)
             .collect();
         Self::residual_norm(&centered, &self.components)
     }
@@ -193,6 +196,37 @@ impl PcaDetector {
     /// Sorted training residual norms.
     pub fn training_errors(&self) -> &[f64] {
         &self.training_errors
+    }
+
+    /// Reassembles a detector from persisted trained state (the artifact
+    /// store's warm path). Field-for-field inverse of
+    /// [`PcaDetector::trained_parts`].
+    pub(crate) fn from_trained_parts(
+        mean: Vec<f64>,
+        components: Vec<Vec<f64>>,
+        threshold: f64,
+        training_errors: Vec<f64>,
+        level: SignificanceLevel,
+    ) -> Self {
+        Self {
+            mean,
+            components,
+            threshold,
+            training_errors,
+            level,
+        }
+    }
+
+    /// The full trained state `(mean, components, threshold,
+    /// training_errors, level)` for persistence.
+    pub(crate) fn trained_parts(&self) -> (&[f64], &[Vec<f64>], f64, &[f64], SignificanceLevel) {
+        (
+            &self.mean,
+            &self.components,
+            self.threshold,
+            &self.training_errors,
+            self.level,
+        )
     }
 }
 

@@ -76,11 +76,12 @@ pub fn kld_roc_curve(
 
 /// The operating point with the highest Youden's J on a curve, if any.
 pub fn best_operating_point(curve: &[RocPoint]) -> Option<RocPoint> {
-    curve.iter().copied().max_by(|a, b| {
-        a.youden_j()
-            .partial_cmp(&b.youden_j())
-            .expect("finite rates")
-    })
+    // Rates are finite ratios; total_cmp agrees with the partial order
+    // there and cannot panic on adversarial input.
+    curve
+        .iter()
+        .copied()
+        .max_by(|a, b| a.youden_j().total_cmp(&b.youden_j()))
 }
 
 #[cfg(test)]

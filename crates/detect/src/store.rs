@@ -1,0 +1,757 @@
+//! A versioned on-disk store for trained per-consumer artifacts.
+//!
+//! Training dominates every evaluation binary: the per-consumer ARIMA fit,
+//! KLD histograms and training quantiles, and PCA subspace cost seconds
+//! per fleet, while scoring the cached artifacts costs milliseconds. The
+//! trained state is a pure function of the corpus content and the training
+//! slice of the configuration — so it can be persisted once and reloaded
+//! by every later run over the same corpus (`table2`, `table3`, `roc`,
+//! the ablations) instead of being recomputed by each binary.
+//!
+//! # Cache key and invalidation
+//!
+//! [`ArtifactStore::corpus_key`] hashes (FNV-1a, 64-bit) everything the
+//! trained state depends on: the store format version, `train_weeks`,
+//! `bins`, `confidence`, the ARIMA order, and every consumer's id and full
+//! half-hour series (exact `f64` bit patterns). Anything that *doesn't*
+//! change training — the attack seed, `attack_vectors`, thread count — is
+//! deliberately excluded, so an attack-parameter sweep over one corpus
+//! shares a single cache entry. A changed corpus or training parameter
+//! produces a different key, which is a different file name: stale entries
+//! are never read, only orphaned.
+//!
+//! # Format
+//!
+//! The codec is a hand-rolled little-endian binary layout (magic,
+//! version, key, per-consumer trained state, FNV-1a integrity checksum).
+//! Floats are stored as raw bit patterns, so a load reproduces the cold
+//! run's numbers **bit-identically** — the equivalence test in
+//! `tests/store_roundtrip.rs` asserts a warm engine's full evaluation
+//! equals the cold engine's. Only the expensive state is persisted; the
+//! cheap derived pieces (train/test split, interval detectors, weekly-mean
+//! range) are re-derived on load by [`TrainedConsumer::reassemble`],
+//! which keeps files small and guarantees they cannot drift from the
+//! persisted model.
+//!
+//! A corrupt or truncated file is a typed [`StoreError`], and
+//! [`ArtifactStore::engine`] degrades it to a retrain
+//! ([`CacheStatus::Invalid`]) instead of failing the run.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_cer_synth::SyntheticDataset;
+use fdeta_tsdata::hist::BinEdges;
+
+use crate::engine::{EvalEngine, ProgressFn, TrainedConsumer};
+use crate::error::EvalError;
+use crate::eval::EvalConfig;
+use crate::kld::{
+    ConditionedKldDetector, ConditionedKldDetectorRepr, KldDetector, KldDetectorRepr,
+    SignificanceLevel,
+};
+use crate::kld::BandRepr;
+use crate::pca::PcaDetector;
+
+/// On-disk format version; bumped on any layout change so old files are
+/// simply never matched (the version participates in the key and the file
+/// name).
+pub const STORE_VERSION: u32 = 1;
+
+/// File magic: identifies an F-DETA artifact file regardless of extension.
+const MAGIC: &[u8; 8] = b"FDETAART";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A failure of the store itself — never fatal to an evaluation, because
+/// [`ArtifactStore::engine`] falls back to retraining.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The file could not be read or written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error, rendered (kept as text so the error
+        /// stays `Clone`/`PartialEq` like every other error in the crate).
+        message: String,
+    },
+    /// The file exists but does not deserialize to valid artifacts.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What check failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "artifact store I/O on {}: {message}", path.display())
+            }
+            StoreError::Corrupt { path, what } => {
+                write!(f, "corrupt artifact file {}: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// How [`ArtifactStore::engine`] obtained its engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Artifacts were loaded from disk; no training ran.
+    Hit,
+    /// No cache entry existed; the fleet was trained (and saved).
+    Miss,
+    /// A cache entry existed but failed validation; the fleet was
+    /// retrained and the entry rewritten.
+    Invalid,
+}
+
+impl fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheStatus::Hit => write!(f, "hit"),
+            CacheStatus::Miss => write!(f, "miss"),
+            CacheStatus::Invalid => write!(f, "invalid"),
+        }
+    }
+}
+
+/// The outcome of one [`ArtifactStore::engine`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheOutcome {
+    /// Hit, miss, or invalidated-and-retrained.
+    pub status: CacheStatus,
+    /// The cache file consulted (and written on miss/invalid).
+    pub path: PathBuf,
+    /// Why a pre-existing entry was rejected, when `status` is
+    /// [`CacheStatus::Invalid`].
+    pub load_error: Option<StoreError>,
+    /// A save failure after retraining, if any — the engine is still
+    /// returned; only the *next* run loses the warm start.
+    pub save_error: Option<StoreError>,
+}
+
+/// A directory of versioned, content-keyed artifact files.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `root`. The directory is created lazily on the
+    /// first save.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The content hash keying this `(corpus, training parameters)` pair.
+    /// See the module docs for exactly what is (and is not) covered.
+    pub fn corpus_key(dataset: &SyntheticDataset, config: &EvalConfig) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(u64::from(STORE_VERSION));
+        h.u64(config.train_weeks as u64);
+        h.u64(config.bins as u64);
+        h.u64(config.confidence.to_bits());
+        let (p, d, q) = config.arima_order;
+        h.u64(p as u64);
+        h.u64(d as u64);
+        h.u64(q as u64);
+        h.u64(dataset.len() as u64);
+        for index in 0..dataset.len() {
+            let record = dataset.consumer(index);
+            h.u64(u64::from(record.id));
+            let values = record.series.as_slice();
+            h.u64(values.len() as u64);
+            for &v in values {
+                h.u64(v.to_bits());
+            }
+        }
+        h.finish()
+    }
+
+    /// The file a given `(corpus, config)` pair maps to.
+    pub fn path_for(&self, dataset: &SyntheticDataset, config: &EvalConfig) -> PathBuf {
+        let key = Self::corpus_key(dataset, config);
+        self.root
+            .join(format!("artifacts-v{STORE_VERSION}-{key:016x}.bin"))
+    }
+
+    /// Persists a trained fleet. Writes to a temporary sibling and renames
+    /// into place, so readers never observe a half-written file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn save(
+        &self,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+        artifacts: &[TrainedConsumer],
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(dataset, config);
+        let io_err = |e: std::io::Error| StoreError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        };
+        fs::create_dir_all(&self.root).map_err(io_err)?;
+
+        let mut w = ByteWriter::default();
+        w.bytes(MAGIC);
+        w.u32(STORE_VERSION);
+        w.u64(Self::corpus_key(dataset, config));
+        w.u64(artifacts.len() as u64);
+        for artifact in artifacts {
+            write_consumer(&mut w, artifact);
+        }
+        let checksum = fnv1a(&w.out, FNV_OFFSET);
+        w.u64(checksum);
+
+        let tmp = path.with_extension("bin.tmp");
+        fs::write(&tmp, &w.out).map_err(io_err)?;
+        fs::rename(&tmp, &path).map_err(io_err)?;
+        Ok(path)
+    }
+
+    /// Loads the trained fleet for `(dataset, config)` if a valid cache
+    /// entry exists. `Ok(None)` is a clean miss (no file); any existing
+    /// but unusable file is an error so the caller can distinguish "cold"
+    /// from "corrupt".
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for unreadable files, [`StoreError::Corrupt`]
+    /// for bad magic/version/key/checksum or undecodable content.
+    pub fn load(
+        &self,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+    ) -> Result<Option<Vec<TrainedConsumer>>, StoreError> {
+        let path = self.path_for(dataset, config);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path,
+                    message: e.to_string(),
+                })
+            }
+        };
+        let corrupt = |what: String| StoreError::Corrupt {
+            path: path.clone(),
+            what,
+        };
+
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(corrupt("file shorter than header + checksum".into()));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(tail);
+        let stored_sum = u64::from_le_bytes(sum);
+        if fnv1a(payload, FNV_OFFSET) != stored_sum {
+            return Err(corrupt("integrity checksum mismatch".into()));
+        }
+
+        let mut r = ByteReader::new(payload);
+        let parse = (|| -> Result<Vec<TrainedConsumer>, String> {
+            if r.bytes(MAGIC.len())? != MAGIC.as_slice() {
+                return Err("bad magic".into());
+            }
+            let version = r.u32()?;
+            if version != STORE_VERSION {
+                return Err(format!(
+                    "format version {version}, this build reads {STORE_VERSION}"
+                ));
+            }
+            let key = r.u64()?;
+            let expected = Self::corpus_key(dataset, config);
+            if key != expected {
+                return Err(format!(
+                    "corpus key {key:016x} does not match {expected:016x}"
+                ));
+            }
+            let count = r.len()?;
+            if count != dataset.len() {
+                return Err(format!(
+                    "stored fleet has {count} consumers, corpus has {}",
+                    dataset.len()
+                ));
+            }
+            let mut artifacts = Vec::with_capacity(count);
+            for index in 0..count {
+                artifacts.push(read_consumer(&mut r, dataset, config, index)?);
+            }
+            if r.remaining() != 0 {
+                return Err(format!("{} trailing bytes after fleet", r.remaining()));
+            }
+            Ok(artifacts)
+        })();
+        parse.map(Some).map_err(corrupt)
+    }
+
+    /// The warm-start entry point: load the fleet if a valid cache entry
+    /// exists, otherwise train it (reporting progress) and persist it
+    /// best-effort. The returned engine is indistinguishable from a
+    /// freshly trained one — warm and cold runs produce bit-identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Only training/configuration errors ([`EvalError`]); store failures
+    /// degrade to a retrain and are reported in the [`CacheOutcome`].
+    pub fn engine(
+        &self,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+        progress: Option<Box<ProgressFn>>,
+    ) -> Result<(EvalEngine, CacheOutcome), EvalError> {
+        let path = self.path_for(dataset, config);
+        let (status, load_error) = match self.load(dataset, config) {
+            Ok(Some(artifacts)) => {
+                let engine = EvalEngine::from_artifacts(config, artifacts)?;
+                return Ok((
+                    engine,
+                    CacheOutcome {
+                        status: CacheStatus::Hit,
+                        path,
+                        load_error: None,
+                        save_error: None,
+                    },
+                ));
+            }
+            Ok(None) => (CacheStatus::Miss, None),
+            Err(e) => (CacheStatus::Invalid, Some(e)),
+        };
+        let engine = EvalEngine::train_with_progress(dataset, config, progress)?;
+        let save_error = self.save(dataset, config, engine.artifacts()).err();
+        Ok((
+            engine,
+            CacheOutcome {
+                status,
+                path,
+                load_error,
+                save_error,
+            },
+        ))
+    }
+}
+
+// --- per-consumer codec ----------------------------------------------------
+
+fn level_tag(level: SignificanceLevel) -> u8 {
+    match level {
+        SignificanceLevel::Five => 1,
+        SignificanceLevel::Ten => 2,
+    }
+}
+
+fn level_from_tag(tag: u8) -> Result<SignificanceLevel, String> {
+    match tag {
+        1 => Ok(SignificanceLevel::Five),
+        2 => Ok(SignificanceLevel::Ten),
+        other => Err(format!("unknown significance-level tag {other}")),
+    }
+}
+
+fn write_consumer(w: &mut ByteWriter, artifact: &TrainedConsumer) {
+    w.u32(artifact.id());
+    w.u64(artifact.index() as u64);
+
+    match artifact.model() {
+        Some(model) => {
+            w.u8(1);
+            let spec = model.spec();
+            w.u64(spec.p() as u64);
+            w.u64(spec.d() as u64);
+            w.u64(spec.q() as u64);
+            w.f64(model.intercept());
+            w.vec_f64(model.phi());
+            w.vec_f64(model.theta());
+            w.f64(model.sigma2());
+        }
+        None => w.u8(0),
+    }
+
+    let kld = KldDetectorRepr::from(artifact.kld_base().clone());
+    w.vec_f64(kld.edges.as_slice());
+    w.vec_u64(kld.baseline.counts());
+    w.vec_f64(&kld.training_k);
+    w.f64(kld.threshold);
+    w.u8(kld.level.map_or(0, level_tag));
+    w.f64(kld.percentile);
+
+    let cond = ConditionedKldDetectorRepr::from(artifact.conditioned_base().clone());
+    w.u64(cond.bands.len() as u64);
+    for band in &cond.bands {
+        w.vec_usize(&band.slots);
+        w.vec_f64(band.edges.as_slice());
+        w.vec_u64(band.baseline.counts());
+        w.vec_f64(&band.training_k);
+        w.f64(band.threshold);
+    }
+    w.u8(level_tag(cond.level));
+
+    match artifact.pca_base() {
+        Some(pca) => {
+            w.u8(1);
+            let (mean, components, threshold, training_errors, level) = pca.trained_parts();
+            w.vec_f64(mean);
+            w.u64(components.len() as u64);
+            for component in components {
+                w.vec_f64(component);
+            }
+            w.f64(threshold);
+            w.vec_f64(training_errors);
+            w.u8(level_tag(level));
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_kld_detector(r: &mut ByteReader<'_>) -> Result<KldDetector, String> {
+    let edges = BinEdges::from_edges(r.vec_f64()?).map_err(|e| format!("KLD edges: {e}"))?;
+    let baseline = edges
+        .histogram_from_counts(r.vec_u64()?)
+        .map_err(|e| format!("KLD baseline: {e}"))?;
+    let training_k = r.vec_f64()?;
+    let threshold = r.f64()?;
+    let level = match r.u8()? {
+        0 => None,
+        tag => Some(level_from_tag(tag)?),
+    };
+    let percentile = r.f64()?;
+    Ok(KldDetector::from(KldDetectorRepr {
+        edges,
+        baseline,
+        training_k,
+        threshold,
+        level,
+        percentile,
+    }))
+}
+
+fn read_consumer(
+    r: &mut ByteReader<'_>,
+    dataset: &SyntheticDataset,
+    config: &EvalConfig,
+    index: usize,
+) -> Result<TrainedConsumer, String> {
+    let record = dataset.consumer(index);
+    let id = r.u32()?;
+    if id != record.id {
+        return Err(format!(
+            "consumer {index}: stored id {id} != corpus id {}",
+            record.id
+        ));
+    }
+    let stored_index = r.len()?;
+    if stored_index != index {
+        return Err(format!(
+            "consumer {index}: stored corpus index {stored_index}"
+        ));
+    }
+
+    let model = match r.u8()? {
+        0 => None,
+        1 => {
+            let p = r.len()?;
+            let d = r.len()?;
+            let q = r.len()?;
+            let spec =
+                ArimaSpec::new(p, d, q).map_err(|e| format!("consumer {index}: ARIMA spec: {e}"))?;
+            let intercept = r.f64()?;
+            let phi = r.vec_f64()?;
+            let theta = r.vec_f64()?;
+            let sigma2 = r.f64()?;
+            Some(
+                ArimaModel::from_parts(spec, intercept, phi, theta, sigma2)
+                    .map_err(|e| format!("consumer {index}: ARIMA parameters: {e}"))?,
+            )
+        }
+        other => return Err(format!("consumer {index}: bad model flag {other}")),
+    };
+
+    let kld = read_kld_detector(r).map_err(|e| format!("consumer {index}: {e}"))?;
+
+    let band_count = r.len()?;
+    if band_count > r.remaining() {
+        return Err(format!("consumer {index}: band count {band_count} exceeds file size"));
+    }
+    let mut bands = Vec::with_capacity(band_count);
+    for band in 0..band_count {
+        let err = |e: String| format!("consumer {index} band {band}: {e}");
+        let slots = r.vec_usize().map_err(err)?;
+        let edges = BinEdges::from_edges(r.vec_f64().map_err(err)?)
+            .map_err(|e| format!("consumer {index} band {band}: edges: {e}"))?;
+        let baseline = edges
+            .histogram_from_counts(r.vec_u64().map_err(err)?)
+            .map_err(|e| format!("consumer {index} band {band}: baseline: {e}"))?;
+        let training_k = r.vec_f64().map_err(err)?;
+        let threshold = r.f64().map_err(err)?;
+        bands.push(BandRepr {
+            slots,
+            edges,
+            baseline,
+            training_k,
+            threshold,
+        });
+    }
+    let level = level_from_tag(r.u8()?)?;
+    let conditioned = ConditionedKldDetector::try_from(ConditionedKldDetectorRepr { bands, level })
+        .map_err(|e| format!("consumer {index}: conditioned detector: {e}"))?;
+
+    let pca = match r.u8()? {
+        0 => None,
+        1 => {
+            let mean = r.vec_f64()?;
+            let component_count = r.len()?;
+            if component_count > r.remaining() {
+                return Err(format!(
+                    "consumer {index}: component count {component_count} exceeds file size"
+                ));
+            }
+            let mut components = Vec::with_capacity(component_count);
+            for _ in 0..component_count {
+                components.push(r.vec_f64()?);
+            }
+            let threshold = r.f64()?;
+            let training_errors = r.vec_f64()?;
+            let level = level_from_tag(r.u8()?)?;
+            Some(PcaDetector::from_trained_parts(
+                mean,
+                components,
+                threshold,
+                training_errors,
+                level,
+            ))
+        }
+        other => return Err(format!("consumer {index}: bad PCA flag {other}")),
+    };
+
+    TrainedConsumer::reassemble(record, index, config, model, kld, conditioned, pca)
+        .map_err(|e| format!("consumer {index}: reassembly: {e}"))
+}
+
+// --- byte-level primitives -------------------------------------------------
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Incremental FNV-1a over little-endian words (the corpus-key hasher).
+struct Fnv {
+    state: u64,
+}
+
+impl Fnv {
+    fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.state = fnv1a(&value.to_le_bytes(), self.state);
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[derive(Default)]
+struct ByteWriter {
+    out: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn u8(&mut self, value: u8) {
+        self.out.push(value);
+    }
+
+    fn u32(&mut self, value: u32) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    fn vec_f64(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    fn vec_u64(&mut self, values: &[u64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    fn vec_usize(&mut self, values: &[usize]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.u64(v as u64);
+        }
+    }
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated: needed {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.bytes(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.bytes(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` length that must also be a sane `usize`.
+    fn len(&mut self) -> Result<usize, String> {
+        let raw = self.u64()?;
+        usize::try_from(raw).map_err(|_| format!("length {raw} overflows usize"))
+    }
+
+    /// A length prefix for `width`-byte elements, bounds-checked against
+    /// the remaining input *before* any allocation, so a corrupt length
+    /// cannot trigger a huge reservation.
+    fn checked_len(&mut self, width: usize) -> Result<usize, String> {
+        let len = self.len()?;
+        if len.checked_mul(width).is_none_or(|b| b > self.remaining()) {
+            return Err(format!(
+                "element count {len} exceeds the {} bytes left",
+                self.remaining()
+            ));
+        }
+        Ok(len)
+    }
+
+    fn vec_f64(&mut self) -> Result<Vec<f64>, String> {
+        let len = self.checked_len(8)?;
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    fn vec_u64(&mut self) -> Result<Vec<u64>, String> {
+        let len = self.checked_len(8)?;
+        (0..len).map(|_| self.u64()).collect()
+    }
+
+    fn vec_usize(&mut self) -> Result<Vec<usize>, String> {
+        let len = self.checked_len(8)?;
+        (0..len)
+            .map(|_| {
+                let raw = self.u64()?;
+                usize::try_from(raw).map_err(|_| format!("slot {raw} overflows usize"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b"", FNV_OFFSET), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar", FNV_OFFSET), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn reader_round_trips_writer() {
+        let mut w = ByteWriter::default();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.vec_f64(&[1.5, f64::MIN_POSITIVE, -2.25]);
+        w.vec_u64(&[0, 1, u64::MAX]);
+        w.vec_usize(&[3, 0, 99]);
+        let mut r = ByteReader::new(&w.out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.vec_f64().unwrap(), vec![1.5, f64::MIN_POSITIVE, -2.25]);
+        assert_eq!(r.vec_u64().unwrap(), vec![0, 1, u64::MAX]);
+        assert_eq!(r.vec_usize().unwrap(), vec![3, 0, 99]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors_not_panics() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u64().is_err());
+        // An absurd length prefix must be rejected before allocation.
+        let mut w = ByteWriter::default();
+        w.u64(u64::MAX / 2);
+        let mut r = ByteReader::new(&w.out);
+        assert!(r.vec_f64().is_err());
+    }
+}

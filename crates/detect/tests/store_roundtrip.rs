@@ -1,0 +1,236 @@
+//! Cold-vs-warm equivalence for the on-disk artifact store.
+//!
+//! The store's whole contract is that a warm run is indistinguishable from
+//! a cold one: loading persisted artifacts must reproduce the cold run's
+//! every number **bit-identically**, because floats are persisted as raw
+//! bit patterns and everything derived is recomputed by the same code the
+//! cold path runs. These tests pin that contract, plus the degradation
+//! behaviour for corrupt entries and the key's invalidation rules.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::store::{ArtifactStore, CacheStatus};
+use fdeta_detect::{EvalConfig, EvalEngine};
+
+fn corpus(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(&DatasetConfig::small(consumers, weeks, seed))
+}
+
+fn config() -> EvalConfig {
+    EvalConfig {
+        threads: 2,
+        ..EvalConfig::fast(8, 4)
+    }
+}
+
+/// A unique, self-cleaning store directory per test.
+struct TempStore {
+    root: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "fdeta-store-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        Self { root }
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::new(&self.root)
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn warm_load_is_bit_identical_to_cold_training() {
+    let data = corpus(5, 12, 41);
+    let cfg = config();
+    let tmp = TempStore::new("equivalence");
+    let store = tmp.store();
+
+    // Cold run: trains, persists.
+    let (cold, outcome) = store.engine(&data, &cfg, None).expect("cold engine");
+    assert_eq!(outcome.status, CacheStatus::Miss);
+    assert_eq!(outcome.save_error, None, "save must succeed");
+    assert!(outcome.path.exists(), "artifact file written");
+    let cold_eval = cold.evaluate().expect("cold evaluation");
+
+    // Warm run: loads, retrains nothing.
+    let (warm, outcome) = store.engine(&data, &cfg, None).expect("warm engine");
+    assert_eq!(outcome.status, CacheStatus::Hit);
+    assert_eq!(
+        warm.stats().train_wall,
+        Duration::ZERO,
+        "a cache hit must skip the training stage entirely"
+    );
+    let warm_eval = warm.evaluate().expect("warm evaluation");
+
+    // The headline contract: every score, gain, and verdict matches the
+    // cold run exactly — not approximately.
+    assert_eq!(cold_eval, warm_eval);
+
+    // Threshold sweeps score from the same cached state.
+    let alphas = [0.02, 0.05, 0.10, 0.25];
+    assert_eq!(
+        cold.kld_alpha_sweep(&alphas).expect("cold sweep"),
+        warm.kld_alpha_sweep(&alphas).expect("warm sweep")
+    );
+    assert_eq!(
+        cold.kld_roc(&alphas).expect("cold roc"),
+        warm.kld_roc(&alphas).expect("warm roc")
+    );
+
+    // The serialized Table II report (what the binaries write to disk)
+    // must be byte-for-byte identical. With the offline serde stubs both
+    // sides render empty; with real serde this is the full JSON document.
+    let cold_json = serde_json::to_string(&cold_eval).expect("serialize");
+    let warm_json = serde_json::to_string(&warm_eval).expect("serialize");
+    assert_eq!(cold_json, warm_json);
+}
+
+#[test]
+fn explicit_save_load_round_trip_matches() {
+    let data = corpus(4, 12, 42);
+    let cfg = config();
+    let tmp = TempStore::new("save-load");
+    let store = tmp.store();
+
+    let engine = EvalEngine::train(&data, &cfg).expect("train");
+    let cold_eval = engine.evaluate().expect("cold evaluation");
+    store.save(&data, &cfg, engine.artifacts()).expect("save");
+
+    let artifacts = store
+        .load(&data, &cfg)
+        .expect("load")
+        .expect("entry exists");
+    assert_eq!(artifacts.len(), data.len());
+    let warm = EvalEngine::from_artifacts(&cfg, artifacts).expect("from_artifacts");
+    assert_eq!(warm.evaluate().expect("warm evaluation"), cold_eval);
+}
+
+#[test]
+fn missing_entry_is_a_clean_miss_not_an_error() {
+    let data = corpus(2, 12, 43);
+    let tmp = TempStore::new("miss");
+    assert!(tmp.store().load(&data, &config()).expect("no entry").is_none());
+}
+
+#[test]
+fn corrupt_entry_degrades_to_a_retrain() {
+    let data = corpus(3, 12, 44);
+    let cfg = config();
+    let tmp = TempStore::new("corrupt");
+    let store = tmp.store();
+
+    let (cold, _) = store.engine(&data, &cfg, None).expect("cold engine");
+    let cold_eval = cold.evaluate().expect("cold evaluation");
+    let path = store.path_for(&data, &cfg);
+
+    // Flip one byte in the middle of the payload: the checksum must catch
+    // it, and the engine must fall back to retraining rather than erroring
+    // or silently using mangled artifacts.
+    let mut bytes = fs::read(&path).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&path, &bytes).expect("rewrite entry");
+
+    assert!(store.load(&data, &cfg).is_err(), "corruption is detected");
+    let (rebuilt, outcome) = store.engine(&data, &cfg, None).expect("rebuilt engine");
+    assert_eq!(outcome.status, CacheStatus::Invalid);
+    assert!(outcome.load_error.is_some(), "the rejection is reported");
+    assert_eq!(outcome.save_error, None, "the entry is rewritten");
+    assert_eq!(rebuilt.evaluate().expect("rebuilt evaluation"), cold_eval);
+
+    // And the rewritten entry is valid again.
+    let (warm, outcome) = store.engine(&data, &cfg, None).expect("warm engine");
+    assert_eq!(outcome.status, CacheStatus::Hit);
+    assert_eq!(warm.evaluate().expect("warm evaluation"), cold_eval);
+}
+
+#[test]
+fn truncated_entry_is_rejected() {
+    let data = corpus(2, 12, 45);
+    let cfg = config();
+    let tmp = TempStore::new("truncated");
+    let store = tmp.store();
+    let engine = EvalEngine::train(&data, &cfg).expect("train");
+    let path = store.save(&data, &cfg, engine.artifacts()).expect("save");
+    let bytes = fs::read(&path).expect("read");
+    fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+    assert!(store.load(&data, &cfg).is_err());
+}
+
+#[test]
+fn key_ignores_attack_parameters_but_tracks_training_parameters() {
+    let data = corpus(2, 12, 46);
+    let base = config();
+
+    // Attack-side knobs share the cache entry: the trained state does not
+    // depend on them.
+    let mut reseeded = base.clone();
+    reseeded.seed ^= 0xABCD;
+    reseeded.attack_vectors += 3;
+    reseeded.threads = 1;
+    assert_eq!(
+        ArtifactStore::corpus_key(&data, &base),
+        ArtifactStore::corpus_key(&data, &reseeded)
+    );
+
+    // Training-side knobs invalidate.
+    let mut more_bins = base.clone();
+    more_bins.bins += 1;
+    assert_ne!(
+        ArtifactStore::corpus_key(&data, &base),
+        ArtifactStore::corpus_key(&data, &more_bins)
+    );
+    let mut longer = base.clone();
+    longer.train_weeks += 1;
+    assert_ne!(
+        ArtifactStore::corpus_key(&data, &base),
+        ArtifactStore::corpus_key(&data, &longer)
+    );
+
+    // A different corpus invalidates.
+    let other = corpus(2, 12, 47);
+    assert_ne!(
+        ArtifactStore::corpus_key(&data, &base),
+        ArtifactStore::corpus_key(&other, &base)
+    );
+}
+
+#[test]
+fn entries_for_different_configs_coexist() {
+    let data = corpus(2, 12, 48);
+    let base = config();
+    let mut more_bins = base.clone();
+    more_bins.bins += 2;
+    let tmp = TempStore::new("coexist");
+    let store = tmp.store();
+
+    let (_, a) = store.engine(&data, &base, None).expect("first config");
+    let (_, b) = store.engine(&data, &more_bins, None).expect("second config");
+    assert_ne!(a.path, b.path, "distinct keys, distinct files");
+    assert_eq!(
+        store.engine(&data, &base, None).expect("warm").1.status,
+        CacheStatus::Hit
+    );
+    assert_eq!(
+        store
+            .engine(&data, &more_bins, None)
+            .expect("warm")
+            .1
+            .status,
+        CacheStatus::Hit
+    );
+}

@@ -1,0 +1,199 @@
+//! Precomputed slot→band partition for conditioned (per-band) scoring.
+//!
+//! The conditioned KLD detector (paper §VII-D, ToU/RTP conditioning)
+//! scores each pricing band of a week against a per-band baseline. The
+//! naive implementation re-derives "which slots belong to band `b`" and
+//! collects those values into a fresh `Vec` for every band of every scored
+//! week. [`BandMap`] precomputes the partition once at training time in a
+//! CSR-style layout, and gathers band values into a caller-owned buffer so
+//! the steady-state score path allocates nothing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TsError;
+
+/// Sentinel in the reverse map for a slot not claimed by any band.
+const NO_BAND: usize = usize::MAX;
+
+/// An immutable partition of week slots into pricing bands.
+///
+/// Stored CSR-style: band `b` owns `slots[offsets[b]..offsets[b + 1]]`,
+/// and `band_of` is the reverse map from slot index to band. Bands must be
+/// disjoint and non-empty, and every slot index must be in range; slots
+/// not claimed by any band are allowed (and simply never scored).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandMap {
+    /// Band index of each slot, `NO_BAND` (usize::MAX) when unclaimed.
+    band_of: Vec<usize>,
+    /// Concatenated per-band slot lists (CSR values).
+    slots: Vec<usize>,
+    /// Band `b` owns `slots[offsets[b]..offsets[b + 1]]` (CSR offsets).
+    offsets: Vec<usize>,
+}
+
+impl BandMap {
+    /// Builds a map from explicit per-band slot lists over a week of
+    /// `total_slots` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::EmptyHistogram`] if any band is empty (an empty
+    /// band has no distribution to score), [`TsError::SlotOutOfRange`] if
+    /// a slot index is `>= total_slots`, and [`TsError::DuplicateSlot`] if
+    /// two bands claim the same slot.
+    pub fn from_bands(band_slots: &[Vec<usize>], total_slots: usize) -> Result<Self, TsError> {
+        let mut band_of = vec![NO_BAND; total_slots];
+        let mut slots = Vec::with_capacity(band_slots.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(band_slots.len() + 1);
+        offsets.push(0);
+        for (band, members) in band_slots.iter().enumerate() {
+            if members.is_empty() {
+                return Err(TsError::EmptyHistogram);
+            }
+            for &slot in members {
+                if slot >= total_slots {
+                    return Err(TsError::SlotOutOfRange {
+                        slot,
+                        len: total_slots,
+                    });
+                }
+                if band_of[slot] != NO_BAND {
+                    return Err(TsError::DuplicateSlot { slot });
+                }
+                band_of[slot] = band;
+                slots.push(slot);
+            }
+            offsets.push(slots.len());
+        }
+        Ok(Self {
+            band_of,
+            slots,
+            offsets,
+        })
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of slots in the underlying week layout.
+    #[inline]
+    pub fn total_slots(&self) -> usize {
+        self.band_of.len()
+    }
+
+    /// The slot indices owned by `band`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= self.bands()`.
+    #[inline]
+    pub fn band_slots(&self, band: usize) -> &[usize] {
+        &self.slots[self.offsets[band]..self.offsets[band + 1]]
+    }
+
+    /// The band owning `slot`, or `None` for an unclaimed or out-of-range
+    /// slot.
+    #[inline]
+    pub fn band_of(&self, slot: usize) -> Option<usize> {
+        match self.band_of.get(slot) {
+            Some(&b) if b != NO_BAND => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Gathers `values[slot]` for every slot of `band` into `out`
+    /// (cleared first, capacity retained). The steady-state band scoring
+    /// path: no allocation once `out` has grown to the largest band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= self.bands()` or any mapped slot is out of range
+    /// for `values` — both are construction-time invariants of the
+    /// detectors that own a `BandMap`.
+    pub fn gather_into(&self, band: usize, values: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.band_slots(band).iter().map(|&s| values[s]));
+    }
+
+    /// As [`BandMap::gather_into`], but keeps only slots whose `mask`
+    /// entry is `true` (gap-aware scoring over partially observed weeks).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BandMap::gather_into`], or if
+    /// `mask` is shorter than the mapped slots; callers validate mask
+    /// length against the week up front.
+    pub fn gather_masked_into(&self, band: usize, values: &[f64], mask: &[bool], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.band_slots(band)
+                .iter()
+                .filter(|&&s| mask[s])
+                .map(|&s| values[s]),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> BandMap {
+        BandMap::from_bands(&[vec![0, 2, 4], vec![1, 5]], 6).unwrap()
+    }
+
+    #[test]
+    fn partition_round_trips_through_both_directions() {
+        let m = map();
+        assert_eq!(m.bands(), 2);
+        assert_eq!(m.total_slots(), 6);
+        assert_eq!(m.band_slots(0), &[0, 2, 4]);
+        assert_eq!(m.band_slots(1), &[1, 5]);
+        assert_eq!(m.band_of(0), Some(0));
+        assert_eq!(m.band_of(1), Some(1));
+        assert_eq!(m.band_of(3), None, "unclaimed slot");
+        assert_eq!(m.band_of(99), None, "out of range slot");
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert_eq!(
+            BandMap::from_bands(&[vec![0], vec![]], 4),
+            Err(TsError::EmptyHistogram)
+        );
+        assert_eq!(
+            BandMap::from_bands(&[vec![0, 7]], 4),
+            Err(TsError::SlotOutOfRange { slot: 7, len: 4 })
+        );
+        assert_eq!(
+            BandMap::from_bands(&[vec![0, 1], vec![1]], 4),
+            Err(TsError::DuplicateSlot { slot: 1 })
+        );
+    }
+
+    #[test]
+    fn gather_matches_naive_collection() {
+        let m = map();
+        let values = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let mut out = Vec::new();
+        m.gather_into(0, &values, &mut out);
+        assert_eq!(out, vec![10.0, 12.0, 14.0]);
+        m.gather_into(1, &values, &mut out);
+        assert_eq!(out, vec![11.0, 15.0]);
+    }
+
+    #[test]
+    fn masked_gather_filters_unobserved_slots() {
+        let m = map();
+        let values = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let mask = [true, false, false, true, true, true];
+        let mut out = Vec::new();
+        m.gather_masked_into(0, &values, &mask, &mut out);
+        assert_eq!(out, vec![10.0, 14.0]);
+        m.gather_masked_into(1, &values, &mask, &mut out);
+        assert_eq!(out, vec![15.0]);
+    }
+}

@@ -47,6 +47,12 @@ pub enum TsError {
     /// The truncated-normal sampler was configured with an empty support
     /// interval (`low >= high`) or a non-positive standard deviation.
     DegenerateDistribution,
+    /// Two pricing bands claimed the same week slot, so a slot→band map
+    /// cannot be built (bands must partition the slots they cover).
+    DuplicateSlot {
+        /// The slot claimed twice.
+        slot: usize,
+    },
     /// A slot index was out of range for the containing structure.
     SlotOutOfRange {
         /// The requested slot.
@@ -124,6 +130,9 @@ impl fmt::Display for TsError {
                     "truncated normal support is empty or std dev is not positive"
                 )
             }
+            TsError::DuplicateSlot { slot } => {
+                write!(f, "slot {slot} is claimed by more than one pricing band")
+            }
             TsError::SlotOutOfRange { slot, len } => {
                 write!(f, "slot {slot} out of range for length {len}")
             }
@@ -167,6 +176,7 @@ mod tests {
             TsError::EmptyHistogram,
             TsError::NonMonotonicEdges,
             TsError::MismatchedBins { left: 10, right: 5 },
+            TsError::DuplicateSlot { slot: 17 },
             TsError::DegenerateDistribution,
             TsError::SlotOutOfRange { slot: 9, len: 3 },
             TsError::Csv {

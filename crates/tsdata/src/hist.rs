@@ -93,35 +93,221 @@ impl BinEdges {
     /// into the first or last bin.
     pub fn bin_of(&self, value: f64) -> usize {
         let bins = self.bins();
-        let lo = self.edges[0];
-        let hi = self.edges[bins];
-        if value <= lo {
-            return 0;
-        }
-        if value >= hi {
-            return bins - 1;
-        }
-        // Binary search over the edges: find the rightmost edge <= value.
-        match self
-            .edges
-            .binary_search_by(|e| e.partial_cmp(&value).expect("finite edges"))
-        {
-            Ok(i) => i.min(bins - 1),
-            Err(i) => i - 1,
-        }
+        self.bin_of_scaled(value, bins as f64 / (self.edges[bins] - self.edges[0]))
+    }
+
+    /// [`guess_bin`] with this edge object's fields; see there for the
+    /// algorithm and its exactness argument.
+    #[inline]
+    fn bin_of_scaled(&self, value: f64, scale: f64) -> usize {
+        let bins = self.bins();
+        guess_bin(&self.edges, self.edges[0], self.edges[bins], scale, bins, value)
     }
 
     /// Counts `sample` into a [`Histogram`] that shares these edges.
+    ///
+    /// Allocates a fresh count vector and clones the edges on every call;
+    /// steady-state scoring loops should prefer [`BinEdges::histogram_into`]
+    /// with a reused [`HistScratch`].
     pub fn histogram(&self, sample: &[f64]) -> Histogram {
         let mut counts = vec![0u64; self.bins()];
-        for &v in sample {
-            counts[self.bin_of(v)] += 1;
-        }
+        self.count_into(sample, &mut counts);
         Histogram {
             edges: self.clone(),
             counts,
             total: sample.len() as u64,
         }
+    }
+
+    /// Counts `sample` into `scratch` without allocating in the steady
+    /// state: the scratch's count vector is cleared and refilled in place,
+    /// and no edges are cloned. Produces counts byte-identical to
+    /// [`BinEdges::histogram`] over the same sample.
+    pub fn histogram_into(&self, sample: &[f64], scratch: &mut HistScratch) {
+        scratch.counts.clear();
+        scratch.counts.resize(self.bins(), 0);
+        self.count_into(sample, &mut scratch.counts);
+        scratch.total = sample.len() as u64;
+    }
+
+    /// Counts the values previously staged via [`HistScratch::gather_mut`]
+    /// into the same scratch's count vector. This is the masked/banded
+    /// scoring path: gather the observed subset into the scratch buffer,
+    /// then histogram it, with zero allocation in the steady state.
+    pub fn histogram_gathered(&self, scratch: &mut HistScratch) {
+        let HistScratch {
+            counts,
+            total,
+            values,
+        } = scratch;
+        counts.clear();
+        counts.resize(self.bins(), 0);
+        self.count_into(values, counts);
+        *total = values.len() as u64;
+    }
+
+    /// Rebuilds a [`Histogram`] from persisted per-bin counts (the inverse
+    /// of [`Histogram::counts`], used when loading trained artifacts from
+    /// disk). The total is recomputed as the count sum, which is the only
+    /// total a histogram counted with these edges can have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::MismatchedBins`] if `counts` does not have one
+    /// entry per bin.
+    pub fn histogram_from_counts(&self, counts: Vec<u64>) -> Result<Histogram, TsError> {
+        if counts.len() != self.bins() {
+            return Err(TsError::MismatchedBins {
+                left: self.bins(),
+                right: counts.len(),
+            });
+        }
+        let total = counts.iter().sum();
+        Ok(Histogram {
+            edges: self.clone(),
+            counts,
+            total,
+        })
+    }
+
+    /// Maximum bin count served by the interleaved counting fast path
+    /// (the paper's histograms use 10 bins; the ablation sweeps stay
+    /// well under this too). Larger layouts take the sequential walk.
+    const INTERLEAVE_MAX_BINS: usize = 16;
+
+    fn count_into(&self, sample: &[f64], counts: &mut [u64]) {
+        let bins = self.bins();
+        let edges = self.edges.as_slice();
+        let lo = edges[0];
+        let hi = edges[bins];
+        let scale = bins as f64 / (hi - lo);
+        if bins <= Self::INTERLEAVE_MAX_BINS {
+            // Four independent accumulator arrays break the
+            // store-to-load dependency chain that serialises repeated
+            // increments of the same (often-hit) bin; u64 addition is
+            // associative and commutative, so the merged counts are
+            // identical to the sequential walk.
+            // The `& (INTERLEAVE_MAX_BINS - 1)` mask is an identity here
+            // (every index is `< bins <= INTERLEAVE_MAX_BINS`); it exists
+            // to make the in-boundedness visible to the compiler so the
+            // increments carry no bounds-check branches.
+            const MASK: usize = BinEdges::INTERLEAVE_MAX_BINS - 1;
+            let mut acc = [[0u64; Self::INTERLEAVE_MAX_BINS]; 4];
+            let mut quads = sample.chunks_exact(4);
+            for quad in &mut quads {
+                acc[0][guess_bin(edges, lo, hi, scale, bins, quad[0]) & MASK] += 1;
+                acc[1][guess_bin(edges, lo, hi, scale, bins, quad[1]) & MASK] += 1;
+                acc[2][guess_bin(edges, lo, hi, scale, bins, quad[2]) & MASK] += 1;
+                acc[3][guess_bin(edges, lo, hi, scale, bins, quad[3]) & MASK] += 1;
+            }
+            for &v in quads.remainder() {
+                acc[0][guess_bin(edges, lo, hi, scale, bins, v) & MASK] += 1;
+            }
+            for (i, slot) in counts.iter_mut().enumerate() {
+                *slot += acc[0][i] + acc[1][i] + acc[2][i] + acc[3][i];
+            }
+        } else {
+            for &v in sample {
+                counts[guess_bin(edges, lo, hi, scale, bins, v)] += 1;
+            }
+        }
+    }
+}
+
+/// The bin lookup behind [`BinEdges::bin_of`] and the counting loops,
+/// with everything derivable from the edges (`lo`, `hi`, `bins`, and the
+/// scale factor `bins / (hi - lo)`) hoisted into arguments so a counting
+/// loop computes them once per sample instead of once per value.
+///
+/// The guess `(value - lo) * scale` lands on the exact bin when edges are
+/// uniform (what [`BinEdges::from_sample`] builds, up to f64 rounding) and
+/// the fixup walk repairs any guess against the *real* edges, so the
+/// returned index always satisfies the invariant
+/// `edges[i] <= value < edges[i + 1]` — the same one the previous
+/// binary-search implementation enforced. This is a pure speedup, not an
+/// approximation: results are identical for every finite input on any
+/// strictly increasing edges (worst case the walk is O(bins), for heavily
+/// non-uniform `from_edges` layouts).
+#[inline(always)]
+fn guess_bin(edges: &[f64], lo: f64, hi: f64, scale: f64, bins: usize, value: f64) -> usize {
+    if !(value < hi) {
+        // Clamp `value >= hi` into the last bin; a NaN (which fails the
+        // comparison) also lands here instead of indexing out of bounds,
+        // though ingest validation rejects non-finite readings long before
+        // they reach a histogram.
+        return bins - 1;
+    }
+    // Clamp the low side arithmetically (`max` is a single branchless
+    // instruction) rather than with an early `value <= lo` return: real
+    // meter data is full of exact zeros scattered among ordinary readings,
+    // and a data-dependent branch on them mispredicts constantly.
+    let v = value.max(lo);
+    // Float-to-int via the 2^52 mantissa trick: adding 1.5 * 2^52 to a
+    // small non-negative double leaves round-to-nearest(x) in the low
+    // mantissa bits, skipping the saturation fixups `as usize` emits.
+    // The guess rounds instead of truncating, so it can sit one bin high
+    // or low — the fixup walk below repairs that; only the walk's
+    // invariant, not the guess, carries the exactness argument.
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    // lint:allow(lossy-cast-in-datapath, the low 32 mantissa bits hold the whole rounded guess by construction; any impossible truncation is repaired by the fixup walk)
+    let g = ((v - lo) * scale - 0.5 + MAGIC).to_bits() as u32 as usize;
+    let mut i = g.min(bins - 1);
+    while v < edges[i] {
+        i -= 1;
+    }
+    while v >= edges[i + 1] {
+        i += 1;
+    }
+    i
+}
+
+/// Reusable scoring scratch: a count vector plus a value-gather buffer.
+///
+/// The KLD hot path histograms one 336-slot week per score call; allocating
+/// a count vector (and, for masked/banded scoring, a gathered value vector)
+/// per call dominated the scoring profile. A `HistScratch` owns both buffers
+/// so a scoring loop pays for allocation once and reuses capacity forever.
+/// Contract: the buffers are overwritten by every
+/// [`BinEdges::histogram_into`] / [`BinEdges::histogram_gathered`] call, so
+/// read [`HistScratch::counts`] before the next fill.
+#[derive(Debug, Clone, Default)]
+pub struct HistScratch {
+    counts: Vec<u64>,
+    total: u64,
+    values: Vec<f64>,
+}
+
+impl HistScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-bin counts from the most recent fill.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations from the most recent fill.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Clears and returns the value-gather buffer (capacity retained) for
+    /// staging a masked or banded subset before
+    /// [`BinEdges::histogram_gathered`].
+    #[inline]
+    pub fn gather_mut(&mut self) -> &mut Vec<f64> {
+        self.values.clear();
+        &mut self.values
+    }
+
+    /// The values currently staged in the gather buffer.
+    #[inline]
+    pub fn gathered(&self) -> &[f64] {
+        &self.values
     }
 }
 
@@ -159,6 +345,12 @@ impl Histogram {
     }
 
     /// Relative frequencies `p(j)` (empty histogram yields all zeros).
+    ///
+    /// Note: this is the *slow path* — it allocates a fresh `Vec` on every
+    /// call. Kept for API compatibility and reporting; divergence
+    /// computations should use the count-based entry points
+    /// ([`crate::kl_divergence_smoothed_counts`] and friends), which read
+    /// [`Histogram::counts`] directly and allocate nothing.
     pub fn probabilities(&self) -> Vec<f64> {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
@@ -205,6 +397,53 @@ mod tests {
         // And an all-zero sample (a vacant property) still works.
         let zero = BinEdges::from_sample(&[0.0; 10], 3).unwrap();
         assert_eq!(zero.histogram(&[0.0; 10]).total(), 10);
+    }
+
+    /// The binary-search bin lookup the guess+fixup implementation
+    /// replaced: the rightmost edge `<= value`, with range clamping.
+    fn bin_of_reference(edges: &BinEdges, value: f64) -> usize {
+        let bins = edges.bins();
+        let e = edges.as_slice();
+        if value <= e[0] {
+            return 0;
+        }
+        if value >= e[bins] {
+            return bins - 1;
+        }
+        match e.binary_search_by(|x| x.total_cmp(&value)) {
+            Ok(i) => i.min(bins - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    #[test]
+    fn guessed_bin_lookup_matches_binary_search_on_uniform_edges() {
+        let edges = BinEdges::from_sample(&[0.0, 10.0], 7).unwrap();
+        let mut v = -2.0;
+        while v < 12.0 {
+            assert_eq!(edges.bin_of(v), bin_of_reference(&edges, v), "value {v}");
+            v += 0.01;
+        }
+        // Exact edge values are the rounding-sensitive spots.
+        for &e in edges.as_slice() {
+            assert_eq!(edges.bin_of(e), bin_of_reference(&edges, e), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn guessed_bin_lookup_matches_binary_search_on_skewed_edges() {
+        // Heavily non-uniform edges: the arithmetic guess is wrong almost
+        // everywhere and the fixup walk must repair it exactly.
+        let edges =
+            BinEdges::from_edges(vec![0.0, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0]).unwrap();
+        let mut v = -1.0;
+        while v < 110.0 {
+            assert_eq!(edges.bin_of(v), bin_of_reference(&edges, v), "value {v}");
+            v += 0.003;
+        }
+        for &e in edges.as_slice() {
+            assert_eq!(edges.bin_of(e), bin_of_reference(&edges, e), "edge {e}");
+        }
     }
 
     #[test]
@@ -265,6 +504,50 @@ mod tests {
             .unwrap()
             .histogram(&[1.0]);
         assert!(a.check_compatible(&other).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_histogram() {
+        let sample: Vec<f64> = (0..336).map(|i| (i % 37) as f64 * 0.3).collect();
+        let edges = BinEdges::from_sample(&sample, 10).unwrap();
+        let mut scratch = HistScratch::new();
+        // Reuse the same scratch across differently sized samples; each fill
+        // must match a fresh allocating histogram exactly.
+        for window in [336, 100, 7, 336, 0, 50] {
+            let slice = &sample[..window];
+            edges.histogram_into(slice, &mut scratch);
+            let hist = edges.histogram(slice);
+            assert_eq!(scratch.counts(), hist.counts());
+            assert_eq!(scratch.total(), hist.total());
+        }
+    }
+
+    #[test]
+    fn gathered_histogram_matches_filtered_allocating_path() {
+        let sample: Vec<f64> = (0..48).map(|i| i as f64 * 0.25).collect();
+        let edges = BinEdges::from_sample(&sample, 6).unwrap();
+        let mut scratch = HistScratch::new();
+        let gather = scratch.gather_mut();
+        gather.extend(sample.iter().copied().filter(|v| *v > 3.0));
+        edges.histogram_gathered(&mut scratch);
+        let filtered: Vec<f64> = sample.iter().copied().filter(|v| *v > 3.0).collect();
+        let hist = edges.histogram(&filtered);
+        assert_eq!(scratch.counts(), hist.counts());
+        assert_eq!(scratch.total(), hist.total());
+    }
+
+    #[test]
+    fn histogram_from_counts_round_trips() {
+        let edges = BinEdges::from_sample(&[0.0, 10.0], 5).unwrap();
+        let hist = edges.histogram(&[1.0, 3.0, 3.5, 9.0]);
+        let rebuilt = edges
+            .histogram_from_counts(hist.counts().to_vec())
+            .unwrap();
+        assert_eq!(rebuilt, hist);
+        assert_eq!(
+            edges.histogram_from_counts(vec![1, 2]),
+            Err(TsError::MismatchedBins { left: 5, right: 2 })
+        );
     }
 
     #[test]

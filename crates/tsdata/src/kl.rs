@@ -50,14 +50,41 @@ pub const BASELINE_FLOOR: f64 = 1e-9;
 /// ```
 pub fn kl_divergence(p: &Histogram, q: &Histogram) -> Result<f64, TsError> {
     p.check_compatible(q)?;
-    let p_probs = p.probabilities();
-    let q_probs = q.probabilities();
+    kl_divergence_counts(p.counts(), p.total(), q.counts(), q.total())
+}
+
+/// Exact discrete KL divergence computed directly from per-bin counts.
+///
+/// This is the allocation-free form of [`kl_divergence`]: relative
+/// frequencies are derived inline from `(counts, total)` pairs instead of
+/// materialising [`Histogram::probabilities`] vectors, and the result is
+/// bit-identical to the histogram form for the same counts. Callers are
+/// responsible for ensuring both count slices were produced with the same
+/// bin edges; only the bin counts can be checked here.
+///
+/// # Errors
+///
+/// Returns [`TsError::MismatchedBins`] if the slices differ in length.
+pub fn kl_divergence_counts(
+    p_counts: &[u64],
+    p_total: u64,
+    q_counts: &[u64],
+    q_total: u64,
+) -> Result<f64, TsError> {
+    if p_counts.len() != q_counts.len() {
+        return Err(TsError::MismatchedBins {
+            left: p_counts.len(),
+            right: q_counts.len(),
+        });
+    }
     let mut kl = 0.0;
-    for (pj, qj) in p_probs.iter().zip(&q_probs) {
-        if *pj == 0.0 {
+    for (&pc, &qc) in p_counts.iter().zip(q_counts) {
+        let pj = relative_frequency(pc, p_total);
+        if pj == 0.0 {
             continue;
         }
-        if *qj == 0.0 {
+        let qj = relative_frequency(qc, q_total);
+        if qj == 0.0 {
             return Ok(f64::INFINITY);
         }
         kl += pj * (pj / qj).log2();
@@ -76,17 +103,55 @@ pub fn kl_divergence(p: &Histogram, q: &Histogram) -> Result<f64, TsError> {
 /// different bin edges.
 pub fn kl_divergence_smoothed(p: &Histogram, q: &Histogram) -> Result<f64, TsError> {
     p.check_compatible(q)?;
-    let p_probs = p.probabilities();
-    let q_probs = q.probabilities();
+    kl_divergence_smoothed_counts(p.counts(), p.total(), q.counts(), q.total())
+}
+
+/// Smoothed KL divergence computed directly from per-bin counts.
+///
+/// The allocation-free form of [`kl_divergence_smoothed`] and the workhorse
+/// of the detector score path: the week's counts live in a reused
+/// [`crate::HistScratch`] and the baseline's counts are read in place, so a
+/// score call performs no heap allocation at all. Bit-identical to the
+/// histogram form for the same counts — the per-bin arithmetic (division
+/// order, floor, accumulation order) is exactly the same.
+///
+/// # Errors
+///
+/// Returns [`TsError::MismatchedBins`] if the slices differ in length.
+pub fn kl_divergence_smoothed_counts(
+    p_counts: &[u64],
+    p_total: u64,
+    q_counts: &[u64],
+    q_total: u64,
+) -> Result<f64, TsError> {
+    if p_counts.len() != q_counts.len() {
+        return Err(TsError::MismatchedBins {
+            left: p_counts.len(),
+            right: q_counts.len(),
+        });
+    }
     let mut kl = 0.0;
-    for (pj, qj) in p_probs.iter().zip(&q_probs) {
-        if *pj == 0.0 {
+    for (&pc, &qc) in p_counts.iter().zip(q_counts) {
+        let pj = relative_frequency(pc, p_total);
+        if pj == 0.0 {
             continue;
         }
-        let q_eff = qj.max(BASELINE_FLOOR);
+        let q_eff = relative_frequency(qc, q_total).max(BASELINE_FLOOR);
         kl += pj * (pj / q_eff).log2();
     }
     Ok(kl.max(0.0))
+}
+
+/// The probability a [`Histogram`] would report for this bin: zero for an
+/// empty histogram, `count / total` otherwise (same expression, so the
+/// count-based divergences stay bit-identical to the histogram-based ones).
+#[inline]
+fn relative_frequency(count: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        count as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +234,45 @@ mod tests {
         assert!(matches!(
             kl_divergence_smoothed(&a, &b),
             Err(TsError::MismatchedBins { .. })
+        ));
+    }
+
+    #[test]
+    fn count_based_forms_are_bit_identical_to_histogram_forms() {
+        let e = edges();
+        let samples: Vec<Vec<f64>> = vec![
+            vec![0.5, 1.5, 2.5],
+            vec![0.5, 0.5, 3.5, 3.5],
+            vec![1.5; 7],
+            vec![],
+            vec![0.1, 0.9, 1.1, 1.9, 2.1, 2.9, 3.1, 3.9],
+        ];
+        for p_sample in &samples {
+            for q_sample in &samples {
+                let p = e.histogram(p_sample);
+                let q = e.histogram(q_sample);
+                let exact = kl_divergence(&p, &q).unwrap();
+                let exact_counts =
+                    kl_divergence_counts(p.counts(), p.total(), q.counts(), q.total()).unwrap();
+                assert_eq!(exact.to_bits(), exact_counts.to_bits());
+                let smoothed = kl_divergence_smoothed(&p, &q).unwrap();
+                let smoothed_counts =
+                    kl_divergence_smoothed_counts(p.counts(), p.total(), q.counts(), q.total())
+                        .unwrap();
+                assert_eq!(smoothed.to_bits(), smoothed_counts.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn count_forms_reject_mismatched_lengths() {
+        assert!(matches!(
+            kl_divergence_counts(&[1, 2], 3, &[1], 1),
+            Err(TsError::MismatchedBins { left: 2, right: 1 })
+        ));
+        assert!(matches!(
+            kl_divergence_smoothed_counts(&[1], 1, &[1, 2], 3),
+            Err(TsError::MismatchedBins { left: 1, right: 2 })
         ));
     }
 

@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod bands;
 pub mod csv;
 pub mod error;
 pub mod hist;
@@ -51,10 +52,13 @@ pub mod truncnorm;
 pub mod units;
 pub mod week;
 
+pub use bands::BandMap;
 pub use csv::GapPolicy;
 pub use error::TsError;
-pub use hist::{BinEdges, Histogram};
-pub use kl::{kl_divergence, kl_divergence_smoothed};
+pub use hist::{BinEdges, HistScratch, Histogram};
+pub use kl::{
+    kl_divergence, kl_divergence_counts, kl_divergence_smoothed, kl_divergence_smoothed_counts,
+};
 pub use observed::{
     ObservedSeries, QualityReport, RepairError, RepairOutcome, RepairPolicy, STUCK_RUN_MIN_SLOTS,
 };

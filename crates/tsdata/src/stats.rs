@@ -189,13 +189,15 @@ impl Quantile {
 
     /// Quantile `q` of an unsorted slice (sorts a copy).
     ///
+    /// NaNs sort to the end under the total order, so they can only
+    /// influence the result at the top quantiles rather than panicking.
+    ///
     /// # Panics
     ///
-    /// Panics if `values` is empty, contains NaN, or `q` is outside
-    /// `[0, 1]`.
+    /// Panics if `values` is empty or `q` is outside `[0, 1]`.
     pub fn of(values: &[f64], q: f64) -> f64 {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        sorted.sort_by(f64::total_cmp);
         Self::of_sorted(&sorted, q)
     }
 }

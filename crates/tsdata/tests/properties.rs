@@ -2,8 +2,11 @@
 
 use proptest::prelude::*;
 
-use fdeta_tsdata::hist::BinEdges;
-use fdeta_tsdata::kl::{kl_divergence, kl_divergence_smoothed};
+use fdeta_tsdata::bands::BandMap;
+use fdeta_tsdata::hist::{BinEdges, HistScratch};
+use fdeta_tsdata::kl::{
+    kl_divergence, kl_divergence_counts, kl_divergence_smoothed, kl_divergence_smoothed_counts,
+};
 use fdeta_tsdata::stats::{percentile_rank, Quantile, RunningStats, Summary};
 use fdeta_tsdata::truncnorm::{norm_cdf, norm_quantile, TruncatedNormal};
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
@@ -38,6 +41,139 @@ proptest! {
         let edges = BinEdges::from_sample(&sample, bins).expect("nonempty sample");
         let hist = edges.histogram(&outliers);
         prop_assert_eq!(hist.total() as usize, outliers.len());
+    }
+
+    /// `histogram_into` with a reused scratch produces byte-identical counts
+    /// to the allocating `histogram`, across arbitrary samples and repeated
+    /// reuse of the same scratch buffers.
+    #[test]
+    fn scratch_histogram_is_byte_identical_to_allocating(
+        samples in proptest::collection::vec(sample_vec(200), 1..6),
+        bins in 1usize..20,
+    ) {
+        let edges = BinEdges::from_sample(&samples[0], bins).expect("nonempty sample");
+        let mut scratch = HistScratch::new();
+        for sample in &samples {
+            edges.histogram_into(sample, &mut scratch);
+            let hist = edges.histogram(sample);
+            prop_assert_eq!(scratch.counts(), hist.counts());
+            prop_assert_eq!(scratch.total(), hist.total());
+        }
+    }
+
+    /// Masked gather + `histogram_gathered` matches filtering into a fresh
+    /// Vec and histogramming it, for arbitrary masks, with scratch reuse.
+    #[test]
+    fn masked_scratch_matches_allocating_filter(
+        sample in sample_vec(200),
+        mask_seed in proptest::collection::vec(any::<bool>(), 200),
+        bins in 1usize..16,
+    ) {
+        let edges = BinEdges::from_sample(&sample, bins).expect("nonempty sample");
+        let mask = &mask_seed[..sample.len()];
+        let mut scratch = HistScratch::new();
+        // Fill once with unrelated data to prove stale state cannot leak.
+        edges.histogram_into(&sample, &mut scratch);
+        let gather = scratch.gather_mut();
+        gather.extend(
+            sample
+                .iter()
+                .zip(mask)
+                .filter_map(|(&v, &keep)| keep.then_some(v)),
+        );
+        edges.histogram_gathered(&mut scratch);
+        let filtered: Vec<f64> = sample
+            .iter()
+            .zip(mask)
+            .filter_map(|(&v, &keep)| keep.then_some(v))
+            .collect();
+        let hist = edges.histogram(&filtered);
+        prop_assert_eq!(scratch.counts(), hist.counts());
+        prop_assert_eq!(scratch.total(), hist.total());
+    }
+
+    /// The guess+fixup bin lookup agrees with a binary-search reference on
+    /// arbitrary strictly increasing edges — including heavily non-uniform
+    /// ones, where the arithmetic guess is almost always wrong and the
+    /// fixup walk must do all the work.
+    #[test]
+    fn guessed_bin_lookup_matches_binary_search(
+        widths in proptest::collection::vec(0.001f64..100.0, 2..16),
+        probes in proptest::collection::vec(-50.0f64..500.0, 1..80),
+    ) {
+        let mut acc = -10.0;
+        let mut edge_list = vec![acc];
+        for w in &widths {
+            acc += w;
+            edge_list.push(acc);
+        }
+        let edges = BinEdges::from_edges(edge_list.clone()).expect("strictly increasing");
+        let bins = edges.bins();
+        let reference = |value: f64| -> usize {
+            if value <= edge_list[0] {
+                return 0;
+            }
+            if value >= edge_list[bins] {
+                return bins - 1;
+            }
+            match edge_list.binary_search_by(|e| e.total_cmp(&value)) {
+                Ok(i) => i.min(bins - 1),
+                Err(i) => i - 1,
+            }
+        };
+        for &v in probes.iter().chain(&edge_list) {
+            prop_assert_eq!(edges.bin_of(v), reference(v), "value {}", v);
+        }
+    }
+
+    /// Count-based KL forms are bit-identical to the histogram forms.
+    #[test]
+    fn count_kl_bit_identical_to_histogram_kl(
+        p_sample in sample_vec(150),
+        q_sample in sample_vec(150),
+        bins in 1usize..12,
+    ) {
+        let edges = BinEdges::from_sample(&q_sample, bins).expect("nonempty");
+        let p = edges.histogram(&p_sample);
+        let q = edges.histogram(&q_sample);
+        let exact = kl_divergence(&p, &q).expect("same edges");
+        let exact_counts = kl_divergence_counts(p.counts(), p.total(), q.counts(), q.total())
+            .expect("same bins");
+        prop_assert_eq!(exact.to_bits(), exact_counts.to_bits());
+        let smoothed = kl_divergence_smoothed(&p, &q).expect("same edges");
+        let smoothed_counts =
+            kl_divergence_smoothed_counts(p.counts(), p.total(), q.counts(), q.total())
+                .expect("same bins");
+        prop_assert_eq!(smoothed.to_bits(), smoothed_counts.to_bits());
+    }
+
+    /// BandMap gathers exactly what a naive index walk collects, dense and
+    /// masked alike.
+    #[test]
+    fn band_map_gather_matches_naive(
+        values in proptest::collection::vec(0.0f64..50.0, 12..48),
+        mask_seed in proptest::collection::vec(any::<bool>(), 48),
+        split in 1usize..11,
+    ) {
+        let n = values.len();
+        // Two disjoint bands: slots ≡ 0 (mod split+1) and the rest.
+        let a: Vec<usize> = (0..n).filter(|s| s % (split + 1) == 0).collect();
+        let b: Vec<usize> = (0..n).filter(|s| s % (split + 1) != 0).collect();
+        if a.is_empty() || b.is_empty() {
+            return Ok(());
+        }
+        let map = BandMap::from_bands(&[a.clone(), b.clone()], n).expect("disjoint");
+        let mask = &mask_seed[..n];
+        let mut out = Vec::new();
+        for (band, slots) in [(0usize, &a), (1usize, &b)] {
+            map.gather_into(band, &values, &mut out);
+            let naive: Vec<f64> = slots.iter().map(|&s| values[s]).collect();
+            prop_assert_eq!(&out, &naive);
+            map.gather_masked_into(band, &values, mask, &mut out);
+            let naive_masked: Vec<f64> =
+                slots.iter().filter(|&&s| mask[s]).map(|&s| values[s]).collect();
+            prop_assert_eq!(&out, &naive_masked);
+        }
     }
 
     // ---------------- KL divergence ----------------

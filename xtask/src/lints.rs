@@ -22,6 +22,14 @@
 //! * [`Rule::LossyCastInDatapath`] — truncating `as` casts to narrow
 //!   numeric types in the reading datapath (`tsdata`, `detect`) can drop
 //!   precision on meter readings and scores.
+//! * [`Rule::VecAllocInScorePath`] — heap allocation (`Vec::new`,
+//!   `Vec::with_capacity`, `vec!`, `.collect()`) inside a detector scoring
+//!   function. The scoring hot path is allocation-free by design (reused
+//!   [`HistScratch`] buffers); a fleet loop scores hundreds of thousands of
+//!   weeks, so one stray allocation per score undoes the whole perf
+//!   architecture. Escape hatch: `// lint:allow(vec-alloc-in-score-path,
+//!   <reason>)` for cold, deliberate allocations (e.g. building the result
+//!   vector of a non-hot convenience wrapper).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,6 +47,8 @@ pub enum Rule {
     NondeterministicIteration,
     /// Truncating numeric cast in the reading datapath.
     LossyCastInDatapath,
+    /// Heap allocation inside a detector scoring hot path.
+    VecAllocInScorePath,
     /// A `lint:allow` annotation without a reason.
     LintAllowMissingReason,
     /// A `lint:allow` annotation naming no known rule.
@@ -53,6 +63,7 @@ impl Rule {
             Rule::NanUnsafeSort => "nan-unsafe-sort",
             Rule::NondeterministicIteration => "nondeterministic-iteration",
             Rule::LossyCastInDatapath => "lossy-cast-in-datapath",
+            Rule::VecAllocInScorePath => "vec-alloc-in-score-path",
             Rule::LintAllowMissingReason => "lint-allow-missing-reason",
             Rule::LintAllowUnknownRule => "lint-allow-unknown-rule",
         }
@@ -65,6 +76,7 @@ impl Rule {
             "nan-unsafe-sort" => Some(Rule::NanUnsafeSort),
             "nondeterministic-iteration" => Some(Rule::NondeterministicIteration),
             "lossy-cast-in-datapath" => Some(Rule::LossyCastInDatapath),
+            "vec-alloc-in-score-path" => Some(Rule::VecAllocInScorePath),
             "lint-allow-missing-reason" => Some(Rule::LintAllowMissingReason),
             "lint-allow-unknown-rule" => Some(Rule::LintAllowUnknownRule),
             _ => None,
@@ -84,6 +96,10 @@ impl Rule {
             }
             Rule::LossyCastInDatapath => {
                 "widen the type, or annotate with `// lint:allow(lossy-cast-in-datapath, <reason>)`"
+            }
+            Rule::VecAllocInScorePath => {
+                "reuse a HistScratch / out-buffer instead, or annotate a cold allocation with \
+                 `// lint:allow(vec-alloc-in-score-path, <reason>)`"
             }
             Rule::LintAllowMissingReason => {
                 "write `// lint:allow(<rule>, <reason>)` — the reason is mandatory"
@@ -134,6 +150,8 @@ pub struct LintConfig {
     pub ordered_output_files: Vec<String>,
     /// Path prefixes forming the reading datapath (lossy-cast scope).
     pub datapath_prefixes: Vec<String>,
+    /// Path prefixes holding detector scoring hot paths (vec-alloc scope).
+    pub score_path_prefixes: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -159,6 +177,7 @@ impl Default for LintConfig {
                 "crates/tsdata/src".to_owned(),
                 "crates/detect/src".to_owned(),
             ],
+            score_path_prefixes: vec!["crates/detect/src".to_owned()],
         }
     }
 }
@@ -177,6 +196,13 @@ impl LintConfig {
     /// Whether `path` is in the reading datapath.
     pub fn is_datapath(&self, path: &str) -> bool {
         self.datapath_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` may contain detector scoring hot paths.
+    pub fn is_score_path(&self, path: &str) -> bool {
+        self.score_path_prefixes
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }
@@ -322,6 +348,12 @@ const NARROW_CASTS: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
 /// Panicking macro names flagged by `no-panic-in-lib`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Whether a function name marks a detector scoring hot path: the
+/// `score*`/`try_score*` family and the banded `*band_scores*` family.
+fn is_scoring_fn(name: &str) -> bool {
+    name.starts_with("score") || name.starts_with("try_score") || name.contains("band_scores")
+}
+
 /// Finds the index of the token closing the paren opened at `open`
 /// (which must be `(`), or `None` if unbalanced.
 fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
@@ -384,6 +416,7 @@ pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> 
     let is_lib = config.is_lib_path(path);
     let ordered = config.is_ordered_output(path);
     let datapath = config.is_datapath(path);
+    let score_path = config.is_score_path(path);
 
     // Token positions consumed by a nan-unsafe-sort finding: the chained
     // unwrap/expect there must not be double-reported by no-panic-in-lib.
@@ -502,6 +535,104 @@ pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> 
                     });
                 }
             }
+        }
+    }
+
+    if score_path {
+        // vec-alloc-in-score-path: heap allocation inside a function whose
+        // name marks it as a scoring hot path.
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if in_test[i] || !tokens[i].is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+                i += 1;
+                continue;
+            };
+            if !is_scoring_fn(name) {
+                i += 1;
+                continue;
+            }
+            let name = name.to_owned();
+            // Find the body's opening `{` (a trait signature ends at `;`).
+            let mut j = i + 2;
+            let mut paren = 0usize;
+            let mut body_start = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    paren += 1;
+                } else if tokens[j].is_punct(')') {
+                    paren = paren.saturating_sub(1);
+                } else if paren == 0 && tokens[j].is_punct('{') {
+                    body_start = Some(j);
+                    break;
+                } else if paren == 0 && tokens[j].is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(start) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            // Brace-match to the body's closing `}`.
+            let mut depth = 0usize;
+            let mut end = tokens.len();
+            let mut m = start;
+            while m < tokens.len() {
+                if tokens[m].is_punct('{') {
+                    depth += 1;
+                } else if tokens[m].is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = m + 1;
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            for k in start..end {
+                if in_test[k] {
+                    continue;
+                }
+                let Some(id) = tokens[k].ident() else { continue };
+                let alloc = if id == "Vec"
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens
+                        .get(k + 3)
+                        .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
+                {
+                    Some(format!(
+                        "`Vec::{}`",
+                        tokens[k + 3].ident().unwrap_or_default()
+                    ))
+                } else if id == "vec" && tokens.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+                    Some("`vec!`".to_owned())
+                } else if id == "collect"
+                    && k > 0
+                    && tokens[k - 1].is_punct('.')
+                    && tokens
+                        .get(k + 1)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+                {
+                    Some("`.collect()`".to_owned())
+                } else {
+                    None
+                };
+                if let Some(what) = alloc {
+                    findings.push(Finding {
+                        rule: Rule::VecAllocInScorePath,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!("{what} allocates inside scoring hot path `fn {name}`"),
+                    });
+                }
+            }
+            i = end;
         }
     }
 
@@ -653,5 +784,51 @@ mod tests {
         let findings = lint_lib("fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}");
         assert_eq!(findings[0].snippet, "x.unwrap()");
         assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn vec_alloc_in_score_fn_is_flagged() {
+        let src = "fn score(&self) -> Vec<f64> {\n    let out = Vec::with_capacity(4);\n    out\n}";
+        let findings = lint_lib(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::VecAllocInScorePath);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn vec_macro_and_collect_in_band_scores_are_flagged() {
+        let src = "fn try_band_scores(&self) {\n    let v = vec![0.0];\n    let w: Vec<f64> = v.iter().copied().collect();\n    drop(w);\n}";
+        let findings: Vec<_> = lint_lib(src)
+            .into_iter()
+            .filter(|f| f.rule == Rule::VecAllocInScorePath)
+            .collect();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn vec_alloc_outside_scoring_fn_is_clean() {
+        let src = "fn train() -> Vec<f64> { Vec::with_capacity(4) }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn vec_alloc_outside_score_path_prefix_is_clean() {
+        let src = "fn score() -> Vec<f64> { Vec::new() }";
+        let findings = lint_file("crates/arima/src/fit.rs", src, &LintConfig::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn vec_alloc_allow_with_reason_suppresses() {
+        let src = "fn score(&self) {\n    // lint:allow(vec-alloc-in-score-path, cold wrapper result)\n    let _v: Vec<f64> = Vec::new();\n}";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn scoring_fn_signature_without_body_is_skipped() {
+        let src = "trait T {\n    fn score(&self) -> f64;\n}\nfn helper() -> Vec<f64> { Vec::new() }";
+        assert!(lint_lib(src).is_empty());
     }
 }

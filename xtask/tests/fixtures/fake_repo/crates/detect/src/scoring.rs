@@ -1,0 +1,20 @@
+//! Scoring-path fixture: hot-path allocations at known lines.
+
+pub fn score_week(values: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len());
+    out.extend(values.iter().map(|v| v * 2.0));
+    out
+}
+
+pub fn try_band_scores(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| v + 1.0).collect()
+}
+
+pub fn score_masked(len: usize) -> Vec<f64> {
+    // lint:allow(vec-alloc-in-score-path, fixture: deliberate cold allocation)
+    vec![0.0; len]
+}
+
+pub fn train_scratch() -> Vec<f64> {
+    Vec::new()
+}

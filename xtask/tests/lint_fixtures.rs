@@ -43,6 +43,16 @@ fn fixtures_report_exact_rule_file_line() {
         (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 12), // panic!
         (Rule::NoPanicInLib, "crates/detect/src/panics.rs", 16), // unreachable!
         (
+            Rule::VecAllocInScorePath,
+            "crates/detect/src/scoring.rs",
+            4, // Vec::with_capacity in score_week
+        ),
+        (
+            Rule::VecAllocInScorePath,
+            "crates/detect/src/scoring.rs",
+            10, // .collect() in try_band_scores
+        ),
+        (
             Rule::NondeterministicIteration,
             "crates/fdeta/src/pipeline.rs",
             3, // use ... HashMap
@@ -143,7 +153,7 @@ fn cli_exit_codes_and_json() {
     assert!(json.contains("\"rule\":\"nan-unsafe-sort\""));
     assert!(json.contains("\"path\":\"crates/attacks/src/nan_sort.rs\""));
     assert!(json.contains("\"line\":4"));
-    assert!(json.contains("\"summary\":{\"total\":12,\"new\":12,\"baselined\":0,\"stale\":0}"));
+    assert!(json.contains("\"summary\":{\"total\":14,\"new\":14,\"baselined\":0,\"stale\":0}"));
 
     // Update the baseline, then lint against it: exit 0.
     let baseline_path =
