@@ -22,15 +22,50 @@ pub fn autocovariance(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaE
             return Err(ArimaError::NonFiniteValue { index: i });
         }
     }
-    let n = series.len() as f64;
+    let len = series.len();
+    let n = len as f64;
     let mean = series.iter().sum::<f64>() / n;
     let mut out = Vec::with_capacity(max_lag + 1);
-    for lag in 0..=max_lag {
+    // Lags are computed four at a time: the four accumulators are
+    // independent serial add chains, so one shared pass overlaps the
+    // FP-add latency a lag-at-a-time sweep serialises on. Each accumulator
+    // still sums its own lag's products in ascending-`t` order — exactly
+    // the order of the one-lag loop below — so every γ(k) is bit-identical
+    // to a per-lag sweep; the ragged head (`t < lag + 3`, where the later
+    // lags are not yet in range) is peeled off first, also in ascending
+    // `t`. `len > max_lag` guarantees the head indices stay in bounds.
+    let mut lag = 0;
+    while lag + 4 <= max_lag + 1 {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for t in lag..lag + 3 {
+            s0 += (series[t] - mean) * (series[t - lag] - mean);
+        }
+        for t in lag + 1..lag + 3 {
+            s1 += (series[t] - mean) * (series[t - lag - 1] - mean);
+        }
+        for t in lag + 2..lag + 3 {
+            s2 += (series[t] - mean) * (series[t - lag - 2] - mean);
+        }
+        for t in lag + 3..len {
+            let x = series[t] - mean;
+            s0 += x * (series[t - lag] - mean);
+            s1 += x * (series[t - lag - 1] - mean);
+            s2 += x * (series[t - lag - 2] - mean);
+            s3 += x * (series[t - lag - 3] - mean);
+        }
+        out.push(s0 / n);
+        out.push(s1 / n);
+        out.push(s2 / n);
+        out.push(s3 / n);
+        lag += 4;
+    }
+    while lag <= max_lag {
         let mut sum = 0.0;
-        for t in lag..series.len() {
+        for t in lag..len {
             sum += (series[t] - mean) * (series[t - lag] - mean);
         }
         out.push(sum / n);
+        lag += 1;
     }
     Ok(out)
 }
@@ -151,6 +186,36 @@ mod tests {
             autocovariance(&[1.0, f64::NAN, 2.0], 1),
             Err(ArimaError::NonFiniteValue { index: 1 })
         ));
+    }
+
+    #[test]
+    fn interleaved_lag_groups_match_a_per_lag_sweep_bit_for_bit() {
+        // The grouped four-lags-at-a-time pass must reproduce the
+        // straightforward one-lag-per-sweep loop exactly, for every group
+        // remainder (0..=3 trailing lags) and for series barely longer
+        // than the largest lag.
+        let series = simulate_ar1(0.6, 300, 21);
+        for max_lag in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 19, 20, 21] {
+            let got = autocovariance(&series, max_lag).unwrap();
+            let n = series.len() as f64;
+            let mean = series.iter().sum::<f64>() / n;
+            assert_eq!(got.len(), max_lag + 1);
+            for (lag, &g) in got.iter().enumerate() {
+                let mut sum = 0.0;
+                for t in lag..series.len() {
+                    sum += (series[t] - mean) * (series[t - lag] - mean);
+                }
+                assert_eq!(
+                    g.to_bits(),
+                    (sum / n).to_bits(),
+                    "lag {lag} of max_lag {max_lag}"
+                );
+            }
+        }
+        let short = &series[..6];
+        let got = autocovariance(short, 5).unwrap();
+        assert_eq!(got.len(), 6);
+        assert!(got.iter().all(|g| g.is_finite()));
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub enum ArimaError {
     /// The normal equations were singular (e.g. a constant series with no
     /// variance cannot identify AR coefficients).
     SingularSystem,
+    /// An order-selection candidate failed to fit. Wraps the underlying
+    /// estimation error together with the `(p, q)` combination that
+    /// produced it, so a failed grid search reports *which* candidate
+    /// broke instead of silently overwriting earlier errors.
+    CandidateFailed {
+        /// AR order of the failing candidate.
+        p: usize,
+        /// MA order of the failing candidate.
+        q: usize,
+        /// The estimation error the candidate fit produced.
+        source: Box<ArimaError>,
+    },
 }
 
 impl fmt::Display for ArimaError {
@@ -53,11 +65,21 @@ impl fmt::Display for ArimaError {
             ArimaError::SingularSystem => {
                 write!(f, "normal equations are singular; series may be constant")
             }
+            ArimaError::CandidateFailed { p, q, source } => {
+                write!(f, "order candidate (p={p}, q={q}) failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for ArimaError {}
+impl std::error::Error for ArimaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArimaError::CandidateFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -78,6 +100,28 @@ mod tests {
             .to_string()
             .contains("index 3"));
         assert!(!ArimaError::SingularSystem.to_string().is_empty());
+        let wrapped = ArimaError::CandidateFailed {
+            p: 2,
+            q: 1,
+            source: Box::new(ArimaError::SingularSystem),
+        };
+        assert!(wrapped.to_string().contains("(p=2, q=1)"));
+        assert!(wrapped.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn candidate_failed_exposes_source() {
+        use std::error::Error;
+        let wrapped = ArimaError::CandidateFailed {
+            p: 0,
+            q: 3,
+            source: Box::new(ArimaError::SeriesTooShort {
+                required: 20,
+                available: 5,
+            }),
+        };
+        assert!(wrapped.source().is_some());
+        assert!(ArimaError::SingularSystem.source().is_none());
     }
 
     #[test]

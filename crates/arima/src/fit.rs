@@ -2,7 +2,7 @@
 
 use crate::acf::{autocovariance, levinson_durbin};
 use crate::error::ArimaError;
-use crate::linalg::least_squares;
+use crate::linalg::LsScratch;
 
 /// Estimated ARMA parameters on a (possibly differenced) series.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,80 @@ pub struct FittedParams {
     pub sigma2: f64,
     /// In-sample one-step residuals aligned to the tail of the series.
     pub residuals: Vec<f64>,
+}
+
+/// Reusable working memory for the fitting hot path.
+///
+/// One ARIMA fit over the paper's 20k-observation training windows used to
+/// allocate ~1.4 MB of transient vectors — the centered series, the
+/// stage-1 innovations, a materialised `rows × cols` design matrix, and
+/// the residual recursion state — and a `(p, q)` grid search or a
+/// fleet-training loop rebuilt all of them for every single fit. A
+/// `FitScratch` owns those buffers; threading one scratch through
+/// [`fit_ar_with`] / [`hannan_rissanen_with`] (and, at the crate level,
+/// order selection and [`crate::ArimaModel::fit_with`]) amortises the
+/// allocations away while keeping every floating-point operation, in the
+/// same order, as the allocating entry points — results are bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct FitScratch {
+    /// Normal-equations accumulators and solution buffer.
+    ls: LsScratch,
+    /// One streamed design row `[1, w lags…, e lags…]`.
+    row: Vec<f64>,
+    /// Stage-1 mean-centered series.
+    centered: Vec<f64>,
+    /// Stage-1 long-AR innovations (zero-padded warmup).
+    innovations: Vec<f64>,
+    /// Working innovations for the final / conditional residual recursion.
+    errs: Vec<f64>,
+}
+
+impl FitScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Caller-held token recording which stage-1 long-AR order the scratch's
+/// `centered` / `innovations` buffers currently hold — **valid only while
+/// the caller keeps fitting the same series**. The stage-1 long
+/// autoregression depends on nothing but the series and the long order,
+/// and the long order in turn depends only on `n` and `max(p + q, …)`, so
+/// every `(p, q)` candidate of a grid search over one differenced series
+/// shares a single stage-1 computation. A fresh `Stage1Cache::default()`
+/// forces recomputation; passing a warm cache with a *different* series
+/// would silently reuse the wrong innovations, which is why this stays
+/// crate-private.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Stage1Cache {
+    ready_for: Option<usize>,
+}
+
+/// The coefficient output of one ARMA fit, without the residual series:
+/// exactly what order selection (AIC reads `sigma2`) and model finishing
+/// (the guards read the coefficients) consume. [`FittedParams`] is this
+/// plus the materialised residuals, which the grid path never needs — on
+/// a 20k-observation window the residual vector alone is ~160 KB per
+/// candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ArmaCandidate {
+    pub(crate) intercept: f64,
+    pub(crate) phi: Vec<f64>,
+    pub(crate) theta: Vec<f64>,
+    pub(crate) sigma2: f64,
+}
+
+impl ArmaCandidate {
+    fn into_params(self, residuals: Vec<f64>) -> FittedParams {
+        FittedParams {
+            intercept: self.intercept,
+            phi: self.phi,
+            theta: self.theta,
+            sigma2: self.sigma2,
+            residuals,
+        }
+    }
 }
 
 fn check_finite(series: &[f64]) -> Result<(), ArimaError> {
@@ -48,11 +122,36 @@ fn check_nondegenerate(series: &[f64]) -> Result<(), ArimaError> {
 /// coefficient guards have modified the fitted parameters — the variance
 /// must describe the recursion actually used for forecasting.
 pub fn conditional_sigma2(series: &[f64], intercept: f64, phi: &[f64], theta: &[f64]) -> f64 {
+    // lint:allow(vec-alloc-in-fit-path, compatibility wrapper; hot callers reuse a FitScratch via conditional_sigma2_with)
+    let mut errs = Vec::new();
+    conditional_sigma2_into(&mut errs, series, intercept, phi, theta)
+}
+
+/// [`conditional_sigma2`] over a caller-owned scratch, reusing its
+/// innovations buffer. Bit-identical to the allocating entry point.
+pub fn conditional_sigma2_with(
+    scratch: &mut FitScratch,
+    series: &[f64],
+    intercept: f64,
+    phi: &[f64],
+    theta: &[f64],
+) -> f64 {
+    conditional_sigma2_into(&mut scratch.errs, series, intercept, phi, theta)
+}
+
+fn conditional_sigma2_into(
+    errs: &mut Vec<f64>,
+    series: &[f64],
+    intercept: f64,
+    phi: &[f64],
+    theta: &[f64],
+) -> f64 {
     let start = phi.len().max(theta.len());
     if series.len() <= start {
         return 0.0;
     }
-    let mut errs = vec![0.0; series.len()];
+    errs.clear();
+    errs.resize(series.len(), 0.0);
     let mut sum_sq = 0.0;
     for t in start..series.len() {
         let mut pred = intercept;
@@ -78,6 +177,34 @@ pub fn conditional_sigma2(series: &[f64], intercept: f64, phi: &[f64], theta: &[
 /// observations remain after lagging, [`ArimaError::NonFiniteValue`] on
 /// NaN/inf, and [`ArimaError::SingularSystem`] for degenerate designs.
 pub fn fit_ar(series: &[f64], p: usize) -> Result<FittedParams, ArimaError> {
+    fit_ar_with(&mut FitScratch::new(), series, p)
+}
+
+/// [`fit_ar`] over caller-owned scratch buffers. The design matrix is
+/// streamed through the scratch's normal-equations accumulators instead of
+/// being materialised, in the same row order and with the same per-row
+/// arithmetic, so the result is bit-identical to [`fit_ar`].
+///
+/// # Errors
+///
+/// As [`fit_ar`].
+pub fn fit_ar_with(
+    scratch: &mut FitScratch,
+    series: &[f64],
+    p: usize,
+) -> Result<FittedParams, ArimaError> {
+    // lint:allow(vec-alloc-in-fit-path, FittedParams owns its residuals by contract; the grid path uses fit_candidate)
+    let mut residuals = Vec::new();
+    let cand = fit_ar_core(scratch, series, p, Some(&mut residuals))?;
+    Ok(cand.into_params(residuals))
+}
+
+fn fit_ar_core(
+    scratch: &mut FitScratch,
+    series: &[f64],
+    p: usize,
+    mut residuals_out: Option<&mut Vec<f64>>,
+) -> Result<ArmaCandidate, ArimaError> {
     check_finite(series)?;
     let n = series.len();
     if n < p + 2 {
@@ -89,48 +216,62 @@ pub fn fit_ar(series: &[f64], p: usize) -> Result<FittedParams, ArimaError> {
     if p > 0 {
         check_nondegenerate(series)?;
     }
+    if let Some(out) = residuals_out.as_deref_mut() {
+        out.clear();
+    }
     if p == 0 {
         let mean = series.iter().sum::<f64>() / n as f64;
-        let residuals: Vec<f64> = series.iter().map(|v| v - mean).collect();
-        let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / n as f64;
-        return Ok(FittedParams {
+        let mut sum_sq = 0.0;
+        for &v in series {
+            let r = v - mean;
+            sum_sq += r * r;
+            if let Some(out) = residuals_out.as_deref_mut() {
+                out.push(r);
+            }
+        }
+        return Ok(ArmaCandidate {
             intercept: mean,
-            phi: vec![],
-            theta: vec![],
-            sigma2,
-            residuals,
+            phi: Vec::new(), // lint:allow(vec-alloc-in-fit-path, empty coefficient vectors: zero capacity never touches the heap)
+            theta: Vec::new(),
+            sigma2: sum_sq / n as f64,
         });
     }
-    // Design: row t has [1, w_{t-1}, ..., w_{t-p}] predicting w_t.
+    // Design: row t has [1, w_{t-1}, ..., w_{t-p}] predicting w_t — streamed
+    // straight into the normal equations, never materialised.
     let rows = n - p;
     let cols = p + 1;
-    let mut design = Vec::with_capacity(rows * cols);
-    let mut target = Vec::with_capacity(rows);
+    scratch.ls.begin(rows, cols)?;
+    scratch.row.clear();
+    scratch.row.resize(cols, 0.0);
     for t in p..n {
-        design.push(1.0);
+        scratch.row[0] = 1.0;
         for lag in 1..=p {
-            design.push(series[t - lag]);
+            scratch.row[lag] = series[t - lag];
         }
-        target.push(series[t]);
+        scratch.ls.accumulate(&scratch.row, series[t]);
     }
-    let beta = least_squares(&design, &target, cols)?;
+    let beta = scratch.ls.solve()?;
     let intercept = beta[0];
+    // lint:allow(vec-alloc-in-fit-path, the candidate owns its coefficients by contract; p words once per accepted fit)
     let phi = beta[1..].to_vec();
-    let mut residuals = Vec::with_capacity(rows);
+    let mut sum_sq = 0.0;
     for t in p..n {
         let mut pred = intercept;
         for (lag, coeff) in phi.iter().enumerate() {
             pred += coeff * series[t - 1 - lag];
         }
-        residuals.push(series[t] - pred);
+        let resid = series[t] - pred;
+        sum_sq += resid * resid;
+        if let Some(out) = residuals_out.as_deref_mut() {
+            out.push(resid);
+        }
     }
-    let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
-    Ok(FittedParams {
+    Ok(ArmaCandidate {
         intercept,
         phi,
-        theta: vec![],
-        sigma2,
-        residuals,
+        // lint:allow(vec-alloc-in-fit-path, empty coefficient vector: zero capacity never touches the heap)
+        theta: Vec::new(),
+        sigma2: sum_sq / rows as f64,
     })
 }
 
@@ -148,8 +289,62 @@ pub fn fit_ar(series: &[f64], p: usize) -> Result<FittedParams, ArimaError> {
 /// As [`fit_ar`], with the length requirement growing with the long-AR
 /// order `m = max(p + q, ⌈log(n)⌉·2)` capped at `n / 4`.
 pub fn hannan_rissanen(series: &[f64], p: usize, q: usize) -> Result<FittedParams, ArimaError> {
+    hannan_rissanen_with(&mut FitScratch::new(), series, p, q)
+}
+
+/// [`hannan_rissanen`] over caller-owned scratch buffers: the centered
+/// series, the stage-1 innovations, the residual recursion state, and the
+/// normal-equations accumulators all live in the scratch, and the stage-2
+/// design matrix is streamed row by row instead of materialised. Every
+/// floating-point operation happens in the same order as in
+/// [`hannan_rissanen`], so results are bit-identical.
+///
+/// # Errors
+///
+/// As [`hannan_rissanen`].
+pub fn hannan_rissanen_with(
+    scratch: &mut FitScratch,
+    series: &[f64],
+    p: usize,
+    q: usize,
+) -> Result<FittedParams, ArimaError> {
+    // lint:allow(vec-alloc-in-fit-path, FittedParams owns its residuals by contract; the grid path uses fit_candidate)
+    let mut residuals = Vec::new();
+    let cand = fit_arma_core(
+        scratch,
+        &mut Stage1Cache::default(),
+        series,
+        p,
+        q,
+        Some(&mut residuals),
+    )?;
+    Ok(cand.into_params(residuals))
+}
+
+/// One grid-search candidate fit: coefficients and `σ²` only, no residual
+/// vector, with the stage-1 long-AR shared across candidates through
+/// `cache`. The cache is only valid while the caller keeps fitting the
+/// same `series` — see [`Stage1Cache`].
+pub(crate) fn fit_candidate(
+    scratch: &mut FitScratch,
+    cache: &mut Stage1Cache,
+    series: &[f64],
+    p: usize,
+    q: usize,
+) -> Result<ArmaCandidate, ArimaError> {
+    fit_arma_core(scratch, cache, series, p, q, None)
+}
+
+fn fit_arma_core(
+    scratch: &mut FitScratch,
+    cache: &mut Stage1Cache,
+    series: &[f64],
+    p: usize,
+    q: usize,
+    mut residuals_out: Option<&mut Vec<f64>>,
+) -> Result<ArmaCandidate, ArimaError> {
     if q == 0 {
-        return fit_ar(series, p);
+        return fit_ar_core(scratch, series, p, residuals_out);
     }
     check_finite(series)?;
     check_nondegenerate(series)?;
@@ -162,26 +357,31 @@ pub fn hannan_rissanen(series: &[f64], p: usize, q: usize) -> Result<FittedParam
         });
     }
 
-    // Stage 1: long autoregression on the mean-adjusted series.
-    let mean = series.iter().sum::<f64>() / n as f64;
-    let centered: Vec<f64> = series.iter().map(|v| v - mean).collect();
     let long_order = ((n as f64).ln().ceil() as usize * 2)
         .max(p + q)
         .min(n / 4)
         .max(1);
-    let gamma = autocovariance(&centered, long_order)?;
-    let (long_phi, _) = levinson_durbin(&gamma, long_order)?;
-    // Innovations from the long AR (zero-padded warmup).
-    let mut innovations = vec![0.0; n];
-    for t in long_order..n {
-        let mut pred = 0.0;
-        for (lag, coeff) in long_phi.iter().enumerate() {
-            pred += coeff * centered[t - 1 - lag];
+    if cache.ready_for != Some(long_order) {
+        // Stage 1: long autoregression on the mean-adjusted series.
+        let mean = series.iter().sum::<f64>() / n as f64;
+        scratch.centered.clear();
+        scratch.centered.extend(series.iter().map(|v| v - mean));
+        let gamma = autocovariance(&scratch.centered, long_order)?;
+        let (long_phi, _) = levinson_durbin(&gamma, long_order)?;
+        // Innovations from the long AR (zero-padded warmup).
+        scratch.innovations.clear();
+        scratch.innovations.resize(n, 0.0);
+        for t in long_order..n {
+            let mut pred = 0.0;
+            for (lag, coeff) in long_phi.iter().enumerate() {
+                pred += coeff * scratch.centered[t - 1 - lag];
+            }
+            scratch.innovations[t] = scratch.centered[t] - pred;
         }
-        innovations[t] = centered[t] - pred;
+        cache.ready_for = Some(long_order);
     }
 
-    // Stage 2: OLS of w_t on [1, w lags, e lags].
+    // Stage 2: OLS of w_t on [1, w lags, e lags], streamed row by row.
     let start = long_order.max(p).max(q);
     let rows = n - start;
     let cols = 1 + p + q;
@@ -191,46 +391,53 @@ pub fn hannan_rissanen(series: &[f64], p: usize, q: usize) -> Result<FittedParam
             available: n,
         });
     }
-    let mut design = Vec::with_capacity(rows * cols);
-    let mut target = Vec::with_capacity(rows);
+    scratch.ls.begin(rows, cols)?;
+    scratch.row.clear();
+    scratch.row.resize(cols, 0.0);
     for t in start..n {
-        design.push(1.0);
+        scratch.row[0] = 1.0;
         for lag in 1..=p {
-            design.push(series[t - lag]);
+            scratch.row[lag] = series[t - lag];
         }
         for lag in 1..=q {
-            design.push(innovations[t - lag]);
+            scratch.row[p + lag] = scratch.innovations[t - lag];
         }
-        target.push(series[t]);
+        scratch.ls.accumulate(&scratch.row, series[t]);
     }
-    let beta = least_squares(&design, &target, cols)?;
+    let beta = scratch.ls.solve()?;
     let intercept = beta[0];
-    let phi = beta[1..1 + p].to_vec();
+    let phi = beta[1..1 + p].to_vec(); // lint:allow(vec-alloc-in-fit-path, the candidate owns its coefficients by contract; p + q words once per accepted fit)
     let theta = beta[1 + p..].to_vec();
 
     // Final residuals with the fitted ARMA recursion (conditional on
-    // estimated innovations for warmup).
-    let mut residuals = Vec::with_capacity(rows);
-    let mut errs = innovations.clone();
+    // estimated innovations for warmup). `errs` starts as a copy of the
+    // stage-1 innovations, which stay untouched for the next candidate.
+    scratch.errs.clear();
+    scratch.errs.extend_from_slice(&scratch.innovations);
+    if let Some(out) = residuals_out.as_deref_mut() {
+        out.clear();
+    }
+    let mut sum_sq = 0.0;
     for t in start..n {
         let mut pred = intercept;
         for (lag, coeff) in phi.iter().enumerate() {
             pred += coeff * series[t - 1 - lag];
         }
         for (lag, coeff) in theta.iter().enumerate() {
-            pred += coeff * errs[t - 1 - lag];
+            pred += coeff * scratch.errs[t - 1 - lag];
         }
         let resid = series[t] - pred;
-        errs[t] = resid;
-        residuals.push(resid);
+        scratch.errs[t] = resid;
+        sum_sq += resid * resid;
+        if let Some(out) = residuals_out.as_deref_mut() {
+            out.push(resid);
+        }
     }
-    let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
-    Ok(FittedParams {
+    Ok(ArmaCandidate {
         intercept,
         phi,
         theta,
-        sigma2,
-        residuals,
+        sigma2: sum_sq / rows as f64,
     })
 }
 
@@ -354,5 +561,78 @@ mod tests {
             fit_ar(&series, 1),
             Err(ArimaError::NonFiniteValue { index: 50 })
         ));
+    }
+
+    fn assert_params_bit_identical(a: &FittedParams, b: &FittedParams) {
+        assert_eq!(a.intercept.to_bits(), b.intercept.to_bits());
+        assert_eq!(a.sigma2.to_bits(), b.sigma2.to_bits());
+        assert_eq!(a.phi.len(), b.phi.len());
+        assert_eq!(a.theta.len(), b.theta.len());
+        assert_eq!(a.residuals.len(), b.residuals.len());
+        for (x, y) in a.phi.iter().zip(&b.phi) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.theta.iter().zip(&b.theta) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.residuals.iter().zip(&b.residuals) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_fits_bit_for_bit() {
+        // One scratch reused across different series and orders must give
+        // exactly the same results as fresh allocating fits.
+        let mut scratch = FitScratch::new();
+        let series_a = simulate_arma(&[0.6], &[0.3], 1.0, 600, 41);
+        let series_b = simulate_arma(&[0.2, 0.1], &[], -0.5, 400, 43);
+        for (series, p, q) in [
+            (&series_a, 1, 1),
+            (&series_b, 2, 0),
+            (&series_a, 0, 2),
+            (&series_b, 0, 0),
+            (&series_a, 3, 1),
+        ] {
+            let fresh = hannan_rissanen(series, p, q).unwrap();
+            let reused = hannan_rissanen_with(&mut scratch, series, p, q).unwrap();
+            assert_params_bit_identical(&fresh, &reused);
+        }
+    }
+
+    #[test]
+    fn candidate_path_matches_full_fit_coefficients() {
+        // The residual-free candidate fit must agree exactly with the full
+        // fit on every field it reports, including with a warm stage-1
+        // cache shared across candidates on the same series.
+        let series = simulate_arma(&[0.5], &[0.4], 0.0, 800, 47);
+        let mut scratch = FitScratch::new();
+        let mut cache = Stage1Cache::default();
+        for (p, q) in [(1usize, 1usize), (0, 1), (2, 2), (1, 0)] {
+            let full = hannan_rissanen(&series, p, q).unwrap();
+            let cand = fit_candidate(&mut scratch, &mut cache, &series, p, q).unwrap();
+            assert_eq!(cand.intercept.to_bits(), full.intercept.to_bits());
+            assert_eq!(cand.sigma2.to_bits(), full.sigma2.to_bits());
+            for (x, y) in cand.phi.iter().zip(&full.phi) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in cand.theta.iter().zip(&full.theta) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_sigma2_with_matches_allocating() {
+        let series = simulate_arma(&[0.5], &[0.4], 2.0, 500, 53);
+        let mut scratch = FitScratch::new();
+        let a = conditional_sigma2(&series, 0.1, &[0.5], &[0.4]);
+        let b = conditional_sigma2_with(&mut scratch, &series, 0.1, &[0.5], &[0.4]);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Reuse after a differently sized call.
+        let short = &series[..60];
+        let a2 = conditional_sigma2(short, -0.2, &[0.3, 0.1], &[]);
+        let b2 = conditional_sigma2_with(&mut scratch, short, -0.2, &[0.3, 0.1], &[]);
+        assert_eq!(a2.to_bits(), b2.to_bits());
     }
 }

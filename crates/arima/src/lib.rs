@@ -53,6 +53,7 @@ pub mod select;
 
 pub use diagnostics::{chi_squared_cdf, ljung_box, LjungBox};
 pub use error::ArimaError;
+pub use fit::FitScratch;
 pub use model::{ArimaModel, ArimaSpec, Forecast, Forecaster};
 pub use seasonal::{SeasonalArima, SeasonalForecaster};
-pub use select::{aic, select_order};
+pub use select::{aic, select_order, select_order_with};

@@ -13,6 +13,26 @@ use crate::error::ArimaError;
 ///
 /// Returns [`ArimaError::SingularSystem`] if a pivot is (numerically) zero.
 pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
+    // lint:allow(vec-alloc-in-fit-path, compatibility wrapper; hot callers go through LsScratch)
+    let mut x = Vec::new();
+    solve_in_place(&mut a, &mut b, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve`] over caller-owned working storage: `a` and `b` are destroyed,
+/// the solution is written into `x` (cleared and resized as needed). The
+/// elimination, pivoting, and back-substitution arithmetic is exactly
+/// [`solve`]'s, so results are bit-identical; the only difference is that a
+/// reused `x` spares the per-call solution allocation.
+///
+/// # Errors
+///
+/// Returns [`ArimaError::SingularSystem`] if a pivot is (numerically) zero.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len() * b.len()`.
+pub fn solve_in_place(a: &mut [f64], b: &mut [f64], x: &mut Vec<f64>) -> Result<(), ArimaError> {
     let n = b.len();
     assert_eq!(a.len(), n * n, "matrix shape mismatch");
     for col in 0..n {
@@ -49,7 +69,8 @@ pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
         }
     }
     // Back substitution.
-    let mut x = vec![0.0; n];
+    x.clear();
+    x.resize(n, 0.0);
     for row in (0..n).rev() {
         let mut sum = b[row];
         for k in (row + 1)..n {
@@ -57,7 +78,108 @@ pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
         }
         x[row] = sum / a[row * n + row];
     }
-    Ok(x)
+    Ok(())
+}
+
+/// Reusable buffers for streamed normal-equations least squares: the
+/// `XᵀX` / `Xᵀy` accumulators and the solution vector.
+///
+/// The allocating [`least_squares`] materialises the full `rows × cols`
+/// design matrix before reducing it; for ARIMA fitting that is ~20k rows
+/// of mostly re-read series values — a ~650 KB allocation per fit whose
+/// only purpose is to be folded into a `cols × cols` system. `LsScratch`
+/// accumulates the normal equations one streamed row at a time instead
+/// ([`LsScratch::begin`] → [`LsScratch::accumulate`] per row →
+/// [`LsScratch::solve`]), in the same row order and with the same
+/// per-row inner-loop arithmetic, so the solution is bit-identical while
+/// the design matrix never exists.
+#[derive(Debug, Clone, Default)]
+pub struct LsScratch {
+    xtx: Vec<f64>,
+    xty: Vec<f64>,
+    solution: Vec<f64>,
+    cols: usize,
+}
+
+impl LsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a `rows × cols` system: clears the accumulators and records
+    /// the width so [`LsScratch::accumulate`] can index rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArimaError::SeriesTooShort`] for an underdetermined
+    /// system (`rows < cols`), exactly as [`least_squares`] does.
+    pub fn begin(&mut self, rows: usize, cols: usize) -> Result<(), ArimaError> {
+        if rows < cols {
+            return Err(ArimaError::SeriesTooShort {
+                required: cols,
+                available: rows,
+            });
+        }
+        self.cols = cols;
+        self.xtx.clear();
+        self.xtx.resize(cols * cols, 0.0);
+        self.xty.clear();
+        self.xty.resize(cols, 0.0);
+        Ok(())
+    }
+
+    /// Accumulates one design row and its target into the normal
+    /// equations. The inner-loop order (upper triangle of `XᵀX`, `Xᵀy`
+    /// interleaved first) matches [`least_squares`] exactly so repeated
+    /// accumulation is bit-identical to the materialised path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `row.len()` differs from the `cols`
+    /// passed to [`LsScratch::begin`].
+    #[inline]
+    pub fn accumulate(&mut self, row: &[f64], y: f64) {
+        let cols = self.cols;
+        debug_assert_eq!(row.len(), cols, "design row width mismatch");
+        for i in 0..cols {
+            self.xty[i] += row[i] * y;
+            for j in i..cols {
+                self.xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+
+    /// Mirrors the accumulated upper triangle, applies the same tiny ridge
+    /// as [`least_squares`], and solves the system in place. Returns the
+    /// solution slice, which stays valid until the next
+    /// [`LsScratch::begin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArimaError::SingularSystem`] if `XᵀX` is singular even
+    /// after ridge regularisation.
+    pub fn solve(&mut self) -> Result<&[f64], ArimaError> {
+        let cols = self.cols;
+        // Mirror the upper triangle.
+        for i in 0..cols {
+            for j in 0..i {
+                self.xtx[i * cols + j] = self.xtx[j * cols + i];
+            }
+        }
+        // Tiny ridge proportional to the diagonal scale: stabilises the
+        // nearly collinear designs that arise from strongly periodic load
+        // data.
+        let scale = (0..cols)
+            .map(|i| self.xtx[i * cols + i])
+            .fold(0.0f64, f64::max);
+        let ridge = scale.max(1.0) * 1e-10;
+        for i in 0..cols {
+            self.xtx[i * cols + i] += ridge;
+        }
+        solve_in_place(&mut self.xtx, &mut self.xty, &mut self.solution)?;
+        Ok(&self.solution)
+    }
 }
 
 /// Ordinary least squares: finds `beta` minimising `‖y − X·beta‖²` where
@@ -71,38 +193,13 @@ pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
 pub fn least_squares(x: &[f64], y: &[f64], cols: usize) -> Result<Vec<f64>, ArimaError> {
     let rows = y.len();
     assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
-    if rows < cols {
-        return Err(ArimaError::SeriesTooShort {
-            required: cols,
-            available: rows,
-        });
-    }
-    // Normal equations.
-    let mut xtx = vec![0.0; cols * cols];
-    let mut xty = vec![0.0; cols];
+    let mut scratch = LsScratch::new();
+    scratch.begin(rows, cols)?;
     for r in 0..rows {
-        let row = &x[r * cols..(r + 1) * cols];
-        for i in 0..cols {
-            xty[i] += row[i] * y[r];
-            for j in i..cols {
-                xtx[i * cols + j] += row[i] * row[j];
-            }
-        }
+        scratch.accumulate(&x[r * cols..(r + 1) * cols], y[r]);
     }
-    // Mirror the upper triangle.
-    for i in 0..cols {
-        for j in 0..i {
-            xtx[i * cols + j] = xtx[j * cols + i];
-        }
-    }
-    // Tiny ridge proportional to the diagonal scale: stabilises the nearly
-    // collinear designs that arise from strongly periodic load data.
-    let scale = (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max);
-    let ridge = scale.max(1.0) * 1e-10;
-    for i in 0..cols {
-        xtx[i * cols + i] += ridge;
-    }
-    solve(xtx, xty)
+    // lint:allow(vec-alloc-in-fit-path, compatibility wrapper; hot callers keep the LsScratch and borrow the solution)
+    scratch.solve().map(|beta| beta.to_vec())
 }
 
 #[cfg(test)]
@@ -159,5 +256,62 @@ mod tests {
         let design = vec![1.0, 2.0];
         let y = vec![1.0];
         assert!(least_squares(&design, &y, 2).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_systems() {
+        // Solve two differently shaped systems through one scratch and
+        // compare against the allocating wrapper bit for bit.
+        let mut scratch = LsScratch::new();
+        let systems: [(Vec<f64>, Vec<f64>, usize); 2] = [
+            (
+                (0..60).map(|i| ((i * 7 % 13) as f64).sin()).collect(),
+                (0..20).map(|i| (i as f64) * 0.3 - 2.0).collect(),
+                3,
+            ),
+            (
+                (0..34).map(|i| (i as f64).cos() + 2.0).collect(),
+                (0..17).map(|i| (i as f64).sqrt()).collect(),
+                2,
+            ),
+        ];
+        for (design, y, cols) in &systems {
+            let expected = least_squares(design, y, *cols).unwrap();
+            scratch.begin(y.len(), *cols).unwrap();
+            for r in 0..y.len() {
+                scratch.accumulate(&design[r * cols..(r + 1) * cols], y[r]);
+            }
+            let got = scratch.solve().unwrap();
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = vec![2.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 4.0];
+        let b = vec![5.0, 10.0, 2.0];
+        let expected = solve(a.clone(), b.clone()).unwrap();
+        let mut a2 = a;
+        let mut b2 = b;
+        let mut x = vec![99.0; 1]; // wrong size and dirty: must be reset
+        solve_in_place(&mut a2, &mut b2, &mut x).unwrap();
+        for (g, e) in x.iter().zip(&expected) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_begin_rejects_underdetermined() {
+        let mut scratch = LsScratch::new();
+        assert!(matches!(
+            scratch.begin(1, 2),
+            Err(ArimaError::SeriesTooShort {
+                required: 2,
+                available: 1
+            })
+        ));
     }
 }

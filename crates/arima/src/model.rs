@@ -6,7 +6,7 @@ use fdeta_tsdata::truncnorm::norm_quantile;
 
 use crate::diff::difference;
 use crate::error::ArimaError;
-use crate::fit::{hannan_rissanen, FittedParams};
+use crate::fit::{fit_candidate, ArmaCandidate, FitScratch, Stage1Cache};
 
 /// An ARIMA order specification `(p, d, q)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -86,8 +86,45 @@ impl ArimaModel {
     /// Propagates estimation errors: series too short after differencing,
     /// non-finite values, or a singular design (e.g. constant series).
     pub fn fit(series: &[f64], spec: ArimaSpec) -> Result<Self, ArimaError> {
-        let w = difference(series, spec.d);
-        let params: FittedParams = hannan_rissanen(&w, spec.p, spec.q)?;
+        Self::fit_with(&mut FitScratch::new(), series, spec)
+    }
+
+    /// [`ArimaModel::fit`] over caller-owned scratch buffers: the
+    /// estimation working memory comes from `scratch`, and with `d == 0`
+    /// the differencing copy of the input is skipped entirely
+    /// (zeroth-order differencing is the identity). Bit-identical to
+    /// [`ArimaModel::fit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ArimaModel::fit`].
+    pub fn fit_with(
+        scratch: &mut FitScratch,
+        series: &[f64],
+        spec: ArimaSpec,
+    ) -> Result<Self, ArimaError> {
+        let w_owned: Vec<f64>;
+        let w: &[f64] = if spec.d == 0 {
+            series
+        } else {
+            w_owned = difference(series, spec.d);
+            &w_owned
+        };
+        let cand = fit_candidate(scratch, &mut Stage1Cache::default(), w, spec.p, spec.q)?;
+        Self::finish_fit(scratch, spec, w, cand)
+    }
+
+    /// Applies the post-estimation guards (invertibility, stationarity,
+    /// variance recomputation) to raw fitted coefficients over the
+    /// differenced series `w` they were estimated on, producing the final
+    /// model. Shared between [`ArimaModel::fit_with`] and order selection,
+    /// which finishes only the AIC winner instead of refitting it.
+    pub(crate) fn finish_fit(
+        scratch: &mut FitScratch,
+        spec: ArimaSpec,
+        w: &[f64],
+        cand: ArmaCandidate,
+    ) -> Result<Self, ArimaError> {
         // Invertibility guard: the online forecaster recursion
         // `e_t = w_t − pred_t` feeds past innovations through θ, so a
         // non-invertible MA (Σ|θ| ≥ 1, which Hannan–Rissanen can produce on
@@ -95,7 +132,7 @@ impl ArimaModel {
         // — precisely what attack injections do. Shrink θ into the
         // invertible region; the forecast bias this introduces is absorbed
         // by the innovation variance.
-        let mut theta = params.theta;
+        let mut theta = cand.theta;
         let theta_norm: f64 = theta.iter().map(|t| t.abs()).sum();
         if theta_norm >= 0.95 {
             let shrink = 0.95 / theta_norm;
@@ -109,8 +146,8 @@ impl ArimaModel {
         // input sequence drive the poisoned forecast to infinity within a
         // week. The bias this adds to strongly persistent fits is absorbed
         // by the intercept re-centering below.
-        let mut phi = params.phi;
-        let mut intercept = params.intercept;
+        let mut phi = cand.phi;
+        let mut intercept = cand.intercept;
         let phi_norm: f64 = phi.iter().map(|p| p.abs()).sum();
         if phi_norm >= 0.98 {
             let shrink = 0.98 / phi_norm;
@@ -132,7 +169,7 @@ impl ArimaModel {
         // the raw Hannan-Rissanen residual variance can be infinite when
         // the unguarded θ was non-invertible, and the confidence intervals
         // must describe the recursion the forecaster actually runs.
-        let sigma2 = crate::fit::conditional_sigma2(&w, intercept, &phi, &theta);
+        let sigma2 = crate::fit::conditional_sigma2_with(scratch, w, intercept, &phi, &theta);
         if !sigma2.is_finite() {
             return Err(ArimaError::SingularSystem);
         }
@@ -399,12 +436,21 @@ impl Forecaster {
     pub fn observe(&mut self, value: f64) -> Option<f64> {
         let d = self.model.spec.d;
         let innovation = if self.warm() {
-            // New differenced value from the original-scale tail.
-            let mut tail = self.history[self.history.len() - d..].to_vec();
-            tail.push(value);
-            let w_new = *difference(&tail, d)
-                .last()
-                .expect("warm implies enough history");
+            // New differenced value from the original-scale tail. With
+            // `d == 0` differencing is the identity, so the reading itself
+            // is the new differenced value — skip the tail copy entirely
+            // (this is the seeding hot path: every forecaster observes its
+            // full training history once).
+            let w_new = if d == 0 {
+                value
+            } else {
+                let mut tail = self.history[self.history.len() - d..].to_vec();
+                tail.push(value);
+                // `warm()` guarantees `d + 1` tail values, which `d` rounds
+                // of differencing reduce to exactly one — the fallback is
+                // unreachable but keeps this path panic-free.
+                difference(&tail, d).last().copied().unwrap_or(value)
+            };
             let resid = w_new - self.predict_w();
             self.w_history.push(w_new);
             self.residuals.push(resid);

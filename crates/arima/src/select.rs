@@ -2,7 +2,7 @@
 
 use crate::diff::difference;
 use crate::error::ArimaError;
-use crate::fit::hannan_rissanen;
+use crate::fit::{fit_candidate, ArmaCandidate, FitScratch, Stage1Cache};
 use crate::model::{ArimaModel, ArimaSpec};
 
 /// Gaussian AIC from an innovation variance: `n·ln(σ²) + 2k`.
@@ -16,23 +16,58 @@ pub fn aic(n: usize, sigma2: f64, k: usize) -> f64 {
 /// Combinations that fail to fit (too short, singular) are skipped; the
 /// search fails only if *no* combination fits.
 ///
+/// Each candidate is fitted exactly once: the grid scores residual-free
+/// candidate fits (sharing one stage-1 long-AR innovation pass across all
+/// candidates) and only the AIC winner is finished into a model, instead
+/// of refitting it from scratch.
+///
 /// # Errors
 ///
-/// Returns the last fitting error if every candidate order failed, or
-/// [`ArimaError::InvalidOrder`] if the grid is empty.
+/// Returns the last fitting error, wrapped in
+/// [`ArimaError::CandidateFailed`] with the `(p, q)` that produced it, if
+/// every candidate order failed, or [`ArimaError::InvalidOrder`] if the
+/// grid is empty.
 pub fn select_order(
     series: &[f64],
     d: usize,
     max_p: usize,
     max_q: usize,
 ) -> Result<ArimaModel, ArimaError> {
-    let mut best: Option<(f64, ArimaModel)> = None;
+    select_order_with(&mut FitScratch::new(), series, d, max_p, max_q)
+}
+
+/// [`select_order`] over caller-owned scratch buffers, for grid searches
+/// run in a loop (e.g. once per consumer). Bit-identical to
+/// [`select_order`].
+///
+/// # Errors
+///
+/// As [`select_order`].
+pub fn select_order_with(
+    scratch: &mut FitScratch,
+    series: &[f64],
+    d: usize,
+    max_p: usize,
+    max_q: usize,
+) -> Result<ArimaModel, ArimaError> {
+    let mut best: Option<(f64, ArimaSpec, ArmaCandidate)> = None;
     let mut last_err = ArimaError::InvalidOrder {
         p: max_p,
         d,
         q: max_q,
     };
-    let w = difference(series, d);
+    // Differencing at order zero is the identity: borrow the input
+    // directly instead of copying it.
+    let w_owned: Vec<f64>;
+    let w: &[f64] = if d == 0 {
+        series
+    } else {
+        w_owned = difference(series, d);
+        &w_owned
+    };
+    // All candidates difference the same series, so the stage-1 long-AR
+    // innovations are shared across the whole grid through this cache.
+    let mut stage1 = Stage1Cache::default();
     for p in 0..=max_p {
         for q in 0..=max_q {
             if p == 0 && q == 0 && d == 0 {
@@ -45,20 +80,28 @@ pub fn select_order(
                     continue;
                 }
             };
-            match hannan_rissanen(&w, p, q) {
-                Ok(params) => {
+            match fit_candidate(scratch, &mut stage1, w, p, q) {
+                Ok(cand) => {
                     let n = w.len().saturating_sub(p.max(q));
-                    let score = aic(n, params.sigma2, spec.parameter_count());
-                    let model = ArimaModel::fit(series, spec).expect("already fit once");
-                    if best.as_ref().is_none_or(|(b, _)| score < *b) {
-                        best = Some((score, model));
+                    let score = aic(n, cand.sigma2, spec.parameter_count());
+                    if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
+                        best = Some((score, spec, cand));
                     }
                 }
-                Err(e) => last_err = e,
+                Err(e) => {
+                    last_err = ArimaError::CandidateFailed {
+                        p,
+                        q,
+                        source: Box::new(e),
+                    };
+                }
             }
         }
     }
-    best.map(|(_, m)| m).ok_or(last_err)
+    match best {
+        Some((_, spec, cand)) => ArimaModel::finish_fit(scratch, spec, w, cand),
+        None => Err(last_err),
+    }
 }
 
 #[cfg(test)]
@@ -73,14 +116,19 @@ mod tests {
         assert!(aic(100, 0.5, 2) < aic(100, 1.0, 2));
     }
 
-    #[test]
-    fn selects_ar_for_ar_data() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let mut x = vec![0.0; 3000];
+    fn ar2_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![0.0; n];
         for t in 2..x.len() {
             let noise: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
             x[t] = 0.6 * x[t - 1] + 0.2 * x[t - 2] + noise;
         }
+        x
+    }
+
+    #[test]
+    fn selects_ar_for_ar_data() {
+        let x = ar2_series(3000, 99);
         let model = select_order(&x, 0, 3, 1).unwrap();
         // AR structure should dominate: at least one AR lag selected.
         assert!(model.spec().p() >= 1, "selected {}", model.spec());
@@ -96,5 +144,43 @@ mod tests {
     #[test]
     fn constant_series_fails() {
         assert!(select_order(&[1.0; 300], 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn failure_reports_which_candidate_broke() {
+        // Every candidate on a constant series fails with a singular
+        // system; the error must say which (p, q) was tried last instead
+        // of silently discarding the context.
+        let err = select_order(&[1.0; 300], 0, 2, 1).unwrap_err();
+        match err {
+            ArimaError::CandidateFailed { p, q, source } => {
+                assert_eq!((p, q), (2, 1));
+                assert_eq!(*source, ArimaError::SingularSystem);
+            }
+            other => panic!("expected CandidateFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn winner_matches_direct_fit_bit_for_bit() {
+        // The single-pass grid must return exactly the model a direct
+        // ArimaModel::fit of the winning spec would produce.
+        let x = ar2_series(1500, 7);
+        let selected = select_order(&x, 0, 3, 2).unwrap();
+        let direct = ArimaModel::fit(&x, selected.spec()).unwrap();
+        assert_eq!(selected, direct);
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        // Same input through a reused scratch (even one warmed on a
+        // different series) selects the same model, bit for bit.
+        let x = ar2_series(1200, 21);
+        let other = ar2_series(800, 22);
+        let fresh = select_order(&x, 0, 2, 2).unwrap();
+        let mut scratch = FitScratch::new();
+        let _ = select_order_with(&mut scratch, &other, 1, 2, 1).unwrap();
+        let reused = select_order_with(&mut scratch, &x, 0, 2, 2).unwrap();
+        assert_eq!(fresh, reused);
     }
 }

@@ -138,3 +138,392 @@ proptest! {
         prop_assert!(result.degrees_of_freedom >= 1);
     }
 }
+
+/// Independent reimplementation of the pre-scratch (allocating) fitting
+/// path, kept verbatim from the original sources: materialised design
+/// matrices, per-call vectors, and a refit-free model finish. The
+/// property tests below pin the scratch-based production path to this
+/// arithmetic bit for bit.
+mod legacy {
+    use fdeta_arima::acf::{autocovariance, levinson_durbin};
+    use fdeta_arima::diff::difference;
+    use fdeta_arima::fit::FittedParams;
+    use fdeta_arima::{ArimaError, ArimaModel, ArimaSpec};
+
+    fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, ArimaError> {
+        let n = b.len();
+        assert_eq!(a.len(), n * n, "matrix shape mismatch");
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(ArimaError::SingularSystem);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut sum = b[row];
+            for k in (row + 1)..n {
+                sum -= a[row * n + k] * x[k];
+            }
+            x[row] = sum / a[row * n + row];
+        }
+        Ok(x)
+    }
+
+    fn least_squares(x: &[f64], y: &[f64], cols: usize) -> Result<Vec<f64>, ArimaError> {
+        let rows = y.len();
+        assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
+        if rows < cols {
+            return Err(ArimaError::SeriesTooShort {
+                required: cols,
+                available: rows,
+            });
+        }
+        let mut xtx = vec![0.0; cols * cols];
+        let mut xty = vec![0.0; cols];
+        for r in 0..rows {
+            let row = &x[r * cols..(r + 1) * cols];
+            for i in 0..cols {
+                xty[i] += row[i] * y[r];
+                for j in i..cols {
+                    xtx[i * cols + j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..cols {
+            for j in 0..i {
+                xtx[i * cols + j] = xtx[j * cols + i];
+            }
+        }
+        let scale = (0..cols).map(|i| xtx[i * cols + i]).fold(0.0f64, f64::max);
+        let ridge = scale.max(1.0) * 1e-10;
+        for i in 0..cols {
+            xtx[i * cols + i] += ridge;
+        }
+        solve(xtx, xty)
+    }
+
+    fn check_finite(series: &[f64]) -> Result<(), ArimaError> {
+        for (i, &v) in series.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(ArimaError::NonFiniteValue { index: i });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_nondegenerate(series: &[f64]) -> Result<(), ArimaError> {
+        let n = series.len() as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let scale = series.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        if var <= scale * scale * 1e-20 {
+            return Err(ArimaError::SingularSystem);
+        }
+        Ok(())
+    }
+
+    fn conditional_sigma2(series: &[f64], intercept: f64, phi: &[f64], theta: &[f64]) -> f64 {
+        let start = phi.len().max(theta.len());
+        if series.len() <= start {
+            return 0.0;
+        }
+        let mut errs = vec![0.0; series.len()];
+        let mut sum_sq = 0.0;
+        for t in start..series.len() {
+            let mut pred = intercept;
+            for (lag, coeff) in phi.iter().enumerate() {
+                pred += coeff * series[t - 1 - lag];
+            }
+            for (lag, coeff) in theta.iter().enumerate() {
+                pred += coeff * errs[t - 1 - lag];
+            }
+            let resid = series[t] - pred;
+            errs[t] = resid;
+            sum_sq += resid * resid;
+        }
+        sum_sq / (series.len() - start) as f64
+    }
+
+    pub fn fit_ar(series: &[f64], p: usize) -> Result<FittedParams, ArimaError> {
+        check_finite(series)?;
+        let n = series.len();
+        if n < p + 2 {
+            return Err(ArimaError::SeriesTooShort {
+                required: p + 2,
+                available: n,
+            });
+        }
+        if p > 0 {
+            check_nondegenerate(series)?;
+        }
+        if p == 0 {
+            let mean = series.iter().sum::<f64>() / n as f64;
+            let residuals: Vec<f64> = series.iter().map(|v| v - mean).collect();
+            let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / n as f64;
+            return Ok(FittedParams {
+                intercept: mean,
+                phi: vec![],
+                theta: vec![],
+                sigma2,
+                residuals,
+            });
+        }
+        let rows = n - p;
+        let cols = p + 1;
+        let mut design = Vec::with_capacity(rows * cols);
+        let mut target = Vec::with_capacity(rows);
+        for t in p..n {
+            design.push(1.0);
+            for lag in 1..=p {
+                design.push(series[t - lag]);
+            }
+            target.push(series[t]);
+        }
+        let beta = least_squares(&design, &target, cols)?;
+        let intercept = beta[0];
+        let phi = beta[1..].to_vec();
+        let mut residuals = Vec::with_capacity(rows);
+        for t in p..n {
+            let mut pred = intercept;
+            for (lag, coeff) in phi.iter().enumerate() {
+                pred += coeff * series[t - 1 - lag];
+            }
+            residuals.push(series[t] - pred);
+        }
+        let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
+        Ok(FittedParams {
+            intercept,
+            phi,
+            theta: vec![],
+            sigma2,
+            residuals,
+        })
+    }
+
+    pub fn hannan_rissanen(series: &[f64], p: usize, q: usize) -> Result<FittedParams, ArimaError> {
+        if q == 0 {
+            return fit_ar(series, p);
+        }
+        check_finite(series)?;
+        check_nondegenerate(series)?;
+        let n = series.len();
+        let min_len = (p + q + 2).max(20);
+        if n < min_len {
+            return Err(ArimaError::SeriesTooShort {
+                required: min_len,
+                available: n,
+            });
+        }
+        let mean = series.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = series.iter().map(|v| v - mean).collect();
+        let long_order = ((n as f64).ln().ceil() as usize * 2)
+            .max(p + q)
+            .min(n / 4)
+            .max(1);
+        let gamma = autocovariance(&centered, long_order)?;
+        let (long_phi, _) = levinson_durbin(&gamma, long_order)?;
+        let mut innovations = vec![0.0; n];
+        for t in long_order..n {
+            let mut pred = 0.0;
+            for (lag, coeff) in long_phi.iter().enumerate() {
+                pred += coeff * centered[t - 1 - lag];
+            }
+            innovations[t] = centered[t] - pred;
+        }
+        let start = long_order.max(p).max(q);
+        let rows = n - start;
+        let cols = 1 + p + q;
+        if rows < cols + 1 {
+            return Err(ArimaError::SeriesTooShort {
+                required: start + cols + 1,
+                available: n,
+            });
+        }
+        let mut design = Vec::with_capacity(rows * cols);
+        let mut target = Vec::with_capacity(rows);
+        for t in start..n {
+            design.push(1.0);
+            for lag in 1..=p {
+                design.push(series[t - lag]);
+            }
+            for lag in 1..=q {
+                design.push(innovations[t - lag]);
+            }
+            target.push(series[t]);
+        }
+        let beta = least_squares(&design, &target, cols)?;
+        let intercept = beta[0];
+        let phi = beta[1..1 + p].to_vec();
+        let theta = beta[1 + p..].to_vec();
+        let mut residuals = Vec::with_capacity(rows);
+        let mut errs = innovations.clone();
+        for t in start..n {
+            let mut pred = intercept;
+            for (lag, coeff) in phi.iter().enumerate() {
+                pred += coeff * series[t - 1 - lag];
+            }
+            for (lag, coeff) in theta.iter().enumerate() {
+                pred += coeff * errs[t - 1 - lag];
+            }
+            let resid = series[t] - pred;
+            errs[t] = resid;
+            residuals.push(resid);
+        }
+        let sigma2 = residuals.iter().map(|r| r * r).sum::<f64>() / rows as f64;
+        Ok(FittedParams {
+            intercept,
+            phi,
+            theta,
+            sigma2,
+            residuals,
+        })
+    }
+
+    pub fn model_fit(series: &[f64], spec: ArimaSpec) -> Result<ArimaModel, ArimaError> {
+        let w = difference(series, spec.d());
+        let params = hannan_rissanen(&w, spec.p(), spec.q())?;
+        let mut theta = params.theta;
+        let theta_norm: f64 = theta.iter().map(|t| t.abs()).sum();
+        if theta_norm >= 0.95 {
+            let shrink = 0.95 / theta_norm;
+            for t in &mut theta {
+                *t *= shrink;
+            }
+        }
+        let mut phi = params.phi;
+        let mut intercept = params.intercept;
+        let phi_norm: f64 = phi.iter().map(|p| p.abs()).sum();
+        if phi_norm >= 0.98 {
+            let shrink = 0.98 / phi_norm;
+            let old_sum: f64 = phi.iter().sum();
+            let mu = if (1.0 - old_sum).abs() > 1e-9 {
+                intercept / (1.0 - old_sum)
+            } else {
+                intercept
+            };
+            for p in &mut phi {
+                *p *= shrink;
+            }
+            let new_sum: f64 = phi.iter().sum();
+            intercept = mu * (1.0 - new_sum);
+        }
+        let sigma2 = conditional_sigma2(&w, intercept, &phi, &theta);
+        if !sigma2.is_finite() {
+            return Err(ArimaError::SingularSystem);
+        }
+        ArimaModel::from_parts(spec, intercept, phi, theta, sigma2.max(1e-12))
+    }
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The scratch-based `hannan_rissanen` / `fit_ar` must reproduce the
+    /// legacy allocating path bit for bit across random series and
+    /// `(p, q)` orders — including when one scratch is reused for the
+    /// whole grid.
+    #[test]
+    fn scratch_fit_is_bit_identical_to_legacy(
+        series in series_strategy(),
+        max_p in 0usize..4,
+        max_q in 0usize..3,
+    ) {
+        let mut scratch = fdeta_arima::FitScratch::new();
+        for p in 0..=max_p {
+            for q in 0..=max_q {
+                let legacy = legacy::hannan_rissanen(&series, p, q);
+                let current =
+                    fdeta_arima::fit::hannan_rissanen_with(&mut scratch, &series, p, q);
+                match (legacy, current) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.intercept.to_bits(), b.intercept.to_bits());
+                        prop_assert_eq!(a.sigma2.to_bits(), b.sigma2.to_bits());
+                        prop_assert_eq!(bits(&a.phi), bits(&b.phi));
+                        prop_assert_eq!(bits(&a.theta), bits(&b.theta));
+                        prop_assert_eq!(bits(&a.residuals), bits(&b.residuals));
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => prop_assert!(false, "paths diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// `ArimaModel::fit_with` over a reused scratch must agree bit for bit
+    /// with the legacy model fit (allocating estimation + guards) across
+    /// random `(p, d, q)` specs.
+    #[test]
+    fn scratch_model_fit_is_bit_identical_to_legacy(
+        series in series_strategy(),
+        p in 0usize..4,
+        d in 0usize..2,
+        q in 0usize..3,
+    ) {
+        let Ok(spec) = ArimaSpec::new(p, d, q) else {
+            return Ok(()); // (0, 0, 0) draw
+        };
+        let mut scratch = fdeta_arima::FitScratch::new();
+        let legacy = legacy::model_fit(&series, spec);
+        let current = ArimaModel::fit_with(&mut scratch, &series, spec);
+        match (legacy, current) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+                prop_assert_eq!(a.sigma2().to_bits(), b.sigma2().to_bits());
+                prop_assert_eq!(bits(a.phi()), bits(b.phi()));
+                prop_assert_eq!(bits(a.theta()), bits(b.theta()));
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "paths diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// `select_order` fits each candidate once and finishes the winner
+    /// without refitting; the result must still be exactly what a direct
+    /// fit of the winning spec produces, and reusing a scratch must not
+    /// change the selection.
+    #[test]
+    fn select_order_single_pass_matches_direct_fit(
+        series in series_strategy(),
+        d in 0usize..2,
+    ) {
+        let Ok(selected) = fdeta_arima::select_order(&series, d, 2, 1) else {
+            return Ok(()); // degenerate draw: no candidate fits
+        };
+        let direct = ArimaModel::fit(&series, selected.spec()).expect("winner refits");
+        prop_assert_eq!(&selected, &direct);
+        let mut scratch = fdeta_arima::FitScratch::new();
+        let reused = fdeta_arima::select_order_with(&mut scratch, &series, d, 2, 1)
+            .expect("same grid fits");
+        prop_assert_eq!(&selected, &reused);
+    }
+}

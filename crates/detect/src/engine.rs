@@ -39,12 +39,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use fdeta_arima::{ArimaModel, ArimaSpec};
+use fdeta_arima::{ArimaModel, ArimaSpec, FitScratch};
 use fdeta_attacks::{
     arima_attack, integrated_arima_attack, optimal_swap, AttackVector, Direction, InjectionContext,
 };
 use fdeta_cer_synth::{ConsumerRecord, SyntheticDataset};
 use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
+use fdeta_tsdata::hist::HistScratch;
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
 use fdeta_tsdata::SLOTS_PER_WEEK;
 
@@ -54,8 +55,32 @@ use crate::error::{EvalError, TrainError};
 use crate::eval::{gain_of, ConsumerEval, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario};
 use crate::integrated::IntegratedArimaDetector;
 use crate::kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
-use crate::pca::PcaDetector;
+use crate::pca::{PcaDetector, PcaScratch};
 use crate::roc::RocPoint;
+
+/// Per-worker training scratch: every reusable buffer of the per-consumer
+/// training pipeline in one place — the ARIMA fit's regression and
+/// innovation buffers, the KLD detectors' histogram counts and gather
+/// buffer, and the PCA trainer's centred matrix and power-iteration
+/// accumulator. The work-stealing trainer hands one `TrainScratch` to each
+/// worker thread, so training `n` consumers allocates these buffers
+/// `threads` times instead of `n` times (and, within one consumer, once
+/// instead of once per training week / power sweep). Reuse is
+/// bit-identical to fresh buffers: every consumer of a scratch overwrites
+/// it before reading.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    fit: FitScratch,
+    hist: HistScratch,
+    pca: PcaScratch,
+}
+
+impl TrainScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Parameters needed to train one consumer's artifact from a bare training
 /// window. A strict subset of [`EvalConfig`] — the monitoring pipeline
@@ -132,18 +157,40 @@ impl TrainedConsumer {
         train: &WeekMatrix,
         params: &ArtifactParams,
     ) -> Result<Self, TrainError> {
-        let kld =
-            KldDetector::train(train, params.bins, SignificanceLevel::Five).map_err(|source| {
-                TrainError::Histogram {
-                    consumer: id,
-                    source,
-                }
-            })?;
-        let conditioned = ConditionedKldDetector::train_tou(
+        Self::from_window_with(id, index, train, params, &mut TrainScratch::new())
+    }
+
+    /// [`TrainedConsumer::from_window`] over caller-owned scratch buffers —
+    /// the allocation-free hot path the work-stealing trainer drives with
+    /// one scratch per worker. Bit-identical to
+    /// [`TrainedConsumer::from_window`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TrainedConsumer::from_window`].
+    pub fn from_window_with(
+        id: u32,
+        index: usize,
+        train: &WeekMatrix,
+        params: &ArtifactParams,
+        scratch: &mut TrainScratch,
+    ) -> Result<Self, TrainError> {
+        let kld = KldDetector::train_with(
+            train,
+            params.bins,
+            SignificanceLevel::Five,
+            &mut scratch.hist,
+        )
+        .map_err(|source| TrainError::Histogram {
+            consumer: id,
+            source,
+        })?;
+        let conditioned = ConditionedKldDetector::train_tou_with(
             train,
             &params.tou,
             params.bins,
             SignificanceLevel::Five,
+            &mut scratch.hist,
         )
         .map_err(|source| TrainError::Histogram {
             consumer: id,
@@ -153,27 +200,32 @@ impl TrainedConsumer {
             None
         } else {
             Some(
-                PcaDetector::train(train, params.pca_components, SignificanceLevel::Five).map_err(
-                    |source| TrainError::Subspace {
-                        consumer: id,
-                        source,
-                    },
-                )?,
+                PcaDetector::train_with(
+                    train,
+                    params.pca_components,
+                    SignificanceLevel::Five,
+                    &mut scratch.pca,
+                )
+                .map_err(|source| TrainError::Subspace {
+                    consumer: id,
+                    source,
+                })?,
             )
         };
         let (p, d, q) = params.arima_order;
         let model = ArimaSpec::new(p, d, q)
             .ok()
-            .and_then(|spec| ArimaModel::fit(train.flat(), spec).ok());
+            .and_then(|spec| ArimaModel::fit_with(&mut scratch.fit, train.flat(), spec).ok());
+        // Seed the forecaster once and share the seeded state: the
+        // integrated detector's interval core is exactly the plain
+        // detector, so replaying the 20k-reading history a second time
+        // reproduces a state we already have.
         let (arima, integrated) = match &model {
-            Some(m) => (
-                Some(ArimaDetector::new(m.clone(), train, params.confidence)),
-                Some(IntegratedArimaDetector::new(
-                    m.clone(),
-                    train,
-                    params.confidence,
-                )),
-            ),
+            Some(m) => {
+                let arima = ArimaDetector::new(m.clone(), train, params.confidence);
+                let integrated = IntegratedArimaDetector::from_seeded(arima.clone(), train);
+                (Some(arima), Some(integrated))
+            }
             None => (None, None),
         };
         let means = train.weekly_means();
@@ -209,9 +261,30 @@ impl TrainedConsumer {
         index: usize,
         config: &EvalConfig,
     ) -> Result<Self, TrainError> {
+        Self::train_with(record, index, config, &mut TrainScratch::new())
+    }
+
+    /// [`TrainedConsumer::train`] over caller-owned scratch buffers; see
+    /// [`TrainedConsumer::from_window_with`]. Bit-identical to
+    /// [`TrainedConsumer::train`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TrainedConsumer::train`].
+    pub fn train_with(
+        record: &ConsumerRecord,
+        index: usize,
+        config: &EvalConfig,
+        scratch: &mut TrainScratch,
+    ) -> Result<Self, TrainError> {
         let (train, test) = Self::split_record(record, config)?;
-        let mut artifact =
-            Self::from_window(record.id, index, &train, &ArtifactParams::from_eval(config))?;
+        let mut artifact = Self::from_window_with(
+            record.id,
+            index,
+            &train,
+            &ArtifactParams::from_eval(config),
+            scratch,
+        )?;
         artifact.test = Some(test);
         Ok(artifact)
     }
@@ -233,14 +306,15 @@ impl TrainedConsumer {
                 available: total_weeks,
             });
         }
-        let train = record
-            .series
-            .week_range(0, config.train_weeks)
-            .and_then(|s| s.to_week_matrix())?;
-        let test = record
-            .series
-            .week_range(config.train_weeks, total_weeks)
-            .and_then(|s| s.to_week_matrix())?;
+        // Slice the raw readings directly into each matrix: one copy per
+        // window, instead of an intermediate sub-series copy that
+        // `to_week_matrix` would clone again. Bit-identical data; the
+        // bounds are guaranteed by the `total_weeks` check above, and
+        // `from_flat` still validates every reading.
+        let flat = record.series.as_slice();
+        let split = config.train_weeks * SLOTS_PER_WEEK;
+        let train = WeekMatrix::from_flat(flat[..split].to_vec())?;
+        let test = WeekMatrix::from_flat(flat[split..total_weeks * SLOTS_PER_WEEK].to_vec())?;
         Ok((train, test))
     }
 
@@ -266,15 +340,14 @@ impl TrainedConsumer {
         pca: Option<PcaDetector>,
     ) -> Result<Self, TrainError> {
         let (train, test) = Self::split_record(record, config)?;
+        // One seeding pass shared by both interval detectors, as on the
+        // cold path.
         let (arima, integrated) = match &model {
-            Some(m) => (
-                Some(ArimaDetector::new(m.clone(), &train, config.confidence)),
-                Some(IntegratedArimaDetector::new(
-                    m.clone(),
-                    &train,
-                    config.confidence,
-                )),
-            ),
+            Some(m) => {
+                let arima = ArimaDetector::new(m.clone(), &train, config.confidence);
+                let integrated = IntegratedArimaDetector::from_seeded(arima.clone(), &train);
+                (Some(arima), Some(integrated))
+            }
             None => (None, None),
         };
         let means = train.weekly_means();
@@ -560,12 +633,15 @@ impl EvalEngine {
         config.validate()?;
         let threads = config.worker_threads(dataset.len());
         let started = Instant::now();
-        let artifacts = run_work_stealing(
+        let artifacts = run_work_stealing_stateful(
             dataset.len(),
             threads,
             progress.as_deref(),
             EngineStage::Train,
-            |index| TrainedConsumer::train(dataset.consumer(index), index, config),
+            TrainScratch::new,
+            |scratch, index| {
+                TrainedConsumer::train_with(dataset.consumer(index), index, config, scratch)
+            },
         )?;
         let stats = EngineStats {
             train_wall: started.elapsed(),
@@ -929,6 +1005,29 @@ where
     T: Send,
     F: Fn(usize) -> Result<T, TrainError> + Sync,
 {
+    run_work_stealing_stateful(n, threads, progress, stage, || (), |_, index| work(index))
+}
+
+/// [`run_work_stealing`] with per-worker mutable state: `make_state` runs
+/// once per worker thread and the resulting state is threaded through every
+/// item that worker claims — how the trainer gives each worker one
+/// [`TrainScratch`] reused across its consumers. Determinism is untouched:
+/// the claim/abort protocol and the merge-by-index are identical, and the
+/// state is scratch-only (every consumer overwrites it before reading), so
+/// output remains byte-identical across thread counts and interleavings.
+pub(crate) fn run_work_stealing_stateful<S, T, M, F>(
+    n: usize,
+    threads: usize,
+    progress: Option<&ProgressFn>,
+    stage: EngineStage,
+    make_state: M,
+    work: F,
+) -> Result<Vec<T>, EvalError>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T, TrainError> + Sync,
+{
     if n == 0 {
         return Ok(Vec::new());
     }
@@ -936,8 +1035,9 @@ where
     let queue = WorkQueue::new(n);
     let worker = |_worker_id: usize| -> Result<Vec<(usize, T)>, TrainError> {
         let mut local = Vec::new();
+        let mut state = make_state();
         while let Some(index) = queue.claim() {
-            match work(index) {
+            match work(&mut state, index) {
                 Ok(value) => {
                     local.push((index, value));
                     let completed = queue.complete();
@@ -1207,6 +1307,62 @@ mod tests {
             Ok::<usize, TrainError>(i)
         });
         assert_eq!(result.unwrap_err(), EvalError::WorkerPanicked);
+    }
+
+    #[test]
+    fn training_is_invariant_across_thread_counts() {
+        // One worker (a single TrainScratch reused across every consumer)
+        // and four workers (four scratches, work-stealing interleaving)
+        // must produce bit-identical artifacts and evaluation output.
+        let data = corpus(6, 12, 19);
+        let mut one = config();
+        one.threads = 1;
+        let mut four = config();
+        four.threads = 4;
+        let e1 = EvalEngine::train(&data, &one).expect("valid corpus");
+        let e4 = EvalEngine::train(&data, &four).expect("valid corpus");
+        assert_eq!(e1.artifacts().len(), e4.artifacts().len());
+        for (a, b) in e1.artifacts().iter().zip(e4.artifacts()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.kld_base(), b.kld_base());
+            assert_eq!(a.conditioned_base(), b.conditioned_base());
+            assert_eq!(a.model(), b.model());
+            assert_eq!(a.mean_range(), b.mean_range());
+            assert_eq!(
+                a.pca_at(SignificanceLevel::Five),
+                b.pca_at(SignificanceLevel::Five)
+            );
+        }
+        let r1 = e1.evaluate().expect("scores");
+        let r4 = e4.evaluate().expect("scores");
+        // The configs legitimately differ in their `threads` field, so
+        // compare the scored consumers, not the whole Evaluation.
+        assert_eq!(
+            r1.consumers, r4.consumers,
+            "evaluation must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn worker_scratch_reuse_matches_fresh_scratch_training() {
+        // A single-threaded engine reuses one TrainScratch across the whole
+        // corpus; every artifact must equal one trained with a fresh
+        // scratch per consumer.
+        let data = corpus(5, 12, 20);
+        let mut cfg = config();
+        cfg.threads = 1;
+        let engine = EvalEngine::train(&data, &cfg).expect("valid corpus");
+        for (index, artifact) in engine.artifacts().iter().enumerate() {
+            let fresh = TrainedConsumer::train(data.consumer(index), index, &cfg).expect("trains");
+            assert_eq!(artifact.kld_base(), fresh.kld_base());
+            assert_eq!(artifact.conditioned_base(), fresh.conditioned_base());
+            assert_eq!(artifact.model(), fresh.model());
+            assert_eq!(artifact.mean_range(), fresh.mean_range());
+            assert_eq!(
+                artifact.pca_at(SignificanceLevel::Five),
+                fresh.pca_at(SignificanceLevel::Five)
+            );
+        }
     }
 
     #[test]

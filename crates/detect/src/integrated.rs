@@ -31,6 +31,16 @@ impl IntegratedArimaDetector {
 
     /// Trains the detector from the model and training matrix.
     pub fn new(model: ArimaModel, train: &WeekMatrix, confidence: f64) -> Self {
+        Self::from_seeded(ArimaDetector::new(model, train, confidence), train)
+    }
+
+    /// Trains the detector around an already-seeded interval detector,
+    /// reusing its forecaster seed instead of replaying the full training
+    /// history a second time. Equivalent to
+    /// [`IntegratedArimaDetector::new`] when `inner` was seeded on the
+    /// same `train` (a training pipeline that builds both detectors pays
+    /// for one seeding pass instead of two).
+    pub fn from_seeded(inner: ArimaDetector, train: &WeekMatrix) -> Self {
         let means = train.weekly_means();
         let vars = train.weekly_variances();
         let min_mean = means.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -39,7 +49,7 @@ impl IntegratedArimaDetector {
         let max_var = vars.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let slack = Self::RANGE_SLACK;
         Self {
-            inner: ArimaDetector::new(model, train, confidence),
+            inner,
             mean_range: (min_mean * (1.0 - slack), max_mean * (1.0 + slack)),
             var_range: (min_var * (1.0 - slack), max_var * (1.0 + slack)),
         }

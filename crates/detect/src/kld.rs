@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use fdeta_gridsim::pricing::TouPlan;
 use fdeta_tsdata::bands::BandMap;
 use fdeta_tsdata::hist::{BinEdges, HistScratch, Histogram};
-use fdeta_tsdata::kl::{kl_divergence_smoothed, kl_divergence_smoothed_counts};
+use fdeta_tsdata::kl::kl_divergence_smoothed_counts;
 use fdeta_tsdata::stats::Quantile;
 use fdeta_tsdata::week::{WeekMatrix, WeekVector};
 use fdeta_tsdata::TsError;
@@ -219,6 +219,24 @@ impl KldDetector {
         Ok(detector)
     }
 
+    /// [`KldDetector::train`] with a caller-provided scratch instead of the
+    /// thread-local one; see [`KldDetector::try_score_with`] for when that
+    /// matters. Bit-identical to [`KldDetector::train`].
+    ///
+    /// # Errors
+    ///
+    /// As [`KldDetector::train`].
+    pub fn train_with(
+        train: &WeekMatrix,
+        bins: usize,
+        level: SignificanceLevel,
+        scratch: &mut HistScratch,
+    ) -> Result<Self, TsError> {
+        let mut detector = Self::train_at_percentile_with(train, bins, level.percentile(), scratch)?;
+        detector.level = Some(level);
+        Ok(detector)
+    }
+
     /// Trains with an arbitrary threshold percentile (the significance
     /// level is `1 − percentile`); used by the ablation sweeps.
     ///
@@ -234,12 +252,41 @@ impl KldDetector {
         bins: usize,
         percentile: f64,
     ) -> Result<Self, TsError> {
+        SCORE_SCRATCH
+            .with(|cell| Self::train_at_percentile_with(train, bins, percentile, &mut cell.borrow_mut()))
+    }
+
+    /// [`KldDetector::train_at_percentile`] with a caller-provided scratch:
+    /// the per-week training histograms are counted into the scratch's
+    /// reused buffers instead of allocating a fresh histogram (and cloning
+    /// the edges) per training week. Bit-identical to
+    /// [`KldDetector::train_at_percentile`] — the counts-based divergence
+    /// reads the same counts the allocating path would produce.
+    ///
+    /// # Errors
+    ///
+    /// As [`KldDetector::train_at_percentile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `[0, 1]`.
+    pub fn train_at_percentile_with(
+        train: &WeekMatrix,
+        bins: usize,
+        percentile: f64,
+        scratch: &mut HistScratch,
+    ) -> Result<Self, TsError> {
         let edges = BinEdges::from_sample(train.flat(), bins)?;
         let baseline = edges.histogram(train.flat());
         let mut training_k = Vec::with_capacity(train.weeks());
         for week in train.iter_weeks() {
-            let hist = edges.histogram(week);
-            training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
+            edges.histogram_into(week, scratch);
+            training_k.push(kl_divergence_smoothed_counts(
+                scratch.counts(),
+                scratch.total(),
+                baseline.counts(),
+                baseline.total(),
+            )?);
         }
         training_k.sort_by(f64::total_cmp);
         let threshold = Quantile::of_sorted(&training_k, percentile);
@@ -570,6 +617,32 @@ impl ConditionedKldDetector {
         Self::train_with_bands(train, vec![off_slots, peak_slots], bins, level)
     }
 
+    /// [`ConditionedKldDetector::train_tou`] with a caller-provided scratch
+    /// instead of the thread-local one; see
+    /// [`KldDetector::try_score_with`] for when that matters.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConditionedKldDetector::train_tou`].
+    pub fn train_tou_with(
+        train: &WeekMatrix,
+        plan: &TouPlan,
+        bins: usize,
+        level: SignificanceLevel,
+        scratch: &mut HistScratch,
+    ) -> Result<Self, TsError> {
+        let mut peak_slots = Vec::new();
+        let mut off_slots = Vec::new();
+        for slot in 0..fdeta_tsdata::SLOTS_PER_WEEK {
+            if plan.is_peak(slot) {
+                peak_slots.push(slot);
+            } else {
+                off_slots.push(slot);
+            }
+        }
+        Self::train_with_bands_with(train, vec![off_slots, peak_slots], bins, level, scratch)
+    }
+
     /// Trains with explicit slot bands (e.g. one per RTP price level).
     ///
     /// # Errors
@@ -584,21 +657,52 @@ impl ConditionedKldDetector {
         bins: usize,
         level: SignificanceLevel,
     ) -> Result<Self, TsError> {
+        SCORE_SCRATCH.with(|cell| {
+            Self::train_with_bands_with(train, band_slots, bins, level, &mut cell.borrow_mut())
+        })
+    }
+
+    /// [`ConditionedKldDetector::train_with_bands`] with a caller-provided
+    /// scratch: the band sample and the per-week band values are gathered
+    /// into the scratch's reused buffers instead of allocating a fresh
+    /// vector (and a fresh histogram with cloned edges) per training week
+    /// per band. Bit-identical to
+    /// [`ConditionedKldDetector::train_with_bands`] — the gathered values
+    /// and the counts-based divergence reproduce the allocating path's
+    /// arithmetic exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConditionedKldDetector::train_with_bands`].
+    pub fn train_with_bands_with(
+        train: &WeekMatrix,
+        band_slots: Vec<Vec<usize>>,
+        bins: usize,
+        level: SignificanceLevel,
+        scratch: &mut HistScratch,
+    ) -> Result<Self, TsError> {
         let map = BandMap::from_bands(&band_slots, fdeta_tsdata::SLOTS_PER_WEEK)?;
         let mut bands = Vec::with_capacity(band_slots.len());
         for slots in &band_slots {
             // Collect the band's values across all training weeks.
-            let mut sample = Vec::with_capacity(slots.len() * train.weeks());
+            let sample = scratch.gather_mut();
+            sample.reserve(slots.len() * train.weeks());
             for week in train.iter_weeks() {
                 sample.extend(slots.iter().map(|&s| week[s]));
             }
-            let edges = BinEdges::from_sample(&sample, bins)?;
-            let baseline = edges.histogram(&sample);
+            let edges = BinEdges::from_sample(scratch.gathered(), bins)?;
+            let baseline = edges.histogram(scratch.gathered());
             let mut training_k = Vec::with_capacity(train.weeks());
             for week in train.iter_weeks() {
-                let values: Vec<f64> = slots.iter().map(|&s| week[s]).collect();
-                let hist = edges.histogram(&values);
-                training_k.push(kl_divergence_smoothed(&hist, &baseline)?);
+                let values = scratch.gather_mut();
+                values.extend(slots.iter().map(|&s| week[s]));
+                edges.histogram_gathered(scratch);
+                training_k.push(kl_divergence_smoothed_counts(
+                    scratch.counts(),
+                    scratch.total(),
+                    baseline.counts(),
+                    baseline.total(),
+                )?);
             }
             training_k.sort_by(f64::total_cmp);
             let threshold = Quantile::of_sorted(&training_k, level.percentile());
@@ -1077,6 +1181,86 @@ mod tests {
             det.try_score_masked(&week, &[true; 10]),
             Err(KldError::Ts(TsError::MaskLengthMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn scratch_training_matches_allocating_arithmetic() {
+        // The scratch-based training paths must reproduce the pre-scratch
+        // allocating arithmetic bit for bit: fresh histogram per training
+        // week, smoothed divergence on the materialised histograms.
+        use fdeta_tsdata::kl::kl_divergence_smoothed;
+        let train = training(30, 14);
+        let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        let edges = BinEdges::from_sample(train.flat(), DEFAULT_BINS).unwrap();
+        let baseline = edges.histogram(train.flat());
+        let mut training_k: Vec<f64> = train
+            .iter_weeks()
+            .map(|week| kl_divergence_smoothed(&edges.histogram(week), &baseline).unwrap())
+            .collect();
+        training_k.sort_by(f64::total_cmp);
+        assert_eq!(det.training_divergences(), training_k.as_slice());
+        assert_eq!(det.baseline(), &baseline);
+        assert_eq!(det.threshold(), Quantile::of_sorted(&training_k, 0.95));
+
+        let plan = TouPlan::ireland_nightsaver();
+        let cond =
+            ConditionedKldDetector::train_tou(&train, &plan, DEFAULT_BINS, SignificanceLevel::Ten)
+                .unwrap();
+        for band in 0..cond.band_count() {
+            let view = cond.band_view(band);
+            let mut sample = Vec::new();
+            for week in train.iter_weeks() {
+                sample.extend(view.slots.iter().map(|&s| week[s]));
+            }
+            let band_edges = BinEdges::from_sample(&sample, DEFAULT_BINS).unwrap();
+            let band_baseline = band_edges.histogram(&sample);
+            let mut band_k: Vec<f64> = train
+                .iter_weeks()
+                .map(|week| {
+                    let values: Vec<f64> = view.slots.iter().map(|&s| week[s]).collect();
+                    kl_divergence_smoothed(&band_edges.histogram(&values), &band_baseline).unwrap()
+                })
+                .collect();
+            band_k.sort_by(f64::total_cmp);
+            assert_eq!(view.edges, &band_edges, "band {band} edges");
+            assert_eq!(view.baseline, &band_baseline, "band {band} baseline");
+            assert_eq!(
+                view.threshold,
+                Quantile::of_sorted(&band_k, 0.90),
+                "band {band} threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_training_scratch_is_deterministic() {
+        // One scratch reused across consumers (the work-stealing trainer's
+        // pattern) must produce the same detectors as fresh scratch, even
+        // when the scratch was warmed on a differently shaped input.
+        let a = training(20, 15);
+        let b = training(30, 16);
+        let mut scratch = HistScratch::new();
+        let _ = KldDetector::train_with(&a, DEFAULT_BINS, SignificanceLevel::Ten, &mut scratch)
+            .unwrap();
+        let warm =
+            KldDetector::train_with(&b, DEFAULT_BINS, SignificanceLevel::Five, &mut scratch)
+                .unwrap();
+        let fresh = KldDetector::train(&b, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
+        assert_eq!(warm, fresh);
+
+        let plan = TouPlan::ireland_nightsaver();
+        let warm_cond = ConditionedKldDetector::train_tou_with(
+            &b,
+            &plan,
+            DEFAULT_BINS,
+            SignificanceLevel::Ten,
+            &mut scratch,
+        )
+        .unwrap();
+        let fresh_cond =
+            ConditionedKldDetector::train_tou(&b, &plan, DEFAULT_BINS, SignificanceLevel::Ten)
+                .unwrap();
+        assert_eq!(warm_cond, fresh_cond);
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub use arima_detector::ArimaDetector;
 pub use budget::AlertBudget;
 pub use detector::{Detector, Verdict};
 pub use engine::{
-    AlphaPoint, ArtifactParams, EngineStage, EngineStats, EvalEngine, TrainedConsumer,
+    AlphaPoint, ArtifactParams, EngineStage, EngineStats, EvalEngine, TrainScratch,
+    TrainedConsumer,
 };
 pub use error::{ConfigError, EvalError, TrainError};
 #[allow(deprecated)]
@@ -65,7 +66,7 @@ pub use eval::{
 };
 pub use integrated::IntegratedArimaDetector;
 pub use kld::{BandView, ConditionedKldDetector, KldDetector, KldError, SignificanceLevel};
-pub use pca::PcaDetector;
+pub use pca::{PcaDetector, PcaScratch};
 pub use robustness::{
     QuarantinedConsumer, RepairAttempt, RobustEngine, RobustEvaluation, RobustnessConfig,
 };

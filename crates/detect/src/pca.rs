@@ -48,8 +48,46 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Dot products of four equal-length rows against `v` in one pass. Each
+/// accumulator sums its row's products in the same element order as
+/// [`dot`], so all four results are bit-identical to four separate `dot`
+/// calls — but the four independent add chains overlap in the FP pipeline
+/// instead of serialising on one accumulator's add latency, which is what
+/// makes the power sweep below latency-bound when done row by row.
+fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (((&y, &x0), (&x1, &x2)), &x3) in v.iter().zip(r0).zip(r1.iter().zip(r2)).zip(r3) {
+        a0 += x0 * y;
+        a1 += x1 * y;
+        a2 += x2 * y;
+        a3 += x3 * y;
+    }
+    [a0, a1, a2, a3]
+}
+
 fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
+}
+
+/// Reusable training scratch for [`PcaDetector::train_with`]: the centred
+/// row matrix (stored flat and deflated in place) and the power-iteration
+/// accumulator. Training one consumer after another through the same
+/// scratch reuses these buffers instead of reallocating the `m × 336`
+/// matrix — twice — plus one accumulator per power sweep per consumer.
+#[derive(Debug, Clone, Default)]
+pub struct PcaScratch {
+    /// Flat row-major centred training rows (`m × 336`), deflated in place
+    /// as components are extracted.
+    rows: Vec<f64>,
+    /// Next-iterate accumulator for the power method.
+    next: Vec<f64>,
+}
+
+impl PcaScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl PcaDetector {
@@ -66,6 +104,27 @@ impl PcaDetector {
         train: &WeekMatrix,
         components: usize,
         level: SignificanceLevel,
+    ) -> Result<Self, TsError> {
+        Self::train_with(train, components, level, &mut PcaScratch::new())
+    }
+
+    /// [`PcaDetector::train`] over caller-owned scratch buffers, for
+    /// training loops that fit one consumer after another. Bit-identical
+    /// to [`PcaDetector::train`]: the flat scratch matrix applies exactly
+    /// the per-row arithmetic the row-of-rows layout did, and the training
+    /// residual norms are read off the fully deflated rows — which hold,
+    /// element for element, the same residual the old code recomputed per
+    /// pristine centred row (sequential projection against the extracted
+    /// components in extraction order).
+    ///
+    /// # Errors
+    ///
+    /// As [`PcaDetector::train`].
+    pub fn train_with(
+        train: &WeekMatrix,
+        components: usize,
+        level: SignificanceLevel,
+        scratch: &mut PcaScratch,
     ) -> Result<Self, TsError> {
         let m = train.weeks();
         if m < components + 2 {
@@ -84,16 +143,18 @@ impl PcaDetector {
         for v in &mut mean {
             *v /= m as f64;
         }
-        // Centred rows.
-        let centered: Vec<Vec<f64>> = train
-            .iter_weeks()
-            .map(|week| week.iter().zip(&mean).map(|(v, mu)| v - mu).collect())
-            .collect();
+        // Centred rows, flat row-major in the reused scratch; deflation
+        // happens in place, so no second copy of the matrix is needed.
+        let rows = &mut scratch.rows;
+        rows.clear();
+        rows.reserve(m * SLOTS_PER_WEEK);
+        for week in train.iter_weeks() {
+            rows.extend(week.iter().zip(&mean).map(|(v, mu)| v - mu));
+        }
 
         // Power iteration with deflation on the implicit covariance
         // C = Xᵀ X / m: multiply v ← Σ_i (x_i · v) x_i without forming C.
         let mut extracted: Vec<Vec<f64>> = Vec::with_capacity(components);
-        let mut residual_rows = centered.clone();
         for c in 0..components {
             // Deterministic start: a unit vector with structure.
             let mut v: Vec<f64> = (0..SLOTS_PER_WEEK)
@@ -104,24 +165,56 @@ impl PcaDetector {
                 *x /= n;
             }
             for _ in 0..POWER_ITERATIONS {
-                let mut next = vec![0.0; SLOTS_PER_WEEK];
-                for row in &residual_rows {
+                let next = &mut scratch.next;
+                next.clear();
+                next.resize(SLOTS_PER_WEEK, 0.0);
+                // Rows go through in groups of four: the projections come
+                // from one interleaved [`dot4`] pass, then the four
+                // accumulations land element by element in row order —
+                // the exact order the row-at-a-time loop used, so `next`
+                // is bit-identical while the dominant dot-product chains
+                // overlap instead of serialising.
+                let mut quads = rows.chunks_exact(4 * SLOTS_PER_WEEK);
+                for quad in &mut quads {
+                    let (r0, rest) = quad.split_at(SLOTS_PER_WEEK);
+                    let (r1, rest) = rest.split_at(SLOTS_PER_WEEK);
+                    let (r2, r3) = rest.split_at(SLOTS_PER_WEEK);
+                    let [s0, s1, s2, s3] = dot4(r0, r1, r2, r3, &v);
+                    for (j, acc) in next.iter_mut().enumerate() {
+                        *acc += s0 * r0[j];
+                        *acc += s1 * r1[j];
+                        *acc += s2 * r2[j];
+                        *acc += s3 * r3[j];
+                    }
+                }
+                for row in quads.remainder().chunks_exact(SLOTS_PER_WEEK) {
                     let scale = dot(row, &v);
                     for (acc, x) in next.iter_mut().zip(row) {
                         *acc += scale * x;
                     }
                 }
-                let n = norm(&next);
+                let n = norm(next);
                 if n < 1e-12 {
                     break; // no variance left
                 }
-                for x in &mut next {
+                for x in next.iter_mut() {
                     *x /= n;
                 }
-                v = next;
+                // Exact-fixpoint cutoff: the sweep is a deterministic
+                // function of the iterate, so once one sweep reproduces it
+                // bit for bit, every remaining sweep would reproduce it
+                // again — skipping them cannot change the result. Only
+                // strongly gapped spectra pin down the iterate to the last
+                // ulp within the budget, so this is an opportunistic exit,
+                // not the common case.
+                let converged = next.iter().zip(&v).all(|(a, b)| a.to_bits() == b.to_bits());
+                std::mem::swap(&mut v, next);
+                if converged {
+                    break;
+                }
             }
             // Deflate: remove this component from every row.
-            for row in &mut residual_rows {
+            for row in rows.chunks_exact_mut(SLOTS_PER_WEEK) {
                 let scale = dot(row, &v);
                 for (x, pc) in row.iter_mut().zip(&v) {
                     *x -= scale * pc;
@@ -130,11 +223,11 @@ impl PcaDetector {
             extracted.push(v);
         }
 
-        // Training residual norms with the final subspace.
-        let mut errors: Vec<f64> = centered
-            .iter()
-            .map(|row| Self::residual_norm(row, &extracted))
-            .collect();
+        // Training residual norms with the final subspace: the deflated
+        // rows *are* the residuals (each row has had every component
+        // projected out in extraction order, the exact operation
+        // `residual_norm` performs on a pristine centred row).
+        let mut errors: Vec<f64> = rows.chunks_exact(SLOTS_PER_WEEK).map(norm).collect();
         // Residuals are finite norms; total_cmp agrees with the partial
         // order there and cannot panic on adversarial input.
         errors.sort_by(f64::total_cmp);
@@ -349,6 +442,90 @@ mod tests {
         let base = PcaDetector::train(&train, 3, SignificanceLevel::Five).unwrap();
         let fresh = PcaDetector::train(&train, 3, SignificanceLevel::Ten).unwrap();
         assert_eq!(base.at_level(SignificanceLevel::Ten), fresh);
+    }
+
+    /// The pre-scratch training algorithm, reproduced verbatim (row-of-rows
+    /// matrix, cloned residual rows, fresh accumulator per power sweep,
+    /// residual norms recomputed per pristine centred row).
+    fn legacy_train(
+        train: &WeekMatrix,
+        components: usize,
+        level: SignificanceLevel,
+    ) -> (Vec<f64>, Vec<Vec<f64>>, f64, Vec<f64>) {
+        let m = train.weeks();
+        let mut mean = vec![0.0; SLOTS_PER_WEEK];
+        for week in train.iter_weeks() {
+            for (acc, v) in mean.iter_mut().zip(week) {
+                *acc += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= m as f64;
+        }
+        let centered: Vec<Vec<f64>> = train
+            .iter_weeks()
+            .map(|week| week.iter().zip(&mean).map(|(v, mu)| v - mu).collect())
+            .collect();
+        let mut extracted: Vec<Vec<f64>> = Vec::with_capacity(components);
+        let mut residual_rows = centered.clone();
+        for c in 0..components {
+            let mut v: Vec<f64> = (0..SLOTS_PER_WEEK)
+                .map(|i| ((i + c + 1) as f64 * 0.37).sin())
+                .collect();
+            let n = norm(&v);
+            for x in &mut v {
+                *x /= n;
+            }
+            for _ in 0..POWER_ITERATIONS {
+                let mut next = vec![0.0; SLOTS_PER_WEEK];
+                for row in &residual_rows {
+                    let scale = dot(row, &v);
+                    for (acc, x) in next.iter_mut().zip(row) {
+                        *acc += scale * x;
+                    }
+                }
+                let n = norm(&next);
+                if n < 1e-12 {
+                    break;
+                }
+                for x in &mut next {
+                    *x /= n;
+                }
+                v = next;
+            }
+            for row in &mut residual_rows {
+                let scale = dot(row, &v);
+                for (x, pc) in row.iter_mut().zip(&v) {
+                    *x -= scale * pc;
+                }
+            }
+            extracted.push(v);
+        }
+        let mut errors: Vec<f64> = centered
+            .iter()
+            .map(|row| PcaDetector::residual_norm(row, &extracted))
+            .collect();
+        errors.sort_by(f64::total_cmp);
+        let threshold = Quantile::of_sorted(&errors, level.percentile());
+        (mean, extracted, threshold, errors)
+    }
+
+    #[test]
+    fn scratch_training_is_bit_identical_to_legacy() {
+        // Exercise scratch reuse across differently sized consumers too:
+        // the second training must not see the first one's buffers.
+        let mut scratch = PcaScratch::new();
+        for (weeks, seed, k) in [(30usize, 7u64, 3usize), (12, 8, 2), (40, 9, 3)] {
+            let train = training(weeks, seed);
+            let det =
+                PcaDetector::train_with(&train, k, SignificanceLevel::Five, &mut scratch).unwrap();
+            let (mean, components, threshold, errors) =
+                legacy_train(&train, k, SignificanceLevel::Five);
+            assert_eq!(det.mean, mean, "{weeks}w mean");
+            assert_eq!(det.components, components, "{weeks}w components");
+            assert_eq!(det.threshold.to_bits(), threshold.to_bits(), "{weeks}w threshold");
+            assert_eq!(det.training_errors, errors, "{weeks}w errors");
+        }
     }
 
     #[test]

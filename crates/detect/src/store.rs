@@ -184,7 +184,14 @@ impl ArtifactStore {
 
     /// The file a given `(corpus, config)` pair maps to.
     pub fn path_for(&self, dataset: &SyntheticDataset, config: &EvalConfig) -> PathBuf {
-        let key = Self::corpus_key(dataset, config);
+        self.path_for_key(Self::corpus_key(dataset, config))
+    }
+
+    /// The file an already-computed corpus key maps to. The key hash
+    /// walks every reading in the corpus (~12M words at paper scale), so
+    /// the internal paths hash once and thread the key instead of
+    /// recomputing it per lookup.
+    fn path_for_key(&self, key: u64) -> PathBuf {
         self.root
             .join(format!("artifacts-v{STORE_VERSION}-{key:016x}.bin"))
     }
@@ -201,7 +208,15 @@ impl ArtifactStore {
         config: &EvalConfig,
         artifacts: &[TrainedConsumer],
     ) -> Result<PathBuf, StoreError> {
-        let path = self.path_for(dataset, config);
+        self.save_with_key(Self::corpus_key(dataset, config), artifacts)
+    }
+
+    fn save_with_key(
+        &self,
+        key: u64,
+        artifacts: &[TrainedConsumer],
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.path_for_key(key);
         let io_err = |e: std::io::Error| StoreError::Io {
             path: path.clone(),
             message: e.to_string(),
@@ -211,7 +226,7 @@ impl ArtifactStore {
         let mut w = ByteWriter::default();
         w.bytes(MAGIC);
         w.u32(STORE_VERSION);
-        w.u64(Self::corpus_key(dataset, config));
+        w.u64(key);
         w.u64(artifacts.len() as u64);
         for artifact in artifacts {
             write_consumer(&mut w, artifact);
@@ -239,7 +254,16 @@ impl ArtifactStore {
         dataset: &SyntheticDataset,
         config: &EvalConfig,
     ) -> Result<Option<Vec<TrainedConsumer>>, StoreError> {
-        let path = self.path_for(dataset, config);
+        self.load_with_key(Self::corpus_key(dataset, config), dataset, config)
+    }
+
+    fn load_with_key(
+        &self,
+        key: u64,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+    ) -> Result<Option<Vec<TrainedConsumer>>, StoreError> {
+        let path = self.path_for_key(key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -277,11 +301,10 @@ impl ArtifactStore {
                     "format version {version}, this build reads {STORE_VERSION}"
                 ));
             }
-            let key = r.u64()?;
-            let expected = Self::corpus_key(dataset, config);
-            if key != expected {
+            let stored_key = r.u64()?;
+            if stored_key != key {
                 return Err(format!(
-                    "corpus key {key:016x} does not match {expected:016x}"
+                    "corpus key {stored_key:016x} does not match {key:016x}"
                 ));
             }
             let count = r.len()?;
@@ -319,8 +342,9 @@ impl ArtifactStore {
         config: &EvalConfig,
         progress: Option<Box<ProgressFn>>,
     ) -> Result<(EvalEngine, CacheOutcome), EvalError> {
-        let path = self.path_for(dataset, config);
-        let (status, load_error) = match self.load(dataset, config) {
+        let key = Self::corpus_key(dataset, config);
+        let path = self.path_for_key(key);
+        let (status, load_error) = match self.load_with_key(key, dataset, config) {
             Ok(Some(artifacts)) => {
                 let engine = EvalEngine::from_artifacts(config, artifacts)?;
                 return Ok((
@@ -337,7 +361,7 @@ impl ArtifactStore {
             Err(e) => (CacheStatus::Invalid, Some(e)),
         };
         let engine = EvalEngine::train_with_progress(dataset, config, progress)?;
-        let save_error = self.save(dataset, config, engine.artifacts()).err();
+        let save_error = self.save_with_key(key, engine.artifacts()).err();
         Ok((
             engine,
             CacheOutcome {
@@ -603,6 +627,7 @@ impl ByteWriter {
 
     fn vec_f64(&mut self, values: &[f64]) {
         self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
         for &v in values {
             self.f64(v);
         }
@@ -610,6 +635,7 @@ impl ByteWriter {
 
     fn vec_u64(&mut self, values: &[u64]) {
         self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
         for &v in values {
             self.u64(v);
         }
@@ -617,6 +643,7 @@ impl ByteWriter {
 
     fn vec_usize(&mut self, values: &[usize]) {
         self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
         for &v in values {
             self.u64(v as u64);
         }
@@ -690,23 +717,33 @@ impl<'a> ByteReader<'a> {
         Ok(len)
     }
 
+    /// Takes the next `len` 8-byte little-endian words as one bounds
+    /// check + one contiguous slice, instead of one ranged read per
+    /// element — the warm path decodes hundreds of thousands of words per
+    /// fleet, and the per-element cursor arithmetic dominated loading.
+    fn words(&mut self, len: usize) -> Result<impl Iterator<Item = u64> + 'a, String> {
+        let raw = self.bytes(len * 8)?;
+        Ok(raw.chunks_exact(8).map(|chunk| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            u64::from_le_bytes(buf)
+        }))
+    }
+
     fn vec_f64(&mut self) -> Result<Vec<f64>, String> {
         let len = self.checked_len(8)?;
-        (0..len).map(|_| self.f64()).collect()
+        Ok(self.words(len)?.map(f64::from_bits).collect())
     }
 
     fn vec_u64(&mut self) -> Result<Vec<u64>, String> {
         let len = self.checked_len(8)?;
-        (0..len).map(|_| self.u64()).collect()
+        Ok(self.words(len)?.collect())
     }
 
     fn vec_usize(&mut self) -> Result<Vec<usize>, String> {
         let len = self.checked_len(8)?;
-        (0..len)
-            .map(|_| {
-                let raw = self.u64()?;
-                usize::try_from(raw).map_err(|_| format!("slot {raw} overflows usize"))
-            })
+        self.words(len)?
+            .map(|raw| usize::try_from(raw).map_err(|_| format!("slot {raw} overflows usize")))
             .collect()
     }
 }

@@ -30,6 +30,16 @@
 //!   architecture. Escape hatch: `// lint:allow(vec-alloc-in-score-path,
 //!   <reason>)` for cold, deliberate allocations (e.g. building the result
 //!   vector of a non-hot convenience wrapper).
+//! * [`Rule::VecAllocInFitPath`] — heap allocation inside an ARIMA
+//!   fitting-path function (`crates/arima/src/{fit,linalg,select}.rs`).
+//!   Training fits a full `(p, q)` grid per consumer; the hot path
+//!   threads a `FitScratch`/`LsScratch` through every fit, so a stray
+//!   allocation per candidate multiplies across the fleet. Stricter than
+//!   the scoring rule: `.to_vec()` counts too, because the fit path's
+//!   scratch discipline is exactly about not cloning slices per
+//!   candidate. Escape hatch: `// lint:allow(vec-alloc-in-fit-path,
+//!   <reason>)` for allocations that are part of a result's ownership
+//!   contract or provably never touch the heap.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -49,6 +59,8 @@ pub enum Rule {
     LossyCastInDatapath,
     /// Heap allocation inside a detector scoring hot path.
     VecAllocInScorePath,
+    /// Heap allocation inside an ARIMA fitting hot path.
+    VecAllocInFitPath,
     /// A `lint:allow` annotation without a reason.
     LintAllowMissingReason,
     /// A `lint:allow` annotation naming no known rule.
@@ -64,6 +76,7 @@ impl Rule {
             Rule::NondeterministicIteration => "nondeterministic-iteration",
             Rule::LossyCastInDatapath => "lossy-cast-in-datapath",
             Rule::VecAllocInScorePath => "vec-alloc-in-score-path",
+            Rule::VecAllocInFitPath => "vec-alloc-in-fit-path",
             Rule::LintAllowMissingReason => "lint-allow-missing-reason",
             Rule::LintAllowUnknownRule => "lint-allow-unknown-rule",
         }
@@ -77,6 +90,7 @@ impl Rule {
             "nondeterministic-iteration" => Some(Rule::NondeterministicIteration),
             "lossy-cast-in-datapath" => Some(Rule::LossyCastInDatapath),
             "vec-alloc-in-score-path" => Some(Rule::VecAllocInScorePath),
+            "vec-alloc-in-fit-path" => Some(Rule::VecAllocInFitPath),
             "lint-allow-missing-reason" => Some(Rule::LintAllowMissingReason),
             "lint-allow-unknown-rule" => Some(Rule::LintAllowUnknownRule),
             _ => None,
@@ -100,6 +114,10 @@ impl Rule {
             Rule::VecAllocInScorePath => {
                 "reuse a HistScratch / out-buffer instead, or annotate a cold allocation with \
                  `// lint:allow(vec-alloc-in-score-path, <reason>)`"
+            }
+            Rule::VecAllocInFitPath => {
+                "thread a FitScratch/LsScratch buffer instead, or annotate a deliberate \
+                 allocation with `// lint:allow(vec-alloc-in-fit-path, <reason>)`"
             }
             Rule::LintAllowMissingReason => {
                 "write `// lint:allow(<rule>, <reason>)` — the reason is mandatory"
@@ -152,6 +170,8 @@ pub struct LintConfig {
     pub datapath_prefixes: Vec<String>,
     /// Path prefixes holding detector scoring hot paths (vec-alloc scope).
     pub score_path_prefixes: Vec<String>,
+    /// Exact files forming the ARIMA fitting hot path (fit-alloc scope).
+    pub fit_path_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -178,6 +198,14 @@ impl Default for LintConfig {
                 "crates/detect/src".to_owned(),
             ],
             score_path_prefixes: vec!["crates/detect/src".to_owned()],
+            fit_path_files: [
+                "crates/arima/src/fit.rs",
+                "crates/arima/src/linalg.rs",
+                "crates/arima/src/select.rs",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
         }
     }
 }
@@ -205,6 +233,11 @@ impl LintConfig {
         self.score_path_prefixes
             .iter()
             .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` is part of the ARIMA fitting hot path.
+    pub fn is_fit_path(&self, path: &str) -> bool {
+        self.fit_path_files.iter().any(|p| p == path)
     }
 }
 
@@ -352,6 +385,139 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// `score*`/`try_score*` family and the banded `*band_scores*` family.
 fn is_scoring_fn(name: &str) -> bool {
     name.starts_with("score") || name.starts_with("try_score") || name.contains("band_scores")
+}
+
+/// Whether a function name marks an ARIMA fitting hot path: the fit
+/// drivers (`fit*`, `hannan_rissanen*`), the per-candidate grid search
+/// (`select_order*`), the innovation-variance kernels
+/// (`conditional_sigma2*`), and the least-squares layer under them
+/// (`solve*`, `least_squares*`).
+fn is_fitting_fn(name: &str) -> bool {
+    name.starts_with("fit")
+        || name.starts_with("hannan_rissanen")
+        || name.starts_with("select_order")
+        || name.starts_with("conditional_sigma2")
+        || name.starts_with("solve")
+        || name.starts_with("least_squares")
+}
+
+/// Scans every non-test function whose name satisfies `is_hot` for heap
+/// allocations, pushing one `rule` finding per site. `what` names the
+/// path in messages ("scoring"/"fitting"); `flag_to_vec` additionally
+/// counts `.to_vec()` as an allocation — the fit path bans slice cloning
+/// per candidate, while the scoring rule predates that stricter contract.
+#[allow(clippy::too_many_arguments)]
+fn scan_hot_fn_allocs(
+    tokens: &[Token],
+    in_test: &[bool],
+    path: &str,
+    snippet_of: &dyn Fn(usize) -> String,
+    rule: Rule,
+    what: &str,
+    is_hot: fn(&str) -> bool,
+    flag_to_vec: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if in_test[i] || !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        if !is_hot(name) {
+            i += 1;
+            continue;
+        }
+        let name = name.to_owned();
+        // Find the body's opening `{` (a trait signature ends at `;`).
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let mut body_start = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct('(') {
+                paren += 1;
+            } else if tokens[j].is_punct(')') {
+                paren = paren.saturating_sub(1);
+            } else if paren == 0 && tokens[j].is_punct('{') {
+                body_start = Some(j);
+                break;
+            } else if paren == 0 && tokens[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Brace-match to the body's closing `}`.
+        let mut depth = 0usize;
+        let mut end = tokens.len();
+        let mut m = start;
+        while m < tokens.len() {
+            if tokens[m].is_punct('{') {
+                depth += 1;
+            } else if tokens[m].is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end = m + 1;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        for k in start..end {
+            if in_test[k] {
+                continue;
+            }
+            let Some(id) = tokens[k].ident() else { continue };
+            let alloc = if id == "Vec"
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens
+                    .get(k + 3)
+                    .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
+            {
+                Some(format!(
+                    "`Vec::{}`",
+                    tokens[k + 3].ident().unwrap_or_default()
+                ))
+            } else if id == "vec" && tokens.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+                Some("`vec!`".to_owned())
+            } else if id == "collect"
+                && k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens
+                    .get(k + 1)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+            {
+                Some("`.collect()`".to_owned())
+            } else if flag_to_vec
+                && id == "to_vec"
+                && k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            {
+                Some("`.to_vec()`".to_owned())
+            } else {
+                None
+            };
+            if let Some(found) = alloc {
+                findings.push(Finding {
+                    rule,
+                    path: path.to_owned(),
+                    line: tokens[k].line,
+                    snippet: snippet_of(tokens[k].line),
+                    message: format!("{found} allocates inside {what} hot path `fn {name}`"),
+                });
+            }
+        }
+        i = end;
+    }
 }
 
 /// Finds the index of the token closing the paren opened at `open`
@@ -541,99 +707,33 @@ pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> 
     if score_path {
         // vec-alloc-in-score-path: heap allocation inside a function whose
         // name marks it as a scoring hot path.
-        let mut i = 0usize;
-        while i < tokens.len() {
-            if in_test[i] || !tokens[i].is_ident("fn") {
-                i += 1;
-                continue;
-            }
-            let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
-                i += 1;
-                continue;
-            };
-            if !is_scoring_fn(name) {
-                i += 1;
-                continue;
-            }
-            let name = name.to_owned();
-            // Find the body's opening `{` (a trait signature ends at `;`).
-            let mut j = i + 2;
-            let mut paren = 0usize;
-            let mut body_start = None;
-            while j < tokens.len() {
-                if tokens[j].is_punct('(') {
-                    paren += 1;
-                } else if tokens[j].is_punct(')') {
-                    paren = paren.saturating_sub(1);
-                } else if paren == 0 && tokens[j].is_punct('{') {
-                    body_start = Some(j);
-                    break;
-                } else if paren == 0 && tokens[j].is_punct(';') {
-                    break;
-                }
-                j += 1;
-            }
-            let Some(start) = body_start else {
-                i = j + 1;
-                continue;
-            };
-            // Brace-match to the body's closing `}`.
-            let mut depth = 0usize;
-            let mut end = tokens.len();
-            let mut m = start;
-            while m < tokens.len() {
-                if tokens[m].is_punct('{') {
-                    depth += 1;
-                } else if tokens[m].is_punct('}') {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        end = m + 1;
-                        break;
-                    }
-                }
-                m += 1;
-            }
-            for k in start..end {
-                if in_test[k] {
-                    continue;
-                }
-                let Some(id) = tokens[k].ident() else { continue };
-                let alloc = if id == "Vec"
-                    && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
-                    && tokens
-                        .get(k + 3)
-                        .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
-                {
-                    Some(format!(
-                        "`Vec::{}`",
-                        tokens[k + 3].ident().unwrap_or_default()
-                    ))
-                } else if id == "vec" && tokens.get(k + 1).is_some_and(|t| t.is_punct('!')) {
-                    Some("`vec!`".to_owned())
-                } else if id == "collect"
-                    && k > 0
-                    && tokens[k - 1].is_punct('.')
-                    && tokens
-                        .get(k + 1)
-                        .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
-                {
-                    Some("`.collect()`".to_owned())
-                } else {
-                    None
-                };
-                if let Some(what) = alloc {
-                    findings.push(Finding {
-                        rule: Rule::VecAllocInScorePath,
-                        path: path.to_owned(),
-                        line: tokens[k].line,
-                        snippet: snippet_of(tokens[k].line),
-                        message: format!("{what} allocates inside scoring hot path `fn {name}`"),
-                    });
-                }
-            }
-            i = end;
-        }
+        scan_hot_fn_allocs(
+            tokens,
+            &in_test,
+            path,
+            &snippet_of,
+            Rule::VecAllocInScorePath,
+            "scoring",
+            is_scoring_fn,
+            false,
+            &mut findings,
+        );
+    }
+
+    if config.is_fit_path(path) {
+        // vec-alloc-in-fit-path: heap allocation (including `.to_vec()`)
+        // inside a function whose name marks it as a fitting hot path.
+        scan_hot_fn_allocs(
+            tokens,
+            &in_test,
+            path,
+            &snippet_of,
+            Rule::VecAllocInFitPath,
+            "fitting",
+            is_fitting_fn,
+            true,
+            &mut findings,
+        );
     }
 
     // Apply suppressions: an allow on the finding's line or the line above.
@@ -830,5 +930,66 @@ mod tests {
     fn scoring_fn_signature_without_body_is_skipped() {
         let src = "trait T {\n    fn score(&self) -> f64;\n}\nfn helper() -> Vec<f64> { Vec::new() }";
         assert!(lint_lib(src).is_empty());
+    }
+
+    fn lint_fit(source: &str) -> Vec<Finding> {
+        lint_file("crates/arima/src/fit.rs", source, &LintConfig::default())
+    }
+
+    #[test]
+    fn vec_alloc_in_fit_fn_is_flagged() {
+        let src = "fn fit_ar(w: &[f64]) -> Vec<f64> {\n    let out = Vec::with_capacity(4);\n    out\n}";
+        let findings = lint_fit(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::VecAllocInFitPath);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn to_vec_in_fit_fn_is_flagged() {
+        // The fit rule is stricter than the scoring rule: cloning a slice
+        // per candidate is exactly the allocation the scratch threading
+        // removed.
+        let src = "fn solve(beta: &[f64]) -> Vec<f64> {\n    beta.to_vec()\n}";
+        let findings = lint_fit(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::VecAllocInFitPath);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn to_vec_in_score_fn_stays_clean() {
+        // `.to_vec()` is only banned on the fit path; the scoring rule's
+        // contract (and its baseline keys) are unchanged.
+        let src = "fn score(v: &[f64]) -> Vec<f64> { v.to_vec() }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn fit_alloc_in_non_fitting_fn_is_clean() {
+        let src = "fn build_report() -> Vec<f64> { vec![0.0] }";
+        assert!(lint_fit(src).is_empty());
+    }
+
+    #[test]
+    fn fit_alloc_outside_fit_path_files_is_clean() {
+        // Same crate, but model.rs is not one of the three hot-path files.
+        let src = "fn fit_with(w: &[f64]) -> Vec<f64> { w.to_vec() }";
+        let findings = lint_file("crates/arima/src/model.rs", src, &LintConfig::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fit_alloc_allow_with_reason_suppresses() {
+        let src = "fn fit_core() {\n    // lint:allow(vec-alloc-in-fit-path, result ownership contract)\n    let _v: Vec<f64> = Vec::new();\n}";
+        assert!(lint_fit(src).is_empty());
+    }
+
+    #[test]
+    fn select_order_grid_fn_is_in_fit_scope() {
+        let src = "pub fn select_order_with(w: &[f64]) {\n    let _errs: Vec<f64> = w.iter().map(|v| v * v).collect();\n}";
+        let findings = lint_file("crates/arima/src/select.rs", src, &LintConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::VecAllocInFitPath);
     }
 }
