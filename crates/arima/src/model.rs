@@ -475,9 +475,32 @@ impl Forecaster {
         innovation
     }
 
+    /// One streaming tick: forecast the next reading, then observe the
+    /// actual `value`. Returns the **pre-observation** forecast — exactly
+    /// what a caller interleaving [`Forecaster::forecast`] and
+    /// [`Forecaster::observe`] would have seen, so a tick loop built on
+    /// `step` is bit-identical to the two-call batch loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn step(&mut self, value: f64, confidence: f64) -> Forecast {
+        let forecast = self.forecast(confidence);
+        self.observe(value);
+        forecast
+    }
+
     /// The model driving this forecaster.
     pub fn model(&self) -> &ArimaModel {
         &self.model
+    }
+
+    /// Heap bytes owned by this forecaster's (bounded) buffers, at
+    /// capacity — resident-state accounting for fleet serving. Excludes
+    /// the model's coefficient vectors, which are shared per consumer.
+    pub fn heap_bytes(&self) -> usize {
+        (self.history.capacity() + self.w_history.capacity() + self.residuals.capacity())
+            * std::mem::size_of::<f64>()
     }
 
     /// Forecasts `horizon` steps ahead from the current state, with
@@ -578,6 +601,22 @@ mod tests {
             (0.90..=0.99).contains(&coverage),
             "95% CI empirical coverage was {coverage}"
         );
+    }
+
+    #[test]
+    fn step_matches_forecast_then_observe() {
+        let series = simulate_ar1(0.6, 2.0, 1200, 12);
+        let (train, test) = series.split_at(1000);
+        let model = ArimaModel::fit(train, ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
+        let mut stepped = model.forecaster(train).unwrap();
+        let mut manual = stepped.clone();
+        for &v in test {
+            let f = stepped.step(v, 0.95);
+            let g = manual.forecast(0.95);
+            manual.observe(v);
+            assert_eq!(f, g, "step must return the pre-observation forecast");
+        }
+        assert_eq!(stepped, manual, "state after step equals forecast+observe");
     }
 
     #[test]

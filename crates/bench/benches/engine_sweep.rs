@@ -66,7 +66,7 @@ fn bench_sweep(c: &mut Criterion) {
             for artifact in engine.artifacts() {
                 let det = artifact.kld_base();
                 let week = artifact.test_matrix().expect("test window").week_vector(0);
-                let score = det.score(&week);
+                let score = det.score(&week).expect("trained detector scores");
                 for alpha in ALPHAS {
                     flags += usize::from(score > det.threshold_at(1.0 - alpha));
                 }
@@ -111,8 +111,8 @@ fn bench_scoring_path(c: &mut Criterion) {
                 let det = artifact.kld_base();
                 for week in weeks {
                     let hist = det.edges().histogram(week.as_slice());
-                    acc += kl_divergence_smoothed(&hist, det.baseline())
-                        .expect("finite histograms");
+                    acc +=
+                        kl_divergence_smoothed(&hist, det.baseline()).expect("finite histograms");
                 }
             }
             black_box(acc)
@@ -125,7 +125,7 @@ fn bench_scoring_path(c: &mut Criterion) {
             for (artifact, weeks) in &fleet {
                 let det = artifact.kld_base();
                 for week in weeks {
-                    acc += det.score(week);
+                    acc += det.score(week).expect("trained detector scores");
                 }
             }
             black_box(acc)

@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
-use fdeta_detect::eval::{try_evaluate, EvalConfig};
+use fdeta_detect::eval::{evaluate, EvalConfig};
 
 fn bench_eval(c: &mut Criterion) {
     let data = SyntheticDataset::generate(&DatasetConfig::small(1, 62, 17));
@@ -19,7 +19,7 @@ fn bench_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluation");
     group.sample_size(10);
     group.bench_function("full_protocol_one_consumer_10_vectors", |b| {
-        b.iter(|| try_evaluate(black_box(&data), &config).expect("evaluation succeeds"))
+        b.iter(|| evaluate(black_box(&data), &config).expect("evaluation succeeds"))
     });
     group.finish();
 }

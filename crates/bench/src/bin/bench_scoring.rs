@@ -110,12 +110,7 @@ mod legacy {
     }
 
     /// One band of the pre-rework `ConditionedKldDetector::band_scores`.
-    pub fn band_score(
-        slots: &[usize],
-        edges: &[f64],
-        baseline: &Histogram,
-        week: &[f64],
-    ) -> f64 {
+    pub fn band_score(slots: &[usize], edges: &[f64], baseline: &Histogram, week: &[f64]) -> f64 {
         let values: Vec<f64> = slots.iter().map(|&s| week[s]).collect();
         let (owned_edges, counts, total) = histogram(edges, &values);
         kl_smoothed(&owned_edges, (&counts, total), baseline)
@@ -142,7 +137,8 @@ impl BenchArgs {
                 "--out" => {
                     i += 1;
                     out = PathBuf::from(
-                        args.get(i).unwrap_or_else(|| panic!("expected a path after --out")),
+                        args.get(i)
+                            .unwrap_or_else(|| panic!("expected a path after --out")),
                     );
                 }
                 "--passes" => {
@@ -213,10 +209,12 @@ fn main() {
     // --- train cache: cold train, persist, warm load -----------------------
     eprintln!("cold-training the fleet...");
     let cold_started = Instant::now();
-    let engine = EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
+    let engine =
+        EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
     let cold_train = cold_started.elapsed();
 
-    let store_root = std::env::temp_dir().join(format!("fdeta-bench-scoring-{}", std::process::id()));
+    let store_root =
+        std::env::temp_dir().join(format!("fdeta-bench-scoring-{}", std::process::id()));
     let store = ArtifactStore::new(&store_root);
     store
         .save(&data, &config, engine.artifacts())
@@ -275,7 +273,7 @@ fn main() {
             for (artifact, weeks) in &fleet {
                 let det = artifact.kld_base();
                 for week in weeks {
-                    fp.absorb(det.try_score_with(week, &mut scratch).unwrap());
+                    fp.absorb(det.score_with(week, &mut scratch).unwrap());
                 }
             }
         }
@@ -326,7 +324,7 @@ fn main() {
             for (artifact, weeks) in &fleet {
                 let det = artifact.conditioned_base();
                 for week in weeks {
-                    det.try_visit_band_scores_with(week, None, &mut scratch, |score, _| {
+                    det.visit_band_scores_with(week, None, &mut scratch, |score, _| {
                         fp.absorb(score);
                     })
                     .unwrap();

@@ -1,0 +1,347 @@
+//! Tracked perf baseline for the streaming service layer.
+//!
+//! Simulates fleet-wide half-hour tick ingest against [`fdeta_serve`]:
+//! one [`StreamScorer`] per simulated meter (cloned round-robin from the
+//! trained artifacts, so fleet size is decoupled from training cost),
+//! drained tick-round by tick-round through the daemon's [`Fleet`].
+//! Measures, per fleet size (default 10k and 100k meters):
+//!
+//! * **sustained throughput** — ticks/second over a full simulated week
+//!   of rounds;
+//! * **per-tick latency** — p50/p99 nanoseconds of individual
+//!   `ingest` calls on a dedicated scorer (timed one call at a time, so
+//!   percentiles are not smeared by batching);
+//! * **resident state** — bytes of per-meter sliding state
+//!   ([`Fleet::state_bytes`]), which excludes the `Arc`-shared trained
+//!   cores and must stay bounded as the stream runs.
+//!
+//! The run also *verifies* the streaming path: every trained artifact's
+//! held-out weeks are ingested tick-by-tick and the weekly KLD, per-band,
+//! and interval-violation outputs feed an FNV-1a fingerprint that must be
+//! bit-identical to the batch detectors' fingerprint over the same weeks
+//! — the run aborts on divergence.
+//!
+//! Results go to `BENCH_serving.json` (override with `--out PATH`) in a
+//! stable, hand-rolled schema (`fdeta-bench-serving/v1`) with keys in a
+//! fixed order. `--deterministic` omits every timing field so two runs
+//! over the same corpus are byte-identical — that is what the CI
+//! serve-smoke job diffs. `--fleet N` replaces the default fleet ladder
+//! (CI uses a small fleet); `--serve-weeks W` sets how many simulated
+//! weeks each fleet sustains.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use fdeta_bench::RunArgs;
+use fdeta_detect::{EvalEngine, ServeConfig, StreamScorer, TrainedConsumer};
+use fdeta_serve::Fleet;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct BenchArgs {
+    run: RunArgs,
+    out: PathBuf,
+    fleets: Vec<usize>,
+    serve_weeks: usize,
+    deterministic: bool,
+}
+
+impl BenchArgs {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let run = RunArgs::parse(&args);
+        let mut out = PathBuf::from("BENCH_serving.json");
+        let mut fleets = vec![10_000, 100_000];
+        let mut serve_weeks = 1usize;
+        let mut deterministic = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--out" => {
+                    i += 1;
+                    out = PathBuf::from(
+                        args.get(i)
+                            .unwrap_or_else(|| panic!("expected a path after --out")),
+                    );
+                }
+                "--fleet" => {
+                    i += 1;
+                    let meters: usize = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("expected a meter count after --fleet"));
+                    fleets = vec![meters];
+                }
+                "--serve-weeks" => {
+                    i += 1;
+                    serve_weeks = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("expected a number after --serve-weeks"));
+                }
+                "--deterministic" => deterministic = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        assert!(serve_weeks >= 1, "--serve-weeks must be at least 1");
+        assert!(!fleets.is_empty() && fleets.iter().all(|&m| m >= 1));
+        Self {
+            run,
+            out,
+            fleets,
+            serve_weeks,
+            deterministic,
+        }
+    }
+}
+
+/// Order-sensitive FNV-1a fingerprint over exact score bit patterns.
+struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    fn absorb(&mut self, score: f64) {
+        for b in score.to_bits().to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The held-out readings of one artifact, flattened tick-major.
+fn test_ticks(artifact: &TrainedConsumer) -> Vec<f64> {
+    artifact
+        .test_matrix()
+        .unwrap_or_else(|| panic!("bench corpus must leave held-out weeks"))
+        .flat()
+        .to_vec()
+}
+
+/// Streams every artifact's held-out weeks tick-by-tick and fingerprints
+/// the weekly outputs; the batch detectors fingerprint the same weeks the
+/// batch way. Returns `(stream, batch)` — the caller asserts equality.
+fn equivalence(engine: &EvalEngine, serve: &ServeConfig) -> (u64, u64) {
+    let mut stream_fp = Fingerprint::new();
+    let mut batch_fp = Fingerprint::new();
+    for artifact in engine.artifacts() {
+        let mut scorer = StreamScorer::new(artifact, serve)
+            .unwrap_or_else(|e| panic!("scorer build failed: {e}"));
+        for &reading in &test_ticks(artifact) {
+            let summary = scorer
+                .ingest(reading)
+                .unwrap_or_else(|e| panic!("tick rejected: {e}"));
+            if let Some(summary) = summary {
+                stream_fp.absorb(summary.kld_score);
+                stream_fp.absorb(summary.worst_band_excess);
+                if let Some(v) = summary.arima_violations {
+                    stream_fp.absorb(f64::from(v));
+                }
+            }
+        }
+        let test = artifact.test_matrix().unwrap_or_else(|| unreachable!());
+        for w in 0..test.weeks() {
+            let week = test.week_vector(w);
+            batch_fp.absorb(
+                artifact
+                    .kld_base()
+                    .score(&week)
+                    .unwrap_or_else(|e| panic!("batch score failed: {e}")),
+            );
+            let mut worst = f64::NEG_INFINITY;
+            artifact
+                .conditioned_base()
+                .visit_band_scores(&week, None, |s, t| worst = worst.max(s - t))
+                .unwrap_or_else(|e| panic!("batch band scores failed: {e}"));
+            batch_fp.absorb(worst);
+            if let Some(det) = artifact.arima_detector() {
+                batch_fp.absorb(det.violations(&week) as f64);
+            }
+        }
+    }
+    (stream_fp.finish(), batch_fp.finish())
+}
+
+struct FleetResult {
+    meters: usize,
+    resident_bytes: usize,
+    ticks: u64,
+    secs: f64,
+}
+
+/// Builds an `meters`-wide fleet by cloning trained scorers round-robin
+/// and sustains `weeks` simulated weeks of tick rounds through the
+/// daemon's work-stealing drain.
+fn run_fleet(
+    engine: &EvalEngine,
+    serve: &ServeConfig,
+    meters: usize,
+    weeks: usize,
+    threads: usize,
+) -> FleetResult {
+    let artifacts = engine.artifacts();
+    let prototypes: Vec<StreamScorer> = artifacts
+        .iter()
+        .map(|a| StreamScorer::new(a, serve).unwrap_or_else(|e| panic!("scorer build failed: {e}")))
+        .collect();
+    let feeds: Vec<Vec<f64>> = artifacts.iter().map(test_ticks).collect();
+    let scorers: Vec<StreamScorer> = (0..meters)
+        .map(|m| prototypes[m % prototypes.len()].clone())
+        .collect();
+    let fleet = Fleet::from_scorers(scorers, threads);
+
+    let mut readings = vec![0.0f64; meters];
+    let total_ticks = (weeks * SLOTS_PER_WEEK) as u64 * meters as u64;
+    let started = Instant::now();
+    for tick in 0..weeks * SLOTS_PER_WEEK {
+        for (m, slot) in readings.iter_mut().enumerate() {
+            let feed = &feeds[m % feeds.len()];
+            *slot = feed[tick % feed.len()];
+        }
+        fleet
+            .ingest_round(&readings)
+            .unwrap_or_else(|e| panic!("round failed: {e}"));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    FleetResult {
+        meters,
+        resident_bytes: fleet.state_bytes(),
+        ticks: total_ticks,
+        secs,
+    }
+}
+
+/// Times individual `ingest` calls on one dedicated scorer (several
+/// simulated weeks of ticks) and returns sorted per-tick nanoseconds.
+fn tick_latencies(engine: &EvalEngine, serve: &ServeConfig, weeks: usize) -> Vec<u64> {
+    let artifact = &engine.artifacts()[0];
+    let mut scorer =
+        StreamScorer::new(artifact, serve).unwrap_or_else(|e| panic!("scorer build failed: {e}"));
+    let feed = test_ticks(artifact);
+    let mut nanos = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+    for tick in 0..weeks * SLOTS_PER_WEEK {
+        let reading = feed[tick % feed.len()];
+        let started = Instant::now();
+        let outcome = scorer.ingest(reading);
+        nanos.push(started.elapsed().as_nanos() as u64);
+        outcome.unwrap_or_else(|e| panic!("tick rejected: {e}"));
+    }
+    nanos.sort_unstable();
+    nanos
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let data = args.run.corpus();
+    let config = args.run.eval_config();
+    let serve = ServeConfig::default();
+
+    eprintln!("training {} artifact prototypes...", data.len());
+    let engine =
+        EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
+
+    eprintln!("verifying stream/batch bit-identity...");
+    let (stream_fp, batch_fp) = equivalence(&engine, &serve);
+    assert_eq!(
+        stream_fp, batch_fp,
+        "tick-by-tick scoring diverged from the batch engine path"
+    );
+
+    let mut results = Vec::new();
+    for &meters in &args.fleets {
+        eprintln!(
+            "sustaining {meters} meters x {} week(s) of ticks...",
+            args.serve_weeks
+        );
+        let result = run_fleet(&engine, &serve, meters, args.serve_weeks, args.run.threads);
+        eprintln!(
+            "  {} ticks in {:.2}s ({:.0} ticks/s), resident {:.1} MiB ({} B/meter)",
+            result.ticks,
+            result.secs,
+            result.ticks as f64 / result.secs,
+            result.resident_bytes as f64 / (1024.0 * 1024.0),
+            result.resident_bytes / result.meters
+        );
+        results.push(result);
+    }
+
+    let latencies = if args.deterministic {
+        Vec::new()
+    } else {
+        eprintln!("timing individual ticks...");
+        tick_latencies(&engine, &serve, 10)
+    };
+
+    let mut json = String::new();
+    // Hand-rolled so the schema (and key order) is fixed and independent of
+    // any serializer; CI byte-diffs two --deterministic runs.
+    json.push_str("{\n  \"schema\": \"fdeta-bench-serving/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"consumers\": {}, \"weeks\": {}, \"train_weeks\": {}, \"bins\": {}, \"seed\": {}}},",
+        args.run.consumers, args.run.weeks, args.run.train_weeks, args.run.bins, args.run.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"equivalence\": {{\"stream\": \"{stream_fp:016x}\", \"batch\": \"{batch_fp:016x}\", \"identical\": true}},"
+    );
+    json.push_str("  \"fleets\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"meters\": {}, \"serve_weeks\": {}, \"ticks\": {}, \"resident_state_bytes\": {}, \"bytes_per_meter\": {}}}{comma}",
+            r.meters,
+            args.serve_weeks,
+            r.ticks,
+            r.resident_bytes,
+            r.resident_bytes / r.meters
+        );
+    }
+    json.push_str("  ],\n");
+    if args.deterministic {
+        json.push_str("  \"timings\": \"omitted (--deterministic)\"\n}\n");
+    } else {
+        json.push_str("  \"timings\": {\n");
+        let _ = writeln!(
+            json,
+            "    \"per_tick_ns\": {{\"p50\": {}, \"p99\": {}}},",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99)
+        );
+        json.push_str("    \"fleets\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"meters\": {}, \"total_secs\": {:.6}, \"ticks_per_sec\": {:.1}}}{comma}",
+                r.meters,
+                r.secs,
+                r.ticks as f64 / r.secs
+            );
+        }
+        json.push_str("    ]\n  }\n}\n");
+    }
+
+    fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.out.display()));
+    eprintln!("wrote {}", args.out.display());
+}

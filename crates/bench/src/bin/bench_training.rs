@@ -661,7 +661,8 @@ impl BenchArgs {
                 "--out" => {
                     i += 1;
                     out = PathBuf::from(
-                        args.get(i).unwrap_or_else(|| panic!("expected a path after --out")),
+                        args.get(i)
+                            .unwrap_or_else(|| panic!("expected a path after --out")),
                     );
                 }
                 "--deterministic" => deterministic = true,
@@ -773,9 +774,8 @@ fn train_consumer_legacy(
         .iter()
         .map(|slots| {
             let (edges, baseline, _training_k, threshold) =
-                legacy::band_train(&train, slots, config.bins, percentile).unwrap_or_else(|e| {
-                    panic!("consumer {} band training failed: {e}", record.id)
-                });
+                legacy::band_train(&train, slots, config.bins, percentile)
+                    .unwrap_or_else(|e| panic!("consumer {} band training failed: {e}", record.id));
             (
                 edges.as_slice().to_vec(),
                 baseline.counts().to_vec(),
@@ -931,7 +931,10 @@ struct StageBreakdown {
     seeding: Duration,
 }
 
-fn stage_breakdown(data: &fdeta_cer_synth::SyntheticDataset, config: &EvalConfig) -> StageBreakdown {
+fn stage_breakdown(
+    data: &fdeta_cer_synth::SyntheticDataset,
+    config: &EvalConfig,
+) -> StageBreakdown {
     let plan = TouPlan::ireland_nightsaver();
     let components = config.train_weeks.saturating_sub(2).clamp(1, 3);
     let mut fit = FitScratch::new();
@@ -967,9 +970,13 @@ fn stage_breakdown(data: &fdeta_cer_synth::SyntheticDataset, config: &EvalConfig
         std::hint::black_box(&conditioned);
 
         let started = Instant::now();
-        let pca =
-            PcaDetector::train_with(&train, components, SignificanceLevel::Five, &mut pca_scratch)
-                .unwrap_or_else(|e| panic!("consumer {} PCA training failed: {e}", record.id));
+        let pca = PcaDetector::train_with(
+            &train,
+            components,
+            SignificanceLevel::Five,
+            &mut pca_scratch,
+        )
+        .unwrap_or_else(|e| panic!("consumer {} PCA training failed: {e}", record.id));
         breakdown.pca += started.elapsed();
         std::hint::black_box(&pca);
 
@@ -1010,7 +1017,8 @@ fn main() {
     // --- shipping path: cold train -----------------------------------------
     eprintln!("cold-training the fleet (shipping scratch path)...");
     let cold_started = Instant::now();
-    let engine = EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
+    let engine =
+        EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
     let cold_train = cold_started.elapsed();
 
     // --- legacy path: allocating reproduction ------------------------------
@@ -1043,7 +1051,8 @@ fn main() {
     );
 
     // --- warm load ---------------------------------------------------------
-    let store_root = std::env::temp_dir().join(format!("fdeta-bench-training-{}", std::process::id()));
+    let store_root =
+        std::env::temp_dir().join(format!("fdeta-bench-training-{}", std::process::id()));
     let store = ArtifactStore::new(&store_root);
     store
         .save(&data, &config, engine.artifacts())

@@ -79,7 +79,7 @@ fn main() {
     }
 
     // ---- (b): the KLD distribution and thresholds ----------------------
-    let attack_k = detector.score(&attack.reported);
+    let attack_k = detector.score(&attack.reported).expect("shared edges");
     let k90 = fdeta_tsdata::stats::Quantile::of(detector.training_divergences(), 0.90);
     let k95 = fdeta_tsdata::stats::Quantile::of(detector.training_divergences(), 0.95);
     println!();

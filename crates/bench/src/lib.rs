@@ -403,7 +403,10 @@ mod tests {
     #[test]
     fn parse_reads_artifacts_dir() {
         let parsed = RunArgs::parse(&args(&["--artifacts", "/tmp/fdeta-artifacts"]));
-        assert_eq!(parsed.artifacts, Some(PathBuf::from("/tmp/fdeta-artifacts")));
+        assert_eq!(
+            parsed.artifacts,
+            Some(PathBuf::from("/tmp/fdeta-artifacts"))
+        );
         assert_eq!(RunArgs::parse(&args(&[])).artifacts, None);
     }
 

@@ -61,10 +61,29 @@ impl ArimaDetector {
         violations
     }
 
-    fn threshold(&self) -> f64 {
+    /// The violation-count threshold: nominal violations per week plus
+    /// `z_margin` binomial standard deviations.
+    pub fn threshold(&self) -> f64 {
         let n = SLOTS_PER_WEEK as f64;
         let p = 1.0 - self.confidence;
         n * p + self.z_margin * (n * p * (1.0 - p)).sqrt()
+    }
+
+    /// The forecaster seeded with the training history — cloning it is how
+    /// a streaming consumer starts a fresh scan without replaying the
+    /// history ([`ArimaDetector::violations`] does the same internally).
+    pub fn seeded_forecaster(&self) -> &fdeta_arima::Forecaster {
+        &self.seeded
+    }
+
+    /// The confidence level of the per-reading interval.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The violation-count margin in binomial standard deviations.
+    pub fn z_margin(&self) -> f64 {
+        self.z_margin
     }
 }
 

@@ -772,9 +772,9 @@ impl EvalEngine {
                     })?;
                 let base = artifact.kld_base();
                 Ok(Some([
-                    base.score(&clean),
-                    base.score(&over.reported),
-                    base.score(&under.reported),
+                    base.score(&clean)?,
+                    base.score(&over.reported)?,
+                    base.score(&under.reported)?,
                 ]))
             },
         )?;
@@ -855,8 +855,8 @@ impl EvalEngine {
                 Ok(Some(ConsumerScores {
                     clean: (1..test.weeks())
                         .map(|w| base.score(&test.week_vector(w)))
-                        .collect(),
-                    attack: base.score(&attack.reported),
+                        .collect::<Result<Vec<_>, _>>()?,
+                    attack: base.score(&attack.reported)?,
                 }))
             },
         )?;

@@ -36,6 +36,18 @@ pub enum ConfigError {
         /// The rejected value.
         coverage: f64,
     },
+    /// The serving alert-tier percentiles conflict: they must be strictly
+    /// increasing inside `(0, 1)` (`low < medium < high`), otherwise two
+    /// tiers would claim the same score range and severity grading would
+    /// be ambiguous.
+    ConflictingAlertTiers {
+        /// The rejected Low-tier percentile.
+        low: f64,
+        /// The rejected Medium-tier percentile.
+        medium: f64,
+        /// The rejected High-tier percentile.
+        high: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -49,6 +61,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidCoverage { coverage } => {
                 write!(f, "min_coverage {coverage} outside [0, 1]")
+            }
+            ConfigError::ConflictingAlertTiers { low, medium, high } => {
+                write!(
+                    f,
+                    "alert tier percentiles {low} / {medium} / {high} must be \
+                     strictly increasing inside (0, 1)"
+                )
             }
         }
     }

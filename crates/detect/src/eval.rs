@@ -4,7 +4,7 @@
 //! The heavy lifting — per-consumer artifact training and work-stealing
 //! scheduling — lives in [`crate::engine`]; this module owns the protocol
 //! vocabulary ([`DetectorKind`], [`Scenario`], [`EvalConfig`]), the output
-//! types, and the [`try_evaluate`] entry point.
+//! types, and the [`evaluate`] entry point.
 //!
 //! Two protocol details matter and are documented here because the paper
 //! states them only implicitly:
@@ -544,26 +544,8 @@ impl Evaluation {
 /// [`EvalError::Train`] when a consumer has fewer than `train_weeks + 2`
 /// whole weeks or a detector cannot be trained, and
 /// [`EvalError::WorkerPanicked`] if a worker thread dies.
-pub fn try_evaluate(
-    dataset: &SyntheticDataset,
-    config: &EvalConfig,
-) -> Result<Evaluation, EvalError> {
+pub fn evaluate(dataset: &SyntheticDataset, config: &EvalConfig) -> Result<Evaluation, EvalError> {
     EvalEngine::train(dataset, config)?.evaluate()
-}
-
-/// Panicking wrapper around [`try_evaluate`], kept for one release so
-/// existing callers keep compiling.
-///
-/// # Panics
-///
-/// Panics on any [`EvalError`] — an invalid configuration, a consumer
-/// with fewer than `train_weeks + 2` whole weeks, or a worker failure.
-#[deprecated(
-    since = "0.1.0",
-    note = "use try_evaluate, which returns typed errors instead of panicking"
-)]
-pub fn evaluate(dataset: &SyntheticDataset, config: &EvalConfig) -> Evaluation {
-    try_evaluate(dataset, config).unwrap_or_else(|e| panic!("evaluation failed: {e}"))
 }
 
 /// Gain of one attack vector from the attacker's perspective.
@@ -602,7 +584,7 @@ mod tests {
             bins: 10,
             ..EvalConfig::fast(8, 5)
         };
-        try_evaluate(&data, &config).expect("valid corpus and config")
+        evaluate(&data, &config).expect("valid corpus and config")
     }
 
     #[test]
@@ -754,18 +736,5 @@ mod tests {
             serde_json::to_string(&b).unwrap(),
             "thread count is execution policy, not protocol"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_still_works() {
-        let data = SyntheticDataset::generate(&DatasetConfig::small(2, 12, 32));
-        let config = EvalConfig {
-            threads: 1,
-            ..EvalConfig::fast(8, 3)
-        };
-        let legacy = evaluate(&data, &config);
-        let current = try_evaluate(&data, &config).expect("valid corpus");
-        assert_eq!(legacy, current);
     }
 }

@@ -220,7 +220,7 @@ impl KldDetector {
     }
 
     /// [`KldDetector::train`] with a caller-provided scratch instead of the
-    /// thread-local one; see [`KldDetector::try_score_with`] for when that
+    /// thread-local one; see [`KldDetector::score_with`] for when that
     /// matters. Bit-identical to [`KldDetector::train`].
     ///
     /// # Errors
@@ -232,7 +232,8 @@ impl KldDetector {
         level: SignificanceLevel,
         scratch: &mut HistScratch,
     ) -> Result<Self, TsError> {
-        let mut detector = Self::train_at_percentile_with(train, bins, level.percentile(), scratch)?;
+        let mut detector =
+            Self::train_at_percentile_with(train, bins, level.percentile(), scratch)?;
         detector.level = Some(level);
         Ok(detector)
     }
@@ -252,8 +253,9 @@ impl KldDetector {
         bins: usize,
         percentile: f64,
     ) -> Result<Self, TsError> {
-        SCORE_SCRATCH
-            .with(|cell| Self::train_at_percentile_with(train, bins, percentile, &mut cell.borrow_mut()))
+        SCORE_SCRATCH.with(|cell| {
+            Self::train_at_percentile_with(train, bins, percentile, &mut cell.borrow_mut())
+        })
     }
 
     /// [`KldDetector::train_at_percentile`] with a caller-provided scratch:
@@ -311,6 +313,11 @@ impl KldDetector {
         Quantile::of_sorted(&self.core.training_k, percentile)
     }
 
+    /// The number of training weeks behind the threshold quantiles.
+    pub fn training_weeks(&self) -> usize {
+        self.core.training_k.len()
+    }
+
     /// A copy of this detector re-thresholded at an arbitrary percentile;
     /// identical to [`KldDetector::train_at_percentile`] on the same
     /// window but without recomputing edges, baseline, or training scores.
@@ -346,12 +353,13 @@ impl KldDetector {
     /// the baseline disagree in bin count — impossible for a detector built
     /// by [`KldDetector::train`], but reachable through a detector
     /// deserialized from a corrupted or hand-edited artifact.
-    pub fn try_score(&self, week: &WeekVector) -> Result<f64, TsError> {
-        SCORE_SCRATCH.with(|cell| self.try_score_with(week, &mut cell.borrow_mut()))
+    pub fn score(&self, week: &WeekVector) -> Result<f64, TsError> {
+        SCORE_SCRATCH.with(|cell| self.score_with(week, &mut cell.borrow_mut()))
     }
 
-    /// [`KldDetector::try_score`] with a caller-provided scratch instead of
-    /// the thread-local one.
+    /// [`KldDetector::score`] with a caller-provided scratch instead of
+    /// the thread-local one — the `_with` suffix is this crate's
+    /// convention for scratch-explicit variants.
     ///
     /// The thread-local lookup and `RefCell` borrow cost a few dozen
     /// nanoseconds per call — irrelevant for occasional scoring, measurable
@@ -360,12 +368,8 @@ impl KldDetector {
     ///
     /// # Errors
     ///
-    /// Exactly [`KldDetector::try_score`]'s.
-    pub fn try_score_with(
-        &self,
-        week: &WeekVector,
-        scratch: &mut HistScratch,
-    ) -> Result<f64, TsError> {
+    /// Exactly [`KldDetector::score`]'s.
+    pub fn score_with(&self, week: &WeekVector, scratch: &mut HistScratch) -> Result<f64, TsError> {
         self.core.check_artifact()?;
         self.core.edges.histogram_into(week.as_slice(), scratch);
         kl_divergence_smoothed_counts(
@@ -374,15 +378,6 @@ impl KldDetector {
             self.core.baseline.counts(),
             self.core.baseline.total(),
         )
-    }
-
-    /// The divergence `K` of one week against the baseline, in bits.
-    ///
-    /// Infallible variant of [`KldDetector::try_score`] for detectors
-    /// built by training (where the edges match by construction).
-    pub fn score(&self, week: &WeekVector) -> f64 {
-        // lint:allow(no-panic-in-lib, trained detectors share edges by construction; try_score covers untrusted artifacts)
-        self.try_score(week).expect("same edges by construction")
     }
 
     /// The divergence of a *partially observed* week: only slots whose
@@ -397,7 +392,7 @@ impl KldDetector {
     /// NaN), [`TsError::MaskLengthMismatch`] via [`KldError::Ts`] if the
     /// mask length differs from the week length, and propagates
     /// [`TsError::MismatchedBins`] for corrupted deserialized artifacts.
-    pub fn try_score_masked(&self, week: &WeekVector, mask: &[bool]) -> Result<f64, KldError> {
+    pub fn score_masked(&self, week: &WeekVector, mask: &[bool]) -> Result<f64, KldError> {
         let values = week.as_slice();
         if values.len() != mask.len() {
             return Err(KldError::Ts(TsError::MaskLengthMismatch {
@@ -409,7 +404,12 @@ impl KldDetector {
         SCORE_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let gather = scratch.gather_mut();
-            gather.extend(values.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)));
+            gather.extend(
+                values
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(&v, &m)| m.then_some(v)),
+            );
             if gather.is_empty() {
                 return Err(KldError::EmptyBand { band: 0 });
             }
@@ -475,7 +475,10 @@ impl Detector for KldDetector {
     }
 
     fn assess(&self, week: &WeekVector) -> Verdict {
-        let score = self.score(week);
+        let score = self
+            .score(week)
+            // lint:allow(no-panic-in-lib, trained detectors share edges by construction; score covers untrusted artifacts)
+            .expect("same edges by construction");
         if score > self.threshold {
             Verdict::flagged(score)
         } else {
@@ -494,7 +497,10 @@ impl Detector for KldDetector {
 /// paper extends the same idea to RTP (one distribution per price level),
 /// which is why the constructor takes an arbitrary number of windows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "ConditionedKldDetectorRepr", into = "ConditionedKldDetectorRepr")]
+#[serde(
+    try_from = "ConditionedKldDetectorRepr",
+    into = "ConditionedKldDetectorRepr"
+)]
 pub struct ConditionedKldDetector {
     bands: Vec<Band>,
     /// Precomputed slot→band partition: which slots each band histograms,
@@ -619,7 +625,7 @@ impl ConditionedKldDetector {
 
     /// [`ConditionedKldDetector::train_tou`] with a caller-provided scratch
     /// instead of the thread-local one; see
-    /// [`KldDetector::try_score_with`] for when that matters.
+    /// [`KldDetector::score_with`] for when that matters.
     ///
     /// # Errors
     ///
@@ -723,7 +729,7 @@ impl ConditionedKldDetector {
     /// With `mask = Some(..)`, only observed slots are gathered and a band
     /// with zero observed slots is a [`KldError::EmptyBand`]; with
     /// `mask = None`, every slot of the band is gathered.
-    pub fn try_visit_band_scores<F>(
+    pub fn visit_band_scores<F>(
         &self,
         week: &WeekVector,
         mask: Option<&[bool]>,
@@ -732,19 +738,18 @@ impl ConditionedKldDetector {
     where
         F: FnMut(f64, f64),
     {
-        SCORE_SCRATCH.with(|cell| {
-            self.try_visit_band_scores_with(week, mask, &mut cell.borrow_mut(), visit)
-        })
+        SCORE_SCRATCH
+            .with(|cell| self.visit_band_scores_with(week, mask, &mut cell.borrow_mut(), visit))
     }
 
-    /// [`ConditionedKldDetector::try_visit_band_scores`] with a
+    /// [`ConditionedKldDetector::visit_band_scores`] with a
     /// caller-provided scratch instead of the thread-local one; see
-    /// [`KldDetector::try_score_with`] for when that matters.
+    /// [`KldDetector::score_with`] for when that matters.
     ///
     /// # Errors
     ///
-    /// Exactly [`ConditionedKldDetector::try_visit_band_scores`]'s.
-    pub fn try_visit_band_scores_with<F>(
+    /// Exactly [`ConditionedKldDetector::visit_band_scores`]'s.
+    pub fn visit_band_scores_with<F>(
         &self,
         week: &WeekVector,
         mask: Option<&[bool]>,
@@ -795,10 +800,10 @@ impl ConditionedKldDetector {
     /// Returns [`TsError::MismatchedBins`] if a band's histogram and
     /// its baseline disagree in bin count — impossible for a trained
     /// detector, reachable through a corrupted deserialized artifact.
-    pub fn try_band_scores(&self, week: &WeekVector) -> Result<Vec<(f64, f64)>, TsError> {
-        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use try_visit_band_scores_with)
+    pub fn band_scores(&self, week: &WeekVector) -> Result<Vec<(f64, f64)>, TsError> {
+        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use visit_band_scores_with)
         let mut scores = Vec::with_capacity(self.bands.len());
-        self.try_visit_band_scores(week, None, |score, threshold| {
+        self.visit_band_scores(week, None, |score, threshold| {
             scores.push((score, threshold));
         })
         .map_err(|err| match err {
@@ -808,15 +813,6 @@ impl ConditionedKldDetector {
             KldError::EmptyBand { .. } => TsError::EmptyHistogram,
         })?;
         Ok(scores)
-    }
-
-    /// Per-band `(score, threshold)` pairs for one week. Infallible
-    /// variant of [`ConditionedKldDetector::try_band_scores`] for trained
-    /// detectors (band edges match their baselines by construction).
-    pub fn band_scores(&self, week: &WeekVector) -> Vec<(f64, f64)> {
-        self.try_band_scores(week)
-            // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
-            .expect("same edges by construction")
     }
 
     /// Per-band `(score, threshold)` pairs for a *partially observed* week:
@@ -829,14 +825,14 @@ impl ConditionedKldDetector {
     /// observed slots (a comms gap can swallow an entire TOU period — its
     /// divergence is undefined, not zero), and [`KldError::Ts`] for a mask
     /// length mismatch or a corrupted deserialized artifact.
-    pub fn try_band_scores_masked(
+    pub fn band_scores_masked(
         &self,
         week: &WeekVector,
         mask: &[bool],
     ) -> Result<Vec<(f64, f64)>, KldError> {
-        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use try_visit_band_scores_with)
+        // lint:allow(vec-alloc-in-score-path, convenience wrapper result; hot loops use visit_band_scores_with)
         let mut scores = Vec::with_capacity(self.bands.len());
-        self.try_visit_band_scores(week, Some(mask), |score, threshold| {
+        self.visit_band_scores(week, Some(mask), |score, threshold| {
             scores.push((score, threshold));
         })?;
         Ok(scores)
@@ -850,6 +846,26 @@ impl ConditionedKldDetector {
     /// Number of pricing bands.
     pub fn band_count(&self) -> usize {
         self.bands.len()
+    }
+
+    /// The band owning week slot `slot`, or `None` for an unclaimed slot
+    /// (the streaming per-tick router into band state).
+    #[inline]
+    pub fn band_of(&self, slot: usize) -> Option<usize> {
+        self.map.band_of(slot)
+    }
+
+    /// The threshold band `band` would use at an arbitrary percentile — a
+    /// quantile lookup on the band's cached sorted training divergences,
+    /// with no retraining (the per-band analogue of
+    /// [`KldDetector::threshold_at`], used to grade alert severity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= self.band_count()` or `percentile` is outside
+    /// `[0, 1]`.
+    pub fn band_threshold_at(&self, band: usize, percentile: f64) -> f64 {
+        Quantile::of_sorted(&self.bands[band].core.training_k, percentile)
     }
 
     /// Read-only view of one trained band: its slot list, shared edges,
@@ -901,11 +917,11 @@ impl Detector for ConditionedKldDetector {
     fn assess(&self, week: &WeekVector) -> Verdict {
         let mut worst_excess = f64::NEG_INFINITY;
         let mut max_score = 0.0f64;
-        self.try_visit_band_scores(week, None, |score, threshold| {
+        self.visit_band_scores(week, None, |score, threshold| {
             worst_excess = worst_excess.max(score - threshold);
             max_score = max_score.max(score);
         })
-        // lint:allow(no-panic-in-lib, trained bands share edges by construction; try_band_scores covers untrusted artifacts)
+        // lint:allow(no-panic-in-lib, trained bands share edges by construction; band_scores covers untrusted artifacts)
         .expect("same edges by construction");
         if worst_excess > 0.0 {
             Verdict::flagged(max_score)
@@ -989,7 +1005,10 @@ mod tests {
         let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Ten).unwrap();
         let actual = train.week_vector(29);
         let attack = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), 0);
-        assert_eq!(det.score(&attack.reported), det.score(&attack.actual));
+        assert_eq!(
+            det.score(&attack.reported).unwrap(),
+            det.score(&attack.actual).unwrap()
+        );
     }
 
     #[test]
@@ -1033,7 +1052,7 @@ mod tests {
         .unwrap();
         let actual = train.week_vector(29);
         let attack = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), 0);
-        let scores = det.band_scores(&attack.reported);
+        let scores = det.band_scores(&attack.reported).unwrap();
         assert_eq!(scores.len(), 2);
         // The off-peak band (index 0) received the big readings: its
         // excess over threshold should dominate.
@@ -1107,8 +1126,8 @@ mod tests {
         let week = train.week_vector(3);
         let mask = vec![true; SLOTS_PER_WEEK];
         assert_eq!(
-            det.try_score_masked(&week, &mask).unwrap(),
-            det.score(&week)
+            det.score_masked(&week, &mask).unwrap(),
+            det.score(&week).unwrap()
         );
         let cond = ConditionedKldDetector::train_tou(
             &train,
@@ -1118,8 +1137,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            cond.try_band_scores_masked(&week, &mask).unwrap(),
-            cond.band_scores(&week)
+            cond.band_scores_masked(&week, &mask).unwrap(),
+            cond.band_scores(&week).unwrap()
         );
     }
 
@@ -1134,7 +1153,7 @@ mod tests {
         let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
         let week = train.week_vector(5);
         let mask: Vec<bool> = (0..SLOTS_PER_WEEK).map(|i| i % 2 == 0).collect();
-        let masked = det.try_score_masked(&week, &mask).unwrap();
+        let masked = det.score_masked(&week, &mask).unwrap();
         assert!(masked.is_finite());
         let zeroed: Vec<f64> = week
             .as_slice()
@@ -1142,7 +1161,7 @@ mod tests {
             .zip(&mask)
             .map(|(&v, &m)| if m { v } else { 0.0 })
             .collect();
-        let dense_zeroed = det.score(&WeekVector::new(zeroed).unwrap());
+        let dense_zeroed = det.score(&WeekVector::new(zeroed).unwrap()).unwrap();
         assert!(
             masked < dense_zeroed,
             "renormalised score {masked} must beat naive gap-as-zero score {dense_zeroed}"
@@ -1154,7 +1173,7 @@ mod tests {
         let train = training(10, 11);
         let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
         let week = train.week_vector(0);
-        let result = det.try_score_masked(&week, &vec![false; SLOTS_PER_WEEK]);
+        let result = det.score_masked(&week, &vec![false; SLOTS_PER_WEEK]);
         assert_eq!(result, Err(KldError::EmptyBand { band: 0 }));
     }
 
@@ -1168,7 +1187,7 @@ mod tests {
         let week = train.week_vector(0);
         // Observe only off-peak slots: the peak band (index 1) is empty.
         let mask: Vec<bool> = (0..SLOTS_PER_WEEK).map(|s| !plan.is_peak(s)).collect();
-        let result = det.try_band_scores_masked(&week, &mask);
+        let result = det.band_scores_masked(&week, &mask);
         assert_eq!(result, Err(KldError::EmptyBand { band: 1 }));
     }
 
@@ -1178,7 +1197,7 @@ mod tests {
         let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
         let week = train.week_vector(0);
         assert!(matches!(
-            det.try_score_masked(&week, &[true; 10]),
+            det.score_masked(&week, &[true; 10]),
             Err(KldError::Ts(TsError::MaskLengthMismatch { .. }))
         ));
     }
@@ -1242,9 +1261,8 @@ mod tests {
         let mut scratch = HistScratch::new();
         let _ = KldDetector::train_with(&a, DEFAULT_BINS, SignificanceLevel::Ten, &mut scratch)
             .unwrap();
-        let warm =
-            KldDetector::train_with(&b, DEFAULT_BINS, SignificanceLevel::Five, &mut scratch)
-                .unwrap();
+        let warm = KldDetector::train_with(&b, DEFAULT_BINS, SignificanceLevel::Five, &mut scratch)
+            .unwrap();
         let fresh = KldDetector::train(&b, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
         assert_eq!(warm, fresh);
 
@@ -1269,7 +1287,7 @@ mod tests {
         // load) must not crash training — the padded histogram handles it.
         let train = WeekMatrix::from_flat(vec![0.5; 4 * SLOTS_PER_WEEK]).unwrap();
         let det = KldDetector::train(&train, DEFAULT_BINS, SignificanceLevel::Five).unwrap();
-        assert_eq!(det.score(&train.week_vector(0)), 0.0);
+        assert_eq!(det.score(&train.week_vector(0)).unwrap(), 0.0);
         let spike = WeekVector::new(vec![5.0; SLOTS_PER_WEEK]).unwrap();
         assert!(det.is_anomalous(&spike));
     }

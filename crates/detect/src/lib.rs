@@ -44,9 +44,11 @@ pub mod eval;
 pub mod integrated;
 pub mod kld;
 pub mod pca;
+pub mod prelude;
 pub mod robustness;
 pub mod roc;
 pub mod store;
+pub mod stream;
 pub(crate) mod sync;
 pub mod ttd;
 
@@ -55,13 +57,11 @@ pub use budget::AlertBudget;
 pub use detector::{Detector, Verdict};
 pub use engine::{
     AlphaPoint, ArtifactParams, EngineStage, EngineStats, EvalEngine, TrainScratch,
-    TrainedConsumer,
+    TrainedConsumer, WorkQueue,
 };
 pub use error::{ConfigError, EvalError, TrainError};
-#[allow(deprecated)]
-pub use eval::evaluate;
 pub use eval::{
-    try_evaluate, DetectorKind, EvalConfig, EvalConfigBuilder, Evaluation, Metric2, Scenario,
+    evaluate, DetectorKind, EvalConfig, EvalConfigBuilder, Evaluation, Metric2, Scenario,
     ScenarioResult,
 };
 pub use integrated::IntegratedArimaDetector;
@@ -69,7 +69,12 @@ pub use kld::{BandView, ConditionedKldDetector, KldDetector, KldError, Significa
 pub use pca::{PcaDetector, PcaScratch};
 pub use robustness::{
     QuarantinedConsumer, RepairAttempt, RobustEngine, RobustEvaluation, RobustnessConfig,
+    RobustnessConfigBuilder,
 };
 pub use roc::{best_operating_point, kld_roc_curve, RocPoint};
 pub use store::{ArtifactStore, CacheOutcome, CacheStatus, StoreError, STORE_VERSION};
+pub use stream::{
+    AlertEvent, AlertTier, ServeConfig, ServeConfigBuilder, StreamDetector, StreamScorer,
+    WeekSummary,
+};
 pub use ttd::time_to_detection;

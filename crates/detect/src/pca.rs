@@ -523,7 +523,11 @@ mod tests {
                 legacy_train(&train, k, SignificanceLevel::Five);
             assert_eq!(det.mean, mean, "{weeks}w mean");
             assert_eq!(det.components, components, "{weeks}w components");
-            assert_eq!(det.threshold.to_bits(), threshold.to_bits(), "{weeks}w threshold");
+            assert_eq!(
+                det.threshold.to_bits(),
+                threshold.to_bits(),
+                "{weeks}w threshold"
+            );
             assert_eq!(det.training_errors, errors, "{weeks}w errors");
         }
     }

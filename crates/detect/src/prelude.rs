@@ -1,0 +1,21 @@
+//! The stable surface of the detect crate in one import.
+//!
+//! Downstream binaries, examples, and integration tests should reach for
+//! `use fdeta_detect::prelude::*;` instead of enumerating items — the
+//! prelude is the compatibility contract: items re-exported here follow
+//! the deprecation cycle documented in `CHANGELOG.md`, while anything
+//! only reachable through its defining module may change between PRs.
+
+pub use crate::arima_detector::ArimaDetector;
+pub use crate::detector::{Detector, Verdict};
+pub use crate::engine::{EvalEngine, TrainedConsumer};
+pub use crate::error::{ConfigError, EvalError, TrainError};
+pub use crate::eval::{evaluate, DetectorKind, EvalConfig, Evaluation, Metric2, Scenario};
+pub use crate::integrated::IntegratedArimaDetector;
+pub use crate::kld::{ConditionedKldDetector, KldDetector, KldError, SignificanceLevel};
+pub use crate::pca::PcaDetector;
+pub use crate::robustness::{RobustEngine, RobustEvaluation, RobustnessConfig};
+pub use crate::store::{ArtifactStore, CacheOutcome, CacheStatus, StoreError};
+pub use crate::stream::{
+    AlertEvent, AlertTier, ServeConfig, StreamDetector, StreamScorer, WeekSummary,
+};

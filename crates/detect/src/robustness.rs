@@ -61,6 +61,13 @@ impl Default for RobustnessConfig {
 }
 
 impl RobustnessConfig {
+    /// A builder that validates at construction — the same builder family
+    /// as [`EvalConfig::builder`] and `ServeConfig::builder`, sharing
+    /// [`ConfigError`] variants.
+    pub fn builder() -> RobustnessConfigBuilder {
+        RobustnessConfigBuilder::default()
+    }
+
     /// Rejects thresholds outside `[0, 1]`.
     ///
     /// # Errors
@@ -83,6 +90,43 @@ impl RobustnessConfig {
         } else {
             vec![self.primary, self.fallback]
         }
+    }
+}
+
+/// Builder for [`RobustnessConfig`]: invalid thresholds are rejected by
+/// [`RobustnessConfigBuilder::build`] instead of when training starts.
+#[derive(Debug, Clone, Default)]
+pub struct RobustnessConfigBuilder {
+    config: RobustnessConfig,
+}
+
+impl RobustnessConfigBuilder {
+    /// Repair policy tried first for every consumer.
+    pub fn primary(mut self, policy: RepairPolicy) -> Self {
+        self.config.primary = policy;
+        self
+    }
+
+    /// Policy for the single retry after the primary attempt fails.
+    pub fn fallback(mut self, policy: RepairPolicy) -> Self {
+        self.config.fallback = policy;
+        self
+    }
+
+    /// Minimum observation coverage in `[0, 1]` for surviving weeks.
+    pub fn min_coverage(mut self, coverage: f64) -> Self {
+        self.config.min_coverage = coverage;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidCoverage`].
+    pub fn build(self) -> Result<RobustnessConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

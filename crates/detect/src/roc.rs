@@ -53,8 +53,14 @@ pub fn kld_roc_curve(
     // The percentile used here is irrelevant: only the cached training
     // quantiles and the week scores matter, and both are shared across α.
     let detector = KldDetector::train(train, bins, crate::kld::SignificanceLevel::Five)?;
-    let clean_scores: Vec<f64> = clean_weeks.iter().map(|w| detector.score(w)).collect();
-    let attack_scores: Vec<f64> = attack_weeks.iter().map(|w| detector.score(w)).collect();
+    let clean_scores: Vec<f64> = clean_weeks
+        .iter()
+        .map(|w| detector.score(w))
+        .collect::<Result<_, _>>()?;
+    let attack_scores: Vec<f64> = attack_weeks
+        .iter()
+        .map(|w| detector.score(w))
+        .collect::<Result<_, _>>()?;
     let mut points = Vec::with_capacity(alphas.len());
     for &alpha in alphas {
         let alpha = alpha.clamp(1e-6, 1.0 - 1e-6);

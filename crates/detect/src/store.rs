@@ -48,11 +48,11 @@ use fdeta_tsdata::hist::BinEdges;
 use crate::engine::{EvalEngine, ProgressFn, TrainedConsumer};
 use crate::error::EvalError;
 use crate::eval::EvalConfig;
+use crate::kld::BandRepr;
 use crate::kld::{
     ConditionedKldDetector, ConditionedKldDetectorRepr, KldDetector, KldDetectorRepr,
     SignificanceLevel,
 };
-use crate::kld::BandRepr;
 use crate::pca::PcaDetector;
 
 /// On-disk format version; bumped on any layout change so old files are
@@ -495,8 +495,8 @@ fn read_consumer(
             let p = r.len()?;
             let d = r.len()?;
             let q = r.len()?;
-            let spec =
-                ArimaSpec::new(p, d, q).map_err(|e| format!("consumer {index}: ARIMA spec: {e}"))?;
+            let spec = ArimaSpec::new(p, d, q)
+                .map_err(|e| format!("consumer {index}: ARIMA spec: {e}"))?;
             let intercept = r.f64()?;
             let phi = r.vec_f64()?;
             let theta = r.vec_f64()?;
@@ -513,7 +513,9 @@ fn read_consumer(
 
     let band_count = r.len()?;
     if band_count > r.remaining() {
-        return Err(format!("consumer {index}: band count {band_count} exceeds file size"));
+        return Err(format!(
+            "consumer {index}: band count {band_count} exceeds file size"
+        ));
     }
     let mut bands = Vec::with_capacity(band_count);
     for band in 0..band_count {

@@ -1,0 +1,680 @@
+//! Incremental (tick-by-tick) scoring for the streaming service layer.
+//!
+//! The batch protocol scores whole [`fdeta_tsdata::WeekVector`]s; a live
+//! fleet delivers
+//! one half-hour reading at a time. [`StreamScorer`] is the per-consumer
+//! incremental engine: it maintains a 336-slot sliding window, updates the
+//! KLD histograms in O(1) per tick
+//! ([`fdeta_tsdata::BinEdges::count_slide`]: decrement
+//! the expiring slot's bin, increment the new one), rolls the ARIMA
+//! one-step forecast from the cached fit ([`Forecaster::step`]), and at
+//! every completed week emits threshold crossings as typed [`AlertEvent`]s
+//! graded into [`AlertTier`]s.
+//!
+//! **Correctness anchor**: after ingesting a batch corpus tick-by-tick,
+//! every weekly score is *bit-identical* to the batch detectors on the
+//! same weeks. The incremental histogram counts are exact `u64`s over the
+//! same multiset of values the batch counting loop sees (same
+//! [`BinEdges::bin_of`] arithmetic, order-independent addition), the
+//! divergence is computed by the same
+//! [`kl_divergence_smoothed_counts`] over those counts, and the streamed
+//! interval check replays [`ArimaDetector::violations`]'s exact
+//! forecast-check-observe loop from the same seeded forecaster.
+//!
+//! PCA and the Integrated ARIMA detector need whole-week statistics with
+//! no incremental decomposition; they remain batch-only and are not
+//! streamed here.
+
+use serde::{Deserialize, Serialize};
+
+use fdeta_arima::Forecaster;
+use fdeta_tsdata::hist::HistScratch;
+use fdeta_tsdata::kl::kl_divergence_smoothed_counts;
+use fdeta_tsdata::{TsError, SLOTS_PER_WEEK};
+
+use crate::arima_detector::ArimaDetector;
+use crate::engine::TrainedConsumer;
+use crate::error::ConfigError;
+use crate::kld::{ConditionedKldDetector, KldDetector, SignificanceLevel};
+
+/// Alert severity, ordered: `Low < Medium < High`. Tiers are graded by
+/// comparing a detector's score against thresholds at increasingly
+/// extreme percentiles of its *training* score distribution, so the tier
+/// is monotone in the score by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlertTier {
+    /// Crossed the firing threshold but no higher tier.
+    Low,
+    /// Crossed the medium-tier percentile threshold.
+    Medium,
+    /// Crossed the high-tier percentile threshold.
+    High,
+}
+
+/// Which streamed detector raised an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamDetector {
+    /// The unconditioned KLD detector.
+    Kld,
+    /// One band of the price-conditioned KLD detector.
+    CondKld {
+        /// Index of the offending band.
+        band: usize,
+    },
+    /// The per-reading ARIMA interval detector (violation count).
+    Arima,
+}
+
+/// A threshold crossing emitted at a completed scoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// The consumer's meter id.
+    pub consumer: u32,
+    /// Graded severity (monotone in `score`).
+    pub tier: AlertTier,
+    /// Which detector fired.
+    pub detector: StreamDetector,
+    /// The detector's score: divergence in bits for the KLD detectors,
+    /// violation count for ARIMA.
+    pub score: f64,
+    /// Completed-window index since the stream started (window 0 is the
+    /// first 336 ticks).
+    pub window: u64,
+}
+
+/// Weekly scoring digest returned when a tick completes a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeekSummary {
+    /// Completed-window index since the stream started.
+    pub window: u64,
+    /// The unconditioned KLD divergence of the window, in bits.
+    pub kld_score: f64,
+    /// Worst per-band excess over threshold of the conditioned detector
+    /// (positive means some band fired).
+    pub worst_band_excess: f64,
+    /// Interval-detector violations in the window, when the consumer has a
+    /// fitted ARIMA model.
+    pub arima_violations: Option<u32>,
+}
+
+/// Streaming service configuration: the alert-tier grading percentiles.
+///
+/// An alert fires when a score crosses its detector's threshold at
+/// `tier_low` (the serving analogue of the batch significance level) and
+/// is graded [`AlertTier::Medium`] / [`AlertTier::High`] past the
+/// `tier_medium` / `tier_high` percentiles of the training distribution.
+/// Prefer [`ServeConfig::builder`] — the same builder family as
+/// [`crate::eval::EvalConfig::builder`] and
+/// [`crate::robustness::RobustnessConfig::builder`], sharing
+/// [`ConfigError`] variants — which rejects conflicting tiers at build
+/// time; a hand-written literal is validated when a scorer is built.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Firing percentile (defaults to the 5%-significance threshold).
+    pub tier_low: f64,
+    /// Medium-severity percentile.
+    pub tier_medium: f64,
+    /// High-severity percentile.
+    pub tier_high: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            tier_low: SignificanceLevel::Five.percentile(),
+            tier_medium: 0.99,
+            tier_high: 0.999,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A builder that validates at construction.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// Rejects conflicting alert tiers: the percentiles must be strictly
+    /// increasing inside `(0, 1)`, otherwise severity grading would be
+    /// ambiguous.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ConflictingAlertTiers`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let ordered = 0.0 < self.tier_low
+            && self.tier_low < self.tier_medium
+            && self.tier_medium < self.tier_high
+            && self.tier_high < 1.0;
+        if !ordered {
+            return Err(ConfigError::ConflictingAlertTiers {
+                low: self.tier_low,
+                medium: self.tier_medium,
+                high: self.tier_high,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`]: conflicting tier percentiles are rejected
+/// by [`ServeConfigBuilder::build`] instead of at the first scored window.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Firing percentile of every streamed detector.
+    pub fn tier_low(mut self, percentile: f64) -> Self {
+        self.config.tier_low = percentile;
+        self
+    }
+
+    /// Medium-severity percentile.
+    pub fn tier_medium(mut self, percentile: f64) -> Self {
+        self.config.tier_medium = percentile;
+        self
+    }
+
+    /// High-severity percentile.
+    pub fn tier_high(mut self, percentile: f64) -> Self {
+        self.config.tier_high = percentile;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ConflictingAlertTiers`].
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Per-consumer incremental scorer over half-hour ticks.
+///
+/// Built from a [`TrainedConsumer`] artifact; the trained cores (edges,
+/// baselines, training quantiles, ARIMA coefficients) are shared with the
+/// artifact behind `Arc`s, so per-scorer resident state is the sliding
+/// window, the incremental counts, and the live forecaster buffers —
+/// see [`StreamScorer::state_bytes`].
+#[derive(Debug, Clone)]
+pub struct StreamScorer {
+    consumer: u32,
+    kld: KldDetector,
+    cond: ConditionedKldDetector,
+    arima: Option<ArimaDetector>,
+    /// Live forecaster for the current window, reset to the detector's
+    /// seeded state at every window boundary (matching the per-week clone
+    /// in [`ArimaDetector::violations`]).
+    live: Option<Forecaster>,
+    confidence: f64,
+    /// Tier thresholds `[low, medium, high]` for the unconditioned KLD.
+    kld_tiers: [f64; 3],
+    /// Tier thresholds per conditioned band.
+    band_tiers: Vec<[f64; 3]>,
+    /// The window's values, indexed by slot-of-week.
+    ring: Vec<f64>,
+    /// Ticks ingested since the stream started.
+    ticks: u64,
+    /// Incremental whole-week histogram counts.
+    kld_counts: HistScratch,
+    /// Incremental per-band histogram counts.
+    band_counts: Vec<HistScratch>,
+    /// Interval violations in the current window.
+    violations: u32,
+    /// Alerts from the most recently completed window (buffer reused).
+    alerts: Vec<AlertEvent>,
+}
+
+impl StreamScorer {
+    /// Builds the scorer from a consumer's trained artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ConflictingAlertTiers`] for an invalid tier ladder.
+    pub fn new(artifact: &TrainedConsumer, config: &ServeConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let kld = artifact.kld_base().clone();
+        let cond = artifact.conditioned_base().clone();
+        let arima = artifact.arima_detector().cloned();
+        let live = arima.as_ref().map(|a| a.seeded_forecaster().clone());
+        let confidence = arima.as_ref().map_or(0.95, ArimaDetector::confidence);
+        let kld_tiers = [
+            kld.threshold_at(config.tier_low),
+            kld.threshold_at(config.tier_medium),
+            kld.threshold_at(config.tier_high),
+        ];
+        let band_tiers = (0..cond.band_count())
+            .map(|b| {
+                [
+                    cond.band_threshold_at(b, config.tier_low),
+                    cond.band_threshold_at(b, config.tier_medium),
+                    cond.band_threshold_at(b, config.tier_high),
+                ]
+            })
+            .collect();
+        let mut kld_counts = HistScratch::new();
+        kld.edges().reset_counts(&mut kld_counts);
+        let band_counts = (0..cond.band_count())
+            .map(|b| {
+                let mut scratch = HistScratch::new();
+                cond.band_view(b).edges.reset_counts(&mut scratch);
+                scratch
+            })
+            .collect();
+        Ok(Self {
+            consumer: artifact.id(),
+            kld,
+            cond,
+            arima,
+            live,
+            confidence,
+            kld_tiers,
+            band_tiers,
+            ring: vec![0.0; SLOTS_PER_WEEK],
+            ticks: 0,
+            kld_counts,
+            band_counts,
+            violations: 0,
+            alerts: Vec::new(),
+        })
+    }
+
+    /// Ingests one half-hour reading. O(1) histogram maintenance per tick;
+    /// returns a [`WeekSummary`] when the tick completes a 336-slot
+    /// window, at which point [`StreamScorer::alerts`] holds that window's
+    /// threshold crossings.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidValue`] for a non-finite or negative reading
+    /// (mirroring [`fdeta_tsdata::week::WeekVector`]'s validation), and
+    /// propagates divergence errors from a corrupted artifact.
+    pub fn ingest(&mut self, reading: f64) -> Result<Option<WeekSummary>, TsError> {
+        if !reading.is_finite() || reading < 0.0 {
+            return Err(TsError::InvalidValue {
+                what: "tick reading",
+                value: reading,
+            });
+        }
+        let slot = (self.ticks % SLOTS_PER_WEEK as u64) as usize;
+        if self.ticks >= SLOTS_PER_WEEK as u64 {
+            // Steady state: O(1) slide — the expiring value sits in the
+            // same slot (hence the same band) as the incoming one.
+            let expiring = self.ring[slot];
+            self.kld
+                .edges()
+                .count_slide(&mut self.kld_counts, expiring, reading);
+            if let Some(band) = self.cond.band_of(slot) {
+                let edges = self.cond.band_view(band).edges;
+                edges.count_slide(&mut self.band_counts[band], expiring, reading);
+            }
+        } else {
+            // Warmup: the window is still filling.
+            self.kld.edges().count_push(&mut self.kld_counts, reading);
+            if let Some(band) = self.cond.band_of(slot) {
+                let edges = self.cond.band_view(band).edges;
+                edges.count_push(&mut self.band_counts[band], reading);
+            }
+        }
+        self.ring[slot] = reading;
+        if let Some(live) = self.live.as_mut() {
+            // Bit-identical to the batch ArimaDetector::violations loop:
+            // forecast, check the clamped interval, then observe.
+            let f = live.step(reading, self.confidence);
+            if !(f.lower.max(0.0)..=f.upper.max(0.0)).contains(&reading) {
+                self.violations += 1;
+            }
+        }
+        self.ticks += 1;
+        if self.ticks % SLOTS_PER_WEEK as u64 == 0 {
+            self.close_window().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Scores the completed window, refills the alert buffer, and resets
+    /// the per-window ARIMA state.
+    fn close_window(&mut self) -> Result<WeekSummary, TsError> {
+        let window = self.ticks / SLOTS_PER_WEEK as u64 - 1;
+        self.alerts.clear();
+        let kld_score = kl_divergence_smoothed_counts(
+            self.kld_counts.counts(),
+            self.kld_counts.total(),
+            self.kld.baseline().counts(),
+            self.kld.baseline().total(),
+        )?;
+        if kld_score > self.kld_tiers[0] {
+            self.alerts.push(AlertEvent {
+                consumer: self.consumer,
+                tier: grade(kld_score, &self.kld_tiers),
+                detector: StreamDetector::Kld,
+                score: kld_score,
+                window,
+            });
+        }
+        let mut worst_band_excess = f64::NEG_INFINITY;
+        for band in 0..self.cond.band_count() {
+            let view = self.cond.band_view(band);
+            let score = kl_divergence_smoothed_counts(
+                self.band_counts[band].counts(),
+                self.band_counts[band].total(),
+                view.baseline.counts(),
+                view.baseline.total(),
+            )?;
+            worst_band_excess = worst_band_excess.max(score - view.threshold);
+            let tiers = self.band_tiers[band];
+            if score > tiers[0] {
+                self.alerts.push(AlertEvent {
+                    consumer: self.consumer,
+                    tier: grade(score, &tiers),
+                    detector: StreamDetector::CondKld { band },
+                    score,
+                    window,
+                });
+            }
+        }
+        let arima_violations = self.arima.as_ref().map(|det| {
+            let violations = self.violations;
+            let v = violations as f64;
+            if v > det.threshold() {
+                self.alerts.push(AlertEvent {
+                    consumer: self.consumer,
+                    tier: arima_tier(v, det),
+                    detector: StreamDetector::Arima,
+                    score: v,
+                    window,
+                });
+            }
+            violations
+        });
+        self.violations = 0;
+        if let Some(det) = self.arima.as_ref() {
+            self.live = Some(det.seeded_forecaster().clone());
+        }
+        Ok(WeekSummary {
+            window,
+            kld_score,
+            worst_band_excess,
+            arima_violations,
+        })
+    }
+
+    /// Threshold crossings of the most recently completed window (empty
+    /// until the first window completes, and between crossings).
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.alerts
+    }
+
+    /// The unconditioned KLD divergence of the *current* sliding window
+    /// (the last 336 ticks), without waiting for a window boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamScorer::ingest`]'s divergence errors; meaningless (an
+    /// under-filled histogram) before [`StreamScorer::window_filled`].
+    pub fn kld_score(&self) -> Result<f64, TsError> {
+        kl_divergence_smoothed_counts(
+            self.kld_counts.counts(),
+            self.kld_counts.total(),
+            self.kld.baseline().counts(),
+            self.kld.baseline().total(),
+        )
+    }
+
+    /// Per-band `(score, threshold)` of the current sliding window,
+    /// visited in band order — the streaming analogue of
+    /// [`ConditionedKldDetector::visit_band_scores`], allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamScorer::kld_score`].
+    pub fn visit_band_scores<F>(&self, mut visit: F) -> Result<(), TsError>
+    where
+        F: FnMut(f64, f64),
+    {
+        for band in 0..self.cond.band_count() {
+            let view = self.cond.band_view(band);
+            let score = kl_divergence_smoothed_counts(
+                self.band_counts[band].counts(),
+                self.band_counts[band].total(),
+                view.baseline.counts(),
+                view.baseline.total(),
+            )?;
+            visit(score, view.threshold);
+        }
+        Ok(())
+    }
+
+    /// The consumer's meter id.
+    pub fn consumer(&self) -> u32 {
+        self.consumer
+    }
+
+    /// Ticks ingested since the stream started.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Whether a full 336-tick window has been ingested (sliding-window
+    /// scores are meaningful from here on).
+    pub fn window_filled(&self) -> bool {
+        self.ticks >= SLOTS_PER_WEEK as u64
+    }
+
+    /// Whether this consumer streams the ARIMA interval check (false when
+    /// the artifact has no fitted model).
+    pub fn has_arima(&self) -> bool {
+        self.arima.is_some()
+    }
+
+    /// Bytes of *per-scorer* resident state: the sliding window, the
+    /// incremental counts, tier ladders, the alert buffer, and the live
+    /// forecaster buffers. Trained cores (histogram baselines, training
+    /// quantiles, model coefficients) are `Arc`-shared with the artifact
+    /// store and excluded — they are fleet-resident once, not per meter.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ring.capacity() * std::mem::size_of::<f64>()
+            + self.kld_counts.heap_bytes()
+            + self
+                .band_counts
+                .iter()
+                .map(HistScratch::heap_bytes)
+                .sum::<usize>()
+            + self.band_tiers.capacity() * std::mem::size_of::<[f64; 3]>()
+            + self.alerts.capacity() * std::mem::size_of::<AlertEvent>()
+            + self.live.as_ref().map_or(0, Forecaster::heap_bytes)
+            + self
+                .arima
+                .as_ref()
+                .map_or(0, |a| a.seeded_forecaster().heap_bytes())
+    }
+}
+
+/// Grades a score against a sorted `[low, medium, high]` threshold
+/// ladder; callers only invoke it past `tiers[0]`.
+fn grade(score: f64, tiers: &[f64; 3]) -> AlertTier {
+    if score > tiers[2] {
+        AlertTier::High
+    } else if score > tiers[1] {
+        AlertTier::Medium
+    } else {
+        AlertTier::Low
+    }
+}
+
+/// Grades an interval-violation count by its binomial excess over the
+/// nominal rate: `Medium` one standard deviation past the firing margin,
+/// `High` two past it. Monotone in the count.
+fn arima_tier(violations: f64, det: &ArimaDetector) -> AlertTier {
+    let n = SLOTS_PER_WEEK as f64;
+    let p = 1.0 - det.confidence();
+    let sigma = (n * p * (1.0 - p)).sqrt();
+    let excess = (violations - n * p) / sigma;
+    if excess >= det.z_margin() + 2.0 {
+        AlertTier::High
+    } else if excess >= det.z_margin() + 1.0 {
+        AlertTier::Medium
+    } else {
+        AlertTier::Low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EvalEngine;
+    use crate::eval::EvalConfig;
+    use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+    use fdeta_tsdata::week::WeekVector;
+
+    fn engine() -> EvalEngine {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(3, 14, 41));
+        let config = EvalConfig {
+            threads: 1,
+            ..EvalConfig::fast(8, 3)
+        };
+        EvalEngine::train(&data, &config).unwrap()
+    }
+
+    #[test]
+    fn tick_ingest_matches_batch_scores_bit_identically() {
+        let engine = engine();
+        for (index, artifact) in engine.artifacts().iter().enumerate() {
+            let mut scorer = StreamScorer::new(artifact, &ServeConfig::default()).unwrap();
+            let test = artifact.test_matrix().unwrap();
+            let mut summaries = Vec::new();
+            for w in 0..test.weeks() {
+                let week = test.week_vector(w);
+                for &reading in week.as_slice() {
+                    if let Some(summary) = scorer.ingest(reading).unwrap() {
+                        summaries.push(summary);
+                    }
+                }
+            }
+            assert_eq!(summaries.len(), test.weeks());
+            for (summary, w) in summaries.iter().zip(0..test.weeks()) {
+                let week = test.week_vector(w);
+                let batch_kld = artifact.kld_base().score(&week).unwrap();
+                assert_eq!(
+                    summary.kld_score.to_bits(),
+                    batch_kld.to_bits(),
+                    "consumer {index} week {w}: stream KLD must be bit-identical"
+                );
+                let mut batch_excess = f64::NEG_INFINITY;
+                artifact
+                    .conditioned_base()
+                    .visit_band_scores(&week, None, |s, t| {
+                        batch_excess = batch_excess.max(s - t);
+                    })
+                    .unwrap();
+                assert_eq!(summary.worst_band_excess.to_bits(), batch_excess.to_bits());
+                if let Some(v) = summary.arima_violations {
+                    let batch_v = artifact.arima_detector().unwrap().violations(&week);
+                    assert_eq!(v as usize, batch_v, "consumer {index} week {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alerts_fire_on_an_inflated_window_and_grade_high() {
+        let engine = engine();
+        let artifact = &engine.artifacts()[0];
+        let mut scorer = StreamScorer::new(artifact, &ServeConfig::default()).unwrap();
+        // One clean held-out week, then the same week at triple scale: the
+        // KLD detector must stay quiet, then fire with a severe tier.
+        let week = artifact.test_matrix().unwrap().week_vector(0);
+        let mut clean_alerts = 0;
+        for &r in week.as_slice() {
+            if scorer.ingest(r).unwrap().is_some() {
+                clean_alerts = scorer
+                    .alerts()
+                    .iter()
+                    .filter(|a| a.detector == StreamDetector::Kld)
+                    .count();
+            }
+        }
+        assert_eq!(clean_alerts, 0, "training-like week must not alert");
+        let mut fired = None;
+        for &r in week.as_slice() {
+            if scorer.ingest(r * 3.0).unwrap().is_some() {
+                fired = scorer
+                    .alerts()
+                    .iter()
+                    .find(|a| a.detector == StreamDetector::Kld)
+                    .copied();
+            }
+        }
+        let alert = fired.expect("tripled week must cross the KLD threshold");
+        assert_eq!(alert.consumer, artifact.id());
+        assert_eq!(alert.tier, AlertTier::High);
+        assert_eq!(alert.window, 1);
+    }
+
+    #[test]
+    fn sliding_score_tracks_any_336_tick_window() {
+        let engine = engine();
+        let artifact = &engine.artifacts()[1];
+        let mut scorer = StreamScorer::new(artifact, &ServeConfig::default()).unwrap();
+        let flat = artifact.test_matrix().unwrap().flat();
+        // Feed 1.5 weeks and compare the mid-week sliding window against a
+        // batch score of the same 336 values.
+        let ticks = SLOTS_PER_WEEK + SLOTS_PER_WEEK / 2;
+        for &r in &flat[..ticks] {
+            scorer.ingest(r).unwrap();
+        }
+        let window: Vec<f64> = flat[ticks - SLOTS_PER_WEEK..ticks].to_vec();
+        let batch = artifact
+            .kld_base()
+            .score(&WeekVector::new(window).unwrap())
+            .unwrap();
+        assert_eq!(scorer.kld_score().unwrap().to_bits(), batch.to_bits());
+    }
+
+    #[test]
+    fn invalid_readings_are_typed_errors() {
+        let engine = engine();
+        let mut scorer =
+            StreamScorer::new(&engine.artifacts()[0], &ServeConfig::default()).unwrap();
+        assert!(scorer.ingest(f64::NAN).is_err());
+        assert!(scorer.ingest(-1.0).is_err());
+        assert_eq!(scorer.ticks(), 0, "rejected ticks must not advance state");
+    }
+
+    #[test]
+    fn conflicting_tiers_rejected_at_build_time() {
+        assert!(matches!(
+            ServeConfig::builder().tier_medium(0.5).build(),
+            Err(ConfigError::ConflictingAlertTiers { .. })
+        ));
+        assert!(matches!(
+            ServeConfig::builder().tier_high(1.0).build(),
+            Err(ConfigError::ConflictingAlertTiers { .. })
+        ));
+        assert!(ServeConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn state_bytes_are_bounded_and_positive() {
+        let engine = engine();
+        let artifact = &engine.artifacts()[0];
+        let mut scorer = StreamScorer::new(artifact, &ServeConfig::default()).unwrap();
+        let before = scorer.state_bytes();
+        assert!(before > 0);
+        let flat = artifact.test_matrix().unwrap().flat();
+        for &r in &flat[..3 * SLOTS_PER_WEEK] {
+            scorer.ingest(r).unwrap();
+        }
+        let after = scorer.state_bytes();
+        // The forecaster buffers are bounded and everything else is
+        // fixed-size: three weeks of ticks must not balloon the state.
+        assert!(after < before + 8 * 1024, "state grew {before} -> {after}");
+    }
+}

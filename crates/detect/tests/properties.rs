@@ -59,8 +59,8 @@ proptest! {
             .expect("valid training matrix");
         let week = train.week_vector(7);
         let shuffled = permuted(&week, perm_seed);
-        let a = detector.score(&week);
-        let b = detector.score(&shuffled);
+        let a = detector.score(&week).unwrap();
+        let b = detector.score(&shuffled).unwrap();
         prop_assert!((a - b).abs() < 1e-12, "KLD must ignore ordering: {a} vs {b}");
     }
 
@@ -90,8 +90,8 @@ proptest! {
         let det = KldDetector::train(&train, 10, SignificanceLevel::Ten).expect("valid");
         let det_scaled = KldDetector::train(&scaled, 10, SignificanceLevel::Ten).expect("valid");
         for w in 0..train.weeks() {
-            let a = det.score(&train.week_vector(w));
-            let b = det_scaled.score(&scaled.week_vector(w));
+            let a = det.score(&train.week_vector(w)).unwrap();
+            let b = det_scaled.score(&scaled.week_vector(w)).unwrap();
             prop_assert!((a - b).abs() < 1e-9, "week {w}: {a} vs {b}");
         }
         prop_assert!((det.threshold() - det_scaled.threshold()).abs() < 1e-9);
@@ -111,7 +111,7 @@ proptest! {
         ).expect("valid training matrix");
         for w in 0..train.weeks() {
             let week = train.week_vector(w);
-            let scores = det.band_scores(&week);
+            let scores = det.band_scores(&week).unwrap();
             prop_assert!(scores.iter().all(|(s, t)| s.is_finite() && t.is_finite()));
             let expected = scores.iter().any(|(s, t)| s > t);
             prop_assert_eq!(det.is_anomalous(&week), expected);

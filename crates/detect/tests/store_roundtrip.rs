@@ -33,10 +33,8 @@ struct TempStore {
 
 impl TempStore {
     fn new(tag: &str) -> Self {
-        let root = std::env::temp_dir().join(format!(
-            "fdeta-store-test-{}-{tag}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("fdeta-store-test-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         Self { root }
     }
@@ -123,7 +121,11 @@ fn explicit_save_load_round_trip_matches() {
 fn missing_entry_is_a_clean_miss_not_an_error() {
     let data = corpus(2, 12, 43);
     let tmp = TempStore::new("miss");
-    assert!(tmp.store().load(&data, &config()).expect("no entry").is_none());
+    assert!(tmp
+        .store()
+        .load(&data, &config())
+        .expect("no entry")
+        .is_none());
 }
 
 #[test]
@@ -219,7 +221,9 @@ fn entries_for_different_configs_coexist() {
     let store = tmp.store();
 
     let (_, a) = store.engine(&data, &base, None).expect("first config");
-    let (_, b) = store.engine(&data, &more_bins, None).expect("second config");
+    let (_, b) = store
+        .engine(&data, &more_bins, None)
+        .expect("second config");
     assert_ne!(a.path, b.path, "distinct keys, distinct files");
     assert_eq!(
         store.engine(&data, &base, None).expect("warm").1.status,

@@ -1,0 +1,412 @@
+//! Streaming fleet daemon over the pure detect library.
+//!
+//! The detect crate is a library of pure functions over owned state; this
+//! crate is the thin service layer a deployment would run. A [`Fleet`]
+//! owns one [`StreamScorer`] per consumer (artifacts loaded warm from the
+//! [`ArtifactStore`] when a cache exists), accepts half-hour tick batches,
+//! and drains them through the same [`WorkQueue`] work-stealing scheduler
+//! the batch engine trains with. Completed windows surface typed
+//! [`AlertEvent`]s; nothing here re-implements scoring — every number is
+//! produced by the detect library and is bit-identical to the batch path.
+//!
+//! No I/O beyond the artifact store, no network: the daemon's transport
+//! (socket, MQTT bridge, …) is deliberately out of scope. What is in
+//! scope is everything a transport would need: per-consumer routing,
+//! parallel drain, alert collection, and resident-state accounting.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use fdeta_cer_synth::SyntheticDataset;
+use fdeta_detect::prelude::*;
+use fdeta_detect::WorkQueue;
+use fdeta_tsdata::TsError;
+
+/// Everything that can go wrong while serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid serving or evaluation configuration.
+    Config(ConfigError),
+    /// Training / warm-load failure.
+    Eval(EvalError),
+    /// A tick carried an invalid reading.
+    Data(TsError),
+    /// A tick addressed a consumer the fleet does not track.
+    UnknownConsumer(u32),
+    /// A tick batch did not carry exactly one reading per consumer.
+    BatchLen {
+        /// Fleet size.
+        expected: usize,
+        /// Batch size received.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "serve config: {e}"),
+            ServeError::Eval(e) => write!(f, "fleet training: {e}"),
+            ServeError::Data(e) => write!(f, "tick rejected: {e}"),
+            ServeError::UnknownConsumer(id) => {
+                write!(f, "tick for unknown consumer {id}")
+            }
+            ServeError::BatchLen { expected, got } => {
+                write!(f, "tick batch of {got} readings for a fleet of {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            ServeError::Eval(e) => Some(e),
+            ServeError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> Self {
+        ServeError::Eval(e)
+    }
+}
+
+impl From<TsError> for ServeError {
+    fn from(e: TsError) -> Self {
+        ServeError::Data(e)
+    }
+}
+
+/// The outcome of draining one fleet-wide tick round.
+#[derive(Debug, Default)]
+pub struct RoundOutcome {
+    /// Weekly digests of consumers whose tick completed a window, in
+    /// fleet order (deterministic regardless of drain interleaving).
+    pub summaries: Vec<(u32, WeekSummary)>,
+    /// Alerts raised by those completed windows, in fleet order.
+    pub alerts: Vec<AlertEvent>,
+}
+
+/// Per-consumer streaming state for a whole meter fleet.
+///
+/// Scorers sit behind a `Mutex` each so tick rounds can drain in
+/// parallel; the trained cores inside them are `Arc`-shared with the
+/// engine artifacts, so fleet memory is dominated by the per-consumer
+/// sliding state that [`Fleet::state_bytes`] accounts.
+pub struct Fleet {
+    scorers: Vec<Mutex<StreamScorer>>,
+    ids: Vec<u32>,
+    index: BTreeMap<u32, usize>,
+    threads: usize,
+}
+
+impl Fleet {
+    /// Builds one scorer per trained artifact of `engine`, draining tick
+    /// rounds over `threads` workers (`0` means one worker per consumer,
+    /// capped by available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid alert-tier ladder.
+    pub fn from_engine(
+        engine: &EvalEngine,
+        serve: &ServeConfig,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        let artifacts = engine.artifacts();
+        let mut scorers = Vec::with_capacity(artifacts.len());
+        let mut ids = Vec::with_capacity(artifacts.len());
+        let mut index = BTreeMap::new();
+        for artifact in artifacts {
+            let scorer = StreamScorer::new(artifact, serve)?;
+            index.insert(scorer.consumer(), scorers.len());
+            ids.push(scorer.consumer());
+            scorers.push(Mutex::new(scorer));
+        }
+        let threads = normalise_threads(threads, scorers.len());
+        Ok(Self {
+            scorers,
+            ids,
+            index,
+            threads,
+        })
+    }
+
+    /// Builds a fleet from pre-built scorers — the simulation entry: a
+    /// bench can clone one trained scorer per simulated meter. Duplicate
+    /// consumer ids keep only the first slot for id-routed ticks
+    /// ([`Fleet::ingest_tick`]); round draining is unaffected.
+    pub fn from_scorers(scorers: Vec<StreamScorer>, threads: usize) -> Self {
+        let mut ids = Vec::with_capacity(scorers.len());
+        let mut index = BTreeMap::new();
+        for (slot, scorer) in scorers.iter().enumerate() {
+            ids.push(scorer.consumer());
+            index.entry(scorer.consumer()).or_insert(slot);
+        }
+        let threads = normalise_threads(threads, scorers.len());
+        Self {
+            scorers: scorers.into_iter().map(Mutex::new).collect(),
+            ids,
+            index,
+            threads,
+        }
+    }
+
+    /// Warm-loads the fleet from the artifact store at `root`: a cache
+    /// hit skips training entirely, a miss trains and persists for the
+    /// next start. Returns the cache outcome alongside the fleet so
+    /// daemons can log cold starts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Eval`] when training fails, [`ServeError::Config`]
+    /// for an invalid tier ladder.
+    pub fn warm(
+        root: &Path,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+        serve: &ServeConfig,
+        threads: usize,
+    ) -> Result<(Self, CacheOutcome), ServeError> {
+        let store = ArtifactStore::new(root);
+        let (engine, outcome) = store.engine(dataset, config, None)?;
+        Ok((Self::from_engine(&engine, serve, threads)?, outcome))
+    }
+
+    /// Number of consumers tracked.
+    pub fn len(&self) -> usize {
+        self.scorers.len()
+    }
+
+    /// Whether the fleet tracks no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.scorers.is_empty()
+    }
+
+    /// The tracked consumer ids, in fleet (batch) order.
+    pub fn consumers(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Routes a single consumer's tick.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownConsumer`] for an untracked id,
+    /// [`ServeError::Data`] for an invalid reading.
+    pub fn ingest_tick(
+        &self,
+        consumer: u32,
+        reading: f64,
+    ) -> Result<Option<WeekSummary>, ServeError> {
+        let &slot = self
+            .index
+            .get(&consumer)
+            .ok_or(ServeError::UnknownConsumer(consumer))?;
+        let mut scorer = lock(&self.scorers[slot]);
+        Ok(scorer.ingest(reading)?)
+    }
+
+    /// Drains one fleet-wide tick round — `readings[i]` is the reading of
+    /// `consumers()[i]` — across the worker threads via [`WorkQueue`].
+    /// An invalid reading aborts the round's remaining claims; consumers
+    /// already ticked stay ticked (ticks are independent streams, so a
+    /// retry may simply resend the failed consumers).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BatchLen`] on a malformed batch, the first
+    /// [`ServeError::Data`] encountered otherwise.
+    pub fn ingest_round(&self, readings: &[f64]) -> Result<RoundOutcome, ServeError> {
+        if readings.len() != self.scorers.len() {
+            return Err(ServeError::BatchLen {
+                expected: self.scorers.len(),
+                got: readings.len(),
+            });
+        }
+        let mut completed: Vec<Option<WeekSummary>> = vec![None; self.scorers.len()];
+        if self.threads <= 1 {
+            for (slot, (scorer, &reading)) in self.scorers.iter().zip(readings).enumerate() {
+                completed[slot] = lock(scorer).ingest(reading)?;
+            }
+        } else {
+            self.drain_parallel(readings, &mut completed)?;
+        }
+        let mut outcome = RoundOutcome::default();
+        for (slot, summary) in completed.into_iter().enumerate() {
+            let Some(summary) = summary else { continue };
+            outcome.summaries.push((self.ids[slot], summary));
+            outcome
+                .alerts
+                .extend_from_slice(lock(&self.scorers[slot]).alerts());
+        }
+        Ok(outcome)
+    }
+
+    /// The parallel drain: workers claim fleet slots off a [`WorkQueue`]
+    /// until it runs dry or a worker aborts on an invalid reading.
+    fn drain_parallel(
+        &self,
+        readings: &[f64],
+        completed: &mut [Option<WeekSummary>],
+    ) -> Result<(), ServeError> {
+        let queue = WorkQueue::new(self.scorers.len());
+        let failure: Mutex<Option<TsError>> = Mutex::new(None);
+        let completed = Mutex::new(completed);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    while let Some(slot) = queue.claim() {
+                        let outcome = lock(&self.scorers[slot]).ingest(readings[slot]);
+                        match outcome {
+                            Ok(summary) => {
+                                lock(&completed)[slot] = summary;
+                                queue.complete();
+                            }
+                            Err(e) => {
+                                queue.abort();
+                                let mut first = lock(&failure);
+                                if first.is_none() {
+                                    *first = Some(e);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        match failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(e) => Err(ServeError::Data(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Total per-consumer resident state, in bytes (excludes the
+    /// `Arc`-shared trained cores — see [`StreamScorer::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.scorers.iter().map(|s| lock(s).state_bytes()).sum()
+    }
+}
+
+/// Poison-safe lock: a worker that panicked mid-tick leaves a consumer's
+/// window state valid (every mutation in `ingest` is ordered before the
+/// next await point), so the daemon keeps serving the rest of the fleet
+/// rather than cascading the panic.
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `0` means auto: one worker per consumer, capped by the machine.
+fn normalise_threads(threads: usize, consumers: usize) -> usize {
+    let cap = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if threads == 0 {
+        consumers.clamp(1, cap)
+    } else {
+        threads.min(cap.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdeta_cer_synth::DatasetConfig;
+    use fdeta_tsdata::SLOTS_PER_WEEK;
+
+    fn fleet(threads: usize) -> (Fleet, SyntheticDataset, EvalConfig) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(4, 12, 7));
+        let config = EvalConfig {
+            threads: 1,
+            ..EvalConfig::fast(8, 2)
+        };
+        let engine = EvalEngine::train(&data, &config).unwrap();
+        let fleet = Fleet::from_engine(&engine, &ServeConfig::default(), threads).unwrap();
+        (fleet, data, config)
+    }
+
+    /// One full week of fleet-wide rounds, fed from each artifact's
+    /// held-out window.
+    fn weekly_rounds(fleet: &Fleet, data: &SyntheticDataset, config: &EvalConfig) -> RoundOutcome {
+        let mut last = RoundOutcome::default();
+        for tick in 0..SLOTS_PER_WEEK {
+            let readings: Vec<f64> = (0..fleet.len())
+                .map(|c| {
+                    let series = data.consumer(c).series.as_slice();
+                    series[config.train_weeks * SLOTS_PER_WEEK + tick]
+                })
+                .collect();
+            last = fleet.ingest_round(&readings).unwrap();
+        }
+        last
+    }
+
+    #[test]
+    fn parallel_and_serial_rounds_agree() {
+        let (serial, data, config) = fleet(1);
+        let (parallel, _, _) = fleet(4);
+        let a = weekly_rounds(&serial, &data, &config);
+        let b = weekly_rounds(&parallel, &data, &config);
+        assert_eq!(a.summaries.len(), serial.len());
+        assert_eq!(a.summaries.len(), b.summaries.len());
+        for ((id_a, sa), (id_b, sb)) in a.summaries.iter().zip(&b.summaries) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(sa.kld_score.to_bits(), sb.kld_score.to_bits());
+            assert_eq!(sa.arima_violations, sb.arima_violations);
+        }
+        assert_eq!(a.alerts, b.alerts);
+    }
+
+    #[test]
+    fn single_tick_routing_matches_round_order() {
+        let (fleet, data, config) = fleet(2);
+        let ids: Vec<u32> = fleet.consumers().to_vec();
+        for tick in 0..SLOTS_PER_WEEK {
+            for (c, &id) in ids.iter().enumerate() {
+                let series = data.consumer(c).series.as_slice();
+                let reading = series[config.train_weeks * SLOTS_PER_WEEK + tick];
+                let summary = fleet.ingest_tick(id, reading).unwrap();
+                assert_eq!(summary.is_some(), tick == SLOTS_PER_WEEK - 1);
+            }
+        }
+        assert!(matches!(
+            fleet.ingest_tick(0xDEAD, 1.0),
+            Err(ServeError::UnknownConsumer(0xDEAD))
+        ));
+    }
+
+    #[test]
+    fn malformed_batches_and_bad_readings_are_typed() {
+        let (fleet, _, _) = fleet(2);
+        assert!(matches!(
+            fleet.ingest_round(&[1.0]),
+            Err(ServeError::BatchLen { got: 1, .. })
+        ));
+        let mut readings = vec![0.5; fleet.len()];
+        readings[1] = f64::NAN;
+        assert!(matches!(
+            fleet.ingest_round(&readings),
+            Err(ServeError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_state_is_accounted() {
+        let (fleet, _, _) = fleet(1);
+        let total = fleet.state_bytes();
+        assert!(total > 0);
+        assert!(
+            total >= fleet.len() * SLOTS_PER_WEEK * std::mem::size_of::<f64>(),
+            "at least the sliding windows must be accounted"
+        );
+    }
+}

@@ -81,11 +81,8 @@ pub mod prelude {
     pub use fdeta_cer_synth::{
         ConsumerClass, DatasetConfig, FaultLog, FaultModel, ObservedDataset, SyntheticDataset,
     };
-    pub use fdeta_detect::{
-        try_evaluate, AlertBudget, ConditionedKldDetector, Detector, EvalConfig, EvalEngine,
-        EvalError, KldDetector, PcaDetector, RobustEngine, RobustnessConfig, SignificanceLevel,
-        TrainError, TrainedConsumer,
-    };
+    pub use fdeta_detect::prelude::*;
+    pub use fdeta_detect::AlertBudget;
     pub use fdeta_gridsim::{
         BalanceChecker, GridTopology, MeterDeployment, PricingScheme, Snapshot, TouPlan,
     };

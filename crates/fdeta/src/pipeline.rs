@@ -332,7 +332,11 @@ impl Pipeline {
         // overshoots it by whole bits, so the margin requirement keeps
         // the operator's false-alert load low without losing the attack.
         const LOAD_SHIFT_MARGIN_BITS: f64 = 0.5;
-        let band_scores = monitor.conditioned.band_scores(week);
+        let band_scores = monitor
+            .conditioned
+            .band_scores(week)
+            // lint:allow(no-panic-in-lib, monitors share edges by construction; band_scores covers untrusted artifacts)
+            .expect("same edges by construction");
         let decisive_band = band_scores
             .iter()
             .any(|(score, threshold)| score - threshold > LOAD_SHIFT_MARGIN_BITS);

@@ -126,7 +126,13 @@ impl BandMap {
     /// Panics under the same conditions as [`BandMap::gather_into`], or if
     /// `mask` is shorter than the mapped slots; callers validate mask
     /// length against the week up front.
-    pub fn gather_masked_into(&self, band: usize, values: &[f64], mask: &[bool], out: &mut Vec<f64>) {
+    pub fn gather_masked_into(
+        &self,
+        band: usize,
+        values: &[f64],
+        mask: &[bool],
+        out: &mut Vec<f64>,
+    ) {
         out.clear();
         out.extend(
             self.band_slots(band)

@@ -101,7 +101,14 @@ impl BinEdges {
     #[inline]
     fn bin_of_scaled(&self, value: f64, scale: f64) -> usize {
         let bins = self.bins();
-        guess_bin(&self.edges, self.edges[0], self.edges[bins], scale, bins, value)
+        guess_bin(
+            &self.edges,
+            self.edges[0],
+            self.edges[bins],
+            scale,
+            bins,
+            value,
+        )
     }
 
     /// Counts `sample` into a [`Histogram`] that shares these edges.
@@ -168,6 +175,70 @@ impl BinEdges {
             counts,
             total,
         })
+    }
+
+    /// Prepares `scratch` for incremental counting with these edges: the
+    /// count vector is cleared and resized to one slot per bin and the
+    /// total reset to zero. Pair with [`BinEdges::count_push`] /
+    /// [`BinEdges::count_pop`] / [`BinEdges::count_slide`] to maintain a
+    /// sliding-window histogram one value at a time.
+    ///
+    /// Incremental counts are **bit-identical** to a batch
+    /// [`BinEdges::histogram_into`] over the same multiset of values:
+    /// [`BinEdges::bin_of`] computes the same hoisted scale and guess as
+    /// the batch counting loop, and `u64` addition is order-independent.
+    pub fn reset_counts(&self, scratch: &mut HistScratch) {
+        scratch.counts.clear();
+        scratch.counts.resize(self.bins(), 0);
+        scratch.total = 0;
+    }
+
+    /// Adds one value to an incrementally maintained count vector
+    /// (O(1): one bin lookup, one increment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not sized for these edges via
+    /// [`BinEdges::reset_counts`] (or an equal-bin-count fill).
+    #[inline]
+    pub fn count_push(&self, scratch: &mut HistScratch, value: f64) {
+        scratch.counts[self.bin_of(value)] += 1;
+        scratch.total += 1;
+    }
+
+    /// Removes one value from an incrementally maintained count vector
+    /// (O(1): one bin lookup, one decrement).
+    ///
+    /// Contract: `value` must have been previously pushed (the sliding
+    /// window owns the exact values it counted), so the bin is non-empty;
+    /// an unbalanced pop is a caller bug caught by a debug assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not sized for these edges, and in debug
+    /// builds if the value's bin is already empty.
+    #[inline]
+    pub fn count_pop(&self, scratch: &mut HistScratch, value: f64) {
+        let bin = self.bin_of(value);
+        debug_assert!(
+            scratch.counts[bin] > 0,
+            "count_pop of value {value} from empty bin {bin}"
+        );
+        scratch.counts[bin] -= 1;
+        scratch.total -= 1;
+    }
+
+    /// Slides an incrementally maintained window by one value: decrement
+    /// the expiring value's bin, increment the incoming value's. O(1) and
+    /// total-preserving — the streaming per-tick histogram update.
+    ///
+    /// # Panics
+    ///
+    /// As [`BinEdges::count_pop`] / [`BinEdges::count_push`].
+    #[inline]
+    pub fn count_slide(&self, scratch: &mut HistScratch, expiring: f64, incoming: f64) {
+        self.count_pop(scratch, expiring);
+        self.count_push(scratch, incoming);
     }
 
     /// Maximum bin count served by the interleaved counting fast path
@@ -249,7 +320,7 @@ fn guess_bin(edges: &[f64], lo: f64, hi: f64, scale: f64, bins: usize, value: f6
     // or low — the fixup walk below repairs that; only the walk's
     // invariant, not the guess, carries the exactness argument.
     const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
-    // lint:allow(lossy-cast-in-datapath, the low 32 mantissa bits hold the whole rounded guess by construction; any impossible truncation is repaired by the fixup walk)
+                                                // lint:allow(lossy-cast-in-datapath, the low 32 mantissa bits hold the whole rounded guess by construction; any impossible truncation is repaired by the fixup walk)
     let g = ((v - lo) * scale - 0.5 + MAGIC).to_bits() as u32 as usize;
     let mut i = g.min(bins - 1);
     while v < edges[i] {
@@ -308,6 +379,14 @@ impl HistScratch {
     #[inline]
     pub fn gathered(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Heap bytes owned by this scratch (both buffers, at capacity) —
+    /// the per-consumer resident-state accounting the streaming layer
+    /// reports.
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -434,8 +513,7 @@ mod tests {
     fn guessed_bin_lookup_matches_binary_search_on_skewed_edges() {
         // Heavily non-uniform edges: the arithmetic guess is wrong almost
         // everywhere and the fixup walk must repair it exactly.
-        let edges =
-            BinEdges::from_edges(vec![0.0, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0]).unwrap();
+        let edges = BinEdges::from_edges(vec![0.0, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0]).unwrap();
         let mut v = -1.0;
         while v < 110.0 {
             assert_eq!(edges.bin_of(v), bin_of_reference(&edges, v), "value {v}");
@@ -540,14 +618,61 @@ mod tests {
     fn histogram_from_counts_round_trips() {
         let edges = BinEdges::from_sample(&[0.0, 10.0], 5).unwrap();
         let hist = edges.histogram(&[1.0, 3.0, 3.5, 9.0]);
-        let rebuilt = edges
-            .histogram_from_counts(hist.counts().to_vec())
-            .unwrap();
+        let rebuilt = edges.histogram_from_counts(hist.counts().to_vec()).unwrap();
         assert_eq!(rebuilt, hist);
         assert_eq!(
             edges.histogram_from_counts(vec![1, 2]),
             Err(TsError::MismatchedBins { left: 5, right: 2 })
         );
+    }
+
+    #[test]
+    fn incremental_pushes_match_batch_counts() {
+        let sample: Vec<f64> = (0..336).map(|i| ((i * 7) % 41) as f64 * 0.45).collect();
+        let edges = BinEdges::from_sample(&sample, 10).unwrap();
+        let mut inc = HistScratch::new();
+        edges.reset_counts(&mut inc);
+        for &v in &sample {
+            edges.count_push(&mut inc, v);
+        }
+        let mut batch = HistScratch::new();
+        edges.histogram_into(&sample, &mut batch);
+        assert_eq!(inc.counts(), batch.counts());
+        assert_eq!(inc.total(), batch.total());
+    }
+
+    #[test]
+    fn sliding_window_matches_batch_at_every_offset() {
+        // A 336-wide window slid across a longer series must equal the
+        // batch histogram of each window exactly, including after pops.
+        let series: Vec<f64> = (0..1000).map(|i| ((i * 13) % 97) as f64 * 0.1).collect();
+        let window = 336;
+        let edges = BinEdges::from_sample(&series[..window], 10).unwrap();
+        let mut inc = HistScratch::new();
+        edges.reset_counts(&mut inc);
+        for &v in &series[..window] {
+            edges.count_push(&mut inc, v);
+        }
+        let mut batch = HistScratch::new();
+        for start in 1..(series.len() - window) {
+            edges.count_slide(&mut inc, series[start - 1], series[start + window - 1]);
+            edges.histogram_into(&series[start..start + window], &mut batch);
+            assert_eq!(inc.counts(), batch.counts(), "window at {start}");
+            assert_eq!(inc.total(), batch.total());
+        }
+    }
+
+    #[test]
+    fn pop_inverts_push() {
+        let edges = BinEdges::from_sample(&[0.0, 10.0], 5).unwrap();
+        let mut scratch = HistScratch::new();
+        edges.reset_counts(&mut scratch);
+        edges.count_push(&mut scratch, 3.0);
+        edges.count_push(&mut scratch, 9.5);
+        edges.count_pop(&mut scratch, 3.0);
+        edges.count_pop(&mut scratch, 9.5);
+        assert_eq!(scratch.total(), 0);
+        assert!(scratch.counts().iter().all(|&c| c == 0));
     }
 
     #[test]

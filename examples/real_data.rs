@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outage_week = train.week_vector(2); // days 20-29 fall here
         println!(
             "  {label:<14} outage-week KLD = {:.3} (threshold {:.3}) -> {}",
-            detector.score(&outage_week),
+            detector.score(&outage_week)?,
             detector.threshold(),
             if detector.is_anomalous(&outage_week) {
                 "FLAGGED"

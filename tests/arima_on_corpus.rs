@@ -92,7 +92,7 @@ fn constant_consumer_is_skipped_not_crashed() {
     // A constant (degenerate) history must flow through the evaluation
     // harness as a skipped consumer, not a panic. Constructed via the CER
     // loader since the generator never emits constants.
-    use fdeta::detect::eval::{try_evaluate, EvalConfig};
+    use fdeta::detect::eval::{evaluate, EvalConfig};
     use fdeta::tsdata::SLOTS_PER_DAY as SPD;
     let mut csv = String::new();
     // Six weeks of a constant 1.0 kW reading, every slot of every day.
@@ -108,7 +108,7 @@ fn constant_consumer_is_skipped_not_crashed() {
         threads: 1,
         ..EvalConfig::fast(4, 2)
     };
-    let eval = try_evaluate(&data, &config).expect("degenerate history must not error");
+    let eval = evaluate(&data, &config).expect("degenerate history must not error");
     assert_eq!(eval.consumers.len(), 1);
     assert!(
         eval.consumers[0].skipped,

@@ -2,7 +2,7 @@
 //! corpus must reproduce the paper's qualitative results.
 
 use fdeta::cer_synth::{DatasetConfig, SyntheticDataset};
-use fdeta::detect::eval::{try_evaluate, DetectorKind, EvalConfig, Scenario};
+use fdeta::detect::eval::{evaluate, DetectorKind, EvalConfig, Scenario};
 
 fn shared_eval() -> fdeta::detect::Evaluation {
     // 40 consumers × 26 weeks (24 train + attack + clean), 8 vectors: big
@@ -12,7 +12,7 @@ fn shared_eval() -> fdeta::detect::Evaluation {
         bins: 10,
         ..EvalConfig::fast(24, 8)
     };
-    try_evaluate(&data, &config).expect("protocol evaluates")
+    evaluate(&data, &config).expect("protocol evaluates")
 }
 
 #[test]
@@ -114,8 +114,8 @@ fn evaluation_is_deterministic() {
         threads: 3,
         ..EvalConfig::fast(12, 4)
     };
-    let a = try_evaluate(&data, &config).expect("first run");
-    let b = try_evaluate(&data, &config).expect("second run");
+    let a = evaluate(&data, &config).expect("first run");
+    let b = evaluate(&data, &config).expect("second run");
     assert_eq!(a, b, "same corpus + config must give identical results");
 }
 

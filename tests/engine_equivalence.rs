@@ -4,7 +4,7 @@
 //! naive retrain-everything path.
 
 use fdeta::cer_synth::{DatasetConfig, SyntheticDataset};
-use fdeta::detect::eval::{try_evaluate, EvalConfig, Scenario};
+use fdeta::detect::eval::{evaluate, EvalConfig, Scenario};
 use fdeta::detect::{ConfigError, Detector, EvalEngine, EvalError, KldDetector};
 
 fn corpus(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
@@ -15,7 +15,7 @@ fn corpus(consumers: usize, weeks: usize, seed: u64) -> SyntheticDataset {
 fn evaluation_json_is_thread_count_invariant() {
     let data = corpus(10, 14, 7);
     let base = EvalConfig::fast(12, 3);
-    let serial = try_evaluate(
+    let serial = evaluate(
         &data,
         &EvalConfig {
             threads: 1,
@@ -23,7 +23,7 @@ fn evaluation_json_is_thread_count_invariant() {
         },
     )
     .expect("serial run");
-    let parallel = try_evaluate(&data, &EvalConfig { threads: 8, ..base }).expect("parallel run");
+    let parallel = evaluate(&data, &EvalConfig { threads: 8, ..base }).expect("parallel run");
     let serial_json = serde_json::to_string(&serial).expect("serialises");
     let parallel_json = serde_json::to_string(&parallel).expect("serialises");
     assert_eq!(
@@ -43,7 +43,7 @@ fn cached_artifacts_match_retrain_from_scratch() {
     let first = engine.evaluate().expect("first pass");
     let second = engine.evaluate().expect("second pass");
     assert_eq!(first, second, "cached artifacts must score identically");
-    let scratch = try_evaluate(&data, &config).expect("fresh run");
+    let scratch = evaluate(&data, &config).expect("fresh run");
     assert_eq!(first, scratch, "engine must equal the one-shot path");
 }
 
@@ -52,7 +52,7 @@ fn too_few_weeks_is_a_typed_error_not_a_panic() {
     let data = corpus(4, 8, 3);
     // 10 training weeks + attack week + clean week > 8 available.
     let config = EvalConfig::fast(10, 2);
-    let result = try_evaluate(&data, &config);
+    let result = evaluate(&data, &config);
     assert!(
         matches!(result, Err(EvalError::Train(_))),
         "expected a typed training error, got {result:?}"
@@ -82,19 +82,6 @@ fn builder_rejects_invalid_configs() {
         .build()
         .expect("defaults are valid");
     assert!(config.threads >= 1, "threads = 0 must be normalised");
-}
-
-#[test]
-fn deprecated_wrapper_matches_try_evaluate() {
-    let data = corpus(2, 10, 11);
-    let config = EvalConfig {
-        threads: 1,
-        ..EvalConfig::fast(8, 2)
-    };
-    #[allow(deprecated)]
-    let legacy = fdeta::detect::eval::evaluate(&data, &config);
-    let modern = try_evaluate(&data, &config).expect("evaluates");
-    assert_eq!(legacy, modern);
 }
 
 #[test]

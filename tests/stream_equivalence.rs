@@ -1,0 +1,164 @@
+//! The streaming correctness anchor as executable properties: ingesting a
+//! corpus tick-by-tick through [`StreamScorer`] reproduces the batch
+//! engine's scores *bit-identically* — on clean corpora and across
+//! fault-injected, repaired (PR 3) series — and alert tiers are monotone
+//! in the score.
+
+use proptest::prelude::*;
+
+use fdeta::cer_synth::{DatasetConfig, FaultModel, SyntheticDataset};
+use fdeta::detect::prelude::*;
+use fdeta::tsdata::SLOTS_PER_WEEK;
+
+fn fast_config() -> EvalConfig {
+    EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(8, 2)
+    }
+}
+
+/// Streams every artifact's held-out weeks tick-by-tick and asserts each
+/// weekly digest is bit-identical to the batch detectors on the same
+/// week. Panics on divergence (proptest records a panic as a failing
+/// case, and the offline proptest stand-in asserts directly anyway).
+fn assert_stream_matches_batch(engine: &EvalEngine) {
+    for (index, artifact) in engine.artifacts().iter().enumerate() {
+        let Some(test) = artifact.test_matrix() else {
+            continue;
+        };
+        let mut scorer =
+            StreamScorer::new(artifact, &ServeConfig::default()).expect("default tiers are valid");
+        let mut summaries = Vec::new();
+        for w in 0..test.weeks() {
+            for &reading in test.week_vector(w).as_slice() {
+                if let Some(summary) = scorer.ingest(reading).expect("valid corpus readings") {
+                    summaries.push(summary);
+                }
+            }
+        }
+        assert_eq!(summaries.len(), test.weeks());
+        for (summary, w) in summaries.iter().zip(0..test.weeks()) {
+            let week = test.week_vector(w);
+            let batch_kld = artifact.kld_base().score(&week).expect("shared edges");
+            assert_eq!(
+                summary.kld_score.to_bits(),
+                batch_kld.to_bits(),
+                "consumer {index} week {w}: stream KLD diverged from batch"
+            );
+            let mut batch_excess = f64::NEG_INFINITY;
+            artifact
+                .conditioned_base()
+                .visit_band_scores(&week, None, |s, t| batch_excess = batch_excess.max(s - t))
+                .expect("shared edges");
+            assert_eq!(
+                summary.worst_band_excess.to_bits(),
+                batch_excess.to_bits(),
+                "consumer {index} week {w}: stream band excess diverged from batch"
+            );
+            match (summary.arima_violations, artifact.arima_detector()) {
+                (Some(v), Some(det)) => assert_eq!(v as usize, det.violations(&week)),
+                (None, None) => {}
+                (stream, batch) => panic!(
+                    "consumer {index}: stream arima presence {:?} vs batch {:?}",
+                    stream.is_some(),
+                    batch.is_some()
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tick-by-tick ingest of a clean synthetic corpus is bit-identical
+    /// to the batch engine path, for any corpus seed.
+    #[test]
+    fn stream_matches_batch_on_clean_corpora(seed in 0u64..1_000_000, consumers in 2usize..4) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(consumers, 11, seed));
+        let engine = EvalEngine::train(&data, &fast_config()).expect("clean corpus trains");
+        assert_stream_matches_batch(&engine);
+    }
+
+    /// The same bit-identity holds across a fault-injected corpus after
+    /// repair: artifacts trained by the robustness layer (PR 3) stream
+    /// their repaired held-out weeks to the same bits the batch path
+    /// scores them.
+    #[test]
+    fn stream_matches_batch_on_repaired_corpora(seed in 0u64..1_000_000) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(3, 12, seed));
+        let (observed, _log) = FaultModel::dirty(seed ^ 0xD1E7).degrade(&data).expect("degrades");
+        let robust = RobustEngine::train(
+            &observed,
+            &fast_config(),
+            &RobustnessConfig::default(),
+        )
+        .expect("robust training completes");
+        assert_stream_matches_batch(robust.engine());
+    }
+
+    /// Alert tiers are monotone in the score: among alerts raised by the
+    /// same detector, a higher score never carries a lower tier.
+    #[test]
+    fn alert_tiers_monotone_in_score(
+        seed in 0u64..1_000_000,
+        factors in proptest::collection::vec(1.0f64..6.0, 2..5),
+    ) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(2, 11, seed));
+        let engine = EvalEngine::train(&data, &fast_config()).expect("clean corpus trains");
+        let artifact = &engine.artifacts()[0];
+        let test = artifact.test_matrix().expect("held-out weeks");
+        let week = test.week_vector(0);
+        // Replay the same held-out week at each scale factor; collect the
+        // unconditioned-KLD alerts it produces.
+        let mut kld_alerts: Vec<AlertEvent> = Vec::new();
+        let mut scorer = StreamScorer::new(artifact, &ServeConfig::default())
+            .expect("default tiers are valid");
+        for factor in factors {
+            for &reading in week.as_slice() {
+                scorer.ingest(reading * factor).expect("scaled readings stay valid");
+            }
+            kld_alerts.extend(
+                scorer
+                    .alerts()
+                    .iter()
+                    .filter(|a| a.detector == StreamDetector::Kld),
+            );
+        }
+        kld_alerts.sort_by(|a, b| a.score.total_cmp(&b.score));
+        for pair in kld_alerts.windows(2) {
+            prop_assert!(
+                pair[0].tier <= pair[1].tier,
+                "score {} got tier {:?} but higher score {} got {:?}",
+                pair[0].score,
+                pair[0].tier,
+                pair[1].score,
+                pair[1].tier
+            );
+        }
+    }
+}
+
+/// Deterministic spot check (not property-based) that the streaming path
+/// really exercises the sliding window mid-week: a window straddling two
+/// held-out weeks scores identically to a batch score of those 336 values.
+#[test]
+fn mid_week_sliding_window_matches_batch() {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(2, 11, 4242));
+    let engine = EvalEngine::train(&data, &fast_config()).expect("clean corpus trains");
+    let artifact = &engine.artifacts()[0];
+    let flat = artifact.test_matrix().expect("held-out weeks").flat();
+    let mut scorer =
+        StreamScorer::new(artifact, &ServeConfig::default()).expect("default tiers are valid");
+    let ticks = SLOTS_PER_WEEK + SLOTS_PER_WEEK / 3;
+    for &reading in &flat[..ticks] {
+        scorer.ingest(reading).expect("valid corpus readings");
+    }
+    let window = fdeta::tsdata::WeekVector::new(flat[ticks - SLOTS_PER_WEEK..ticks].to_vec())
+        .expect("corpus readings are valid");
+    let batch = artifact.kld_base().score(&window).expect("shared edges");
+    assert_eq!(
+        scorer.kld_score().expect("filled window").to_bits(),
+        batch.to_bits()
+    );
+}

@@ -177,9 +177,11 @@ pub struct LintConfig {
 impl Default for LintConfig {
     fn default() -> Self {
         Self {
-            lib_crates: ["tsdata", "gridsim", "arima", "attacks", "detect", "fdeta"]
-                .iter()
-                .map(|s| format!("crates/{s}/src"))
+            lib_crates: [
+                "tsdata", "gridsim", "arima", "attacks", "detect", "fdeta", "fdeta-serve",
+            ]
+            .iter()
+            .map(|s| format!("crates/{s}/src"))
                 .collect(),
             ordered_output_files: [
                 "crates/fdeta/src/pipeline.rs",
@@ -382,9 +384,16 @@ const NARROW_CASTS: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Whether a function name marks a detector scoring hot path: the
-/// `score*`/`try_score*` family and the banded `*band_scores*` family.
+/// `score*` family (including the `_with` scratch-explicit variants), the
+/// banded `*band_scores*` family, and the streaming tick path
+/// (`ingest*`, `close_window`, `kld_score*`) that runs per half-hour
+/// reading in the serving layer.
 fn is_scoring_fn(name: &str) -> bool {
-    name.starts_with("score") || name.starts_with("try_score") || name.contains("band_scores")
+    name.starts_with("score")
+        || name.contains("band_scores")
+        || name.starts_with("ingest")
+        || name == "close_window"
+        || name.starts_with("kld_score")
 }
 
 /// Whether a function name marks an ARIMA fitting hot path: the fit
@@ -905,6 +914,20 @@ mod tests {
         assert_eq!(findings.len(), 2, "{findings:?}");
         assert_eq!(findings[0].line, 2);
         assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn vec_alloc_in_tick_hot_path_is_flagged() {
+        // The streaming per-tick fns (`ingest*`, `close_window`,
+        // `kld_score*`) are scoring hot paths too.
+        let src = "fn ingest(&mut self, r: f64) {\n    let v: Vec<f64> = vec![r];\n    drop(v);\n}\nfn close_window(&mut self) {\n    let w = Vec::with_capacity(8);\n    drop(w);\n}";
+        let findings: Vec<_> = lint_lib(src)
+            .into_iter()
+            .filter(|f| f.rule == Rule::VecAllocInScorePath)
+            .collect();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 6);
     }
 
     #[test]
