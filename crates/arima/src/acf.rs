@@ -137,8 +137,10 @@ pub fn pacf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
     let gamma = autocovariance(series, max_lag)?;
     let mut out = Vec::with_capacity(max_lag);
     for k in 1..=max_lag {
+        // `levinson_durbin` returns exactly `k` coefficients, so the last
+        // one is at `k - 1` — indexed directly to keep this panic-free.
         let (phi, _) = levinson_durbin(&gamma, k)?;
-        out.push(*phi.last().expect("order >= 1"));
+        out.push(phi[k - 1]);
     }
     Ok(out)
 }

@@ -73,23 +73,38 @@ pub fn undifference_step(diffs: &[f64], last: f64) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics if `history` has fewer than `d` observations.
+/// Panics if `history` has fewer than `d` observations or if `d` exceeds
+/// [`crate::ArimaSpec::MAX_ORDER`].
 pub fn integrate_forecast(forecast_at_level_d: f64, history: &[f64], d: usize) -> f64 {
     assert!(
         history.len() >= d,
         "need at least d={d} history values to integrate"
     );
+    assert!(
+        d <= crate::ArimaSpec::MAX_ORDER,
+        "differencing order d={d} exceeds MAX_ORDER"
+    );
     // Build the last value of each differencing level from 0..d, then add
     // them: x̂(1 at level 0) = ŷ + last(level d−1) + ... + last(level 0).
-    let mut value = forecast_at_level_d;
-    let mut level = history.to_vec();
-    let mut lasts = Vec::with_capacity(d);
-    for _ in 0..d {
-        lasts.push(*level.last().expect("checked length"));
-        level = difference(&level, 1);
+    //
+    // The last value of each level depends only on the trailing `d`
+    // observations, so the whole integration runs on a stack window — this
+    // is the streaming scorer's per-reading path, kept allocation-free.
+    // Each in-place pass computes exactly the operand pairs
+    // `difference(&level, 1)` would, so the result is bit-identical to
+    // differencing full copies of the series.
+    let mut win = [0.0f64; crate::ArimaSpec::MAX_ORDER];
+    let mut lasts = [0.0f64; crate::ArimaSpec::MAX_ORDER];
+    win[..d].copy_from_slice(&history[history.len() - d..]);
+    for level in 0..d {
+        lasts[level] = win[d - 1 - level];
+        for i in 0..d - 1 - level {
+            win[i] = win[i + 1] - win[i];
+        }
     }
-    for last in lasts.into_iter().rev() {
-        value += last;
+    let mut value = forecast_at_level_d;
+    for level in (0..d).rev() {
+        value += lasts[level];
     }
     value
 }

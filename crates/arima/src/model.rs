@@ -444,12 +444,22 @@ impl Forecaster {
             let w_new = if d == 0 {
                 value
             } else {
-                let mut tail = self.history[self.history.len() - d..].to_vec();
-                tail.push(value);
                 // `warm()` guarantees `d + 1` tail values, which `d` rounds
-                // of differencing reduce to exactly one — the fallback is
-                // unreachable but keeps this path panic-free.
-                difference(&tail, d).last().copied().unwrap_or(value)
+                // of pairwise differencing reduce to exactly one. The
+                // rounds run in place on a stack window with the same
+                // operand pairs `difference(&tail, d)` would use, so the
+                // value is bit-identical — and this per-reading path stays
+                // allocation-free (`ArimaSpec` caps `d` at `MAX_ORDER`).
+                let mut buf = [0.0f64; ArimaSpec::MAX_ORDER + 1];
+                let win = &mut buf[..d + 1];
+                win[..d].copy_from_slice(&self.history[self.history.len() - d..]);
+                win[d] = value;
+                for round in 0..d {
+                    for i in 0..d - round {
+                        win[i] = win[i + 1] - win[i];
+                    }
+                }
+                win[0]
             };
             let resid = w_new - self.predict_w();
             self.w_history.push(w_new);

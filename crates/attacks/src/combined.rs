@@ -21,6 +21,7 @@ use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
 use fdeta_tsdata::week::WeekVector;
 use fdeta_tsdata::{DAYS_PER_WEEK, SLOTS_PER_DAY};
 
+use crate::error::AttackError;
 use crate::integrated_arima::integrated_arima_attack;
 use crate::optimal_swap::profitable_swap_day;
 use crate::vector::{AttackVector, Direction, InjectionContext};
@@ -109,17 +110,16 @@ pub fn over_report_and_shift(
 /// Draws `vectors` combined 2B+3B vectors and returns the most profitable
 /// under `scheme`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `vectors == 0`.
+/// Returns [`AttackError::NoVectors`] if `vectors == 0`.
 pub fn combined_worst_case(
     ctx: &InjectionContext<'_>,
     plan: &TouPlan,
     vectors: usize,
     seed: u64,
     scheme: &PricingScheme,
-) -> AttackVector {
-    assert!(vectors > 0, "at least one attack vector required");
+) -> Result<AttackVector, AttackError> {
     let mut best: Option<AttackVector> = None;
     for i in 0..vectors {
         let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
@@ -132,7 +132,7 @@ pub fn combined_worst_case(
             best = Some(candidate);
         }
     }
-    best.expect("vectors > 0")
+    best.ok_or(AttackError::NoVectors)
 }
 
 #[cfg(test)]
@@ -257,7 +257,7 @@ mod tests {
         };
         let plan = TouPlan::ireland_nightsaver();
         let scheme = PricingScheme::tou_ireland();
-        let worst = combined_worst_case(&ctx, &plan, 6, 42, &scheme);
+        let worst = combined_worst_case(&ctx, &plan, 6, 42, &scheme).unwrap();
         for i in 0..6u64 {
             let mut rng = StdRng::seed_from_u64(42 ^ i.wrapping_mul(0x9E37_79B9));
             let candidate = under_report_and_shift(&ctx, &plan, &mut rng);

@@ -1,0 +1,40 @@
+//! Typed errors for attack construction.
+
+use std::fmt;
+
+use fdeta_arima::ArimaError;
+
+/// Failure to construct an attack vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A worst-case search was asked to draw zero candidate vectors.
+    NoVectors,
+    /// The ARIMA model could not seed a forecaster from the training
+    /// history (the history is shorter than the differencing warmup).
+    Seeding(ArimaError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoVectors => {
+                write!(f, "worst-case search needs at least one attack vector")
+            }
+            AttackError::Seeding(source) => {
+                write!(
+                    f,
+                    "seeding a forecaster from the training history: {source}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::NoVectors => None,
+            AttackError::Seeding(source) => Some(source),
+        }
+    }
+}

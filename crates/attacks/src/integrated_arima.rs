@@ -33,6 +33,7 @@ use fdeta_tsdata::units::Money;
 use fdeta_tsdata::week::WeekVector;
 use fdeta_tsdata::SLOTS_PER_WEEK;
 
+use crate::error::AttackError;
 use crate::vector::{AttackVector, Direction, InjectionContext};
 
 /// Draws one Integrated-ARIMA attack vector using `rng`.
@@ -124,21 +125,22 @@ fn attack_with_seeded(
 /// direction: under-reporting profits via the subject's own bill (`α`),
 /// over-reporting profits via the energy over-billed to the neighbour.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `vectors == 0`.
+/// Returns [`AttackError::NoVectors`] if `vectors == 0` and
+/// [`AttackError::Seeding`] if the training history cannot seed the
+/// model's forecaster.
 pub fn integrated_arima_worst_case(
     ctx: &InjectionContext<'_>,
     direction: Direction,
     vectors: usize,
     seed: u64,
     scheme: &PricingScheme,
-) -> AttackVector {
-    assert!(vectors > 0, "at least one attack vector required");
+) -> Result<AttackVector, AttackError> {
     let seeded = ctx
         .model
         .forecaster(ctx.train.flat())
-        .expect("training history seeds the forecaster");
+        .map_err(AttackError::Seeding)?;
     let mut best: Option<(Money, AttackVector)> = None;
     for i in 0..vectors {
         let mut rng =
@@ -153,7 +155,7 @@ pub fn integrated_arima_worst_case(
             best = Some((profit, attack));
         }
     }
-    best.expect("vectors > 0").1
+    best.map(|(_, attack)| attack).ok_or(AttackError::NoVectors)
 }
 
 #[cfg(test)]
@@ -248,7 +250,8 @@ mod tests {
             start_slot: 0,
         };
         let scheme = PricingScheme::flat_default();
-        let worst = integrated_arima_worst_case(&ctx, Direction::UnderReport, 8, 42, &scheme);
+        let worst =
+            integrated_arima_worst_case(&ctx, Direction::UnderReport, 8, 42, &scheme).unwrap();
         let worst_profit = worst.advantage(&scheme);
         // Every individually drawn vector (same seed family) profits no
         // more than the reported worst case.
@@ -272,8 +275,8 @@ mod tests {
             start_slot: 0,
         };
         let scheme = PricingScheme::flat_default();
-        let a = integrated_arima_worst_case(&ctx, Direction::OverReport, 4, 9, &scheme);
-        let b = integrated_arima_worst_case(&ctx, Direction::OverReport, 4, 9, &scheme);
+        let a = integrated_arima_worst_case(&ctx, Direction::OverReport, 4, 9, &scheme).unwrap();
+        let b = integrated_arima_worst_case(&ctx, Direction::OverReport, 4, 9, &scheme).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -29,6 +29,7 @@
 pub mod arima_attack;
 pub mod class4b;
 pub mod combined;
+pub mod error;
 pub mod feasibility;
 pub mod integrated_arima;
 pub mod naive;
@@ -39,6 +40,7 @@ pub mod vector;
 pub use arima_attack::arima_attack;
 pub use class4b::{class4b_attack, class4b_attack_with, Class4bOutcome};
 pub use combined::{combined_worst_case, over_report_and_shift, under_report_and_shift};
+pub use error::AttackError;
 pub use feasibility::{simulate_table1, FeasibilityOutcome};
 pub use integrated_arima::{integrated_arima_attack, integrated_arima_worst_case};
 pub use naive::{scaling_report, zero_report};

@@ -989,7 +989,8 @@ fn stage_breakdown(
 
         if let Some(m) = &model {
             let started = Instant::now();
-            let arima = ArimaDetector::new(m.clone(), &train, config.confidence);
+            let arima = ArimaDetector::new(m.clone(), &train, config.confidence)
+                .expect("fit history seeds the forecaster");
             let integrated = IntegratedArimaDetector::from_seeded(arima.clone(), &train);
             breakdown.seeding += started.elapsed();
             std::hint::black_box(&arima);

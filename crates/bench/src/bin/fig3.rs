@@ -59,14 +59,16 @@ fn main() {
         args.vectors,
         args.seed,
         &scheme,
-    );
+    )
+    .expect("at least one attack vector requested");
     let under = integrated_arima_worst_case(
         &ctx,
         Direction::UnderReport,
         args.vectors,
         args.seed,
         &scheme,
-    );
+    )
+    .expect("at least one attack vector requested");
     let swap = optimal_swap(&actual, &TouPlan::ireland_nightsaver(), ctx.start_slot);
 
     // Poisoned confidence band while observing the over-report vector.

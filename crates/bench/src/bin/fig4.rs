@@ -55,7 +55,8 @@ fn main() {
         args.vectors,
         args.seed,
         &PricingScheme::tou_ireland(),
-    );
+    )
+    .expect("at least one attack vector requested");
 
     // ---- (a): histograms on shared edges -------------------------------
     let edges = detector.edges();

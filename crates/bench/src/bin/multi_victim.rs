@@ -52,7 +52,8 @@ fn main() {
         };
         let seed = args.seed ^ (index as u64).wrapping_mul(0x2545_F491);
         let attack =
-            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme);
+            integrated_arima_worst_case(&ctx, Direction::OverReport, args.vectors, seed, &scheme)
+                .expect("at least one attack vector requested");
         let delta: Vec<f64> = attack
             .reported
             .as_slice()

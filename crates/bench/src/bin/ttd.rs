@@ -56,7 +56,8 @@ fn main() {
                 &mut undetected_under,
             ),
         ] {
-            let attack = integrated_arima_worst_case(&ctx, direction, args.vectors, seed, &scheme);
+            let attack = integrated_arima_worst_case(&ctx, direction, args.vectors, seed, &scheme)
+                .expect("at least one attack vector requested");
             match time_to_detection(&detector, &trusted, &attack.reported) {
                 Some(slots) => times.push(slots as f64),
                 None => *undetected += 1,

@@ -29,15 +29,22 @@ impl ArimaDetector {
     /// Trains the detector: fits nothing new, but seeds a forecaster with
     /// the training history once; each assessment clones that small
     /// seeded state instead of replaying the history.
-    pub fn new(model: ArimaModel, train: &WeekMatrix, confidence: f64) -> Self {
-        let seeded = model
-            .forecaster(train.flat())
-            .expect("training history seeds the forecaster");
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fdeta_arima::ArimaError`] if the training history cannot
+    /// seed the model's forecaster (shorter than the differencing warmup).
+    pub fn new(
+        model: ArimaModel,
+        train: &WeekMatrix,
+        confidence: f64,
+    ) -> Result<Self, fdeta_arima::ArimaError> {
+        let seeded = model.forecaster(train.flat())?;
+        Ok(Self {
             seeded,
             confidence,
             z_margin: 4.0,
-        }
+        })
     }
 
     /// Overrides the violation-count margin (in binomial standard
@@ -122,7 +129,7 @@ mod tests {
 
     fn detector(train: &WeekMatrix) -> ArimaDetector {
         let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
-        ArimaDetector::new(model, train, 0.95)
+        ArimaDetector::new(model, train, 0.95).unwrap()
     }
 
     #[test]
@@ -160,7 +167,7 @@ mod tests {
             confidence: 0.95,
             start_slot: 0,
         };
-        let det = ArimaDetector::new(model.clone(), &train, 0.95);
+        let det = ArimaDetector::new(model.clone(), &train, 0.95).unwrap();
         for direction in [Direction::UnderReport, Direction::OverReport] {
             let attack = arima_attack(&ctx, direction);
             assert!(

@@ -222,7 +222,13 @@ impl TrainedConsumer {
         // reproduces a state we already have.
         let (arima, integrated) = match &model {
             Some(m) => {
-                let arima = ArimaDetector::new(m.clone(), train, params.confidence);
+                let arima =
+                    ArimaDetector::new(m.clone(), train, params.confidence).map_err(|source| {
+                        TrainError::Seeding {
+                            consumer: id,
+                            source,
+                        }
+                    })?;
                 let integrated = IntegratedArimaDetector::from_seeded(arima.clone(), train);
                 (Some(arima), Some(integrated))
             }
@@ -344,7 +350,13 @@ impl TrainedConsumer {
         // cold path.
         let (arima, integrated) = match &model {
             Some(m) => {
-                let arima = ArimaDetector::new(m.clone(), &train, config.confidence);
+                let arima =
+                    ArimaDetector::new(m.clone(), &train, config.confidence).map_err(|source| {
+                        TrainError::Seeding {
+                            consumer: record.id,
+                            source,
+                        }
+                    })?;
                 let integrated = IntegratedArimaDetector::from_seeded(arima.clone(), &train);
                 (Some(arima), Some(integrated))
             }

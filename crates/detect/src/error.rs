@@ -14,6 +14,7 @@
 
 use std::fmt;
 
+use fdeta_arima::ArimaError;
 use fdeta_tsdata::{RepairError, RepairPolicy, TsError};
 
 /// An evaluation configuration that can never produce a valid run.
@@ -145,6 +146,14 @@ pub enum TrainError {
         /// The underlying repair error.
         source: RepairError,
     },
+    /// The fitted ARIMA model could not seed its forecaster from the
+    /// training history (shorter than the differencing warmup).
+    Seeding {
+        /// The consumer's meter id.
+        consumer: u32,
+        /// The underlying model error.
+        source: ArimaError,
+    },
     /// A time-series layer error with no per-consumer attribution.
     Data(TsError),
 }
@@ -195,6 +204,9 @@ impl fmt::Display for TrainError {
                 policy,
                 source,
             } => write!(f, "consumer {consumer}: {policy} repair failed: {source}"),
+            TrainError::Seeding { consumer, source } => {
+                write!(f, "consumer {consumer}: forecaster seeding failed: {source}")
+            }
             TrainError::Data(source) => write!(f, "time-series error: {source}"),
         }
     }

@@ -30,8 +30,19 @@ impl IntegratedArimaDetector {
     pub const RANGE_SLACK: f64 = 0.02;
 
     /// Trains the detector from the model and training matrix.
-    pub fn new(model: ArimaModel, train: &WeekMatrix, confidence: f64) -> Self {
-        Self::from_seeded(ArimaDetector::new(model, train, confidence), train)
+    ///
+    /// # Errors
+    ///
+    /// As [`ArimaDetector::new`].
+    pub fn new(
+        model: ArimaModel,
+        train: &WeekMatrix,
+        confidence: f64,
+    ) -> Result<Self, fdeta_arima::ArimaError> {
+        Ok(Self::from_seeded(
+            ArimaDetector::new(model, train, confidence)?,
+            train,
+        ))
     }
 
     /// Trains the detector around an already-seeded interval detector,
@@ -124,7 +135,7 @@ mod tests {
     fn setup(seed: u64) -> (WeekMatrix, ArimaModel, IntegratedArimaDetector) {
         let train = training(10, seed);
         let model = ArimaModel::fit(train.flat(), ArimaSpec::new(2, 0, 1).unwrap()).unwrap();
-        let det = IntegratedArimaDetector::new(model.clone(), &train, 0.95);
+        let det = IntegratedArimaDetector::new(model.clone(), &train, 0.95).unwrap();
         (train, model, det)
     }
 
@@ -177,7 +188,8 @@ mod tests {
                 10,
                 7,
                 &PricingScheme::flat_default(),
-            );
+            )
+            .unwrap();
             if !det.is_anomalous(&attack.reported) {
                 evaded += 1;
             }

@@ -241,7 +241,7 @@ impl Fleet {
                 completed[slot] = lock(scorer).ingest(reading)?;
             }
         } else {
-            self.drain_parallel(readings, &mut completed)?;
+            self.drain_round(readings, &mut completed)?;
         }
         let mut outcome = RoundOutcome::default();
         for (slot, summary) in completed.into_iter().enumerate() {
@@ -256,7 +256,7 @@ impl Fleet {
 
     /// The parallel drain: workers claim fleet slots off a [`WorkQueue`]
     /// until it runs dry or a worker aborts on an invalid reading.
-    fn drain_parallel(
+    fn drain_round(
         &self,
         readings: &[f64],
         completed: &mut [Option<WeekSummary>],

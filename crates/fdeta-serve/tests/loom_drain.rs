@@ -1,0 +1,116 @@
+//! Loom model check of `Fleet::drain_round`'s claim/complete/abort
+//! protocol.
+//!
+//! The parallel drain coordinates its workers exactly like the batch
+//! engine: slots are claimed off a [`WorkQueue`], each claimed slot's
+//! result lands in a shared `completed` buffer behind a mutex, and the
+//! first invalid reading aborts the round while recording the error.
+//! These tests mirror that structure with loom's instrumented primitives
+//! (the queue itself swaps to loom atomics via the detect crate's sync
+//! shim) and exhaust every interleaving for a small fleet:
+//!
+//! 1. each slot is drained at most once, and absent an abort every slot's
+//!    result is present and equals the serial outcome — the determinism
+//!    `parallel_and_serial_rounds_agree` samples, proved over all
+//!    schedules;
+//! 2. a bad reading always records itself as the round's first failure
+//!    and quiesces the queue — no claim succeeds after the abort flag is
+//!    visible.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p fdeta-serve --test loom_drain --release
+//! ```
+//!
+//! Without `--cfg loom` this file compiles to nothing, so the ordinary
+//! test suite is unaffected.
+#![cfg(loom)]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+use fdeta_detect::WorkQueue;
+
+/// Every slot's result is written exactly once and matches the serial
+/// drain, in every interleaving of two workers over three slots.
+#[test]
+fn drain_round_outcome_is_schedule_independent() {
+    loom::model(|| {
+        const N: usize = 3;
+        let readings = [0.5f64, 1.5, 2.5];
+        let queue = Arc::new(WorkQueue::new(N));
+        let completed = Arc::new(Mutex::new([None::<f64>; N]));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let completed = Arc::clone(&completed);
+                thread::spawn(move || {
+                    while let Some(slot) = queue.claim() {
+                        // Stand-in for `StreamScorer::ingest`: any pure
+                        // function of the slot's reading.
+                        let scored = readings[slot] * 2.0;
+                        let mut done = completed.lock().unwrap();
+                        assert!(done[slot].is_none(), "slot {slot} drained twice");
+                        done[slot] = Some(scored);
+                        drop(done);
+                        queue.complete();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let done = completed.lock().unwrap();
+        for (slot, &value) in done.iter().enumerate() {
+            assert_eq!(
+                value,
+                Some(readings[slot] * 2.0),
+                "slot {slot} lost or corrupted"
+            );
+        }
+        assert_eq!(queue.completed(), N);
+    });
+}
+
+/// A bad reading aborts the round: the failing slot records itself as the
+/// first failure, the queue quiesces, and the slots that did complete
+/// still carry correct results.
+#[test]
+fn bad_reading_aborts_and_records_first_failure() {
+    loom::model(|| {
+        const N: usize = 3;
+        const BAD: usize = 1;
+        let queue = Arc::new(WorkQueue::new(N));
+        let completed = Arc::new(Mutex::new([false; N]));
+        let failure = Arc::new(Mutex::new(None::<usize>));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let completed = Arc::clone(&completed);
+                let failure = Arc::clone(&failure);
+                thread::spawn(move || {
+                    while let Some(slot) = queue.claim() {
+                        if slot == BAD {
+                            queue.abort();
+                            let mut first = failure.lock().unwrap();
+                            if first.is_none() {
+                                *first = Some(slot);
+                            }
+                        } else {
+                            completed.lock().unwrap()[slot] = true;
+                            queue.complete();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*failure.lock().unwrap(), Some(BAD), "failure not recorded");
+        assert!(queue.is_aborted());
+        assert_eq!(queue.claim(), None, "claim succeeded after abort");
+    });
+}

@@ -5,24 +5,30 @@
 //! check outcomes, ready for `dot -Tsvg`.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write};
 
 use crate::balance::BalanceStatus;
 use crate::meter::{MeterDeployment, MeterState};
 use crate::topology::{GridTopology, NodeId};
 
-/// Renders the topology in Graphviz DOT format.
+/// Writes the topology in Graphviz DOT format into any [`fmt::Write`]
+/// sink, propagating the sink's errors instead of panicking.
 ///
 /// Internal nodes are circles coloured by meter state (white = no meter,
 /// green = trusted, red = compromised); consumers are boxes; losses are
 /// small diamonds. If `events` is given, failing balance checks get a
 /// double border and a `W` suffix.
-pub fn to_dot(
+///
+/// # Errors
+///
+/// Returns whatever [`fmt::Error`] the sink reports.
+pub fn write_dot<W: Write>(
     grid: &GridTopology,
     deployment: &MeterDeployment,
     events: Option<&BTreeMap<NodeId, BalanceStatus>>,
-) -> String {
-    let mut out = String::from("digraph feeder {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    out: &mut W,
+) -> fmt::Result {
+    out.write_str("digraph feeder {\n  rankdir=TB;\n  node [fontsize=10];\n")?;
     for node in grid.iter() {
         let id = node.raw();
         if grid.is_internal(node) {
@@ -45,27 +51,36 @@ pub fn to_dot(
                 out,
                 "  n{id} [shape=circle style=filled fillcolor={fill} \
                  peripheries={peripheries} label=\"{label}\"];"
-            )
-            .expect("writing to a String cannot fail");
+            )?;
         } else if grid.is_consumer(node) {
             let label = grid.consumer_label(node).unwrap_or("?");
-            writeln!(out, "  n{id} [shape=box label=\"{label}\"];")
-                .expect("writing to a String cannot fail");
+            writeln!(out, "  n{id} [shape=box label=\"{label}\"];")?;
         } else {
             writeln!(
                 out,
                 "  n{id} [shape=diamond width=0.3 height=0.3 label=\"L\"];"
-            )
-            .expect("writing to a String cannot fail");
+            )?;
         }
     }
     for node in grid.iter() {
         for &child in grid.children(node) {
-            writeln!(out, "  n{} -> n{};", node.raw(), child.raw())
-                .expect("writing to a String cannot fail");
+            writeln!(out, "  n{} -> n{};", node.raw(), child.raw())?;
         }
     }
-    out.push_str("}\n");
+    out.write_str("}\n")
+}
+
+/// Renders the topology in Graphviz DOT format. See [`write_dot`] for the
+/// rendering rules.
+pub fn to_dot(
+    grid: &GridTopology,
+    deployment: &MeterDeployment,
+    events: Option<&BTreeMap<NodeId, BalanceStatus>>,
+) -> String {
+    let mut out = String::new();
+    // `fmt::Write` for `String` is infallible: the only error source is
+    // the sink itself, and a String sink never reports one.
+    let _ = write_dot(grid, deployment, events, &mut out);
     out
 }
 

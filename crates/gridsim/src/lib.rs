@@ -60,7 +60,7 @@ pub mod topology;
 pub use adr::ElasticityModel;
 pub use balance::{BalanceChecker, BalanceStatus, Snapshot};
 pub use billing::{attacker_advantage, bill, neighbor_loss};
-pub use dot::to_dot;
+pub use dot::{to_dot, write_dot};
 pub use error::GridError;
 pub use investigate::{Investigation, PortableMeterSearch};
 pub use losses::{derive_losses, LossModel};

@@ -5,7 +5,9 @@ use std::fmt;
 
 use fdeta::pipeline::{Pipeline, PipelineConfig};
 use fdeta_arima::{ArimaError, ArimaModel, ArimaSpec};
-use fdeta_attacks::{integrated_arima_worst_case, optimal_swap, Direction, InjectionContext};
+use fdeta_attacks::{
+    integrated_arima_worst_case, optimal_swap, AttackError, Direction, InjectionContext,
+};
 use fdeta_cer_synth::SyntheticDataset;
 use fdeta_detect::TrainError;
 use fdeta_gridsim::pricing::{PricingScheme, TouPlan};
@@ -36,6 +38,8 @@ pub enum SimError {
     Train(TrainError),
     /// A degraded telemetry week could not be repaired back to dense.
     Repair(RepairError),
+    /// An attacker's worst-case vector could not be constructed.
+    Attack(AttackError),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +50,7 @@ impl fmt::Display for SimError {
             SimError::Arima(e) => write!(f, "model error: {e}"),
             SimError::Train(e) => write!(f, "pipeline training error: {e}"),
             SimError::Repair(e) => write!(f, "telemetry repair error: {e}"),
+            SimError::Attack(e) => write!(f, "attack construction error: {e}"),
         }
     }
 }
@@ -230,7 +235,8 @@ impl Simulation {
                             scenario.attack_vectors,
                             seed,
                             &scheme,
-                        );
+                        )
+                        .map_err(SimError::Attack)?;
                         stolen_kwh += attack.energy_delta_kwh().max(0.0);
                         // 2B: a neighbour absorbs the difference so the
                         // root balance check stays silent.
@@ -260,7 +266,8 @@ impl Simulation {
                             scenario.attack_vectors,
                             seed,
                             &scheme,
-                        );
+                        )
+                        .map_err(SimError::Attack)?;
                         stolen_kwh += attack.energy_overbilled_kwh();
                         // Mallory physically consumes what the victim is
                         // billed for; her own meter reports her organic

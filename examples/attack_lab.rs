@@ -69,11 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "Integrated ARIMA (1B)",
-            integrated_arima_worst_case(&ctx, Direction::OverReport, 50, 11, &scheme),
+            integrated_arima_worst_case(&ctx, Direction::OverReport, 50, 11, &scheme)
+                .expect("50 vectors requested"),
         ),
         (
             "Integrated ARIMA (2A/2B)",
-            integrated_arima_worst_case(&ctx, Direction::UnderReport, 50, 13, &scheme),
+            integrated_arima_worst_case(&ctx, Direction::UnderReport, 50, 13, &scheme)
+                .expect("50 vectors requested"),
         ),
         (
             "Optimal Swap (3A/3B)",
@@ -84,15 +86,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let detectors: Vec<(&str, Box<dyn Detector>)> = vec![
         (
             "arima",
-            Box::new(ArimaDetector::new(model.clone(), &split.train, 0.95)),
+            Box::new(ArimaDetector::new(model.clone(), &split.train, 0.95).expect("seeded")),
         ),
         (
             "integrated",
-            Box::new(IntegratedArimaDetector::new(
-                model.clone(),
-                &split.train,
-                0.95,
-            )),
+            Box::new(
+                IntegratedArimaDetector::new(model.clone(), &split.train, 0.95).expect("seeded"),
+            ),
         ),
         (
             "kld@5%",

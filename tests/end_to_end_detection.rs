@@ -144,7 +144,7 @@ fn naive_attacks_are_caught_where_crafted_ones_slip() {
         ) else {
             continue;
         };
-        let detector = IntegratedArimaDetector::new(model, &split.train, 0.95);
+        let detector = IntegratedArimaDetector::new(model, &split.train, 0.95).unwrap();
         let kld = KldDetector::train(&split.train, 10, SignificanceLevel::Ten)
             .expect("valid training matrix");
         let actual = split.test.week_vector(0);

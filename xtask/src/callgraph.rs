@@ -1,0 +1,1046 @@
+//! Workspace call graph over the lexed token streams.
+//!
+//! Built the same way the lints are — dependency-free, on top of
+//! [`crate::lexer`] — this module parses every crate's `fn` items and the
+//! call expressions inside them into a workspace-level call graph with
+//! module-path resolution, so hot-path rules can be *transitive*: a seed
+//! set of entry points (`StreamScorer::ingest`, `hannan_rissanen`,
+//! `Fleet::drain_round`, ...) is closed over callees, and a violation
+//! anywhere in the closure is reported with its full call chain
+//! (`ingest → step → forecast → integrate_forecast`).
+//!
+//! Resolution is deliberately conservative: a call that cannot be pinned
+//! to exactly one workspace function (trait-object dispatch, ambiguous
+//! method names, std calls) resolves to *no* edge, so the closure can
+//! only under-approximate — it never flags code it cannot prove reachable.
+//! The resolution order per call form:
+//!
+//! * `self.m(..)` — the enclosing `impl` type's method, wherever its impl
+//!   block lives.
+//! * `recv.m(..)` — the unique workspace method named `m`; two candidate
+//!   impls (trait dispatch) → unknown callee, no edge.
+//! * `a::b::f(..)` — `crate`/`self`/`super` and `use` aliases are
+//!   normalized, `fdeta_*` segments map to workspace crates, an
+//!   uppercase penultimate segment is treated as `Type::assoc_fn`.
+//! * `f(..)` — `use` alias first, then the caller's module, then the
+//!   unique same-crate free function.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::lints::test_extent_mask;
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `recv.name(..)`. `on_self` is true when the receiver is literally
+    /// `self`, which pins the callee to the enclosing impl type.
+    Method { name: String, on_self: bool },
+    /// `a::b::name(..)` — every segment, callee name last.
+    Path(Vec<String>),
+    /// `name(..)` with no qualifier.
+    Free(String),
+}
+
+/// A call site: what is called, and from which line.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The syntactic callee.
+    pub callee: Callee,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item parsed out of a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Module path within the crate (file modules + inline `mod` blocks).
+    pub module: Vec<String>,
+    /// The `impl` block's type when the fn is a method/assoc fn.
+    pub impl_type: Option<String>,
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// A parsed file: its crate, module path, `use` map, and fn items.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// Crate directory name (`detect`, `fdeta-serve`, ...).
+    pub krate: String,
+    /// The file's own module path within the crate.
+    pub module: Vec<String>,
+    /// `use` imports: visible name (or alias) → full path segments.
+    pub uses: BTreeMap<String, Vec<String>>,
+    /// Every non-test `fn` item.
+    pub fns: Vec<FnDef>,
+}
+
+/// Identifiers that look like calls syntactically but never are.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "let", "mut", "ref",
+    "move", "fn", "impl", "use", "mod", "pub", "struct", "enum", "trait", "where", "unsafe", "dyn",
+    "break", "continue", "const", "static", "type", "extern", "await", "async",
+];
+
+/// Derives `(crate_dir, module_path)` from a repo-relative path of the
+/// form `crates/<dir>/src/<rest>.rs`. Paths outside that shape get an
+/// empty crate name and their components as the module path.
+fn crate_and_module(path: &str) -> (String, Vec<String>) {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.len() >= 4 && parts[0] == "crates" && parts[2] == "src" {
+        let krate = parts[1].to_owned();
+        let mut module: Vec<String> = parts[3..]
+            .iter()
+            .map(|p| p.trim_end_matches(".rs").to_owned())
+            .collect();
+        if module.last().is_some_and(|m| m == "lib" || m == "main") {
+            module.pop();
+        }
+        if module.last().is_some_and(|m| m == "mod") {
+            module.pop();
+        }
+        (krate, module)
+    } else {
+        let module = parts
+            .iter()
+            .map(|p| p.trim_end_matches(".rs").to_owned())
+            .collect();
+        (String::new(), module)
+    }
+}
+
+/// What a `{` opens, for the scope stack.
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+    Other,
+}
+
+/// Reads a type path (`&'a mut a::b::C<T>` → `C`) starting at `j`,
+/// stopping at `stop`. Returns the final type-name segment.
+fn type_name_at(tokens: &[Token], mut j: usize, stop: usize) -> Option<String> {
+    let mut last = None;
+    while j < stop {
+        match &tokens[j].kind {
+            TokenKind::Punct('&') => j += 1,
+            TokenKind::Lifetime => j += 1,
+            TokenKind::Ident(s) if s == "mut" || s == "dyn" => j += 1,
+            TokenKind::Ident(s) => {
+                last = Some(s.clone());
+                j += 1;
+                if j + 1 < stop && tokens[j].is_punct(':') && tokens[j + 1].is_punct(':') {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    last
+}
+
+/// Parses an `impl` header starting at `impl_idx`: returns the index of
+/// the block's `{` and the implemented type's name (`impl Trait for Type`
+/// takes the `Type` side; `impl [f64]`-style headers yield `None`).
+fn parse_impl_header(tokens: &[Token], impl_idx: usize) -> Option<(usize, Option<String>)> {
+    let mut angle = 0i32;
+    let mut for_idx = None;
+    let mut j = impl_idx + 1;
+    let brace = loop {
+        let token = tokens.get(j)?;
+        match &token.kind {
+            TokenKind::Punct('<') => angle += 1,
+            // `->` in an `Fn() -> T` bound is not a closing angle.
+            TokenKind::Punct('>') if j > 0 && !tokens[j - 1].is_punct('-') => angle -= 1,
+            TokenKind::Punct('{') if angle <= 0 => break j,
+            TokenKind::Punct(';') if angle <= 0 => return None,
+            TokenKind::Ident(s) if s == "for" && angle <= 0 => for_idx = Some(j),
+            _ => {}
+        }
+        j += 1;
+    };
+    let ty = match for_idx {
+        Some(f) => type_name_at(tokens, f + 1, brace),
+        None => {
+            // Skip the generic parameter list right after `impl`.
+            let mut k = impl_idx + 1;
+            if tokens.get(k).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 0i32;
+                while k < brace {
+                    match &tokens[k].kind {
+                        TokenKind::Punct('<') => depth += 1,
+                        TokenKind::Punct('>') if !tokens[k - 1].is_punct('-') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            type_name_at(tokens, k, brace)
+        }
+    };
+    Some((brace, ty))
+}
+
+/// Whether the `impl` at `i` opens an impl *block* (as opposed to an
+/// `impl Trait` type position: `-> impl Iterator`, `x: impl Fn()`, ...).
+fn is_impl_block(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    match &tokens[i - 1].kind {
+        TokenKind::Punct('{')
+        | TokenKind::Punct('}')
+        | TokenKind::Punct(';')
+        | TokenKind::Punct(']') => true,
+        TokenKind::Ident(s) => s == "unsafe",
+        _ => false,
+    }
+}
+
+/// Recursive descent over one `use` tree; inserts visible-name → full
+/// segment mappings into `uses` and returns the index just past the tree.
+fn parse_use_tree(
+    tokens: &[Token],
+    mut j: usize,
+    prefix: &[String],
+    uses: &mut BTreeMap<String, Vec<String>>,
+) -> usize {
+    let mut segs: Vec<String> = prefix.to_vec();
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Ident(s) if s == "as" => {
+                if let Some(alias) = tokens.get(j + 1).and_then(|t| t.ident()) {
+                    uses.insert(alias.to_owned(), segs);
+                    return j + 2;
+                }
+                return j + 1;
+            }
+            TokenKind::Ident(s) => {
+                segs.push(s.clone());
+                j += 1;
+            }
+            TokenKind::Punct(':') => j += 1,
+            TokenKind::Punct('*') => return j + 1, // glob: conservatively ignored
+            TokenKind::Punct('{') => {
+                j += 1;
+                loop {
+                    if tokens.get(j).is_none_or(|t| t.is_punct('}')) {
+                        return j + 1;
+                    }
+                    j = parse_use_tree(tokens, j, &segs, uses);
+                    if tokens.get(j).is_some_and(|t| t.is_punct(',')) {
+                        j += 1;
+                    }
+                }
+            }
+            _ => break, // ';', ',' or '}' ends this tree
+        }
+    }
+    if segs.len() > prefix.len() {
+        if let Some(last) = segs.last().cloned() {
+            uses.insert(last, segs);
+        }
+    }
+    j
+}
+
+/// Extracts the call sites in the token range `range` (a fn body).
+fn extract_calls(tokens: &[Token], in_test: &[bool], range: std::ops::Range<usize>) -> Vec<Call> {
+    let mut calls = Vec::new();
+    for k in range {
+        if in_test[k] {
+            continue;
+        }
+        let Some(id) = tokens[k].ident() else {
+            continue;
+        };
+        if NON_CALL_KEYWORDS.contains(&id) {
+            continue;
+        }
+        let paren_next = tokens.get(k + 1).is_some_and(|t| t.is_punct('('));
+        let turbofish = tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct('<'));
+        let line = tokens[k].line;
+        if k > 0 && tokens[k - 1].is_punct('.') {
+            // Method call (or field access / turbofish method call).
+            if !(paren_next || turbofish) {
+                continue;
+            }
+            let on_self = k >= 2
+                && tokens[k - 2].is_ident("self")
+                && !(k >= 3 && tokens[k - 3].is_punct('.'));
+            calls.push(Call {
+                callee: Callee::Method {
+                    name: id.to_owned(),
+                    on_self,
+                },
+                line,
+            });
+            continue;
+        }
+        if !paren_next {
+            continue;
+        }
+        if k > 0 && tokens[k - 1].is_ident("fn") {
+            continue; // the definition itself
+        }
+        if k >= 2 && tokens[k - 1].is_punct(':') && tokens[k - 2].is_punct(':') {
+            // Path call: walk the `a::b::` qualifier backwards.
+            let mut segs = vec![id.to_owned()];
+            let mut j = k;
+            while j >= 3 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+                match tokens[j - 3].ident() {
+                    Some(s) => {
+                        segs.insert(0, s.to_owned());
+                        j -= 3;
+                    }
+                    None => break, // `<Foo as Trait>::f(..)` — qualified, unresolvable
+                }
+            }
+            calls.push(Call {
+                callee: Callee::Path(segs),
+                line,
+            });
+        } else {
+            calls.push(Call {
+                callee: Callee::Free(id.to_owned()),
+                line,
+            });
+        }
+    }
+    calls
+}
+
+/// Parses one file into its fn items, call sites, and `use` map. `path`
+/// must be repo-relative with `/` separators.
+pub fn parse_file(path: &str, source: &str) -> ParsedFile {
+    let (krate, file_module) = crate_and_module(path);
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let in_test = test_extent_mask(tokens);
+
+    let mut uses = BTreeMap::new();
+    let mut fns = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending: BTreeMap<usize, Scope> = BTreeMap::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => {
+                stack.push(pending.remove(&i).unwrap_or(Scope::Other));
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                stack.pop();
+                i += 1;
+            }
+            TokenKind::Ident(kw) if kw == "mod" && !in_test[i] => {
+                if let (Some(name), true) = (
+                    tokens.get(i + 1).and_then(|t| t.ident()),
+                    tokens.get(i + 2).is_some_and(|t| t.is_punct('{')),
+                ) {
+                    pending.insert(i + 2, Scope::Mod(name.to_owned()));
+                }
+                i += 1;
+            }
+            TokenKind::Ident(kw) if kw == "impl" && is_impl_block(tokens, i) => {
+                if let Some((brace, ty)) = parse_impl_header(tokens, i) {
+                    pending.insert(brace, Scope::Impl(ty));
+                }
+                i += 1;
+            }
+            TokenKind::Ident(kw) if kw == "use" && !in_test[i] => {
+                let end = parse_use_tree(tokens, i + 1, &[], &mut uses);
+                i = end.max(i + 1);
+            }
+            TokenKind::Ident(kw) if kw == "fn" && !in_test[i] => {
+                let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+                    i += 1;
+                    continue;
+                };
+                // Find the body's `{` (a trait signature ends at `;`).
+                let mut j = i + 2;
+                let mut paren = 0usize;
+                let mut body_start = None;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('(') {
+                        paren += 1;
+                    } else if tokens[j].is_punct(')') {
+                        paren = paren.saturating_sub(1);
+                    } else if paren == 0 && tokens[j].is_punct('{') {
+                        body_start = Some(j);
+                        break;
+                    } else if paren == 0 && tokens[j].is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let Some(start) = body_start else {
+                    i = j + 1;
+                    continue;
+                };
+                let mut depth = 0usize;
+                let mut end = tokens.len();
+                let mut m = start;
+                while m < tokens.len() {
+                    if tokens[m].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[m].is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = m + 1;
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                let mut module = file_module.clone();
+                let mut impl_type = None;
+                for scope in &stack {
+                    match scope {
+                        Scope::Mod(name) => module.push(name.clone()),
+                        Scope::Impl(ty) => impl_type = ty.clone(),
+                        Scope::Other => {}
+                    }
+                }
+                fns.push(FnDef {
+                    module,
+                    impl_type,
+                    name: name.to_owned(),
+                    line: tokens[i].line,
+                    calls: extract_calls(tokens, &in_test, start + 1..end.saturating_sub(1)),
+                });
+                // Resume at the body's `{` so nested items are still seen.
+                i = start;
+            }
+            _ => i += 1,
+        }
+    }
+
+    ParsedFile {
+        path: path.to_owned(),
+        krate,
+        module: file_module,
+        uses,
+        fns,
+    }
+}
+
+/// One function in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Repo-relative file path.
+    pub path: String,
+    /// Crate directory name.
+    pub krate: String,
+    /// Module path within the crate.
+    pub module: Vec<String>,
+    /// Impl type for methods/assoc fns.
+    pub impl_type: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+impl Node {
+    /// The node's qualified components: crate, modules, impl type, name.
+    fn components(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.module.len() + 3);
+        if !self.krate.is_empty() {
+            out.push(self.krate.as_str());
+        }
+        out.extend(self.module.iter().map(String::as_str));
+        if let Some(ty) = &self.impl_type {
+            out.push(ty);
+        }
+        out.push(&self.name);
+        out
+    }
+
+    /// Fully qualified display key, e.g. `detect::stream::StreamScorer::ingest`.
+    pub fn key(&self) -> String {
+        self.components().join("::")
+    }
+
+    /// Short display name for chains: `Type::name` or `name`.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether `spec` ("name", "Type::name", "module::name", ...) matches
+    /// this node's qualified-component suffix.
+    pub fn matches(&self, spec: &str) -> bool {
+        let want: Vec<&str> = spec.split("::").collect();
+        let have = self.components();
+        want.len() <= have.len() && have[have.len() - want.len()..] == want[..]
+    }
+}
+
+/// The workspace call graph: nodes (fns) and resolved caller→callee edges.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// One node per parsed `fn` item, in file order.
+    pub nodes: Vec<Node>,
+    /// `edges[i]` — sorted, deduped callee node indices of node `i`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Import idents under which a crate directory is reachable:
+/// `detect` → `detect`, `fdeta_detect`; `fdeta-serve` → `fdeta_serve`.
+fn import_names(dir: &str) -> Vec<String> {
+    let norm = dir.replace('-', "_");
+    if norm.starts_with("fdeta") {
+        vec![norm]
+    } else {
+        vec![format!("fdeta_{norm}"), norm]
+    }
+}
+
+/// The `Some` iff the slice holds exactly one candidate.
+fn unique(candidates: Option<&Vec<usize>>) -> Option<usize> {
+    match candidates {
+        Some(c) if c.len() == 1 => Some(c[0]),
+        _ => None,
+    }
+}
+
+/// Per-build resolution indexes.
+struct Indexes {
+    /// (crate, module path joined with `::`, name) → free fns.
+    free_by_crate_mod: BTreeMap<(String, String, String), Vec<usize>>,
+    /// (crate, name) → free fns anywhere in the crate.
+    free_by_crate_name: BTreeMap<(String, String), Vec<usize>>,
+    /// (impl type, name) → methods, workspace-wide.
+    method_by_type: BTreeMap<(String, String), Vec<usize>>,
+    /// name → methods, workspace-wide.
+    method_by_name: BTreeMap<String, Vec<usize>>,
+    /// import ident → crate directory.
+    crate_imports: BTreeMap<String, String>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every parsed file, resolving calls to edges.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut nodes = Vec::new();
+        let mut owners = Vec::new(); // file index of each node
+        for (fi, file) in files.iter().enumerate() {
+            for def in &file.fns {
+                nodes.push(Node {
+                    path: file.path.clone(),
+                    krate: file.krate.clone(),
+                    module: def.module.clone(),
+                    impl_type: def.impl_type.clone(),
+                    name: def.name.clone(),
+                    line: def.line,
+                });
+                owners.push(fi);
+            }
+        }
+
+        let mut idx = Indexes {
+            free_by_crate_mod: BTreeMap::new(),
+            free_by_crate_name: BTreeMap::new(),
+            method_by_type: BTreeMap::new(),
+            method_by_name: BTreeMap::new(),
+            crate_imports: BTreeMap::new(),
+        };
+        for file in files {
+            if !file.krate.is_empty() {
+                for import in import_names(&file.krate) {
+                    idx.crate_imports.insert(import, file.krate.clone());
+                }
+            }
+        }
+        for (n, node) in nodes.iter().enumerate() {
+            match &node.impl_type {
+                Some(ty) => {
+                    idx.method_by_type
+                        .entry((ty.clone(), node.name.clone()))
+                        .or_default()
+                        .push(n);
+                    idx.method_by_name
+                        .entry(node.name.clone())
+                        .or_default()
+                        .push(n);
+                }
+                None => {
+                    idx.free_by_crate_mod
+                        .entry((
+                            node.krate.clone(),
+                            node.module.join("::"),
+                            node.name.clone(),
+                        ))
+                        .or_default()
+                        .push(n);
+                    idx.free_by_crate_name
+                        .entry((node.krate.clone(), node.name.clone()))
+                        .or_default()
+                        .push(n);
+                }
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut n = 0usize;
+        for (fi, file) in files.iter().enumerate() {
+            // A file with no fn items contributes no nodes; `n` stays put.
+            debug_assert!(file.fns.is_empty() || owners.get(n).is_none_or(|&o| o == fi));
+            for def in &file.fns {
+                for call in &def.calls {
+                    if let Some(target) = resolve(&idx, file, def, &call.callee) {
+                        edges[n].push(target);
+                    }
+                }
+                edges[n].sort_unstable();
+                edges[n].dedup();
+                n += 1;
+            }
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node indices whose qualified suffix matches any of `specs`.
+    pub fn seed_nodes(&self, specs: &[String]) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| specs.iter().any(|s| node.matches(s)))
+            .map(|(i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// BFS transitive closure from the seed specs, recording one shortest
+    /// call chain (breadth-first parent) per reached node.
+    pub fn reach(&self, specs: &[String]) -> Reach {
+        let seeds = self.seed_nodes(specs);
+        let mut members: BTreeSet<usize> = seeds.iter().copied().collect();
+        let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        while let Some(at) = queue.pop_front() {
+            for &next in &self.edges[at] {
+                if members.insert(next) {
+                    pred.insert(next, at);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Reach { members, pred }
+    }
+}
+
+/// Resolves one call to a node index, or `None` (unknown callee).
+fn resolve(idx: &Indexes, file: &ParsedFile, def: &FnDef, callee: &Callee) -> Option<usize> {
+    match callee {
+        Callee::Method { name, on_self } => {
+            if *on_self {
+                if let Some(ty) = &def.impl_type {
+                    return unique(idx.method_by_type.get(&(ty.clone(), name.clone())));
+                }
+            }
+            unique(idx.method_by_name.get(name))
+        }
+        Callee::Free(name) => {
+            if let Some(full) = file.uses.get(name) {
+                return resolve_path(idx, file, def, full.clone());
+            }
+            unique(idx.free_by_crate_mod.get(&(
+                file.krate.clone(),
+                def.module.join("::"),
+                name.clone(),
+            )))
+            .or_else(|| {
+                unique(
+                    idx.free_by_crate_name
+                        .get(&(file.krate.clone(), name.clone())),
+                )
+            })
+        }
+        Callee::Path(segs) => resolve_path(idx, file, def, segs.clone()),
+    }
+}
+
+/// Resolves a path call's segments after alias/`crate`/`super` rewriting.
+fn resolve_path(
+    idx: &Indexes,
+    file: &ParsedFile,
+    def: &FnDef,
+    mut segs: Vec<String>,
+) -> Option<usize> {
+    if segs.is_empty() {
+        return None;
+    }
+    // Expand a leading `use` alias (at most twice, for alias-of-alias).
+    for _ in 0..2 {
+        let first = segs.first()?;
+        if matches!(first.as_str(), "crate" | "self" | "super" | "Self")
+            || idx.crate_imports.contains_key(first)
+        {
+            break;
+        }
+        match file.uses.get(first) {
+            Some(full) => {
+                let mut expanded = full.clone();
+                expanded.extend(segs.drain(1..));
+                segs = expanded;
+            }
+            None => break,
+        }
+    }
+    if segs[0] == "Self" {
+        let ty = def.impl_type.as_ref()?;
+        let name = segs.last()?;
+        return unique(idx.method_by_type.get(&(ty.clone(), name.clone())));
+    }
+    // Pin the target crate and the module base the remaining segments are
+    // relative to.
+    let (krate, base, rest): (String, Vec<String>, &[String]) = if segs[0] == "crate" {
+        (file.krate.clone(), Vec::new(), &segs[1..])
+    } else if segs[0] == "self" {
+        (file.krate.clone(), def.module.clone(), &segs[1..])
+    } else if segs[0] == "super" {
+        let mut module = def.module.clone();
+        let mut k = 0;
+        while segs.get(k).is_some_and(|s| s == "super") {
+            module.pop();
+            k += 1;
+        }
+        (file.krate.clone(), module, &segs[k..])
+    } else if let Some(dir) = idx.crate_imports.get(&segs[0]) {
+        (dir.clone(), Vec::new(), &segs[1..])
+    } else {
+        (file.krate.clone(), Vec::new(), &segs[..])
+    };
+    let (name, mids) = rest.split_last()?;
+    // An uppercase final qualifier is a type: `Type::assoc_fn(..)`.
+    if let Some(ty) = mids.last() {
+        if ty.chars().next().is_some_and(char::is_uppercase) {
+            return unique(idx.method_by_type.get(&(ty.clone(), name.clone())));
+        }
+    }
+    let mut module = base;
+    module.extend(mids.iter().cloned());
+    unique(
+        idx.free_by_crate_mod
+            .get(&(krate.clone(), module.join("::"), name.clone())),
+    )
+    .or_else(|| {
+        // Module-relative fallback: `helpers::f()` written from a sibling.
+        if def.module.is_empty() {
+            return None;
+        }
+        let mut module = def.module.clone();
+        module.extend(mids.iter().cloned());
+        unique(
+            idx.free_by_crate_mod
+                .get(&(krate.clone(), module.join("::"), name.clone())),
+        )
+    })
+    .or_else(|| unique(idx.free_by_crate_name.get(&(krate, name.clone()))))
+}
+
+/// The transitive closure of a seed set, with breadth-first call chains.
+#[derive(Debug, Default)]
+pub struct Reach {
+    /// Every reached node (seeds included).
+    pub members: BTreeSet<usize>,
+    /// Breadth-first parent of each non-seed member.
+    pred: BTreeMap<usize, usize>,
+}
+
+impl Reach {
+    /// Whether node `i` is in the closure.
+    pub fn contains(&self, i: usize) -> bool {
+        self.members.contains(&i)
+    }
+
+    /// The call chain from a seed to node `i` (inclusive), as short
+    /// display names. A seed's chain is just itself.
+    pub fn chain(&self, graph: &CallGraph, mut i: usize) -> Vec<String> {
+        let mut out = vec![graph.nodes[i].display()];
+        while let Some(&p) = self.pred.get(&i) {
+            i = p;
+            out.push(graph.nodes[i].display());
+        }
+        out.reverse();
+        out
+    }
+
+    /// Per-line call chains for the members living in `path`: fn-def line
+    /// → chain from a seed. This is the per-file view the lints consume.
+    pub fn lines_for(&self, graph: &CallGraph, path: &str) -> BTreeMap<usize, Vec<String>> {
+        let mut out = BTreeMap::new();
+        for &i in &self.members {
+            if graph.nodes[i].path == path {
+                out.insert(graph.nodes[i].line, self.chain(graph, i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_key(graph: &CallGraph, i: usize) -> String {
+        graph.nodes[i].key()
+    }
+
+    fn edges_of(graph: &CallGraph, spec: &str) -> Vec<String> {
+        let seeds = graph.seed_nodes(&[spec.to_owned()]);
+        assert_eq!(seeds.len(), 1, "seed {spec} matched {seeds:?}");
+        graph.edges[seeds[0]]
+            .iter()
+            .map(|&j| node_key(graph, j))
+            .collect()
+    }
+
+    #[test]
+    fn module_path_from_file_path() {
+        assert_eq!(
+            crate_and_module("crates/detect/src/lib.rs"),
+            ("detect".into(), vec![])
+        );
+        assert_eq!(
+            crate_and_module("crates/detect/src/stream.rs"),
+            ("detect".into(), vec!["stream".into()])
+        );
+        assert_eq!(
+            crate_and_module("crates/fdeta-serve/src/foo/mod.rs"),
+            ("fdeta-serve".into(), vec!["foo".into()])
+        );
+        assert_eq!(
+            crate_and_module("crates/arima/src/foo/bar.rs"),
+            ("arima".into(), vec!["foo".into(), "bar".into()])
+        );
+    }
+
+    #[test]
+    fn method_vs_free_fn_resolution() {
+        let src = "\
+pub struct Foo;
+impl Foo {
+    pub fn go(&self) {
+        helper();
+        self.step2();
+    }
+    fn step2(&self) {}
+}
+fn helper() {}
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(
+            edges_of(&graph, "Foo::go"),
+            vec!["app::Foo::step2", "app::helper"]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_methods_to_the_type() {
+        let src = "\
+trait Run { fn run(&self); }
+pub struct Engine;
+impl Run for Engine {
+    fn run(&self) { spin(); }
+}
+fn spin() {}
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "Engine::run"), vec!["app::spin"]);
+    }
+
+    #[test]
+    fn cross_module_use_alias_resolves() {
+        let lib = "\
+mod deep { pub fn grind() { polish(); } fn polish() {} }
+";
+        let caller = "\
+use crate::deep::grind as g;
+pub fn drive() { g(); }
+";
+        let parsed = vec![
+            parse_file("crates/app/src/lib.rs", lib),
+            parse_file("crates/app/src/caller.rs", caller),
+        ];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "drive"), vec!["app::deep::grind"]);
+    }
+
+    #[test]
+    fn cross_crate_import_resolves() {
+        let util = "pub mod helpers { pub fn grind() {} }";
+        let app = "\
+use fdeta_util::helpers::grind;
+pub fn drive() { grind(); }
+pub fn drive_by_path() { fdeta_util::helpers::grind(); }
+";
+        let parsed = vec![
+            parse_file("crates/util/src/lib.rs", util),
+            parse_file("crates/app/src/lib.rs", app),
+        ];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "drive"), vec!["util::helpers::grind"]);
+        assert_eq!(
+            edges_of(&graph, "drive_by_path"),
+            vec!["util::helpers::grind"]
+        );
+    }
+
+    #[test]
+    fn ambiguous_trait_dispatch_is_unknown_callee() {
+        // Two impls of `run` — `x.run()` must not guess.
+        let src = "\
+pub struct A;
+pub struct B;
+impl A { pub fn run(&self) { boom(); } }
+impl B { pub fn run(&self) {} }
+fn boom() {}
+pub fn drive(x: &A) { x.run(); }
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "drive"), Vec::<String>::new());
+        // ... but a `self.` receiver still pins within the impl type, and
+        // the closure stays conservative: `drive` reaches nothing.
+        let reach = graph.reach(&["drive".to_owned()]);
+        assert_eq!(reach.members.len(), 1);
+    }
+
+    #[test]
+    fn self_receiver_resolves_despite_ambiguity() {
+        let src = "\
+pub struct A;
+pub struct B;
+impl A { pub fn go(&self) { self.run(); } pub fn run(&self) {} }
+impl B { pub fn run(&self) {} }
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "A::go"), vec!["app::A::run"]);
+    }
+
+    #[test]
+    fn type_assoc_fn_path_resolves() {
+        let src = "\
+pub struct Counter;
+impl Counter { pub fn reset() {} }
+pub fn drive() { Counter::reset(); }
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(edges_of(&graph, "drive"), vec!["app::Counter::reset"]);
+    }
+
+    #[test]
+    fn cycles_terminate_and_chains_stay_shortest() {
+        let src = "\
+pub fn ping() { pong(); }
+pub fn pong() { ping(); leaf(); }
+fn leaf() {}
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        let reach = graph.reach(&["ping".to_owned()]);
+        assert_eq!(reach.members.len(), 3);
+        let leaf = graph.seed_nodes(&["leaf".to_owned()])[0];
+        assert_eq!(reach.chain(&graph, leaf), vec!["ping", "pong", "leaf"]);
+    }
+
+    #[test]
+    fn test_code_is_invisible_to_the_graph() {
+        let src = "\
+pub fn lib_fn() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { crate::lib_fn(); }
+}
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        assert_eq!(graph.nodes.len(), 1);
+        assert_eq!(graph.nodes[0].name, "lib_fn");
+    }
+
+    #[test]
+    fn seed_spec_suffix_matching() {
+        let node = Node {
+            path: "crates/detect/src/stream.rs".into(),
+            krate: "detect".into(),
+            module: vec!["stream".into()],
+            impl_type: Some("StreamScorer".into()),
+            name: "ingest".into(),
+            line: 1,
+        };
+        assert!(node.matches("ingest"));
+        assert!(node.matches("StreamScorer::ingest"));
+        assert!(node.matches("stream::StreamScorer::ingest"));
+        assert!(!node.matches("Fleet::ingest"));
+        assert!(!node.matches("close_window"));
+    }
+
+    #[test]
+    fn use_groups_and_aliases_parse() {
+        let src = "use crate::a::{b, c as d, e::f};\nfn noop() {}";
+        let parsed = parse_file("crates/app/src/lib.rs", src);
+        assert_eq!(parsed.uses["b"], vec!["crate", "a", "b"]);
+        assert_eq!(parsed.uses["d"], vec!["crate", "a", "c"]);
+        assert_eq!(parsed.uses["f"], vec!["crate", "a", "e", "f"]);
+    }
+
+    #[test]
+    fn return_position_impl_trait_is_not_an_impl_block() {
+        let src = "\
+pub struct Foo;
+impl Foo {
+    pub fn items(&self) -> impl Iterator<Item = u32> { (0..3).map(double) }
+}
+fn double(x: u32) -> u32 { x * 2 }
+";
+        let parsed = parse_file("crates/app/src/lib.rs", src);
+        let items = parsed.fns.iter().find(|f| f.name == "items").unwrap();
+        assert_eq!(items.impl_type.as_deref(), Some("Foo"));
+        let double = parsed.fns.iter().find(|f| f.name == "double").unwrap();
+        assert_eq!(double.impl_type, None);
+    }
+
+    #[test]
+    fn chains_render_through_lines_for() {
+        let src = "\
+pub struct S;
+impl S { pub fn ingest(&self) { helper(); } }
+fn helper() { deeper(); }
+fn deeper() {}
+";
+        let parsed = vec![parse_file("crates/app/src/lib.rs", src)];
+        let graph = CallGraph::build(&parsed);
+        let reach = graph.reach(&["S::ingest".to_owned()]);
+        let lines = reach.lines_for(&graph, "crates/app/src/lib.rs");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[&4], vec!["S::ingest", "helper", "deeper"]);
+    }
+}

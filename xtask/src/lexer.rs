@@ -70,6 +70,34 @@ pub struct LexOutput {
     pub comments: Vec<Comment>,
 }
 
+/// Scans a cooked (escape-processing) string body starting just past the
+/// opening quote; returns the index just past the closing quote. Keeps
+/// `line` exact even when an escape skips a newline (`"a\` + newline
+/// continuation) so tokens after multi-line strings keep true positions.
+fn scan_cooked_string(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut i = start;
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                // The escaped character may itself be a newline (string
+                // continuation) — it still ends a source line.
+                if let Some('\n') = chars.get(i + 1) {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
 /// Lexes `source` into tokens and comments. Unknown bytes are skipped —
 /// the lints prefer resilience over strictness (a file that fails real
 /// compilation will be reported by `cargo build`, not by us).
@@ -132,24 +160,10 @@ pub fn lex(source: &str) -> LexOutput {
                     i = j;
                 }
             }
-            // String literal (including the tail of b"..." handled via ident path).
+            // Cooked string literal (b"..." routes here via the ident path).
             '"' => {
                 let tok_line = line;
-                i += 1;
-                while i < n {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
+                i = scan_cooked_string(&chars, i + 1, &mut line);
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
                     line: tok_line,
@@ -224,8 +238,19 @@ pub fn lex(source: &str) -> LexOutput {
                     j += 1;
                 }
                 let text: String = chars[i..j].iter().collect();
-                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
-                if (text == "r" || text == "b" || text == "br" || text == "rb")
+                // Cooked byte / C strings: b"..", c".." — escapes apply, so
+                // they must NOT take the raw-string scan below (a `\"`
+                // inside would otherwise terminate the literal early).
+                if (text == "b" || text == "c") && j < n && chars[j] == '"' {
+                    i = scan_cooked_string(&chars, j + 1, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                // Raw string prefixes: r"..", r#".."#, br#".."#, cr#".."#.
+                if (text == "r" || text == "br" || text == "cr")
                     && j < n
                     && (chars[j] == '"' || chars[j] == '#')
                 {
@@ -384,5 +409,83 @@ mod tests {
         let out = lex("let s = \"line1\nline2\";\nx.unwrap()");
         let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
         assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn byte_strings_process_escapes() {
+        // Regression: `b"..."` is a *cooked* literal — a `\"` inside must
+        // not terminate it (the raw-string scan used to swallow the rest
+        // of the line into code position).
+        let src = r#"let b = b"quote \" inside"; x.unwrap()"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_owned()), "{ids:?}");
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_numbers() {
+        // Regression: the `\` + newline continuation escape used to skip
+        // the newline without counting the line.
+        let out = lex("let s = \"a\\\nb\";\nx.unwrap()");
+        let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_and_partial_closers() {
+        // `"#` inside an `r##` string is content, not a terminator.
+        let src = "let s = r##\"has \"# inside\"##;\ny.unwrap()";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_owned()), "{ids:?}");
+        let out = lex(src);
+        let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let out = lex("let s = r#\"l1\nl2\nl3\"#;\nx.unwrap()");
+        let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_numbers_and_resume_code() {
+        let out = lex("/* l1\n /* l3? no: l2 */\n still comment */ x.unwrap()");
+        let unwrap = out.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+        assert_eq!(out.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_nested_comment_is_resilient() {
+        // A file that fails to close an inner comment must not panic or
+        // loop; everything to EOF is comment.
+        let out = lex("/* outer /* inner */ x");
+        assert!(out.tokens.is_empty());
+        assert_eq!(out.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_and_char_torture() {
+        let src = "fn f<'a>(x: &'a str) -> char { let t = ('a', 'b'); \
+                   let q = '\\''; let l: &'static str = \"s\"; \
+                   'outer: loop { break 'outer; } 'x' }";
+        let out = lex(src);
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        // 'a (decl), 'a (ref), 'static, 'outer (label), 'outer (break).
+        assert_eq!(lifetimes, 5);
+        let literals = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        // 'a' 'b' '\'' "s" 'x' = 5 literals.
+        assert_eq!(literals, 5);
     }
 }

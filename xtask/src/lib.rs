@@ -7,6 +7,7 @@
 //! purpose: it must build on runners with no registry access.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
 pub mod report;
@@ -15,7 +16,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use lints::{Finding, LintConfig};
+use callgraph::{parse_file, CallGraph, ParsedFile};
+use lints::{FileHot, Finding, LintConfig};
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -63,9 +65,9 @@ fn scan_roots(config: &LintConfig) -> Vec<String> {
     roots
 }
 
-/// Runs every lint over the repo rooted at `root`. Findings are sorted by
-/// (path, line, rule) — byte-stable across runs and platforms.
-pub fn run_lints(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+/// Reads every scanned `.rs` file as `(repo-relative key, source)`,
+/// sorted by key for determinism.
+fn read_scanned_sources(root: &Path, config: &LintConfig) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for rel_root in scan_roots(config) {
         let dir = root.join(&rel_root);
@@ -75,12 +77,49 @@ pub fn run_lints(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
     }
     files.sort();
     files.dedup();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        sources.push((relative_key(root, path), fs::read_to_string(path)?));
+    }
+    Ok(sources)
+}
+
+/// Builds the workspace call graph over every scanned file. Used by
+/// `run_lints` for the transitive hot-path rules and by `lint --graph`.
+pub fn build_graph(root: &Path, config: &LintConfig) -> io::Result<CallGraph> {
+    let sources = read_scanned_sources(root, config)?;
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(key, source)| parse_file(key, source))
+        .collect();
+    Ok(CallGraph::build(&parsed))
+}
+
+/// Runs every lint over the repo rooted at `root`. Findings are sorted by
+/// (path, line, rule) — byte-stable across runs and platforms.
+///
+/// Two passes: first every file is parsed into the workspace call graph
+/// and the score/fit/tick seed sets are closed over callees; then each
+/// file is linted with its per-file reachability verdicts.
+pub fn run_lints(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+    let sources = read_scanned_sources(root, config)?;
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(key, source)| parse_file(key, source))
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let score = graph.reach(&config.score_seeds);
+    let fit = graph.reach(&config.fit_seeds);
+    let tick = graph.reach(&config.tick_seeds);
 
     let mut findings = Vec::new();
-    for path in &files {
-        let source = fs::read_to_string(path)?;
-        let key = relative_key(root, path);
-        findings.extend(lints::lint_file(&key, &source, config));
+    for (key, source) in &sources {
+        let hot = FileHot {
+            score: score.lines_for(&graph, key),
+            fit: fit.lines_for(&graph, key),
+            tick: tick.lines_for(&graph, key),
+        };
+        findings.extend(lints::lint_file_with(key, source, config, &hot));
     }
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule, &a.snippet).cmp(&(&b.path, b.line, b.rule, &b.snippet))

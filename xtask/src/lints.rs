@@ -61,6 +61,14 @@ pub enum Rule {
     VecAllocInScorePath,
     /// Heap allocation inside an ARIMA fitting hot path.
     VecAllocInFitPath,
+    /// `HashMap`/`HashSet` inside a function reachable from a hot entry.
+    HashIterInHotPath,
+    /// Float reduction over unordered (hash-map) iteration in a hot fn.
+    UnorderedFloatReduction,
+    /// An `as` cast used directly as a slice index in the datapath.
+    CastIndexInDatapath,
+    /// A panicking construct reachable from the serving tick loop.
+    PanicInTickPath,
     /// A `lint:allow` annotation without a reason.
     LintAllowMissingReason,
     /// A `lint:allow` annotation naming no known rule.
@@ -77,9 +85,31 @@ impl Rule {
             Rule::LossyCastInDatapath => "lossy-cast-in-datapath",
             Rule::VecAllocInScorePath => "vec-alloc-in-score-path",
             Rule::VecAllocInFitPath => "vec-alloc-in-fit-path",
+            Rule::HashIterInHotPath => "hash-iter-in-hot-path",
+            Rule::UnorderedFloatReduction => "unordered-float-reduction",
+            Rule::CastIndexInDatapath => "cast-index-in-datapath",
+            Rule::PanicInTickPath => "panic-in-tick-path",
             Rule::LintAllowMissingReason => "lint-allow-missing-reason",
             Rule::LintAllowUnknownRule => "lint-allow-unknown-rule",
         }
+    }
+
+    /// Every rule, in output order.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::NoPanicInLib,
+            Rule::NanUnsafeSort,
+            Rule::NondeterministicIteration,
+            Rule::LossyCastInDatapath,
+            Rule::VecAllocInScorePath,
+            Rule::VecAllocInFitPath,
+            Rule::HashIterInHotPath,
+            Rule::UnorderedFloatReduction,
+            Rule::CastIndexInDatapath,
+            Rule::PanicInTickPath,
+            Rule::LintAllowMissingReason,
+            Rule::LintAllowUnknownRule,
+        ]
     }
 
     /// Parses a rule name as written in a `lint:allow`.
@@ -91,6 +121,10 @@ impl Rule {
             "lossy-cast-in-datapath" => Some(Rule::LossyCastInDatapath),
             "vec-alloc-in-score-path" => Some(Rule::VecAllocInScorePath),
             "vec-alloc-in-fit-path" => Some(Rule::VecAllocInFitPath),
+            "hash-iter-in-hot-path" => Some(Rule::HashIterInHotPath),
+            "unordered-float-reduction" => Some(Rule::UnorderedFloatReduction),
+            "cast-index-in-datapath" => Some(Rule::CastIndexInDatapath),
+            "panic-in-tick-path" => Some(Rule::PanicInTickPath),
             "lint-allow-missing-reason" => Some(Rule::LintAllowMissingReason),
             "lint-allow-unknown-rule" => Some(Rule::LintAllowUnknownRule),
             _ => None,
@@ -119,10 +153,154 @@ impl Rule {
                 "thread a FitScratch/LsScratch buffer instead, or annotate a deliberate \
                  allocation with `// lint:allow(vec-alloc-in-fit-path, <reason>)`"
             }
+            Rule::HashIterInHotPath => {
+                "use BTreeMap/BTreeSet so fanned-out hot-path results stay deterministic"
+            }
+            Rule::UnorderedFloatReduction => {
+                "iterate a BTreeMap (or sort keys first) so the float summation order is fixed"
+            }
+            Rule::CastIndexInDatapath => {
+                "bound-check the cast (clamp/try_into) before indexing, or annotate with \
+                 `// lint:allow(cast-index-in-datapath, <reason>)`"
+            }
+            Rule::PanicInTickPath => {
+                "return a typed error so the serving daemon degrades instead of dying, or \
+                 annotate with `// lint:allow(panic-in-tick-path, <reason>)`"
+            }
             Rule::LintAllowMissingReason => {
                 "write `// lint:allow(<rule>, <reason>)` — the reason is mandatory"
             }
             Rule::LintAllowUnknownRule => "the rule name must match a lint exactly",
+        }
+    }
+
+    /// The long-form rule documentation printed by `cargo xtask lint
+    /// --explain <rule>`: what the rule matches, where it applies, and why
+    /// the invariant is load-bearing.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => {
+                "Flags `.unwrap()`, `.expect(..)`, and the panic macro family (`panic!`, \
+                 `unreachable!`, `todo!`, `unimplemented!`) anywhere in library crate code.\n\
+                 \n\
+                 Fleet-scale evaluation surfaces failures as typed errors \
+                 (TrainError/EvalError/GridError/TsError); a panic mid-fleet is exactly the \
+                 robust-deployment failure the framework exists to prevent. Test code \
+                 (`#[cfg(test)]` extents) is exempt. Suppress a provably unreachable site with \
+                 `// lint:allow(no-panic-in-lib, <reason>)` on the same line or the line above."
+            }
+            Rule::NanUnsafeSort => {
+                "Flags `.partial_cmp(..).unwrap()` / `.expect(..)` inside a \
+                 sort/min/max/binary-search comparator.\n\
+                 \n\
+                 NaN input panics mid-sort, and `sort_unstable_by` implementations that \
+                 tolerate inconsistent comparators silently reorder instead — detector \
+                 verdicts must not depend on NaN luck. Use `f64::total_cmp`."
+            }
+            Rule::NondeterministicIteration => {
+                "Flags `HashMap`/`HashSet` in the files that feed serialized or ordered \
+                 output (reports, persisted pipelines, engine results).\n\
+                 \n\
+                 Hash iteration order varies per process and per map, so byte-identical \
+                 JSON — the determinism contract every CI diff gate relies on — silently \
+                 breaks. Use BTreeMap/BTreeSet, or collect and sort keys before iterating."
+            }
+            Rule::LossyCastInDatapath => {
+                "Flags truncating `as` casts to narrow numeric types (u8/i8/u16/i16/u32/\
+                 i32/f32) in the reading datapath (`tsdata`, `detect`).\n\
+                 \n\
+                 Meter readings and scores are f64 end to end; a narrowing cast drops \
+                 precision silently. Widen the type, or annotate a provably-safe cast with \
+                 `// lint:allow(lossy-cast-in-datapath, <reason>)`."
+            }
+            Rule::VecAllocInScorePath => {
+                "Flags heap allocation (`Vec::new`, `Vec::with_capacity`, `vec!`, \
+                 `.collect()`) inside the detector scoring hot path.\n\
+                 \n\
+                 A function is on the scoring path if its name marks it so (`score*`, \
+                 `*band_scores*`, `ingest*`, `close_window`, `kld_score*` under \
+                 `crates/detect/src`) OR if the workspace call graph proves it reachable \
+                 from a scoring seed (`StreamScorer::ingest`, `StreamScorer::close_window`, \
+                 `KldDetector::score`) — transitive findings carry the full call chain. \
+                 The hot path is allocation-free by design (reused HistScratch buffers); a \
+                 fleet loop scores hundreds of thousands of weeks, so one stray allocation \
+                 per score undoes the perf architecture. Suppress a cold, deliberate \
+                 allocation with `// lint:allow(vec-alloc-in-score-path, <reason>)`."
+            }
+            Rule::VecAllocInFitPath => {
+                "Flags heap allocation (including `.to_vec()`) inside the ARIMA fitting \
+                 hot path.\n\
+                 \n\
+                 A function is on the fitting path if its name marks it so (`fit*`, \
+                 `hannan_rissanen*`, `select_order*`, `conditional_sigma2*`, `solve*`, \
+                 `least_squares*` in `crates/arima/src/{fit,linalg,select}.rs`) OR if the \
+                 call graph proves it reachable from the `hannan_rissanen` seed — \
+                 transitive findings carry the full call chain. Training fits a full \
+                 (p, q) grid per consumer over a FitScratch/LsScratch threading \
+                 discipline; `.to_vec()` counts because cloning slices per candidate is \
+                 exactly what that discipline removed. Suppress with \
+                 `// lint:allow(vec-alloc-in-fit-path, <reason>)`."
+            }
+            Rule::HashIterInHotPath => {
+                "Flags `HashMap`/`HashSet` inside any function on a hot path — named \
+                 scoring/fitting functions and everything the call graph proves reachable \
+                 from the scoring, fitting, or serving-tick seeds (chains reported).\n\
+                 \n\
+                 Streamed scores must be bit-identical to the batch engine before the \
+                 fleet can fan out across shards; hash iteration order varies per process \
+                 and per map, so any hash-ordered traversal on a hot path can silently \
+                 break that equivalence. Use BTreeMap/BTreeSet."
+            }
+            Rule::UnorderedFloatReduction => {
+                "Flags float reductions (`.sum()`, `.product()`, `.fold(..)`) chained \
+                 within reach of a map-iteration source (`.values()`, `.keys()`, \
+                 `.into_values()`, `.into_keys()`) inside a hot-path function of a file \
+                 that uses `HashMap`/`HashSet`.\n\
+                 \n\
+                 Float addition is not associative: reducing over an unordered iterator \
+                 makes the result depend on hash order, which varies per process — the \
+                 summation itself becomes nondeterministic even when the element set is \
+                 identical. Iterate a BTreeMap, or collect and sort before reducing."
+            }
+            Rule::CastIndexInDatapath => {
+                "Flags `[.. as usize]` — an `as` cast used directly as a slice index — \
+                 inside hot-path functions of datapath files (`tsdata`, `detect`) and \
+                 inside anything reachable from the serving tick loop.\n\
+                 \n\
+                 A float→int or wide→usize cast saturates/wraps instead of failing, so a \
+                 corrupted reading turns into a silent wrong-slot read or an \
+                 out-of-bounds panic at serve time. Compute the index into a named local \
+                 with an explicit bound check (clamp, `min`, or `try_into`) before \
+                 indexing; the guess-and-fixup histogram kernels document their bound \
+                 proof with `// lint:allow(cast-index-in-datapath, <reason>)`."
+            }
+            Rule::PanicInTickPath => {
+                "Flags `.unwrap()`, `.expect(..)`, and panic macros in any function the \
+                 call graph proves reachable from `fdeta-serve`'s tick loop \
+                 (`Fleet::ingest_tick`, `Fleet::ingest_round`, `Fleet::drain_round`) — \
+                 findings carry the full call chain from the seed. Cast-indexing on the \
+                 tick path is reported separately by cast-index-in-datapath.\n\
+                 \n\
+                 A serving daemon must degrade, not die: one poisoned meter's reading \
+                 must quarantine that consumer (PR 3's philosophy), not take down the \
+                 fleet tick. This is stricter than no-panic-in-lib: a site whose \
+                 no-panic allow argues local unreachability still needs a tick-path \
+                 justification, because the serving loop cannot afford to be wrong."
+            }
+            Rule::LintAllowMissingReason => {
+                "Flags `// lint:allow(<rule>)` annotations with no reason.\n\
+                 \n\
+                 An allow is a reviewed claim that a flagged site is sound; the reason is \
+                 the reviewable part. Write \
+                 `// lint:allow(<rule>, <why this is sound>)`."
+            }
+            Rule::LintAllowUnknownRule => {
+                "Flags `// lint:allow(..)` annotations naming no known rule.\n\
+                 \n\
+                 A typo in the rule name would silently suppress nothing; the annotation \
+                 must name a lint exactly (see `cargo xtask lint --explain` for the \
+                 list)."
+            }
         }
     }
 }
@@ -172,17 +350,30 @@ pub struct LintConfig {
     pub score_path_prefixes: Vec<String>,
     /// Exact files forming the ARIMA fitting hot path (fit-alloc scope).
     pub fit_path_files: Vec<String>,
+    /// Scoring entry points the call graph closes over (`Type::fn` or
+    /// bare `fn` suffixes, matched against qualified fn paths).
+    pub score_seeds: Vec<String>,
+    /// Fitting entry points the call graph closes over.
+    pub fit_seeds: Vec<String>,
+    /// Serving tick-loop entry points the call graph closes over.
+    pub tick_seeds: Vec<String>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         Self {
             lib_crates: [
-                "tsdata", "gridsim", "arima", "attacks", "detect", "fdeta", "fdeta-serve",
+                "tsdata",
+                "gridsim",
+                "arima",
+                "attacks",
+                "detect",
+                "fdeta",
+                "fdeta-serve",
             ]
             .iter()
             .map(|s| format!("crates/{s}/src"))
-                .collect(),
+            .collect(),
             ordered_output_files: [
                 "crates/fdeta/src/pipeline.rs",
                 "crates/fdeta/src/report.rs",
@@ -208,8 +399,39 @@ impl Default for LintConfig {
             .iter()
             .map(|s| (*s).to_owned())
             .collect(),
+            score_seeds: [
+                "StreamScorer::ingest",
+                "StreamScorer::close_window",
+                "KldDetector::score",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+            fit_seeds: vec!["hannan_rissanen".to_owned()],
+            tick_seeds: [
+                "Fleet::ingest_tick",
+                "Fleet::ingest_round",
+                "Fleet::drain_round",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
         }
     }
+}
+
+/// Per-file hot-path context derived from the workspace call graph: for
+/// each rule family, the line of every reachable `fn` keyword mapped to
+/// its call chain from a seed entry point. [`lint_file`] uses an empty
+/// context (name-based hotness only); `run_lints` builds the real one.
+#[derive(Debug, Clone, Default)]
+pub struct FileHot {
+    /// Scoring closure (`StreamScorer::ingest`, `KldDetector::score`, ...).
+    pub score: BTreeMap<usize, Vec<String>>,
+    /// Fitting closure (`hannan_rissanen`).
+    pub fit: BTreeMap<usize, Vec<String>>,
+    /// Serving tick closure (`Fleet::drain_round` and friends).
+    pub tick: BTreeMap<usize, Vec<String>>,
 }
 
 impl LintConfig {
@@ -278,7 +500,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
 /// Marks every token index that lies inside a `#[cfg(test)]`-gated item
 /// (including `#[cfg(all(test, ..))]` and friends): lints only govern the
 /// code that ships.
-fn test_extent_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_extent_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -383,6 +605,19 @@ const NARROW_CASTS: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
 /// Panicking macro names flagged by `no-panic-in-lib`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Float reducers whose result depends on operand order (fp addition and
+/// multiplication are not associative).
+const FLOAT_REDUCERS: &[&str] = &["sum", "product", "fold"];
+
+/// Iterator sources over `HashMap`/`HashSet` whose order varies per
+/// process (SipHash keys are randomized at startup).
+const UNORDERED_SOURCES: &[&str] = &["values", "keys", "into_values", "into_keys"];
+
+/// How many tokens back from a reducer to look for an unordered source
+/// feeding it (enough for a `.values().map(|x| ...)` chain with a small
+/// closure, short enough not to bridge unrelated statements).
+const REDUCTION_LOOKBACK: usize = 40;
+
 /// Whether a function name marks a detector scoring hot path: the
 /// `score*` family (including the `_with` scratch-explicit variants), the
 /// banded `*band_scores*` family, and the streaming tick path
@@ -410,23 +645,19 @@ fn is_fitting_fn(name: &str) -> bool {
         || name.starts_with("least_squares")
 }
 
-/// Scans every non-test function whose name satisfies `is_hot` for heap
-/// allocations, pushing one `rule` finding per site. `what` names the
-/// path in messages ("scoring"/"fitting"); `flag_to_vec` additionally
-/// counts `.to_vec()` as an allocation — the fit path bans slice cloning
-/// per candidate, while the scoring rule predates that stricter contract.
-#[allow(clippy::too_many_arguments)]
-fn scan_hot_fn_allocs(
-    tokens: &[Token],
-    in_test: &[bool],
-    path: &str,
-    snippet_of: &dyn Fn(usize) -> String,
-    rule: Rule,
-    what: &str,
-    is_hot: fn(&str) -> bool,
-    flag_to_vec: bool,
-    findings: &mut Vec<Finding>,
-) {
+/// One `fn` item's extent in the token stream: its name, the line of the
+/// `fn` keyword, and the `[start, end)` token range of its braced body.
+struct FnSpan {
+    name: String,
+    line: usize,
+    body: (usize, usize),
+}
+
+/// Collects every non-test `fn` with a body (trait signatures end at `;`
+/// and are skipped), including nested ones — sites are attributed to the
+/// *innermost* enclosing fn.
+fn fn_spans(tokens: &[Token], in_test: &[bool]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
         if in_test[i] || !tokens[i].is_ident("fn") {
@@ -437,11 +668,6 @@ fn scan_hot_fn_allocs(
             i += 1;
             continue;
         };
-        if !is_hot(name) {
-            i += 1;
-            continue;
-        }
-        let name = name.to_owned();
         // Find the body's opening `{` (a trait signature ends at `;`).
         let mut j = i + 2;
         let mut paren = 0usize;
@@ -479,54 +705,78 @@ fn scan_hot_fn_allocs(
             }
             m += 1;
         }
-        for k in start..end {
-            if in_test[k] {
-                continue;
-            }
-            let Some(id) = tokens[k].ident() else { continue };
-            let alloc = if id == "Vec"
-                && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
-                && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
-                && tokens
-                    .get(k + 3)
-                    .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
-            {
-                Some(format!(
-                    "`Vec::{}`",
-                    tokens[k + 3].ident().unwrap_or_default()
-                ))
-            } else if id == "vec" && tokens.get(k + 1).is_some_and(|t| t.is_punct('!')) {
-                Some("`vec!`".to_owned())
-            } else if id == "collect"
-                && k > 0
-                && tokens[k - 1].is_punct('.')
-                && tokens
-                    .get(k + 1)
-                    .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
-            {
-                Some("`.collect()`".to_owned())
-            } else if flag_to_vec
-                && id == "to_vec"
-                && k > 0
-                && tokens[k - 1].is_punct('.')
-                && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
-            {
-                Some("`.to_vec()`".to_owned())
-            } else {
-                None
-            };
-            if let Some(found) = alloc {
-                findings.push(Finding {
-                    rule,
-                    path: path.to_owned(),
-                    line: tokens[k].line,
-                    snippet: snippet_of(tokens[k].line),
-                    message: format!("{found} allocates inside {what} hot path `fn {name}`"),
-                });
-            }
-        }
-        i = end;
+        spans.push(FnSpan {
+            name: name.to_owned(),
+            line: tokens[i].line,
+            body: (start, end),
+        });
+        // Resume inside the body so nested fns get their own spans.
+        i = start + 1;
     }
+    spans
+}
+
+/// Why a fn is on a hot path: by its own name (the pre-graph, per-file
+/// contract) or by call-graph reachability from a seed entry point.
+enum Hotness<'a> {
+    Cold,
+    ByName,
+    ByReach(&'a [String]),
+}
+
+impl Hotness<'_> {
+    fn is_hot(&self) -> bool {
+        !matches!(self, Hotness::Cold)
+    }
+
+    /// The ` (reachable via a → b → c)` message suffix; empty for
+    /// name-based hotness and for the seed fns themselves.
+    fn via(&self) -> String {
+        match self {
+            Hotness::ByReach(chain) if chain.len() > 1 => {
+                format!(" (reachable via {})", chain.join(" → "))
+            }
+            _ => String::new(),
+        }
+    }
+}
+
+/// The allocating construct at token `k`, if any: the rendered name and
+/// whether it is a `.to_vec()` (only the fit rule bans those).
+fn alloc_at(tokens: &[Token], k: usize) -> Option<(String, bool)> {
+    let id = tokens[k].ident()?;
+    if id == "Vec"
+        && tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens
+            .get(k + 3)
+            .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
+    {
+        return Some((
+            format!("`Vec::{}`", tokens[k + 3].ident().unwrap_or_default()),
+            false,
+        ));
+    }
+    if id == "vec" && tokens.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+        return Some(("`vec!`".to_owned(), false));
+    }
+    if id == "collect"
+        && k > 0
+        && tokens[k - 1].is_punct('.')
+        && tokens
+            .get(k + 1)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+    {
+        return Some(("`.collect()`".to_owned(), false));
+    }
+    if id == "to_vec"
+        && k > 0
+        && tokens[k - 1].is_punct('.')
+        && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+    {
+        return Some(("`.to_vec()`".to_owned(), true));
+    }
+    None
 }
 
 /// Finds the index of the token closing the paren opened at `open`
@@ -548,8 +798,22 @@ fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
     None
 }
 
-/// Lints one file. `path` must be repo-relative with `/` separators.
+/// Lints one file with no cross-file reachability context: only the
+/// name-based hot-path rules fire. `path` must be repo-relative with `/`
+/// separators.
 pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> {
+    lint_file_with(path, source, config, &FileHot::default())
+}
+
+/// Lints one file. `hot` carries the workspace call-graph verdicts for
+/// this file: which fn definitions (by `fn` keyword line) are reachable
+/// from the score/fit/tick seed entry points, and via what chain.
+pub fn lint_file_with(
+    path: &str,
+    source: &str,
+    config: &LintConfig,
+    hot: &FileHot,
+) -> Vec<Finding> {
     let lexed = lex(source);
     let tokens = &lexed.tokens;
     let lines: Vec<&str> = source.lines().collect();
@@ -713,36 +977,216 @@ pub fn lint_file(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> 
         }
     }
 
-    if score_path {
-        // vec-alloc-in-score-path: heap allocation inside a function whose
-        // name marks it as a scoring hot path.
-        scan_hot_fn_allocs(
-            tokens,
-            &in_test,
-            path,
-            &snippet_of,
-            Rule::VecAllocInScorePath,
-            "scoring",
-            is_scoring_fn,
-            false,
-            &mut findings,
-        );
-    }
+    // ---- Hot-path rules: name-based (the original per-file contract)
+    // unioned with call-graph reachability from the seed entry points. ----
+    let spans = fn_spans(tokens, &in_test);
+    let hotness = |span: &FnSpan| -> [Hotness<'_>; 3] {
+        let by_reach = |map: &'static str| -> Hotness<'_> {
+            let chains = match map {
+                "score" => &hot.score,
+                "fit" => &hot.fit,
+                _ => &hot.tick,
+            };
+            match chains.get(&span.line) {
+                Some(chain) => Hotness::ByReach(chain),
+                None => Hotness::Cold,
+            }
+        };
+        let score = if score_path && is_scoring_fn(&span.name) {
+            Hotness::ByName
+        } else {
+            by_reach("score")
+        };
+        let fit = if config.is_fit_path(path) && is_fitting_fn(&span.name) {
+            Hotness::ByName
+        } else {
+            by_reach("fit")
+        };
+        [score, fit, by_reach("tick")]
+    };
+    // Innermost enclosing fn for a token index — nested fns own their
+    // bodies; the enclosing fn does not re-report them.
+    let owner_of = |k: usize| -> Option<usize> {
+        spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.body.0 <= k && k < s.body.1)
+            .max_by_key(|(_, s)| s.body.0)
+            .map(|(i, _)| i)
+    };
 
-    if config.is_fit_path(path) {
-        // vec-alloc-in-fit-path: heap allocation (including `.to_vec()`)
-        // inside a function whose name marks it as a fitting hot path.
-        scan_hot_fn_allocs(
-            tokens,
-            &in_test,
-            path,
-            &snippet_of,
-            Rule::VecAllocInFitPath,
-            "fitting",
-            is_fitting_fn,
-            true,
-            &mut findings,
-        );
+    for (si, span) in spans.iter().enumerate() {
+        let [score, fit, tick] = hotness(span);
+        if !(score.is_hot() || fit.is_hot() || tick.is_hot()) {
+            continue;
+        }
+        let file_mentions_hash = tokens.iter().enumerate().any(|(k, t)| {
+            !in_test[k]
+                && t.ident()
+                    .is_some_and(|id| id == "HashMap" || id == "HashSet")
+        });
+        for k in span.body.0..span.body.1 {
+            if in_test[k] || owner_of(k) != Some(si) {
+                continue;
+            }
+            // vec-alloc-in-score-path / vec-alloc-in-fit-path: heap
+            // allocation in (or reachable from) a scoring/fitting hot fn.
+            if let Some((found, is_to_vec)) = alloc_at(tokens, k) {
+                if score.is_hot() && !is_to_vec {
+                    findings.push(Finding {
+                        rule: Rule::VecAllocInScorePath,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!(
+                            "{found} allocates inside scoring hot path `fn {}`{}",
+                            span.name,
+                            score.via()
+                        ),
+                    });
+                }
+                if fit.is_hot() {
+                    findings.push(Finding {
+                        rule: Rule::VecAllocInFitPath,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!(
+                            "{found} allocates inside fitting hot path `fn {}`{}",
+                            span.name,
+                            fit.via()
+                        ),
+                    });
+                }
+            }
+            let Some(id) = tokens[k].ident() else {
+                continue;
+            };
+            // panic-in-tick-path: unwrap/expect/panic-family macros
+            // reachable from the serving daemon's tick loop.
+            if tick.is_hot() {
+                if (id == "unwrap" || id == "expect")
+                    && k > 0
+                    && tokens[k - 1].is_punct('.')
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    findings.push(Finding {
+                        rule: Rule::PanicInTickPath,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!(
+                            "`.{id}(..)` can kill the serving tick loop in `fn {}`{}",
+                            span.name,
+                            tick.via()
+                        ),
+                    });
+                }
+                if PANIC_MACROS.contains(&id) && tokens.get(k + 1).is_some_and(|t| t.is_punct('!'))
+                {
+                    findings.push(Finding {
+                        rule: Rule::PanicInTickPath,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!(
+                            "`{id}!` can kill the serving tick loop in `fn {}`{}",
+                            span.name,
+                            tick.via()
+                        ),
+                    });
+                }
+            }
+            // hash-iter-in-hot-path: HashMap/HashSet touched by any hot fn.
+            if id == "HashMap" || id == "HashSet" {
+                let (family, h) = if score.is_hot() {
+                    ("scoring", &score)
+                } else if fit.is_hot() {
+                    ("fitting", &fit)
+                } else {
+                    ("tick", &tick)
+                };
+                findings.push(Finding {
+                    rule: Rule::HashIterInHotPath,
+                    path: path.to_owned(),
+                    line: tokens[k].line,
+                    snippet: snippet_of(tokens[k].line),
+                    message: format!(
+                        "`{id}` in {family} hot path `fn {}`: iteration order varies \
+                         per process{}",
+                        span.name,
+                        h.via()
+                    ),
+                });
+            }
+            // unordered-float-reduction: a float reducer fed by an
+            // unordered map/set iterator in a hot fn.
+            if file_mentions_hash
+                && FLOAT_REDUCERS.contains(&id)
+                && k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens
+                    .get(k + 1)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+            {
+                let lookback_start = k.saturating_sub(REDUCTION_LOOKBACK).max(span.body.0);
+                let fed_by_unordered = (lookback_start..k).any(|j| {
+                    tokens[j]
+                        .ident()
+                        .is_some_and(|s| UNORDERED_SOURCES.contains(&s))
+                        && j > 0
+                        && tokens[j - 1].is_punct('.')
+                        && tokens.get(j + 1).is_some_and(|t| t.is_punct('('))
+                });
+                if fed_by_unordered {
+                    let h = if score.is_hot() {
+                        &score
+                    } else if fit.is_hot() {
+                        &fit
+                    } else {
+                        &tick
+                    };
+                    findings.push(Finding {
+                        rule: Rule::UnorderedFloatReduction,
+                        path: path.to_owned(),
+                        line: tokens[k].line,
+                        snippet: snippet_of(tokens[k].line),
+                        message: format!(
+                            "`.{id}(..)` reduces floats in unordered iteration order in \
+                             `fn {}`{}",
+                            span.name,
+                            h.via()
+                        ),
+                    });
+                }
+            }
+            // cast-index-in-datapath: `buf[x as usize]` — a silently
+            // wrapped cast indexes a slice in the datapath or tick path.
+            if id == "as"
+                && tokens.get(k + 1).is_some_and(|t| t.is_ident("usize"))
+                && tokens.get(k + 2).is_some_and(|t| t.is_punct(']'))
+                && (tick.is_hot() || datapath)
+            {
+                let h = if tick.is_hot() {
+                    &tick
+                } else if score.is_hot() {
+                    &score
+                } else {
+                    &fit
+                };
+                findings.push(Finding {
+                    rule: Rule::CastIndexInDatapath,
+                    path: path.to_owned(),
+                    line: tokens[k].line,
+                    snippet: snippet_of(tokens[k].line),
+                    message: format!(
+                        "`as usize` used directly as a slice index in `fn {}`{}",
+                        span.name,
+                        h.via()
+                    ),
+                });
+            }
+        }
     }
 
     // Apply suppressions: an allow on the finding's line or the line above.
@@ -951,7 +1395,8 @@ mod tests {
 
     #[test]
     fn scoring_fn_signature_without_body_is_skipped() {
-        let src = "trait T {\n    fn score(&self) -> f64;\n}\nfn helper() -> Vec<f64> { Vec::new() }";
+        let src =
+            "trait T {\n    fn score(&self) -> f64;\n}\nfn helper() -> Vec<f64> { Vec::new() }";
         assert!(lint_lib(src).is_empty());
     }
 
@@ -961,7 +1406,8 @@ mod tests {
 
     #[test]
     fn vec_alloc_in_fit_fn_is_flagged() {
-        let src = "fn fit_ar(w: &[f64]) -> Vec<f64> {\n    let out = Vec::with_capacity(4);\n    out\n}";
+        let src =
+            "fn fit_ar(w: &[f64]) -> Vec<f64> {\n    let out = Vec::with_capacity(4);\n    out\n}";
         let findings = lint_fit(src);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, Rule::VecAllocInFitPath);

@@ -5,20 +5,24 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::baseline::Baseline;
-use xtask::lints::LintConfig;
-use xtask::{find_repo_root, report, run_lints};
+use xtask::lints::{LintConfig, Rule};
+use xtask::{build_graph, find_repo_root, report, run_lints};
 
 const USAGE: &str = "\
 usage: cargo xtask lint [OPTIONS]
 
 Enforce workspace invariants (panic-freedom, NaN-safe ordering,
 deterministic iteration, lossless datapath casts) over crates/*/src.
+Hot-path rules are transitive over the workspace call graph.
 
 options:
   --format <text|json>   output format (default: text)
   --baseline <FILE>      baseline file (default: <repo>/lint-baseline.tsv)
   --no-baseline          report every finding; any finding fails
   --update-baseline      rewrite the baseline from current findings
+  --explain <rule|all>   print what a rule checks and why, then exit
+  --graph <fn>           print the call-graph closure of <fn> (suffix
+                         spec, e.g. StreamScorer::ingest), then exit
   --root <DIR>           repo root (default: discovered from cwd)
   -h, --help             show this help
 
@@ -29,6 +33,8 @@ struct Options {
     baseline_path: Option<PathBuf>,
     use_baseline: bool,
     update_baseline: bool,
+    explain: Option<String>,
+    graph: Option<String>,
     root: Option<PathBuf>,
 }
 
@@ -44,6 +50,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline_path: None,
         use_baseline: true,
         update_baseline: false,
+        explain: None,
+        graph: None,
         root: None,
     };
     let mut iter = args.iter();
@@ -62,6 +70,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-baseline" => opts.use_baseline = false,
             "--update-baseline" => opts.update_baseline = true,
+            "--explain" => {
+                let rule = iter
+                    .next()
+                    .ok_or("--explain expects a rule name (or `all`)")?;
+                opts.explain = Some(rule.clone());
+            }
+            "--graph" => {
+                let spec = iter
+                    .next()
+                    .ok_or("--graph expects a fn spec, e.g. StreamScorer::ingest")?;
+                opts.graph = Some(spec.clone());
+            }
             "--root" => {
                 let path = iter.next().ok_or("--root expects a directory")?;
                 opts.root = Some(PathBuf::from(path));
@@ -86,6 +106,10 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
     };
 
+    if let Some(spec) = &opts.explain {
+        return explain_rules(spec);
+    }
+
     let root = match opts
         .root
         .or_else(|| env::current_dir().ok().and_then(|cwd| find_repo_root(&cwd)))
@@ -98,6 +122,10 @@ fn run_lint(args: &[String]) -> ExitCode {
     };
 
     let config = LintConfig::default();
+
+    if let Some(spec) = &opts.graph {
+        return print_graph(&root, &config, spec);
+    }
     let findings = match run_lints(&root, &config) {
         Ok(findings) => findings,
         Err(e) => {
@@ -152,6 +180,66 @@ fn run_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Prints the long-form documentation for one rule, or for every rule
+/// when `spec` is `all`.
+fn explain_rules(spec: &str) -> ExitCode {
+    if spec == "all" {
+        for (i, rule) in Rule::all().iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            println!("## {}\n\n{}", rule.name(), rule.explain());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match Rule::from_name(spec) {
+        Some(rule) => {
+            println!("## {}\n\n{}", rule.name(), rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = Rule::all().iter().map(|r| r.name()).collect();
+            eprintln!(
+                "error: no rule named `{spec}`; known rules: {}",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints the transitive closure of `spec` over the workspace call
+/// graph: every reachable fn with its location and one shortest chain.
+fn print_graph(root: &std::path::Path, config: &LintConfig, spec: &str) -> ExitCode {
+    let graph = match build_graph(root, config) {
+        Ok(graph) => graph,
+        Err(e) => {
+            eprintln!("error: building call graph: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reach = graph.reach(&[spec.to_owned()]);
+    if reach.members.is_empty() {
+        eprintln!(
+            "error: `{spec}` matches no fn in the workspace \
+             (specs are qualified-name suffixes, e.g. StreamScorer::ingest)"
+        );
+        return ExitCode::from(2);
+    }
+    println!("{} fn(s) reachable from `{spec}`:", reach.members.len());
+    for &i in &reach.members {
+        let node = &graph.nodes[i];
+        println!(
+            "  {}  [{}:{}]  via {}",
+            node.key(),
+            node.path,
+            node.line,
+            reach.chain(&graph, i).join(" → ")
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {

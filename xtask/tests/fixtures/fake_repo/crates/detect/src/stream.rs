@@ -1,0 +1,19 @@
+//! Transitive-scope fixture: `StreamScorer::ingest` is itself clean, but
+//! it calls `accumulate`, whose name matches no hot-fn naming pattern —
+//! only the call-graph closure flags its allocation.
+
+pub struct StreamScorer {
+    total: f64,
+}
+
+impl StreamScorer {
+    pub fn ingest(&mut self, reading: f64) -> f64 {
+        self.total += accumulate(reading);
+        self.total
+    }
+}
+
+fn accumulate(reading: f64) -> f64 {
+    let staged: Vec<f64> = (0..4).map(|i| reading * i as f64).collect();
+    staged.iter().fold(0.0, |a, b| a + b)
+}

@@ -1,0 +1,24 @@
+//! Serving-tick fixture: determinism and panic hazards reachable from
+//! `Fleet::drain_round` are reported with their full call chains.
+
+use std::collections::HashMap;
+
+pub struct Fleet {
+    bins: [f64; 4],
+}
+
+impl Fleet {
+    pub fn drain_round(&mut self, weights: &[(u32, f64)]) -> f64 {
+        let staged: HashMap<u32, f64> = weights.iter().copied().collect();
+        let total = staged.values().sum::<f64>();
+        bin_of(&self.bins, total) + latest(total)
+    }
+}
+
+fn bin_of(bins: &[f64; 4], total: f64) -> f64 {
+    bins[(total % 4.0) as usize]
+}
+
+fn latest(total: f64) -> f64 {
+    Some(total).unwrap()
+}

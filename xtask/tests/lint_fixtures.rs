@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use xtask::baseline::Baseline;
-use xtask::lints::{LintConfig, Rule};
+use xtask::lints::{lint_file, LintConfig, Rule};
 use xtask::run_lints;
 
 fn fixture_root() -> PathBuf {
@@ -51,6 +51,36 @@ fn fixtures_report_exact_rule_file_line() {
             Rule::VecAllocInScorePath,
             "crates/detect/src/scoring.rs",
             10, // .collect() in try_band_scores
+        ),
+        (
+            Rule::VecAllocInScorePath,
+            "crates/detect/src/stream.rs",
+            17, // .collect() in accumulate, reachable from StreamScorer::ingest
+        ),
+        (
+            Rule::HashIterInHotPath,
+            "crates/fdeta-serve/src/fleet.rs",
+            12, // HashMap inside Fleet::drain_round
+        ),
+        (
+            Rule::UnorderedFloatReduction,
+            "crates/fdeta-serve/src/fleet.rs",
+            13, // .values().sum() inside Fleet::drain_round
+        ),
+        (
+            Rule::CastIndexInDatapath,
+            "crates/fdeta-serve/src/fleet.rs",
+            19, // bins[.. as usize] in bin_of, reachable from drain_round
+        ),
+        (
+            Rule::NoPanicInLib,
+            "crates/fdeta-serve/src/fleet.rs",
+            23, // .unwrap() in latest (plain lib scope)
+        ),
+        (
+            Rule::PanicInTickPath,
+            "crates/fdeta-serve/src/fleet.rs",
+            23, // same .unwrap(), reachable from the tick loop
         ),
         (
             Rule::NondeterministicIteration,
@@ -100,6 +130,68 @@ fn test_modules_are_exempt_in_fixtures() {
     assert!(!fixture_findings()
         .iter()
         .any(|(_, p, l)| p.ends_with("panics.rs") && *l > 22));
+}
+
+#[test]
+fn transitive_closure_flags_what_the_per_name_scan_misses() {
+    let root = fixture_root();
+    let path = "crates/detect/src/stream.rs";
+    let source = std::fs::read_to_string(root.join(path)).expect("read stream fixture");
+    // The single-file scan sees a clean file: `accumulate` matches no
+    // hot-fn naming pattern, and `ingest` itself does not allocate.
+    let old = lint_file(path, &source, &LintConfig::default());
+    assert!(old.is_empty(), "per-name scan should be clean: {old:?}");
+    // The workspace pass reaches `accumulate` through `StreamScorer::ingest`
+    // and reports the allocation with the chain that proves hotness.
+    let findings = run_lints(&root, &LintConfig::default()).expect("fixture walk");
+    let f = findings
+        .iter()
+        .find(|f| f.path == path)
+        .expect("transitive finding in stream.rs");
+    assert_eq!(f.rule, Rule::VecAllocInScorePath);
+    assert!(
+        f.message
+            .contains("(reachable via StreamScorer::ingest → accumulate)"),
+        "chain missing: {}",
+        f.message
+    );
+}
+
+#[test]
+fn tick_path_findings_carry_full_call_chains() {
+    let findings = run_lints(&fixture_root(), &LintConfig::default()).expect("fixture walk");
+    let fleet = "crates/fdeta-serve/src/fleet.rs";
+    let panic = findings
+        .iter()
+        .find(|f| f.rule == Rule::PanicInTickPath && f.path == fleet)
+        .expect("panic-in-tick-path finding");
+    assert!(
+        panic
+            .message
+            .contains("(reachable via Fleet::drain_round → latest)"),
+        "chain missing: {}",
+        panic.message
+    );
+    let cast = findings
+        .iter()
+        .find(|f| f.rule == Rule::CastIndexInDatapath && f.path == fleet)
+        .expect("cast-index finding");
+    assert!(
+        cast.message
+            .contains("(reachable via Fleet::drain_round → bin_of)"),
+        "chain missing: {}",
+        cast.message
+    );
+    // The seed fn's own findings carry no chain suffix: the fn is the chain.
+    let hash = findings
+        .iter()
+        .find(|f| f.rule == Rule::HashIterInHotPath && f.path == fleet)
+        .expect("hash-iter finding");
+    assert!(
+        !hash.message.contains("reachable via"),
+        "seed fn should not cite a chain: {}",
+        hash.message
+    );
 }
 
 #[test]
@@ -153,7 +245,7 @@ fn cli_exit_codes_and_json() {
     assert!(json.contains("\"rule\":\"nan-unsafe-sort\""));
     assert!(json.contains("\"path\":\"crates/attacks/src/nan_sort.rs\""));
     assert!(json.contains("\"line\":4"));
-    assert!(json.contains("\"summary\":{\"total\":14,\"new\":14,\"baselined\":0,\"stale\":0}"));
+    assert!(json.contains("\"summary\":{\"total\":20,\"new\":20,\"baselined\":0,\"stale\":0}"));
 
     // Update the baseline, then lint against it: exit 0.
     let baseline_path =
@@ -177,4 +269,30 @@ fn cli_exit_codes_and_json() {
     // Unknown flag: usage error, exit 2.
     let out = xtask_cmd(&["lint", "--bogus"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_output_is_byte_deterministic() {
+    let root = fixture_root();
+    let root_arg = root.to_str().expect("utf8 fixture path");
+    for format in ["text", "json"] {
+        let a = xtask_cmd(&[
+            "lint",
+            "--root",
+            root_arg,
+            "--no-baseline",
+            "--format",
+            format,
+        ]);
+        let b = xtask_cmd(&[
+            "lint",
+            "--root",
+            root_arg,
+            "--no-baseline",
+            "--format",
+            format,
+        ]);
+        assert_eq!(a.status.code(), b.status.code(), "{format}");
+        assert_eq!(a.stdout, b.stdout, "{format} output must be byte-stable");
+    }
 }
