@@ -13,7 +13,12 @@
 //!   percentiles are not smeared by batching);
 //! * **resident state** — bytes of per-meter sliding state
 //!   ([`Fleet::state_bytes`]), which excludes the `Arc`-shared trained
-//!   cores and must stay bounded as the stream runs.
+//!   cores and must stay bounded as the stream runs;
+//! * **degraded mode** — the largest fleet re-served at each
+//!   `--fault-rates` entry (default 0% / 1% / 10% invalid readings,
+//!   injected by a pure per-(tick, meter) hash): throughput, per-tick
+//!   latency of the gap path, fault/health accounting, and
+//!   checkpoint save/restore wall time.
 //!
 //! The run also *verifies* the streaming path: every trained artifact's
 //! held-out weeks are ingested tick-by-tick and the weekly KLD, per-band,
@@ -22,12 +27,30 @@
 //! — the run aborts on divergence.
 //!
 //! Results go to `BENCH_serving.json` (override with `--out PATH`) in a
-//! stable, hand-rolled schema (`fdeta-bench-serving/v1`) with keys in a
+//! stable, hand-rolled schema (`fdeta-bench-serving/v2`) with keys in a
 //! fixed order. `--deterministic` omits every timing field so two runs
 //! over the same corpus are byte-identical — that is what the CI
 //! serve-smoke job diffs. `--fleet N` replaces the default fleet ladder
 //! (CI uses a small fleet); `--serve-weeks W` sets how many simulated
 //! weeks each fleet sustains.
+//!
+//! # Crash/restore mode
+//!
+//! Three flags turn the binary into the CI crash gate (single fleet size
+//! and fault rate required):
+//!
+//! * `--halt-tick N --snapshot PATH` — serve ticks `0..N`, checkpoint the
+//!   fleet to `PATH`, and exit without writing a report (the "crash").
+//! * `--resume-snapshot PATH` — restore the checkpoint onto a freshly
+//!   built fleet and serve the remaining ticks.
+//! * `--fingerprint-from N` — fingerprint only rounds at tick `N`
+//!   onwards, and write the reduced `fdeta-bench-serving-crash/v1`
+//!   report (fingerprint, fault accounting, final fleet health; never
+//!   any timings).
+//!
+//! An uninterrupted `--fingerprint-from N` run and a halt-at-N /
+//! resume / finish pair must produce byte-identical reports — restoring
+//! a checkpoint is bit-identical to never having crashed.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -36,7 +59,7 @@ use std::time::Instant;
 
 use fdeta_bench::RunArgs;
 use fdeta_detect::{EvalEngine, ServeConfig, StreamScorer, TrainedConsumer};
-use fdeta_serve::Fleet;
+use fdeta_serve::{Fleet, RoundOutcome, TickFault};
 use fdeta_tsdata::SLOTS_PER_WEEK;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -48,6 +71,11 @@ struct BenchArgs {
     fleets: Vec<usize>,
     serve_weeks: usize,
     deterministic: bool,
+    fault_rates: Vec<f64>,
+    halt_tick: Option<usize>,
+    snapshot: Option<PathBuf>,
+    resume_snapshot: Option<PathBuf>,
+    fingerprint_from: Option<usize>,
 }
 
 impl BenchArgs {
@@ -58,6 +86,11 @@ impl BenchArgs {
         let mut fleets = vec![10_000, 100_000];
         let mut serve_weeks = 1usize;
         let mut deterministic = false;
+        let mut fault_rates = vec![0.0, 0.01, 0.10];
+        let mut halt_tick = None;
+        let mut snapshot = None;
+        let mut resume_snapshot = None;
+        let mut fingerprint_from = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -83,6 +116,51 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("expected a number after --serve-weeks"));
                 }
+                "--fault-rates" => {
+                    i += 1;
+                    fault_rates = args
+                        .get(i)
+                        .map(|list| {
+                            list.split(',')
+                                .map(|r| {
+                                    r.parse().unwrap_or_else(|_| {
+                                        panic!("bad fault rate {r:?} in --fault-rates")
+                                    })
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_else(|| panic!("expected rates after --fault-rates"));
+                }
+                "--halt-tick" => {
+                    i += 1;
+                    halt_tick = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("expected a tick after --halt-tick")),
+                    );
+                }
+                "--snapshot" => {
+                    i += 1;
+                    snapshot =
+                        Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                            panic!("expected a path after --snapshot")
+                        })));
+                }
+                "--resume-snapshot" => {
+                    i += 1;
+                    resume_snapshot =
+                        Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                            panic!("expected a path after --resume-snapshot")
+                        })));
+                }
+                "--fingerprint-from" => {
+                    i += 1;
+                    fingerprint_from = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("expected a tick after --fingerprint-from")),
+                    );
+                }
                 "--deterministic" => deterministic = true,
                 _ => {}
             }
@@ -90,13 +168,33 @@ impl BenchArgs {
         }
         assert!(serve_weeks >= 1, "--serve-weeks must be at least 1");
         assert!(!fleets.is_empty() && fleets.iter().all(|&m| m >= 1));
+        assert!(
+            !fault_rates.is_empty() && fault_rates.iter().all(|r| (0.0..1.0).contains(r)),
+            "--fault-rates must lie in [0, 1)"
+        );
+        assert_eq!(
+            halt_tick.is_some(),
+            snapshot.is_some(),
+            "--halt-tick and --snapshot go together"
+        );
         Self {
             run,
             out,
             fleets,
             serve_weeks,
             deterministic,
+            fault_rates,
+            halt_tick,
+            snapshot,
+            resume_snapshot,
+            fingerprint_from,
         }
+    }
+
+    fn crash_mode(&self) -> bool {
+        self.halt_tick.is_some()
+            || self.resume_snapshot.is_some()
+            || self.fingerprint_from.is_some()
     }
 }
 
@@ -110,15 +208,41 @@ impl Fingerprint {
         Self { state: FNV_OFFSET }
     }
 
-    fn absorb(&mut self, score: f64) {
-        for b in score.to_bits().to_le_bytes() {
+    fn absorb_u64(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
             self.state ^= u64::from(b);
             self.state = self.state.wrapping_mul(FNV_PRIME);
         }
     }
 
+    fn absorb(&mut self, score: f64) {
+        self.absorb_u64(score.to_bits());
+    }
+
     fn finish(&self) -> u64 {
         self.state
+    }
+}
+
+/// SplitMix64, the pure fault coin: whether meter `m` faults at tick `t`
+/// depends only on `(seed, t, m)` — never on run history — so a halted
+/// and resumed run replays the exact fault pattern of an uninterrupted
+/// one.
+fn fault_coin(seed: u64, tick: usize, meter: usize) -> f64 {
+    let mut z = seed ^ (tick as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((meter as u64) << 32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn fault_tag(fault: &TickFault) -> u64 {
+    match fault {
+        TickFault::Invalid { .. } => 1,
+        TickFault::Missing => 2,
+        TickFault::Quarantined => 3,
+        TickFault::Score { .. } => 4,
     }
 }
 
@@ -175,6 +299,80 @@ fn equivalence(engine: &EvalEngine, serve: &ServeConfig) -> (u64, u64) {
     (stream_fp.finish(), batch_fp.finish())
 }
 
+/// Clones trained scorers round-robin into an `meters`-wide fleet.
+fn build_fleet(engine: &EvalEngine, serve: &ServeConfig, meters: usize, threads: usize) -> Fleet {
+    let prototypes: Vec<StreamScorer> = engine
+        .artifacts()
+        .iter()
+        .map(|a| StreamScorer::new(a, serve).unwrap_or_else(|e| panic!("scorer build failed: {e}")))
+        .collect();
+    let scorers: Vec<StreamScorer> = (0..meters)
+        .map(|m| prototypes[m % prototypes.len()].clone())
+        .collect();
+    Fleet::from_scorers(scorers, threads)
+}
+
+/// Accumulated outcome of a served tick span.
+struct SpanOutcome {
+    fingerprint: u64,
+    completed: u64,
+    faults: u64,
+}
+
+/// Serves ticks `span` through the fleet with faults injected at `rate`,
+/// fingerprinting and counting every round outcome from tick
+/// `fingerprint_from` on (summaries, faults, everything in fleet order) —
+/// earlier ticks still serve, they just don't report, so a resumed run
+/// and an uninterrupted run tally the same span.
+fn serve_span(
+    fleet: &Fleet,
+    feeds: &[Vec<f64>],
+    rate: f64,
+    seed: u64,
+    span: std::ops::Range<usize>,
+    fingerprint_from: usize,
+) -> SpanOutcome {
+    let meters = fleet.len();
+    let mut readings = vec![0.0f64; meters];
+    let mut fp = Fingerprint::new();
+    let mut completed = 0u64;
+    let mut faults = 0u64;
+    for tick in span {
+        for (m, slot) in readings.iter_mut().enumerate() {
+            let feed = &feeds[m % feeds.len()];
+            let clean = feed[tick % feed.len()];
+            *slot = if rate > 0.0 && fault_coin(seed, tick, m) < rate {
+                f64::NAN
+            } else {
+                clean
+            };
+        }
+        let outcome: RoundOutcome = fleet
+            .ingest_round(&readings)
+            .unwrap_or_else(|e| panic!("round failed: {e}"));
+        if tick >= fingerprint_from {
+            completed += outcome.completed as u64;
+            faults += outcome.faults.len() as u64;
+            for (id, summary) in &outcome.summaries {
+                fp.absorb_u64(u64::from(*id));
+                fp.absorb(summary.kld_score);
+                fp.absorb(summary.worst_band_excess);
+                fp.absorb_u64(summary.arima_violations.map_or(0, |v| u64::from(v) + 1));
+                fp.absorb_u64(u64::from(summary.observed_ticks));
+            }
+            for (id, fault) in &outcome.faults {
+                fp.absorb_u64(u64::from(*id));
+                fp.absorb_u64(fault_tag(fault));
+            }
+        }
+    }
+    SpanOutcome {
+        fingerprint: fp.finish(),
+        completed,
+        faults,
+    }
+}
+
 struct FleetResult {
     meters: usize,
     resident_bytes: usize,
@@ -183,7 +381,7 @@ struct FleetResult {
 }
 
 /// Builds an `meters`-wide fleet by cloning trained scorers round-robin
-/// and sustains `weeks` simulated weeks of tick rounds through the
+/// and sustains `weeks` simulated weeks of clean tick rounds through the
 /// daemon's work-stealing drain.
 fn run_fleet(
     engine: &EvalEngine,
@@ -192,16 +390,8 @@ fn run_fleet(
     weeks: usize,
     threads: usize,
 ) -> FleetResult {
-    let artifacts = engine.artifacts();
-    let prototypes: Vec<StreamScorer> = artifacts
-        .iter()
-        .map(|a| StreamScorer::new(a, serve).unwrap_or_else(|e| panic!("scorer build failed: {e}")))
-        .collect();
-    let feeds: Vec<Vec<f64>> = artifacts.iter().map(test_ticks).collect();
-    let scorers: Vec<StreamScorer> = (0..meters)
-        .map(|m| prototypes[m % prototypes.len()].clone())
-        .collect();
-    let fleet = Fleet::from_scorers(scorers, threads);
+    let feeds: Vec<Vec<f64>> = engine.artifacts().iter().map(test_ticks).collect();
+    let fleet = build_fleet(engine, serve, meters, threads);
 
     let mut readings = vec![0.0f64; meters];
     let total_ticks = (weeks * SLOTS_PER_WEEK) as u64 * meters as u64;
@@ -224,6 +414,86 @@ fn run_fleet(
     }
 }
 
+struct DegradedResult {
+    meters: usize,
+    rate: f64,
+    fingerprint: u64,
+    completed: u64,
+    faults: u64,
+    health_json: String,
+    ticks: u64,
+    secs: f64,
+    save_ms: f64,
+    restore_ms: f64,
+    tick_p50_ns: u64,
+    tick_p99_ns: u64,
+}
+
+/// Serves the degraded ladder entry: a fresh fleet at `rate` injected
+/// faults for `weeks`, then (outside the throughput clock) a checkpoint
+/// save and a restore onto a second fresh fleet, both timed.
+fn run_degraded(
+    engine: &EvalEngine,
+    serve: &ServeConfig,
+    meters: usize,
+    weeks: usize,
+    threads: usize,
+    rate: f64,
+    seed: u64,
+    deterministic: bool,
+) -> DegradedResult {
+    let feeds: Vec<Vec<f64>> = engine.artifacts().iter().map(test_ticks).collect();
+    let fleet = build_fleet(engine, serve, meters, threads);
+    let total = weeks * SLOTS_PER_WEEK;
+    let started = Instant::now();
+    let outcome = serve_span(&fleet, &feeds, rate, seed, 0..total, 0);
+    let secs = started.elapsed().as_secs_f64();
+
+    let (save_ms, restore_ms) = if deterministic {
+        (0.0, 0.0)
+    } else {
+        let path = std::env::temp_dir().join(format!(
+            "fdeta-bench-serving-{}-{meters}.snap",
+            std::process::id()
+        ));
+        let started = Instant::now();
+        fleet
+            .checkpoint(&path)
+            .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+        let save_ms = started.elapsed().as_secs_f64() * 1e3;
+        let restored = build_fleet(engine, serve, meters, threads);
+        let started = Instant::now();
+        restored
+            .restore(&path)
+            .unwrap_or_else(|e| panic!("restore failed: {e}"));
+        let restore_ms = started.elapsed().as_secs_f64() * 1e3;
+        let _ = fs::remove_file(&path);
+        (save_ms, restore_ms)
+    };
+
+    let (tick_p50_ns, tick_p99_ns) = if deterministic {
+        (0, 0)
+    } else {
+        let nanos = degraded_tick_latencies(engine, serve, 10, rate, seed);
+        (percentile(&nanos, 0.50), percentile(&nanos, 0.99))
+    };
+
+    DegradedResult {
+        meters,
+        rate,
+        fingerprint: outcome.fingerprint,
+        completed: outcome.completed,
+        faults: outcome.faults,
+        health_json: fleet.health().to_json(),
+        ticks: total as u64 * meters as u64,
+        secs,
+        save_ms,
+        restore_ms,
+        tick_p50_ns,
+        tick_p99_ns,
+    }
+}
+
 /// Times individual `ingest` calls on one dedicated scorer (several
 /// simulated weeks of ticks) and returns sorted per-tick nanoseconds.
 fn tick_latencies(engine: &EvalEngine, serve: &ServeConfig, weeks: usize) -> Vec<u64> {
@@ -243,9 +513,129 @@ fn tick_latencies(engine: &EvalEngine, serve: &ServeConfig, weeks: usize) -> Vec
     nanos
 }
 
+/// As [`tick_latencies`], with faults at `rate`: faulted ticks take the
+/// `ingest_gap` path, exactly as the fleet's degraded drain would.
+fn degraded_tick_latencies(
+    engine: &EvalEngine,
+    serve: &ServeConfig,
+    weeks: usize,
+    rate: f64,
+    seed: u64,
+) -> Vec<u64> {
+    let artifact = &engine.artifacts()[0];
+    let mut scorer =
+        StreamScorer::new(artifact, serve).unwrap_or_else(|e| panic!("scorer build failed: {e}"));
+    let feed = test_ticks(artifact);
+    let mut nanos = Vec::with_capacity(weeks * SLOTS_PER_WEEK);
+    for tick in 0..weeks * SLOTS_PER_WEEK {
+        let gap = rate > 0.0 && fault_coin(seed, tick, 0) < rate;
+        let reading = feed[tick % feed.len()];
+        let started = Instant::now();
+        let outcome = if gap {
+            scorer.ingest_gap()
+        } else {
+            scorer.ingest(reading)
+        };
+        nanos.push(started.elapsed().as_nanos() as u64);
+        outcome.unwrap_or_else(|e| panic!("tick rejected: {e}"));
+    }
+    nanos.sort_unstable();
+    nanos
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The crash-gate run: a single fleet at a single fault rate, optionally
+/// resumed from a snapshot, optionally halted at a tick (checkpoint +
+/// exit), otherwise served to the end and reported in the reduced
+/// `fdeta-bench-serving-crash/v1` schema (no timings, ever — the report
+/// must byte-match across crashed and uninterrupted runs).
+fn run_crash_mode(args: &BenchArgs, engine: &EvalEngine, serve: &ServeConfig) {
+    assert_eq!(
+        args.fleets.len(),
+        1,
+        "crash mode serves a single fleet (--fleet N)"
+    );
+    assert_eq!(
+        args.fault_rates.len(),
+        1,
+        "crash mode serves a single fault rate (--fault-rates R)"
+    );
+    let meters = args.fleets[0];
+    let rate = args.fault_rates[0];
+    let seed = args.run.seed ^ rate.to_bits();
+    let total = args.serve_weeks * SLOTS_PER_WEEK;
+    let feeds: Vec<Vec<f64>> = engine.artifacts().iter().map(test_ticks).collect();
+
+    let fleet = build_fleet(engine, serve, meters, args.run.threads);
+    let start = if let Some(path) = &args.resume_snapshot {
+        fleet
+            .restore(path)
+            .unwrap_or_else(|e| panic!("restore failed: {e}"));
+        let ticks = fleet.health().ticks;
+        assert_eq!(
+            ticks % meters as u64,
+            0,
+            "snapshot holds a torn round: {ticks} ticks across {meters} meters"
+        );
+        let start = usize::try_from(ticks / meters as u64).unwrap_or(usize::MAX);
+        eprintln!("restored {} meters at tick {start}", meters);
+        start
+    } else {
+        0
+    };
+
+    if let Some(halt) = args.halt_tick {
+        assert!(
+            start < halt && halt < total,
+            "--halt-tick {halt} outside the served span {start}..{total}"
+        );
+        serve_span(&fleet, &feeds, rate, seed, start..halt, halt);
+        let path = args.snapshot.as_ref().unwrap_or_else(|| unreachable!());
+        fleet
+            .checkpoint(path)
+            .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+        eprintln!(
+            "halted at tick {halt}, snapshot written to {} (no report)",
+            path.display()
+        );
+        return;
+    }
+
+    let fingerprint_from = args.fingerprint_from.unwrap_or(start);
+    assert!(
+        fingerprint_from >= start,
+        "--fingerprint-from {fingerprint_from} precedes the resume tick {start}: \
+         those rounds already ran before the snapshot"
+    );
+    let outcome = serve_span(&fleet, &feeds, rate, seed, start..total, fingerprint_from);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"fdeta-bench-serving-crash/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"consumers\": {}, \"weeks\": {}, \"train_weeks\": {}, \"bins\": {}, \"seed\": {}}},",
+        args.run.consumers, args.run.weeks, args.run.train_weeks, args.run.bins, args.run.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"run\": {{\"meters\": {}, \"serve_weeks\": {}, \"fault_rate\": {:.6}, \"fingerprint_from\": {}}},",
+        meters, args.serve_weeks, rate, fingerprint_from
+    );
+    let _ = writeln!(
+        json,
+        "  \"outcome\": {{\"fingerprint\": \"{:016x}\", \"faults\": {}, \"health\": {}}}",
+        outcome.fingerprint,
+        outcome.faults,
+        fleet.health().to_json()
+    );
+    json.push_str("}\n");
+    fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.out.display()));
+    eprintln!("wrote {}", args.out.display());
 }
 
 fn main() {
@@ -257,6 +647,14 @@ fn main() {
     eprintln!("training {} artifact prototypes...", data.len());
     let engine =
         EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("training failed: {e}"));
+
+    if args.crash_mode() {
+        // The main schema's equivalence gate covers stream/batch parity;
+        // the crash gate is about checkpoint fidelity, and skipping the
+        // parity sweep keeps its three binary invocations fast.
+        run_crash_mode(&args, &engine, &serve);
+        return;
+    }
 
     eprintln!("verifying stream/batch bit-identity...");
     let (stream_fp, batch_fp) = equivalence(&engine, &serve);
@@ -283,6 +681,32 @@ fn main() {
         results.push(result);
     }
 
+    // The degraded ladder runs against the largest fleet: same serve span,
+    // faults injected at each configured rate.
+    let degraded_meters = *args.fleets.iter().max().unwrap_or_else(|| unreachable!());
+    let mut degraded = Vec::new();
+    for &rate in &args.fault_rates {
+        eprintln!(
+            "degraded ladder: {degraded_meters} meters at {:.1}% faults...",
+            rate * 100.0
+        );
+        let result = run_degraded(
+            &engine,
+            &serve,
+            degraded_meters,
+            args.serve_weeks,
+            args.run.threads,
+            rate,
+            args.run.seed ^ rate.to_bits(),
+            args.deterministic,
+        );
+        eprintln!(
+            "  {} faults over {} ticks, {:.2}s; checkpoint save {:.1} ms / restore {:.1} ms",
+            result.faults, result.ticks, result.secs, result.save_ms, result.restore_ms
+        );
+        degraded.push(result);
+    }
+
     let latencies = if args.deterministic {
         Vec::new()
     } else {
@@ -293,7 +717,7 @@ fn main() {
     let mut json = String::new();
     // Hand-rolled so the schema (and key order) is fixed and independent of
     // any serializer; CI byte-diffs two --deterministic runs.
-    json.push_str("{\n  \"schema\": \"fdeta-bench-serving/v1\",\n");
+    json.push_str("{\n  \"schema\": \"fdeta-bench-serving/v2\",\n");
     let _ = writeln!(
         json,
         "  \"corpus\": {{\"consumers\": {}, \"weeks\": {}, \"train_weeks\": {}, \"bins\": {}, \"seed\": {}}},",
@@ -317,6 +741,16 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"degraded\": [\n");
+    for (i, d) in degraded.iter().enumerate() {
+        let comma = if i + 1 < degraded.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"meters\": {}, \"fault_rate\": {:.6}, \"fingerprint\": \"{:016x}\", \"completed\": {}, \"faults\": {}, \"health\": {}}}{comma}",
+            d.meters, d.rate, d.fingerprint, d.completed, d.faults, d.health_json
+        );
+    }
+    json.push_str("  ],\n");
     if args.deterministic {
         json.push_str("  \"timings\": \"omitted (--deterministic)\"\n}\n");
     } else {
@@ -336,6 +770,23 @@ fn main() {
                 r.meters,
                 r.secs,
                 r.ticks as f64 / r.secs
+            );
+        }
+        json.push_str("    ],\n");
+        json.push_str("    \"degraded\": [\n");
+        for (i, d) in degraded.iter().enumerate() {
+            let comma = if i + 1 < degraded.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"meters\": {}, \"fault_rate\": {:.6}, \"total_secs\": {:.6}, \"ticks_per_sec\": {:.1}, \"tick_ns\": {{\"p50\": {}, \"p99\": {}}}, \"checkpoint_save_ms\": {:.3}, \"checkpoint_restore_ms\": {:.3}}}{comma}",
+                d.meters,
+                d.rate,
+                d.secs,
+                d.ticks as f64 / d.secs,
+                d.tick_p50_ns,
+                d.tick_p99_ns,
+                d.save_ms,
+                d.restore_ms
             );
         }
         json.push_str("    ]\n  }\n}\n");

@@ -1,0 +1,331 @@
+//! Byte-level primitives shared by the on-disk artifact and snapshot
+//! formats.
+//!
+//! Every durable file this workspace writes — trained artifacts
+//! ([`crate::store::ArtifactStore`]) and serving-fleet checkpoints
+//! (`fdeta-serve`'s `FleetSnapshot`) — follows the same conventions: a
+//! little-endian hand-rolled layout behind an 8-byte magic, a format
+//! version, an FNV-1a content key, floats stored as raw bit patterns (so
+//! loads are **bit-identical** to the state that was saved), and a
+//! trailing FNV-1a integrity checksum over the payload. This module is
+//! the single implementation of those conventions; the formats differ
+//! only in what they put between header and checksum.
+//!
+//! Readers are defensive: every length prefix is bounds-checked against
+//! the remaining input *before* any allocation, and a truncated or
+//! corrupt buffer surfaces as a typed `Err(String)` for the caller to
+//! wrap, never a panic.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `hash` (pass [`FNV_OFFSET`]
+/// to start a fresh digest).
+pub fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Incremental FNV-1a over little-endian words — the content-key hasher
+/// behind [`crate::store::ArtifactStore::corpus_key`] and the snapshot
+/// fleet key.
+pub struct Fnv {
+    state: u64,
+}
+
+impl Fnv {
+    /// A fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one word (as 8 little-endian bytes).
+    pub fn u64(&mut self, value: u64) {
+        self.state = fnv1a(&value.to_le_bytes(), self.state);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Little-endian byte sink for the hand-rolled formats.
+#[derive(Default)]
+pub struct ByteWriter {
+    out: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Consumes the writer, yielding the full buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, value: u8) {
+        self.out.push(value);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, value: u32) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern (bit-identical round trip).
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Appends a length-prefixed `f64` vector (raw bit patterns).
+    pub fn vec_f64(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, values: &[u64]) {
+        self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` vector (as `u64` words).
+    pub fn vec_usize(&mut self, values: &[usize]) {
+        self.u64(values.len() as u64);
+        self.out.reserve(values.len() * 8);
+        for &v in values {
+            self.u64(v as u64);
+        }
+    }
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// A truncation message naming the offset when fewer than `n` remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated: needed {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`].
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`].
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.bytes(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`].
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.bytes(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Takes an `f64` stored as its raw bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`].
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` length that must also be a sane `usize`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`], plus overflow on 32-bit targets.
+    pub fn len(&mut self) -> Result<usize, String> {
+        let raw = self.u64()?;
+        usize::try_from(raw).map_err(|_| format!("length {raw} overflows usize"))
+    }
+
+    /// A length prefix for `width`-byte elements, bounds-checked against
+    /// the remaining input *before* any allocation, so a corrupt length
+    /// cannot trigger a huge reservation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::len`], plus a count exceeding the input.
+    pub fn checked_len(&mut self, width: usize) -> Result<usize, String> {
+        let len = self.len()?;
+        if len.checked_mul(width).is_none_or(|b| b > self.remaining()) {
+            return Err(format!(
+                "element count {len} exceeds the {} bytes left",
+                self.remaining()
+            ));
+        }
+        Ok(len)
+    }
+
+    /// Takes the next `len` 8-byte little-endian words as one bounds
+    /// check + one contiguous slice, instead of one ranged read per
+    /// element — the warm path decodes hundreds of thousands of words per
+    /// fleet, and the per-element cursor arithmetic dominated loading.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::bytes`].
+    pub fn words(&mut self, len: usize) -> Result<impl Iterator<Item = u64> + 'a, String> {
+        let raw = self.bytes(len * 8)?;
+        Ok(raw.chunks_exact(8).map(|chunk| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            u64::from_le_bytes(buf)
+        }))
+    }
+
+    /// Takes a length-prefixed `f64` vector (raw bit patterns).
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::checked_len`].
+    pub fn vec_f64(&mut self) -> Result<Vec<f64>, String> {
+        let len = self.checked_len(8)?;
+        Ok(self.words(len)?.map(f64::from_bits).collect())
+    }
+
+    /// Takes a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::checked_len`].
+    pub fn vec_u64(&mut self) -> Result<Vec<u64>, String> {
+        let len = self.checked_len(8)?;
+        Ok(self.words(len)?.collect())
+    }
+
+    /// Takes a length-prefixed `usize` vector (stored as `u64` words).
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteReader::checked_len`], plus per-element overflow.
+    pub fn vec_usize(&mut self) -> Result<Vec<usize>, String> {
+        let len = self.checked_len(8)?;
+        self.words(len)?
+            .map(|raw| usize::try_from(raw).map_err(|_| format!("slot {raw} overflows usize")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b"", FNV_OFFSET), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar", FNV_OFFSET), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn reader_round_trips_writer() {
+        let mut w = ByteWriter::default();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.vec_f64(&[1.5, f64::MIN_POSITIVE, -2.25]);
+        w.vec_u64(&[0, 1, u64::MAX]);
+        w.vec_usize(&[3, 0, 99]);
+        let mut r = ByteReader::new(w.as_slice());
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.vec_f64().unwrap(), vec![1.5, f64::MIN_POSITIVE, -2.25]);
+        assert_eq!(r.vec_u64().unwrap(), vec![0, 1, u64::MAX]);
+        assert_eq!(r.vec_usize().unwrap(), vec![3, 0, 99]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors_not_panics() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u64().is_err());
+        // An absurd length prefix must be rejected before allocation.
+        let mut w = ByteWriter::default();
+        w.u64(u64::MAX / 2);
+        let mut r = ByteReader::new(w.as_slice());
+        assert!(r.vec_f64().is_err());
+    }
+}

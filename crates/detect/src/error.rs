@@ -49,6 +49,15 @@ pub enum ConfigError {
         /// The rejected High-tier percentile.
         high: f64,
     },
+    /// The meter-health escalation ladder is inconsistent: every rung must
+    /// be at least 1 tick, suspects must escalate no later than quarantine
+    /// (`suspect_after <= quarantine_after`), and probation must complete
+    /// no later than full recovery (`probation_after <= heal_after`) —
+    /// otherwise a meter could skip a state or get stuck between two.
+    InvalidHealthLadder {
+        /// Why the ladder is unusable.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -69,6 +78,9 @@ impl fmt::Display for ConfigError {
                     "alert tier percentiles {low} / {medium} / {high} must be \
                      strictly increasing inside (0, 1)"
                 )
+            }
+            ConfigError::InvalidHealthLadder { what } => {
+                write!(f, "invalid meter-health ladder: {what}")
             }
         }
     }

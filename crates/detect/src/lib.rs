@@ -37,6 +37,7 @@
 
 pub mod arima_detector;
 pub mod budget;
+pub mod codec;
 pub mod detector;
 pub mod engine;
 pub mod error;
@@ -74,7 +75,7 @@ pub use robustness::{
 pub use roc::{best_operating_point, kld_roc_curve, RocPoint};
 pub use store::{ArtifactStore, CacheOutcome, CacheStatus, StoreError, STORE_VERSION};
 pub use stream::{
-    AlertEvent, AlertTier, ServeConfig, ServeConfigBuilder, StreamDetector, StreamScorer,
-    WeekSummary,
+    AlertEvent, AlertTier, HealthConfig, HealthState, MeterHealth, MeterHealthRepr, ServeConfig,
+    ServeConfigBuilder, SlidingState, StreamDetector, StreamScorer, WeekSummary,
 };
 pub use ttd::time_to_detection;

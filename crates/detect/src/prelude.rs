@@ -17,5 +17,6 @@ pub use crate::pca::PcaDetector;
 pub use crate::robustness::{RobustEngine, RobustEvaluation, RobustnessConfig};
 pub use crate::store::{ArtifactStore, CacheOutcome, CacheStatus, StoreError};
 pub use crate::stream::{
-    AlertEvent, AlertTier, ServeConfig, StreamDetector, StreamScorer, WeekSummary,
+    AlertEvent, AlertTier, HealthConfig, HealthState, MeterHealth, ServeConfig, SlidingState,
+    StreamDetector, StreamScorer, WeekSummary,
 };

@@ -45,6 +45,7 @@ use fdeta_arima::{ArimaModel, ArimaSpec};
 use fdeta_cer_synth::SyntheticDataset;
 use fdeta_tsdata::hist::BinEdges;
 
+use crate::codec::{fnv1a, ByteReader, ByteWriter, Fnv, FNV_OFFSET};
 use crate::engine::{EvalEngine, ProgressFn, TrainedConsumer};
 use crate::error::EvalError;
 use crate::eval::EvalConfig;
@@ -62,9 +63,6 @@ pub const STORE_VERSION: u32 = 1;
 
 /// File magic: identifies an F-DETA artifact file regardless of extension.
 const MAGIC: &[u8; 8] = b"FDETAART";
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// A failure of the store itself — never fatal to an evaluation, because
 /// [`ArtifactStore::engine`] falls back to retraining.
@@ -231,11 +229,11 @@ impl ArtifactStore {
         for artifact in artifacts {
             write_consumer(&mut w, artifact);
         }
-        let checksum = fnv1a(&w.out, FNV_OFFSET);
+        let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
         w.u64(checksum);
 
         let tmp = path.with_extension("bin.tmp");
-        fs::write(&tmp, &w.out).map_err(io_err)?;
+        fs::write(&tmp, w.as_slice()).map_err(io_err)?;
         fs::rename(&tmp, &path).map_err(io_err)?;
         Ok(path)
     }
@@ -570,227 +568,4 @@ fn read_consumer(
 
     TrainedConsumer::reassemble(record, index, config, model, kld, conditioned, pca)
         .map_err(|e| format!("consumer {index}: reassembly: {e}"))
-}
-
-// --- byte-level primitives -------------------------------------------------
-
-fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-/// Incremental FNV-1a over little-endian words (the corpus-key hasher).
-struct Fnv {
-    state: u64,
-}
-
-impl Fnv {
-    fn new() -> Self {
-        Self { state: FNV_OFFSET }
-    }
-
-    fn u64(&mut self, value: u64) {
-        self.state = fnv1a(&value.to_le_bytes(), self.state);
-    }
-
-    fn finish(&self) -> u64 {
-        self.state
-    }
-}
-
-#[derive(Default)]
-struct ByteWriter {
-    out: Vec<u8>,
-}
-
-impl ByteWriter {
-    fn bytes(&mut self, bytes: &[u8]) {
-        self.out.extend_from_slice(bytes);
-    }
-
-    fn u8(&mut self, value: u8) {
-        self.out.push(value);
-    }
-
-    fn u32(&mut self, value: u32) {
-        self.bytes(&value.to_le_bytes());
-    }
-
-    fn u64(&mut self, value: u64) {
-        self.bytes(&value.to_le_bytes());
-    }
-
-    fn f64(&mut self, value: f64) {
-        self.u64(value.to_bits());
-    }
-
-    fn vec_f64(&mut self, values: &[f64]) {
-        self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.f64(v);
-        }
-    }
-
-    fn vec_u64(&mut self, values: &[u64]) {
-        self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.u64(v);
-        }
-    }
-
-    fn vec_usize(&mut self, values: &[usize]) {
-        self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.u64(v as u64);
-        }
-    }
-}
-
-struct ByteReader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.remaining() < n {
-            return Err(format!(
-                "truncated: needed {n} bytes at offset {}, {} left",
-                self.pos,
-                self.remaining()
-            ));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.bytes(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        let mut buf = [0u8; 4];
-        buf.copy_from_slice(self.bytes(4)?);
-        Ok(u32::from_le_bytes(buf))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        let mut buf = [0u8; 8];
-        buf.copy_from_slice(self.bytes(8)?);
-        Ok(u64::from_le_bytes(buf))
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// A `u64` length that must also be a sane `usize`.
-    fn len(&mut self) -> Result<usize, String> {
-        let raw = self.u64()?;
-        usize::try_from(raw).map_err(|_| format!("length {raw} overflows usize"))
-    }
-
-    /// A length prefix for `width`-byte elements, bounds-checked against
-    /// the remaining input *before* any allocation, so a corrupt length
-    /// cannot trigger a huge reservation.
-    fn checked_len(&mut self, width: usize) -> Result<usize, String> {
-        let len = self.len()?;
-        if len.checked_mul(width).is_none_or(|b| b > self.remaining()) {
-            return Err(format!(
-                "element count {len} exceeds the {} bytes left",
-                self.remaining()
-            ));
-        }
-        Ok(len)
-    }
-
-    /// Takes the next `len` 8-byte little-endian words as one bounds
-    /// check + one contiguous slice, instead of one ranged read per
-    /// element — the warm path decodes hundreds of thousands of words per
-    /// fleet, and the per-element cursor arithmetic dominated loading.
-    fn words(&mut self, len: usize) -> Result<impl Iterator<Item = u64> + 'a, String> {
-        let raw = self.bytes(len * 8)?;
-        Ok(raw.chunks_exact(8).map(|chunk| {
-            let mut buf = [0u8; 8];
-            buf.copy_from_slice(chunk);
-            u64::from_le_bytes(buf)
-        }))
-    }
-
-    fn vec_f64(&mut self) -> Result<Vec<f64>, String> {
-        let len = self.checked_len(8)?;
-        Ok(self.words(len)?.map(f64::from_bits).collect())
-    }
-
-    fn vec_u64(&mut self) -> Result<Vec<u64>, String> {
-        let len = self.checked_len(8)?;
-        Ok(self.words(len)?.collect())
-    }
-
-    fn vec_usize(&mut self) -> Result<Vec<usize>, String> {
-        let len = self.checked_len(8)?;
-        self.words(len)?
-            .map(|raw| usize::try_from(raw).map_err(|_| format!("slot {raw} overflows usize")))
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // Classic FNV-1a test vectors.
-        assert_eq!(fnv1a(b"", FNV_OFFSET), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar", FNV_OFFSET), 0x8594_4171_f739_67e8);
-    }
-
-    #[test]
-    fn reader_round_trips_writer() {
-        let mut w = ByteWriter::default();
-        w.u8(7);
-        w.u32(0xDEAD_BEEF);
-        w.u64(u64::MAX - 3);
-        w.f64(-0.0);
-        w.vec_f64(&[1.5, f64::MIN_POSITIVE, -2.25]);
-        w.vec_u64(&[0, 1, u64::MAX]);
-        w.vec_usize(&[3, 0, 99]);
-        let mut r = ByteReader::new(&w.out);
-        assert_eq!(r.u8().unwrap(), 7);
-        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
-        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
-        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
-        assert_eq!(r.vec_f64().unwrap(), vec![1.5, f64::MIN_POSITIVE, -2.25]);
-        assert_eq!(r.vec_u64().unwrap(), vec![0, 1, u64::MAX]);
-        assert_eq!(r.vec_usize().unwrap(), vec![3, 0, 99]);
-        assert_eq!(r.remaining(), 0);
-    }
-
-    #[test]
-    fn truncated_reads_are_typed_errors_not_panics() {
-        let mut r = ByteReader::new(&[1, 2, 3]);
-        assert!(r.u64().is_err());
-        // An absurd length prefix must be rejected before allocation.
-        let mut w = ByteWriter::default();
-        w.u64(u64::MAX / 2);
-        let mut r = ByteReader::new(&w.out);
-        assert!(r.vec_f64().is_err());
-    }
 }

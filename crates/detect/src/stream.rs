@@ -24,13 +24,38 @@
 //! PCA and the Integrated ARIMA detector need whole-week statistics with
 //! no incremental decomposition; they remain batch-only and are not
 //! streamed here.
+//!
+//! # Degraded mode
+//!
+//! Live meters go missing: comms drop, readings arrive malformed, meters
+//! stick. The scorer mirrors the batch robustness layer's mask machinery
+//! ([`fdeta_tsdata::ObservedSeries`]) in streaming form — a per-slot
+//! observation bitmask over the sliding window. [`StreamScorer::ingest_gap`]
+//! records a masked (unobserved) slot in O(1): the expiring value leaves
+//! the histograms and nothing replaces it, so a completed window scores
+//! over *observed mass only* — exactly the masked-KLD renormalisation of
+//! [`KldDetector::score_masked`], bit-identical on the same mask because
+//! both paths feed the same observed multiset (hence the same exact `u64`
+//! counts and total) to the same [`kl_divergence_smoothed_counts`] call. A
+//! fully masked window yields no [`WeekSummary`]; a fully masked *band*
+//! is skipped, matching the batch path's
+//! [`crate::kld::KldError::EmptyBand`] rejection. The streamed ARIMA
+//! check needs contiguous readings, so a window containing any gap
+//! reports [`WeekSummary::arima_violations`] as `None` and resumes at the
+//! next window boundary.
+//!
+//! [`MeterHealth`] is the per-meter escalation ladder a serving fleet
+//! drives from tick outcomes (Healthy → Suspect → Quarantined →
+//! Probation → Healthy), with a streaming stuck-meter detector reusing
+//! `tsdata`'s [`STUCK_RUN_MIN_SLOTS`] contract. [`SlidingState`] captures
+//! and restores a scorer's resident window for crash-safe checkpoints.
 
 use serde::{Deserialize, Serialize};
 
 use fdeta_arima::Forecaster;
 use fdeta_tsdata::hist::HistScratch;
 use fdeta_tsdata::kl::kl_divergence_smoothed_counts;
-use fdeta_tsdata::{TsError, SLOTS_PER_WEEK};
+use fdeta_tsdata::{TsError, SLOTS_PER_WEEK, STUCK_RUN_MIN_SLOTS};
 
 use crate::arima_detector::ArimaDetector;
 use crate::engine::TrainedConsumer;
@@ -87,14 +112,20 @@ pub struct AlertEvent {
 pub struct WeekSummary {
     /// Completed-window index since the stream started.
     pub window: u64,
-    /// The unconditioned KLD divergence of the window, in bits.
+    /// The unconditioned KLD divergence of the window, in bits —
+    /// renormalised over observed mass when the window has gap ticks.
     pub kld_score: f64,
     /// Worst per-band excess over threshold of the conditioned detector
-    /// (positive means some band fired).
+    /// (positive means some band fired). Fully masked bands are skipped;
+    /// `-inf` when every band was skipped.
     pub worst_band_excess: f64,
-    /// Interval-detector violations in the window, when the consumer has a
-    /// fitted ARIMA model.
+    /// Interval-detector violations in the window: `None` when the
+    /// consumer has no fitted ARIMA model *or* the window contained a gap
+    /// tick (the streamed forecast needs contiguous readings).
     pub arima_violations: Option<u32>,
+    /// Observed (unmasked) ticks the window scored over; 336 for a clean
+    /// window.
+    pub observed_ticks: u32,
 }
 
 /// Streaming service configuration: the alert-tier grading percentiles.
@@ -216,18 +247,41 @@ pub struct StreamScorer {
     kld_tiers: [f64; 3],
     /// Tier thresholds per conditioned band.
     band_tiers: Vec<[f64; 3]>,
-    /// The window's values, indexed by slot-of-week.
+    /// The window's values, indexed by slot-of-week (0.0 in masked slots).
     ring: Vec<f64>,
-    /// Ticks ingested since the stream started.
+    /// Per-slot observation bitmask over the ring (bit set = observed) —
+    /// the streaming mirror of [`fdeta_tsdata::ObservedSeries`]'s mask.
+    ring_mask: Vec<u64>,
+    /// Ticks ingested since the stream started (gap ticks included: a gap
+    /// advances the window position without contributing observed mass).
     ticks: u64,
-    /// Incremental whole-week histogram counts.
+    /// Whether the *current* (incomplete) window has seen a gap tick —
+    /// suspends the streamed ARIMA check until the next window boundary.
+    window_gapped: bool,
+    /// Incremental whole-week histogram counts over observed slots.
     kld_counts: HistScratch,
-    /// Incremental per-band histogram counts.
+    /// Incremental per-band histogram counts over observed slots.
     band_counts: Vec<HistScratch>,
     /// Interval violations in the current window.
     violations: u32,
     /// Alerts from the most recently completed window (buffer reused).
     alerts: Vec<AlertEvent>,
+}
+
+/// Words in the 336-slot observation bitmask.
+const MASK_WORDS: usize = SLOTS_PER_WEEK.div_ceil(64);
+
+fn mask_get(mask: &[u64], slot: usize) -> bool {
+    mask[slot / 64] & (1u64 << (slot % 64)) != 0
+}
+
+fn mask_set(mask: &mut [u64], slot: usize, observed: bool) {
+    let bit = 1u64 << (slot % 64);
+    if observed {
+        mask[slot / 64] |= bit;
+    } else {
+        mask[slot / 64] &= !bit;
+    }
 }
 
 impl StreamScorer {
@@ -276,7 +330,9 @@ impl StreamScorer {
             kld_tiers,
             band_tiers,
             ring: vec![0.0; SLOTS_PER_WEEK],
+            ring_mask: vec![0u64; MASK_WORDS],
             ticks: 0,
+            window_gapped: false,
             kld_counts,
             band_counts,
             violations: 0,
@@ -302,9 +358,10 @@ impl StreamScorer {
             });
         }
         let slot = (self.ticks % SLOTS_PER_WEEK as u64) as usize;
-        if self.ticks >= SLOTS_PER_WEEK as u64 {
-            // Steady state: O(1) slide — the expiring value sits in the
-            // same slot (hence the same band) as the incoming one.
+        if self.ticks >= SLOTS_PER_WEEK as u64 && mask_get(&self.ring_mask, slot) {
+            // Steady state over an observed expiring slot: O(1) slide —
+            // the expiring value sits in the same slot (hence the same
+            // band) as the incoming one.
             let expiring = self.ring[slot];
             self.kld
                 .edges()
@@ -314,7 +371,8 @@ impl StreamScorer {
                 edges.count_slide(&mut self.band_counts[band], expiring, reading);
             }
         } else {
-            // Warmup: the window is still filling.
+            // Warmup (the window is still filling) or a masked expiring
+            // slot (nothing to pop): the incoming value only pushes.
             self.kld.edges().count_push(&mut self.kld_counts, reading);
             if let Some(band) = self.cond.band_of(slot) {
                 let edges = self.cond.band_view(band).edges;
@@ -322,6 +380,7 @@ impl StreamScorer {
             }
         }
         self.ring[slot] = reading;
+        mask_set(&mut self.ring_mask, slot, true);
         if let Some(live) = self.live.as_mut() {
             // Bit-identical to the batch ArimaDetector::violations loop:
             // forecast, check the clamped interval, then observe.
@@ -332,20 +391,76 @@ impl StreamScorer {
         }
         self.ticks += 1;
         if self.ticks % SLOTS_PER_WEEK as u64 == 0 {
-            self.close_window().map(Some)
+            self.close_window()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Ingests one *gap* tick: the reading for this slot is missing,
+    /// invalid, or deliberately unscored (a quarantined meter). The window
+    /// position advances but the slot is recorded as masked — the expiring
+    /// value leaves the histograms and nothing replaces it, so subsequent
+    /// window scores renormalise over observed mass exactly like
+    /// [`KldDetector::score_masked`]. The streamed ARIMA check is
+    /// suspended for the remainder of the window (its forecast recursion
+    /// cannot skip a slot) and re-seeds at the boundary.
+    ///
+    /// O(1) per tick, and strictly cheaper than [`StreamScorer::ingest`]:
+    /// no bin search for an incoming value, no forecast step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates divergence errors from a corrupted artifact when the
+    /// tick completes a window.
+    pub fn ingest_gap(&mut self) -> Result<Option<WeekSummary>, TsError> {
+        let slot = (self.ticks % SLOTS_PER_WEEK as u64) as usize;
+        if self.ticks >= SLOTS_PER_WEEK as u64 && mask_get(&self.ring_mask, slot) {
+            let expiring = self.ring[slot];
+            self.kld.edges().count_pop(&mut self.kld_counts, expiring);
+            if let Some(band) = self.cond.band_of(slot) {
+                let edges = self.cond.band_view(band).edges;
+                edges.count_pop(&mut self.band_counts[band], expiring);
+            }
+        }
+        self.ring[slot] = 0.0;
+        mask_set(&mut self.ring_mask, slot, false);
+        self.window_gapped = true;
+        self.violations = 0;
+        self.live = None;
+        self.ticks += 1;
+        if self.ticks % SLOTS_PER_WEEK as u64 == 0 {
+            self.close_window()
         } else {
             Ok(None)
         }
     }
 
     /// Scores the completed window, refills the alert buffer, and resets
-    /// the per-window ARIMA state.
-    fn close_window(&mut self) -> Result<WeekSummary, TsError> {
+    /// the per-window ARIMA/gap state. Returns `None` (no summary, no
+    /// alerts) for a fully masked window — there is no observed mass to
+    /// score, the streaming analogue of the batch masked path rejecting an
+    /// empty week.
+    fn close_window(&mut self) -> Result<Option<WeekSummary>, TsError> {
         let window = self.ticks / SLOTS_PER_WEEK as u64 - 1;
         self.alerts.clear();
+        let gapped = self.window_gapped;
+        self.window_gapped = false;
+        let window_violations = self.violations;
+        self.violations = 0;
+        if let Some(det) = self.arima.as_ref() {
+            // Re-seed the forecaster for the next window (matching the
+            // per-week clone in the batch violations loop) — including
+            // after a gapped window suspended it.
+            self.live = Some(det.seeded_forecaster().clone());
+        }
+        let observed = self.kld_counts.total();
+        if observed == 0 {
+            return Ok(None);
+        }
         let kld_score = kl_divergence_smoothed_counts(
             self.kld_counts.counts(),
-            self.kld_counts.total(),
+            observed,
             self.kld.baseline().counts(),
             self.kld.baseline().total(),
         )?;
@@ -360,6 +475,11 @@ impl StreamScorer {
         }
         let mut worst_band_excess = f64::NEG_INFINITY;
         for band in 0..self.cond.band_count() {
+            if self.band_counts[band].total() == 0 {
+                // Every slot of this band was masked: the batch path
+                // rejects it as KldError::EmptyBand; the stream skips it.
+                continue;
+            }
             let view = self.cond.band_view(band);
             let score = kl_divergence_smoothed_counts(
                 self.band_counts[band].counts(),
@@ -379,30 +499,32 @@ impl StreamScorer {
                 });
             }
         }
-        let arima_violations = self.arima.as_ref().map(|det| {
-            let violations = self.violations;
-            let v = violations as f64;
-            if v > det.threshold() {
-                self.alerts.push(AlertEvent {
-                    consumer: self.consumer,
-                    tier: arima_tier(v, det),
-                    detector: StreamDetector::Arima,
-                    score: v,
-                    window,
-                });
-            }
-            violations
-        });
-        self.violations = 0;
-        if let Some(det) = self.arima.as_ref() {
-            self.live = Some(det.seeded_forecaster().clone());
-        }
-        Ok(WeekSummary {
+        // A gapped window never grades ARIMA: the forecast recursion was
+        // suspended at the first gap, so its violation count is partial.
+        let arima_violations = if gapped {
+            None
+        } else {
+            self.arima.as_ref().map(|det| {
+                let v = f64::from(window_violations);
+                if v > det.threshold() {
+                    self.alerts.push(AlertEvent {
+                        consumer: self.consumer,
+                        tier: arima_tier(v, det),
+                        detector: StreamDetector::Arima,
+                        score: v,
+                        window,
+                    });
+                }
+                window_violations
+            })
+        };
+        Ok(Some(WeekSummary {
             window,
             kld_score,
             worst_band_excess,
             arima_violations,
-        })
+            observed_ticks: u32::try_from(observed).unwrap_or(u32::MAX),
+        }))
     }
 
     /// Threshold crossings of the most recently completed window (empty
@@ -467,6 +589,119 @@ impl StreamScorer {
         self.ticks >= SLOTS_PER_WEEK as u64
     }
 
+    /// Observed (unmasked) ticks currently contributing to the sliding
+    /// window; equals the window length only when no slot is masked.
+    pub fn observed_in_window(&self) -> u64 {
+        self.kld_counts.total()
+    }
+
+    /// Whether the current (incomplete) window has seen a gap tick.
+    pub fn window_gapped(&self) -> bool {
+        self.window_gapped
+    }
+
+    /// Captures the scorer's resident sliding state for a checkpoint. The
+    /// trained cores are *not* captured — they are reloaded from the
+    /// artifact store — and neither are the incremental histogram counts
+    /// or the live forecaster, both of which are pure functions of
+    /// `(ring, mask, ticks)` and are rebuilt by
+    /// [`StreamScorer::restore_sliding`]. Keeping derived state out of the
+    /// snapshot makes it impossible for a checkpoint to carry counts that
+    /// disagree with its own window.
+    pub fn sliding_state(&self) -> SlidingState {
+        SlidingState {
+            ring: self.ring.clone(),
+            ring_mask: self.ring_mask.clone(),
+            ticks: self.ticks,
+            window_gapped: self.window_gapped,
+        }
+    }
+
+    /// Restores a state captured by [`StreamScorer::sliding_state`] onto a
+    /// freshly built scorer for the same artifact: rebuilds the histogram
+    /// counts by re-counting the observed slots (order-independent `u64`
+    /// additions — bit-identical to having streamed them) and replays the
+    /// current window's readings through a re-seeded forecaster (the live
+    /// forecaster is reset at every window boundary, so its state depends
+    /// only on the current window — the replay reproduces it exactly).
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::NotWeekAligned`] for a ring/mask of the wrong length,
+    /// [`TsError::InvalidValue`] for a non-finite or negative observed
+    /// value.
+    pub fn restore_sliding(&mut self, state: &SlidingState) -> Result<(), TsError> {
+        if state.ring.len() != SLOTS_PER_WEEK || state.ring_mask.len() != MASK_WORDS {
+            return Err(TsError::NotWeekAligned {
+                len: state.ring.len(),
+            });
+        }
+        let filled = usize::try_from(state.ticks.min(SLOTS_PER_WEEK as u64)).unwrap_or(0);
+        for slot in 0..SLOTS_PER_WEEK {
+            let observed = slot < filled && mask_get(&state.ring_mask, slot);
+            if observed {
+                let value = state.ring[slot];
+                if !value.is_finite() || value < 0.0 {
+                    return Err(TsError::InvalidValue {
+                        what: "restored tick reading",
+                        value,
+                    });
+                }
+                self.ring[slot] = value;
+            } else {
+                // Normalise: unobserved slots carry no information.
+                self.ring[slot] = 0.0;
+            }
+            mask_set(&mut self.ring_mask, slot, observed);
+        }
+        self.ticks = state.ticks;
+        let pos = (state.ticks % SLOTS_PER_WEEK as u64) as usize;
+        // The gapped flag is fully determined by the mask: a gap in the
+        // current window is exactly a masked slot at a position already
+        // ticked this window. Deriving it (instead of trusting the stored
+        // flag) keeps a corrupt snapshot from desynchronising the replay;
+        // for any state the scorer itself produced the two agree.
+        self.window_gapped = (0..pos.min(filled)).any(|slot| !mask_get(&self.ring_mask, slot));
+        // Rebuild the incremental counts from the observed window.
+        self.kld.edges().reset_counts(&mut self.kld_counts);
+        for band in 0..self.cond.band_count() {
+            self.cond
+                .band_view(band)
+                .edges
+                .reset_counts(&mut self.band_counts[band]);
+        }
+        for slot in 0..filled {
+            if !mask_get(&self.ring_mask, slot) {
+                continue;
+            }
+            let value = self.ring[slot];
+            self.kld.edges().count_push(&mut self.kld_counts, value);
+            if let Some(band) = self.cond.band_of(slot) {
+                let edges = self.cond.band_view(band).edges;
+                edges.count_push(&mut self.band_counts[band], value);
+            }
+        }
+        // Rebuild the per-window ARIMA state. A gapped window has its
+        // forecast suspended; otherwise every tick of the current partial
+        // window (positions 0..pos) was observed, so the replay walks them
+        // in ingest order.
+        self.violations = 0;
+        self.alerts.clear();
+        if self.window_gapped {
+            self.live = None;
+        } else if let Some(det) = self.arima.as_ref() {
+            let mut live = det.seeded_forecaster().clone();
+            for &reading in &self.ring[..pos] {
+                let f = live.step(reading, self.confidence);
+                if !(f.lower.max(0.0)..=f.upper.max(0.0)).contains(&reading) {
+                    self.violations += 1;
+                }
+            }
+            self.live = Some(live);
+        }
+        Ok(())
+    }
+
     /// Whether this consumer streams the ARIMA interval check (false when
     /// the artifact has no fitted model).
     pub fn has_arima(&self) -> bool {
@@ -481,6 +716,7 @@ impl StreamScorer {
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.ring.capacity() * std::mem::size_of::<f64>()
+            + self.ring_mask.capacity() * std::mem::size_of::<u64>()
             + self.kld_counts.heap_bytes()
             + self
                 .band_counts
@@ -494,6 +730,302 @@ impl StreamScorer {
                 .arima
                 .as_ref()
                 .map_or(0, |a| a.seeded_forecaster().heap_bytes())
+    }
+}
+
+/// A scorer's resident sliding state, captured for a crash-safe
+/// checkpoint by [`StreamScorer::sliding_state`] and reapplied by
+/// [`StreamScorer::restore_sliding`].
+///
+/// Only the irreducible state is here: the windowed values, their
+/// observation mask, and the stream position. Histogram counts and the
+/// live forecaster are derived from these on restore, so a snapshot can
+/// never carry counts that contradict its own window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingState {
+    /// The window's values, indexed by slot-of-week (0.0 in masked slots).
+    pub ring: Vec<f64>,
+    /// Per-slot observation bitmask (bit set = observed).
+    pub ring_mask: Vec<u64>,
+    /// Ticks ingested since the stream started.
+    pub ticks: u64,
+    /// Whether the current window had seen a gap at capture time. Recorded
+    /// for self-description; the restore derives the flag from the mask,
+    /// which agrees for any state the scorer itself produced.
+    pub window_gapped: bool,
+}
+
+/// A meter's position on the serving health ladder.
+///
+/// ```text
+///            bad*suspect_after            bad*quarantine_after | stuck
+///  Healthy ───────────────────▶ Suspect ───────────────────────▶ Quarantined
+///     ▲                            │ good                            │
+///     │                            ▼                                 │ good*probation_after
+///     │◀───────────────────── Healthy ◀── good*heal_after ── Probation
+///                                                  (any bad: back to Quarantined)
+/// ```
+///
+/// Quarantined is the only non-scoring state: the fleet advances a
+/// quarantined meter's window position with gap ticks (keeping probation
+/// re-entry seamless) but spends no histogram or forecast work on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Scoring normally.
+    Healthy,
+    /// A short run of bad ticks; still scoring (the bad ticks themselves
+    /// are masked gaps), one good tick heals.
+    Suspect,
+    /// Not scoring: telemetry is unusable (a long bad run) or untrustworthy
+    /// (a stuck meter repeating one value).
+    Quarantined,
+    /// Scoring again after a quarantine, but one bad tick re-quarantines;
+    /// a full clean week completes recovery.
+    Probation,
+}
+
+/// Escalation/recovery thresholds for [`MeterHealth`], in ticks.
+///
+/// Validated by [`HealthConfig::validate`]: every rung at least 1,
+/// `suspect_after <= quarantine_after` (a meter passes through Suspect on
+/// its way down) and `probation_after <= heal_after` (it passes through
+/// Probation on its way back up), `stuck_after >= 2` (a single reading
+/// cannot be "stuck").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Consecutive bad ticks before Healthy demotes to Suspect.
+    pub suspect_after: u32,
+    /// Consecutive bad ticks before quarantine (default one day).
+    pub quarantine_after: u32,
+    /// Consecutive good ticks before a quarantined meter re-enters scoring
+    /// on probation (default one day).
+    pub probation_after: u32,
+    /// Consecutive good ticks before a probationary meter is fully healthy
+    /// (default one week).
+    pub heal_after: u32,
+    /// Consecutive bit-identical positive readings before the meter is
+    /// considered stuck and quarantined — the streaming analogue of
+    /// `tsdata`'s batch stuck-run detector, sharing its
+    /// [`STUCK_RUN_MIN_SLOTS`] default.
+    pub stuck_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            suspect_after: 3,
+            quarantine_after: 48,
+            probation_after: 48,
+            // lint:allow(lossy-cast-in-datapath, compile-time constant 336 fits u32)
+            heal_after: SLOTS_PER_WEEK as u32,
+            // lint:allow(lossy-cast-in-datapath, compile-time constant fits u32)
+            stuck_after: STUCK_RUN_MIN_SLOTS as u32,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Rejects an inconsistent ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidHealthLadder`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let what = if self.suspect_after == 0 || self.probation_after == 0 {
+            Some("every rung must be at least 1 tick")
+        } else if self.suspect_after > self.quarantine_after {
+            Some("suspect_after must not exceed quarantine_after")
+        } else if self.probation_after > self.heal_after {
+            Some("probation_after must not exceed heal_after")
+        } else if self.stuck_after < 2 {
+            Some("stuck_after must be at least 2")
+        } else {
+            None
+        };
+        match what {
+            Some(what) => Err(ConfigError::InvalidHealthLadder { what }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Streaming per-meter health state machine (see [`HealthState`] for the
+/// ladder). Driven by the fleet with one [`MeterHealth::observe_valid`] or
+/// [`MeterHealth::observe_bad`] call per tick; the returned post-transition
+/// state decides whether the tick is scored (`!= Quarantined`) or recorded
+/// as a gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeterHealth {
+    state: HealthState,
+    /// Consecutive bad ticks.
+    bad_run: u32,
+    /// Consecutive good (valid, non-stuck) ticks.
+    good_run: u32,
+    /// Bit pattern of the last valid reading, for stuck detection.
+    stuck_bits: u64,
+    /// Consecutive valid readings bit-identical to `stuck_bits` (positive
+    /// values only — flat zero consumption is legitimate).
+    stuck_run: u32,
+    /// Ticks not scored: bad, missing, or quarantined.
+    gap_ticks: u64,
+    /// Total ticks observed by this machine.
+    ticks: u64,
+}
+
+impl Default for MeterHealth {
+    fn default() -> Self {
+        Self {
+            state: HealthState::Healthy,
+            bad_run: 0,
+            good_run: 0,
+            stuck_bits: 0,
+            stuck_run: 0,
+            gap_ticks: 0,
+            ticks: 0,
+        }
+    }
+}
+
+impl MeterHealth {
+    /// A fresh machine in [`HealthState::Healthy`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a *valid* reading (finite, non-negative) and returns the
+    /// post-transition state. The caller scores the tick unless the
+    /// returned state is [`HealthState::Quarantined`].
+    pub fn observe_valid(&mut self, config: &HealthConfig, value: f64) -> HealthState {
+        self.ticks += 1;
+        self.bad_run = 0;
+        if value > 0.0 && value.to_bits() == self.stuck_bits {
+            self.stuck_run = self.stuck_run.saturating_add(1);
+        } else {
+            self.stuck_bits = value.to_bits();
+            self.stuck_run = 1;
+        }
+        if self.stuck_run >= config.stuck_after {
+            // A stuck meter repeats one plausible value: the readings are
+            // individually valid but carry no information, and a histogram
+            // of them is pure distortion. Quarantine, and hold the
+            // recovery clock at zero until the value moves.
+            self.state = HealthState::Quarantined;
+            self.good_run = 0;
+        } else {
+            self.good_run = self.good_run.saturating_add(1);
+            match self.state {
+                HealthState::Healthy => {}
+                HealthState::Suspect => self.state = HealthState::Healthy,
+                HealthState::Quarantined => {
+                    if self.good_run >= config.probation_after {
+                        self.state = HealthState::Probation;
+                    }
+                }
+                HealthState::Probation => {
+                    if self.good_run >= config.heal_after {
+                        self.state = HealthState::Healthy;
+                    }
+                }
+            }
+        }
+        if self.state == HealthState::Quarantined {
+            self.gap_ticks += 1;
+        }
+        self.state
+    }
+
+    /// Observes a bad tick (invalid or missing reading) and returns the
+    /// post-transition state. Bad ticks are never scored regardless of
+    /// state — the caller records a gap.
+    pub fn observe_bad(&mut self, config: &HealthConfig) -> HealthState {
+        self.ticks += 1;
+        self.gap_ticks += 1;
+        self.good_run = 0;
+        self.stuck_run = 0;
+        self.bad_run = self.bad_run.saturating_add(1);
+        match self.state {
+            // Probation is one-strike: a meter that just recovered and
+            // immediately fails goes straight back.
+            HealthState::Probation => self.state = HealthState::Quarantined,
+            HealthState::Quarantined => {}
+            HealthState::Healthy | HealthState::Suspect => {
+                if self.bad_run >= config.quarantine_after {
+                    self.state = HealthState::Quarantined;
+                } else if self.bad_run >= config.suspect_after {
+                    self.state = HealthState::Suspect;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// The current ladder position.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether ticks are currently scored (everything but Quarantined).
+    pub fn is_scoring(&self) -> bool {
+        self.state != HealthState::Quarantined
+    }
+
+    /// Ticks not scored so far (bad, missing, or quarantined).
+    pub fn gap_ticks(&self) -> u64 {
+        self.gap_ticks
+    }
+
+    /// Total ticks observed by this machine.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+/// The raw fields of a [`MeterHealth`], for checkpoint codecs — the same
+/// pattern as `KldDetectorRepr`: the machine's fields stay private, the
+/// repr is the stable exchange surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeterHealthRepr {
+    /// Ladder position.
+    pub state: HealthState,
+    /// Consecutive bad ticks.
+    pub bad_run: u32,
+    /// Consecutive good ticks.
+    pub good_run: u32,
+    /// Bit pattern of the last valid reading.
+    pub stuck_bits: u64,
+    /// Consecutive readings matching `stuck_bits`.
+    pub stuck_run: u32,
+    /// Ticks not scored.
+    pub gap_ticks: u64,
+    /// Total ticks observed.
+    pub ticks: u64,
+}
+
+impl From<&MeterHealth> for MeterHealthRepr {
+    fn from(h: &MeterHealth) -> Self {
+        Self {
+            state: h.state,
+            bad_run: h.bad_run,
+            good_run: h.good_run,
+            stuck_bits: h.stuck_bits,
+            stuck_run: h.stuck_run,
+            gap_ticks: h.gap_ticks,
+            ticks: h.ticks,
+        }
+    }
+}
+
+impl From<MeterHealthRepr> for MeterHealth {
+    fn from(r: MeterHealthRepr) -> Self {
+        Self {
+            state: r.state,
+            bad_run: r.bad_run,
+            good_run: r.good_run,
+            stuck_bits: r.stuck_bits,
+            stuck_run: r.stuck_run,
+            gap_ticks: r.gap_ticks,
+            ticks: r.ticks,
+        }
     }
 }
 

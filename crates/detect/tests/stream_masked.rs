@@ -1,0 +1,190 @@
+//! Streamed degraded-mode scoring vs the batch masked path.
+//!
+//! The degraded-mode contract: a [`StreamScorer`] fed a faulty tick
+//! stream — gaps via [`StreamScorer::ingest_gap`] for every missing or
+//! invalid reading — scores each completed window over its observed mass
+//! **bit-identically** to [`KldDetector::score_masked`] on the same week
+//! and the same effective mask. The property is exercised with
+//! cer-synth's [`FaultModel`] (the same dropout/burst/dirty machinery the
+//! robustness harness uses), so the masks have realistic structure:
+//! multi-tick comms bursts, isolated dropouts, and dirty values that the
+//! serving layer would have rejected as invalid.
+//!
+//! Why this holds: the streamed histogram counts are incremental `u64`
+//! counts over exactly the observed slots, and `u64` addition is
+//! order-independent — by window close they equal the histogram the batch
+//! path builds by gathering observed values, so both sides call
+//! `kl_divergence_smoothed_counts` with identical arguments. A fully
+//! masked window produces no summary, mirroring the batch path's
+//! [`KldError::EmptyBand`] rejection.
+
+use proptest::prelude::*;
+
+use fdeta_cer_synth::{DatasetConfig, FaultModel, SyntheticDataset};
+use fdeta_detect::{EvalConfig, EvalEngine, KldError, ServeConfig, StreamScorer};
+use fdeta_tsdata::week::WeekVector;
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+/// A serving layer's validity check: what `Fleet::tick_slot` scores.
+fn is_valid(reading: f64) -> bool {
+    reading.is_finite() && reading >= 0.0
+}
+
+fn fault_model(kind: u8, seed: u64, dropout: f64) -> FaultModel {
+    match kind % 3 {
+        0 => FaultModel::clean(seed),
+        1 => FaultModel::dropout_and_burst(seed, dropout),
+        _ => FaultModel::dirty(seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every completed window of a degraded stream scores bit-identically
+    /// to the batch masked path on the same effective mask, and fully
+    /// masked windows yield no summary at all.
+    #[test]
+    fn degraded_stream_windows_match_batch_masked_scores(
+        corpus_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        kind in 0u8..3,
+        dropout in 0.02f64..0.35,
+    ) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(3, 10, corpus_seed));
+        let config = EvalConfig { threads: 1, ..EvalConfig::fast(8, 2) };
+        let engine = EvalEngine::train(&data, &config).expect("train");
+        let (degraded, _log) = fault_model(kind, fault_seed, dropout)
+            .degrade(&data)
+            .expect("degrade");
+
+        for artifact in engine.artifacts() {
+            let record = degraded.by_id(artifact.id()).expect("same corpus");
+            let values = record.observed.values();
+            let mask = record.observed.mask();
+            let mut scorer =
+                StreamScorer::new(artifact, &ServeConfig::default()).expect("scorer");
+
+            // The mask the batch path must renormalise over: observed AND
+            // valid — the serving layer turns invalid readings into gaps.
+            let eff_mask: Vec<bool> = values
+                .iter()
+                .zip(mask)
+                .map(|(&v, &m)| m && is_valid(v))
+                .collect();
+
+            let mut summaries = Vec::new();
+            for (tick, &reading) in values.iter().enumerate() {
+                let out = if eff_mask[tick] {
+                    scorer.ingest(reading).expect("valid ingest")
+                } else {
+                    scorer.ingest_gap().expect("gap ingest")
+                };
+                if let Some(summary) = out {
+                    summaries.push(summary);
+                }
+            }
+
+            let kld = artifact.kld_base();
+            let cond = artifact.conditioned_base();
+            for window in 0..values.len() / SLOTS_PER_WEEK {
+                let start = window * SLOTS_PER_WEEK;
+                let range = start..start + SLOTS_PER_WEEK;
+                let window_mask = &eff_mask[range.clone()];
+                let observed = window_mask.iter().filter(|&&m| m).count();
+                // Masked slots (and invalid observed values) are zeroed so
+                // the WeekVector constructor accepts the week; the batch
+                // masked path never reads them.
+                let week_values: Vec<f64> = values[range]
+                    .iter()
+                    .zip(window_mask)
+                    .map(|(&v, &m)| if m { v } else { 0.0 })
+                    .collect();
+                let week = WeekVector::new(week_values).expect("sanitised week");
+                let summary = summaries.iter().find(|s| s.window == window as u64);
+
+                if observed == 0 {
+                    prop_assert!(
+                        summary.is_none(),
+                        "consumer {}: fully masked window {window} must not score",
+                        artifact.id()
+                    );
+                    prop_assert!(matches!(
+                        kld.score_masked(&week, window_mask),
+                        Err(KldError::EmptyBand { .. })
+                    ));
+                    continue;
+                }
+                let summary = summary.unwrap_or_else(|| {
+                    panic!(
+                        "consumer {}: window {window} with {observed} observed \
+                         ticks produced no summary",
+                        artifact.id()
+                    )
+                });
+                prop_assert_eq!(summary.observed_ticks as usize, observed);
+
+                let batch = kld.score_masked(&week, window_mask).expect("observed mass");
+                prop_assert_eq!(
+                    summary.kld_score.to_bits(),
+                    batch.to_bits(),
+                    "consumer {}: window {} stream {} vs batch {}",
+                    artifact.id(),
+                    window,
+                    summary.kld_score,
+                    batch
+                );
+
+                // Band parity is only comparable when every band kept some
+                // observed mass: the batch API rejects a fully masked band
+                // (EmptyBand) while the stream skips it.
+                match cond.band_scores_masked(&week, window_mask) {
+                    Ok(bands) => {
+                        let worst = bands
+                            .iter()
+                            .fold(f64::NEG_INFINITY, |acc, &(score, threshold)| {
+                                acc.max(score - threshold)
+                            });
+                        prop_assert_eq!(
+                            summary.worst_band_excess.to_bits(),
+                            worst.to_bits(),
+                            "consumer {}: window {} band excess diverged",
+                            artifact.id(),
+                            window
+                        );
+                    }
+                    Err(KldError::EmptyBand { .. }) => {}
+                    Err(e) => panic!("unexpected band scoring error: {e}"),
+                }
+            }
+        }
+    }
+
+    /// A clean stream through the degraded entry points (all ticks
+    /// observed and valid) is indistinguishable from the ordinary dense
+    /// path: the mask machinery must cost nothing when nothing is masked.
+    #[test]
+    fn fully_observed_stream_matches_dense_batch_scores(corpus_seed in 0u64..500) {
+        let data = SyntheticDataset::generate(&DatasetConfig::small(2, 10, corpus_seed));
+        let config = EvalConfig { threads: 1, ..EvalConfig::fast(8, 2) };
+        let engine = EvalEngine::train(&data, &config).expect("train");
+        for (index, artifact) in engine.artifacts().iter().enumerate() {
+            let mut scorer =
+                StreamScorer::new(artifact, &ServeConfig::default()).expect("scorer");
+            let series = data.consumer(index).series.as_slice();
+            let kld = artifact.kld_base();
+            for (tick, &reading) in series.iter().enumerate() {
+                if let Some(summary) = scorer.ingest(reading).expect("ingest") {
+                    let window = tick / SLOTS_PER_WEEK;
+                    let start = window * SLOTS_PER_WEEK;
+                    let week =
+                        WeekVector::new(series[start..start + SLOTS_PER_WEEK].to_vec())
+                            .expect("aligned week");
+                    let dense = kld.score(&week).expect("dense score");
+                    prop_assert_eq!(summary.kld_score.to_bits(), dense.to_bits());
+                    prop_assert_eq!(summary.observed_ticks, SLOTS_PER_WEEK as u32);
+                }
+            }
+        }
+    }
+}

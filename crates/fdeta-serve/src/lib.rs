@@ -9,19 +9,44 @@
 //! [`AlertEvent`]s; nothing here re-implements scoring — every number is
 //! produced by the detect library and is bit-identical to the batch path.
 //!
-//! No I/O beyond the artifact store, no network: the daemon's transport
-//! (socket, MQTT bridge, …) is deliberately out of scope. What is in
-//! scope is everything a transport would need: per-consumer routing,
-//! parallel drain, alert collection, and resident-state accounting.
+//! # Degraded mode
+//!
+//! At fleet scale some meter is always broken, so a bad reading is an
+//! *outcome*, not an abort: every slot of a tick round is either scored
+//! or reported as a fleet-ordered [`TickFault`] in the [`RoundOutcome`] —
+//! healthy consumers always complete their tick (the loom model in
+//! `tests/loom_drain.rs` proves no schedule can drop a slot). Each meter
+//! carries a [`MeterHealth`] ladder: invalid/missing readings and stuck
+//! meters escalate to quarantine, quarantined meters advance their window
+//! position with cheap gap ticks ([`StreamScorer::ingest_gap`]) instead
+//! of consuming histogram and forecast work, and recovery walks back
+//! through probation. Completed windows with gaps score over observed
+//! mass only — bit-identical to the batch masked path.
+//!
+//! The fleet is crash-safe: [`Fleet::checkpoint`] persists every meter's
+//! sliding state, health state, and alert ladder position in one
+//! versioned [`snapshot`] file, and [`Fleet::restore`] resumes a freshly
+//! warmed fleet bit-identically to a run that never died.
+//!
+//! No I/O beyond the artifact store and checkpoints, no network: the
+//! daemon's transport (socket, MQTT bridge, …) is deliberately out of
+//! scope. What is in scope is everything a transport would need:
+//! per-consumer routing, parallel drain, fault isolation, alert
+//! collection, health monitoring, and resident-state accounting.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use fdeta_cer_synth::SyntheticDataset;
 use fdeta_detect::prelude::*;
 use fdeta_detect::WorkQueue;
-use fdeta_tsdata::TsError;
+
+pub mod snapshot;
+
+pub use snapshot::{FleetSnapshot, SnapshotError, SNAPSHOT_VERSION};
 
 /// Everything that can go wrong while serving.
 #[derive(Debug)]
@@ -30,8 +55,6 @@ pub enum ServeError {
     Config(ConfigError),
     /// Training / warm-load failure.
     Eval(EvalError),
-    /// A tick carried an invalid reading.
-    Data(TsError),
     /// A tick addressed a consumer the fleet does not track.
     UnknownConsumer(u32),
     /// A tick batch did not carry exactly one reading per consumer.
@@ -48,7 +71,6 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Config(e) => write!(f, "serve config: {e}"),
             ServeError::Eval(e) => write!(f, "fleet training: {e}"),
-            ServeError::Data(e) => write!(f, "tick rejected: {e}"),
             ServeError::UnknownConsumer(id) => {
                 write!(f, "tick for unknown consumer {id}")
             }
@@ -64,7 +86,6 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Config(e) => Some(e),
             ServeError::Eval(e) => Some(e),
-            ServeError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -82,39 +103,209 @@ impl From<EvalError> for ServeError {
     }
 }
 
-impl From<TsError> for ServeError {
-    fn from(e: TsError) -> Self {
-        ServeError::Data(e)
+/// Why one slot of a tick round was not scored. Faults are per-meter
+/// outcomes; they never abort the round.
+#[derive(Debug, Clone)]
+pub enum TickFault {
+    /// The reading arrived but was non-finite or negative.
+    Invalid {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// No reading arrived for this meter this tick.
+    Missing,
+    /// The meter is quarantined: its (possibly valid) reading was
+    /// deliberately not scored; the window position advanced as a gap.
+    Quarantined,
+    /// Scoring itself failed at a window boundary (a corrupted artifact's
+    /// divergence error) — the only fault that indicates a serving-side
+    /// problem rather than a meter-side one.
+    Score {
+        /// The rendered scoring error.
+        message: String,
+    },
+}
+
+/// Equality by *bit pattern* for the offending value — `Invalid { NaN }`
+/// equals `Invalid { NaN }`, matching the bit-identity discipline the
+/// round-determinism tests assert.
+impl PartialEq for TickFault {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TickFault::Invalid { value: a }, TickFault::Invalid { value: b }) => {
+                a.to_bits() == b.to_bits()
+            }
+            (TickFault::Missing, TickFault::Missing)
+            | (TickFault::Quarantined, TickFault::Quarantined) => true,
+            (TickFault::Score { message: a }, TickFault::Score { message: b }) => a == b,
+            _ => false,
+        }
     }
 }
 
+impl Eq for TickFault {}
+
+impl std::fmt::Display for TickFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TickFault::Invalid { value } => write!(f, "invalid reading {value}"),
+            TickFault::Missing => write!(f, "missing reading"),
+            TickFault::Quarantined => write!(f, "meter quarantined"),
+            TickFault::Score { message } => write!(f, "window scoring failed: {message}"),
+        }
+    }
+}
+
+/// The outcome of one meter's tick: a window summary if the tick closed a
+/// scoring window, a fault if the tick was not scored, possibly both (a
+/// gap tick at a window boundary still closes the window over the
+/// observed mass), and the closed window's alerts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotTick {
+    /// Weekly digest, when this tick completed a window with any observed
+    /// mass.
+    pub summary: Option<WeekSummary>,
+    /// Why the tick was not scored, if it wasn't.
+    pub fault: Option<TickFault>,
+    /// Alerts of the completed window (empty unless `summary` is set).
+    pub alerts: Vec<AlertEvent>,
+    /// The meter's post-transition health state.
+    pub health: HealthState,
+}
+
 /// The outcome of draining one fleet-wide tick round.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundOutcome {
     /// Weekly digests of consumers whose tick completed a window, in
     /// fleet order (deterministic regardless of drain interleaving).
     pub summaries: Vec<(u32, WeekSummary)>,
     /// Alerts raised by those completed windows, in fleet order.
     pub alerts: Vec<AlertEvent>,
+    /// Per-meter faults, in fleet order: every slot of the round is
+    /// either counted in `completed` or listed here — never silently
+    /// dropped, never aborting the rest of the fleet.
+    pub faults: Vec<(u32, TickFault)>,
+    /// Slots whose tick was scored this round (`len - faults.len()`).
+    pub completed: usize,
+}
+
+/// Point-in-time fleet health counters, cheap enough for a monitoring
+/// endpoint: reads only the fleet's atomic aggregates — no scorer locks,
+/// no per-meter sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetHealth {
+    /// Consumers tracked.
+    pub meters: usize,
+    /// Meters per ladder state.
+    pub healthy: usize,
+    /// Meters in Suspect.
+    pub suspect: usize,
+    /// Meters in Quarantined.
+    pub quarantined: usize,
+    /// Meters in Probation.
+    pub probation: usize,
+    /// Total ticks ingested fleet-wide.
+    pub ticks: u64,
+    /// Ticks not scored (bad, missing, or quarantined).
+    pub gap_ticks: u64,
+    /// Alert totals per tier `[low, medium, high]` since the fleet
+    /// started.
+    pub alerts: [u64; 3],
+}
+
+impl FleetHealth {
+    /// Fraction of ticks not scored, in `[0, 1]`.
+    pub fn gap_rate(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.gap_ticks as f64 / self.ticks as f64
+        }
+    }
+
+    /// Byte-deterministic JSON rendering: fixed key order, integers
+    /// verbatim, the gap rate at fixed six-decimal precision — two
+    /// identical runs serialize identically, which the serving benchmark
+    /// diffs in CI.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"meters\":{},\"healthy\":{},\"suspect\":{},\"quarantined\":{},\
+             \"probation\":{},\"ticks\":{},\"gap_ticks\":{},\"gap_rate\":{:.6},\
+             \"alerts\":{{\"low\":{},\"medium\":{},\"high\":{}}}}}",
+            self.meters,
+            self.healthy,
+            self.suspect,
+            self.quarantined,
+            self.probation,
+            self.ticks,
+            self.gap_ticks,
+            self.gap_rate(),
+            self.alerts[0],
+            self.alerts[1],
+            self.alerts[2],
+        );
+        out
+    }
+}
+
+/// One meter's serving state: the scorer, its health ladder, and its
+/// alert totals per tier (the "alert ladder position" a checkpoint
+/// preserves).
+pub(crate) struct MeterSlot {
+    pub(crate) scorer: StreamScorer,
+    pub(crate) health: MeterHealth,
+    pub(crate) alert_totals: [u64; 3],
+}
+
+fn tier_index(tier: AlertTier) -> usize {
+    match tier {
+        AlertTier::Low => 0,
+        AlertTier::Medium => 1,
+        AlertTier::High => 2,
+    }
+}
+
+fn state_index(state: HealthState) -> usize {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Suspect => 1,
+        HealthState::Quarantined => 2,
+        HealthState::Probation => 3,
+    }
 }
 
 /// Per-consumer streaming state for a whole meter fleet.
 ///
-/// Scorers sit behind a `Mutex` each so tick rounds can drain in
+/// Meter slots sit behind a `Mutex` each so tick rounds can drain in
 /// parallel; the trained cores inside them are `Arc`-shared with the
 /// engine artifacts, so fleet memory is dominated by the per-consumer
-/// sliding state that [`Fleet::state_bytes`] accounts.
+/// sliding state that [`Fleet::state_bytes`] accounts. Monitoring
+/// aggregates (ladder counts, tick/gap totals, alert totals) live in
+/// atomics updated as part of each tick, so [`Fleet::health`] never
+/// contends with the drain.
 pub struct Fleet {
-    scorers: Vec<Mutex<StreamScorer>>,
-    ids: Vec<u32>,
+    pub(crate) slots: Vec<Mutex<MeterSlot>>,
+    pub(crate) ids: Vec<u32>,
     index: BTreeMap<u32, usize>,
     threads: usize,
+    pub(crate) health_config: HealthConfig,
+    /// Meters per ladder state, indexed by [`state_index`]. Updated with
+    /// transition deltas under each slot's lock; the *sums* are exact
+    /// after every round, individual reads between concurrent ticks are
+    /// transiently stale by design.
+    state_counts: [AtomicUsize; 4],
+    ticks_total: AtomicU64,
+    gaps_total: AtomicU64,
+    alert_totals: [AtomicU64; 3],
 }
 
 impl Fleet {
-    /// Builds one scorer per trained artifact of `engine`, draining tick
-    /// rounds over `threads` workers (`0` means one worker per consumer,
-    /// capped by available parallelism).
+    /// Builds one scorer per trained artifact of `engine` with the
+    /// default health ladder, draining tick rounds over `threads` workers
+    /// (`0` means one worker per consumer, capped by available
+    /// parallelism).
     ///
     /// # Errors
     ///
@@ -124,23 +315,27 @@ impl Fleet {
         serve: &ServeConfig,
         threads: usize,
     ) -> Result<Self, ServeError> {
+        Self::from_engine_with(engine, serve, &HealthConfig::default(), threads)
+    }
+
+    /// As [`Fleet::from_engine`], with an explicit health ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid alert-tier or health ladder.
+    pub fn from_engine_with(
+        engine: &EvalEngine,
+        serve: &ServeConfig,
+        health: &HealthConfig,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        health.validate()?;
         let artifacts = engine.artifacts();
         let mut scorers = Vec::with_capacity(artifacts.len());
-        let mut ids = Vec::with_capacity(artifacts.len());
-        let mut index = BTreeMap::new();
         for artifact in artifacts {
-            let scorer = StreamScorer::new(artifact, serve)?;
-            index.insert(scorer.consumer(), scorers.len());
-            ids.push(scorer.consumer());
-            scorers.push(Mutex::new(scorer));
+            scorers.push(StreamScorer::new(artifact, serve)?);
         }
-        let threads = normalise_threads(threads, scorers.len());
-        Ok(Self {
-            scorers,
-            ids,
-            index,
-            threads,
-        })
+        Ok(Self::assemble(scorers, *health, threads))
     }
 
     /// Builds a fleet from pre-built scorers — the simulation entry: a
@@ -148,6 +343,24 @@ impl Fleet {
     /// consumer ids keep only the first slot for id-routed ticks
     /// ([`Fleet::ingest_tick`]); round draining is unaffected.
     pub fn from_scorers(scorers: Vec<StreamScorer>, threads: usize) -> Self {
+        Self::assemble(scorers, HealthConfig::default(), threads)
+    }
+
+    /// As [`Fleet::from_scorers`], with an explicit health ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid health ladder.
+    pub fn from_scorers_with(
+        scorers: Vec<StreamScorer>,
+        health: &HealthConfig,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        health.validate()?;
+        Ok(Self::assemble(scorers, *health, threads))
+    }
+
+    fn assemble(scorers: Vec<StreamScorer>, health_config: HealthConfig, threads: usize) -> Self {
         let mut ids = Vec::with_capacity(scorers.len());
         let mut index = BTreeMap::new();
         for (slot, scorer) in scorers.iter().enumerate() {
@@ -155,11 +368,31 @@ impl Fleet {
             index.entry(scorer.consumer()).or_insert(slot);
         }
         let threads = normalise_threads(threads, scorers.len());
+        let meters = scorers.len();
         Self {
-            scorers: scorers.into_iter().map(Mutex::new).collect(),
+            slots: scorers
+                .into_iter()
+                .map(|scorer| {
+                    Mutex::new(MeterSlot {
+                        scorer,
+                        health: MeterHealth::new(),
+                        alert_totals: [0; 3],
+                    })
+                })
+                .collect(),
             ids,
             index,
             threads,
+            health_config,
+            state_counts: [
+                AtomicUsize::new(meters),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+            ticks_total: AtomicU64::new(0),
+            gaps_total: AtomicU64::new(0),
+            alert_totals: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         }
     }
 
@@ -186,12 +419,12 @@ impl Fleet {
 
     /// Number of consumers tracked.
     pub fn len(&self) -> usize {
-        self.scorers.len()
+        self.slots.len()
     }
 
     /// Whether the fleet tracks no consumers.
     pub fn is_empty(&self) -> bool {
-        self.scorers.is_empty()
+        self.slots.is_empty()
     }
 
     /// The tracked consumer ids, in fleet (batch) order.
@@ -199,103 +432,267 @@ impl Fleet {
         &self.ids
     }
 
-    /// Routes a single consumer's tick.
+    /// The fleet's health ladder configuration.
+    pub fn health_config(&self) -> &HealthConfig {
+        &self.health_config
+    }
+
+    /// Routes a single consumer's tick. An invalid reading is a
+    /// [`TickFault`] in the returned [`SlotTick`], not an error — only
+    /// addressing failures are errors.
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownConsumer`] for an untracked id,
-    /// [`ServeError::Data`] for an invalid reading.
-    pub fn ingest_tick(
-        &self,
-        consumer: u32,
-        reading: f64,
-    ) -> Result<Option<WeekSummary>, ServeError> {
+    /// [`ServeError::UnknownConsumer`] for an untracked id.
+    pub fn ingest_tick(&self, consumer: u32, reading: f64) -> Result<SlotTick, ServeError> {
         let &slot = self
             .index
             .get(&consumer)
             .ok_or(ServeError::UnknownConsumer(consumer))?;
-        let mut scorer = lock(&self.scorers[slot]);
-        Ok(scorer.ingest(reading)?)
+        Ok(self.tick_slot(slot, reading, true))
+    }
+
+    /// Reports a single consumer's reading as missing this tick: the
+    /// meter's health observes a bad tick and its window advances as a
+    /// gap.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownConsumer`] for an untracked id.
+    pub fn ingest_tick_missing(&self, consumer: u32) -> Result<SlotTick, ServeError> {
+        let &slot = self
+            .index
+            .get(&consumer)
+            .ok_or(ServeError::UnknownConsumer(consumer))?;
+        Ok(self.tick_slot(slot, f64::NAN, false))
     }
 
     /// Drains one fleet-wide tick round — `readings[i]` is the reading of
     /// `consumers()[i]` — across the worker threads via [`WorkQueue`].
-    /// An invalid reading aborts the round's remaining claims; consumers
-    /// already ticked stay ticked (ticks are independent streams, so a
-    /// retry may simply resend the failed consumers).
+    /// Every slot is ticked exactly once: invalid readings and
+    /// quarantined meters surface as fleet-ordered [`RoundOutcome::faults`]
+    /// while every healthy consumer completes its tick. The serial
+    /// (`threads <= 1`) and parallel paths produce identical outcomes.
     ///
     /// # Errors
     ///
-    /// [`ServeError::BatchLen`] on a malformed batch, the first
-    /// [`ServeError::Data`] encountered otherwise.
+    /// [`ServeError::BatchLen`] on a malformed batch — the only
+    /// round-level failure left; per-meter problems are faults, not
+    /// errors.
     pub fn ingest_round(&self, readings: &[f64]) -> Result<RoundOutcome, ServeError> {
-        if readings.len() != self.scorers.len() {
+        self.round(readings, None)
+    }
+
+    /// As [`Fleet::ingest_round`], with an observation mask: slots where
+    /// `observed[i]` is `false` had no reading this tick (`readings[i]`
+    /// is ignored) and are recorded as [`TickFault::Missing`] gaps.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BatchLen`] when either slice is not fleet-sized.
+    pub fn ingest_round_observed(
+        &self,
+        readings: &[f64],
+        observed: &[bool],
+    ) -> Result<RoundOutcome, ServeError> {
+        if observed.len() != self.slots.len() {
             return Err(ServeError::BatchLen {
-                expected: self.scorers.len(),
+                expected: self.slots.len(),
+                got: observed.len(),
+            });
+        }
+        self.round(readings, Some(observed))
+    }
+
+    fn round(
+        &self,
+        readings: &[f64],
+        observed: Option<&[bool]>,
+    ) -> Result<RoundOutcome, ServeError> {
+        if readings.len() != self.slots.len() {
+            return Err(ServeError::BatchLen {
+                expected: self.slots.len(),
                 got: readings.len(),
             });
         }
-        let mut completed: Vec<Option<WeekSummary>> = vec![None; self.scorers.len()];
+        let mut results: Vec<Option<SlotTick>> = vec![None; self.slots.len()];
         if self.threads <= 1 {
-            for (slot, (scorer, &reading)) in self.scorers.iter().zip(readings).enumerate() {
-                completed[slot] = lock(scorer).ingest(reading)?;
+            for (slot, result) in results.iter_mut().enumerate() {
+                let is_observed = observed.is_none_or(|o| o[slot]);
+                *result = Some(self.tick_slot(slot, readings[slot], is_observed));
             }
         } else {
-            self.drain_round(readings, &mut completed)?;
+            self.drain_round(readings, observed, &mut results);
         }
         let mut outcome = RoundOutcome::default();
-        for (slot, summary) in completed.into_iter().enumerate() {
-            let Some(summary) = summary else { continue };
-            outcome.summaries.push((self.ids[slot], summary));
-            outcome
-                .alerts
-                .extend_from_slice(lock(&self.scorers[slot]).alerts());
+        for (slot, tick) in results.into_iter().enumerate() {
+            // Every slot is claimed exactly once by the drain (the loom
+            // model proves it), so every entry is present.
+            let Some(tick) = tick else { continue };
+            if let Some(summary) = tick.summary {
+                outcome.summaries.push((self.ids[slot], summary));
+                outcome.alerts.extend(tick.alerts);
+            }
+            match tick.fault {
+                Some(fault) => outcome.faults.push((self.ids[slot], fault)),
+                None => outcome.completed += 1,
+            }
         }
         Ok(outcome)
     }
 
     /// The parallel drain: workers claim fleet slots off a [`WorkQueue`]
-    /// until it runs dry or a worker aborts on an invalid reading.
+    /// until it runs dry. There is no abort path — a slot that cannot be
+    /// scored records a fault in its own result cell, and the remaining
+    /// claims proceed untouched.
     fn drain_round(
         &self,
         readings: &[f64],
-        completed: &mut [Option<WeekSummary>],
-    ) -> Result<(), ServeError> {
-        let queue = WorkQueue::new(self.scorers.len());
-        let failure: Mutex<Option<TsError>> = Mutex::new(None);
-        let completed = Mutex::new(completed);
+        observed: Option<&[bool]>,
+        results: &mut [Option<SlotTick>],
+    ) {
+        let queue = WorkQueue::new(self.slots.len());
+        let results = Mutex::new(results);
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
                 scope.spawn(|| {
                     while let Some(slot) = queue.claim() {
-                        let outcome = lock(&self.scorers[slot]).ingest(readings[slot]);
-                        match outcome {
-                            Ok(summary) => {
-                                lock(&completed)[slot] = summary;
-                                queue.complete();
-                            }
-                            Err(e) => {
-                                queue.abort();
-                                let mut first = lock(&failure);
-                                if first.is_none() {
-                                    *first = Some(e);
-                                }
-                            }
-                        }
+                        let is_observed = observed.is_none_or(|o| o[slot]);
+                        let tick = self.tick_slot(slot, readings[slot], is_observed);
+                        lock(&results)[slot] = Some(tick);
+                        queue.complete();
                     }
                 });
             }
         });
-        match failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
-            Some(e) => Err(ServeError::Data(e)),
-            None => Ok(()),
+    }
+
+    /// Ticks one meter slot: health transition, then score or gap. All
+    /// slot state mutates under the slot's lock; the fleet-wide atomics
+    /// take the deltas so monitoring totals stay exact between rounds.
+    fn tick_slot(&self, slot: usize, reading: f64, is_observed: bool) -> SlotTick {
+        let mut guard = lock(&self.slots[slot]);
+        let meter = &mut *guard;
+        let valid = is_observed && reading.is_finite() && reading >= 0.0;
+        let before = meter.health.state();
+        let (state, mut fault) = if valid {
+            (
+                meter.health.observe_valid(&self.health_config, reading),
+                None,
+            )
+        } else if is_observed {
+            (
+                meter.health.observe_bad(&self.health_config),
+                Some(TickFault::Invalid { value: reading }),
+            )
+        } else {
+            (
+                meter.health.observe_bad(&self.health_config),
+                Some(TickFault::Missing),
+            )
+        };
+        let scored = valid && state != HealthState::Quarantined;
+        let result = if scored {
+            meter.scorer.ingest(reading)
+        } else {
+            if fault.is_none() {
+                fault = Some(TickFault::Quarantined);
+            }
+            meter.scorer.ingest_gap()
+        };
+        let summary = match result {
+            Ok(summary) => summary,
+            Err(e) => {
+                fault = Some(TickFault::Score {
+                    message: e.to_string(),
+                });
+                None
+            }
+        };
+        let mut alerts = Vec::new();
+        if summary.is_some() {
+            alerts.extend_from_slice(meter.scorer.alerts());
+            for alert in &alerts {
+                let tier = tier_index(alert.tier);
+                meter.alert_totals[tier] += 1;
+                self.alert_totals[tier].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(guard);
+        if state != before {
+            self.state_counts[state_index(before)].fetch_sub(1, Ordering::Relaxed);
+            self.state_counts[state_index(state)].fetch_add(1, Ordering::Relaxed);
+        }
+        self.ticks_total.fetch_add(1, Ordering::Relaxed);
+        if !scored {
+            self.gaps_total.fetch_add(1, Ordering::Relaxed);
+        }
+        SlotTick {
+            summary,
+            fault,
+            alerts,
+            health: state,
+        }
+    }
+
+    /// Point-in-time health counters from the fleet's atomic aggregates —
+    /// no slot locks taken, safe to call from a monitoring thread while a
+    /// round drains (counts are then transiently stale by at most the
+    /// in-flight ticks; between rounds they are exact).
+    pub fn health(&self) -> FleetHealth {
+        FleetHealth {
+            meters: self.slots.len(),
+            healthy: self.state_counts[0].load(Ordering::Relaxed),
+            suspect: self.state_counts[1].load(Ordering::Relaxed),
+            quarantined: self.state_counts[2].load(Ordering::Relaxed),
+            probation: self.state_counts[3].load(Ordering::Relaxed),
+            ticks: self.ticks_total.load(Ordering::Relaxed),
+            gap_ticks: self.gaps_total.load(Ordering::Relaxed),
+            alerts: [
+                self.alert_totals[0].load(Ordering::Relaxed),
+                self.alert_totals[1].load(Ordering::Relaxed),
+                self.alert_totals[2].load(Ordering::Relaxed),
+            ],
+        }
+    }
+
+    /// Re-derives the atomic aggregates from per-slot state — used after
+    /// a checkpoint restore, where the slots are authoritative.
+    pub(crate) fn rebuild_aggregates(&self) {
+        let mut states = [0usize; 4];
+        let mut ticks = 0u64;
+        let mut gaps = 0u64;
+        let mut alerts = [0u64; 3];
+        for slot in &self.slots {
+            let meter = lock(slot);
+            states[state_index(meter.health.state())] += 1;
+            ticks += meter.health.ticks();
+            gaps += meter.health.gap_ticks();
+            for (total, &count) in alerts.iter_mut().zip(&meter.alert_totals) {
+                *total += count;
+            }
+        }
+        for (atomic, count) in self.state_counts.iter().zip(states) {
+            atomic.store(count, Ordering::Relaxed);
+        }
+        self.ticks_total.store(ticks, Ordering::Relaxed);
+        self.gaps_total.store(gaps, Ordering::Relaxed);
+        for (atomic, count) in self.alert_totals.iter().zip(alerts) {
+            atomic.store(count, Ordering::Relaxed);
         }
     }
 
     /// Total per-consumer resident state, in bytes (excludes the
     /// `Arc`-shared trained cores — see [`StreamScorer::state_bytes`]).
     pub fn state_bytes(&self) -> usize {
-        self.scorers.iter().map(|s| lock(s).state_bytes()).sum()
+        self.slots
+            .iter()
+            .map(|s| {
+                lock(s).scorer.state_bytes()
+                    + std::mem::size_of::<MeterHealth>()
+                    + std::mem::size_of::<[u64; 3]>()
+            })
+            .sum()
     }
 }
 
@@ -303,7 +700,7 @@ impl Fleet {
 /// window state valid (every mutation in `ingest` is ordered before the
 /// next await point), so the daemon keeps serving the rest of the fleet
 /// rather than cascading the panic.
-fn lock<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -358,6 +755,9 @@ mod tests {
         let b = weekly_rounds(&parallel, &data, &config);
         assert_eq!(a.summaries.len(), serial.len());
         assert_eq!(a.summaries.len(), b.summaries.len());
+        assert_eq!(a.completed, serial.len());
+        assert_eq!(a.completed, b.completed);
+        assert!(a.faults.is_empty() && b.faults.is_empty());
         for ((id_a, sa), (id_b, sb)) in a.summaries.iter().zip(&b.summaries) {
             assert_eq!(id_a, id_b);
             assert_eq!(sa.kld_score.to_bits(), sb.kld_score.to_bits());
@@ -374,8 +774,9 @@ mod tests {
             for (c, &id) in ids.iter().enumerate() {
                 let series = data.consumer(c).series.as_slice();
                 let reading = series[config.train_weeks * SLOTS_PER_WEEK + tick];
-                let summary = fleet.ingest_tick(id, reading).unwrap();
-                assert_eq!(summary.is_some(), tick == SLOTS_PER_WEEK - 1);
+                let outcome = fleet.ingest_tick(id, reading).unwrap();
+                assert!(outcome.fault.is_none());
+                assert_eq!(outcome.summary.is_some(), tick == SLOTS_PER_WEEK - 1);
             }
         }
         assert!(matches!(
@@ -385,7 +786,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_batches_and_bad_readings_are_typed() {
+    fn malformed_batches_are_errors_bad_readings_are_faults() {
         let (fleet, _, _) = fleet(2);
         assert!(matches!(
             fleet.ingest_round(&[1.0]),
@@ -393,10 +794,17 @@ mod tests {
         ));
         let mut readings = vec![0.5; fleet.len()];
         readings[1] = f64::NAN;
+        let outcome = fleet.ingest_round(&readings).unwrap();
+        assert_eq!(outcome.completed, fleet.len() - 1);
+        assert_eq!(outcome.faults.len(), 1);
+        assert_eq!(outcome.faults[0].0, fleet.consumers()[1]);
         assert!(matches!(
-            fleet.ingest_round(&readings),
-            Err(ServeError::Data(_))
+            outcome.faults[0].1,
+            TickFault::Invalid { value } if value.is_nan()
         ));
+        let health = fleet.health();
+        assert_eq!(health.ticks, fleet.len() as u64);
+        assert_eq!(health.gap_ticks, 1);
     }
 
     #[test]
@@ -408,5 +816,17 @@ mod tests {
             total >= fleet.len() * SLOTS_PER_WEEK * std::mem::size_of::<f64>(),
             "at least the sliding windows must be accounted"
         );
+    }
+
+    #[test]
+    fn health_json_is_byte_deterministic() {
+        let (a, data, config) = fleet(1);
+        let (b, _, _) = fleet(4);
+        weekly_rounds(&a, &data, &config);
+        weekly_rounds(&b, &data, &config);
+        let ja = a.health().to_json();
+        assert_eq!(ja, b.health().to_json());
+        assert!(ja.starts_with("{\"meters\":4,"), "{ja}");
+        assert!(ja.contains("\"gap_rate\":0.000000"), "{ja}");
     }
 }

@@ -1,0 +1,401 @@
+//! Crash-safe fleet checkpoints.
+//!
+//! A [`FleetSnapshot`] captures, for every meter of a [`Fleet`], exactly
+//! the state that is *not* reloadable from the artifact store: the
+//! scorer's sliding window (ring, observation mask, tick count), the
+//! meter-health ladder position, and the per-tier alert totals. Trained
+//! cores, histogram counts, and the live forecaster are deliberately
+//! excluded — they are pure functions of the artifacts plus the sliding
+//! state and are rebuilt on restore by
+//! [`StreamScorer::restore_sliding`], so a checkpoint can never carry
+//! derived state that disagrees with its own window.
+//!
+//! The file format follows the [`fdeta_detect::codec`] conventions shared
+//! with the artifact store: 8-byte magic, format version, an FNV-1a fleet
+//! key (over the version, meter count, and consumer ids — a snapshot for
+//! a different fleet is rejected before any state is touched), floats as
+//! raw bit patterns, a trailing FNV-1a integrity checksum, and atomic
+//! tmp-plus-rename writes so a crash mid-checkpoint leaves the previous
+//! snapshot intact. Restoring a snapshot onto a freshly warmed fleet and
+//! continuing the stream is **bit-identical** to a run that never died
+//! (`tests/checkpoint_restore.rs` kills the fleet at arbitrary ticks to
+//! prove it).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use fdeta_detect::codec::{fnv1a, ByteReader, ByteWriter, Fnv, FNV_OFFSET};
+use fdeta_detect::prelude::*;
+use fdeta_detect::MeterHealthRepr;
+
+use crate::{lock, Fleet, MeterSlot};
+
+const MAGIC: &[u8; 8] = b"FDETASNP";
+
+/// Bumped on any layout change; old snapshots are rejected, not migrated
+/// (re-checkpoint from a live fleet instead).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be saved or restored.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// The file failed validation: bad magic, unsupported version,
+    /// checksum mismatch, or undecodable content.
+    Corrupt {
+        /// The path involved.
+        path: PathBuf,
+        /// What failed.
+        what: String,
+    },
+    /// The snapshot is valid but describes a different fleet (meter
+    /// count, consumer ids, or health ladder do not match the restore
+    /// target).
+    FleetMismatch {
+        /// What differs.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot I/O at {}: {source}", path.display())
+            }
+            SnapshotError::Corrupt { path, what } => {
+                write!(f, "corrupt snapshot at {}: {what}", path.display())
+            }
+            SnapshotError::FleetMismatch { what } => {
+                write!(f, "snapshot is for a different fleet: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One meter's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterSnapshot {
+    /// The consumer's meter id.
+    pub id: u32,
+    /// The scorer's sliding window state.
+    pub sliding: SlidingState,
+    /// The health ladder position.
+    pub health: MeterHealthRepr,
+    /// Alerts raised so far, per tier `[low, medium, high]`.
+    pub alert_totals: [u64; 3],
+}
+
+/// A decoded fleet checkpoint: the in-memory form of the snapshot file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// The health ladder the fleet was running (restore requires an
+    /// identical ladder — silently changing escalation thresholds
+    /// mid-stream would make the continued run unexplainable).
+    pub health: HealthConfig,
+    /// Per-meter state, in fleet order.
+    pub meters: Vec<MeterSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Captures a point-in-time snapshot of `fleet`. Each slot is locked
+    /// in turn; for a consistent fleet-wide cut, capture between tick
+    /// rounds (the serving loop's natural checkpoint cadence).
+    pub fn capture(fleet: &Fleet) -> Self {
+        let meters = fleet
+            .ids
+            .iter()
+            .zip(&fleet.slots)
+            .map(|(&id, slot)| {
+                let meter = lock(slot);
+                MeterSnapshot {
+                    id,
+                    sliding: meter.scorer.sliding_state(),
+                    health: MeterHealthRepr::from(&meter.health),
+                    alert_totals: meter.alert_totals,
+                }
+            })
+            .collect();
+        Self {
+            health: fleet.health_config,
+            meters,
+        }
+    }
+
+    /// The fleet identity key: FNV-1a over the format version, meter
+    /// count, and consumer ids. Two fleets over the same consumers in the
+    /// same order share a key regardless of tick position.
+    pub fn fleet_key(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.u64(u64::from(SNAPSHOT_VERSION));
+        fnv.u64(self.meters.len() as u64);
+        for meter in &self.meters {
+            fnv.u64(u64::from(meter.id));
+        }
+        fnv.finish()
+    }
+
+    /// Encodes the snapshot into the on-disk byte layout, checksum
+    /// included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::default();
+        w.bytes(MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(self.fleet_key());
+        w.u32(self.health.suspect_after);
+        w.u32(self.health.quarantine_after);
+        w.u32(self.health.probation_after);
+        w.u32(self.health.heal_after);
+        w.u32(self.health.stuck_after);
+        w.u64(self.meters.len() as u64);
+        for meter in &self.meters {
+            w.u32(meter.id);
+            w.u64(meter.sliding.ticks);
+            w.u8(u8::from(meter.sliding.window_gapped));
+            w.vec_f64(&meter.sliding.ring);
+            w.vec_u64(&meter.sliding.ring_mask);
+            w.u8(state_tag(meter.health.state));
+            w.u32(meter.health.bad_run);
+            w.u32(meter.health.good_run);
+            w.u64(meter.health.stuck_bits);
+            w.u32(meter.health.stuck_run);
+            w.u64(meter.health.gap_ticks);
+            w.u64(meter.health.ticks);
+            for &total in &meter.alert_totals {
+                w.u64(total);
+            }
+        }
+        let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+        w.u64(checksum);
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot file's bytes.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the first validation failure: short file,
+    /// checksum mismatch, bad magic, unsupported version, key/count
+    /// disagreement, or truncated content.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err("file shorter than header + checksum".into());
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let mut stored = [0u8; 8];
+        stored.copy_from_slice(tail);
+        if fnv1a(payload, FNV_OFFSET) != u64::from_le_bytes(stored) {
+            return Err("integrity checksum mismatch".into());
+        }
+        let mut r = ByteReader::new(payload);
+        if r.bytes(MAGIC.len())? != MAGIC.as_slice() {
+            return Err("bad magic (not a fleet snapshot)".into());
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            ));
+        }
+        let key = r.u64()?;
+        let health = HealthConfig {
+            suspect_after: r.u32()?,
+            quarantine_after: r.u32()?,
+            probation_after: r.u32()?,
+            heal_after: r.u32()?,
+            stuck_after: r.u32()?,
+        };
+        let count = r.checked_len(1)?;
+        let mut meters = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = r.u32()?;
+            let ticks = r.u64()?;
+            let window_gapped = r.u8()? != 0;
+            let ring = r.vec_f64()?;
+            let ring_mask = r.vec_u64()?;
+            let health = MeterHealthRepr {
+                state: tag_state(r.u8()?)?,
+                bad_run: r.u32()?,
+                good_run: r.u32()?,
+                stuck_bits: r.u64()?,
+                stuck_run: r.u32()?,
+                gap_ticks: r.u64()?,
+                ticks: r.u64()?,
+            };
+            let alert_totals = [r.u64()?, r.u64()?, r.u64()?];
+            meters.push(MeterSnapshot {
+                id,
+                sliding: SlidingState {
+                    ring,
+                    ring_mask,
+                    ticks,
+                    window_gapped,
+                },
+                health,
+                alert_totals,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes after content", r.remaining()));
+        }
+        let snapshot = Self { health, meters };
+        if snapshot.fleet_key() != key {
+            return Err("fleet key does not match content".into());
+        }
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` atomically: a temporary sibling is
+    /// written first and renamed into place, so a crash mid-write leaves
+    /// any previous snapshot at `path` intact.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|source| SnapshotError::Io {
+                    path: parent.to_path_buf(),
+                    source,
+                })?;
+            }
+        }
+        let io_err = |source| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let tmp = path.with_extension("snap.tmp");
+        fs::write(&tmp, self.encode()).map_err(io_err)?;
+        fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Reads and validates the snapshot at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be read,
+    /// [`SnapshotError::Corrupt`] when it fails validation.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = fs::read(path).map_err(|source| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::decode(&bytes).map_err(|what| SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            what,
+        })
+    }
+}
+
+fn state_tag(state: HealthState) -> u8 {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Suspect => 1,
+        HealthState::Quarantined => 2,
+        HealthState::Probation => 3,
+    }
+}
+
+fn tag_state(tag: u8) -> Result<HealthState, String> {
+    match tag {
+        0 => Ok(HealthState::Healthy),
+        1 => Ok(HealthState::Suspect),
+        2 => Ok(HealthState::Quarantined),
+        3 => Ok(HealthState::Probation),
+        other => Err(format!("unknown health state tag {other}")),
+    }
+}
+
+impl Fleet {
+    /// Checkpoints the fleet to `path` (atomic tmp-plus-rename). Capture
+    /// between tick rounds for a consistent fleet-wide cut.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), SnapshotError> {
+        FleetSnapshot::capture(self).save(path)
+    }
+
+    /// Restores the checkpoint at `path` onto this (freshly warmed)
+    /// fleet: every scorer's sliding window is rebuilt bit-identically,
+    /// health ladders and alert totals resume where they were, and the
+    /// monitoring aggregates are re-derived from the restored slots.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] / [`SnapshotError::Corrupt`] as
+    /// [`FleetSnapshot::load`]; [`SnapshotError::FleetMismatch`] when the
+    /// snapshot's consumers or health ladder differ from this fleet's.
+    pub fn restore(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.restore_snapshot(&FleetSnapshot::load(path)?)
+    }
+
+    /// As [`Fleet::restore`], from an already decoded snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::FleetMismatch`] for the wrong fleet,
+    /// [`SnapshotError::Corrupt`] for sliding state the scorer rejects.
+    pub fn restore_snapshot(&self, snapshot: &FleetSnapshot) -> Result<(), SnapshotError> {
+        if snapshot.meters.len() != self.slots.len() {
+            return Err(SnapshotError::FleetMismatch {
+                what: format!(
+                    "snapshot has {} meters, fleet has {}",
+                    snapshot.meters.len(),
+                    self.slots.len()
+                ),
+            });
+        }
+        if snapshot.health != self.health_config {
+            return Err(SnapshotError::FleetMismatch {
+                what: "health ladder configuration differs".into(),
+            });
+        }
+        for (slot, (meter, &id)) in snapshot.meters.iter().zip(&self.ids).enumerate() {
+            if meter.id != id {
+                return Err(SnapshotError::FleetMismatch {
+                    what: format!(
+                        "slot {slot} is consumer {} in the snapshot, {id} here",
+                        meter.id
+                    ),
+                });
+            }
+        }
+        for (meter, slot) in snapshot.meters.iter().zip(&self.slots) {
+            let mut guard = lock(slot);
+            let MeterSlot {
+                scorer,
+                health,
+                alert_totals,
+            } = &mut *guard;
+            scorer
+                .restore_sliding(&meter.sliding)
+                .map_err(|e| SnapshotError::Corrupt {
+                    path: PathBuf::new(),
+                    what: format!("consumer {}: {e}", meter.id),
+                })?;
+            *health = meter.health.into();
+            *alert_totals = meter.alert_totals;
+        }
+        self.rebuild_aggregates();
+        Ok(())
+    }
+}

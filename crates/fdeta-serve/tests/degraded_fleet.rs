@@ -1,0 +1,305 @@
+//! Degraded-mode fleet serving: fault isolation, quarantine, recovery.
+//!
+//! The contract under test: a tick round with `k` bad readings completes
+//! the other `len - k` ticks and reports exactly `k` fleet-ordered
+//! faults — identically whether the round drains on one thread or many.
+//! On top of that, the per-meter health ladder: repeated bad ticks walk
+//! Healthy → Suspect → Quarantined, a stuck meter (bit-identical positive
+//! readings) quarantines even though each reading is individually valid,
+//! quarantined meters keep their window position via gap ticks without
+//! being scored, and recovery walks back through Probation.
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::prelude::*;
+use fdeta_serve::{Fleet, RoundOutcome, ServeError, TickFault};
+use fdeta_tsdata::SLOTS_PER_WEEK;
+
+const CONSUMERS: usize = 6;
+
+fn corpus(seed: u64) -> (SyntheticDataset, EvalConfig) {
+    let data = SyntheticDataset::generate(&DatasetConfig::small(CONSUMERS, 12, seed));
+    let config = EvalConfig {
+        threads: 1,
+        ..EvalConfig::fast(8, 2)
+    };
+    (data, config)
+}
+
+fn fleet(data: &SyntheticDataset, config: &EvalConfig, threads: usize) -> Fleet {
+    let engine = EvalEngine::train(data, config).expect("train");
+    Fleet::from_engine(&engine, &ServeConfig::default(), threads).expect("fleet")
+}
+
+fn fleet_with(
+    data: &SyntheticDataset,
+    config: &EvalConfig,
+    health: &HealthConfig,
+    threads: usize,
+) -> Fleet {
+    let engine = EvalEngine::train(data, config).expect("train");
+    Fleet::from_engine_with(&engine, &ServeConfig::default(), health, threads).expect("fleet")
+}
+
+/// The reading of consumer-slot `c` at stream tick `t`, cycling the
+/// consumer's synthetic series past its end.
+fn reading(data: &SyntheticDataset, config: &EvalConfig, c: usize, t: usize) -> f64 {
+    let series = data.consumer(c).series.as_slice();
+    series[(config.train_weeks * SLOTS_PER_WEEK + t) % series.len()]
+}
+
+/// The regression pinned by the issue: a round with `k` bad readings
+/// returns `len - k` completed ticks plus `k` fleet-ordered faults, and
+/// the whole outcome is identical across 1 and N drain threads.
+#[test]
+fn k_bad_readings_complete_the_rest_identically_across_thread_counts() {
+    let (data, config) = corpus(11);
+    let serial = fleet(&data, &config, 1);
+    let parallel = fleet(&data, &config, 4);
+    let bad_slots = [1usize, 3, 4];
+    let bad_values = [f64::NAN, -2.5, f64::INFINITY];
+
+    let mut last: Option<(RoundOutcome, RoundOutcome)> = None;
+    for t in 0..SLOTS_PER_WEEK {
+        let mut readings: Vec<f64> = (0..CONSUMERS)
+            .map(|c| reading(&data, &config, c, t))
+            .collect();
+        // One mid-week round carries the bad readings.
+        let poisoned = t == SLOTS_PER_WEEK / 2;
+        if poisoned {
+            for (&slot, &value) in bad_slots.iter().zip(&bad_values) {
+                readings[slot] = value;
+            }
+        }
+        let a = serial.ingest_round(&readings).expect("serial round");
+        let b = parallel.ingest_round(&readings).expect("parallel round");
+        assert_eq!(a, b, "tick {t}: serial and parallel outcomes diverged");
+        if poisoned {
+            assert_eq!(a.completed, CONSUMERS - bad_slots.len());
+            assert_eq!(a.faults.len(), bad_slots.len());
+            for ((id, fault), &slot) in a.faults.iter().zip(&bad_slots) {
+                assert_eq!(*id, serial.consumers()[slot], "faults keep fleet order");
+                assert!(
+                    matches!(fault, TickFault::Invalid { .. }),
+                    "bad reading surfaces as Invalid, got {fault:?}"
+                );
+            }
+        } else {
+            assert_eq!(a.completed, CONSUMERS, "tick {t}: clean round faulted");
+            assert!(a.faults.is_empty());
+        }
+        last = Some((a, b));
+    }
+
+    // The week still closes for every consumer; the three poisoned meters
+    // scored their windows over 335 observed ticks.
+    let (a, _) = last.expect("rounds ran");
+    assert_eq!(a.summaries.len(), CONSUMERS);
+    for (id, summary) in &a.summaries {
+        let expected = if bad_slots
+            .iter()
+            .any(|&slot| serial.consumers()[slot] == *id)
+        {
+            SLOTS_PER_WEEK as u32 - 1
+        } else {
+            SLOTS_PER_WEEK as u32
+        };
+        assert_eq!(summary.observed_ticks, expected, "consumer {id}");
+    }
+    let health = serial.health();
+    assert_eq!(health.gap_ticks, bad_slots.len() as u64);
+    assert_eq!(health.healthy, CONSUMERS, "isolated faults do not escalate");
+}
+
+/// Missing readings via the observation mask behave like invalid ones:
+/// faults in fleet order, everyone else completes.
+#[test]
+fn missing_readings_are_masked_gaps() {
+    let (data, config) = corpus(12);
+    let fleet = fleet(&data, &config, 2);
+    let readings: Vec<f64> = (0..CONSUMERS)
+        .map(|c| reading(&data, &config, c, 0))
+        .collect();
+    let mut observed = vec![true; CONSUMERS];
+    observed[2] = false;
+    observed[5] = false;
+    let outcome = fleet
+        .ingest_round_observed(&readings, &observed)
+        .expect("round");
+    assert_eq!(outcome.completed, CONSUMERS - 2);
+    let ids: Vec<u32> = outcome.faults.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![fleet.consumers()[2], fleet.consumers()[5]]);
+    assert!(outcome
+        .faults
+        .iter()
+        .all(|(_, f)| matches!(f, TickFault::Missing)));
+
+    // A wrong-length mask is a round-level error, like a wrong-length
+    // batch.
+    assert!(matches!(
+        fleet.ingest_round_observed(&readings, &[true; 2]),
+        Err(ServeError::BatchLen { got: 2, .. })
+    ));
+}
+
+/// Consecutive bad ticks escalate Healthy → Suspect → Quarantined; once
+/// quarantined the meter's reading is ignored (fault: Quarantined) but
+/// its window position keeps advancing; sustained good readings walk back
+/// through Probation to Healthy.
+#[test]
+fn health_ladder_escalates_and_recovers() {
+    let (data, config) = corpus(13);
+    let health_config = HealthConfig {
+        suspect_after: 2,
+        quarantine_after: 4,
+        probation_after: 3,
+        heal_after: 6,
+        stuck_after: 5,
+    };
+    let fleet = fleet_with(&data, &config, &health_config, 1);
+    let sick = 0usize;
+    let sick_id = fleet.consumers()[sick];
+
+    let round = |t: usize, poison: bool| -> RoundOutcome {
+        let mut readings: Vec<f64> = (0..CONSUMERS)
+            .map(|c| reading(&data, &config, c, t))
+            .collect();
+        if poison {
+            readings[sick] = f64::NAN;
+        }
+        fleet.ingest_round(&readings).expect("round")
+    };
+
+    // One bad tick: still Healthy. Two: Suspect. Four: Quarantined. The
+    // aggregate counters must track every transition.
+    let mut t = 0;
+    for (healthy, suspect, quarantined) in [
+        (CONSUMERS, 0, 0),
+        (CONSUMERS - 1, 1, 0),
+        (CONSUMERS - 1, 1, 0),
+        (CONSUMERS - 1, 0, 1),
+    ] {
+        let outcome = round(t, true);
+        t += 1;
+        assert_eq!(outcome.faults.len(), 1);
+        let health = fleet.health();
+        assert_eq!(
+            (health.healthy, health.suspect, health.quarantined),
+            (healthy, suspect, quarantined),
+            "after bad tick {t}"
+        );
+    }
+
+    // While quarantined, even valid readings are not scored: the fault is
+    // Quarantined, the gap count grows, the window position advances.
+    let ticks_before = fleet.health().ticks;
+    let outcome = round(t, false);
+    t += 1;
+    assert_eq!(outcome.completed, CONSUMERS - 1);
+    assert!(matches!(outcome.faults[0], (id, TickFault::Quarantined) if id == sick_id));
+    assert_eq!(fleet.health().ticks, ticks_before + CONSUMERS as u64);
+
+    // Good readings: probation after 3 (one already served above), then
+    // fully healthy at 6.
+    for _ in 0..2 {
+        round(t, false);
+        t += 1;
+    }
+    assert_eq!(fleet.health().probation, 1, "{:?}", fleet.health());
+    for _ in 0..3 {
+        round(t, false);
+        t += 1;
+    }
+    let health = fleet.health();
+    assert_eq!(health.healthy, CONSUMERS, "{health:?}");
+    assert_eq!(health.quarantined, 0);
+
+    // Once healthy again, ticks score normally.
+    let outcome = round(t, false);
+    assert_eq!(outcome.completed, CONSUMERS);
+}
+
+/// A stuck meter — the same positive reading repeated — quarantines after
+/// `stuck_after` ticks even though every reading is individually valid,
+/// and a probation relapse (one bad tick) goes straight back to
+/// quarantine.
+#[test]
+fn stuck_meters_quarantine_and_probation_is_one_strike() {
+    let (data, config) = corpus(14);
+    let health_config = HealthConfig {
+        suspect_after: 2,
+        quarantine_after: 4,
+        probation_after: 2,
+        heal_after: 8,
+        stuck_after: 4,
+    };
+    let fleet = fleet_with(&data, &config, &health_config, 1);
+    let stuck = 1usize;
+    let stuck_id = fleet.consumers()[stuck];
+
+    let mut outcome = RoundOutcome::default();
+    for t in 0..4 {
+        let mut readings: Vec<f64> = (0..CONSUMERS)
+            .map(|c| reading(&data, &config, c, t))
+            .collect();
+        readings[stuck] = 1.25; // bit-identical every round
+        outcome = fleet.ingest_round(&readings).expect("round");
+    }
+    assert_eq!(fleet.health().quarantined, 1, "stuck meter not caught");
+    assert!(matches!(outcome.faults[0], (id, TickFault::Quarantined) if id == stuck_id));
+
+    // Two *moving* readings: probation.
+    for t in 4..6 {
+        let readings: Vec<f64> = (0..CONSUMERS)
+            .map(|c| reading(&data, &config, c, t))
+            .collect();
+        fleet.ingest_round(&readings).expect("round");
+    }
+    assert_eq!(fleet.health().probation, 1);
+
+    // One bad tick on probation: straight back to quarantine.
+    let mut readings: Vec<f64> = (0..CONSUMERS)
+        .map(|c| reading(&data, &config, c, 6))
+        .collect();
+    readings[stuck] = -1.0;
+    fleet.ingest_round(&readings).expect("round");
+    assert_eq!(fleet.health().quarantined, 1);
+    assert_eq!(fleet.health().probation, 0);
+}
+
+/// Flat *zero* consumption is legitimate (a vacant property) and must
+/// never trip the stuck detector.
+#[test]
+fn flat_zero_consumption_is_not_stuck() {
+    let (data, config) = corpus(15);
+    let health_config = HealthConfig {
+        stuck_after: 3,
+        ..HealthConfig::default()
+    };
+    let fleet = fleet_with(&data, &config, &health_config, 1);
+    let vacant = 2usize;
+    for t in 0..12 {
+        let mut readings: Vec<f64> = (0..CONSUMERS)
+            .map(|c| reading(&data, &config, c, t))
+            .collect();
+        readings[vacant] = 0.0;
+        let outcome = fleet.ingest_round(&readings).expect("round");
+        assert_eq!(outcome.completed, CONSUMERS, "tick {t}");
+    }
+    assert_eq!(fleet.health().healthy, CONSUMERS);
+}
+
+/// An invalid health ladder is rejected at fleet construction.
+#[test]
+fn invalid_health_ladders_are_config_errors() {
+    let (data, config) = corpus(16);
+    let engine = EvalEngine::train(&data, &config).expect("train");
+    let bad = HealthConfig {
+        suspect_after: 10,
+        quarantine_after: 4, // suspect after quarantine: inconsistent
+        ..HealthConfig::default()
+    };
+    assert!(matches!(
+        Fleet::from_engine_with(&engine, &ServeConfig::default(), &bad, 1),
+        Err(ServeError::Config(ConfigError::InvalidHealthLadder { .. }))
+    ));
+}

@@ -1,21 +1,21 @@
-//! Loom model check of `Fleet::drain_round`'s claim/complete/abort
-//! protocol.
+//! Loom model check of `Fleet::drain_round`'s claim/complete protocol.
 //!
 //! The parallel drain coordinates its workers exactly like the batch
-//! engine: slots are claimed off a [`WorkQueue`], each claimed slot's
-//! result lands in a shared `completed` buffer behind a mutex, and the
-//! first invalid reading aborts the round while recording the error.
-//! These tests mirror that structure with loom's instrumented primitives
-//! (the queue itself swaps to loom atomics via the detect crate's sync
-//! shim) and exhaust every interleaving for a small fleet:
+//! engine: slots are claimed off a [`WorkQueue`] and each claimed slot's
+//! result lands in a shared result buffer behind a mutex. There is no
+//! abort path — a slot whose reading is bad records a *fault* in its own
+//! result cell and the remaining claims proceed untouched. These tests
+//! mirror that structure with loom's instrumented primitives (the queue
+//! itself swaps to loom atomics via the detect crate's sync shim) and
+//! exhaust every interleaving for a small fleet:
 //!
-//! 1. each slot is drained at most once, and absent an abort every slot's
-//!    result is present and equals the serial outcome — the determinism
+//! 1. each slot is drained at most once, and every slot's result is
+//!    present and equals the serial outcome — the determinism
 //!    `parallel_and_serial_rounds_agree` samples, proved over all
 //!    schedules;
-//! 2. a bad reading always records itself as the round's first failure
-//!    and quiesces the queue — no claim succeeds after the abort flag is
-//!    visible.
+//! 2. with a bad reading in the round, every slot is either ticked or
+//!    reported faulted — never silently dropped — and healthy slots
+//!    always complete: fault isolation holds under every schedule.
 //!
 //! Build and run with:
 //!
@@ -74,34 +74,46 @@ fn drain_round_outcome_is_schedule_independent() {
     });
 }
 
-/// A bad reading aborts the round: the failing slot records itself as the
-/// first failure, the queue quiesces, and the slots that did complete
-/// still carry correct results.
+/// The per-tick outcome a drain worker records: the loom mirror of
+/// `fdeta_serve::SlotTick`, reduced to what the invariant needs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Outcome {
+    Ticked(u64),
+    Faulted,
+}
+
+/// Fault isolation: with a bad reading in the round, every slot is either
+/// ticked or reported faulted — never silently dropped — the bad slot
+/// always surfaces as the fault, healthy slots always carry their scored
+/// result, and the queue fully quiesces (no abort), in every
+/// interleaving of two workers over three slots.
 #[test]
-fn bad_reading_aborts_and_records_first_failure() {
+fn every_slot_is_ticked_or_faulted_never_dropped() {
     loom::model(|| {
         const N: usize = 3;
         const BAD: usize = 1;
+        let readings = [0.5f64, f64::NAN, 2.5];
         let queue = Arc::new(WorkQueue::new(N));
-        let completed = Arc::new(Mutex::new([false; N]));
-        let failure = Arc::new(Mutex::new(None::<usize>));
+        let results = Arc::new(Mutex::new([None::<Outcome>; N]));
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let completed = Arc::clone(&completed);
-                let failure = Arc::clone(&failure);
+                let results = Arc::clone(&results);
                 thread::spawn(move || {
                     while let Some(slot) = queue.claim() {
-                        if slot == BAD {
-                            queue.abort();
-                            let mut first = failure.lock().unwrap();
-                            if first.is_none() {
-                                *first = Some(slot);
-                            }
+                        // Stand-in for `Fleet::tick_slot`: validate, then
+                        // score or fault — never abort the queue.
+                        let reading = readings[slot];
+                        let outcome = if reading.is_finite() && reading >= 0.0 {
+                            Outcome::Ticked(reading.to_bits())
                         } else {
-                            completed.lock().unwrap()[slot] = true;
-                            queue.complete();
-                        }
+                            Outcome::Faulted
+                        };
+                        let mut done = results.lock().unwrap();
+                        assert!(done[slot].is_none(), "slot {slot} drained twice");
+                        done[slot] = Some(outcome);
+                        drop(done);
+                        queue.complete();
                     }
                 })
             })
@@ -109,8 +121,17 @@ fn bad_reading_aborts_and_records_first_failure() {
         for handle in handles {
             handle.join().unwrap();
         }
-        assert_eq!(*failure.lock().unwrap(), Some(BAD), "failure not recorded");
-        assert!(queue.is_aborted());
-        assert_eq!(queue.claim(), None, "claim succeeded after abort");
+        let done = results.lock().unwrap();
+        for (slot, &outcome) in done.iter().enumerate() {
+            let expected = if slot == BAD {
+                Outcome::Faulted
+            } else {
+                Outcome::Ticked(readings[slot].to_bits())
+            };
+            assert_eq!(outcome, Some(expected), "slot {slot} dropped or wrong");
+        }
+        assert_eq!(queue.completed(), N, "queue did not quiesce");
+        assert!(!queue.is_aborted(), "fault isolation must never abort");
+        assert_eq!(queue.claim(), None, "claims past a drained queue");
     });
 }

@@ -401,6 +401,7 @@ impl Default for LintConfig {
             .collect(),
             score_seeds: [
                 "StreamScorer::ingest",
+                "StreamScorer::ingest_gap",
                 "StreamScorer::close_window",
                 "KldDetector::score",
             ]
@@ -411,6 +412,7 @@ impl Default for LintConfig {
             tick_seeds: [
                 "Fleet::ingest_tick",
                 "Fleet::ingest_round",
+                "Fleet::ingest_round_observed",
                 "Fleet::drain_round",
             ]
             .iter()
