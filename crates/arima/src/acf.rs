@@ -26,33 +26,17 @@ pub fn autocovariance(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaE
     let n = len as f64;
     let mean = series.iter().sum::<f64>() / n;
     let mut out = Vec::with_capacity(max_lag + 1);
-    // Lags are computed four at a time: the four accumulators are
-    // independent serial add chains, so one shared pass overlaps the
-    // FP-add latency a lag-at-a-time sweep serialises on. Each accumulator
-    // still sums its own lag's products in ascending-`t` order — exactly
-    // the order of the one-lag loop below — so every γ(k) is bit-identical
-    // to a per-lag sweep; the ragged head (`t < lag + 3`, where the later
-    // lags are not yet in range) is peeled off first, also in ascending
-    // `t`. `len > max_lag` guarantees the head indices stay in bounds.
+    // Lags are computed four at a time through
+    // [`fdeta_kernels::lag_quad_sums`]: four independent accumulators (one
+    // per lag — SIMD lanes when the CPU supports it) overlap the FP-add
+    // latency a lag-at-a-time sweep serialises on. Each accumulator still
+    // sums its own lag's products in ascending-`t` order — exactly the
+    // order of the one-lag loop below — so every γ(k) is bit-identical to
+    // a per-lag sweep, ragged heads included. `len > max_lag` guarantees
+    // the head indices stay in bounds.
     let mut lag = 0;
     while lag + 4 <= max_lag + 1 {
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for t in lag..lag + 3 {
-            s0 += (series[t] - mean) * (series[t - lag] - mean);
-        }
-        for t in lag + 1..lag + 3 {
-            s1 += (series[t] - mean) * (series[t - lag - 1] - mean);
-        }
-        for t in lag + 2..lag + 3 {
-            s2 += (series[t] - mean) * (series[t - lag - 2] - mean);
-        }
-        for t in lag + 3..len {
-            let x = series[t] - mean;
-            s0 += x * (series[t - lag] - mean);
-            s1 += x * (series[t - lag - 1] - mean);
-            s2 += x * (series[t - lag - 2] - mean);
-            s3 += x * (series[t - lag - 3] - mean);
-        }
+        let [s0, s1, s2, s3] = fdeta_kernels::lag_quad_sums(series, mean, lag);
         out.push(s0 / n);
         out.push(s1 / n);
         out.push(s2 / n);
@@ -85,6 +69,64 @@ pub fn acf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
     Ok(gamma.iter().map(|g| g / g0).collect())
 }
 
+/// Core Levinson–Durbin recursion over a caller-provided coefficient
+/// buffer. Updates `phi[..order]` in place, invokes `on_reflection` with
+/// each order's reflection coefficient (which is exactly the PACF value at
+/// that lag), and returns the final innovation variance.
+///
+/// The order-`k` update `phi'[j] = phi[j] - r·phi[k-1-j]` pairs index `j`
+/// with its mirror `k-1-j`, and each pair reads only the other's
+/// pre-update value — so walking the two ends inward updates in place
+/// without a scratch copy of the previous order's coefficients, producing
+/// bit-identical results to the copying form.
+fn levinson_core(
+    gamma: &[f64],
+    order: usize,
+    phi: &mut [f64],
+    mut on_reflection: impl FnMut(f64),
+) -> Result<f64, ArimaError> {
+    if gamma.len() <= order {
+        return Err(ArimaError::SeriesTooShort {
+            required: order + 1,
+            available: gamma.len(),
+        });
+    }
+    if gamma[0] <= 0.0 {
+        return Err(ArimaError::SingularSystem);
+    }
+    let mut err = gamma[0];
+    for k in 0..order {
+        let mut acc = gamma[k + 1];
+        for j in 0..k {
+            acc -= phi[j] * gamma[k - j];
+        }
+        let reflection = acc / err;
+        if k > 0 {
+            let mut lo = 0;
+            let mut hi = k - 1;
+            while lo < hi {
+                let a = phi[lo];
+                let b = phi[hi];
+                phi[lo] = a - reflection * b;
+                phi[hi] = b - reflection * a;
+                lo += 1;
+                hi -= 1;
+            }
+            if lo == hi {
+                let mid = phi[lo];
+                phi[lo] = mid - reflection * mid;
+            }
+        }
+        phi[k] = reflection;
+        err *= 1.0 - reflection * reflection;
+        if err <= 0.0 {
+            return Err(ArimaError::SingularSystem);
+        }
+        on_reflection(reflection);
+    }
+    Ok(err)
+}
+
 /// Levinson–Durbin recursion: solves the Yule–Walker equations for AR
 /// coefficients of order `order` from an autocovariance sequence.
 ///
@@ -102,46 +144,29 @@ pub fn levinson_durbin(gamma: &[f64], order: usize) -> Result<(Vec<f64>, f64), A
             available: gamma.len(),
         });
     }
-    if gamma[0] <= 0.0 {
-        return Err(ArimaError::SingularSystem);
-    }
     let mut phi = vec![0.0; order];
-    let mut prev = vec![0.0; order];
-    let mut err = gamma[0];
-    for k in 0..order {
-        let mut acc = gamma[k + 1];
-        for j in 0..k {
-            acc -= prev[j] * gamma[k - j];
-        }
-        let reflection = acc / err;
-        phi[k] = reflection;
-        for j in 0..k {
-            phi[j] = prev[j] - reflection * prev[k - 1 - j];
-        }
-        err *= 1.0 - reflection * reflection;
-        if err <= 0.0 {
-            return Err(ArimaError::SingularSystem);
-        }
-        prev[..=k].copy_from_slice(&phi[..=k]);
-    }
+    let err = levinson_core(gamma, order, &mut phi, |_| {})?;
     Ok((phi, err))
 }
 
-/// Partial autocorrelation function at lags `1..=max_lag`, computed by
-/// running Levinson–Durbin at each order and taking the last coefficient.
+/// Partial autocorrelation function at lags `1..=max_lag`.
+///
+/// The PACF at lag `k` is the `k`-th reflection coefficient of the
+/// Levinson–Durbin recursion, so a single recursion to order `max_lag`
+/// yields every lag — bit-identical to (and an order cheaper than)
+/// re-running the recursion per lag and taking the last coefficient.
 ///
 /// # Errors
 ///
 /// As [`levinson_durbin`] / [`autocovariance`].
 pub fn pacf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, ArimaError> {
     let gamma = autocovariance(series, max_lag)?;
-    let mut out = Vec::with_capacity(max_lag);
-    for k in 1..=max_lag {
-        // `levinson_durbin` returns exactly `k` coefficients, so the last
-        // one is at `k - 1` — indexed directly to keep this panic-free.
-        let (phi, _) = levinson_durbin(&gamma, k)?;
-        out.push(phi[k - 1]);
+    if max_lag == 0 {
+        return Ok(Vec::new());
     }
+    let mut out = Vec::with_capacity(max_lag);
+    let mut phi = vec![0.0; max_lag];
+    levinson_core(&gamma, max_lag, &mut phi, |reflection| out.push(reflection))?;
     Ok(out)
 }
 
@@ -246,6 +271,24 @@ mod tests {
         let (coeffs, _) = levinson_durbin(&gamma, 2).unwrap();
         assert!((coeffs[0] - p1).abs() < 1e-10, "phi1: {}", coeffs[0]);
         assert!((coeffs[1] - p2).abs() < 1e-10, "phi2: {}", coeffs[1]);
+    }
+
+    #[test]
+    fn pacf_matches_per_order_levinson_durbin_bit_for_bit() {
+        // The single-recursion PACF (reflection coefficients) must agree
+        // bit-for-bit with the definitional form: run Levinson–Durbin to
+        // each order separately and take the last coefficient.
+        let series = simulate_ar1(0.55, 600, 17);
+        for max_lag in [1usize, 2, 3, 5, 8] {
+            let p = pacf(&series, max_lag).unwrap();
+            let gamma = autocovariance(&series, max_lag).unwrap();
+            assert_eq!(p.len(), max_lag);
+            for k in 1..=max_lag {
+                let (phi, _) = levinson_durbin(&gamma, k).unwrap();
+                assert_eq!(p[k - 1].to_bits(), phi[k - 1].to_bits(), "lag {k}");
+            }
+        }
+        assert!(pacf(&series, 0).unwrap().is_empty());
     }
 
     #[test]

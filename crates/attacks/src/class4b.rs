@@ -212,7 +212,7 @@ mod tests {
         // with the true price: compare the mean shed in the most- and
         // least-expensive slot halves.
         let mut slots: Vec<usize> = (0..SLOTS_PER_WEEK).collect();
-        slots.sort_by(|&a, &b| scheme.price_at(a).cmp(&scheme.price_at(b)));
+        slots.sort_by_key(|&s| scheme.price_at(s));
         let shed = |t: usize| out.mallory.actual.as_slice()[t] - 1.0;
         let cheap: f64 = slots[..SLOTS_PER_WEEK / 2]
             .iter()

@@ -178,7 +178,7 @@ mod tests {
         // NaN in the *expensive* window sorts first and conservatively
         // blocks the day's swaps — still no panic, readings untouched.
         let mut values = vec![f64::NAN, 2.0, 1.0, 0.1, 0.2, 0.5];
-        profitable_swap_day(&mut values, &mut vec![0, 1, 2], &mut vec![3, 4, 5]);
+        profitable_swap_day(&mut values, &mut [0, 1, 2], &mut [3, 4, 5]);
         assert!(values[0].is_nan());
         assert_eq!(&values[1..], &[2.0, 1.0, 0.1, 0.2, 0.5]);
     }

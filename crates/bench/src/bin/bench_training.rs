@@ -21,14 +21,27 @@
 //!    of the trained fleet, fingerprinted again so the warm path's
 //!    bit-identity is checked alongside its speed. The paper-scale wall
 //!    time before the bulk-decode rework is pinned as `baseline_secs`.
+//!    A second round trip goes through a sharded store
+//!    ([`ArtifactStore::sharded`]) and must fingerprint identically (the
+//!    `store_gate`).
+//! 4. **Kernel and corpus-path gates**: the fleet is retrained once with
+//!    [`fdeta_kernels::set_force_scalar`] pinning the scalar reference
+//!    kernels, and once from a columnar slab corpus
+//!    ([`fdeta_tsdata::SlabCorpus`]) written from the same dataset; both
+//!    artifact fingerprints must equal the dispatched in-memory train.
+//! 5. **Columnar slab IO ladder** (default 10k / 100k / 1M consumers,
+//!    `--slab-fleets A,B,..`): streaming [`fdeta_tsdata::SlabWriter`]
+//!    write and full [`SlabCorpus::read_into`] sweep throughput over
+//!    prototype-replicated 8-week corpora — the out-of-core format's
+//!    raw cost at million-meter scale, decoupled from generation cost.
 //!
 //! Results go to `BENCH_training.json` (override with `--out PATH`) in a
-//! stable, hand-rolled schema (`fdeta-bench-training/v1`) with keys in a
+//! stable, hand-rolled schema (`fdeta-bench-training/v2`) with keys in a
 //! fixed order. `--deterministic` omits every timing field so two runs
 //! over the same corpus are byte-identical — that is what the CI
-//! perf-smoke job diffs. Shares the standard corpus flags
-//! (`--consumers`, `--weeks`, ...); the defaults measure the paper-scale
-//! 500-consumer corpus.
+//! perf-smoke job diffs; the equivalence gates still run. Shares the
+//! standard corpus flags (`--consumers`, `--weeks`, ...); the defaults
+//! measure the paper-scale 500-consumer corpus.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -47,7 +60,7 @@ use fdeta_detect::{ConditionedKldDetector, PcaScratch};
 use fdeta_gridsim::pricing::TouPlan;
 use fdeta_tsdata::hist::HistScratch;
 use fdeta_tsdata::week::WeekMatrix;
-use fdeta_tsdata::SLOTS_PER_WEEK;
+use fdeta_tsdata::{SlabCorpus, SlabWriter, SLOTS_PER_WEEK};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -647,6 +660,8 @@ struct BenchArgs {
     run: RunArgs,
     out: PathBuf,
     deterministic: bool,
+    slab_fleets: Vec<usize>,
+    store_shards: usize,
 }
 
 impl BenchArgs {
@@ -655,6 +670,8 @@ impl BenchArgs {
         let run = RunArgs::parse(&args);
         let mut out = PathBuf::from("BENCH_training.json");
         let mut deterministic = false;
+        let mut slab_fleets = vec![10_000, 100_000, 1_000_000];
+        let mut store_shards = 8usize;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -665,15 +682,41 @@ impl BenchArgs {
                             .unwrap_or_else(|| panic!("expected a path after --out")),
                     );
                 }
+                "--slab-fleets" => {
+                    i += 1;
+                    slab_fleets = args
+                        .get(i)
+                        .map(|list| {
+                            list.split(',')
+                                .map(|m| {
+                                    m.parse().unwrap_or_else(|_| {
+                                        panic!("bad consumer count {m:?} in --slab-fleets")
+                                    })
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_else(|| panic!("expected counts after --slab-fleets"));
+                }
+                "--store-shards" => {
+                    i += 1;
+                    store_shards = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("expected a shard count after --store-shards"));
+                }
                 "--deterministic" => deterministic = true,
                 _ => {}
             }
             i += 1;
         }
+        assert!(store_shards >= 1, "--store-shards must be at least 1");
+        assert!(slab_fleets.iter().all(|&m| m >= 1));
         Self {
             run,
             out,
             deterministic,
+            slab_fleets,
+            store_shards,
         }
     }
 }
@@ -1000,6 +1043,76 @@ fn stage_breakdown(
     breakdown
 }
 
+/// One slab IO rung: `consumers` prototype-replicated 8-week rows
+/// streamed to disk through [`SlabWriter`] and swept back through
+/// [`SlabCorpus::read_into`] with reused buffers. Real generated series
+/// cycle as row prototypes (distinct ids), so the rung measures the
+/// columnar format's IO cost, not synthesis cost.
+struct SlabRung {
+    consumers: usize,
+    weeks: usize,
+    bytes: u64,
+    write_secs: f64,
+    read_secs: f64,
+}
+
+fn slab_ladder_rung(
+    data: &fdeta_cer_synth::SyntheticDataset,
+    consumers: usize,
+    weeks: usize,
+) -> SlabRung {
+    let stride = weeks * SLOTS_PER_WEEK;
+    let prototypes: Vec<&[f64]> = (0..data.len().min(16))
+        .map(|i| {
+            let series = data.consumer(i).series.as_slice();
+            assert!(
+                series.len() >= stride,
+                "corpus rows are shorter than the {weeks}-week ladder stride"
+            );
+            &series[..stride]
+        })
+        .collect();
+
+    let path = std::env::temp_dir().join(format!(
+        "fdeta-bench-slab-{}-{consumers}.col",
+        std::process::id()
+    ));
+    let started = Instant::now();
+    let mut writer =
+        SlabWriter::create(&path, weeks).unwrap_or_else(|e| panic!("slab create failed: {e}"));
+    for m in 0..consumers {
+        writer
+            .append(m as u32, prototypes[m % prototypes.len()])
+            .unwrap_or_else(|e| panic!("slab append failed: {e}"));
+    }
+    writer
+        .finish()
+        .unwrap_or_else(|e| panic!("slab finish failed: {e}"));
+    let write_secs = started.elapsed().as_secs_f64();
+    let bytes = fs::metadata(&path).map_or(0, |m| m.len());
+
+    let started = Instant::now();
+    let corpus = SlabCorpus::open(&path).unwrap_or_else(|e| panic!("slab open failed: {e}"));
+    let mut row = Vec::new();
+    let mut scratch = Vec::new();
+    for index in 0..corpus.len() {
+        corpus
+            .read_into(index, &mut row, &mut scratch)
+            .unwrap_or_else(|e| panic!("slab read failed: {e}"));
+        std::hint::black_box(&row);
+    }
+    let read_secs = started.elapsed().as_secs_f64();
+    let _ = fs::remove_file(&path);
+
+    SlabRung {
+        consumers,
+        weeks,
+        bytes,
+        write_secs,
+        read_secs,
+    }
+}
+
 fn main() {
     let args = BenchArgs::from_env();
     let data = args.run.corpus();
@@ -1082,6 +1195,97 @@ fn main() {
     drop(warm_engine);
     let _ = fs::remove_dir_all(&store_root);
 
+    // --- sharded store gate ------------------------------------------------
+    eprintln!(
+        "round-tripping the fleet through a {}-shard store...",
+        args.store_shards
+    );
+    let sharded_root = std::env::temp_dir().join(format!(
+        "fdeta-bench-training-sharded-{}",
+        std::process::id()
+    ));
+    let sharded_store = ArtifactStore::sharded(&sharded_root, args.store_shards);
+    sharded_store
+        .save(&data, &config, engine.artifacts())
+        .unwrap_or_else(|e| panic!("sharded artifact save failed: {e}"));
+    let sharded_started = Instant::now();
+    let sharded_artifacts = sharded_store
+        .load(&data, &config)
+        .unwrap_or_else(|e| panic!("sharded artifact load failed: {e}"))
+        .unwrap_or_else(|| panic!("sharded artifact entry vanished"));
+    let sharded_load = sharded_started.elapsed();
+    let mut sharded_fp = Fingerprint::new();
+    for artifact in &sharded_artifacts {
+        absorb_current(&mut sharded_fp, artifact);
+    }
+    assert_eq!(
+        sharded_fp.finish(),
+        current_fp.finish(),
+        "sharded-store artifacts diverged from the monolithic store"
+    );
+    drop(sharded_artifacts);
+    let _ = fs::remove_dir_all(&sharded_root);
+
+    // --- scalar kernel gate ------------------------------------------------
+    eprintln!("retraining the fleet with the scalar reference kernels pinned...");
+    fdeta_kernels::set_force_scalar(true);
+    let scalar_engine =
+        EvalEngine::train(&data, &config).unwrap_or_else(|e| panic!("scalar training failed: {e}"));
+    fdeta_kernels::set_force_scalar(false);
+    let mut scalar_fp = Fingerprint::new();
+    for artifact in scalar_engine.artifacts() {
+        absorb_current(&mut scalar_fp, artifact);
+    }
+    drop(scalar_engine);
+    assert_eq!(
+        scalar_fp.finish(),
+        current_fp.finish(),
+        "scalar-pinned training diverged from the dispatched kernels"
+    );
+
+    // --- slab corpus gate --------------------------------------------------
+    eprintln!("retraining the fleet from a columnar slab corpus...");
+    let slab_path =
+        std::env::temp_dir().join(format!("fdeta-bench-training-{}.col", std::process::id()));
+    data.to_slabs(&slab_path)
+        .unwrap_or_else(|e| panic!("slab write failed: {e}"));
+    let slab_corpus =
+        SlabCorpus::open(&slab_path).unwrap_or_else(|e| panic!("slab open failed: {e}"));
+    let slab_engine = EvalEngine::train_slabs(&slab_corpus, &config)
+        .unwrap_or_else(|e| panic!("slab training failed: {e}"));
+    drop(slab_corpus);
+    let _ = fs::remove_file(&slab_path);
+    let mut slab_fp = Fingerprint::new();
+    for artifact in slab_engine.artifacts() {
+        absorb_current(&mut slab_fp, artifact);
+    }
+    drop(slab_engine);
+    assert_eq!(
+        slab_fp.finish(),
+        current_fp.finish(),
+        "slab-corpus training diverged from the in-memory dataset"
+    );
+
+    // --- slab IO ladder (skipped under --deterministic) --------------------
+    let slab_rungs: Vec<SlabRung> = if args.deterministic {
+        Vec::new()
+    } else {
+        args.slab_fleets
+            .iter()
+            .map(|&n| {
+                eprintln!("slab IO ladder: {n} consumers x 8 weeks...");
+                let rung = slab_ladder_rung(&data, n, 8);
+                eprintln!(
+                    "  {:.1} MiB written in {:.2}s, swept in {:.2}s",
+                    rung.bytes as f64 / (1024.0 * 1024.0),
+                    rung.write_secs,
+                    rung.read_secs
+                );
+                rung
+            })
+            .collect()
+    };
+
     // --- per-stage breakdown (skipped under --deterministic) ---------------
     let stages = if args.deterministic {
         None
@@ -1120,7 +1324,7 @@ fn main() {
     let mut json = String::new();
     // Hand-rolled so the schema (and key order) is fixed and independent of
     // any serializer; CI byte-diffs two --deterministic runs.
-    json.push_str("{\n  \"schema\": \"fdeta-bench-training/v1\",\n");
+    json.push_str("{\n  \"schema\": \"fdeta-bench-training/v2\",\n");
     let _ = writeln!(
         json,
         "  \"corpus\": {{\"consumers\": {}, \"weeks\": {}, \"train_weeks\": {}, \"bins\": {}, \"seed\": {}, \"threads\": {}}},",
@@ -1133,9 +1337,23 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"equivalence\": {{\"artifacts\": \"{:016x}\", \"warm_load\": \"{:016x}\", \"identical\": true}},",
+        "  \"equivalence\": {{\"artifacts\": \"{:016x}\", \"warm_load\": \"{:016x}\", \"scalar_kernels\": \"{:016x}\", \"slab_corpus\": \"{:016x}\", \"identical\": true}},",
         current_fp.finish(),
-        warm_fp.finish()
+        warm_fp.finish(),
+        scalar_fp.finish(),
+        slab_fp.finish()
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_gate\": {{\"simd_available\": {}}},",
+        fdeta_kernels::simd_active()
+    );
+    let _ = writeln!(
+        json,
+        "  \"store_gate\": {{\"shards\": {}, \"monolithic\": \"{:016x}\", \"sharded\": \"{:016x}\", \"identical\": true}},",
+        args.store_shards,
+        warm_fp.finish(),
+        sharded_fp.finish()
     );
     if args.deterministic {
         json.push_str("  \"timings\": \"omitted (--deterministic)\"\n}\n");
@@ -1164,10 +1382,28 @@ fn main() {
         }
         let _ = writeln!(
             json,
-            "  \"warm_load\": {{\"warm_load_secs\": {:.6}, \"baseline_secs\": {WARM_BASELINE_SECS}, \"speedup_vs_baseline\": {:.2}, \"store_file_bytes\": {store_bytes}}}\n}}",
+            "  \"warm_load\": {{\"warm_load_secs\": {:.6}, \"sharded_load_secs\": {:.6}, \"baseline_secs\": {WARM_BASELINE_SECS}, \"speedup_vs_baseline\": {:.2}, \"store_file_bytes\": {store_bytes}}},",
             warm_load.as_secs_f64(),
+            sharded_load.as_secs_f64(),
             WARM_BASELINE_SECS / warm_load.as_secs_f64()
         );
+        json.push_str("  \"slab_ladder\": [\n");
+        for (i, r) in slab_rungs.iter().enumerate() {
+            let comma = if i + 1 < slab_rungs.len() { "," } else { "" };
+            let mib = r.bytes as f64 / (1024.0 * 1024.0);
+            let _ = writeln!(
+                json,
+                "    {{\"consumers\": {}, \"weeks\": {}, \"bytes\": {}, \"write_secs\": {:.6}, \"write_mib_per_sec\": {:.1}, \"read_secs\": {:.6}, \"read_mib_per_sec\": {:.1}}}{comma}",
+                r.consumers,
+                r.weeks,
+                r.bytes,
+                r.write_secs,
+                mib / r.write_secs,
+                r.read_secs,
+                mib / r.read_secs
+            );
+        }
+        json.push_str("  ]\n}\n");
     }
 
     fs::write(&args.out, &json)

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use fdeta_tsdata::colcorpus::{ColError, SlabWriter};
 use fdeta_tsdata::csv::{read_cer_records, records_to_series, write_cer_series};
 use fdeta_tsdata::series::HalfHourSeries;
 use fdeta_tsdata::week::WeekMatrix;
@@ -71,7 +72,13 @@ impl SyntheticDataset {
         }
     }
 
-    fn generate_consumer(config: &DatasetConfig, index: usize) -> ConsumerRecord {
+    /// Generates one consumer independently of the rest of the corpus.
+    /// Each consumer draws from its own `(seed, index)`-derived stream, so
+    /// this produces bit-identical readings to
+    /// [`SyntheticDataset::generate`]'s record at the same index — the
+    /// streaming slab writer ([`SyntheticDataset::write_slabs`]) relies on
+    /// this to emit a million-consumer corpus one consumer at a time.
+    pub fn generate_consumer(config: &DatasetConfig, index: usize) -> ConsumerRecord {
         let mut hasher = DefaultHasher::new();
         (config.seed, index as u64).hash(&mut hasher);
         let mut rng = StdRng::seed_from_u64(hasher.finish());
@@ -209,6 +216,52 @@ impl SyntheticDataset {
         Ok(())
     }
 
+    /// Streams the corpus described by `config` straight into a columnar
+    /// slab file ([`fdeta_tsdata::colcorpus`]): each consumer is generated
+    /// independently, appended, and dropped, so peak memory is one
+    /// consumer's readings regardless of corpus size. The slab contents
+    /// are bit-identical to [`SyntheticDataset::generate`] followed by
+    /// [`SyntheticDataset::to_slabs`]. Returns the file's FNV content key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ColError`] from the slab writer.
+    pub fn write_slabs(
+        config: &DatasetConfig,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<u64, ColError> {
+        let mut writer = SlabWriter::create(path, config.weeks)?;
+        for index in 0..config.consumers {
+            let record = Self::generate_consumer(config, index);
+            writer.append(record.id, record.series.as_slice())?;
+        }
+        writer.finish()
+    }
+
+    /// Writes an already materialised corpus into a columnar slab file.
+    /// Every consumer must span the same number of whole weeks (the slab
+    /// format is fixed-stride); the first record sets the stride.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Shape`] for an empty corpus or ragged week counts,
+    /// otherwise propagates the slab writer's errors.
+    pub fn to_slabs(&self, path: impl Into<std::path::PathBuf>) -> Result<u64, ColError> {
+        let weeks = match self.records.first() {
+            Some(record) => record.series.whole_weeks(),
+            None => {
+                return Err(ColError::Shape {
+                    what: "cannot write an empty corpus as slabs".into(),
+                })
+            }
+        };
+        let mut writer = SlabWriter::create(path, weeks)?;
+        for record in &self.records {
+            writer.append(record.id, record.series.as_slice())?;
+        }
+        writer.finish()
+    }
+
     /// Fraction of consumers whose peak-window (09:00–24:00) consumption
     /// exceeds their off-peak consumption on more than `day_threshold` of
     /// days — the paper's TOU plausibility statistic (94.4% at 90%).
@@ -342,6 +395,41 @@ mod tests {
                 assert!((x - y).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn streaming_slabs_match_materialised_corpus_bit_for_bit() {
+        use fdeta_tsdata::colcorpus::SlabCorpus;
+        let config = DatasetConfig::small(5, 3, 99);
+        let dir = std::env::temp_dir();
+        let streamed = dir.join(format!("fdeta-synth-streamed-{}.col", std::process::id()));
+        let staged = dir.join(format!("fdeta-synth-staged-{}.col", std::process::id()));
+
+        let key_streamed = SyntheticDataset::write_slabs(&config, &streamed).unwrap();
+        let data = SyntheticDataset::generate(&config);
+        let key_staged = data.to_slabs(&staged).unwrap();
+        assert_eq!(key_streamed, key_staged);
+        assert_eq!(
+            std::fs::read(&streamed).unwrap(),
+            std::fs::read(&staged).unwrap()
+        );
+
+        let corpus = SlabCorpus::open(&streamed).unwrap();
+        corpus.verify().unwrap();
+        assert_eq!(corpus.len(), 5);
+        assert_eq!(corpus.weeks(), 3);
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        for index in 0..data.len() {
+            assert_eq!(corpus.id(index).unwrap(), data.consumer(index).id);
+            corpus.read_into(index, &mut out, &mut scratch).unwrap();
+            let expected = data.consumer(index).series.as_slice();
+            assert_eq!(out.len(), expected.len());
+            for (got, want) in out.iter().zip(expected) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        let _ = std::fs::remove_file(&streamed);
+        let _ = std::fs::remove_file(&staged);
     }
 
     #[test]

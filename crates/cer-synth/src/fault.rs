@@ -295,9 +295,9 @@ impl FaultModel {
                 });
             }
             if self.spike_rate > 0.0 {
-                for t in 0..len {
+                for (t, value) in values.iter_mut().enumerate() {
                     if rng.gen_bool(self.spike_rate) {
-                        values[t] *= self.spike_multiplier;
+                        *value *= self.spike_multiplier;
                         events.push(FaultEvent {
                             consumer_id: record.id,
                             start_slot: t,

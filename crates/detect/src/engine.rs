@@ -295,6 +295,34 @@ impl TrainedConsumer {
         Ok(artifact)
     }
 
+    /// [`TrainedConsumer::train_with`] from a bare flat reading slice —
+    /// the columnar-corpus training path. The slice is split exactly as
+    /// [`TrainedConsumer::train`] splits a record's series, so training
+    /// from a slab read back off disk is bit-identical to training from
+    /// the materialised record it was written from.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrainedConsumer::train`].
+    pub fn train_flat(
+        id: u32,
+        index: usize,
+        flat: &[f64],
+        config: &EvalConfig,
+        scratch: &mut TrainScratch,
+    ) -> Result<Self, TrainError> {
+        let (train, test) = Self::split_flat(id, flat, config)?;
+        let mut artifact = Self::from_window_with(
+            id,
+            index,
+            &train,
+            &ArtifactParams::from_eval(config),
+            scratch,
+        )?;
+        artifact.test = Some(test);
+        Ok(artifact)
+    }
+
     /// Splits a record into the protocol's `(train, test)` week matrices —
     /// the deterministic, cheap part of [`TrainedConsumer::train`], shared
     /// with the artifact store's warm path so a reloaded artifact sees
@@ -303,11 +331,21 @@ impl TrainedConsumer {
         record: &ConsumerRecord,
         config: &EvalConfig,
     ) -> Result<(WeekMatrix, WeekMatrix), TrainError> {
-        let total_weeks = record.series.whole_weeks();
+        Self::split_flat(record.id, record.series.as_slice(), config)
+    }
+
+    /// The split itself, over flat readings: whole weeks only, first
+    /// `train_weeks` into the training matrix, the rest held out.
+    fn split_flat(
+        id: u32,
+        flat: &[f64],
+        config: &EvalConfig,
+    ) -> Result<(WeekMatrix, WeekMatrix), TrainError> {
+        let total_weeks = flat.len() / SLOTS_PER_WEEK;
         let required = config.train_weeks + 2;
         if total_weeks < required {
             return Err(TrainError::NotEnoughWeeks {
-                consumer: record.id,
+                consumer: id,
                 required,
                 available: total_weeks,
             });
@@ -317,7 +355,6 @@ impl TrainedConsumer {
         // `to_week_matrix` would clone again. Bit-identical data; the
         // bounds are guaranteed by the `total_weeks` check above, and
         // `from_flat` still validates every reading.
-        let flat = record.series.as_slice();
         let split = config.train_weeks * SLOTS_PER_WEEK;
         let train = WeekMatrix::from_flat(flat[..split].to_vec())?;
         let test = WeekMatrix::from_flat(flat[split..total_weeks * SLOTS_PER_WEEK].to_vec())?;
@@ -667,6 +704,60 @@ impl EvalEngine {
             threads,
             stats: Mutex::new(stats),
             progress,
+        })
+    }
+
+    /// Trains every consumer's artifact straight from a columnar slab
+    /// corpus, out of core: each worker streams one consumer's slab into
+    /// a reusable buffer, trains, and drops the readings before moving to
+    /// the next consumer — peak resident reading data is one slab per
+    /// worker, regardless of corpus size. Artifacts are bit-identical to
+    /// [`EvalEngine::train`] over the materialised dataset the slabs were
+    /// written from ([`TrainedConsumer::train_flat`]'s contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::train`], plus [`TrainError::Corpus`] (wrapped in
+    /// [`EvalError::Train`]) when a slab cannot be read.
+    pub fn train_slabs(
+        corpus: &fdeta_tsdata::SlabCorpus,
+        config: &EvalConfig,
+    ) -> Result<Self, EvalError> {
+        config.validate()?;
+        let threads = config.worker_threads(corpus.len());
+        let started = Instant::now();
+        let artifacts = run_work_stealing_stateful(
+            corpus.len(),
+            threads,
+            None,
+            EngineStage::Train,
+            || (TrainScratch::new(), Vec::new(), Vec::new()),
+            |(scratch, flat, bytes): &mut (TrainScratch, Vec<f64>, Vec<u8>), index| {
+                let id = corpus.id(index).map_err(|e| TrainError::Corpus {
+                    consumer: 0,
+                    message: e.to_string(),
+                })?;
+                corpus
+                    .read_into(index, flat, bytes)
+                    .map_err(|e| TrainError::Corpus {
+                        consumer: id,
+                        message: e.to_string(),
+                    })?;
+                TrainedConsumer::train_flat(id, index, flat, config, scratch)
+            },
+        )?;
+        let stats = EngineStats {
+            train_wall: started.elapsed(),
+            consumers: artifacts.len(),
+            threads,
+            ..EngineStats::default()
+        };
+        Ok(Self {
+            config: config.clone(),
+            artifacts,
+            threads,
+            stats: Mutex::new(stats),
+            progress: None,
         })
     }
 
@@ -1066,14 +1157,17 @@ where
         Ok(local)
     };
 
-    let outcomes: Vec<std::thread::Result<Result<Vec<(usize, T)>, TrainError>>> =
-        std::thread::scope(|scope| {
-            let worker = &worker;
-            let handles: Vec<_> = (0..threads)
-                .map(|t| scope.spawn(move || worker(t)))
-                .collect();
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+    // One entry per worker: the outer Result is the join (panic) outcome,
+    // the inner one the worker's own claim-loop result of buffered
+    // `(index, value)` pairs.
+    type WorkerOutcome<T> = std::thread::Result<Result<Vec<(usize, T)>, TrainError>>;
+    let outcomes: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || worker(t)))
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
 
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let mut first_error: Option<TrainError> = None;

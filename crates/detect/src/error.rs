@@ -166,6 +166,13 @@ pub enum TrainError {
         /// The underlying model error.
         source: ArimaError,
     },
+    /// A consumer's slab could not be read from a columnar corpus.
+    Corpus {
+        /// The consumer's meter id (0 when the id itself was unreadable).
+        consumer: u32,
+        /// The corpus layer's error, rendered.
+        message: String,
+    },
     /// A time-series layer error with no per-consumer attribution.
     Data(TsError),
 }
@@ -218,6 +225,9 @@ impl fmt::Display for TrainError {
             } => write!(f, "consumer {consumer}: {policy} repair failed: {source}"),
             TrainError::Seeding { consumer, source } => {
                 write!(f, "consumer {consumer}: forecaster seeding failed: {source}")
+            }
+            TrainError::Corpus { consumer, message } => {
+                write!(f, "consumer {consumer}: slab corpus read failed: {message}")
             }
             TrainError::Data(source) => write!(f, "time-series error: {source}"),
         }

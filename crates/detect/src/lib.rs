@@ -37,7 +37,12 @@
 
 pub mod arima_detector;
 pub mod budget;
-pub mod codec;
+/// Byte-level codec primitives, re-exported from `fdeta-tsdata` where they
+/// now live so the corpus layer can share them; see
+/// [`fdeta_tsdata::codec`] for the format conventions.
+pub mod codec {
+    pub use fdeta_tsdata::codec::*;
+}
 pub mod detector;
 pub mod engine;
 pub mod error;

@@ -48,21 +48,16 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Dot products of four equal-length rows against `v` in one pass. Each
-/// accumulator sums its row's products in the same element order as
-/// [`dot`], so all four results are bit-identical to four separate `dot`
-/// calls — but the four independent add chains overlap in the FP pipeline
-/// instead of serialising on one accumulator's add latency, which is what
-/// makes the power sweep below latency-bound when done row by row.
+/// Dot products of four equal-length rows against `v` in one pass —
+/// [`fdeta_kernels::dot4`], which runs the four accumulators as SIMD lanes
+/// when the CPU supports it. Each accumulator sums its row's products in
+/// the same element order as [`dot`], so all four results are
+/// bit-identical to four separate `dot` calls — but the four independent
+/// add chains overlap in the FP pipeline instead of serialising on one
+/// accumulator's add latency, which is what makes the power sweep below
+/// latency-bound when done row by row.
 fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for (((&y, &x0), (&x1, &x2)), &x3) in v.iter().zip(r0).zip(r1.iter().zip(r2)).zip(r3) {
-        a0 += x0 * y;
-        a1 += x1 * y;
-        a2 += x2 * y;
-        a3 += x3 * y;
-    }
-    [a0, a1, a2, a3]
+    fdeta_kernels::dot4(r0, r1, r2, r3, v)
 }
 
 fn norm(a: &[f64]) -> f64 {

@@ -29,7 +29,7 @@
 //! `tests/store_roundtrip.rs` asserts a warm engine's full evaluation
 //! equals the cold engine's. Only the expensive state is persisted; the
 //! cheap derived pieces (train/test split, interval detectors, weekly-mean
-//! range) are re-derived on load by [`TrainedConsumer::reassemble`],
+//! range) are re-derived on load by `TrainedConsumer::reassemble`,
 //! which keeps files small and guarantees they cannot drift from the
 //! persisted model.
 //!
@@ -46,8 +46,10 @@ use fdeta_cer_synth::SyntheticDataset;
 use fdeta_tsdata::hist::BinEdges;
 
 use crate::codec::{fnv1a, ByteReader, ByteWriter, Fnv, FNV_OFFSET};
-use crate::engine::{EvalEngine, ProgressFn, TrainedConsumer};
-use crate::error::EvalError;
+use crate::engine::{
+    run_work_stealing_stateful, EngineStage, EvalEngine, ProgressFn, TrainedConsumer,
+};
+use crate::error::{EvalError, TrainError};
 use crate::eval::EvalConfig;
 use crate::kld::BandRepr;
 use crate::kld::{
@@ -63,6 +65,53 @@ pub const STORE_VERSION: u32 = 1;
 
 /// File magic: identifies an F-DETA artifact file regardless of extension.
 const MAGIC: &[u8; 8] = b"FDETAART";
+
+/// File magic for a sharded store's manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"FDETAMAN";
+
+/// File magic for one consumer-range shard of a sharded store.
+const SHARD_MAGIC: &[u8; 8] = b"FDETASHD";
+
+/// Splits `count` consumers into `shards` contiguous index ranges
+/// `(start, count)`, sizes differing by at most one, empty shards never
+/// emitted (the shard count is clamped to the consumer count).
+fn shard_ranges(count: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, count.max(1));
+    let base = count / shards;
+    let rem = count % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < rem);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+/// Worker threads for parallel shard encode/decode: the machine's
+/// available parallelism, never more than one thread per shard.
+fn store_threads(shards: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, shards.max(1))
+}
+
+/// Splits off and verifies a file's trailing FNV-1a checksum, returning
+/// the covered payload.
+fn checksummed_payload(bytes: &[u8]) -> Result<&[u8], String> {
+    if bytes.len() < 8 + 8 {
+        return Err("file shorter than header + checksum".into());
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(tail);
+    if fnv1a(payload, FNV_OFFSET) != u64::from_le_bytes(sum) {
+        return Err("integrity checksum mismatch".into());
+    }
+    Ok(payload)
+}
 
 /// A failure of the store itself — never fatal to an evaluation, because
 /// [`ArtifactStore::engine`] falls back to retraining.
@@ -138,21 +187,49 @@ pub struct CacheOutcome {
 }
 
 /// A directory of versioned, content-keyed artifact files.
+///
+/// A store writes either one monolithic file ([`ArtifactStore::new`]) or
+/// `N` consumer-range shard files under a manifest
+/// ([`ArtifactStore::sharded`]); loads auto-detect whichever layout is on
+/// disk, so the knob only changes what *saves* produce. Sharded saves and
+/// loads encode/decode their shards with work-stealing parallelism —
+/// per-consumer artifact codec work is independent across shards — and
+/// the corpus key is hashed once per operation and threaded to the
+/// manifest and every shard.
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    shards: usize,
 }
 
 impl ArtifactStore {
-    /// A store rooted at `root`. The directory is created lazily on the
-    /// first save.
+    /// A store rooted at `root`, saving one monolithic file per corpus.
+    /// The directory is created lazily on the first save.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into() }
+        Self {
+            root: root.into(),
+            shards: 1,
+        }
+    }
+
+    /// A store that saves `shards` consumer-range shard files under one
+    /// manifest (clamped to at least 1; 1 behaves like
+    /// [`ArtifactStore::new`]). Loading is layout-agnostic either way.
+    pub fn sharded(root: impl Into<PathBuf>, shards: usize) -> Self {
+        Self {
+            root: root.into(),
+            shards: shards.max(1),
+        }
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// How many shard files a save produces (1 = monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// The content hash keying this `(corpus, training parameters)` pair.
@@ -194,6 +271,30 @@ impl ArtifactStore {
             .join(format!("artifacts-v{STORE_VERSION}-{key:016x}.bin"))
     }
 
+    /// The manifest a sharded save of `key` writes.
+    fn manifest_path(&self, key: u64) -> PathBuf {
+        self.root
+            .join(format!("artifacts-v{STORE_VERSION}-{key:016x}.manifest"))
+    }
+
+    /// Shard `k` of a sharded save of `key`.
+    fn shard_path(&self, key: u64, shard: usize) -> PathBuf {
+        self.root.join(format!(
+            "artifacts-v{STORE_VERSION}-{key:016x}.shard{shard}"
+        ))
+    }
+
+    /// The file [`ArtifactStore::engine`] reports in its
+    /// [`CacheOutcome`]: the manifest for a sharded store, the monolithic
+    /// file otherwise.
+    fn primary_path(&self, key: u64) -> PathBuf {
+        if self.shards > 1 {
+            self.manifest_path(key)
+        } else {
+            self.path_for_key(key)
+        }
+    }
+
     /// Persists a trained fleet. Writes to a temporary sibling and renames
     /// into place, so readers never observe a half-written file.
     ///
@@ -210,6 +311,18 @@ impl ArtifactStore {
     }
 
     fn save_with_key(
+        &self,
+        key: u64,
+        artifacts: &[TrainedConsumer],
+    ) -> Result<PathBuf, StoreError> {
+        if self.shards > 1 {
+            self.save_sharded_with_key(key, artifacts)
+        } else {
+            self.save_monolithic_with_key(key, artifacts)
+        }
+    }
+
+    fn save_monolithic_with_key(
         &self,
         key: u64,
         artifacts: &[TrainedConsumer],
@@ -238,6 +351,76 @@ impl ArtifactStore {
         Ok(path)
     }
 
+    /// Sharded save: the fleet is split into contiguous consumer-index
+    /// ranges, each range encoded (in parallel) and written as its own
+    /// checksummed shard file, and the manifest describing the ranges is
+    /// written **last** — a crash mid-save can orphan shard files but
+    /// never leaves a manifest pointing at missing or stale shards.
+    fn save_sharded_with_key(
+        &self,
+        key: u64,
+        artifacts: &[TrainedConsumer],
+    ) -> Result<PathBuf, StoreError> {
+        let manifest = self.manifest_path(key);
+        let io_err = |path: &Path, e: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        fs::create_dir_all(&self.root).map_err(|e| io_err(&manifest, e))?;
+
+        let ranges = shard_ranges(artifacts.len(), self.shards);
+        let encoded = run_work_stealing_stateful(
+            ranges.len(),
+            store_threads(ranges.len()),
+            None,
+            EngineStage::Train,
+            || (),
+            |(), shard| {
+                let (start, count) = ranges[shard];
+                let mut w = ByteWriter::default();
+                w.bytes(SHARD_MAGIC);
+                w.u32(STORE_VERSION);
+                w.u64(key);
+                w.u64(shard as u64);
+                w.u64(start as u64);
+                w.u64(count as u64);
+                for artifact in &artifacts[start..start + count] {
+                    write_consumer(&mut w, artifact);
+                }
+                let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+                w.u64(checksum);
+                Ok(w.into_bytes())
+            },
+        )
+        .map_err(|e| StoreError::Io {
+            path: manifest.clone(),
+            message: format!("shard encode failed: {e}"),
+        })?;
+        for (shard, bytes) in encoded.iter().enumerate() {
+            let path = self.shard_path(key, shard);
+            let tmp = path.with_extension(format!("shard{shard}.tmp"));
+            fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+            fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        }
+
+        let mut w = ByteWriter::default();
+        w.bytes(MANIFEST_MAGIC);
+        w.u32(STORE_VERSION);
+        w.u64(key);
+        w.u64(artifacts.len() as u64);
+        w.u64(ranges.len() as u64);
+        for &(start, count) in &ranges {
+            w.u64(start as u64);
+            w.u64(count as u64);
+        }
+        let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+        w.u64(checksum);
+        let tmp = manifest.with_extension("manifest.tmp");
+        fs::write(&tmp, w.as_slice()).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &manifest).map_err(|e| io_err(&manifest, e))?;
+        Ok(manifest)
+    }
+
     /// Loads the trained fleet for `(dataset, config)` if a valid cache
     /// entry exists. `Ok(None)` is a clean miss (no file); any existing
     /// but unusable file is an error so the caller can distinguish "cold"
@@ -256,6 +439,182 @@ impl ArtifactStore {
     }
 
     fn load_with_key(
+        &self,
+        key: u64,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+    ) -> Result<Option<Vec<TrainedConsumer>>, StoreError> {
+        // Layout auto-detection: a manifest on disk wins, otherwise fall
+        // back to the monolithic file — so any store loads what any other
+        // store configuration saved.
+        match self.load_sharded_with_key(key, dataset, config) {
+            Ok(None) => {}
+            other => return other,
+        }
+        self.load_monolithic_with_key(key, dataset, config)
+    }
+
+    /// Sharded load: `Ok(None)` when no manifest exists; otherwise every
+    /// shard named by the manifest is read, checksummed, and decoded (in
+    /// parallel — decode cost is per-consumer and independent across
+    /// shards), and the per-shard fleets are merged in range order.
+    fn load_sharded_with_key(
+        &self,
+        key: u64,
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+    ) -> Result<Option<Vec<TrainedConsumer>>, StoreError> {
+        let manifest_path = self.manifest_path(key);
+        let bytes = match fs::read(&manifest_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: manifest_path,
+                    message: e.to_string(),
+                })
+            }
+        };
+        let corrupt = |what: String| StoreError::Corrupt {
+            path: manifest_path.clone(),
+            what,
+        };
+
+        let payload = checksummed_payload(&bytes).map_err(corrupt)?;
+        let ranges = (|| -> Result<Vec<(usize, usize)>, String> {
+            let mut r = ByteReader::new(payload);
+            if r.bytes(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC.as_slice() {
+                return Err("bad manifest magic".into());
+            }
+            let version = r.u32()?;
+            if version != STORE_VERSION {
+                return Err(format!(
+                    "format version {version}, this build reads {STORE_VERSION}"
+                ));
+            }
+            let stored_key = r.u64()?;
+            if stored_key != key {
+                return Err(format!(
+                    "corpus key {stored_key:016x} does not match {key:016x}"
+                ));
+            }
+            let total = r.len()?;
+            if total != dataset.len() {
+                return Err(format!(
+                    "stored fleet has {total} consumers, corpus has {}",
+                    dataset.len()
+                ));
+            }
+            let shard_count = r.checked_len(16)?;
+            let mut ranges = Vec::with_capacity(shard_count);
+            let mut next_start = 0usize;
+            for shard in 0..shard_count {
+                let start = r.len()?;
+                let count = r.len()?;
+                if start != next_start {
+                    return Err(format!(
+                        "shard {shard} starts at {start}, expected {next_start}"
+                    ));
+                }
+                next_start = start
+                    .checked_add(count)
+                    .ok_or_else(|| format!("shard {shard} range overflows"))?;
+                ranges.push((start, count));
+            }
+            if next_start != total {
+                return Err(format!(
+                    "shard ranges cover {next_start} consumers, manifest says {total}"
+                ));
+            }
+            if r.remaining() != 0 {
+                return Err(format!("{} trailing bytes after manifest", r.remaining()));
+            }
+            Ok(ranges)
+        })()
+        .map_err(corrupt)?;
+
+        let fleets = run_work_stealing_stateful(
+            ranges.len(),
+            store_threads(ranges.len()),
+            None,
+            EngineStage::Train,
+            || (),
+            |(), shard| {
+                self.read_shard(key, shard, ranges[shard], dataset, config)
+                    .map_err(|e| TrainError::Corpus {
+                        consumer: 0,
+                        message: e.to_string(),
+                    })
+            },
+        )
+        .map_err(|e| corrupt(format!("shard decode failed: {e}")))?;
+        let mut artifacts = Vec::with_capacity(dataset.len());
+        for fleet in fleets {
+            artifacts.extend(fleet);
+        }
+        Ok(Some(artifacts))
+    }
+
+    /// Reads and decodes one shard file, validating its header against
+    /// the manifest's expectation for that shard.
+    fn read_shard(
+        &self,
+        key: u64,
+        shard: usize,
+        (start, count): (usize, usize),
+        dataset: &SyntheticDataset,
+        config: &EvalConfig,
+    ) -> Result<Vec<TrainedConsumer>, StoreError> {
+        let path = self.shard_path(key, shard);
+        let bytes = fs::read(&path).map_err(|e| StoreError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let corrupt = |what: String| StoreError::Corrupt {
+            path: path.clone(),
+            what,
+        };
+        let payload = checksummed_payload(&bytes).map_err(corrupt)?;
+        (|| -> Result<Vec<TrainedConsumer>, String> {
+            let mut r = ByteReader::new(payload);
+            if r.bytes(SHARD_MAGIC.len())? != SHARD_MAGIC.as_slice() {
+                return Err("bad shard magic".into());
+            }
+            let version = r.u32()?;
+            if version != STORE_VERSION {
+                return Err(format!(
+                    "format version {version}, this build reads {STORE_VERSION}"
+                ));
+            }
+            let stored_key = r.u64()?;
+            if stored_key != key {
+                return Err(format!(
+                    "corpus key {stored_key:016x} does not match {key:016x}"
+                ));
+            }
+            let stored = (r.len()?, r.len()?, r.len()?);
+            if stored != (shard, start, count) {
+                return Err(format!(
+                    "shard header (index, start, count) = {stored:?}, manifest says {:?}",
+                    (shard, start, count)
+                ));
+            }
+            let mut artifacts = Vec::with_capacity(count);
+            for index in start..start + count {
+                artifacts.push(read_consumer(&mut r, dataset, config, index)?);
+            }
+            if r.remaining() != 0 {
+                return Err(format!(
+                    "{} trailing bytes after shard fleet",
+                    r.remaining()
+                ));
+            }
+            Ok(artifacts)
+        })()
+        .map_err(corrupt)
+    }
+
+    fn load_monolithic_with_key(
         &self,
         key: u64,
         dataset: &SyntheticDataset,
@@ -341,7 +700,7 @@ impl ArtifactStore {
         progress: Option<Box<ProgressFn>>,
     ) -> Result<(EvalEngine, CacheOutcome), EvalError> {
         let key = Self::corpus_key(dataset, config);
-        let path = self.path_for_key(key);
+        let path = self.primary_path(key);
         let (status, load_error) = match self.load_with_key(key, dataset, config) {
             Ok(Some(artifacts)) => {
                 let engine = EvalEngine::from_artifacts(config, artifacts)?;

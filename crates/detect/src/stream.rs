@@ -15,7 +15,7 @@
 //! every weekly score is *bit-identical* to the batch detectors on the
 //! same weeks. The incremental histogram counts are exact `u64`s over the
 //! same multiset of values the batch counting loop sees (same
-//! [`BinEdges::bin_of`] arithmetic, order-independent addition), the
+//! `BinEdges::bin_of` arithmetic, order-independent addition), the
 //! divergence is computed by the same
 //! [`kl_divergence_smoothed_counts`] over those counts, and the streamed
 //! interval check replays [`ArimaDetector::violations`]'s exact
@@ -390,7 +390,7 @@ impl StreamScorer {
             }
         }
         self.ticks += 1;
-        if self.ticks % SLOTS_PER_WEEK as u64 == 0 {
+        if self.ticks.is_multiple_of(SLOTS_PER_WEEK as u64) {
             self.close_window()
         } else {
             Ok(None)
@@ -429,7 +429,7 @@ impl StreamScorer {
         self.violations = 0;
         self.live = None;
         self.ticks += 1;
-        if self.ticks % SLOTS_PER_WEEK as u64 == 0 {
+        if self.ticks.is_multiple_of(SLOTS_PER_WEEK as u64) {
             self.close_window()
         } else {
             Ok(None)
@@ -662,24 +662,30 @@ impl StreamScorer {
         // flag) keeps a corrupt snapshot from desynchronising the replay;
         // for any state the scorer itself produced the two agree.
         self.window_gapped = (0..pos.min(filled)).any(|slot| !mask_get(&self.ring_mask, slot));
-        // Rebuild the incremental counts from the observed window.
-        self.kld.edges().reset_counts(&mut self.kld_counts);
-        for band in 0..self.cond.band_count() {
-            self.cond
-                .band_view(band)
-                .edges
-                .reset_counts(&mut self.band_counts[band]);
+        // Rebuild the incremental counts from the observed window. The
+        // observed slots are gathered per destination first and counted
+        // with one batched histogram pass per edge set, instead of one
+        // bin lookup per value — bit-identical by the documented
+        // batch/incremental contract (`BinEdges::reset_counts`), and the
+        // dominant cost of a fleet-scale restore before batching.
+        self.kld_counts.gather_mut();
+        for scratch in &mut self.band_counts {
+            scratch.gather_mut();
         }
         for slot in 0..filled {
             if !mask_get(&self.ring_mask, slot) {
                 continue;
             }
             let value = self.ring[slot];
-            self.kld.edges().count_push(&mut self.kld_counts, value);
+            self.kld_counts.gather_push(value);
             if let Some(band) = self.cond.band_of(slot) {
-                let edges = self.cond.band_view(band).edges;
-                edges.count_push(&mut self.band_counts[band], value);
+                self.band_counts[band].gather_push(value);
             }
+        }
+        self.kld.edges().histogram_gathered(&mut self.kld_counts);
+        for band in 0..self.cond.band_count() {
+            let edges = self.cond.band_view(band).edges;
+            edges.histogram_gathered(&mut self.band_counts[band]);
         }
         // Rebuild the per-window ARIMA state. A gapped window has its
         // forecast suspended; otherwise every tick of the current partial

@@ -1,0 +1,84 @@
+//! Slab-vs-dataset training equivalence.
+//!
+//! The columnar corpus path exists so million-meter fleets can train
+//! without a resident dataset — but it must change *where the readings
+//! come from*, never *what gets trained*. These tests pin that training
+//! from a `SlabCorpus` read back off disk is bit-identical to training
+//! from the materialised `SyntheticDataset` the slabs were written from,
+//! all the way down to the persisted artifact bytes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fdeta_cer_synth::{DatasetConfig, SyntheticDataset};
+use fdeta_detect::store::ArtifactStore;
+use fdeta_detect::{EvalConfig, EvalEngine};
+use fdeta_tsdata::SlabCorpus;
+
+struct TempDir {
+    root: PathBuf,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("fdeta-slab-train-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create temp dir");
+        Self { root }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn slab_training_is_bit_identical_to_dataset_training() {
+    let data_config = DatasetConfig::small(6, 12, 53);
+    let config = EvalConfig {
+        threads: 2,
+        ..EvalConfig::fast(8, 4)
+    };
+    let tmp = TempDir::new("equivalence");
+
+    // Write the corpus as slabs (streaming) and reopen it cold.
+    let slab_path = tmp.root.join("corpus.col");
+    SyntheticDataset::write_slabs(&data_config, &slab_path).expect("write slabs");
+    let corpus = SlabCorpus::open(&slab_path).expect("open slabs");
+
+    let data = SyntheticDataset::generate(&data_config);
+    let from_dataset = EvalEngine::train(&data, &config).expect("dataset training");
+    let from_slabs = EvalEngine::train_slabs(&corpus, &config).expect("slab training");
+
+    // Same fleet shape and identities.
+    assert_eq!(from_slabs.artifacts().len(), from_dataset.artifacts().len());
+    for (a, b) in from_slabs.artifacts().iter().zip(from_dataset.artifacts()) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.index(), b.index());
+    }
+
+    // Bit-identical evaluations.
+    assert_eq!(
+        from_slabs.evaluate().expect("slab evaluation"),
+        from_dataset.evaluate().expect("dataset evaluation")
+    );
+
+    // Bit-identical persisted artifacts: saving both fleets through the
+    // store produces byte-for-byte equal files.
+    let store_a = ArtifactStore::new(tmp.root.join("a"));
+    let store_b = ArtifactStore::new(tmp.root.join("b"));
+    let path_a = store_a
+        .save(&data, &config, from_dataset.artifacts())
+        .expect("save dataset fleet");
+    let path_b = store_b
+        .save(&data, &config, from_slabs.artifacts())
+        .expect("save slab fleet");
+    assert_eq!(
+        fs::read(&path_a).expect("read a"),
+        fs::read(&path_b).expect("read b"),
+        "slab-trained artifacts must serialize byte-identically"
+    );
+}

@@ -238,3 +238,104 @@ fn entries_for_different_configs_coexist() {
         CacheStatus::Hit
     );
 }
+
+#[test]
+fn sharded_save_load_matches_monolithic_bit_for_bit() {
+    let data = corpus(7, 12, 49);
+    let cfg = config();
+    let tmp = TempStore::new("sharded");
+    let mono_store = ArtifactStore::new(tmp.root.join("mono"));
+    let shard_store = ArtifactStore::sharded(tmp.root.join("sharded"), 3);
+    assert_eq!(shard_store.shard_count(), 3);
+
+    let engine = EvalEngine::train(&data, &cfg).expect("train");
+    let cold_eval = engine.evaluate().expect("cold evaluation");
+    mono_store
+        .save(&data, &cfg, engine.artifacts())
+        .expect("monolithic save");
+    let manifest = shard_store
+        .save(&data, &cfg, engine.artifacts())
+        .expect("sharded save");
+    assert!(
+        manifest.to_string_lossy().ends_with(".manifest"),
+        "sharded save reports the manifest path"
+    );
+
+    // Both layouts load fleets that evaluate bit-identically to the cold
+    // run and to each other.
+    for store in [&mono_store, &shard_store] {
+        let artifacts = store
+            .load(&data, &cfg)
+            .expect("load")
+            .expect("entry exists");
+        assert_eq!(artifacts.len(), data.len());
+        let warm = EvalEngine::from_artifacts(&cfg, artifacts).expect("from_artifacts");
+        assert_eq!(warm.evaluate().expect("warm evaluation"), cold_eval);
+    }
+
+    // Layout auto-detection: a monolithic-configured store pointed at the
+    // sharded directory loads the manifest layout, and vice versa.
+    let cross = ArtifactStore::new(shard_store.root());
+    let artifacts = cross
+        .load(&data, &cfg)
+        .expect("cross-layout load")
+        .expect("entry exists");
+    let warm = EvalEngine::from_artifacts(&cfg, artifacts).expect("from_artifacts");
+    assert_eq!(warm.evaluate().expect("cross evaluation"), cold_eval);
+}
+
+#[test]
+fn sharded_entry_with_corrupt_or_missing_shard_is_rejected() {
+    let data = corpus(5, 12, 50);
+    let cfg = config();
+    let tmp = TempStore::new("sharded-corrupt");
+    let store = ArtifactStore::sharded(&tmp.root, 2);
+    let engine = EvalEngine::train(&data, &cfg).expect("train");
+    store.save(&data, &cfg, engine.artifacts()).expect("save");
+
+    // Corrupt one shard: the load must fail, not silently mix fleets.
+    let shard0: PathBuf = fs::read_dir(&tmp.root)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().ends_with(".shard0"))
+        .expect("shard file exists");
+    let mut bytes = fs::read(&shard0).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&shard0, &bytes).expect("rewrite shard");
+    assert!(store.load(&data, &cfg).is_err(), "corrupt shard detected");
+
+    // Remove it entirely: still an error (the manifest promises it), and
+    // the engine entry point degrades to a retrain.
+    fs::remove_file(&shard0).expect("remove shard");
+    assert!(store.load(&data, &cfg).is_err(), "missing shard detected");
+    let (rebuilt, outcome) = store.engine(&data, &cfg, None).expect("rebuilt engine");
+    assert_eq!(outcome.status, CacheStatus::Invalid);
+    assert_eq!(
+        rebuilt.evaluate().expect("rebuilt evaluation"),
+        engine.evaluate().expect("cold evaluation")
+    );
+}
+
+#[test]
+fn shard_count_clamps_to_fleet_size() {
+    let data = corpus(2, 12, 51);
+    let cfg = config();
+    let tmp = TempStore::new("sharded-clamp");
+    let store = ArtifactStore::sharded(&tmp.root, 16);
+    let engine = EvalEngine::train(&data, &cfg).expect("train");
+    store.save(&data, &cfg, engine.artifacts()).expect("save");
+    let shard_files = fs::read_dir(&tmp.root)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| {
+            e.path()
+                .extension()
+                .is_some_and(|x| x.to_string_lossy().starts_with("shard"))
+        })
+        .count();
+    assert_eq!(shard_files, 2, "no empty shards for a tiny fleet");
+    let artifacts = store.load(&data, &cfg).expect("load").expect("entry");
+    assert_eq!(artifacts.len(), 2);
+}

@@ -25,13 +25,21 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use std::sync::Mutex;
+
 use fdeta_detect::codec::{fnv1a, ByteReader, ByteWriter, Fnv, FNV_OFFSET};
 use fdeta_detect::prelude::*;
-use fdeta_detect::MeterHealthRepr;
+use fdeta_detect::{MeterHealthRepr, WorkQueue};
 
 use crate::{lock, Fleet, MeterSlot};
 
 const MAGIC: &[u8; 8] = b"FDETASNP";
+
+/// File magic for a sharded checkpoint's manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"FDETASNM";
+
+/// File magic for one meter-range shard of a sharded checkpoint.
+const SHARD_MAGIC: &[u8; 8] = b"FDETASNS";
 
 /// Bumped on any layout change; old snapshots are rejected, not migrated
 /// (re-checkpoint from a live fleet instead).
@@ -142,13 +150,7 @@ impl FleetSnapshot {
     /// count, and consumer ids. Two fleets over the same consumers in the
     /// same order share a key regardless of tick position.
     pub fn fleet_key(&self) -> u64 {
-        let mut fnv = Fnv::new();
-        fnv.u64(u64::from(SNAPSHOT_VERSION));
-        fnv.u64(self.meters.len() as u64);
-        for meter in &self.meters {
-            fnv.u64(u64::from(meter.id));
-        }
-        fnv.finish()
+        fleet_key_over(self.meters.len(), self.meters.iter().map(|m| m.id))
     }
 
     /// Encodes the snapshot into the on-disk byte layout, checksum
@@ -158,28 +160,10 @@ impl FleetSnapshot {
         w.bytes(MAGIC);
         w.u32(SNAPSHOT_VERSION);
         w.u64(self.fleet_key());
-        w.u32(self.health.suspect_after);
-        w.u32(self.health.quarantine_after);
-        w.u32(self.health.probation_after);
-        w.u32(self.health.heal_after);
-        w.u32(self.health.stuck_after);
+        encode_ladder(&mut w, &self.health);
         w.u64(self.meters.len() as u64);
         for meter in &self.meters {
-            w.u32(meter.id);
-            w.u64(meter.sliding.ticks);
-            w.u8(u8::from(meter.sliding.window_gapped));
-            w.vec_f64(&meter.sliding.ring);
-            w.vec_u64(&meter.sliding.ring_mask);
-            w.u8(state_tag(meter.health.state));
-            w.u32(meter.health.bad_run);
-            w.u32(meter.health.good_run);
-            w.u64(meter.health.stuck_bits);
-            w.u32(meter.health.stuck_run);
-            w.u64(meter.health.gap_ticks);
-            w.u64(meter.health.ticks);
-            for &total in &meter.alert_totals {
-                w.u64(total);
-            }
+            encode_meter(&mut w, meter);
         }
         let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
         w.u64(checksum);
@@ -214,42 +198,11 @@ impl FleetSnapshot {
             ));
         }
         let key = r.u64()?;
-        let health = HealthConfig {
-            suspect_after: r.u32()?,
-            quarantine_after: r.u32()?,
-            probation_after: r.u32()?,
-            heal_after: r.u32()?,
-            stuck_after: r.u32()?,
-        };
+        let health = decode_ladder(&mut r)?;
         let count = r.checked_len(1)?;
         let mut meters = Vec::with_capacity(count);
         for _ in 0..count {
-            let id = r.u32()?;
-            let ticks = r.u64()?;
-            let window_gapped = r.u8()? != 0;
-            let ring = r.vec_f64()?;
-            let ring_mask = r.vec_u64()?;
-            let health = MeterHealthRepr {
-                state: tag_state(r.u8()?)?,
-                bad_run: r.u32()?,
-                good_run: r.u32()?,
-                stuck_bits: r.u64()?,
-                stuck_run: r.u32()?,
-                gap_ticks: r.u64()?,
-                ticks: r.u64()?,
-            };
-            let alert_totals = [r.u64()?, r.u64()?, r.u64()?];
-            meters.push(MeterSnapshot {
-                id,
-                sliding: SlidingState {
-                    ring,
-                    ring_mask,
-                    ticks,
-                    window_gapped,
-                },
-                health,
-                alert_totals,
-            });
+            meters.push(decode_meter(&mut r)?);
         }
         if r.remaining() != 0 {
             return Err(format!("{} trailing bytes after content", r.remaining()));
@@ -286,7 +239,11 @@ impl FleetSnapshot {
         fs::rename(&tmp, path).map_err(io_err)
     }
 
-    /// Reads and validates the snapshot at `path`.
+    /// Reads and validates the snapshot at `path`. The layout is
+    /// auto-detected by magic: `path` may be a monolithic snapshot or a
+    /// sharded checkpoint's manifest ([`FleetSnapshot::save_sharded`]),
+    /// so restore call sites never need to know how the checkpoint was
+    /// written.
     ///
     /// # Errors
     ///
@@ -297,11 +254,439 @@ impl FleetSnapshot {
             path: path.to_path_buf(),
             source,
         })?;
+        if bytes.starts_with(MANIFEST_MAGIC) {
+            return Self::load_sharded(path, &bytes);
+        }
         Self::decode(&bytes).map_err(|what| SnapshotError::Corrupt {
             path: path.to_path_buf(),
             what,
         })
     }
+
+    /// Writes the snapshot as `shards` meter-range shard files plus a
+    /// manifest at `path`. Shards are encoded in parallel (meter encoding
+    /// is independent across ranges), each written atomically, and the
+    /// manifest is written **last** — a crash mid-checkpoint can orphan
+    /// shard files but never publishes a manifest whose shards are
+    /// missing or stale; the previous checkpoint at `path` stays intact.
+    /// With one shard (or one meter) this degrades to [`FleetSnapshot::save`].
+    ///
+    /// The fleet key is hashed once and threaded to the manifest and every
+    /// shard, so all files of one checkpoint share a single FNV pass over
+    /// the ids.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn save_sharded(&self, path: &Path, shards: usize) -> Result<(), SnapshotError> {
+        let ranges = shard_ranges(self.meters.len(), shards);
+        if ranges.len() <= 1 {
+            return self.save(path);
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|source| SnapshotError::Io {
+                    path: parent.to_path_buf(),
+                    source,
+                })?;
+            }
+        }
+        let key = self.fleet_key();
+
+        // Parallel shard encode: claim ranges off a work queue, stash each
+        // encoded shard in its own slot.
+        let encoded: Vec<Mutex<Option<Vec<u8>>>> =
+            (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+        let queue = WorkQueue::new(ranges.len());
+        let threads = crate::normalise_threads(0, ranges.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    while let Some(shard) = queue.claim() {
+                        let (start, count) = ranges[shard];
+                        let mut w = ByteWriter::default();
+                        w.bytes(SHARD_MAGIC);
+                        w.u32(SNAPSHOT_VERSION);
+                        w.u64(key);
+                        w.u64(shard as u64);
+                        w.u64(start as u64);
+                        w.u64(count as u64);
+                        for meter in &self.meters[start..start + count] {
+                            encode_meter(&mut w, meter);
+                        }
+                        let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+                        w.u64(checksum);
+                        *lock(&encoded[shard]) = Some(w.into_bytes());
+                        queue.complete();
+                    }
+                });
+            }
+        });
+
+        for (shard, cell) in encoded.iter().enumerate() {
+            let shard_file = shard_path(path, shard);
+            let io_err = |source| SnapshotError::Io {
+                path: shard_file.clone(),
+                source,
+            };
+            let bytes = lock(cell).take().unwrap_or_default();
+            let tmp = shard_file.with_extension(format!("shard{shard}.tmp"));
+            fs::write(&tmp, &bytes).map_err(io_err)?;
+            fs::rename(&tmp, &shard_file).map_err(io_err)?;
+        }
+
+        write_manifest(path, key, &self.health, self.meters.len(), &ranges)
+    }
+
+    /// Loads a sharded checkpoint from its manifest bytes: every shard
+    /// named by the manifest is read, checksummed, and decoded in
+    /// parallel, then merged in range order and validated against the
+    /// manifest's fleet key.
+    fn load_sharded(path: &Path, manifest_bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let corrupt = |what: String| SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            what,
+        };
+        let Manifest {
+            key,
+            health,
+            total,
+            ranges,
+        } = parse_manifest(manifest_bytes).map_err(corrupt)?;
+
+        // Parallel shard read + decode. Each slot holds one shard's decode
+        // outcome, `None` until its worker writes it.
+        type ShardSlot = Mutex<Option<Result<Vec<MeterSnapshot>, SnapshotError>>>;
+        let decoded: Vec<ShardSlot> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+        let queue = WorkQueue::new(ranges.len());
+        let threads = crate::normalise_threads(0, ranges.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    while let Some(shard) = queue.claim() {
+                        *lock(&decoded[shard]) = Some(read_shard(path, key, shard, ranges[shard]));
+                        queue.complete();
+                    }
+                });
+            }
+        });
+
+        let mut meters = Vec::with_capacity(total);
+        for cell in &decoded {
+            let result = lock(cell)
+                .take()
+                .unwrap_or_else(|| Err(corrupt("shard decode produced no result".into())));
+            meters.extend(result?);
+        }
+        let snapshot = Self { health, meters };
+        if snapshot.fleet_key() != key {
+            return Err(corrupt("fleet key does not match shard content".into()));
+        }
+        Ok(snapshot)
+    }
+}
+
+/// Reads and decodes one shard file, validating its header against the
+/// manifest's expectation for that shard.
+fn read_shard(
+    manifest: &Path,
+    key: u64,
+    shard: usize,
+    (start, count): (usize, usize),
+) -> Result<Vec<MeterSnapshot>, SnapshotError> {
+    let path = shard_path(manifest, shard);
+    let bytes = fs::read(&path).map_err(|source| SnapshotError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    (|| -> Result<Vec<MeterSnapshot>, String> {
+        let mut r = shard_payload(&bytes, key, shard, (start, count))?;
+        let mut meters = Vec::with_capacity(count);
+        for _ in 0..count {
+            meters.push(decode_meter(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after shard content",
+                r.remaining()
+            ));
+        }
+        Ok(meters)
+    })()
+    .map_err(|what| SnapshotError::Corrupt {
+        path: path.clone(),
+        what,
+    })
+}
+
+/// The fleet identity key over an explicit id sequence — one definition
+/// shared by [`FleetSnapshot::fleet_key`] and the direct fleet checkpoint
+/// paths, so a key is only ever hashed once per operation and threaded to
+/// every file that needs it.
+fn fleet_key_over(count: usize, ids: impl Iterator<Item = u32>) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.u64(u64::from(SNAPSHOT_VERSION));
+    fnv.u64(count as u64);
+    for id in ids {
+        fnv.u64(u64::from(id));
+    }
+    fnv.finish()
+}
+
+/// A parsed sharded-checkpoint manifest.
+struct Manifest {
+    key: u64,
+    health: HealthConfig,
+    total: usize,
+    ranges: Vec<(usize, usize)>,
+}
+
+/// Validates and parses a manifest's bytes (checksum, magic, version,
+/// contiguous shard ranges covering exactly `total` meters).
+fn parse_manifest(bytes: &[u8]) -> Result<Manifest, String> {
+    if bytes.len() < MANIFEST_MAGIC.len() + 8 {
+        return Err("file shorter than header + checksum".into());
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    if fnv1a(payload, FNV_OFFSET) != u64::from_le_bytes(stored) {
+        return Err("integrity checksum mismatch".into());
+    }
+    let mut r = ByteReader::new(payload);
+    if r.bytes(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC.as_slice() {
+        return Err("bad manifest magic".into());
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+        ));
+    }
+    let key = r.u64()?;
+    let health = decode_ladder(&mut r)?;
+    let total = r.len()?;
+    let shard_count = r.checked_len(16)?;
+    let mut ranges = Vec::with_capacity(shard_count);
+    let mut next_start = 0usize;
+    for shard in 0..shard_count {
+        let start = r.len()?;
+        let count = r.len()?;
+        if start != next_start {
+            return Err(format!(
+                "shard {shard} starts at {start}, expected {next_start}"
+            ));
+        }
+        next_start = start
+            .checked_add(count)
+            .ok_or_else(|| format!("shard {shard} range overflows"))?;
+        ranges.push((start, count));
+    }
+    if next_start != total {
+        return Err(format!(
+            "shard ranges cover {next_start} meters, manifest says {total}"
+        ));
+    }
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after manifest", r.remaining()));
+    }
+    Ok(Manifest {
+        key,
+        health,
+        total,
+        ranges,
+    })
+}
+
+/// Writes the manifest for a sharded checkpoint atomically. Callers write
+/// every shard first — publishing the manifest is the commit point.
+fn write_manifest(
+    path: &Path,
+    key: u64,
+    health: &HealthConfig,
+    total: usize,
+    ranges: &[(usize, usize)],
+) -> Result<(), SnapshotError> {
+    let mut w = ByteWriter::default();
+    w.bytes(MANIFEST_MAGIC);
+    w.u32(SNAPSHOT_VERSION);
+    w.u64(key);
+    encode_ladder(&mut w, health);
+    w.u64(total as u64);
+    w.u64(ranges.len() as u64);
+    for &(start, count) in ranges {
+        w.u64(start as u64);
+        w.u64(count as u64);
+    }
+    let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+    w.u64(checksum);
+    let io_err = |source| SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let tmp = path.with_extension("snap.tmp");
+    fs::write(&tmp, w.as_slice()).map_err(io_err)?;
+    fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Validates one shard file's checksum and header against the manifest's
+/// expectation, returning a reader positioned at the first meter.
+fn shard_payload<'a>(
+    bytes: &'a [u8],
+    key: u64,
+    shard: usize,
+    range: (usize, usize),
+) -> Result<ByteReader<'a>, String> {
+    if bytes.len() < SHARD_MAGIC.len() + 8 {
+        return Err("file shorter than header + checksum".into());
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    if fnv1a(payload, FNV_OFFSET) != u64::from_le_bytes(stored) {
+        return Err("integrity checksum mismatch".into());
+    }
+    shard_payload_unchecked(payload, key, shard, range)
+}
+
+/// [`shard_payload`] minus the checksum pass, for re-entering a shard the
+/// caller has already validated. `payload` excludes the trailing checksum.
+fn shard_payload_unchecked<'a>(
+    payload: &'a [u8],
+    key: u64,
+    shard: usize,
+    (start, count): (usize, usize),
+) -> Result<ByteReader<'a>, String> {
+    let mut r = ByteReader::new(payload);
+    if r.bytes(SHARD_MAGIC.len())? != SHARD_MAGIC.as_slice() {
+        return Err("bad shard magic".into());
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+        ));
+    }
+    let stored_key = r.u64()?;
+    if stored_key != key {
+        return Err(format!(
+            "fleet key {stored_key:016x} does not match manifest {key:016x}"
+        ));
+    }
+    let header = (r.len()?, r.len()?, r.len()?);
+    if header != (shard, start, count) {
+        return Err(format!(
+            "shard header (index, start, count) = {header:?}, manifest says {:?}",
+            (shard, start, count)
+        ));
+    }
+    Ok(r)
+}
+
+/// One meter's wire form — shared verbatim by the monolithic layout and
+/// every shard, so the two layouts can never drift.
+fn encode_meter(w: &mut ByteWriter, meter: &MeterSnapshot) {
+    w.u32(meter.id);
+    w.u64(meter.sliding.ticks);
+    w.u8(u8::from(meter.sliding.window_gapped));
+    w.vec_f64(&meter.sliding.ring);
+    w.vec_u64(&meter.sliding.ring_mask);
+    w.u8(state_tag(meter.health.state));
+    w.u32(meter.health.bad_run);
+    w.u32(meter.health.good_run);
+    w.u64(meter.health.stuck_bits);
+    w.u32(meter.health.stuck_run);
+    w.u64(meter.health.gap_ticks);
+    w.u64(meter.health.ticks);
+    for &total in &meter.alert_totals {
+        w.u64(total);
+    }
+}
+
+fn decode_meter(r: &mut ByteReader<'_>) -> Result<MeterSnapshot, String> {
+    let mut sliding = SlidingState {
+        ring: Vec::new(),
+        ring_mask: Vec::new(),
+        ticks: 0,
+        window_gapped: false,
+    };
+    let (id, health, alert_totals) = decode_meter_into(r, &mut sliding)?;
+    Ok(MeterSnapshot {
+        id,
+        sliding,
+        health,
+        alert_totals,
+    })
+}
+
+/// As [`decode_meter`], decoding into a reused sliding-state scratch —
+/// the fleet-scale direct restore decodes a million meters with zero
+/// per-meter allocations.
+fn decode_meter_into(
+    r: &mut ByteReader<'_>,
+    sliding: &mut SlidingState,
+) -> Result<(u32, MeterHealthRepr, [u64; 3]), String> {
+    let id = r.u32()?;
+    sliding.ticks = r.u64()?;
+    sliding.window_gapped = r.u8()? != 0;
+    let len = r.checked_len(8)?;
+    sliding.ring.clear();
+    sliding.ring.extend(r.words(len)?.map(f64::from_bits));
+    let len = r.checked_len(8)?;
+    sliding.ring_mask.clear();
+    sliding.ring_mask.extend(r.words(len)?);
+    let health = MeterHealthRepr {
+        state: tag_state(r.u8()?)?,
+        bad_run: r.u32()?,
+        good_run: r.u32()?,
+        stuck_bits: r.u64()?,
+        stuck_run: r.u32()?,
+        gap_ticks: r.u64()?,
+        ticks: r.u64()?,
+    };
+    let alert_totals = [r.u64()?, r.u64()?, r.u64()?];
+    Ok((id, health, alert_totals))
+}
+
+fn encode_ladder(w: &mut ByteWriter, health: &HealthConfig) {
+    w.u32(health.suspect_after);
+    w.u32(health.quarantine_after);
+    w.u32(health.probation_after);
+    w.u32(health.heal_after);
+    w.u32(health.stuck_after);
+}
+
+fn decode_ladder(r: &mut ByteReader<'_>) -> Result<HealthConfig, String> {
+    Ok(HealthConfig {
+        suspect_after: r.u32()?,
+        quarantine_after: r.u32()?,
+        probation_after: r.u32()?,
+        heal_after: r.u32()?,
+        stuck_after: r.u32()?,
+    })
+}
+
+/// Splits `count` meters into `shards` contiguous `(start, count)` ranges,
+/// sizes differing by at most one, never emitting an empty shard.
+fn shard_ranges(count: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, count.max(1));
+    let base = count / shards;
+    let rem = count % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < rem);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+/// Shard `k`'s file, a sibling of the manifest: `<path>.shard<k>`.
+fn shard_path(path: &Path, shard: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".shard{shard}"));
+    PathBuf::from(os)
 }
 
 fn state_tag(state: HealthState) -> u8 {
@@ -334,10 +719,111 @@ impl Fleet {
         FleetSnapshot::capture(self).save(path)
     }
 
+    /// As [`Fleet::checkpoint`], writing `shards` meter-range shard files
+    /// under a manifest at `path`. Unlike the layered
+    /// [`FleetSnapshot::save_sharded`], each shard is encoded *directly
+    /// from the slots* — no fleet-wide intermediate snapshot is ever
+    /// materialised, only one transient per-meter state — and shards are
+    /// encoded and written in parallel across the fleet's worker threads.
+    /// The wire format is byte-identical to the layered writer's, the
+    /// manifest is still written last (the commit point), and
+    /// [`Fleet::restore`] auto-detects the layout. With one shard (or one
+    /// meter) this degrades to the monolithic [`Fleet::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure.
+    pub fn checkpoint_sharded(&self, path: &Path, shards: usize) -> Result<(), SnapshotError> {
+        let ranges = shard_ranges(self.slots.len(), shards);
+        if ranges.len() <= 1 {
+            return self.checkpoint(path);
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|source| SnapshotError::Io {
+                    path: parent.to_path_buf(),
+                    source,
+                })?;
+            }
+        }
+        let key = fleet_key_over(self.ids.len(), self.ids.iter().copied());
+
+        let first_error: Mutex<Option<(usize, SnapshotError)>> = Mutex::new(None);
+        let queue = WorkQueue::new(ranges.len());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(ranges.len()).max(1) {
+                scope.spawn(|| {
+                    while let Some(shard) = queue.claim() {
+                        if let Err(e) = self.write_shard(path, key, shard, ranges[shard]) {
+                            let mut slot = lock(&first_error);
+                            if slot.as_ref().is_none_or(|(at, _)| shard < *at) {
+                                *slot = Some((shard, e));
+                            }
+                        }
+                        queue.complete();
+                    }
+                });
+            }
+        });
+        if let Some((_, error)) = lock(&first_error).take() {
+            return Err(error);
+        }
+        write_manifest(path, key, &self.health_config, self.slots.len(), &ranges)
+    }
+
+    /// Encodes and atomically writes one meter-range shard straight from
+    /// the fleet's slots. Each slot is locked just long enough to copy its
+    /// state; the encode runs outside the lock.
+    fn write_shard(
+        &self,
+        manifest: &Path,
+        key: u64,
+        shard: usize,
+        (start, count): (usize, usize),
+    ) -> Result<(), SnapshotError> {
+        let mut w = ByteWriter::default();
+        w.bytes(SHARD_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(key);
+        w.u64(shard as u64);
+        w.u64(start as u64);
+        w.u64(count as u64);
+        for index in start..start + count {
+            let guard = lock(&self.slots[index]);
+            let meter = MeterSnapshot {
+                id: self.ids[index],
+                sliding: guard.scorer.sliding_state(),
+                health: MeterHealthRepr::from(&guard.health),
+                alert_totals: guard.alert_totals,
+            };
+            drop(guard);
+            encode_meter(&mut w, &meter);
+        }
+        let checksum = fnv1a(w.as_slice(), FNV_OFFSET);
+        w.u64(checksum);
+        let shard_file = shard_path(manifest, shard);
+        let io_err = |source| SnapshotError::Io {
+            path: shard_file.clone(),
+            source,
+        };
+        let tmp = shard_file.with_extension(format!("shard{shard}.tmp"));
+        fs::write(&tmp, w.as_slice()).map_err(io_err)?;
+        fs::rename(&tmp, &shard_file).map_err(io_err)
+    }
+
     /// Restores the checkpoint at `path` onto this (freshly warmed)
     /// fleet: every scorer's sliding window is rebuilt bit-identically,
     /// health ladders and alert totals resume where they were, and the
     /// monitoring aggregates are re-derived from the restored slots.
+    ///
+    /// A monolithic snapshot is decoded through [`FleetSnapshot::load`];
+    /// a sharded checkpoint takes the direct path: the fleet's identity
+    /// (meter count, ladder, id key) is validated against the manifest
+    /// *before any meter is decoded*, every shard file is read and
+    /// checksum-validated before any slot is touched, and the meters are
+    /// then streamed straight onto the slots through reused scratch
+    /// buffers — the fleet-wide `Vec<MeterSnapshot>` of the layered path
+    /// is never built.
     ///
     /// # Errors
     ///
@@ -345,7 +831,161 @@ impl Fleet {
     /// [`FleetSnapshot::load`]; [`SnapshotError::FleetMismatch`] when the
     /// snapshot's consumers or health ladder differ from this fleet's.
     pub fn restore(&self, path: &Path) -> Result<(), SnapshotError> {
-        self.restore_snapshot(&FleetSnapshot::load(path)?)
+        let bytes = fs::read(path).map_err(|source| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        if !bytes.starts_with(MANIFEST_MAGIC) {
+            let snapshot =
+                FleetSnapshot::decode(&bytes).map_err(|what| SnapshotError::Corrupt {
+                    path: path.to_path_buf(),
+                    what,
+                })?;
+            return self.restore_snapshot(&snapshot);
+        }
+        let manifest = parse_manifest(&bytes).map_err(|what| SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            what,
+        })?;
+        if manifest.total != self.slots.len() {
+            return Err(SnapshotError::FleetMismatch {
+                what: format!(
+                    "snapshot has {} meters, fleet has {}",
+                    manifest.total,
+                    self.slots.len()
+                ),
+            });
+        }
+        if manifest.health != self.health_config {
+            return Err(SnapshotError::FleetMismatch {
+                what: "health ladder configuration differs".into(),
+            });
+        }
+        let key = fleet_key_over(self.ids.len(), self.ids.iter().copied());
+        if key != manifest.key {
+            return Err(SnapshotError::FleetMismatch {
+                what: format!(
+                    "snapshot fleet key {:016x} does not match this fleet's {key:016x}",
+                    manifest.key
+                ),
+            });
+        }
+
+        // Pass 1: read and checksum-validate every shard before any slot
+        // is mutated — a corrupt or missing file rejects the restore with
+        // the fleet untouched.
+        let mut shard_bytes = Vec::with_capacity(manifest.ranges.len());
+        for (shard, &range) in manifest.ranges.iter().enumerate() {
+            let shard_file = shard_path(path, shard);
+            let bytes = fs::read(&shard_file).map_err(|source| SnapshotError::Io {
+                path: shard_file.clone(),
+                source,
+            })?;
+            shard_payload(&bytes, key, shard, range).map_err(|what| SnapshotError::Corrupt {
+                path: shard_file.clone(),
+                what,
+            })?;
+            shard_bytes.push(bytes);
+        }
+
+        // Pass 2: decode and apply, one worker per shard (disjoint slot
+        // ranges), each streaming meters through one reused scratch. On a
+        // failure the lowest-index error is reported (deterministic
+        // regardless of interleaving); the fleet is then partially
+        // restored, exactly as the monolithic path leaves it.
+        let first_error: Mutex<Option<(usize, SnapshotError)>> = Mutex::new(None);
+        let queue = WorkQueue::new(manifest.ranges.len());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(manifest.ranges.len()).max(1) {
+                scope.spawn(|| {
+                    while let Some(shard) = queue.claim() {
+                        let range = manifest.ranges[shard];
+                        if let Err((index, e)) =
+                            self.apply_shard(path, key, shard, range, &shard_bytes[shard])
+                        {
+                            let mut slot = lock(&first_error);
+                            if slot.as_ref().is_none_or(|(at, _)| index < *at) {
+                                *slot = Some((index, e));
+                            }
+                        }
+                        queue.complete();
+                    }
+                });
+            }
+        });
+        if let Some((_, error)) = lock(&first_error).take() {
+            return Err(error);
+        }
+        self.rebuild_aggregates();
+        Ok(())
+    }
+
+    /// Streams one validated shard's meters onto the fleet's slots. The
+    /// error carries the global meter index for deterministic
+    /// lowest-index reporting.
+    fn apply_shard(
+        &self,
+        manifest: &Path,
+        key: u64,
+        shard: usize,
+        (start, count): (usize, usize),
+        bytes: &[u8],
+    ) -> Result<(), (usize, SnapshotError)> {
+        let shard_file = shard_path(manifest, shard);
+        let corrupt = |index: usize, what: String| {
+            (
+                index,
+                SnapshotError::Corrupt {
+                    path: shard_file.clone(),
+                    what,
+                },
+            )
+        };
+        // Pass 1 already validated the checksum; re-enter past the header
+        // without paying a second full hash over the shard.
+        let payload = &bytes[..bytes.len() - 8];
+        let mut r = shard_payload_unchecked(payload, key, shard, (start, count))
+            .map_err(|what| corrupt(start, what))?;
+        let mut sliding = SlidingState {
+            ring: Vec::new(),
+            ring_mask: Vec::new(),
+            ticks: 0,
+            window_gapped: false,
+        };
+        for offset in 0..count {
+            let index = start + offset;
+            let (id, health, alert_totals) =
+                decode_meter_into(&mut r, &mut sliding).map_err(|what| corrupt(index, what))?;
+            if id != self.ids[index] {
+                return Err((
+                    index,
+                    SnapshotError::FleetMismatch {
+                        what: format!(
+                            "slot {index} is consumer {id} in the snapshot, {} here",
+                            self.ids[index]
+                        ),
+                    },
+                ));
+            }
+            let mut guard = lock(&self.slots[index]);
+            let MeterSlot {
+                scorer,
+                health: slot_health,
+                alert_totals: slot_totals,
+            } = &mut *guard;
+            scorer
+                .restore_sliding(&sliding)
+                .map_err(|e| corrupt(index, format!("consumer {id}: {e}")))?;
+            *slot_health = health.into();
+            *slot_totals = alert_totals;
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt(
+                start + count,
+                format!("{} trailing bytes after shard content", r.remaining()),
+            ));
+        }
+        Ok(())
     }
 
     /// As [`Fleet::restore`], from an already decoded snapshot.
@@ -379,21 +1019,50 @@ impl Fleet {
                 });
             }
         }
-        for (meter, slot) in snapshot.meters.iter().zip(&self.slots) {
-            let mut guard = lock(slot);
-            let MeterSlot {
-                scorer,
-                health,
-                alert_totals,
-            } = &mut *guard;
-            scorer
-                .restore_sliding(&meter.sliding)
-                .map_err(|e| SnapshotError::Corrupt {
-                    path: PathBuf::new(),
-                    what: format!("consumer {}: {e}", meter.id),
-                })?;
-            *health = meter.health.into();
-            *alert_totals = meter.alert_totals;
+        // Per-meter restore parallelises across the fleet's worker
+        // threads: each slot's rebuild (histogram re-count + forecaster
+        // replay) touches only that slot's state under its own lock. On a
+        // failure the lowest-index error is reported (deterministic
+        // regardless of interleaving); the fleet is then partially
+        // restored, exactly as the sequential early-return left it.
+        let queue = WorkQueue::new(snapshot.meters.len());
+        let first_error: Mutex<Option<(usize, SnapshotError)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    while let Some(index) = queue.claim() {
+                        let meter = &snapshot.meters[index];
+                        let mut guard = lock(&self.slots[index]);
+                        let MeterSlot {
+                            scorer,
+                            health,
+                            alert_totals,
+                        } = &mut *guard;
+                        match scorer.restore_sliding(&meter.sliding) {
+                            Ok(()) => {
+                                *health = meter.health.into();
+                                *alert_totals = meter.alert_totals;
+                            }
+                            Err(e) => {
+                                let mut slot = lock(&first_error);
+                                if slot.as_ref().is_none_or(|(at, _)| index < *at) {
+                                    *slot = Some((
+                                        index,
+                                        SnapshotError::Corrupt {
+                                            path: PathBuf::new(),
+                                            what: format!("consumer {}: {e}", meter.id),
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                        queue.complete();
+                    }
+                });
+            }
+        });
+        if let Some((_, error)) = lock(&first_error).take() {
+            return Err(error);
         }
         self.rebuild_aggregates();
         Ok(())

@@ -288,3 +288,96 @@ fn restore_handles_clean_and_gapped_windows() {
         assert_eq!(want, got, "{tag} window diverged after restore");
     }
 }
+
+#[test]
+fn sharded_checkpoint_restores_identically_to_monolithic() {
+    let (data, config) = corpus(33);
+    let engine = EvalEngine::train(&data, &config).expect("train");
+    let fleet = build_fleet(&engine);
+    for t in 0..150 {
+        let readings = round_readings(&data, &config, 11, 0.08, t);
+        fleet.ingest_round(&readings).expect("round");
+    }
+    let tmp = TempDir::new("sharded");
+    let mono = tmp.path("mono.snap");
+    let sharded = tmp.path("sharded.snap");
+    fleet.checkpoint(&mono).expect("monolithic checkpoint");
+    fleet
+        .checkpoint_sharded(&sharded, 3)
+        .expect("sharded checkpoint");
+
+    // Both layouts decode to the same snapshot, and the sharded manifest
+    // sits alongside its three shard files.
+    let from_mono = FleetSnapshot::load(&mono).expect("load monolithic");
+    let from_shards = FleetSnapshot::load(&sharded).expect("load sharded");
+    assert_eq!(from_mono, from_shards);
+    for shard in 0..3 {
+        let mut os = sharded.as_os_str().to_os_string();
+        os.push(format!(".shard{shard}"));
+        assert!(PathBuf::from(os).exists(), "shard {shard} written");
+    }
+
+    // Restoring from the sharded layout continues bit-identically to
+    // restoring from the monolithic one.
+    let restored_mono = build_fleet(&engine);
+    restored_mono.restore(&mono).expect("restore monolithic");
+    let restored_shards = build_fleet(&engine);
+    restored_shards.restore(&sharded).expect("restore sharded");
+    for t in 150..200 {
+        let readings = round_readings(&data, &config, 11, 0.08, t);
+        assert_eq!(
+            restored_mono.ingest_round(&readings).expect("round"),
+            restored_shards.ingest_round(&readings).expect("round")
+        );
+    }
+    assert_eq!(
+        FleetSnapshot::capture(&restored_mono).encode(),
+        FleetSnapshot::capture(&restored_shards).encode()
+    );
+}
+
+#[test]
+fn sharded_checkpoint_with_missing_or_corrupt_shard_is_rejected() {
+    let (data, config) = corpus(34);
+    let engine = EvalEngine::train(&data, &config).expect("train");
+    let fleet = build_fleet(&engine);
+    for t in 0..50 {
+        let readings = round_readings(&data, &config, 5, 0.0, t);
+        fleet.ingest_round(&readings).expect("round");
+    }
+    let tmp = TempDir::new("sharded-corrupt");
+    let manifest = tmp.path("fleet.snap");
+    fleet
+        .checkpoint_sharded(&manifest, 2)
+        .expect("sharded checkpoint");
+
+    let shard1 = {
+        let mut os = manifest.as_os_str().to_os_string();
+        os.push(".shard1");
+        PathBuf::from(os)
+    };
+
+    // Corrupt a shard: checksum catches it.
+    let mut bytes = fs::read(&shard1).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&shard1, &bytes).expect("rewrite shard");
+    assert!(matches!(
+        FleetSnapshot::load(&manifest),
+        Err(SnapshotError::Corrupt { .. })
+    ));
+
+    // Remove it: the manifest's promise is broken.
+    fs::remove_file(&shard1).expect("remove shard");
+    assert!(matches!(
+        FleetSnapshot::load(&manifest),
+        Err(SnapshotError::Io { .. })
+    ));
+
+    // A single-shard request degrades to the monolithic layout, which
+    // still loads fine.
+    fleet
+        .checkpoint_sharded(&manifest, 1)
+        .expect("single-shard checkpoint");
+    FleetSnapshot::load(&manifest).expect("monolithic fallback loads");
+}

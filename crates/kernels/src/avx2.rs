@@ -1,0 +1,220 @@
+//! AVX2 variants of the kernels. Four f64 lanes map one-to-one onto the
+//! four scalar accumulators, and each lane receives the same values in
+//! the same order as its scalar counterpart — work is reordered *across*
+//! accumulators only — so every result is bit-identical to
+//! [`crate::scalar`]. No FMA anywhere: fused multiply-add would skip the
+//! intermediate product rounding the scalar path performs.
+//!
+//! The `unsafe` in this module is confined to two obligations, both
+//! discharged locally:
+//!
+//! * calling `#[target_feature(enable = "avx2")]` functions — guarded by
+//!   the dispatcher in `lib.rs`, which only routes here after
+//!   `is_x86_feature_detected!("avx2")`;
+//! * unaligned vector loads/stores — every pointer is derived from a
+//!   slice with an explicit in-bounds range check in the surrounding
+//!   loop condition.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_cmp_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_movemask_pd,
+    _mm256_mul_pd, _mm256_permute2f128_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+    _mm256_sub_pd, _mm256_unpackhi_pd, _mm256_unpacklo_pd, _CMP_LT_OQ,
+};
+
+use crate::scalar;
+use crate::INTERLEAVE_MAX_BINS;
+
+/// Transposes four product vectors `p0..p3` (vector `j` holding
+/// accumulator `j`'s products for elements `i..i+4`) into four column
+/// vectors (column `k` holding element `i+k`'s product for each of the
+/// four accumulators). Accumulating the columns in order `0..4` then
+/// feeds every lane its products in ascending element order — the
+/// lane-order contract.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose4(p0: __m256d, p1: __m256d, p2: __m256d, p3: __m256d) -> [__m256d; 4] {
+    let t0 = _mm256_unpacklo_pd(p0, p1); // [p0_0, p1_0, p0_2, p1_2]
+    let t1 = _mm256_unpackhi_pd(p0, p1); // [p0_1, p1_1, p0_3, p1_3]
+    let t2 = _mm256_unpacklo_pd(p2, p3); // [p2_0, p3_0, p2_2, p3_2]
+    let t3 = _mm256_unpackhi_pd(p2, p3); // [p2_1, p3_1, p2_3, p3_3]
+    [
+        _mm256_permute2f128_pd::<0x20>(t0, t2), // element i+0 across lanes
+        _mm256_permute2f128_pd::<0x20>(t1, t3), // element i+1
+        _mm256_permute2f128_pd::<0x31>(t0, t2), // element i+2
+        _mm256_permute2f128_pd::<0x31>(t1, t3), // element i+3
+    ]
+}
+
+/// See [`crate::dot4`]; dispatched only after AVX2 detection.
+pub fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
+    // SAFETY: the dispatcher verified AVX2 support.
+    unsafe { dot4_avx2(r0, r1, r2, r3, v) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_avx2(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
+    // Zip semantics: the shortest slice bounds the loop.
+    let n = v
+        .len()
+        .min(r0.len())
+        .min(r1.len())
+        .min(r2.len())
+        .min(r3.len());
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` and `n` is within every slice's length.
+        let y = _mm256_loadu_pd(v.as_ptr().add(i));
+        let p0 = _mm256_mul_pd(_mm256_loadu_pd(r0.as_ptr().add(i)), y);
+        let p1 = _mm256_mul_pd(_mm256_loadu_pd(r1.as_ptr().add(i)), y);
+        let p2 = _mm256_mul_pd(_mm256_loadu_pd(r2.as_ptr().add(i)), y);
+        let p3 = _mm256_mul_pd(_mm256_loadu_pd(r3.as_ptr().add(i)), y);
+        for column in transpose4(p0, p1, p2, p3) {
+            acc = _mm256_add_pd(acc, column);
+        }
+        i += 4;
+    }
+    let mut out = [0.0f64; 4];
+    _mm256_storeu_pd(out.as_mut_ptr(), acc);
+    while i < n {
+        let y = v[i];
+        out[0] += r0[i] * y;
+        out[1] += r1[i] * y;
+        out[2] += r2[i] * y;
+        out[3] += r3[i] * y;
+        i += 1;
+    }
+    out
+}
+
+/// See [`crate::lag_quad_sums`]; dispatched only after AVX2 detection.
+pub fn lag_quad_sums(series: &[f64], mean: f64, lag: usize) -> [f64; 4] {
+    // SAFETY: the dispatcher verified AVX2 support.
+    unsafe { lag_quad_sums_avx2(series, mean, lag) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn lag_quad_sums_avx2(series: &[f64], mean: f64, lag: usize) -> [f64; 4] {
+    let len = series.len();
+    // Ragged heads, identical to the scalar reference.
+    let (mut s0, mut s1, mut s2) = (0.0f64, 0.0f64, 0.0f64);
+    for t in lag..(lag + 3).min(len) {
+        s0 += (series[t] - mean) * (series[t - lag] - mean);
+    }
+    for t in lag + 1..(lag + 3).min(len) {
+        s1 += (series[t] - mean) * (series[t - lag - 1] - mean);
+    }
+    for t in lag + 2..(lag + 3).min(len) {
+        s2 += (series[t] - mean) * (series[t - lag - 2] - mean);
+    }
+    let mut sums = [s0, s1, s2, 0.0];
+    let mut acc = _mm256_loadu_pd(sums.as_ptr());
+    let mm = _mm256_set1_pd(mean);
+    let mut t = lag + 3;
+    while t + 4 <= len {
+        // SAFETY: `t + 4 <= len`, and `t >= lag + 3` keeps every lagged
+        // index `t - lag - 3 ..` non-negative and in bounds.
+        let x = _mm256_sub_pd(_mm256_loadu_pd(series.as_ptr().add(t)), mm);
+        let base = series.as_ptr().add(t - lag);
+        let p0 = _mm256_mul_pd(x, _mm256_sub_pd(_mm256_loadu_pd(base), mm));
+        let p1 = _mm256_mul_pd(x, _mm256_sub_pd(_mm256_loadu_pd(base.sub(1)), mm));
+        let p2 = _mm256_mul_pd(x, _mm256_sub_pd(_mm256_loadu_pd(base.sub(2)), mm));
+        let p3 = _mm256_mul_pd(x, _mm256_sub_pd(_mm256_loadu_pd(base.sub(3)), mm));
+        for column in transpose4(p0, p1, p2, p3) {
+            acc = _mm256_add_pd(acc, column);
+        }
+        t += 4;
+    }
+    _mm256_storeu_pd(sums.as_mut_ptr(), acc);
+    while t < len {
+        let x = series[t] - mean;
+        sums[0] += x * (series[t - lag] - mean);
+        sums[1] += x * (series[t - lag - 1] - mean);
+        sums[2] += x * (series[t - lag - 2] - mean);
+        sums[3] += x * (series[t - lag - 3] - mean);
+        t += 1;
+    }
+    sums
+}
+
+/// See [`crate::hist_count`]; dispatched only after AVX2 detection.
+pub fn hist_count(edges: &[f64], sample: &[f64], counts: &mut [u64]) {
+    // SAFETY: the dispatcher verified AVX2 support.
+    unsafe { hist_count_avx2(edges, sample, counts) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hist_count_avx2(edges: &[f64], sample: &[f64], counts: &mut [u64]) {
+    let bins = counts.len();
+    if bins > INTERLEAVE_MAX_BINS {
+        // Wide layouts take the sequential reference walk; nothing to
+        // vectorise around the per-value scatter.
+        scalar::hist_count(edges, sample, counts);
+        return;
+    }
+    let lo = edges[0];
+    let hi = edges[bins];
+    let scale = bins as f64 / (hi - lo);
+    const MASK: usize = INTERLEAVE_MAX_BINS - 1;
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    let vlo = _mm256_set1_pd(lo);
+    let vhi = _mm256_set1_pd(hi);
+    let vscale = _mm256_set1_pd(scale);
+    let vhalf = _mm256_set1_pd(0.5);
+    let vmagic = _mm256_set1_pd(MAGIC);
+    let mut acc = [[0u64; INTERLEAVE_MAX_BINS]; 4];
+    let mut i = 0;
+    while i + 4 <= sample.len() {
+        // SAFETY: `i + 4 <= sample.len()`.
+        let x = _mm256_loadu_pd(sample.as_ptr().add(i));
+        // Lane-parallel clamp + guess, the exact scalar expression
+        // `((value.max(lo) - lo) * scale - 0.5 + MAGIC)`: `_mm256_max_pd`
+        // returns its second operand on NaN, matching `f64::max`'s
+        // NaN-propagation for `value.max(lo)` — though NaN lanes are
+        // routed to the clamp below and never read the guess.
+        let m = _mm256_max_pd(x, vlo);
+        let g = _mm256_add_pd(
+            _mm256_sub_pd(_mm256_mul_pd(_mm256_sub_pd(m, vlo), vscale), vhalf),
+            vmagic,
+        );
+        // Lane mask of `value < hi` (ordered: NaN compares false, landing
+        // in the last-bin clamp exactly like the scalar `!(value < hi)`).
+        let below_hi = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(x, vhi));
+        let mut guesses = [0.0f64; 4];
+        let mut clamped = [0.0f64; 4];
+        _mm256_storeu_pd(guesses.as_mut_ptr(), g);
+        _mm256_storeu_pd(clamped.as_mut_ptr(), m);
+        for k in 0..4 {
+            let bin = if below_hi & (1 << k) == 0 {
+                bins - 1
+            } else {
+                // lint:allow(lossy-cast-in-datapath, same 2^52 mantissa trick as the scalar guess: the low 32 bits hold the rounded value; the fixup walk repairs any miss)
+                let guess = (guesses[k].to_bits() as u32 as usize).min(bins - 1);
+                fixup(edges, clamped[k], guess)
+            };
+            acc[k][bin & MASK] += 1;
+        }
+        i += 4;
+    }
+    for &v in &sample[i..] {
+        acc[0][scalar::guess_bin(edges, lo, hi, scale, bins, v) & MASK] += 1;
+    }
+    for (j, slot) in counts.iter_mut().enumerate() {
+        *slot += acc[0][j] + acc[1][j] + acc[2][j] + acc[3][j];
+    }
+}
+
+/// The guess-repair walk shared with the scalar path: moves the guessed
+/// index until `edges[i] <= v < edges[i + 1]`.
+#[inline(always)]
+fn fixup(edges: &[f64], v: f64, guess: usize) -> usize {
+    let mut i = guess;
+    while v < edges[i] {
+        i -= 1;
+    }
+    while v >= edges[i + 1] {
+        i += 1;
+    }
+    i
+}

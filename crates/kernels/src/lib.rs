@@ -1,0 +1,196 @@
+//! Explicit-SIMD kernels for the workspace's hot loops, with a scalar
+//! reference implementation that is the source of truth.
+//!
+//! Three loops dominate the training and serving profiles, and each was
+//! already hand-interleaved four ways before this crate existed:
+//!
+//! * histogram counting (`fdeta-tsdata`'s `BinEdges::count_into`) — four
+//!   independent accumulator arrays;
+//! * the autocovariance sweep (`fdeta-arima`'s `autocovariance`) — four
+//!   lags per pass;
+//! * the PCA power-iteration dot products (`fdeta-detect`'s `dot4`) —
+//!   four rows per pass.
+//!
+//! The interleaving was chosen so that **four accumulators map exactly
+//! onto four SIMD lanes**: lane `j` *is* scalar accumulator `j`, and every
+//! lane sums its own products in the same ascending element order as the
+//! scalar loop. The vector path therefore differs from the scalar path
+//! only in instruction selection — same IEEE-754 multiplies, same adds,
+//! same association — so results are **bit-identical**, which the
+//! workspace's fingerprint equality gates and this crate's proptests
+//! enforce. Fused multiply-add is deliberately never used: FMA contracts
+//! the intermediate rounding step and would break bit-identity.
+//!
+//! # Lane-order contract
+//!
+//! Every kernel here upholds one rule: *an accumulator only ever receives
+//! the same values, in the same order, as its scalar counterpart.* SIMD
+//! reorders work **across** accumulators (which is free — they are
+//! independent) and never **within** one. Horizontal reductions are
+//! forbidden; the four lanes are stored out as four results.
+//!
+//! # Dispatch
+//!
+//! With the default `simd` feature on an `x86_64` with AVX2, the vector
+//! path is selected by cached runtime detection; everywhere else (feature
+//! off, other architectures, no AVX2) the scalar reference runs. The two
+//! paths are interchangeable at every call site.
+
+mod scalar;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide override forcing the scalar reference paths even when the
+/// vector paths are available. Benchmarks flip this to fingerprint the
+/// scalar and SIMD pipelines inside one process.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or un-forces) the scalar reference paths process-wide, for
+/// in-process scalar-vs-SIMD equivalence gates. The override is observed
+/// by every dispatched entry point and by [`simd_active`]; it has no
+/// effect on correctness — the two paths are bit-identical by contract —
+/// only on which instructions produce the result.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_force_scalar`] currently pins dispatch to the scalar
+/// reference paths.
+#[inline]
+#[must_use]
+pub fn force_scalar_active() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Maximum bin count served by the interleaved counting fast path (the
+/// paper's histograms use 10 bins; ablation sweeps stay under this too).
+/// Larger layouts take a sequential walk in both implementations.
+pub const INTERLEAVE_MAX_BINS: usize = 16;
+
+/// Whether the explicit-SIMD paths are selected at runtime (the `simd`
+/// feature is enabled and the CPU reports AVX2). Exposed so benchmarks
+/// can record which path produced their timings.
+#[inline]
+#[must_use]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        !force_scalar_active() && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Index of the bin containing `value` among strictly increasing `edges`,
+/// clamping out-of-range values into the first or last bin. `lo`, `hi`,
+/// `scale` and `bins` are hoisted by the caller (`lo = edges[0]`,
+/// `hi = edges[bins]`, `scale = bins / (hi - lo)`).
+///
+/// The guess `(value - lo) * scale` lands on the exact bin for uniform
+/// edges (up to f64 rounding) and the fixup walk repairs any guess against
+/// the real edges, so the returned index always satisfies
+/// `edges[i] <= value < edges[i + 1]` (with clamping at the ends) — the
+/// same invariant a binary search would enforce, for every finite input
+/// on any strictly increasing edges.
+///
+/// # Panics
+///
+/// Contract: `edges.len() == bins + 1` and `bins >= 1`; a shorter slice
+/// panics on the walk's bounds check.
+#[inline(always)]
+#[must_use]
+pub fn guess_bin(edges: &[f64], lo: f64, hi: f64, scale: f64, bins: usize, value: f64) -> usize {
+    scalar::guess_bin(edges, lo, hi, scale, bins, value)
+}
+
+/// Counts `sample` into `counts` (one slot per bin, incremented — callers
+/// zero the slice when they want a fresh histogram). The layout contract
+/// is [`guess_bin`]'s: `edges.len() == counts.len() + 1`.
+///
+/// Counting is exact integer accumulation, so the result is independent
+/// of path and order by construction; the SIMD path vectorises the bin
+/// *guess* arithmetic four values at a time and keeps the four
+/// accumulator arrays of the scalar path.
+pub fn hist_count(edges: &[f64], sample: &[f64], counts: &mut [u64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if !force_scalar_active() && std::arch::is_x86_feature_detected!("avx2") {
+        avx2::hist_count(edges, sample, counts);
+        return;
+    }
+    scalar::hist_count(edges, sample, counts);
+}
+
+/// The four lagged product sums
+/// `s_j = Σ_t (x[t] - mean) · (x[t - lag - j] - mean)` for `j ∈ 0..4`,
+/// each over its full range `t ∈ (lag + j)..len` — one grouped pass of the
+/// autocovariance sweep, ragged heads included. Each `s_j` sums in
+/// ascending `t`, exactly the order of a one-lag-at-a-time loop, so every
+/// lag is bit-identical to a per-lag sweep.
+///
+/// Contract: `series.len() > lag` (the lag-0 sum must be non-empty);
+/// shorter trailing lags simply sum fewer terms.
+#[must_use]
+pub fn lag_quad_sums(series: &[f64], mean: f64, lag: usize) -> [f64; 4] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if !force_scalar_active() && std::arch::is_x86_feature_detected!("avx2") {
+        return avx2::lag_quad_sums(series, mean, lag);
+    }
+    scalar::lag_quad_sums(series, mean, lag)
+}
+
+/// Dot products of four equal-length rows against `v` in one pass. Lane
+/// `j` sums row `j`'s products in ascending element order — the same
+/// order as a plain `zip`/`sum` dot product — so all four results are
+/// bit-identical to four separate scalar dots.
+///
+/// Effective length is the shortest of the five slices (zip semantics).
+#[must_use]
+pub fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if !force_scalar_active() && std::arch::is_x86_feature_detected!("avx2") {
+        return avx2::dot4(r0, r1, r2, r3, v);
+    }
+    scalar::dot4(r0, r1, r2, r3, v)
+}
+
+/// The scalar reference implementations, exported for differential tests
+/// and fingerprint gates: `scalar_ref::hist_count` et al. are what the
+/// dispatched entry points must match bit for bit.
+pub mod scalar_ref {
+    pub use crate::scalar::{dot4, hist_count, lag_quad_sums};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatched_paths_match_scalar_reference() {
+        // Smoke-level check; the exhaustive sweeps live in tests/.
+        let v: Vec<f64> = (0..337).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let r: Vec<f64> = (0..337).map(|i| (i as f64 * 0.11).cos() + 2.0).collect();
+        let d = dot4(&v, &r, &v, &r, &r);
+        let s = scalar_ref::dot4(&v, &r, &v, &r, &r);
+        for j in 0..4 {
+            assert_eq!(d[j].to_bits(), s[j].to_bits(), "lane {j}");
+        }
+
+        let lags = lag_quad_sums(&v, 0.5, 2);
+        let ref_lags = scalar_ref::lag_quad_sums(&v, 0.5, 2);
+        for j in 0..4 {
+            assert_eq!(lags[j].to_bits(), ref_lags[j].to_bits(), "lag {j}");
+        }
+
+        let edges: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+        let mut a = vec![0u64; 10];
+        let mut b = vec![0u64; 10];
+        hist_count(&edges, &v, &mut a);
+        scalar_ref::hist_count(&edges, &v, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Scalar reference implementations — the semantics every SIMD variant
+//! must reproduce bit for bit. These are the workspace's original
+//! hand-interleaved hot loops, moved here verbatim so the vector paths
+//! and the reference share one home.
+
+use crate::INTERLEAVE_MAX_BINS;
+
+/// See [`crate::guess_bin`].
+#[inline(always)]
+// The negation is load-bearing: `value >= hi` is false for NaN, which
+// must take the clamp branch rather than reach the indexing arithmetic.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn guess_bin(edges: &[f64], lo: f64, hi: f64, scale: f64, bins: usize, value: f64) -> usize {
+    if !(value < hi) {
+        // Clamp `value >= hi` into the last bin; a NaN (which fails the
+        // comparison) also lands here instead of indexing out of bounds.
+        return bins - 1;
+    }
+    // Clamp the low side arithmetically (`max` is a single branchless
+    // instruction) rather than with an early `value <= lo` return: real
+    // meter data is full of exact zeros scattered among ordinary readings,
+    // and a data-dependent branch on them mispredicts constantly.
+    let v = value.max(lo);
+    // Float-to-int via the 2^52 mantissa trick: adding 1.5 * 2^52 to a
+    // small non-negative double leaves round-to-nearest(x) in the low
+    // mantissa bits, skipping the saturation fixups `as usize` emits.
+    // The guess rounds instead of truncating, so it can sit one bin high
+    // or low — the fixup walk below repairs that; only the walk's
+    // invariant, not the guess, carries the exactness argument.
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+                                                // lint:allow(lossy-cast-in-datapath, the low 32 mantissa bits hold the whole rounded guess by construction; any impossible truncation is repaired by the fixup walk)
+    let g = ((v - lo) * scale - 0.5 + MAGIC).to_bits() as u32 as usize;
+    let mut i = g.min(bins - 1);
+    while v < edges[i] {
+        i -= 1;
+    }
+    while v >= edges[i + 1] {
+        i += 1;
+    }
+    i
+}
+
+/// See [`crate::hist_count`].
+pub fn hist_count(edges: &[f64], sample: &[f64], counts: &mut [u64]) {
+    let bins = counts.len();
+    let lo = edges[0];
+    let hi = edges[bins];
+    let scale = bins as f64 / (hi - lo);
+    if bins <= INTERLEAVE_MAX_BINS {
+        // Four independent accumulator arrays break the store-to-load
+        // dependency chain that serialises repeated increments of the same
+        // (often-hit) bin; u64 addition is associative and commutative, so
+        // the merged counts are identical to the sequential walk.
+        // The `& (INTERLEAVE_MAX_BINS - 1)` mask is an identity here
+        // (every index is `< bins <= INTERLEAVE_MAX_BINS`); it exists to
+        // make the in-boundedness visible to the compiler so the
+        // increments carry no bounds-check branches.
+        const MASK: usize = INTERLEAVE_MAX_BINS - 1;
+        let mut acc = [[0u64; INTERLEAVE_MAX_BINS]; 4];
+        let mut quads = sample.chunks_exact(4);
+        for quad in &mut quads {
+            acc[0][guess_bin(edges, lo, hi, scale, bins, quad[0]) & MASK] += 1;
+            acc[1][guess_bin(edges, lo, hi, scale, bins, quad[1]) & MASK] += 1;
+            acc[2][guess_bin(edges, lo, hi, scale, bins, quad[2]) & MASK] += 1;
+            acc[3][guess_bin(edges, lo, hi, scale, bins, quad[3]) & MASK] += 1;
+        }
+        for &v in quads.remainder() {
+            acc[0][guess_bin(edges, lo, hi, scale, bins, v) & MASK] += 1;
+        }
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot += acc[0][i] + acc[1][i] + acc[2][i] + acc[3][i];
+        }
+    } else {
+        for &v in sample {
+            counts[guess_bin(edges, lo, hi, scale, bins, v)] += 1;
+        }
+    }
+}
+
+/// See [`crate::lag_quad_sums`]. The ragged heads (`t < lag + 3`, where
+/// the later lags are not yet in range) are peeled off first, in the same
+/// ascending-`t` order as the main loop.
+pub fn lag_quad_sums(series: &[f64], mean: f64, lag: usize) -> [f64; 4] {
+    let len = series.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for t in lag..(lag + 3).min(len) {
+        s0 += (series[t] - mean) * (series[t - lag] - mean);
+    }
+    for t in lag + 1..(lag + 3).min(len) {
+        s1 += (series[t] - mean) * (series[t - lag - 1] - mean);
+    }
+    for t in lag + 2..(lag + 3).min(len) {
+        s2 += (series[t] - mean) * (series[t - lag - 2] - mean);
+    }
+    for t in lag + 3..len {
+        let x = series[t] - mean;
+        s0 += x * (series[t - lag] - mean);
+        s1 += x * (series[t - lag - 1] - mean);
+        s2 += x * (series[t - lag - 2] - mean);
+        s3 += x * (series[t - lag - 3] - mean);
+    }
+    [s0, s1, s2, s3]
+}
+
+/// See [`crate::dot4`].
+pub fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], v: &[f64]) -> [f64; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (((&y, &x0), (&x1, &x2)), &x3) in v.iter().zip(r0).zip(r1.iter().zip(r2)).zip(r3) {
+        a0 += x0 * y;
+        a1 += x1 * y;
+        a2 += x2 * y;
+        a3 += x3 * y;
+    }
+    [a0, a1, a2, a3]
+}

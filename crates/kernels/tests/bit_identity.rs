@@ -1,0 +1,152 @@
+//! Differential bit-identity tests: the dispatched kernels (SIMD when the
+//! CPU supports it) must agree with the scalar reference to the last bit,
+//! across remainder lengths (`len % 4 ∈ {0, 1, 2, 3}`), empty and
+//! single-element inputs, and denormal-adjacent magnitudes.
+
+use proptest::prelude::*;
+
+use fdeta_kernels::{dot4, hist_count, lag_quad_sums, scalar_ref, simd_active};
+
+/// Values spanning ordinary magnitudes, signed values, exact zeros, and
+/// denormal-adjacent tiny magnitudes (scaled down to the subnormal range)
+/// so the lanes exercise gradual-underflow rounding too.
+fn element() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-100.0f64..100.0).boxed(),
+        Just(0.0f64).boxed(),
+        // f64::MIN_POSITIVE is the smallest *normal*; dividing by up to
+        // 2^40 pushes products and sums through the subnormal range.
+        (1.0f64..1024.0)
+            .prop_map(|m| m * f64::MIN_POSITIVE / 1099511627776.0)
+            .boxed(),
+        (1.0f64..1024.0)
+            .prop_map(|m| -m * f64::MIN_POSITIVE)
+            .boxed(),
+    ]
+}
+
+/// Lengths concentrated around the lane-width boundaries: every remainder
+/// class of 4 at small sizes, plus longer runs for the main loops.
+fn lane_len() -> impl Strategy<Value = usize> {
+    prop_oneof![0usize..12, 330usize..342, 64usize..90]
+}
+
+fn series(len: impl Strategy<Value = usize>) -> impl Strategy<Value = Vec<f64>> {
+    len.prop_flat_map(|n| proptest::collection::vec(element(), n))
+}
+
+fn assert_bits4(got: [f64; 4], want: [f64; 4]) {
+    for j in 0..4 {
+        assert_eq!(
+            got[j].to_bits(),
+            want[j].to_bits(),
+            "lane {} diverged: {:e} vs {:e}",
+            j,
+            got[j],
+            want[j]
+        );
+    }
+}
+
+proptest! {
+    /// `dot4` over every remainder class and magnitude mix is bit-identical
+    /// to the scalar zip-chain reference.
+    #[test]
+    fn dot4_matches_scalar_bit_for_bit(
+        rows in series(lane_len()).prop_flat_map(|v| {
+            let n = v.len();
+            (
+                Just(v),
+                proptest::collection::vec(element(), n),
+                proptest::collection::vec(element(), n),
+                proptest::collection::vec(element(), n),
+                proptest::collection::vec(element(), n),
+            )
+        }),
+    ) {
+        let (v, r0, r1, r2, r3) = rows;
+        assert_bits4(
+            dot4(&r0, &r1, &r2, &r3, &v),
+            scalar_ref::dot4(&r0, &r1, &r2, &r3, &v),
+        );
+    }
+
+    /// `lag_quad_sums` — ragged heads, short tails, and every alignment of
+    /// the main loop — is bit-identical to the scalar reference for each of
+    /// the four lags.
+    #[test]
+    fn lag_quad_sums_matches_scalar_bit_for_bit(
+        series in series(1usize..96),
+        lag_frac in 0.0f64..1.0,
+        mean in -50.0f64..50.0,
+    ) {
+        // lag ∈ [0, len): keeps the lag-0 sum non-empty per the contract.
+        let lag = ((series.len() as f64 - 1.0) * lag_frac) as usize;
+        assert_bits4(
+            lag_quad_sums(&series, mean, lag),
+            scalar_ref::lag_quad_sums(&series, mean, lag),
+        );
+    }
+
+    /// `hist_count` produces identical u64 counts through the SIMD guess
+    /// path and the scalar path, for narrow (interleaved) and wide
+    /// (sequential) bin layouts, including empty samples and values outside
+    /// the edge range.
+    #[test]
+    fn hist_count_matches_scalar_exactly(
+        sample in series(0usize..48),
+        bins in 1usize..24,
+        span in 1.0f64..200.0,
+    ) {
+        let lo = -span / 2.0;
+        let edges: Vec<f64> = (0..=bins)
+            .map(|i| lo + span * i as f64 / bins as f64)
+            .collect();
+        let mut fast = vec![0u64; bins];
+        let mut reference = vec![0u64; bins];
+        hist_count(&edges, &sample, &mut fast);
+        scalar_ref::hist_count(&edges, &sample, &mut reference);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(fast.iter().sum::<u64>() as usize, sample.len());
+    }
+}
+
+/// The fixed boundary cases the property strategies only hit by chance:
+/// exactly-empty and single-element inputs through both dispatch paths.
+#[test]
+fn empty_and_single_element_inputs() {
+    let empty: [f64; 0] = [];
+    let one = [3.5f64];
+
+    assert_eq!(dot4(&empty, &empty, &empty, &empty, &empty), [0.0; 4]);
+    let d = dot4(&one, &one, &one, &one, &one);
+    let s = scalar_ref::dot4(&one, &one, &one, &one, &one);
+    assert_eq!(d.map(f64::to_bits), s.map(f64::to_bits));
+
+    // Single element, lag 0: only s0 has a term; s1..s3 are empty sums.
+    let lags = lag_quad_sums(&one, 1.0, 0);
+    let ref_lags = scalar_ref::lag_quad_sums(&one, 1.0, 0);
+    assert_eq!(lags.map(f64::to_bits), ref_lags.map(f64::to_bits));
+    assert_eq!(lags[1], 0.0);
+    assert_eq!(lags[2], 0.0);
+    assert_eq!(lags[3], 0.0);
+
+    let edges = [0.0, 1.0, 2.0];
+    let mut counts = [0u64; 2];
+    hist_count(&edges, &empty, &mut counts);
+    assert_eq!(counts, [0, 0]);
+    hist_count(&edges, &one, &mut counts);
+    assert_eq!(counts, [0, 1]); // 3.5 clamps into the last bin
+}
+
+/// On this CI matrix the x86_64 runners have AVX2, so the differential
+/// sweeps above genuinely cross the SIMD/scalar boundary; record which
+/// path ran so a silent fallback shows up in the test log.
+#[test]
+fn report_dispatch_path() {
+    if cfg!(all(feature = "simd", target_arch = "x86_64")) && simd_active() {
+        eprintln!("kernels: SIMD (AVX2) path active");
+    } else {
+        eprintln!("kernels: scalar fallback active");
+    }
+}

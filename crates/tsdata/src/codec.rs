@@ -2,8 +2,9 @@
 //! formats.
 //!
 //! Every durable file this workspace writes — trained artifacts
-//! ([`crate::store::ArtifactStore`]) and serving-fleet checkpoints
-//! (`fdeta-serve`'s `FleetSnapshot`) — follows the same conventions: a
+//! (`fdeta-detect`'s `ArtifactStore`), serving-fleet checkpoints
+//! (`fdeta-serve`'s `FleetSnapshot`), and columnar corpus slabs
+//! ([`crate::colcorpus`]) — follows the same conventions: a
 //! little-endian hand-rolled layout behind an 8-byte magic, a format
 //! version, an FNV-1a content key, floats stored as raw bit patterns (so
 //! loads are **bit-identical** to the state that was saved), and a
@@ -33,8 +34,8 @@ pub fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
 }
 
 /// Incremental FNV-1a over little-endian words — the content-key hasher
-/// behind [`crate::store::ArtifactStore::corpus_key`] and the snapshot
-/// fleet key.
+/// behind `ArtifactStore::corpus_key`, the snapshot fleet key, and the
+/// columnar corpus content key.
 pub struct Fnv {
     state: u64,
 }
@@ -104,31 +105,39 @@ impl ByteWriter {
         self.u64(value.to_bits());
     }
 
+    /// Encodes `values` as little-endian words through a stack staging
+    /// buffer, one `extend_from_slice` per 512-word chunk instead of one
+    /// per element. The inner fill is a branch-free fixed-stride loop the
+    /// compiler vectorises; fleet checkpoints push hundreds of megabytes
+    /// through here, and the per-element append dominated encode.
+    fn le_words<T: Copy>(&mut self, values: &[T], to_bits: impl Fn(T) -> u64) {
+        const CHUNK: usize = 512;
+        self.out.reserve(values.len() * 8);
+        let mut buf = [0u8; CHUNK * 8];
+        for chunk in values.chunks(CHUNK) {
+            for (slot, &v) in buf.chunks_exact_mut(8).zip(chunk) {
+                slot.copy_from_slice(&to_bits(v).to_le_bytes());
+            }
+            self.out.extend_from_slice(&buf[..chunk.len() * 8]);
+        }
+    }
+
     /// Appends a length-prefixed `f64` vector (raw bit patterns).
     pub fn vec_f64(&mut self, values: &[f64]) {
         self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.f64(v);
-        }
+        self.le_words(values, f64::to_bits);
     }
 
     /// Appends a length-prefixed `u64` vector.
     pub fn vec_u64(&mut self, values: &[u64]) {
         self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.u64(v);
-        }
+        self.le_words(values, |v| v);
     }
 
     /// Appends a length-prefixed `usize` vector (as `u64` words).
     pub fn vec_usize(&mut self, values: &[usize]) {
         self.u64(values.len() as u64);
-        self.out.reserve(values.len() * 8);
-        for &v in values {
-            self.u64(v as u64);
-        }
+        self.le_words(values, |v| v as u64);
     }
 }
 
@@ -212,6 +221,9 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     ///
     /// As [`ByteReader::bytes`], plus overflow on 32-bit targets.
+    // Not a container length — this *decodes* a length prefix from the
+    // input, so an `is_empty` counterpart is meaningless.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&mut self) -> Result<usize, String> {
         let raw = self.u64()?;
         usize::try_from(raw).map_err(|_| format!("length {raw} overflows usize"))

@@ -1,0 +1,657 @@
+//! Columnar corpus slabs: the out-of-core on-disk corpus format.
+//!
+//! A slab file holds one week-matrix slab per consumer — `weeks * 336`
+//! half-hour readings as raw `f64` bit patterns at a fixed stride — so a
+//! million-consumer corpus can be written one consumer at a time and read
+//! back one consumer at a time, without ever materialising the fleet in
+//! memory. Training and fleet warm-up seek straight to a consumer's slab
+//! (`header + index * stride`) and decode it into a reusable buffer.
+//!
+//! The layout follows the [`crate::codec`] conventions shared with the
+//! artifact store and the serving-fleet checkpoints:
+//!
+//! ```text
+//! magic   b"FDETACOL"                      8 bytes
+//! version u32 (= COLCORPUS_VERSION)        4
+//! key     u64  FNV-1a content key          8
+//! count   u64  consumers                   8
+//! weeks   u64  weeks per consumer          8
+//! slabs   count x (weeks * 336) f64 bits   count * stride * 8
+//! ids     count x u32                      count * 4
+//! check   u64  FNV-1a integrity checksum   8
+//! ```
+//!
+//! The writer streams: slabs are hashed and written as they are appended,
+//! and the header (whose `key` and `count` are only known at the end) is
+//! back-patched on [`SlabWriter::finish`]. The trailing checksum therefore
+//! covers the payload **in write order** — slabs, then the id table, then
+//! the finished header — one incremental FNV-1a pass with no re-read.
+//!
+//! The content key is hashed once per file, sharing the same single pass
+//! over the readings: `key = FNV(version, weeks, count, slab-digest,
+//! ids...)` where the slab digest is the FNV-1a state over the raw slab
+//! bytes. Any changed reading, id, or dimension changes the key.
+//!
+//! [`SlabCorpus::open`] validates the header and the file's exact length;
+//! [`SlabCorpus::verify`] additionally replays the full checksum and
+//! content-key passes (a whole-file scan, so it is opt-in rather than an
+//! open-time cost on multi-gigabyte corpora).
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{fnv1a, Fnv, FNV_OFFSET};
+use crate::SLOTS_PER_WEEK;
+
+/// On-disk format version; participates in the header and the content key.
+pub const COLCORPUS_VERSION: u32 = 1;
+
+/// File magic identifying a columnar corpus slab file.
+const MAGIC: &[u8; 8] = b"FDETACOL";
+
+/// Fixed header length in bytes (magic + version + key + count + weeks).
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// A failure of the slab corpus layer.
+#[derive(Debug)]
+pub enum ColError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// The file exists but fails validation.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What check failed.
+        what: String,
+    },
+    /// A caller handed the writer or reader an impossible shape.
+    Shape {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for ColError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColError::Io { path, message } => {
+                write!(f, "slab corpus I/O on {}: {message}", path.display())
+            }
+            ColError::Corrupt { path, what } => {
+                write!(f, "corrupt slab corpus {}: {what}", path.display())
+            }
+            ColError::Shape { what } => write!(f, "slab corpus shape error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ColError {}
+
+fn io_err(path: &Path) -> impl Fn(std::io::Error) -> ColError + '_ {
+    move |e| ColError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Streaming writer: appends one consumer's week matrix at a time, hashing
+/// as it goes, and atomically renames the finished file into place.
+pub struct SlabWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: File,
+    weeks: usize,
+    ids: Vec<u32>,
+    /// FNV-1a state over every slab byte written so far (the single data
+    /// pass shared by the trailing checksum and the content key).
+    slab_digest: u64,
+    /// Reused per-append byte staging buffer.
+    buf: Vec<u8>,
+}
+
+impl SlabWriter {
+    /// Opens a new slab file for streaming writes. The file is created as
+    /// a temporary sibling and renamed into place by
+    /// [`SlabWriter::finish`], so readers never observe a partial corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Shape`] for `weeks == 0`, [`ColError::Io`] on
+    /// filesystem failure.
+    pub fn create(path: impl Into<PathBuf>, weeks: usize) -> Result<Self, ColError> {
+        let path = path.into();
+        if weeks == 0 {
+            return Err(ColError::Shape {
+                what: "a slab corpus needs at least one week per consumer".into(),
+            });
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(io_err(&path))?;
+            }
+        }
+        let tmp = path.with_extension("col.tmp");
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(io_err(&tmp))?;
+        // Placeholder header; key and count are back-patched on finish.
+        file.write_all(&[0u8; HEADER_LEN]).map_err(io_err(&tmp))?;
+        Ok(Self {
+            path,
+            tmp,
+            file,
+            weeks,
+            ids: Vec::new(),
+            slab_digest: FNV_OFFSET,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Readings per consumer slab (`weeks * 336`).
+    pub fn stride(&self) -> usize {
+        self.weeks * SLOTS_PER_WEEK
+    }
+
+    /// Consumers appended so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no consumer has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends one consumer's full week matrix (flat, week-major,
+    /// exactly `weeks * 336` readings).
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Shape`] for a wrong-length or non-finite slab,
+    /// [`ColError::Io`] on write failure.
+    pub fn append(&mut self, id: u32, values: &[f64]) -> Result<(), ColError> {
+        if values.len() != self.stride() {
+            return Err(ColError::Shape {
+                what: format!(
+                    "consumer {id}: slab has {} readings, corpus stride is {}",
+                    values.len(),
+                    self.stride()
+                ),
+            });
+        }
+        self.buf.clear();
+        self.buf.reserve(values.len() * 8);
+        for &v in values {
+            if !v.is_finite() {
+                return Err(ColError::Shape {
+                    what: format!("consumer {id}: non-finite reading {v}"),
+                });
+            }
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.slab_digest = fnv1a(&self.buf, self.slab_digest);
+        self.file.write_all(&self.buf).map_err(io_err(&self.tmp))?;
+        self.ids.push(id);
+        Ok(())
+    }
+
+    /// Writes the id table, back-patches the header with the final count
+    /// and content key, appends the trailing checksum, and renames the
+    /// file into place. Returns the content key.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Io`] on any filesystem failure.
+    pub fn finish(mut self) -> Result<u64, ColError> {
+        let key = content_key(
+            self.weeks,
+            self.ids.len(),
+            self.slab_digest,
+            self.ids.iter().copied(),
+        );
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&COLCORPUS_VERSION.to_le_bytes());
+        header.extend_from_slice(&key.to_le_bytes());
+        header.extend_from_slice(&(self.ids.len() as u64).to_le_bytes());
+        header.extend_from_slice(&(self.weeks as u64).to_le_bytes());
+
+        self.buf.clear();
+        self.buf.reserve(self.ids.len() * 4);
+        for &id in &self.ids {
+            self.buf.extend_from_slice(&id.to_le_bytes());
+        }
+        // Checksum in write order: slabs, id table, finished header.
+        let mut digest = fnv1a(&self.buf, self.slab_digest);
+        digest = fnv1a(&header, digest);
+
+        self.buf.extend_from_slice(&digest.to_le_bytes());
+        self.file.write_all(&self.buf).map_err(io_err(&self.tmp))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(io_err(&self.tmp))?;
+        self.file.write_all(&header).map_err(io_err(&self.tmp))?;
+        self.file.sync_all().map_err(io_err(&self.tmp))?;
+        drop(self.file);
+        fs::rename(&self.tmp, &self.path).map_err(io_err(&self.path))?;
+        Ok(key)
+    }
+}
+
+/// The content key formula shared by the writer and [`SlabCorpus::verify`]:
+/// one FNV-1a digest over the dimensions, the slab-byte digest (itself the
+/// product of the single streaming pass over the readings), and the ids.
+fn content_key(
+    weeks: usize,
+    count: usize,
+    slab_digest: u64,
+    ids: impl Iterator<Item = u32>,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(u64::from(COLCORPUS_VERSION));
+    h.u64(weeks as u64);
+    h.u64(count as u64);
+    h.u64(slab_digest);
+    for id in ids {
+        h.u64(u64::from(id));
+    }
+    h.finish()
+}
+
+/// An opened slab corpus: header and id table resident, slabs read on
+/// demand by consumer index.
+pub struct SlabCorpus {
+    path: PathBuf,
+    file: File,
+    key: u64,
+    weeks: usize,
+    ids: Vec<u32>,
+}
+
+impl SlabCorpus {
+    /// Opens and validates a slab file's header, dimensions, and exact
+    /// length; reads the id table. Does **not** scan the slabs — call
+    /// [`SlabCorpus::verify`] for the full integrity pass.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Io`] when the file cannot be read,
+    /// [`ColError::Corrupt`] for bad magic/version/dimensions or a file
+    /// length that disagrees with the header.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, ColError> {
+        let path = path.into();
+        let mut file = File::open(&path).map_err(io_err(&path))?;
+        let corrupt = |what: String| ColError::Corrupt {
+            path: path.clone(),
+            what,
+        };
+
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header).map_err(io_err(&path))?;
+        if &header[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a slab corpus)".into()));
+        }
+        let mut u32buf = [0u8; 4];
+        u32buf.copy_from_slice(&header[8..12]);
+        let version = u32::from_le_bytes(u32buf);
+        if version != COLCORPUS_VERSION {
+            return Err(corrupt(format!(
+                "format version {version}, this build reads {COLCORPUS_VERSION}"
+            )));
+        }
+        let word = |at: usize| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&header[at..at + 8]);
+            u64::from_le_bytes(buf)
+        };
+        let key = word(12);
+        let count = usize::try_from(word(20))
+            .map_err(|_| corrupt("consumer count overflows usize".into()))?;
+        let weeks =
+            usize::try_from(word(28)).map_err(|_| corrupt("week count overflows usize".into()))?;
+        if weeks == 0 {
+            return Err(corrupt("zero weeks per consumer".into()));
+        }
+        let stride = weeks
+            .checked_mul(SLOTS_PER_WEEK)
+            .ok_or_else(|| corrupt("slab stride overflows usize".into()))?;
+        let slab_bytes = count
+            .checked_mul(stride)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| corrupt("slab region overflows usize".into()))?;
+        let expected = (HEADER_LEN + slab_bytes + count * 4 + 8) as u64;
+        let actual = file.metadata().map_err(io_err(&path))?.len();
+        if actual != expected {
+            return Err(corrupt(format!(
+                "file is {actual} bytes, header implies {expected}"
+            )));
+        }
+
+        file.seek(SeekFrom::Start((HEADER_LEN + slab_bytes) as u64))
+            .map_err(io_err(&path))?;
+        let mut id_bytes = vec![0u8; count * 4];
+        file.read_exact(&mut id_bytes).map_err(io_err(&path))?;
+        let ids = id_bytes
+            .chunks_exact(4)
+            .map(|chunk| {
+                let mut buf = [0u8; 4];
+                buf.copy_from_slice(chunk);
+                u32::from_le_bytes(buf)
+            })
+            .collect();
+
+        Ok(Self {
+            path,
+            file,
+            key,
+            weeks,
+            ids,
+        })
+    }
+
+    /// The file this corpus was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The FNV-1a content key stored in the header.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Consumers in the corpus.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the corpus holds no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Weeks per consumer (uniform across the corpus).
+    pub fn weeks(&self) -> usize {
+        self.weeks
+    }
+
+    /// Readings per consumer slab (`weeks * 336`).
+    pub fn stride(&self) -> usize {
+        self.weeks * SLOTS_PER_WEEK
+    }
+
+    /// The consumer ids, in slab order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The id of consumer `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Shape`] for an out-of-range index.
+    pub fn id(&self, index: usize) -> Result<u32, ColError> {
+        self.ids.get(index).copied().ok_or_else(|| ColError::Shape {
+            what: format!("consumer index {index} out of range 0..{}", self.ids.len()),
+        })
+    }
+
+    /// Reads consumer `index`'s slab into `out` (resized to the stride),
+    /// decoding the raw bit patterns bit-identically to what was written.
+    /// `scratch` stages the raw bytes; both buffers retain capacity across
+    /// calls, so a warm loop performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Shape`] for an out-of-range index, [`ColError::Io`] on
+    /// read failure.
+    pub fn read_into(
+        &self,
+        index: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), ColError> {
+        if index >= self.ids.len() {
+            return Err(ColError::Shape {
+                what: format!("consumer index {index} out of range 0..{}", self.ids.len()),
+            });
+        }
+        let stride_bytes = self.stride() * 8;
+        let offset = (HEADER_LEN + index * stride_bytes) as u64;
+        scratch.clear();
+        scratch.resize(stride_bytes, 0);
+        read_at(&self.file, &self.path, scratch, offset)?;
+        out.clear();
+        out.reserve(self.stride());
+        out.extend(scratch.chunks_exact(8).map(|chunk| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            f64::from_bits(u64::from_le_bytes(buf))
+        }));
+        Ok(())
+    }
+
+    /// Replays the full integrity pass: the trailing checksum (slabs, id
+    /// table, header — in write order) and the content key, both
+    /// recomputed from the bytes on disk. A whole-file scan.
+    ///
+    /// # Errors
+    ///
+    /// [`ColError::Corrupt`] on any mismatch, [`ColError::Io`] on read
+    /// failure.
+    pub fn verify(&self) -> Result<(), ColError> {
+        let corrupt = |what: String| ColError::Corrupt {
+            path: self.path.clone(),
+            what,
+        };
+        let stride_bytes = self.stride() * 8;
+        let slab_bytes = self.ids.len() * stride_bytes;
+
+        let mut digest = FNV_OFFSET;
+        let mut chunk = vec![0u8; (1 << 20).min(slab_bytes.max(1))];
+        let mut offset = HEADER_LEN as u64;
+        let mut remaining = slab_bytes;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            read_at(&self.file, &self.path, &mut chunk[..take], offset)?;
+            digest = fnv1a(&chunk[..take], digest);
+            offset += take as u64;
+            remaining -= take;
+        }
+        let slab_digest = digest;
+
+        let mut id_bytes = Vec::with_capacity(self.ids.len() * 4);
+        for &id in &self.ids {
+            id_bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        digest = fnv1a(&id_bytes, digest);
+
+        let mut header = [0u8; HEADER_LEN];
+        read_at(&self.file, &self.path, &mut header, 0)?;
+        digest = fnv1a(&header, digest);
+
+        let mut stored = [0u8; 8];
+        read_at(
+            &self.file,
+            &self.path,
+            &mut stored,
+            (HEADER_LEN + slab_bytes + self.ids.len() * 4) as u64,
+        )?;
+        if digest != u64::from_le_bytes(stored) {
+            return Err(corrupt("integrity checksum mismatch".into()));
+        }
+
+        let key = content_key(
+            self.weeks,
+            self.ids.len(),
+            slab_digest,
+            self.ids.iter().copied(),
+        );
+        if key != self.key {
+            return Err(corrupt(format!(
+                "content key {key:016x} does not match header {:016x}",
+                self.key
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Positioned read that leaves no shared cursor state behind, so
+/// `&self` readers can run concurrently (e.g. shard loaders walking
+/// disjoint consumer ranges).
+#[cfg(unix)]
+fn read_at(file: &File, path: &Path, buf: &mut [u8], offset: u64) -> Result<(), ColError> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset).map_err(io_err(path))
+}
+
+#[cfg(windows)]
+fn read_at(file: &File, path: &Path, buf: &mut [u8], offset: u64) -> Result<(), ColError> {
+    use std::os::windows::fs::FileExt;
+    let mut done = 0;
+    while done < buf.len() {
+        let n = file
+            .seek_read(&mut buf[done..], offset + done as u64)
+            .map_err(io_err(path))?;
+        if n == 0 {
+            return Err(ColError::Corrupt {
+                path: path.to_path_buf(),
+                what: "unexpected end of file".into(),
+            });
+        }
+        done += n;
+    }
+    Ok(())
+}
+
+#[cfg(not(any(unix, windows)))]
+fn read_at(file: &File, path: &Path, buf: &mut [u8], offset: u64) -> Result<(), ColError> {
+    // No positioned-read primitive: reopen for an independent cursor.
+    let _ = file;
+    let mut reopened = File::open(path).map_err(io_err(path))?;
+    reopened
+        .seek(SeekFrom::Start(offset))
+        .map_err(io_err(path))?;
+    reopened.read_exact(buf).map_err(io_err(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(seed: f64) -> Vec<f64> {
+        (0..SLOTS_PER_WEEK * 2)
+            .map(|i| seed + i as f64 * 0.25)
+            .collect()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fdeta-colcorpus-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn slab_round_trip_is_bit_identical() {
+        let path = temp_path("roundtrip.col");
+        let mut w = SlabWriter::create(&path, 2).unwrap();
+        let slabs = [slab(1.0), slab(10.5), slab(0.0)];
+        for (i, s) in slabs.iter().enumerate() {
+            w.append(2000 + i as u32, s).unwrap();
+        }
+        let key = w.finish().unwrap();
+
+        let corpus = SlabCorpus::open(&path).unwrap();
+        assert_eq!(corpus.key(), key);
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.weeks(), 2);
+        assert_eq!(corpus.ids(), &[2000, 2001, 2002]);
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        for (i, expected) in slabs.iter().enumerate() {
+            corpus.read_into(i, &mut out, &mut scratch).unwrap();
+            assert_eq!(out.len(), expected.len());
+            for (got, want) in out.iter().zip(expected) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        corpus.verify().unwrap();
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn key_tracks_content_and_ids() {
+        let path_a = temp_path("key-a.col");
+        let path_b = temp_path("key-b.col");
+        let path_c = temp_path("key-c.col");
+        let mut a = SlabWriter::create(&path_a, 2).unwrap();
+        a.append(1, &slab(1.0)).unwrap();
+        let key_a = a.finish().unwrap();
+        // Different id, same readings.
+        let mut b = SlabWriter::create(&path_b, 2).unwrap();
+        b.append(2, &slab(1.0)).unwrap();
+        let key_b = b.finish().unwrap();
+        // Same id, one reading changed.
+        let mut values = slab(1.0);
+        values[17] += 0.125;
+        let mut c = SlabWriter::create(&path_c, 2).unwrap();
+        c.append(1, &values).unwrap();
+        let key_c = c.finish().unwrap();
+        assert_ne!(key_a, key_b);
+        assert_ne!(key_a, key_c);
+        for p in [&path_a, &path_b, &path_c] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn corruption_is_caught_by_verify_and_length_by_open() {
+        let path = temp_path("corrupt.col");
+        let mut w = SlabWriter::create(&path, 1).unwrap();
+        w.append(7, &slab(3.0)[..SLOTS_PER_WEEK]).unwrap();
+        w.finish().unwrap();
+
+        // Flip one slab byte: open succeeds (length is right), verify fails.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 9] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let corpus = SlabCorpus::open(&path).unwrap();
+        assert!(matches!(corpus.verify(), Err(ColError::Corrupt { .. })));
+
+        // Truncate: open itself rejects the length.
+        bytes.pop();
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SlabCorpus::open(&path),
+            Err(ColError::Corrupt { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let path = temp_path("shape.col");
+        assert!(matches!(
+            SlabWriter::create(&path, 0),
+            Err(ColError::Shape { .. })
+        ));
+        let mut w = SlabWriter::create(&path, 1).unwrap();
+        assert!(matches!(
+            w.append(1, &[1.0; 10]),
+            Err(ColError::Shape { .. })
+        ));
+        assert!(matches!(
+            w.append(1, &[f64::NAN; SLOTS_PER_WEEK]),
+            Err(ColError::Shape { .. })
+        ));
+        let _ = fs::remove_file(path.with_extension("col.tmp"));
+    }
+}

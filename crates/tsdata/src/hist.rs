@@ -241,95 +241,27 @@ impl BinEdges {
         self.count_push(scratch, incoming);
     }
 
-    /// Maximum bin count served by the interleaved counting fast path
-    /// (the paper's histograms use 10 bins; the ablation sweeps stay
-    /// well under this too). Larger layouts take the sequential walk.
-    const INTERLEAVE_MAX_BINS: usize = 16;
-
+    /// Counting delegates to [`fdeta_kernels::hist_count`] — the
+    /// interleaved four-accumulator walk (SIMD bin-guess arithmetic when
+    /// the CPU supports it), bit-identical to a sequential walk because
+    /// `u64` addition is order-independent. The incremental
+    /// [`BinEdges::bin_of`] path shares the same `guess_bin` lookup, so
+    /// batch and sliding counts agree exactly.
     fn count_into(&self, sample: &[f64], counts: &mut [u64]) {
-        let bins = self.bins();
-        let edges = self.edges.as_slice();
-        let lo = edges[0];
-        let hi = edges[bins];
-        let scale = bins as f64 / (hi - lo);
-        if bins <= Self::INTERLEAVE_MAX_BINS {
-            // Four independent accumulator arrays break the
-            // store-to-load dependency chain that serialises repeated
-            // increments of the same (often-hit) bin; u64 addition is
-            // associative and commutative, so the merged counts are
-            // identical to the sequential walk.
-            // The `& (INTERLEAVE_MAX_BINS - 1)` mask is an identity here
-            // (every index is `< bins <= INTERLEAVE_MAX_BINS`); it exists
-            // to make the in-boundedness visible to the compiler so the
-            // increments carry no bounds-check branches.
-            const MASK: usize = BinEdges::INTERLEAVE_MAX_BINS - 1;
-            let mut acc = [[0u64; Self::INTERLEAVE_MAX_BINS]; 4];
-            let mut quads = sample.chunks_exact(4);
-            for quad in &mut quads {
-                acc[0][guess_bin(edges, lo, hi, scale, bins, quad[0]) & MASK] += 1;
-                acc[1][guess_bin(edges, lo, hi, scale, bins, quad[1]) & MASK] += 1;
-                acc[2][guess_bin(edges, lo, hi, scale, bins, quad[2]) & MASK] += 1;
-                acc[3][guess_bin(edges, lo, hi, scale, bins, quad[3]) & MASK] += 1;
-            }
-            for &v in quads.remainder() {
-                acc[0][guess_bin(edges, lo, hi, scale, bins, v) & MASK] += 1;
-            }
-            for (i, slot) in counts.iter_mut().enumerate() {
-                *slot += acc[0][i] + acc[1][i] + acc[2][i] + acc[3][i];
-            }
-        } else {
-            for &v in sample {
-                counts[guess_bin(edges, lo, hi, scale, bins, v)] += 1;
-            }
-        }
+        fdeta_kernels::hist_count(&self.edges, sample, counts);
     }
 }
 
-/// The bin lookup behind [`BinEdges::bin_of`] and the counting loops,
-/// with everything derivable from the edges (`lo`, `hi`, `bins`, and the
-/// scale factor `bins / (hi - lo)`) hoisted into arguments so a counting
-/// loop computes them once per sample instead of once per value.
-///
-/// The guess `(value - lo) * scale` lands on the exact bin when edges are
-/// uniform (what [`BinEdges::from_sample`] builds, up to f64 rounding) and
-/// the fixup walk repairs any guess against the *real* edges, so the
-/// returned index always satisfies the invariant
-/// `edges[i] <= value < edges[i + 1]` — the same one the previous
-/// binary-search implementation enforced. This is a pure speedup, not an
-/// approximation: results are identical for every finite input on any
-/// strictly increasing edges (worst case the walk is O(bins), for heavily
-/// non-uniform `from_edges` layouts).
+/// The bin lookup behind [`BinEdges::bin_of`] and the counting loops —
+/// [`fdeta_kernels::guess_bin`]'s guess-plus-fixup-walk, with everything
+/// derivable from the edges (`lo`, `hi`, `bins`, and the scale factor
+/// `bins / (hi - lo)`) hoisted into arguments so a counting loop computes
+/// them once per sample instead of once per value. Results are identical
+/// to a binary search for every finite input on any strictly increasing
+/// edges.
 #[inline(always)]
 fn guess_bin(edges: &[f64], lo: f64, hi: f64, scale: f64, bins: usize, value: f64) -> usize {
-    if !(value < hi) {
-        // Clamp `value >= hi` into the last bin; a NaN (which fails the
-        // comparison) also lands here instead of indexing out of bounds,
-        // though ingest validation rejects non-finite readings long before
-        // they reach a histogram.
-        return bins - 1;
-    }
-    // Clamp the low side arithmetically (`max` is a single branchless
-    // instruction) rather than with an early `value <= lo` return: real
-    // meter data is full of exact zeros scattered among ordinary readings,
-    // and a data-dependent branch on them mispredicts constantly.
-    let v = value.max(lo);
-    // Float-to-int via the 2^52 mantissa trick: adding 1.5 * 2^52 to a
-    // small non-negative double leaves round-to-nearest(x) in the low
-    // mantissa bits, skipping the saturation fixups `as usize` emits.
-    // The guess rounds instead of truncating, so it can sit one bin high
-    // or low — the fixup walk below repairs that; only the walk's
-    // invariant, not the guess, carries the exactness argument.
-    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
-                                                // lint:allow(lossy-cast-in-datapath, the low 32 mantissa bits hold the whole rounded guess by construction; any impossible truncation is repaired by the fixup walk)
-    let g = ((v - lo) * scale - 0.5 + MAGIC).to_bits() as u32 as usize;
-    let mut i = g.min(bins - 1);
-    while v < edges[i] {
-        i -= 1;
-    }
-    while v >= edges[i + 1] {
-        i += 1;
-    }
-    i
+    fdeta_kernels::guess_bin(edges, lo, hi, scale, bins, value)
 }
 
 /// Reusable scoring scratch: a count vector plus a value-gather buffer.
@@ -373,6 +305,16 @@ impl HistScratch {
     pub fn gather_mut(&mut self) -> &mut Vec<f64> {
         self.values.clear();
         &mut self.values
+    }
+
+    /// Appends one value to the gather buffer without clearing it —
+    /// incremental staging for callers that route each value to one of
+    /// several scratches (e.g. the snapshot-restore rebuild gathering a
+    /// ring's observed slots per TOU band) before a single batched
+    /// [`BinEdges::histogram_gathered`] per scratch.
+    #[inline]
+    pub fn gather_push(&mut self, value: f64) {
+        self.values.push(value);
     }
 
     /// The values currently staged in the gather buffer.

@@ -21,6 +21,11 @@
 //! * [`ObservedSeries`] — gap-aware readings with a per-slot observation
 //!   mask, [`QualityReport`] summaries, and [`RepairPolicy`] repair into a
 //!   dense series (dirty-telemetry hardening).
+//! * [`SlabCorpus`] / [`SlabWriter`] ([`colcorpus`]) — the out-of-core
+//!   columnar corpus format: one fixed-stride week-matrix slab per
+//!   consumer in a single mmap-friendly file, written and read one
+//!   consumer at a time so million-meter corpora never need to be
+//!   resident.
 //! * Descriptive statistics ([`stats`]) — running mean/variance (Welford),
 //!   empirical quantiles, and weekly summaries used by the Integrated ARIMA
 //!   detector's mean/variance checks.
@@ -41,6 +46,8 @@
 //! ```
 
 pub mod bands;
+pub mod codec;
+pub mod colcorpus;
 pub mod csv;
 pub mod error;
 pub mod hist;
@@ -53,6 +60,7 @@ pub mod units;
 pub mod week;
 
 pub use bands::BandMap;
+pub use colcorpus::{ColError, SlabCorpus, SlabWriter, COLCORPUS_VERSION};
 pub use csv::GapPolicy;
 pub use error::TsError;
 pub use hist::{BinEdges, HistScratch, Histogram};

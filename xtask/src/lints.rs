@@ -368,6 +368,7 @@ impl Default for LintConfig {
                 "arima",
                 "attacks",
                 "detect",
+                "kernels",
                 "fdeta",
                 "fdeta-serve",
             ]
@@ -389,8 +390,12 @@ impl Default for LintConfig {
             datapath_prefixes: vec![
                 "crates/tsdata/src".to_owned(),
                 "crates/detect/src".to_owned(),
+                "crates/kernels/src".to_owned(),
             ],
-            score_path_prefixes: vec!["crates/detect/src".to_owned()],
+            score_path_prefixes: vec![
+                "crates/detect/src".to_owned(),
+                "crates/kernels/src".to_owned(),
+            ],
             fit_path_files: [
                 "crates/arima/src/fit.rs",
                 "crates/arima/src/linalg.rs",
@@ -404,11 +409,17 @@ impl Default for LintConfig {
                 "StreamScorer::ingest_gap",
                 "StreamScorer::close_window",
                 "KldDetector::score",
+                "hist_count",
+                "guess_bin",
+                "dot4",
             ]
             .iter()
             .map(|s| (*s).to_owned())
             .collect(),
-            fit_seeds: vec!["hannan_rissanen".to_owned()],
+            fit_seeds: ["hannan_rissanen", "lag_quad_sums"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
             tick_seeds: [
                 "Fleet::ingest_tick",
                 "Fleet::ingest_round",
